@@ -1,0 +1,76 @@
+// Shared helpers for the paper-reproduction harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/paper_refs.hpp"
+#include "perf/layer_cost.hpp"
+#include "sim/experiment.hpp"
+
+namespace distconv::bench {
+
+/// Print a layer microbenchmark sweep (Figs. 2-3): FP and BP times for each
+/// sample count across 1..16 GPUs/sample, halo exchanges overlapped, the
+/// gradient allreduce excluded — matching the paper's §VI-A methodology.
+inline void print_layer_sweep(const char* title, perf::ConvLayerDesc desc,
+                              const std::vector<std::int64_t>& sample_counts,
+                              const perf::MachineModel& machine) {
+  const perf::CommModel comm(machine);
+  const perf::RooflineComputeModel compute(machine);
+  std::printf("%s\n", title);
+  std::printf("%-6s %-18s", "N", "GPUs/sample:");
+  for (int gps : {1, 2, 4, 8, 16}) std::printf("%-10d", gps);
+  std::printf("\n");
+  for (const std::int64_t n : sample_counts) {
+    desc.n = n;
+    std::printf("%-6lld %-18s", static_cast<long long>(n), "FP (ms)");
+    for (int gps : {1, 2, 4, 8, 16}) {
+      const auto [gh, gw] = core::Strategy::spatial_factors(gps);
+      const auto c = perf::conv_layer_cost(desc, ProcessGrid{1, 1, gh, gw}, comm,
+                                           compute, gps);
+      std::printf("%-10.4f", 1e3 * c.fp(/*overlap=*/true));
+    }
+    std::printf("\n%-6s %-18s", "", "BP (ms)");
+    for (int gps : {1, 2, 4, 8, 16}) {
+      const auto [gh, gw] = core::Strategy::spatial_factors(gps);
+      const auto c = perf::conv_layer_cost(desc, ProcessGrid{1, 1, gh, gw}, comm,
+                                           compute, gps);
+      std::printf("%-10.4f", 1e3 * c.bp(/*overlap=*/true));
+    }
+    std::printf("\n");
+  }
+}
+
+/// Print the paper's reported numbers next to the simulated table.
+inline void print_paper_rows(const std::vector<PaperRow>& rows,
+                             const std::vector<int>& gps_columns,
+                             int baseline_col) {
+  std::printf("-- paper (Lassen, measured) --\n%-8s", "N");
+  for (int gps : gps_columns) {
+    std::printf("%-20s", (std::to_string(gps) +
+                          (gps == 1 ? " GPU/sample" : " GPUs/sample"))
+                             .c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows) {
+    std::printf("%-8lld", static_cast<long long>(row.minibatch));
+    const double base = row.seconds[baseline_col];
+    for (std::size_t i = 0; i < row.seconds.size(); ++i) {
+      if (row.seconds[i] < 0) {
+        std::printf("%-20s", "n/a");
+      } else if (static_cast<int>(i) == baseline_col) {
+        std::printf("%-20.4g", row.seconds[i]);
+      } else {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.4gs (%.1fx)", row.seconds[i],
+                      base / row.seconds[i]);
+        std::printf("%-20s", buf);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace distconv::bench

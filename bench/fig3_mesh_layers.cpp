@@ -1,0 +1,40 @@
+// Fig. 3 reproduction: microbenchmarks for 2K mesh-model layers conv1_1 and
+// conv6_1 for N ∈ {1, 2, 4} samples on 1-16 GPUs.
+//
+// Expected qualitative behaviour from the paper:
+//   * conv1_1 (2048² input): very good scaling in both directions —
+//     ≈14.8x speedup at 16 GPUs for N=1; inter-node halo overheads
+//     well-hidden.
+//   * conv6_1 (64² input, deeper): continued but modest benefit for N=1
+//     (≈1.4x).
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace distconv;
+  const auto machine = perf::MachineModel::lassen();
+
+  perf::ConvLayerDesc conv1_1;
+  conv1_1.c = 18;
+  conv1_1.h = conv1_1.w = 2048;
+  conv1_1.f = 128;
+  conv1_1.k = 5;
+  conv1_1.s = 2;
+  conv1_1.p = 2;
+  bench::print_layer_sweep(
+      "== Fig 3 (left): conv1_1  C=18 H=2048 W=2048 F=128 K=5 P=2 S=2 ==",
+      conv1_1, {1, 2, 4}, machine);
+  std::printf("paper: N=1 FP ~7.5ms at 1 GPU; ~14.8x FP+BP speedup at 16 GPUs\n\n");
+
+  perf::ConvLayerDesc conv6_1;
+  conv6_1.c = 384;
+  conv6_1.h = conv6_1.w = 64;
+  conv6_1.f = 128;
+  conv6_1.k = 3;
+  conv6_1.s = 2;
+  conv6_1.p = 1;
+  bench::print_layer_sweep(
+      "== Fig 3 (right): conv6_1  C=384 H=64 W=64 F=128 K=3 P=1 S=2 ==",
+      conv6_1, {1, 2, 4}, machine);
+  std::printf("paper: N=1 continued but modest benefit (~1.4x)\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig. 4 reproduction: weak scaling of the 1K and 2K mesh models up to 2048
+// GPUs. 1 sample/GPU is pure sample parallelism; the other series are hybrid
+// sample/spatial. The 2K model requires spatial parallelism (memory).
+//
+// Expected qualitative behaviour from the paper:
+//   * flat series (near-perfect weak scaling) for 1/2/4 GPUs-per-sample;
+//   * sample parallelism degrading at 2048 GPUs (memory pressure shrinking
+//     the cuDNN workspace);
+//   * a slight upward trend for 8/16 GPUs/sample at large scale (allreduces
+//     no longer fully overlap with the shrunken local backprop).
+#include "bench/bench_util.hpp"
+#include "models/models.hpp"
+
+int main() {
+  using namespace distconv;
+  sim::ExperimentOptions options;
+  {
+    auto build = [](std::int64_t n) { return models::make_mesh_model_1k(n); };
+    const auto series = sim::weak_scaling(build, {1, 2, 4, 8, 16}, 4, options);
+    std::printf("%s\n", sim::format_weak_scaling(
+                            series, "Fig 4 (left): 1024x1024 mesh model weak "
+                                    "scaling (simulated)")
+                            .c_str());
+    std::printf(
+        "paper: flat ~0.40s / 0.21s / 0.12s / 0.09s / 0.07s series; sample "
+        "parallelism bumps up at 2048 GPUs\n\n");
+  }
+  {
+    auto build = [](std::int64_t n) { return models::make_mesh_model_2k(n); };
+    const auto series = sim::weak_scaling(build, {2, 4, 8, 16}, 4, options);
+    std::printf("%s\n", sim::format_weak_scaling(
+                            series, "Fig 4 (right): 2048x2048 mesh model weak "
+                                    "scaling (simulated; spatial parallelism "
+                                    "required for memory)")
+                            .c_str());
+    std::printf(
+        "paper: flat ~0.25s / 0.12s / 0.085s / 0.07s series; 16 GPUs/sample "
+        "degrades slightly at scale\n");
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// google-benchmark microbenchmarks of the collective algorithms on the
+// thread-rank runtime: ring vs recursive-doubling allreduce across message
+// sizes (the crossover that both the implementation's kAuto selection and
+// the analytic model in perf/comm_model.hpp encode), plus the all-to-allv
+// shuffle primitive.
+#include <benchmark/benchmark.h>
+
+#include "comm/collectives.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace distconv;
+
+constexpr int kOpsPerRun = 32;
+
+void bench_allreduce(benchmark::State& state, comm::AllreduceAlgo algo) {
+  const int ranks = static_cast<int>(state.range(0));
+  const std::size_t elements = static_cast<std::size_t>(state.range(1));
+  comm::World world(ranks);
+  for (auto _ : state) {
+    world.run([&](comm::Comm& comm) {
+      std::vector<float> buf(elements, float(comm.rank()));
+      for (int i = 0; i < kOpsPerRun; ++i) {
+        comm::allreduce(comm, buf.data(), buf.size(), comm::ReduceOp::kSum,
+                        algo);
+      }
+      benchmark::DoNotOptimize(buf.data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerRun);
+  state.SetBytesProcessed(state.iterations() * kOpsPerRun *
+                          std::int64_t(elements) * 4 * ranks);
+}
+
+void bench_alltoallv(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const std::size_t per_pair = static_cast<std::size_t>(state.range(1));
+  comm::World world(ranks);
+  for (auto _ : state) {
+    world.run([&](comm::Comm& comm) {
+      const int p = comm.size();
+      std::vector<float> send(per_pair * p, 1.0f), recv(per_pair * p);
+      std::vector<std::size_t> counts(p, per_pair), displs(p);
+      for (int r = 0; r < p; ++r) displs[r] = r * per_pair;
+      for (int i = 0; i < kOpsPerRun; ++i) {
+        comm::alltoallv(comm, send.data(), counts, displs, recv.data(), counts,
+                        displs);
+      }
+      benchmark::DoNotOptimize(recv.data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerRun);
+}
+
+void bench_barrier(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  comm::World world(ranks);
+  for (auto _ : state) {
+    world.run([&](comm::Comm& comm) {
+      for (int i = 0; i < kOpsPerRun; ++i) comm::barrier(comm);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerRun);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(bench_allreduce, recursive_doubling,
+                  distconv::comm::AllreduceAlgo::kRecursiveDoubling)
+    ->ArgsProduct({{4, 8}, {64, 4096, 262144}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bench_allreduce, ring, distconv::comm::AllreduceAlgo::kRing)
+    ->ArgsProduct({{4, 8}, {64, 4096, 262144}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bench_alltoallv)
+    ->ArgsProduct({{4, 8}, {1024, 65536}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bench_barrier)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

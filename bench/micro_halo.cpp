@@ -1,0 +1,129 @@
+// google-benchmark microbenchmarks of the halo exchange (pack → message →
+// unpack) on spatial shards shaped like the mesh-model layers, including the
+// start/finish split used for overlap and the reverse (accumulate) direction.
+#include <benchmark/benchmark.h>
+
+#include "comm/comm.hpp"
+#include "tensor/halo.hpp"
+
+namespace {
+
+using namespace distconv;
+
+constexpr int kOpsPerRun = 16;
+
+void bench_halo(benchmark::State& state) {
+  const int gh = static_cast<int>(state.range(0));
+  const int gw = static_cast<int>(state.range(1));
+  const std::int64_t size = state.range(2);
+  const int halo_width = static_cast<int>(state.range(3));
+  comm::World world(gh * gw);
+  for (auto _ : state) {
+    world.run([&](comm::Comm& comm) {
+      const Shape4 global{1, 16, size, size};
+      const ProcessGrid grid{1, 1, gh, gw};
+      const auto dist = Distribution::make(global, grid);
+      const StencilSpec spec{2 * halo_width + 1, 1, halo_width};
+      const auto mh = forward_stencil_margins(
+          dist.h, DimPartition(global.h, grid.h), spec);
+      const auto mw = forward_stencil_margins(
+          dist.w, DimPartition(global.w, grid.w), spec);
+      DistTensor<float> t(&comm, dist, mh, mw);
+      Rng rng(1, comm.rank());
+      t.fill_owned_uniform(rng);
+      HaloExchange<float> hx(&t);
+      for (int i = 0; i < kOpsPerRun; ++i) hx.exchange();
+      benchmark::DoNotOptimize(t.buffer().data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerRun);
+}
+
+void bench_halo_overlapped(benchmark::State& state) {
+  // start() / interior-work / finish(): what a conv layer does (§IV-A).
+  comm::World world(4);
+  for (auto _ : state) {
+    world.run([&](comm::Comm& comm) {
+      const Shape4 global{1, 16, 256, 256};
+      const ProcessGrid grid{1, 1, 2, 2};
+      const auto dist = Distribution::make(global, grid);
+      const StencilSpec spec{3, 1, 1};
+      const auto mh = forward_stencil_margins(
+          dist.h, DimPartition(global.h, grid.h), spec);
+      const auto mw = forward_stencil_margins(
+          dist.w, DimPartition(global.w, grid.w), spec);
+      DistTensor<float> t(&comm, dist, mh, mw);
+      HaloExchange<float> hx(&t);
+      double sink = 0;
+      for (int i = 0; i < kOpsPerRun; ++i) {
+        hx.start();
+        // Interior "compute": touch the owned block once.
+        const float* p = t.owned_data();
+        for (int j = 0; j < 1024; ++j) sink += p[j];
+        hx.finish();
+      }
+      benchmark::DoNotOptimize(sink);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerRun);
+}
+
+void bench_halo_two_phase(benchmark::State& state) {
+  // Edge-then-corner-free variant: 2 messages per interior direction pair
+  // instead of 8-directional traffic, at the cost of serialized phases.
+  comm::World world(4);
+  for (auto _ : state) {
+    world.run([&](comm::Comm& comm) {
+      const Shape4 global{1, 16, 256, 256};
+      const ProcessGrid grid{1, 1, 2, 2};
+      const auto dist = Distribution::make(global, grid);
+      const StencilSpec spec{3, 1, 1};
+      const auto mh = forward_stencil_margins(
+          dist.h, DimPartition(global.h, grid.h), spec);
+      const auto mw = forward_stencil_margins(
+          dist.w, DimPartition(global.w, grid.w), spec);
+      DistTensor<float> t(&comm, dist, mh, mw);
+      HaloExchange<float> hx(&t);
+      for (int i = 0; i < kOpsPerRun; ++i) hx.exchange_two_phase();
+      benchmark::DoNotOptimize(t.buffer().data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerRun);
+}
+
+void bench_halo_accumulate(benchmark::State& state) {
+  comm::World world(4);
+  for (auto _ : state) {
+    world.run([&](comm::Comm& comm) {
+      const Shape4 global{1, 16, 256, 256};
+      const ProcessGrid grid{1, 1, 2, 2};
+      const auto dist = Distribution::make(global, grid);
+      const StencilSpec spec{3, 1, 1};
+      const auto mh = forward_stencil_margins(
+          dist.h, DimPartition(global.h, grid.h), spec);
+      const auto mw = forward_stencil_margins(
+          dist.w, DimPartition(global.w, grid.w), spec);
+      DistTensor<float> t(&comm, dist, mh, mw);
+      HaloExchange<float> hx(&t);
+      for (int i = 0; i < kOpsPerRun; ++i) hx.exchange(HaloOp::kSum);
+      benchmark::DoNotOptimize(t.buffer().data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerRun);
+}
+
+}  // namespace
+
+// (grid_h, grid_w, image size, halo width)
+BENCHMARK(bench_halo)
+    ->Args({2, 1, 256, 1})
+    ->Args({2, 2, 256, 1})
+    ->Args({4, 2, 256, 1})
+    ->Args({2, 2, 256, 3})
+    ->Args({2, 2, 1024, 1})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bench_halo_overlapped)->Unit(benchmark::kMillisecond);
+BENCHMARK(bench_halo_two_phase)->Unit(benchmark::kMillisecond);
+BENCHMARK(bench_halo_accumulate)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// google-benchmark microbenchmarks for the local compute kernels — the
+// algorithm-selection study behind the paper's reliance on cuDNN autotuning
+// (direct vs im2col+GEMM, forward vs backward passes), on shrunken versions
+// of the Fig. 2/3 layer geometries.
+#include <benchmark/benchmark.h>
+
+#include "kernels/conv.hpp"
+#include "kernels/pooling.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace distconv;
+using namespace distconv::kernels;
+
+struct LayerArgs {
+  std::int64_t n, c, h, w, f;
+  int k, s;
+};
+
+// Scaled-down versions of conv1 (ResNet), res3b_branch2a, mesh conv1_1 and
+// conv6_1: same channel/kernel structure, reduced spatial extents so a CPU
+// iteration stays in the microsecond-to-millisecond range.
+const LayerArgs kConv1{1, 3, 112, 112, 64, 7, 2};
+const LayerArgs kRes3b{4, 512, 28, 28, 128, 1, 1};
+const LayerArgs kMesh11{1, 18, 256, 256, 32, 5, 2};
+const LayerArgs kMesh61{1, 96, 64, 64, 32, 3, 2};
+
+ConvParams params_of(const LayerArgs& a) {
+  return ConvParams{a.k, a.k, a.s, a.s, a.k / 2, a.k / 2};
+}
+
+void bench_forward(benchmark::State& state, const LayerArgs& a, ConvAlgo algo) {
+  const ConvParams p = params_of(a);
+  Tensor<float> x(Shape4{a.n, a.c, a.h + 2 * p.ph, a.w + 2 * p.pw});
+  Tensor<float> w(Shape4{a.f, a.c, a.k, a.k});
+  Tensor<float> y(Shape4{a.n, a.f, p.out_h(a.h), p.out_w(a.w)});
+  Rng rng(5);
+  x.fill_uniform(rng);
+  w.fill_uniform(rng);
+  const Range2 full{0, y.shape().h, 0, y.shape().w};
+  for (auto _ : state) {
+    conv2d_forward(x, Origin2{-p.ph, -p.pw}, w, y, Origin2{0, 0}, p, full, algo);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * y.size());
+}
+
+void bench_backward_data(benchmark::State& state, const LayerArgs& a) {
+  const ConvParams p = params_of(a);
+  Tensor<float> dy(Shape4{a.n, a.f, p.out_h(a.h), p.out_w(a.w)});
+  Tensor<float> w(Shape4{a.f, a.c, a.k, a.k});
+  Tensor<float> dx(Shape4{a.n, a.c, a.h, a.w});
+  Rng rng(6);
+  dy.fill_uniform(rng);
+  w.fill_uniform(rng);
+  for (auto _ : state) {
+    conv2d_backward_data(dy, Origin2{0, 0}, w, dx, Origin2{0, 0}, p,
+                         Range2{0, a.h, 0, a.w}, dy.shape().h, dy.shape().w);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+
+void bench_backward_filter(benchmark::State& state, const LayerArgs& a) {
+  const ConvParams p = params_of(a);
+  Tensor<float> x(Shape4{a.n, a.c, a.h + 2 * p.ph, a.w + 2 * p.pw});
+  Tensor<float> dy(Shape4{a.n, a.f, p.out_h(a.h), p.out_w(a.w)});
+  Tensor<float> dw(Shape4{a.f, a.c, a.k, a.k});
+  Rng rng(7);
+  x.fill_uniform(rng);
+  dy.fill_uniform(rng);
+  const Range2 full{0, dy.shape().h, 0, dy.shape().w};
+  for (auto _ : state) {
+    conv2d_backward_filter(x, Origin2{-p.ph, -p.pw}, dy, Origin2{0, 0}, dw, p,
+                           full, false);
+    benchmark::DoNotOptimize(dw.data());
+  }
+}
+
+void bench_pool(benchmark::State& state, PoolMode mode) {
+  PoolParams p{3, 3, 2, 2, 1, 1, mode};
+  Tensor<float> x(Shape4{4, 64, 58, 58});
+  Tensor<float> y(Shape4{4, 64, 28, 28});
+  Tensor<std::int64_t> am(y.shape());
+  Rng rng(8);
+  x.fill_uniform(rng);
+  for (auto _ : state) {
+    pool2d_forward(x, Origin2{-1, -1}, y, Origin2{0, 0},
+                   mode == PoolMode::kMax ? &am : nullptr, Origin2{0, 0}, p,
+                   Range2{0, 28, 0, 28}, 56, 56);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(bench_forward, conv1_direct, kConv1, ConvAlgo::kDirect);
+BENCHMARK_CAPTURE(bench_forward, conv1_im2col, kConv1, ConvAlgo::kIm2col);
+BENCHMARK_CAPTURE(bench_forward, res3b_direct, kRes3b, ConvAlgo::kDirect);
+BENCHMARK_CAPTURE(bench_forward, res3b_im2col, kRes3b, ConvAlgo::kIm2col);
+BENCHMARK_CAPTURE(bench_forward, mesh_conv1_1_direct, kMesh11, ConvAlgo::kDirect);
+BENCHMARK_CAPTURE(bench_forward, mesh_conv1_1_im2col, kMesh11, ConvAlgo::kIm2col);
+BENCHMARK_CAPTURE(bench_forward, mesh_conv6_1_direct, kMesh61, ConvAlgo::kDirect);
+BENCHMARK_CAPTURE(bench_forward, mesh_conv6_1_im2col, kMesh61, ConvAlgo::kIm2col);
+BENCHMARK_CAPTURE(bench_backward_data, res3b, kRes3b);
+BENCHMARK_CAPTURE(bench_backward_data, mesh_conv6_1, kMesh61);
+BENCHMARK_CAPTURE(bench_backward_filter, res3b, kRes3b);
+BENCHMARK_CAPTURE(bench_backward_filter, mesh_conv6_1, kMesh61);
+BENCHMARK_CAPTURE(bench_pool, max, distconv::kernels::PoolMode::kMax);
+BENCHMARK_CAPTURE(bench_pool, average, distconv::kernels::PoolMode::kAverage);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// google-benchmark microbenchmarks of the §III-C data redistribution
+// (Shuffle(Di, Dj)) between the distributions a mixed strategy actually uses:
+// sample-parallel ↔ hybrid, and spatial regrids.
+#include <benchmark/benchmark.h>
+
+#include "comm/comm.hpp"
+#include "tensor/shuffle.hpp"
+
+namespace {
+
+using namespace distconv;
+
+constexpr int kOpsPerRun = 16;
+
+void bench_shuffle(benchmark::State& state, ProcessGrid from, ProcessGrid to) {
+  const int ranks = from.size();
+  comm::World world(ranks);
+  const std::int64_t size = state.range(0);
+  for (auto _ : state) {
+    world.run([&](comm::Comm& comm) {
+      const Shape4 global{8, 16, size, size};
+      const auto src_dist = Distribution::make(global, from);
+      const auto dst_dist = Distribution::make(global, to);
+      DistTensor<float> src(&comm, src_dist), dst(&comm, dst_dist);
+      Rng rng(1, comm.rank());
+      src.fill_owned_uniform(rng);
+      Shuffler<float> shuffler(src_dist, dst_dist, comm);
+      for (int i = 0; i < kOpsPerRun; ++i) shuffler.run(src, dst);
+      benchmark::DoNotOptimize(dst.buffer().data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerRun);
+  state.SetBytesProcessed(state.iterations() * kOpsPerRun * 8 * 16 * size *
+                          size * 4);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(bench_shuffle, sample_to_hybrid,
+                  distconv::ProcessGrid{8, 1, 1, 1},
+                  distconv::ProcessGrid{2, 1, 2, 2})
+    ->Arg(64)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bench_shuffle, hybrid_to_sample,
+                  distconv::ProcessGrid{2, 1, 2, 2},
+                  distconv::ProcessGrid{8, 1, 1, 1})
+    ->Arg(64)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(bench_shuffle, spatial_regrid, distconv::ProcessGrid{1, 1, 8, 1},
+                  distconv::ProcessGrid{1, 1, 2, 4})
+    ->Arg(64)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// The numbers reported in the paper's evaluation section, transcribed for
+// side-by-side printing in the reproduction harnesses (EXPERIMENTS.md records
+// the comparison). "n/a" cells are encoded as negative values.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace distconv::bench {
+
+struct PaperRow {
+  std::int64_t minibatch;
+  std::vector<double> seconds;  ///< aligned with the table's columns; <0 = n/a
+};
+
+/// Table I: 1K mesh strong scaling; columns 1, 2, 4, 8, 16 GPUs/sample.
+inline std::vector<PaperRow> table1_paper() {
+  return {
+      {4, {0.403, 0.200, 0.121, 0.0906, 0.066}},
+      {8, {0.399, 0.201, 0.124, 0.0829, 0.0681}},
+      {16, {0.400, 0.201, 0.121, 0.085, 0.0739}},
+      {32, {0.401, 0.207, 0.123, 0.0874, 0.0794}},
+      {64, {0.407, 0.208, 0.124, 0.0911, 0.0839}},
+      {128, {0.407, 0.209, 0.125, 0.0931, 0.0902}},
+      {256, {0.401, 0.209, 0.127, 0.0977, -1}},
+      {512, {0.393, 0.209, 0.126, -1, -1}},
+      {1024, {0.400, 0.211, -1, -1, -1}},
+  };
+}
+
+/// Table II: 2K mesh strong scaling; columns 2, 4, 8, 16 GPUs/sample.
+inline std::vector<PaperRow> table2_paper() {
+  return {
+      {2, {0.247, 0.120, 0.0859, 0.0683}},
+      {4, {0.249, 0.123, 0.0895, 0.0662}},
+      {8, {0.250, 0.125, 0.0849, 0.0665}},
+      {16, {0.249, 0.121, 0.0848, 0.0681}},
+      {32, {0.251, 0.122, 0.0851, 0.0703}},
+      {64, {0.252, 0.122, 0.0856, 0.0729}},
+      {128, {0.252, 0.122, 0.0867, 0.0748}},
+      {256, {0.250, 0.123, 0.089, -1}},
+      {512, {0.249, 0.123, -1, -1}},
+  };
+}
+
+/// Table III: ResNet-50 strong scaling at 32 samples per group; columns
+/// sample (32/GPU), hybrid (32/2 GPUs), hybrid (32/4 GPUs).
+inline std::vector<PaperRow> table3_paper() {
+  return {
+      {128, {0.106, 0.0734, 0.0593}},
+      {256, {0.106, 0.0732, 0.0671}},
+      {512, {0.105, 0.0776, 0.0617}},
+      {1024, {0.105, 0.0747, 0.0672}},
+      {2048, {0.108, 0.0733, 0.0651}},
+      {4096, {0.0984, 0.078, 0.066}},
+      {8192, {0.109, 0.0785, 0.0725}},
+      {16384, {0.108, 0.0844, 0.0792}},
+      {32768, {0.109, 0.0869, -1}},
+  };
+}
+
+}  // namespace distconv::bench

@@ -1,0 +1,22 @@
+// Table II reproduction: 2K mesh-model strong scaling. Pure sample
+// parallelism is infeasible (a single sample's activations exceed GPU
+// memory), so speedups are over the 2 GPUs/sample baseline.
+#include "bench/bench_util.hpp"
+#include "models/models.hpp"
+
+int main() {
+  using namespace distconv;
+  sim::ExperimentOptions options;
+  auto build = [](std::int64_t n) { return models::make_mesh_model_2k(n); };
+  const std::vector<std::int64_t> batches{2, 4, 8, 16, 32, 64, 128, 256, 512};
+  const std::vector<int> gps{1, 2, 4, 8, 16};
+  const auto table = sim::strong_scaling(build, batches, gps, options);
+  std::printf("%s\n", sim::format_strong_scaling(
+                          table, 2,
+                          "Table II: 2K mesh strong scaling (simulated; the "
+                          "1 GPU/sample column is n/a — out of memory, as in "
+                          "the paper)")
+                          .c_str());
+  bench::print_paper_rows(bench::table2_paper(), {2, 4, 8, 16}, 0);
+  return 0;
+}

@@ -1,0 +1,372 @@
+// Collective operations built purely on point-to-point messaging.
+//
+// The algorithms follow Thakur, Rabenseifner & Gropp, "Optimization of
+// Collective Communication Operations in MPICH" (IJHPCA 2005) — the same
+// reference the paper's performance model uses — so the implemented
+// collectives and the analytic cost formulas in src/perf describe the same
+// algorithms:
+//   * broadcast: binomial tree
+//   * reduce: binomial tree
+//   * allgather / allgatherv: ring
+//   * allreduce: recursive doubling (latency-optimal, small n) or
+//     ring reduce-scatter + ring allgather (bandwidth-optimal, large n)
+//   * reduce_scatter: ring
+//   * alltoallv: pairwise exchange
+//   * barrier: dissemination
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "comm/types.hpp"
+#include "support/error.hpp"
+
+namespace distconv::comm {
+
+enum class AllreduceAlgo { kAuto, kRecursiveDoubling, kRing };
+
+namespace internal {
+
+template <typename T>
+void apply_op(ReduceOp op, T* acc, const T* in, std::size_t n) {
+  switch (op) {
+    case ReduceOp::kSum:
+      for (std::size_t i = 0; i < n; ++i) acc[i] += in[i];
+      break;
+    case ReduceOp::kMax:
+      for (std::size_t i = 0; i < n; ++i) acc[i] = std::max(acc[i], in[i]);
+      break;
+    case ReduceOp::kMin:
+      for (std::size_t i = 0; i < n; ++i) acc[i] = std::min(acc[i], in[i]);
+      break;
+    case ReduceOp::kProd:
+      for (std::size_t i = 0; i < n; ++i) acc[i] *= in[i];
+      break;
+  }
+}
+
+/// Balanced partition of n items over p blocks: first (n % p) blocks get one
+/// extra item. Returns [start, end) of block b.
+inline std::pair<std::size_t, std::size_t> block_range(std::size_t n, int p, int b) {
+  const std::size_t base = n / p;
+  const std::size_t extra = n % p;
+  const std::size_t ub = static_cast<std::size_t>(b);
+  const std::size_t start = ub * base + std::min<std::size_t>(ub, extra);
+  const std::size_t len = base + (ub < extra ? 1 : 0);
+  return {start, start + len};
+}
+
+}  // namespace internal
+
+inline void barrier(Comm& comm) {
+  const int p = comm.size();
+  const int tag = comm.next_internal_tag();
+  char token = 0;
+  for (int k = 1; k < p; k <<= 1) {
+    const int dst = (comm.rank() + k) % p;
+    const int src = (comm.rank() - k + p) % p;
+    comm.sendrecv(&token, 1, dst, tag, &token, 1, src, tag);
+  }
+}
+
+template <typename T>
+void broadcast(Comm& comm, T* buf, std::size_t n, int root) {
+  const int p = comm.size();
+  if (p == 1) return;
+  const int tag = comm.next_internal_tag();
+  // Binomial tree rooted at `root`: work in shifted rank space.
+  const int vrank = (comm.rank() - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (vrank & mask) {
+      const int src = ((vrank ^ mask) + root) % p;
+      comm.recv(buf, n, src, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < p) {
+      const int dst = (vrank + mask + root) % p;
+      comm.send(buf, n, dst, tag);
+    }
+    mask >>= 1;
+  }
+}
+
+template <typename T>
+void reduce(Comm& comm, T* buf, std::size_t n, ReduceOp op, int root) {
+  const int p = comm.size();
+  if (p == 1) return;
+  const int tag = comm.next_internal_tag();
+  const int vrank = (comm.rank() - root + p) % p;
+  std::vector<T> tmp(n);
+  int mask = 1;
+  while (mask < p) {
+    if ((vrank & mask) == 0) {
+      const int vsrc = vrank | mask;
+      if (vsrc < p) {
+        const int src = (vsrc + root) % p;
+        comm.recv(tmp.data(), n, src, tag);
+        internal::apply_op(op, buf, tmp.data(), n);
+      }
+    } else {
+      const int dst = ((vrank & ~mask) + root) % p;
+      comm.send(buf, n, dst, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+}
+
+/// Allgather with equal contribution sizes; recvbuf holds p * n elements.
+template <typename T>
+void allgather(Comm& comm, const T* sendbuf, std::size_t n, T* recvbuf) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  std::copy(sendbuf, sendbuf + n, recvbuf + static_cast<std::size_t>(me) * n);
+  if (p == 1) return;
+  const int tag = comm.next_internal_tag();
+  // Ring: in step s, forward the block received in step s-1.
+  const int right = (me + 1) % p;
+  const int left = (me - 1 + p) % p;
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_block = (me - s + p) % p;
+    const int recv_block = (me - s - 1 + p) % p;
+    comm.sendrecv(recvbuf + static_cast<std::size_t>(send_block) * n, n * sizeof(T),
+                  right, tag, recvbuf + static_cast<std::size_t>(recv_block) * n,
+                  n * sizeof(T), left, tag);
+  }
+}
+
+/// Allgather with per-rank element counts. displs are element offsets into
+/// recvbuf; recvbuf must hold sum(counts) elements.
+template <typename T>
+void allgatherv(Comm& comm, const T* sendbuf, std::size_t n, T* recvbuf,
+                const std::vector<std::size_t>& counts,
+                const std::vector<std::size_t>& displs) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  DC_REQUIRE(counts[me] == n, "allgatherv: local count mismatch");
+  std::copy(sendbuf, sendbuf + n, recvbuf + displs[me]);
+  if (p == 1) return;
+  const int tag = comm.next_internal_tag();
+  const int right = (me + 1) % p;
+  const int left = (me - 1 + p) % p;
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_block = (me - s + p) % p;
+    const int recv_block = (me - s - 1 + p) % p;
+    comm.sendrecv(recvbuf + displs[send_block], counts[send_block] * sizeof(T),
+                  right, tag, recvbuf + displs[recv_block],
+                  counts[recv_block] * sizeof(T), left, tag);
+  }
+}
+
+/// Ring reduce-scatter over the balanced block partition of buf (n elements).
+/// On return, rank r's block (internal::block_range(n, p, r)) holds the full
+/// reduction; other positions are scratch.
+template <typename T>
+void reduce_scatter_inplace(Comm& comm, T* buf, std::size_t n, ReduceOp op) {
+  const int p = comm.size();
+  if (p == 1) return;
+  const int me = comm.rank();
+  const int tag = comm.next_internal_tag();
+  const int right = (me + 1) % p;
+  const int left = (me - 1 + p) % p;
+  std::size_t max_block = 0;
+  for (int b = 0; b < p; ++b) {
+    auto [s, e] = internal::block_range(n, p, b);
+    max_block = std::max(max_block, e - s);
+  }
+  std::vector<T> tmp(max_block);
+  // Step s: send block (me - s), receive and reduce block (me - s - 1).
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_block = (me - s + p) % p;
+    const int recv_block = (me - s - 1 + p) % p;
+    auto [ss, se] = internal::block_range(n, p, send_block);
+    auto [rs, re] = internal::block_range(n, p, recv_block);
+    comm.sendrecv(buf + ss, (se - ss) * sizeof(T), right, tag, tmp.data(),
+                  (re - rs) * sizeof(T), left, tag);
+    internal::apply_op(op, buf + rs, tmp.data(), re - rs);
+  }
+  // Rank me now holds the fully reduced block (me + 1) % p... rotate so the
+  // canonical "my block" is correct: after p-1 steps the reduced block at
+  // rank me is block (me - (p - 1)) % p == (me + 1) % p. Forward it once.
+  const int have = (me + 1) % p;
+  if (have != me) {
+    auto [hs, he] = internal::block_range(n, p, have);
+    auto [ms, me2] = internal::block_range(n, p, me);
+    // Pass the reduced block around the ring until each rank holds its own.
+    // One extra ring rotation of (p-2) hops in the worst case is avoided by
+    // sending directly to the owner.
+    comm.sendrecv(buf + hs, (he - hs) * sizeof(T), have, tag, buf + ms,
+                  (me2 - ms) * sizeof(T), (me - 1 + p) % p, tag);
+  }
+}
+
+template <typename T>
+void allreduce_recursive_doubling(Comm& comm, T* buf, std::size_t n, ReduceOp op) {
+  const int p = comm.size();
+  if (p == 1) return;
+  const int me = comm.rank();
+  const int tag = comm.next_internal_tag();
+  std::vector<T> tmp(n);
+
+  // Reduce to the nearest power of two: the first 2*rem ranks fold pairwise.
+  int pof2 = 1;
+  while (pof2 * 2 <= p) pof2 *= 2;
+  const int rem = p - pof2;
+  int newrank;
+  if (me < 2 * rem) {
+    if (me % 2 == 0) {
+      comm.send(buf, n, me + 1, tag);
+      newrank = -1;
+    } else {
+      comm.recv(tmp.data(), n, me - 1, tag);
+      internal::apply_op(op, buf, tmp.data(), n);
+      newrank = me / 2;
+    }
+  } else {
+    newrank = me - rem;
+  }
+
+  if (newrank >= 0) {
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      const int partner_new = newrank ^ mask;
+      const int partner = partner_new < rem ? partner_new * 2 + 1 : partner_new + rem;
+      comm.sendrecv(buf, n * sizeof(T), partner, tag, tmp.data(), n * sizeof(T),
+                    partner, tag);
+      internal::apply_op(op, buf, tmp.data(), n);
+    }
+  }
+
+  // Send results back to the folded-away ranks.
+  if (me < 2 * rem) {
+    if (me % 2 == 1) {
+      comm.send(buf, n, me - 1, tag);
+    } else {
+      comm.recv(buf, n, me + 1, tag);
+    }
+  }
+}
+
+template <typename T>
+void allreduce_ring(Comm& comm, T* buf, std::size_t n, ReduceOp op) {
+  const int p = comm.size();
+  if (p == 1) return;
+  if (n < static_cast<std::size_t>(p)) {
+    // Blocks would be empty; fall back to the latency-oriented algorithm.
+    allreduce_recursive_doubling(comm, buf, n, op);
+    return;
+  }
+  reduce_scatter_inplace(comm, buf, n, op);
+  // Ring allgather of the reduced blocks.
+  const int me = comm.rank();
+  const int tag = comm.next_internal_tag();
+  const int right = (me + 1) % p;
+  const int left = (me - 1 + p) % p;
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_block = (me - s + p) % p;
+    const int recv_block = (me - s - 1 + p) % p;
+    auto [ss, se] = internal::block_range(n, p, send_block);
+    auto [rs, re] = internal::block_range(n, p, recv_block);
+    comm.sendrecv(buf + ss, (se - ss) * sizeof(T), right, tag, buf + rs,
+                  (re - rs) * sizeof(T), left, tag);
+  }
+}
+
+/// Message-size threshold (bytes) above which the ring algorithm wins; the
+/// same constant appears in the analytic model (perf/comm_model.hpp).
+inline constexpr std::size_t kAllreduceRingThresholdBytes = 16384;
+
+template <typename T>
+void allreduce(Comm& comm, T* buf, std::size_t n, ReduceOp op,
+               AllreduceAlgo algo = AllreduceAlgo::kAuto) {
+  switch (algo) {
+    case AllreduceAlgo::kRecursiveDoubling:
+      allreduce_recursive_doubling(comm, buf, n, op);
+      return;
+    case AllreduceAlgo::kRing:
+      allreduce_ring(comm, buf, n, op);
+      return;
+    case AllreduceAlgo::kAuto:
+      if (n * sizeof(T) <= kAllreduceRingThresholdBytes) {
+        allreduce_recursive_doubling(comm, buf, n, op);
+      } else {
+        allreduce_ring(comm, buf, n, op);
+      }
+      return;
+  }
+}
+
+/// All-to-all with per-destination counts/displacements (elements).
+/// Pairwise-exchange algorithm: p-1 rounds plus the local copy.
+template <typename T>
+void alltoallv(Comm& comm, const T* sendbuf, const std::vector<std::size_t>& sendcounts,
+               const std::vector<std::size_t>& senddispls, T* recvbuf,
+               const std::vector<std::size_t>& recvcounts,
+               const std::vector<std::size_t>& recvdispls) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  DC_REQUIRE(static_cast<int>(sendcounts.size()) == p &&
+                 static_cast<int>(recvcounts.size()) == p,
+             "alltoallv: counts must have one entry per rank");
+  std::copy(sendbuf + senddispls[me], sendbuf + senddispls[me] + sendcounts[me],
+            recvbuf + recvdispls[me]);
+  if (p == 1) return;
+  const int tag = comm.next_internal_tag();
+  for (int s = 1; s < p; ++s) {
+    const int dst = (me + s) % p;
+    const int src = (me - s + p) % p;
+    comm.sendrecv(sendbuf + senddispls[dst], sendcounts[dst] * sizeof(T), dst, tag,
+                  recvbuf + recvdispls[src], recvcounts[src] * sizeof(T), src, tag);
+  }
+}
+
+/// Gather variable-size contributions to `root`. Only root's recv arguments
+/// are used.
+template <typename T>
+void gatherv(Comm& comm, const T* sendbuf, std::size_t n, T* recvbuf,
+             const std::vector<std::size_t>& counts,
+             const std::vector<std::size_t>& displs, int root) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  const int tag = comm.next_internal_tag();
+  if (me == root) {
+    DC_REQUIRE(counts[me] == n, "gatherv: local count mismatch");
+    std::copy(sendbuf, sendbuf + n, recvbuf + displs[me]);
+    for (int r = 0; r < p; ++r) {
+      if (r == root) continue;
+      comm.recv(recvbuf + displs[r], counts[r], r, tag);
+    }
+  } else {
+    comm.send(sendbuf, n, root, tag);
+  }
+}
+
+/// Scatter variable-size blocks from `root`. Only root's send arguments are
+/// used.
+template <typename T>
+void scatterv(Comm& comm, const T* sendbuf, const std::vector<std::size_t>& counts,
+              const std::vector<std::size_t>& displs, T* recvbuf, std::size_t n,
+              int root) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  const int tag = comm.next_internal_tag();
+  if (me == root) {
+    DC_REQUIRE(counts[me] == n, "scatterv: local count mismatch");
+    for (int r = 0; r < p; ++r) {
+      if (r == root) continue;
+      comm.send(sendbuf + displs[r], counts[r], r, tag);
+    }
+    std::copy(sendbuf + displs[me], sendbuf + displs[me] + n, recvbuf);
+  } else {
+    comm.recv(recvbuf, n, root, tag);
+  }
+}
+
+}  // namespace distconv::comm

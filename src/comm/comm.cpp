@@ -1,0 +1,105 @@
+#include "comm/comm.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "comm/collectives.hpp"
+#include "support/error.hpp"
+
+namespace distconv::comm {
+
+void Request::wait() {
+  if (mailbox_ != nullptr) mailbox_->wait(state_);
+}
+
+bool Request::test() {
+  if (mailbox_ == nullptr) return true;
+  return mailbox_->test(state_);
+}
+
+std::size_t Request::received_bytes() const {
+  return state_ ? state_->received_bytes : 0;
+}
+
+Comm::Comm(World* world, int world_rank, std::vector<int> group, std::uint64_t context)
+    : world_(world), my_world_rank_(world_rank), group_(std::move(group)),
+      context_(context) {
+  auto it = std::find(group_.begin(), group_.end(), world_rank);
+  DC_REQUIRE(it != group_.end(), "rank ", world_rank, " not in communicator group");
+  rank_ = static_cast<int>(it - group_.begin());
+}
+
+int Comm::world_rank(int rank_in_comm) const {
+  DC_REQUIRE(rank_in_comm >= 0 && rank_in_comm < size(), "bad rank ", rank_in_comm,
+             " for communicator of size ", size());
+  return group_[rank_in_comm];
+}
+
+void Comm::send(const void* buf, std::size_t bytes, int dst, int tag) {
+  DC_REQUIRE(tag >= 0, "negative tag ", tag);
+  Envelope env{context_, rank_, tag};
+  world_->mailbox(world_rank(dst)).deliver(env, buf, bytes);
+  world_->count_message(bytes);
+}
+
+std::size_t Comm::recv(void* buf, std::size_t capacity, int src, int tag) {
+  Request r = irecv(buf, capacity, src, tag);
+  r.wait();
+  return r.received_bytes();
+}
+
+Request Comm::isend(const void* buf, std::size_t bytes, int dst, int tag) {
+  send(buf, bytes, dst, tag);  // eager protocol: complete on return
+  return Request{};
+}
+
+Request Comm::irecv(void* buf, std::size_t capacity, int src, int tag) {
+  Envelope pattern{context_, src, tag};
+  auto& mb = my_mailbox();
+  auto state = mb.post_recv(pattern, buf, capacity);
+  return Request(&mb, std::move(state));
+}
+
+void Comm::sendrecv(const void* sendbuf, std::size_t send_bytes, int dst, int sendtag,
+                    void* recvbuf, std::size_t recv_capacity, int src, int recvtag) {
+  Request r = irecv(recvbuf, recv_capacity, src, recvtag);
+  send(sendbuf, send_bytes, dst, sendtag);
+  r.wait();
+}
+
+Comm Comm::split(int color, int key) {
+  const int p = size();
+  // Gather (color, key) from every rank of this communicator.
+  std::vector<int> all(static_cast<std::size_t>(p) * 2);
+  const int my_pair[2] = {color, key};
+  allgather(*this, my_pair, 2, all.data());
+
+  // Build my group: ranks with my color, ordered by (key, parent rank).
+  std::vector<std::pair<std::pair<int, int>, int>> members;  // ((key, parent), parent)
+  for (int r = 0; r < p; ++r) {
+    if (all[2 * r] == color) {
+      members.push_back({{all[2 * r + 1], r}, r});
+    }
+  }
+  std::sort(members.begin(), members.end());
+  std::vector<int> new_group;
+  new_group.reserve(members.size());
+  for (auto& m : members) new_group.push_back(group_[m.second]);
+
+  const std::uint64_t ctx = world_->context_for_split(context_, split_seq_++, color);
+  return Comm(world_, my_world_rank_, std::move(new_group), ctx);
+}
+
+Comm Comm::dup() { return split(/*color=*/0, /*key=*/rank_); }
+
+int Comm::next_internal_tag() {
+  // Cycle through a large reserved window; reuse after a full cycle cannot
+  // collide because collectives fully drain their own messages before
+  // returning. Each allocation reserves a block of 16 consecutive tags so an
+  // operation can address sub-channels (e.g. the halo exchange uses one
+  // sub-tag per direction).
+  const std::uint64_t window = 1u << 16;
+  return kMaxUserTag + static_cast<int>((internal_seq_++ % window) * 16);
+}
+
+}  // namespace distconv::comm

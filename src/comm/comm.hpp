@@ -1,0 +1,103 @@
+// Comm: an MPI-communicator-like handle bound to one rank thread.
+//
+// Point-to-point operations are eager (send buffers are copied on send, so a
+// blocking send never deadlocks); receives match on (context, src, tag).
+// Collectives live in comm/collectives.hpp and are implemented purely on top
+// of this point-to-point API, mirroring how MPICH builds its collectives.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "comm/mailbox.hpp"
+#include "comm/types.hpp"
+#include "comm/world.hpp"
+
+namespace distconv::comm {
+
+/// Handle for a nonblocking operation. Default-constructed requests are
+/// complete (used for eager sends).
+class Request {
+ public:
+  Request() = default;
+
+  /// Block until complete. No-op for complete requests.
+  void wait();
+
+  /// Nonblocking completion check.
+  bool test();
+
+  /// Number of payload bytes received (valid after completion of a receive).
+  std::size_t received_bytes() const;
+
+ private:
+  friend class Comm;
+  Request(Mailbox* mailbox, std::shared_ptr<internal::OpState> state)
+      : mailbox_(mailbox), state_(std::move(state)) {}
+
+  Mailbox* mailbox_ = nullptr;
+  std::shared_ptr<internal::OpState> state_;
+};
+
+class Comm {
+ public:
+  Comm(World* world, int world_rank, std::vector<int> group, std::uint64_t context);
+
+  Comm(Comm&&) = default;
+  Comm& operator=(Comm&&) = default;
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(group_.size()); }
+  World& world() const { return *world_; }
+  std::uint64_t context() const { return context_; }
+  /// World rank of a rank in this communicator.
+  int world_rank(int rank_in_comm) const;
+
+  // --- point to point ----------------------------------------------------
+  void send(const void* buf, std::size_t bytes, int dst, int tag);
+  /// Blocking receive; returns the number of bytes received.
+  std::size_t recv(void* buf, std::size_t capacity, int src, int tag);
+  Request isend(const void* buf, std::size_t bytes, int dst, int tag);
+  Request irecv(void* buf, std::size_t capacity, int src, int tag);
+  /// Concurrent send+receive (safe even when dst == src == self).
+  void sendrecv(const void* sendbuf, std::size_t send_bytes, int dst, int sendtag,
+                void* recvbuf, std::size_t recv_capacity, int src, int recvtag);
+
+  // Typed convenience wrappers.
+  template <typename T>
+  void send(const T* buf, std::size_t n, int dst, int tag) {
+    send(static_cast<const void*>(buf), n * sizeof(T), dst, tag);
+  }
+  template <typename T>
+  void recv(T* buf, std::size_t n, int src, int tag) {
+    recv(static_cast<void*>(buf), n * sizeof(T), src, tag);
+  }
+
+  // --- communicator management -------------------------------------------
+  /// Partition ranks by color; order within each new communicator is by
+  /// (key, parent rank). All ranks of this comm must call split collectively.
+  Comm split(int color, int key);
+
+  /// Duplicate with a fresh context (collective).
+  Comm dup();
+
+  // --- internals used by collectives --------------------------------------
+  /// Fresh internal tag; advances identically on all ranks per collective
+  /// call (SPMD discipline, as with MPI collectives).
+  int next_internal_tag();
+  Mailbox& my_mailbox() { return world_->mailbox(my_world_rank_); }
+
+ private:
+  World* world_;
+  int my_world_rank_;
+  int rank_;                 // rank within group_
+  std::vector<int> group_;   // world ranks, indexed by comm rank
+  std::uint64_t context_;
+  std::uint64_t split_seq_ = 0;
+  std::uint64_t internal_seq_ = 0;
+};
+
+}  // namespace distconv::comm

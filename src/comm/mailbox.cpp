@@ -1,0 +1,86 @@
+#include "comm/mailbox.hpp"
+
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace distconv::comm {
+
+void Mailbox::complete_locked(internal::PostedRecv& recv, const Envelope& env,
+                              const void* data, std::size_t bytes) {
+  DC_REQUIRE(bytes <= recv.capacity, "received message of ", bytes,
+             " bytes exceeds posted receive capacity of ", recv.capacity,
+             " (src=", env.src, " tag=", env.tag, ")");
+  if (bytes > 0) std::memcpy(recv.buffer, data, bytes);
+  recv.state->received_bytes = bytes;
+  recv.state->matched = env;
+  recv.state->done = true;
+}
+
+void Mailbox::deliver(const Envelope& env, const void* data, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Match the earliest posted receive compatible with this envelope.
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (env.matches(it->pattern)) {
+      complete_locked(*it, env, data, bytes);
+      posted_.erase(it);
+      cv_.notify_all();
+      return;
+    }
+  }
+  internal::StoredMessage msg;
+  msg.env = env;
+  msg.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
+  unexpected_.push_back(std::move(msg));
+  cv_.notify_all();
+}
+
+std::shared_ptr<internal::OpState> Mailbox::post_recv(const Envelope& pattern,
+                                                      void* buffer,
+                                                      std::size_t capacity) {
+  auto state = std::make_shared<internal::OpState>();
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Check unexpected messages first, in arrival order (non-overtaking).
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (it->env.matches(pattern)) {
+      internal::PostedRecv tmp{pattern, buffer, capacity, state};
+      complete_locked(tmp, it->env, it->payload.data(), it->payload.size());
+      unexpected_.erase(it);
+      return state;
+    }
+  }
+  posted_.push_back(internal::PostedRecv{pattern, buffer, capacity, state});
+  return state;
+}
+
+void Mailbox::wait(const std::shared_ptr<internal::OpState>& state) {
+  if (!state) return;  // already-complete (eager send) requests carry no state
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return state->done || aborted_; });
+  if (!state->done && aborted_) {
+    DC_FAIL("communication aborted: another rank raised an error");
+  }
+}
+
+bool Mailbox::test(const std::shared_ptr<internal::OpState>& state) {
+  if (!state) return true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!state->done && aborted_) {
+    DC_FAIL("communication aborted: another rank raised an error");
+  }
+  return state->done;
+}
+
+void Mailbox::abort() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  aborted_ = true;
+  cv_.notify_all();
+}
+
+bool Mailbox::aborted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return aborted_;
+}
+
+}  // namespace distconv::comm

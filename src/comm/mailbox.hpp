@@ -1,0 +1,83 @@
+// Per-rank mailbox: an MPI-like matching engine.
+//
+// Senders deliver eagerly (payload copied into the mailbox); receivers either
+// match an already-delivered message or post a receive that a later delivery
+// completes. Matching follows MPI semantics: (context, source, tag) with
+// wildcards, non-overtaking order per (context, source, tag).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "comm/types.hpp"
+
+namespace distconv::comm {
+
+namespace internal {
+
+/// Completion state shared between a Request handle and the mailbox.
+struct OpState {
+  bool done = false;
+  std::size_t received_bytes = 0;
+  Envelope matched;  ///< envelope of the matched message (receives only)
+};
+
+struct PostedRecv {
+  Envelope pattern;
+  void* buffer = nullptr;
+  std::size_t capacity = 0;
+  std::shared_ptr<OpState> state;
+};
+
+struct StoredMessage {
+  Envelope env;
+  std::vector<std::byte> payload;
+};
+
+}  // namespace internal
+
+/// Thrown when the world aborts (another rank raised an exception) while a
+/// rank is blocked in communication.
+class AbortedError;
+
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Deliver a message to this mailbox (called from the sender's thread).
+  void deliver(const Envelope& env, const void* data, std::size_t bytes);
+
+  /// Post a nonblocking receive; returns shared completion state.
+  std::shared_ptr<internal::OpState> post_recv(const Envelope& pattern, void* buffer,
+                                               std::size_t capacity);
+
+  /// Block until the given operation completes. Throws on world abort.
+  void wait(const std::shared_ptr<internal::OpState>& state);
+
+  /// Nonblocking completion check.
+  bool test(const std::shared_ptr<internal::OpState>& state);
+
+  /// Wake all waiters with an abort indication.
+  void abort();
+
+  bool aborted() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<internal::StoredMessage> unexpected_;
+  std::list<internal::PostedRecv> posted_;
+  bool aborted_ = false;
+
+  static void complete_locked(internal::PostedRecv& recv, const Envelope& env,
+                              const void* data, std::size_t bytes);
+};
+
+}  // namespace distconv::comm

@@ -1,0 +1,41 @@
+// Shared constants and small types for the message-passing runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace distconv::comm {
+
+/// Wildcard source rank for receives.
+inline constexpr int kAnySource = -1;
+/// Wildcard tag for receives.
+inline constexpr int kAnyTag = -1;
+
+/// User point-to-point tags must be below this; the library reserves the rest
+/// for collectives so user traffic can never match internal messages.
+inline constexpr int kMaxUserTag = 1 << 20;
+
+/// Reduction operators supported by the collectives.
+enum class ReduceOp { kSum, kMax, kMin, kProd };
+
+/// Envelope identifying a message within a world.
+struct Envelope {
+  std::uint64_t context = 0;  ///< communicator context id
+  int src = 0;                ///< rank within the communicator
+  int tag = 0;
+
+  bool matches(const Envelope& pattern) const {
+    return context == pattern.context &&
+           (pattern.src == kAnySource || src == pattern.src) &&
+           (pattern.tag == kAnyTag || tag == pattern.tag);
+  }
+};
+
+/// Counters for communication volume; useful for asserting analytic
+/// communication-cost formulas in tests.
+struct CommStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+}  // namespace distconv::comm

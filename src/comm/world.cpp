@@ -1,0 +1,81 @@
+#include "comm/world.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "comm/comm.hpp"
+#include "support/error.hpp"
+#include "support/logging.hpp"
+
+namespace distconv::comm {
+
+World::World(int size) {
+  DC_REQUIRE(size >= 1, "world size must be positive, got ", size);
+  mailboxes_.reserve(size);
+  for (int i = 0; i < size; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void World::run(const std::function<void(Comm&)>& fn) {
+  const int p = size();
+  std::vector<std::thread> threads;
+  threads.reserve(p);
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  for (int rank = 0; rank < p; ++rank) {
+    threads.emplace_back([this, rank, p, &fn, &error_mutex, &first_error] {
+      log::set_thread_rank(rank);
+      try {
+        std::vector<int> group(p);
+        for (int i = 0; i < p; ++i) group[i] = i;
+        Comm comm(this, rank, std::move(group), /*context=*/0);
+        fn(comm);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Wake every rank blocked in communication so the world can unwind.
+        for (auto& mb : mailboxes_) mb->abort();
+      }
+      log::set_thread_rank(-1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+CommStats World::stats() const {
+  CommStats s;
+  s.messages = messages_.load(std::memory_order_relaxed);
+  s.bytes = bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void World::reset_stats() {
+  messages_.store(0, std::memory_order_relaxed);
+  bytes_.store(0, std::memory_order_relaxed);
+}
+
+Mailbox& World::mailbox(int world_rank) {
+  DC_REQUIRE(world_rank >= 0 && world_rank < size(), "bad world rank ", world_rank);
+  return *mailboxes_[world_rank];
+}
+
+void World::count_message(std::size_t bytes) {
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+std::uint64_t World::context_for_split(std::uint64_t parent_context,
+                                       std::uint64_t seq, int color) {
+  std::lock_guard<std::mutex> lock(context_mutex_);
+  const auto key = std::make_tuple(parent_context, seq, color);
+  auto it = split_contexts_.find(key);
+  if (it != split_contexts_.end()) return it->second;
+  const std::uint64_t ctx = next_context_++;
+  split_contexts_.emplace(key, ctx);
+  return ctx;
+}
+
+}  // namespace distconv::comm

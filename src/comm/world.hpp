@@ -1,0 +1,59 @@
+// World: the process set of a simulated distributed run.
+//
+// World(P) owns P mailboxes. run(fn) spawns P rank threads, each executing the
+// same SPMD function with a rank-bound Comm — the in-process analogue of
+// `mpirun -n P`. The first exception thrown by any rank aborts the world
+// (waking ranks blocked in communication) and is rethrown from run().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "comm/mailbox.hpp"
+#include "comm/types.hpp"
+
+namespace distconv::comm {
+
+class Comm;
+
+class World {
+ public:
+  explicit World(int size);
+  ~World() = default;
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  int size() const { return static_cast<int>(mailboxes_.size()); }
+
+  /// Execute fn on every rank concurrently; blocks until all ranks return.
+  /// Rethrows the first rank exception. May be called repeatedly.
+  void run(const std::function<void(Comm&)>& fn);
+
+  /// Communication-volume counters (world lifetime totals).
+  CommStats stats() const;
+  void reset_stats();
+
+  // --- internal API used by Comm ---------------------------------------
+  Mailbox& mailbox(int world_rank);
+  void count_message(std::size_t bytes);
+  /// Deterministically allocate/lookup a context id for a communicator split.
+  /// All member ranks compute the same (parent, sequence, color) key and get
+  /// the same fresh id.
+  std::uint64_t context_for_split(std::uint64_t parent_context, std::uint64_t seq,
+                                  int color);
+
+ private:
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::mutex context_mutex_;
+  std::uint64_t next_context_ = 1;  // 0 is the world context
+  std::map<std::tuple<std::uint64_t, std::uint64_t, int>, std::uint64_t> split_contexts_;
+};
+
+}  // namespace distconv::comm

@@ -1,0 +1,130 @@
+#include "core/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "comm/collectives.hpp"
+
+namespace distconv::core {
+namespace {
+
+constexpr char kMagic[4] = {'D', 'C', 'K', 'P'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  DC_REQUIRE(in.good(), "checkpoint stream truncated");
+  return value;
+}
+
+void write_tensor(std::ostream& out, const Tensor<float>& t) {
+  for (int d = 0; d < 4; ++d) write_pod<std::int64_t>(out, t.shape()[d]);
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+}
+
+void read_tensor(std::istream& in, Tensor<float>& t) {
+  Shape4 shape;
+  for (int d = 0; d < 4; ++d) shape[d] = read_pod<std::int64_t>(in);
+  DC_REQUIRE(shape == t.shape(), "checkpoint tensor shape ", shape.str(),
+             " does not match model tensor ", t.shape().str());
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.size() * sizeof(float)));
+  DC_REQUIRE(in.good(), "checkpoint stream truncated in tensor data");
+}
+
+}  // namespace
+
+void save_checkpoint(const Model& model, std::ostream& out) {
+  out.write(kMagic, 4);
+  write_pod(out, kVersion);
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(model.num_layers()));
+  bool any_velocity = false;
+  for (int i = 0; i < model.num_layers(); ++i) {
+    const auto& rt = model.rt(i);
+    write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(rt.params.size()));
+    for (const auto& p : rt.params) write_tensor(out, p);
+    any_velocity = any_velocity || !rt.velocity.empty();
+  }
+  write_pod<std::uint8_t>(out, any_velocity ? 1 : 0);
+  if (any_velocity) {
+    for (int i = 0; i < model.num_layers(); ++i) {
+      const auto& rt = model.rt(i);
+      write_pod<std::uint32_t>(out,
+                               static_cast<std::uint32_t>(rt.velocity.size()));
+      for (const auto& v : rt.velocity) write_tensor(out, v);
+    }
+  }
+}
+
+void load_checkpoint(Model& model, std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  DC_REQUIRE(in.good() && std::memcmp(magic, kMagic, 4) == 0,
+             "not a distconv checkpoint");
+  const auto version = read_pod<std::uint32_t>(in);
+  DC_REQUIRE(version == kVersion, "unsupported checkpoint version ", version);
+  const auto layers = read_pod<std::uint32_t>(in);
+  DC_REQUIRE(layers == static_cast<std::uint32_t>(model.num_layers()),
+             "checkpoint has ", layers, " layers, model has ",
+             model.num_layers());
+  for (int i = 0; i < model.num_layers(); ++i) {
+    auto& rt = model.rt(i);
+    const auto count = read_pod<std::uint32_t>(in);
+    DC_REQUIRE(count == rt.params.size(), "layer ", i, ": checkpoint has ",
+               count, " params, model has ", rt.params.size());
+    for (auto& p : rt.params) read_tensor(in, p);
+  }
+  const auto has_velocity = read_pod<std::uint8_t>(in);
+  if (has_velocity != 0) {
+    for (int i = 0; i < model.num_layers(); ++i) {
+      auto& rt = model.rt(i);
+      const auto count = read_pod<std::uint32_t>(in);
+      if (rt.velocity.size() != count) {
+        rt.velocity.clear();
+        for (const auto& p : rt.params) rt.velocity.emplace_back(p.shape());
+      }
+      DC_REQUIRE(count == rt.velocity.size(), "velocity count mismatch");
+      for (auto& v : rt.velocity) read_tensor(in, v);
+    }
+  }
+}
+
+void save_checkpoint_file(Model& model, const std::string& path) {
+  if (model.comm().rank() == 0) {
+    std::ofstream out(path, std::ios::binary);
+    DC_REQUIRE(out.good(), "cannot open '", path, "' for writing");
+    save_checkpoint(model, out);
+    DC_REQUIRE(out.good(), "write to '", path, "' failed");
+  }
+  comm::barrier(model.comm());  // checkpoint complete before anyone proceeds
+}
+
+void load_checkpoint_file(Model& model, const std::string& path) {
+  // Rank 0 reads the file; contents broadcast so all replicas load the same
+  // bytes even if the filesystem is local to rank 0.
+  std::string blob;
+  if (model.comm().rank() == 0) {
+    std::ifstream in(path, std::ios::binary);
+    DC_REQUIRE(in.good(), "cannot open '", path, "' for reading");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    blob = buffer.str();
+  }
+  std::uint64_t size = blob.size();
+  comm::broadcast(model.comm(), &size, 1, 0);
+  blob.resize(size);
+  comm::broadcast(model.comm(), blob.data(), size, 0);
+  std::istringstream in(blob);
+  load_checkpoint(model, in);
+}
+
+}  // namespace distconv::core

@@ -1,0 +1,34 @@
+// Checkpointing of model parameters (and optimizer momentum).
+//
+// Because weights are replicated and kept bitwise identical across ranks,
+// rank 0 alone writes the checkpoint; loading broadcasts from rank 0 so the
+// replicas stay exact. Checkpoints are strategy-independent: a model trained
+// under one parallel execution strategy restores into any other (only the
+// activations are distributed, never the parameters) — which is what makes
+// "strong-scale the same training run on more GPUs" workflows possible.
+//
+// Format (little-endian): magic "DCKP", version u32, layer count u32, then
+// per layer: param count u32, per param: 4×i64 shape + f32 data; then a u8
+// flag and, if set, the momentum tensors in the same layout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/model.hpp"
+
+namespace distconv::core {
+
+/// Serialize parameters (+ momentum if present) to a stream. Not collective;
+/// normally guarded by rank 0 (every rank holds identical parameters).
+void save_checkpoint(const Model& model, std::ostream& out);
+
+/// Restore parameters from a stream into a model with matching layer/param
+/// shapes. Not collective.
+void load_checkpoint(Model& model, std::istream& in);
+
+/// Collective file variants: rank 0 writes / reads, load broadcasts to all.
+void save_checkpoint_file(Model& model, const std::string& path);
+void load_checkpoint_file(Model& model, const std::string& path);
+
+}  // namespace distconv::core

@@ -1,0 +1,133 @@
+// Layer base class and per-rank runtime state.
+//
+// A NetworkSpec is an immutable DAG of Layer objects shared by all rank
+// threads; all mutable state (distributed tensors, parameters, halo plans)
+// lives in per-rank LayerRt records owned by a Model. Layer methods are
+// const and operate purely on the passed-in runtime state, which is what
+// makes the SPMD execution thread-safe.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernels/conv.hpp"
+#include "support/rng.hpp"
+#include "tensor/dist_tensor.hpp"
+#include "tensor/halo.hpp"
+#include "tensor/margins.hpp"
+#include "tensor/shuffle.hpp"
+
+namespace distconv::core {
+
+class Model;
+class Layer;
+
+/// How batch-normalization statistics are aggregated (§III-B): purely local
+/// to each rank, across the spatial decomposition of each sample group, or
+/// across the whole mini-batch (matches single-device training exactly).
+enum class BatchNormMode { kLocal, kSpatial, kGlobal };
+
+struct ModelOptions {
+  bool overlap_halo = true;  ///< interior/boundary split to hide halo exchange
+  kernels::ConvAlgo conv_algo = kernels::ConvAlgo::kDirect;
+  float bn_epsilon = 1e-5f;
+  float bn_momentum = 0.9f;
+};
+
+/// An activation tensor plus its halo machinery and freshness flag. The flag
+/// tracks whether margins currently mirror neighbour data; producers clear
+/// it when they overwrite the interior, consumers refresh on demand. The
+/// flag transitions are identical on every rank (same program order), so
+/// skip decisions stay collectively consistent.
+struct ActTensor {
+  DistTensor<float> t;
+  std::unique_ptr<HaloExchange<float>> halo;  ///< null when margins are zero
+  bool fresh = false;
+
+  void init_halo() {
+    if (!t.margins_h().all_zero() || !t.margins_w().all_zero()) {
+      halo = std::make_unique<HaloExchange<float>>(&t);
+    }
+  }
+
+  /// Blocking refresh (no overlap).
+  void ensure_fresh() {
+    if (fresh || halo == nullptr) return;
+    halo->exchange();
+    fresh = true;
+  }
+
+  void mark_stale() { fresh = false; }
+};
+
+/// Per-layer scratch (argmax tensors, saved BN statistics, ...).
+struct LayerScratch {
+  virtual ~LayerScratch() = default;
+};
+
+/// Per-rank, per-layer runtime state.
+struct LayerRt {
+  ProcessGrid grid;
+
+  ActTensor y;   ///< output activations (margins: consumers' forward stencils)
+  ActTensor dy;  ///< error wrt output (margins: this layer's transpose stencil)
+
+  /// One port per parent edge.
+  struct InputPort {
+    int parent = -1;
+    ActTensor* read = nullptr;  ///< tensor this layer reads (alias or staging)
+    // Set when the parent's grid differs from ours:
+    std::unique_ptr<ActTensor> staging;          ///< forward-shuffled input copy
+    std::unique_ptr<Shuffler<float>> fwd_shuffle;
+    std::unique_ptr<DistTensor<float>> bwd_staging;  ///< dx in parent's grid
+    std::unique_ptr<Shuffler<float>> bwd_shuffle;
+    /// Gradient this layer produces wrt this input (this layer's grid).
+    DistTensor<float> dx;
+  };
+  std::vector<InputPort> inputs;
+
+  // Replicated parameters (identical on every rank) and their gradients.
+  std::vector<Tensor<float>> params, grads, velocity;
+
+  std::unique_ptr<LayerScratch> scratch;
+
+  Shape4 out_shape;                 ///< global output shape
+  std::vector<Shape4> in_shapes;    ///< global input shapes
+};
+
+class Layer {
+ public:
+  Layer(std::string name, std::vector<int> parents)
+      : name_(std::move(name)), parents_(std::move(parents)) {}
+  virtual ~Layer() = default;
+
+  const std::string& name() const { return name_; }
+  const std::vector<int>& parents() const { return parents_; }
+
+  /// Global output shape from global input shapes.
+  virtual Shape4 infer_shape(const std::vector<Shape4>& in) const = 0;
+
+  /// Forward stencil geometry (h and w identical; K=1,S=1,P=0 by default).
+  virtual StencilSpec stencil() const { return {}; }
+  bool has_stencil() const {
+    const auto s = stencil();
+    return s.kernel != 1 || s.stride != 1 || s.pad != 0;
+  }
+
+  /// Allocate and initialize parameters into rt (weights are replicated, so
+  /// init must be deterministic given the rng).
+  virtual void init_params(LayerRt& rt, Rng& rng) const;
+
+  /// Allocate per-layer scratch after tensors exist.
+  virtual void init_scratch(Model& model, int index, LayerRt& rt) const;
+
+  virtual void forward(Model& model, int index, LayerRt& rt) const = 0;
+  virtual void backward(Model& model, int index, LayerRt& rt) const = 0;
+
+ private:
+  std::string name_;
+  std::vector<int> parents_;
+};
+
+}  // namespace distconv::core

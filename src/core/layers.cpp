@@ -1,0 +1,558 @@
+#include "core/layers.hpp"
+
+#include <cmath>
+
+#include "core/model.hpp"
+#include "kernels/activations.hpp"
+#include "kernels/batchnorm.hpp"
+#include "kernels/gemm.hpp"
+#include "support/intmath.hpp"
+
+namespace distconv::core {
+namespace {
+
+using kernels::Origin2;
+using kernels::Range2;
+
+/// Global (h, w) of a buffer's (.., .., 0, 0) element.
+Origin2 origin_of(const DistTensor<float>& t) {
+  return {t.owned_start(2) - t.h_margin_lo(), t.owned_start(3) - t.w_margin_lo()};
+}
+
+template <typename T>
+Origin2 origin_of_t(const DistTensor<T>& t) {
+  return {t.owned_start(2) - t.h_margin_lo(), t.owned_start(3) - t.w_margin_lo()};
+}
+
+/// Global owned output/input range of a tensor.
+Range2 owned_range(const Box4& owned) {
+  return {owned.off[2], owned.off[2] + owned.ext[2], owned.off[3],
+          owned.off[3] + owned.ext[3]};
+}
+
+/// The sub-range of `out_owned` whose stencil needs only locally available
+/// input (owned data or global-boundary padding) — the "interior domain" of
+/// §IV-A that can be computed while halos are in flight.
+Range2 interior_range(const DistTensor<float>& x, int kh, int kw, int sh, int sw,
+                      int ph, int pw, const Range2& out_owned) {
+  const std::int64_t H = x.dist().h.global(), W = x.dist().w.global();
+  const std::int64_t hs = x.owned_start(2), he = hs + x.local_shape().h;
+  const std::int64_t ws = x.owned_start(3), we = ws + x.local_shape().w;
+  Range2 r = out_owned;
+  if (hs > 0) r.h0 = std::max(r.h0, ceil_div(hs + ph, sh));
+  if (he < H) r.h1 = std::min(r.h1, floor_div(he - 1 + ph - (kh - 1), sh) + 1);
+  if (ws > 0) r.w0 = std::max(r.w0, ceil_div(ws + pw, sw));
+  if (we < W) r.w1 = std::min(r.w1, floor_div(we - 1 + pw - (kw - 1), sw) + 1);
+  if (r.empty()) return Range2{0, 0, 0, 0};
+  return r;
+}
+
+/// Boundary strips covering owned \ interior (≤ 4 disjoint ranges).
+std::vector<Range2> boundary_ranges(const Range2& owned, const Range2& interior) {
+  if (interior.empty()) return {owned};
+  std::vector<Range2> out;
+  if (interior.h0 > owned.h0) {
+    out.push_back({owned.h0, interior.h0, owned.w0, owned.w1});
+  }
+  if (interior.h1 < owned.h1) {
+    out.push_back({interior.h1, owned.h1, owned.w0, owned.w1});
+  }
+  if (interior.w0 > owned.w0) {
+    out.push_back({interior.h0, interior.h1, owned.w0, interior.w0});
+  }
+  if (interior.w1 < owned.w1) {
+    out.push_back({interior.h0, interior.h1, interior.w1, owned.w1});
+  }
+  return out;
+}
+
+struct PoolScratch : LayerScratch {
+  std::unique_ptr<DistTensor<std::int64_t>> argmax;
+  std::unique_ptr<HaloExchange<std::int64_t>> argmax_halo;
+  bool argmax_fresh = false;
+};
+
+struct BnScratch : LayerScratch {
+  std::vector<float> mean, invstd;
+};
+
+struct FcScratch : LayerScratch {
+  std::vector<float> x_flat, dy_flat, dx_flat, y_flat;
+};
+
+}  // namespace
+
+void Layer::init_params(LayerRt&, Rng&) const {}
+void Layer::init_scratch(Model&, int, LayerRt&) const {}
+
+// ---------------------------------------------------------------------------
+// Conv2dLayer
+// ---------------------------------------------------------------------------
+
+Shape4 Conv2dLayer::infer_shape(const std::vector<Shape4>& in) const {
+  const auto p = conv_params();
+  DC_REQUIRE(in[0].h + 2 * pad_ >= kernel_ && in[0].w + 2 * pad_ >= kernel_,
+             "conv '", name(), "': input ", in[0].str(), " smaller than kernel");
+  return Shape4{in[0].n, filters_, p.out_h(in[0].h), p.out_w(in[0].w)};
+}
+
+void Conv2dLayer::init_params(LayerRt& rt, Rng& rng) const {
+  const std::int64_t c_in = rt.in_shapes[0].c;
+  Tensor<float> w(Shape4{filters_, c_in, kernel_, kernel_});
+  // He initialization for ReLU networks.
+  const float stddev = std::sqrt(2.0f / float(c_in * kernel_ * kernel_));
+  w.fill_normal(rng, 0.0f, stddev);
+  rt.params.push_back(std::move(w));
+  rt.grads.emplace_back(Shape4{filters_, c_in, kernel_, kernel_});
+  if (bias_) {
+    rt.params.emplace_back(Shape4{1, filters_, 1, 1});
+    rt.grads.emplace_back(Shape4{1, filters_, 1, 1});
+  }
+}
+
+void Conv2dLayer::forward(Model& model, int, LayerRt& rt) const {
+  ActTensor& xa = *rt.inputs[0].read;
+  DistTensor<float>& xt = xa.t;
+  DistTensor<float>& yt = rt.y.t;
+  const auto p = conv_params();
+  const Tensor<float>& w = rt.params[0];
+  const Range2 out_owned = owned_range(yt.owned_box());
+  const Origin2 xo = origin_of(xt), yo = origin_of(yt);
+  const auto algo = model.options().conv_algo;
+
+  auto compute = [&](const Range2& r) {
+    kernels::conv2d_forward(xt.buffer(), xo, w, yt.buffer(), yo, p, r, algo);
+  };
+
+  if (xa.halo == nullptr || xa.fresh) {
+    compute(out_owned);
+  } else if (model.options().overlap_halo) {
+    xa.halo->start();
+    const Range2 interior =
+        interior_range(xt, p.kh, p.kw, p.sh, p.sw, p.ph, p.pw, out_owned);
+    compute(interior);
+    xa.halo->finish();
+    xa.fresh = true;
+    for (const Range2& b : boundary_ranges(out_owned, interior)) compute(b);
+  } else {
+    xa.ensure_fresh();
+    compute(out_owned);
+  }
+  if (bias_) {
+    kernels::bias_forward(yt.buffer(), yt.interior_box(), rt.params[1].data());
+  }
+}
+
+void Conv2dLayer::backward(Model& model, int, LayerRt& rt) const {
+  auto& port = rt.inputs[0];
+  DistTensor<float>& xt = port.read->t;  // forward halos still valid
+  DistTensor<float>& dyt = rt.dy.t;
+  const auto p = conv_params();
+  const Tensor<float>& w = rt.params[0];
+  const Range2 out_owned = owned_range(dyt.owned_box());
+  const Origin2 xo = origin_of(xt), dyo = origin_of(dyt);
+  DC_REQUIRE(port.read->fresh || port.read->halo == nullptr,
+             "conv '", name(), "': input halos were invalidated before backward");
+
+  // Backward-data needs dL/dy halos; the exchange is hidden behind the
+  // filter-gradient kernel, which only reads the owned interior (§IV-A:
+  // "exploit the task-level parallelism of backward data and filter
+  // convolutions").
+  const bool exchange = rt.dy.halo != nullptr && !rt.dy.fresh;
+  const bool overlap = exchange && model.options().overlap_halo;
+  if (overlap) rt.dy.halo->start();
+  if (exchange && !overlap) rt.dy.ensure_fresh();
+
+  kernels::conv2d_backward_filter(xt.buffer(), xo, dyt.buffer(), dyo, rt.grads[0],
+                                  p, out_owned, /*accumulate=*/true);
+  if (bias_) {
+    kernels::bias_backward(dyt.buffer(), dyt.interior_box(), rt.grads[1].data(),
+                           /*accumulate=*/true);
+  }
+
+  if (overlap) {
+    rt.dy.halo->finish();
+    rt.dy.fresh = true;
+  }
+
+  const Range2 in_owned = owned_range(port.dx.owned_box());
+  kernels::conv2d_backward_data(dyt.buffer(), dyo, w, port.dx.buffer(),
+                                origin_of(port.dx), p, in_owned,
+                                rt.out_shape.h, rt.out_shape.w);
+}
+
+// ---------------------------------------------------------------------------
+// Pool2dLayer
+// ---------------------------------------------------------------------------
+
+Shape4 Pool2dLayer::infer_shape(const std::vector<Shape4>& in) const {
+  const auto p = pool_params();
+  return Shape4{in[0].n, in[0].c, p.out_h(in[0].h), p.out_w(in[0].w)};
+}
+
+void Pool2dLayer::init_scratch(Model& model, int, LayerRt& rt) const {
+  if (mode_ != kernels::PoolMode::kMax) return;
+  auto scratch = std::make_unique<PoolScratch>();
+  // argmax mirrors dL/dy: same distribution and transpose-stencil margins so
+  // it can be halo-exchanged alongside the error signal in backward.
+  scratch->argmax = std::make_unique<DistTensor<std::int64_t>>(
+      &model.comm(), rt.dy.t.dist(), rt.dy.t.margins_h(), rt.dy.t.margins_w());
+  if (!rt.dy.t.margins_h().all_zero() || !rt.dy.t.margins_w().all_zero()) {
+    scratch->argmax_halo =
+        std::make_unique<HaloExchange<std::int64_t>>(scratch->argmax.get());
+  }
+  rt.scratch = std::move(scratch);
+}
+
+void Pool2dLayer::forward(Model& model, int, LayerRt& rt) const {
+  ActTensor& xa = *rt.inputs[0].read;
+  DistTensor<float>& xt = xa.t;
+  DistTensor<float>& yt = rt.y.t;
+  const auto p = pool_params();
+  const Range2 out_owned = owned_range(yt.owned_box());
+  const Origin2 xo = origin_of(xt), yo = origin_of(yt);
+  const std::int64_t in_h = rt.in_shapes[0].h, in_w = rt.in_shapes[0].w;
+
+  auto* scratch = dynamic_cast<PoolScratch*>(rt.scratch.get());
+  Tensor<std::int64_t>* am = nullptr;
+  Origin2 amo{0, 0};
+  if (scratch != nullptr) {
+    am = &scratch->argmax->buffer();
+    amo = origin_of_t(*scratch->argmax);
+    scratch->argmax_fresh = false;
+  }
+  auto compute = [&](const Range2& r) {
+    kernels::pool2d_forward(xt.buffer(), xo, yt.buffer(), yo, am, amo, p, r, in_h,
+                            in_w);
+  };
+
+  if (xa.halo == nullptr || xa.fresh) {
+    compute(out_owned);
+  } else if (model.options().overlap_halo) {
+    xa.halo->start();
+    const Range2 interior =
+        interior_range(xt, p.kh, p.kw, p.sh, p.sw, p.ph, p.pw, out_owned);
+    compute(interior);
+    xa.halo->finish();
+    xa.fresh = true;
+    for (const Range2& b : boundary_ranges(out_owned, interior)) compute(b);
+  } else {
+    xa.ensure_fresh();
+    compute(out_owned);
+  }
+}
+
+void Pool2dLayer::backward(Model& model, int, LayerRt& rt) const {
+  (void)model;
+  auto& port = rt.inputs[0];
+  DistTensor<float>& dyt = rt.dy.t;
+  const auto p = pool_params();
+  auto* scratch = dynamic_cast<PoolScratch*>(rt.scratch.get());
+
+  // Refresh dy (and argmax) margins; the two exchanges run concurrently.
+  const bool want_dy = rt.dy.halo != nullptr && !rt.dy.fresh;
+  const bool want_am = scratch != nullptr && scratch->argmax_halo != nullptr &&
+                       !scratch->argmax_fresh;
+  if (want_dy) rt.dy.halo->start();
+  if (want_am) scratch->argmax_halo->start();
+  if (want_dy) {
+    rt.dy.halo->finish();
+    rt.dy.fresh = true;
+  }
+  if (want_am) {
+    scratch->argmax_halo->finish();
+    scratch->argmax_fresh = true;
+  }
+
+  const Range2 in_owned = owned_range(port.dx.owned_box());
+  const Tensor<std::int64_t>* am =
+      scratch != nullptr ? &scratch->argmax->buffer() : nullptr;
+  // argmax shares dy's distribution/margins, hence dy's origin.
+  kernels::pool2d_backward(dyt.buffer(), origin_of(dyt), am, port.dx.buffer(),
+                           origin_of(port.dx), p, in_owned, rt.out_shape.h,
+                           rt.out_shape.w, rt.in_shapes[0].w);
+}
+
+// ---------------------------------------------------------------------------
+// BatchNormLayer
+// ---------------------------------------------------------------------------
+
+void BatchNormLayer::init_params(LayerRt& rt, Rng&) const {
+  const std::int64_t C = rt.in_shapes[0].c;
+  Tensor<float> gamma(Shape4{1, C, 1, 1});
+  gamma.fill(1.0f);
+  rt.params.push_back(std::move(gamma));
+  rt.params.emplace_back(Shape4{1, C, 1, 1});  // beta = 0
+  rt.grads.emplace_back(Shape4{1, C, 1, 1});
+  rt.grads.emplace_back(Shape4{1, C, 1, 1});
+}
+
+void BatchNormLayer::init_scratch(Model&, int, LayerRt& rt) const {
+  rt.scratch = std::make_unique<BnScratch>();
+}
+
+namespace {
+
+/// Aggregate per-channel statistics according to the BN mode. `vals` holds
+/// 2·C doubles plus the element count in the final slot.
+void bn_aggregate(Model& model, int index, BatchNormMode mode,
+                  std::vector<double>& vals) {
+  switch (mode) {
+    case BatchNormMode::kLocal:
+      return;
+    case BatchNormMode::kSpatial:
+      comm::allreduce(model.spatial_comm(index), vals.data(), vals.size(),
+                      comm::ReduceOp::kSum);
+      return;
+    case BatchNormMode::kGlobal:
+      comm::allreduce(model.comm(), vals.data(), vals.size(),
+                      comm::ReduceOp::kSum);
+      return;
+  }
+}
+
+}  // namespace
+
+void BatchNormLayer::forward(Model& model, int index, LayerRt& rt) const {
+  DistTensor<float>& xt = rt.inputs[0].read->t;
+  DistTensor<float>& yt = rt.y.t;
+  const std::int64_t C = rt.in_shapes[0].c;
+  const Box4 xib = xt.interior_box();
+  const Box4 yib = yt.interior_box();
+
+  std::vector<double> vals(2 * C + 1, 0.0);
+  kernels::bn_partial_sums(xt.buffer(), xib, vals.data(), vals.data() + C);
+  vals[2 * C] =
+      double(xib.ext[0]) * xib.ext[2] * xib.ext[3];  // per-channel count
+  bn_aggregate(model, index, mode_, vals);
+
+  auto* scratch = dynamic_cast<BnScratch*>(rt.scratch.get());
+  scratch->mean.assign(C, 0.0f);
+  scratch->invstd.assign(C, 0.0f);
+  const double count = vals[2 * C];
+  if (count > 0) {
+    for (std::int64_t c = 0; c < C; ++c) {
+      const double m = vals[c] / count;
+      const double var = std::max(0.0, vals[C + c] / count - m * m);
+      scratch->mean[c] = static_cast<float>(m);
+      scratch->invstd[c] =
+          static_cast<float>(1.0 / std::sqrt(var + model.options().bn_epsilon));
+    }
+  }
+  kernels::bn_forward_apply(xt.buffer(), xib, yt.buffer(), yib,
+                            scratch->mean.data(), scratch->invstd.data(),
+                            rt.params[0].data(), rt.params[1].data());
+}
+
+void BatchNormLayer::backward(Model& model, int index, LayerRt& rt) const {
+  auto& port = rt.inputs[0];
+  DistTensor<float>& xt = port.read->t;
+  DistTensor<float>& dyt = rt.dy.t;
+  const std::int64_t C = rt.in_shapes[0].c;
+  const Box4 xib = xt.interior_box();
+  const Box4 dyib = dyt.interior_box();
+  auto* scratch = dynamic_cast<BnScratch*>(rt.scratch.get());
+
+  std::vector<double> vals(2 * C + 1, 0.0);
+  kernels::bn_backward_reduce(xt.buffer(), xib, dyt.buffer(), dyib,
+                              scratch->mean.data(), scratch->invstd.data(),
+                              vals.data(), vals.data() + C);
+  // Local sums feed the parameter gradients (the cross-rank sum happens in
+  // the engine's gradient allreduce; accumulation supports micro-batching).
+  for (std::int64_t c = 0; c < C; ++c) {
+    rt.grads[0].data()[c] += static_cast<float>(vals[C + c]);  // dgamma
+    rt.grads[1].data()[c] += static_cast<float>(vals[c]);      // dbeta
+  }
+
+  vals[2 * C] = double(xib.ext[0]) * xib.ext[2] * xib.ext[3];
+  bn_aggregate(model, index, mode_, vals);
+  const double count = vals[2 * C];
+  if (count > 0) {
+    kernels::bn_backward_apply(xt.buffer(), xib, dyt.buffer(), dyib,
+                               port.dx.buffer(), port.dx.interior_box(),
+                               scratch->mean.data(), scratch->invstd.data(),
+                               rt.params[0].data(), vals.data(), vals.data() + C,
+                               count);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ReluLayer / AddLayer
+// ---------------------------------------------------------------------------
+
+void ReluLayer::forward(Model&, int, LayerRt& rt) const {
+  DistTensor<float>& xt = rt.inputs[0].read->t;
+  DistTensor<float>& yt = rt.y.t;
+  kernels::relu_forward(xt.buffer(), xt.interior_box(), yt.buffer(),
+                        yt.interior_box());
+}
+
+void ReluLayer::backward(Model&, int, LayerRt& rt) const {
+  auto& port = rt.inputs[0];
+  DistTensor<float>& xt = port.read->t;
+  DistTensor<float>& dyt = rt.dy.t;
+  kernels::relu_backward(xt.buffer(), xt.interior_box(), dyt.buffer(),
+                         dyt.interior_box(), port.dx.buffer(),
+                         port.dx.interior_box());
+}
+
+Shape4 AddLayer::infer_shape(const std::vector<Shape4>& in) const {
+  DC_REQUIRE(in[0] == in[1], "add '", name(), "': parent shapes differ: ",
+             in[0].str(), " vs ", in[1].str());
+  return in[0];
+}
+
+void AddLayer::forward(Model&, int, LayerRt& rt) const {
+  DistTensor<float>& a = rt.inputs[0].read->t;
+  DistTensor<float>& b = rt.inputs[1].read->t;
+  DistTensor<float>& yt = rt.y.t;
+  kernels::copy_region(a.buffer(), a.interior_box(), yt.buffer(),
+                       yt.interior_box());
+  kernels::add_inplace(yt.buffer(), yt.interior_box(), b.buffer(),
+                       b.interior_box());
+}
+
+void AddLayer::backward(Model&, int, LayerRt& rt) const {
+  DistTensor<float>& dyt = rt.dy.t;
+  for (auto& port : rt.inputs) {
+    kernels::copy_region(dyt.buffer(), dyt.interior_box(), port.dx.buffer(),
+                         port.dx.interior_box());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GlobalAvgPoolLayer
+// ---------------------------------------------------------------------------
+
+void GlobalAvgPoolLayer::forward(Model& model, int index, LayerRt& rt) const {
+  DistTensor<float>& xt = rt.inputs[0].read->t;
+  DistTensor<float>& yt = rt.y.t;
+  const Box4 ib = xt.interior_box();
+  const std::int64_t n_loc = ib.ext[0], C = ib.ext[1];
+  std::vector<double> sums(static_cast<std::size_t>(n_loc) * C, 0.0);
+  for (std::int64_t n = 0; n < n_loc; ++n) {
+    for (std::int64_t c = 0; c < C; ++c) {
+      double s = 0;
+      for (std::int64_t h = 0; h < ib.ext[2]; ++h) {
+        for (std::int64_t w = 0; w < ib.ext[3]; ++w) {
+          s += xt.buffer()(n, c, ib.off[2] + h, ib.off[3] + w);
+        }
+      }
+      sums[n * C + c] = s;
+    }
+  }
+  comm::allreduce(model.spatial_comm(index), sums.data(), sums.size(),
+                  comm::ReduceOp::kSum);
+  const double scale = 1.0 / (double(rt.in_shapes[0].h) * rt.in_shapes[0].w);
+  if (yt.local_shape().h > 0 && yt.local_shape().w > 0) {
+    for (std::int64_t n = 0; n < n_loc; ++n) {
+      for (std::int64_t c = 0; c < C; ++c) {
+        yt.at_owned(n, c, 0, 0) = static_cast<float>(sums[n * C + c] * scale);
+      }
+    }
+  }
+}
+
+void GlobalAvgPoolLayer::backward(Model& model, int index, LayerRt& rt) const {
+  auto& port = rt.inputs[0];
+  DistTensor<float>& dyt = rt.dy.t;
+  const Box4 ib = port.dx.interior_box();
+  const std::int64_t n_loc = ib.ext[0], C = ib.ext[1];
+  std::vector<double> vals(static_cast<std::size_t>(n_loc) * C, 0.0);
+  if (dyt.local_shape().h > 0 && dyt.local_shape().w > 0) {
+    for (std::int64_t n = 0; n < n_loc; ++n) {
+      for (std::int64_t c = 0; c < C; ++c) {
+        vals[n * C + c] = dyt.at_owned(n, c, 0, 0);
+      }
+    }
+  }
+  comm::allreduce(model.spatial_comm(index), vals.data(), vals.size(),
+                  comm::ReduceOp::kSum);
+  const double scale = 1.0 / (double(rt.in_shapes[0].h) * rt.in_shapes[0].w);
+  for (std::int64_t n = 0; n < n_loc; ++n) {
+    for (std::int64_t c = 0; c < C; ++c) {
+      const float g = static_cast<float>(vals[n * C + c] * scale);
+      for (std::int64_t h = 0; h < ib.ext[2]; ++h) {
+        for (std::int64_t w = 0; w < ib.ext[3]; ++w) {
+          port.dx.buffer()(n, c, ib.off[2] + h, ib.off[3] + w) = g;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FullyConnectedLayer
+// ---------------------------------------------------------------------------
+
+void FullyConnectedLayer::init_params(LayerRt& rt, Rng& rng) const {
+  const std::int64_t D =
+      rt.in_shapes[0].c * rt.in_shapes[0].h * rt.in_shapes[0].w;
+  Tensor<float> w(Shape4{out_, D, 1, 1});
+  const float stddev = std::sqrt(2.0f / float(D));
+  w.fill_normal(rng, 0.0f, stddev);
+  rt.params.push_back(std::move(w));
+  rt.grads.emplace_back(Shape4{out_, D, 1, 1});
+  if (bias_) {
+    rt.params.emplace_back(Shape4{1, out_, 1, 1});
+    rt.grads.emplace_back(Shape4{1, out_, 1, 1});
+  }
+}
+
+void FullyConnectedLayer::forward(Model& model, int, LayerRt& rt) const {
+  (void)model;
+  DC_REQUIRE(rt.grid.h == 1 && rt.grid.w == 1,
+             "FC layer '", name(), "' requires a spatially-trivial grid; use a "
+             "sample-parallel strategy entry (the engine shuffles inputs "
+             "automatically)");
+  DistTensor<float>& xt = rt.inputs[0].read->t;
+  DistTensor<float>& yt = rt.y.t;
+  const std::int64_t n_loc = xt.local_shape().n;
+  const std::int64_t D =
+      rt.in_shapes[0].c * rt.in_shapes[0].h * rt.in_shapes[0].w;
+  if (rt.scratch == nullptr) rt.scratch = std::make_unique<FcScratch>();
+  auto* scratch = dynamic_cast<FcScratch*>(rt.scratch.get());
+  scratch->x_flat.resize(static_cast<std::size_t>(n_loc) * D);
+  scratch->y_flat.assign(static_cast<std::size_t>(n_loc) * out_, 0.0f);
+  pack_box(xt.buffer(), xt.interior_box(), scratch->x_flat.data());
+  // y (n_loc × F) = x (n_loc × D) · Wᵀ (D × F)
+  kernels::sgemm(false, true, n_loc, out_, D, 1.0f, scratch->x_flat.data(), D,
+                 rt.params[0].data(), D, 0.0f, scratch->y_flat.data(), out_);
+  if (bias_) {
+    for (std::int64_t n = 0; n < n_loc; ++n) {
+      for (int f = 0; f < out_; ++f) {
+        scratch->y_flat[n * out_ + f] += rt.params[1].data()[f];
+      }
+    }
+  }
+  unpack_box(scratch->y_flat.data(), yt.interior_box(), yt.buffer());
+}
+
+void FullyConnectedLayer::backward(Model&, int, LayerRt& rt) const {
+  auto& port = rt.inputs[0];
+  DistTensor<float>& dyt = rt.dy.t;
+  const std::int64_t n_loc = dyt.local_shape().n;
+  const std::int64_t D =
+      rt.in_shapes[0].c * rt.in_shapes[0].h * rt.in_shapes[0].w;
+  auto* scratch = dynamic_cast<FcScratch*>(rt.scratch.get());
+  DC_REQUIRE(scratch != nullptr, "FC backward before forward");
+  scratch->dy_flat.resize(static_cast<std::size_t>(n_loc) * out_);
+  scratch->dx_flat.assign(static_cast<std::size_t>(n_loc) * D, 0.0f);
+  pack_box(dyt.buffer(), dyt.interior_box(), scratch->dy_flat.data());
+  // dW (F × D) += dyᵀ (F × n_loc) · x (n_loc × D)
+  kernels::sgemm(true, false, out_, D, n_loc, 1.0f, scratch->dy_flat.data(), out_,
+                 scratch->x_flat.data(), D, 1.0f, rt.grads[0].data(), D);
+  if (bias_) {
+    for (std::int64_t n = 0; n < n_loc; ++n) {
+      for (int f = 0; f < out_; ++f) {
+        rt.grads[1].data()[f] += scratch->dy_flat[n * out_ + f];
+      }
+    }
+  }
+  // dx (n_loc × D) = dy (n_loc × F) · W (F × D)
+  kernels::sgemm(false, false, n_loc, D, out_, 1.0f, scratch->dy_flat.data(), out_,
+                 rt.params[0].data(), D, 0.0f, scratch->dx_flat.data(), D);
+  unpack_box(scratch->dx_flat.data(), port.dx.interior_box(), port.dx.buffer());
+}
+
+}  // namespace distconv::core

@@ -1,0 +1,68 @@
+#include "core/metrics.hpp"
+
+#include "comm/collectives.hpp"
+
+namespace distconv::core {
+
+SegmentationMetrics evaluate_segmentation(Model& model, int layer,
+                                          const Tensor<float>& global_targets) {
+  auto& rt = model.rt(layer);
+  DC_REQUIRE(global_targets.shape() == rt.out_shape, "target shape mismatch");
+  const Box4 ib = rt.y.t.interior_box();
+  const Box4 ob = rt.y.t.owned_box();
+
+  // counts: [correct, intersection, union, predicted-positive, total]
+  double counts[5] = {0, 0, 0, 0, 0};
+  for (std::int64_t n = 0; n < ib.ext[0]; ++n) {
+    for (std::int64_t c = 0; c < ib.ext[1]; ++c) {
+      for (std::int64_t h = 0; h < ib.ext[2]; ++h) {
+        for (std::int64_t w = 0; w < ib.ext[3]; ++w) {
+          const bool pred = rt.y.t.buffer()(n, c, ib.off[2] + h, ib.off[3] + w) >
+                            0.0f;
+          const bool truth = global_targets(ob.off[0] + n, ob.off[1] + c,
+                                            ob.off[2] + h, ob.off[3] + w) > 0.5f;
+          counts[0] += (pred == truth);
+          counts[1] += (pred && truth);
+          counts[2] += (pred || truth);
+          counts[3] += pred;
+          counts[4] += 1;
+        }
+      }
+    }
+  }
+  comm::allreduce(model.comm(), counts, 5, comm::ReduceOp::kSum);
+
+  SegmentationMetrics m;
+  m.pixels = static_cast<std::int64_t>(counts[4]);
+  if (counts[4] > 0) {
+    m.pixel_accuracy = counts[0] / counts[4];
+    m.positive_rate = counts[3] / counts[4];
+    m.iou = counts[2] > 0 ? counts[1] / counts[2] : 1.0;
+  }
+  return m;
+}
+
+double evaluate_top1(Model& model, int layer, const std::vector<int>& labels) {
+  auto& rt = model.rt(layer);
+  DC_REQUIRE(rt.out_shape.h == 1 && rt.out_shape.w == 1 && rt.grid.h == 1 &&
+                 rt.grid.w == 1,
+             "top-1 expects a sample-parallel (N, classes, 1, 1) layer");
+  DC_REQUIRE(static_cast<std::int64_t>(labels.size()) == rt.out_shape.n,
+             "label count mismatch");
+  const std::int64_t n_loc = rt.y.t.local_shape().n;
+  const std::int64_t ns = rt.y.t.owned_start(0);
+  const std::int64_t cls = rt.out_shape.c;
+  double counts[2] = {0, 0};  // [correct, total]
+  for (std::int64_t k = 0; k < n_loc; ++k) {
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < cls; ++c) {
+      if (rt.y.t.at_owned(k, c, 0, 0) > rt.y.t.at_owned(k, best, 0, 0)) best = c;
+    }
+    counts[0] += (best == labels[ns + k]);
+    counts[1] += 1;
+  }
+  comm::allreduce(model.comm(), counts, 2, comm::ReduceOp::kSum);
+  return counts[1] > 0 ? counts[0] / counts[1] : 0.0;
+}
+
+}  // namespace distconv::core

@@ -1,0 +1,28 @@
+// Distributed evaluation metrics: each rank scores its owned shard of the
+// output and the counts are combined with an allreduce, so metrics work
+// under any parallel execution strategy (no rank ever needs the full output).
+#pragma once
+
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace distconv::core {
+
+struct SegmentationMetrics {
+  double pixel_accuracy = 0;  ///< correct / total
+  double iou = 0;             ///< intersection-over-union of the positive class
+  double positive_rate = 0;   ///< predicted-positive fraction
+  std::int64_t pixels = 0;
+};
+
+/// Binary segmentation metrics of `layer`'s output logits (threshold 0) vs.
+/// replicated {0,1} targets. Collective; requires a prior forward().
+SegmentationMetrics evaluate_segmentation(Model& model, int layer,
+                                          const Tensor<float>& global_targets);
+
+/// Top-1 accuracy of a (N, classes, 1, 1) sample-parallel output layer.
+/// Collective; requires a prior forward().
+double evaluate_top1(Model& model, int layer, const std::vector<int>& labels);
+
+}  // namespace distconv::core

@@ -1,0 +1,321 @@
+#include "core/model.hpp"
+
+#include "core/layers.hpp"
+#include "kernels/activations.hpp"
+#include "support/logging.hpp"
+
+namespace distconv::core {
+
+Model::Model(const NetworkSpec& spec, comm::Comm& comm, const Strategy& strategy,
+             std::uint64_t seed, ModelOptions opts)
+    : spec_(&spec), comm_(&comm), strategy_(strategy), opts_(opts) {
+  DC_REQUIRE(static_cast<int>(strategy_.grids.size()) == spec.size(),
+             "strategy has ", strategy_.grids.size(), " grids for ", spec.size(),
+             " layers");
+  for (int i = 0; i < spec.size(); ++i) {
+    const auto& g = strategy_.grids[i];
+    DC_REQUIRE(g.size() == comm.size(), "layer ", i, " grid ", g.str(),
+               " does not span the communicator (", comm.size(), " ranks)");
+    DC_REQUIRE(g.c == 1, "channel/filter parallelism is not implemented in the "
+               "execution engine (modelled only; see DESIGN.md)");
+  }
+
+  const auto shapes = spec.infer_shapes();
+  build_tensors(shapes);
+
+  // Parameters: deterministic per-layer streams so replicas agree bitwise.
+  for (int i = 0; i < spec.size(); ++i) {
+    Rng rng(seed, 1000 + static_cast<std::uint64_t>(i));
+    spec.layer(i).init_params(rts_[i], rng);
+    for (const auto& p : rts_[i].params) {
+      DC_CHECK(p.size() > 0);
+    }
+  }
+
+  // Spatial-group communicators for layers that aggregate across the spatial
+  // decomposition. Creation is collective and happens in layer order on
+  // every rank.
+  spatial_comms_.resize(spec.size());
+  for (int i = 0; i < spec.size(); ++i) {
+    const Layer& l = spec.layer(i);
+    const auto* bn = dynamic_cast<const BatchNormLayer*>(&l);
+    const bool needs = (bn != nullptr && bn->mode() == BatchNormMode::kSpatial) ||
+                       dynamic_cast<const GlobalAvgPoolLayer*>(&l) != nullptr;
+    if (needs) {
+      const auto coord = strategy_.grids[i].coord_of(comm.rank());
+      const int color = coord.n * strategy_.grids[i].c + coord.c;
+      spatial_comms_[i].emplace(comm.split(color, comm.rank()));
+    }
+  }
+
+  for (int i = 0; i < spec.size(); ++i) {
+    spec.layer(i).init_scratch(*this, i, rts_[i]);
+  }
+}
+
+void Model::build_tensors(const std::vector<Shape4>& shapes) {
+  const NetworkSpec& spec = *spec_;
+  const auto children = spec.children();
+  rts_.resize(spec.size());
+
+  for (int i = 0; i < spec.size(); ++i) {
+    auto& rt = rts_[i];
+    rt.grid = strategy_.grids[i];
+    rt.out_shape = shapes[i];
+    for (int p : spec.layer(i).parents()) rt.in_shapes.push_back(shapes[p]);
+  }
+
+  for (int i = 0; i < spec.size(); ++i) {
+    auto& rt = rts_[i];
+    const Distribution out_dist = Distribution::make(rt.out_shape, rt.grid);
+
+    // Margins on y: union of same-grid stencil consumers' needs.
+    MarginTable ymh(rt.grid.h), ymw(rt.grid.w);
+    for (int j : children[i]) {
+      const Layer& child = spec.layer(j);
+      if (!child.has_stencil()) continue;
+      if (!(strategy_.grids[j] == rt.grid)) continue;  // staged edge instead
+      const StencilSpec st = child.stencil();
+      ymh.merge_max(forward_stencil_margins(
+          out_dist.h, DimPartition(shapes[j].h, rt.grid.h), st));
+      ymw.merge_max(forward_stencil_margins(
+          out_dist.w, DimPartition(shapes[j].w, rt.grid.w), st));
+    }
+    rt.y.t = DistTensor<float>(comm_, out_dist, ymh, ymw);
+    rt.y.init_halo();
+
+    // Margins on dy: this layer's transpose stencil.
+    MarginTable dmh(rt.grid.h), dmw(rt.grid.w);
+    if (spec.layer(i).has_stencil()) {
+      const StencilSpec st = spec.layer(i).stencil();
+      dmh = transpose_stencil_margins(DimPartition(rt.in_shapes[0].h, rt.grid.h),
+                                      out_dist.h, st);
+      dmw = transpose_stencil_margins(DimPartition(rt.in_shapes[0].w, rt.grid.w),
+                                      out_dist.w, st);
+    }
+    rt.dy.t = DistTensor<float>(comm_, out_dist, dmh, dmw);
+    rt.dy.init_halo();
+
+    // Input ports.
+    const auto& parents = spec.layer(i).parents();
+    rt.inputs.resize(parents.size());
+    for (std::size_t k = 0; k < parents.size(); ++k) {
+      auto& port = rt.inputs[k];
+      port.parent = parents[k];
+      const Shape4& in_shape = shapes[port.parent];
+      const Distribution in_dist_mine = Distribution::make(in_shape, rt.grid);
+      const ProcessGrid& pgrid = strategy_.grids[port.parent];
+      if (pgrid == rt.grid) {
+        port.read = &rts_[port.parent].y;
+      } else {
+        MarginTable smh(rt.grid.h), smw(rt.grid.w);
+        if (spec.layer(i).has_stencil()) {
+          const StencilSpec st = spec.layer(i).stencil();
+          smh = forward_stencil_margins(in_dist_mine.h, out_dist.h, st);
+          smw = forward_stencil_margins(in_dist_mine.w, out_dist.w, st);
+        }
+        port.staging = std::make_unique<ActTensor>();
+        port.staging->t = DistTensor<float>(comm_, in_dist_mine, smh, smw);
+        port.staging->init_halo();
+        const Distribution in_dist_parent = Distribution::make(in_shape, pgrid);
+        port.fwd_shuffle =
+            std::make_unique<Shuffler<float>>(in_dist_parent, in_dist_mine, *comm_);
+        port.bwd_staging =
+            std::make_unique<DistTensor<float>>(comm_, in_dist_parent);
+        port.bwd_shuffle =
+            std::make_unique<Shuffler<float>>(in_dist_mine, in_dist_parent, *comm_);
+        port.read = port.staging.get();
+      }
+      port.dx = DistTensor<float>(comm_, in_dist_mine);
+    }
+  }
+}
+
+comm::Comm& Model::spatial_comm(int layer) {
+  DC_REQUIRE(layer >= 0 && layer < num_layers(), "bad layer index ", layer);
+  DC_REQUIRE(spatial_comms_[layer].has_value(),
+             "layer ", layer, " has no spatial communicator");
+  return *spatial_comms_[layer];
+}
+
+void Model::set_input(int layer, const Tensor<float>& global) {
+  auto& rt = rts_[layer];
+  DC_REQUIRE(dynamic_cast<const InputLayer*>(&spec_->layer(layer)) != nullptr,
+             "layer ", layer, " is not an input layer");
+  DC_REQUIRE(global.shape() == rt.out_shape, "input shape ", global.shape().str(),
+             " does not match declared ", rt.out_shape.str());
+  copy_box(global, rt.y.t.owned_box(), rt.y.t.buffer(), rt.y.t.interior_box());
+  rt.y.mark_stale();
+}
+
+void Model::forward() {
+  for (int i = 0; i < num_layers(); ++i) {
+    auto& rt = rts_[i];
+    for (auto& port : rt.inputs) {
+      if (port.fwd_shuffle != nullptr) {
+        port.fwd_shuffle->run(rts_[port.parent].y.t, port.staging->t);
+        port.staging->mark_stale();
+      }
+    }
+    spec_->layer(i).forward(*this, i, rt);
+    rt.y.mark_stale();
+  }
+  loss_seeded_ = false;
+}
+
+double Model::loss_bce(const Tensor<float>& global_targets,
+                       std::int64_t grad_scale_count) {
+  auto& rt = rts_[output_layer()];
+  DC_REQUIRE(global_targets.shape() == rt.out_shape, "target shape ",
+             global_targets.shape().str(), " != output shape ",
+             rt.out_shape.str());
+  for (auto& r : rts_) {
+    r.dy.t.zero();
+    r.dy.mark_stale();
+  }
+  const Box4 ib = rt.y.t.interior_box();
+  const Box4 ob = rt.y.t.owned_box();
+  double loss = kernels::sigmoid_bce_forward(rt.y.t.buffer(), ib, global_targets,
+                                             ob);
+  comm::allreduce(*comm_, &loss, 1, comm::ReduceOp::kSum);
+  const double total = static_cast<double>(rt.out_shape.size());
+  const double grad_total =
+      grad_scale_count > 0 ? static_cast<double>(grad_scale_count) : total;
+  kernels::sigmoid_bce_backward(rt.y.t.buffer(), ib, global_targets, ob,
+                                rt.dy.t.buffer(), rt.dy.t.interior_box(),
+                                static_cast<float>(1.0 / grad_total));
+  loss_seeded_ = true;
+  return loss / total;
+}
+
+double Model::loss_softmax(const std::vector<int>& labels,
+                           std::int64_t grad_scale_count) {
+  auto& rt = rts_[output_layer()];
+  DC_REQUIRE(rt.out_shape.h == 1 && rt.out_shape.w == 1,
+             "softmax head expects (N, classes, 1, 1) output, got ",
+             rt.out_shape.str());
+  DC_REQUIRE(rt.grid.h == 1 && rt.grid.w == 1,
+             "softmax head requires a sample-parallel grid for the last layer");
+  DC_REQUIRE(static_cast<std::int64_t>(labels.size()) == rt.out_shape.n,
+             "label count mismatch");
+  for (auto& r : rts_) {
+    r.dy.t.zero();
+    r.dy.mark_stale();
+  }
+
+  const std::int64_t n_loc = rt.y.t.local_shape().n;
+  const std::int64_t ns = rt.y.t.owned_start(0);
+  const std::int64_t cls = rt.out_shape.c;
+  double loss = 0.0;
+  if (n_loc > 0) {
+    Tensor<float> logits(Shape4{n_loc, cls, 1, 1});
+    pack_box(rt.y.t.buffer(), rt.y.t.interior_box(), logits.data());
+    std::vector<int> local_labels(labels.begin() + ns,
+                                  labels.begin() + ns + n_loc);
+    Tensor<float> probs(logits.shape());
+    loss = kernels::softmax_xent_forward(logits, local_labels, probs);
+    const double grad_total = grad_scale_count > 0
+                                  ? static_cast<double>(grad_scale_count)
+                                  : static_cast<double>(rt.out_shape.n);
+    Tensor<float> dlogits(logits.shape());
+    kernels::softmax_xent_backward(probs, local_labels, dlogits,
+                                   static_cast<float>(1.0 / grad_total));
+    unpack_box(dlogits.data(), rt.dy.t.interior_box(), rt.dy.t.buffer());
+  }
+  comm::allreduce(*comm_, &loss, 1, comm::ReduceOp::kSum);
+  loss_seeded_ = true;
+  return loss / static_cast<double>(rt.out_shape.n);
+}
+
+void Model::accumulate_into_parent_dy(LayerRt& rt) {
+  for (auto& port : rt.inputs) {
+    auto& pdy = rts_[port.parent].dy;
+    if (port.bwd_shuffle != nullptr) {
+      port.bwd_shuffle->run(port.dx, *port.bwd_staging);
+      kernels::add_inplace(pdy.t.buffer(), pdy.t.interior_box(),
+                           port.bwd_staging->buffer(),
+                           port.bwd_staging->interior_box());
+    } else {
+      kernels::add_inplace(pdy.t.buffer(), pdy.t.interior_box(),
+                           port.dx.buffer(), port.dx.interior_box());
+    }
+    pdy.mark_stale();
+  }
+}
+
+void Model::zero_gradients() {
+  for (auto& rt : rts_) {
+    for (auto& g : rt.grads) g.zero();
+  }
+}
+
+void Model::allreduce_gradients() {
+  // Complete dL/dw: allreduce over every rank (weights are replicated on
+  // all of them — the BPa_ℓ term of the performance model). Reverse layer
+  // order matches the backprop schedule the model overlaps against.
+  for (int i = num_layers() - 1; i >= 0; --i) {
+    for (auto& g : rts_[i].grads) {
+      comm::allreduce(*comm_, g.data(), static_cast<std::size_t>(g.size()),
+                      comm::ReduceOp::kSum);
+    }
+  }
+}
+
+void Model::backward(bool accumulate) {
+  DC_REQUIRE(loss_seeded_, "backward() requires a prior loss_*() call");
+  if (!accumulate) zero_gradients();
+  for (int i = num_layers() - 1; i >= 0; --i) {
+    auto& rt = rts_[i];
+    const Layer& layer = spec_->layer(i);
+    if (layer.parents().empty()) continue;
+    layer.backward(*this, i, rt);
+    accumulate_into_parent_dy(rt);
+  }
+  if (!accumulate) allreduce_gradients();
+  loss_seeded_ = false;
+}
+
+void Model::sgd_step(const kernels::SgdConfig& cfg) {
+  for (auto& rt : rts_) {
+    if (rt.params.empty()) continue;
+    if (cfg.momentum != 0.0f && rt.velocity.size() != rt.params.size()) {
+      rt.velocity.clear();
+      for (const auto& p : rt.params) rt.velocity.emplace_back(p.shape());
+    }
+    for (std::size_t k = 0; k < rt.params.size(); ++k) {
+      float* vel = cfg.momentum != 0.0f ? rt.velocity[k].data() : nullptr;
+      kernels::sgd_update(rt.params[k].data(), rt.grads[k].data(), vel,
+                          static_cast<std::size_t>(rt.params[k].size()), cfg);
+    }
+  }
+}
+
+Tensor<float> Model::gather_output(int layer) {
+  return gather_to_all(rts_[layer].y.t);
+}
+
+std::int64_t Model::num_parameters() const {
+  std::int64_t n = 0;
+  for (const auto& rt : rts_) {
+    for (const auto& p : rt.params) n += p.size();
+  }
+  return n;
+}
+
+std::int64_t Model::activation_bytes() const {
+  std::int64_t bytes = 0;
+  for (const auto& rt : rts_) {
+    bytes += rt.y.t.buffer().size() * static_cast<std::int64_t>(sizeof(float));
+    bytes += rt.dy.t.buffer().size() * static_cast<std::int64_t>(sizeof(float));
+    for (const auto& port : rt.inputs) {
+      bytes += port.dx.buffer().size() * static_cast<std::int64_t>(sizeof(float));
+      if (port.staging != nullptr) {
+        bytes += port.staging->t.buffer().size() *
+                 static_cast<std::int64_t>(sizeof(float));
+      }
+    }
+  }
+  return bytes;
+}
+
+}  // namespace distconv::core

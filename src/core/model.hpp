@@ -1,0 +1,103 @@
+// Model: the per-rank instantiation of a NetworkSpec under a parallel
+// execution strategy — the training engine (the LBANN-substrate stand-in).
+//
+// Construction wires the whole distributed dataflow once:
+//   * every layer gets its grid from the strategy (all grids span the full
+//     communicator, as in the paper's experiments);
+//   * activation tensors get margins merged over their same-grid stencil
+//     consumers; error tensors get the layer's transpose-stencil margins;
+//   * edges whose endpoint grids differ get Shufflers (§III-C);
+//   * parameters are replicated and deterministically initialized, so they
+//     stay bitwise identical across ranks after every allreduced update.
+//
+// forward()/loss_*()/backward()/sgd_step() then run SPMD on each rank.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/spec.hpp"
+#include "core/strategy.hpp"
+#include "kernels/losses.hpp"
+#include "kernels/sgd.hpp"
+
+namespace distconv::core {
+
+class Model {
+ public:
+  Model(const NetworkSpec& spec, comm::Comm& comm, const Strategy& strategy,
+        std::uint64_t seed = 1, ModelOptions opts = {});
+
+  int num_layers() const { return spec_->size(); }
+  LayerRt& rt(int i) { return rts_[i]; }
+  const LayerRt& rt(int i) const { return rts_[i]; }
+  comm::Comm& comm() { return *comm_; }
+  const ModelOptions& options() const { return opts_; }
+  const NetworkSpec& spec() const { return *spec_; }
+  int output_layer() const { return num_layers() - 1; }
+
+  /// Spatial-group communicator of a layer's grid (ranks sharing the same
+  /// (n, c) grid coordinates); created only for layers that aggregate across
+  /// the spatial decomposition (BN kSpatial, global average pooling).
+  comm::Comm& spatial_comm(int layer);
+
+  /// Copy the owned box of a replicated global tensor into an input layer.
+  void set_input(int layer, const Tensor<float>& global);
+
+  /// Run forward propagation over the whole DAG.
+  void forward();
+
+  /// Mean sigmoid-BCE loss of the last layer vs. replicated global targets;
+  /// seeds the backward error signal. Collective. `grad_scale_count`
+  /// overrides the denominator of the seeded gradient (used by micro-batched
+  /// training, where the mean is over the full mini-batch rather than this
+  /// micro-batch); 0 means "this batch's element count".
+  double loss_bce(const Tensor<float>& global_targets,
+                  std::int64_t grad_scale_count = 0);
+
+  /// Mean softmax cross-entropy of the last layer (shape (N, classes, 1, 1),
+  /// sample-parallel grid required) vs. integer labels. Seeds backward.
+  double loss_softmax(const std::vector<int>& labels,
+                      std::int64_t grad_scale_count = 0);
+
+  /// Zero all parameter gradients (start of a gradient-accumulation span).
+  void zero_gradients();
+
+  /// Run backpropagation (requires a prior loss_* call). By default the
+  /// gradients are zeroed first and completed with an allreduce (one full
+  /// step). With accumulate=true, gradients add onto the existing buffers
+  /// and the allreduce is deferred — call allreduce_gradients() after the
+  /// last micro-batch (§VII micro-batching: "mini-batches are split into
+  /// micro-batches and updates accumulated").
+  void backward(bool accumulate = false);
+
+  /// Complete deferred gradient sums across all ranks.
+  void allreduce_gradients();
+
+  /// Apply SGD on every parameter (replicated update).
+  void sgd_step(const kernels::SgdConfig& cfg);
+
+  /// Gather a layer's output activations into a full global tensor on every
+  /// rank (test/debug utility; collective).
+  Tensor<float> gather_output(int layer);
+
+  std::int64_t num_parameters() const;
+
+  /// Total bytes this rank allocated for activations/errors (memory model
+  /// validation).
+  std::int64_t activation_bytes() const;
+
+ private:
+  void build_tensors(const std::vector<Shape4>& shapes);
+  void accumulate_into_parent_dy(LayerRt& rt);
+
+  const NetworkSpec* spec_;
+  comm::Comm* comm_;
+  Strategy strategy_;
+  ModelOptions opts_;
+  std::vector<LayerRt> rts_;
+  std::vector<std::optional<comm::Comm>> spatial_comms_;  // per layer
+  bool loss_seeded_ = false;
+};
+
+}  // namespace distconv::core

@@ -1,0 +1,51 @@
+#include "core/strategy.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace distconv::core {
+
+Strategy Strategy::uniform(int num_layers, const ProcessGrid& grid) {
+  DC_REQUIRE(num_layers >= 1, "network must have at least one layer");
+  Strategy s;
+  s.grids.assign(num_layers, grid);
+  return s;
+}
+
+Strategy Strategy::sample_parallel(int num_layers, int p) {
+  return uniform(num_layers, ProcessGrid{p, 1, 1, 1});
+}
+
+std::pair<int, int> Strategy::spatial_factors(int gpus_per_sample) {
+  DC_REQUIRE(gpus_per_sample >= 1, "need at least one GPU per sample");
+  // Largest factor pair (ph, pw) with ph ≥ pw and ph·pw = gpus_per_sample,
+  // as close to square as possible.
+  int best_h = gpus_per_sample, best_w = 1;
+  for (int w = 1; w * w <= gpus_per_sample; ++w) {
+    if (gpus_per_sample % w == 0) {
+      best_w = w;
+      best_h = gpus_per_sample / w;
+    }
+  }
+  return {best_h, best_w};
+}
+
+Strategy Strategy::hybrid(int num_layers, int p, int gpus_per_sample) {
+  DC_REQUIRE(gpus_per_sample >= 1 && p % gpus_per_sample == 0,
+             "ranks (", p, ") must be a multiple of GPUs per sample (",
+             gpus_per_sample, ")");
+  const auto [ph, pw] = spatial_factors(gpus_per_sample);
+  return uniform(num_layers, ProcessGrid{p / gpus_per_sample, 1, ph, pw});
+}
+
+std::string Strategy::str() const {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < grids.size(); ++i) {
+    if (i > 0) oss << " | ";
+    oss << i << ":" << grids[i].str();
+  }
+  return oss.str();
+}
+
+}  // namespace distconv::core

@@ -1,0 +1,42 @@
+// Parallel execution strategies (§V-C): an assignment of a process grid —
+// i.e. a distribution — to every layer of a network.
+//
+// The common configurations from the paper's evaluation:
+//   * sample parallelism        — grid (P, 1, 1, 1)
+//   * spatial parallelism       — grid (1, 1, ph, pw)
+//   * hybrid sample/spatial     — grid (P/s, 1, ph, pw) with s = ph·pw
+//     ("samples are first partitioned onto groups of GPUs, and then
+//      spatially parallelized within that group")
+// Mixed per-layer strategies (different grids for different layers, shuffles
+// in between) are what the §V-C optimizer emits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/partition.hpp"
+
+namespace distconv::core {
+
+struct Strategy {
+  std::vector<ProcessGrid> grids;  ///< one per layer
+
+  /// Same grid for every one of `num_layers` layers.
+  static Strategy uniform(int num_layers, const ProcessGrid& grid);
+
+  /// Pure sample parallelism over `p` ranks.
+  static Strategy sample_parallel(int num_layers, int p);
+
+  /// Hybrid: p ranks split into sample groups of `gpus_per_sample` ranks,
+  /// each group decomposing H×W over a near-square (ph × pw) factorization.
+  static Strategy hybrid(int num_layers, int p, int gpus_per_sample);
+
+  /// Near-square factorization helper: gpus_per_sample = ph · pw, ph ≥ pw.
+  static std::pair<int, int> spatial_factors(int gpus_per_sample);
+
+  int num_ranks() const { return grids.empty() ? 0 : grids.front().size(); }
+
+  std::string str() const;
+};
+
+}  // namespace distconv::core

@@ -1,0 +1,78 @@
+#include "core/trainer.hpp"
+
+namespace distconv::core {
+
+void Trainer::slice_samples(const Tensor<float>& global, std::int64_t first,
+                            Tensor<float>& micro) {
+  const Shape4& ms = micro.shape();
+  DC_REQUIRE(first + ms.n <= global.shape().n, "micro-batch slice out of range");
+  Box4 src, dst;
+  src.off[0] = first;
+  src.ext[0] = ms.n;
+  src.ext[1] = ms.c;
+  src.ext[2] = ms.h;
+  src.ext[3] = ms.w;
+  dst = src;
+  dst.off[0] = 0;
+  copy_box(global, src, micro, dst);
+}
+
+double Trainer::step_bce(const Tensor<float>& global_input,
+                         const Tensor<float>& global_targets) {
+  Model& model = *model_;
+  const Shape4 in_shape = model.rt(0).out_shape;
+  const Shape4 out_shape = model.rt(model.output_layer()).out_shape;
+  const int m = options_.micro_batches;
+  DC_REQUIRE(global_input.shape().n == in_shape.n * m, "global batch (",
+             global_input.shape().n, ") != model batch (", in_shape.n, ") × ",
+             m, " micro-batches");
+  DC_REQUIRE(global_targets.shape().n == out_shape.n * m,
+             "target batch size mismatch");
+
+  const std::int64_t grad_count = out_shape.size() * m;
+  Tensor<float> micro_in(in_shape), micro_tgt(out_shape);
+  double loss_sum = 0;
+  model.zero_gradients();
+  for (int k = 0; k < m; ++k) {
+    slice_samples(global_input, k * in_shape.n, micro_in);
+    slice_samples(global_targets, k * out_shape.n, micro_tgt);
+    model.set_input(0, micro_in);
+    model.forward();
+    loss_sum += model.loss_bce(micro_tgt, grad_count);
+    model.backward(/*accumulate=*/true);
+  }
+  model.allreduce_gradients();
+  model.sgd_step(options_.sgd);
+  return loss_sum / m;
+}
+
+double Trainer::step_softmax(const Tensor<float>& global_input,
+                             const std::vector<int>& labels) {
+  Model& model = *model_;
+  const Shape4 in_shape = model.rt(0).out_shape;
+  const Shape4 out_shape = model.rt(model.output_layer()).out_shape;
+  const int m = options_.micro_batches;
+  DC_REQUIRE(global_input.shape().n == in_shape.n * m,
+             "global batch size mismatch");
+  DC_REQUIRE(static_cast<std::int64_t>(labels.size()) == out_shape.n * m,
+             "label count mismatch");
+
+  const std::int64_t grad_count = out_shape.n * m;
+  Tensor<float> micro_in(in_shape);
+  double loss_sum = 0;
+  model.zero_gradients();
+  for (int k = 0; k < m; ++k) {
+    slice_samples(global_input, k * in_shape.n, micro_in);
+    const std::vector<int> micro_labels(labels.begin() + k * out_shape.n,
+                                        labels.begin() + (k + 1) * out_shape.n);
+    model.set_input(0, micro_in);
+    model.forward();
+    loss_sum += model.loss_softmax(micro_labels, grad_count);
+    model.backward(/*accumulate=*/true);
+  }
+  model.allreduce_gradients();
+  model.sgd_step(options_.sgd);
+  return loss_sum / m;
+}
+
+}  // namespace distconv::core

@@ -1,0 +1,55 @@
+// Trainer: the training-loop driver, including out-of-core micro-batching.
+//
+// The paper's §VII discusses micro-batching as the standard alternative when
+// memory is tight ("mini-batches are split into micro-batches and updates
+// accumulated, but this can increase training time") — it is the technique
+// spatial parallelism competes with. Trainer implements it over the Model's
+// gradient-accumulation API: a global mini-batch of N samples runs as M
+// micro-batches of N/M through a model built with batch N/M, gradients
+// accumulate locally, and a single allreduce completes the step. With M = 1
+// this is a plain training step.
+#pragma once
+
+#include <functional>
+
+#include "core/model.hpp"
+
+namespace distconv::core {
+
+struct TrainerOptions {
+  kernels::SgdConfig sgd{0.01f, 0.9f, 0.0f};
+  /// Micro-batches per optimizer step; the model's batch dimension must be
+  /// global_batch / micro_batches.
+  int micro_batches = 1;
+};
+
+class Trainer {
+ public:
+  Trainer(Model& model, const TrainerOptions& options)
+      : model_(&model), options_(options) {
+    DC_REQUIRE(options.micro_batches >= 1, "need at least one micro-batch");
+  }
+
+  /// One optimizer step on a global batch with per-pixel BCE targets.
+  /// global_input/global_targets carry micro_batches × model-batch samples;
+  /// returns the mean loss over the whole global batch. Collective.
+  double step_bce(const Tensor<float>& global_input,
+                  const Tensor<float>& global_targets);
+
+  /// One optimizer step with integer classification labels.
+  double step_softmax(const Tensor<float>& global_input,
+                      const std::vector<int>& labels);
+
+  Model& model() { return *model_; }
+  const TrainerOptions& options() const { return options_; }
+
+ private:
+  /// Copy samples [first, first + n) of `global` into `micro`.
+  static void slice_samples(const Tensor<float>& global, std::int64_t first,
+                            Tensor<float>& micro);
+
+  Model* model_;
+  TrainerOptions options_;
+};
+
+}  // namespace distconv::core

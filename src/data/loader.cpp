@@ -1,0 +1,72 @@
+#include "data/loader.hpp"
+
+#include "comm/collectives.hpp"
+#include "support/error.hpp"
+
+namespace distconv::data {
+
+DistributedLoader::DistributedLoader(core::Model& model, int input_layer,
+                                     BatchFn batch, std::int64_t dataset_size,
+                                     LoadMode mode)
+    : model_(&model), input_layer_(input_layer), batch_(std::move(batch)),
+      dataset_size_(dataset_size), mode_(mode) {
+  DC_REQUIRE(dataset_size_ >= 1, "dataset must have at least one sample");
+  const Shape4 in = model.rt(input_layer).out_shape;
+  DC_REQUIRE(in.n <= dataset_size_, "mini-batch (", in.n,
+             ") larger than the dataset (", dataset_size_, ")");
+}
+
+void DistributedLoader::load_step(std::int64_t step) {
+  const Shape4 in = model_->rt(input_layer_).out_shape;
+  const std::int64_t first = (step * in.n) % dataset_size_;
+  if (mode_ == LoadMode::kReplicate) {
+    load_replicated(first);
+  } else {
+    load_scattered(first);
+  }
+}
+
+void DistributedLoader::load_replicated(std::int64_t first) {
+  const Shape4 in = model_->rt(input_layer_).out_shape;
+  Tensor<float> global(in);
+  batch_(first, global);
+  model_->set_input(input_layer_, global);
+}
+
+void DistributedLoader::load_scattered(std::int64_t first) {
+  auto& rt = model_->rt(input_layer_);
+  auto& comm = model_->comm();
+  const int root = 0;
+  const int tag = comm.next_internal_tag();
+
+  if (comm.rank() == root) {
+    const Shape4 in = rt.out_shape;
+    Tensor<float> global(in);
+    batch_(first, global);
+    // Send every peer its owned box; copy ours locally.
+    for (int r = 0; r < comm.size(); ++r) {
+      const Box4 box = rt.y.t.dist().owned_box(r);
+      if (box.empty() && r != root) {
+        comm.send(nullptr, 0, r, tag);
+        continue;
+      }
+      if (r == root) {
+        copy_box(global, box, rt.y.t.buffer(), rt.y.t.global_to_buffer(box));
+        continue;
+      }
+      std::vector<float> packed(static_cast<std::size_t>(box.volume()));
+      pack_box(global, box, packed.data());
+      comm.send(packed.data(), packed.size(), r, tag);
+    }
+  } else {
+    const Box4 box = rt.y.t.owned_box();
+    std::vector<float> packed(static_cast<std::size_t>(box.volume()));
+    comm.recv(packed.data(), packed.size(), root, tag);
+    if (!box.empty()) {
+      unpack_box(packed.data(), rt.y.t.global_to_buffer(box), rt.y.t.buffer());
+    }
+  }
+  rt.y.mark_stale();
+}
+
+}  // namespace distconv::data

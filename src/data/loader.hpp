@@ -1,0 +1,53 @@
+// Distributed batch loading.
+//
+// DistributedLoader assembles the global mini-batch for one training step
+// and places each rank's owned shard directly into the model's input tensor.
+// Two modes mirror real pipelines:
+//
+//  * kReplicate — every rank materializes the full global batch and copies
+//    its owned box (simple, used by tests; the paper's runs read from a
+//    parallel filesystem, which behaves like this for synthetic data).
+//  * kScatterFromRoot — rank 0 materializes the batch and scatters each
+//    rank's owned box over point-to-point messages (exercises the ingest
+//    path where one reader feeds the job).
+//
+// Batches advance deterministically: step k loads samples
+// [k·N, (k+1)·N) mod dataset_size.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/model.hpp"
+
+namespace distconv::data {
+
+enum class LoadMode { kReplicate, kScatterFromRoot };
+
+/// Fills `global` with the mini-batch starting at sample `first`.
+using BatchFn = std::function<void(std::int64_t first, Tensor<float>& global)>;
+
+class DistributedLoader {
+ public:
+  /// `batch` must fill a (N, C, H, W) tensor of the input layer's shape.
+  DistributedLoader(core::Model& model, int input_layer, BatchFn batch,
+                    std::int64_t dataset_size, LoadMode mode = LoadMode::kReplicate);
+
+  /// Load the mini-batch for step `step` into the model's input layer.
+  /// Collective over the model's communicator.
+  void load_step(std::int64_t step);
+
+  std::int64_t dataset_size() const { return dataset_size_; }
+
+ private:
+  void load_replicated(std::int64_t first);
+  void load_scattered(std::int64_t first);
+
+  core::Model* model_;
+  int input_layer_;
+  BatchFn batch_;
+  std::int64_t dataset_size_;
+  LoadMode mode_;
+};
+
+}  // namespace distconv::data

@@ -1,0 +1,163 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace distconv::data {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+/// Smooth field: a few random low-frequency cosine modes, deterministic in
+/// the rng state handed in.
+void fill_smooth_field(Tensor<float>& t, std::int64_t n, std::int64_t c,
+                       Rng& rng) {
+  const std::int64_t H = t.shape().h, W = t.shape().w;
+  const double kx1 = rng.uniform(1.0, 3.0), ky1 = rng.uniform(1.0, 3.0);
+  const double kx2 = rng.uniform(3.0, 6.0), ky2 = rng.uniform(3.0, 6.0);
+  const double p1 = rng.uniform(0.0, kTwoPi), p2 = rng.uniform(0.0, kTwoPi);
+  const double a2 = rng.uniform(0.3, 0.7);
+  for (std::int64_t h = 0; h < H; ++h) {
+    for (std::int64_t w = 0; w < W; ++w) {
+      const double u = double(h) / H, v = double(w) / W;
+      t(n, c, h, w) =
+          static_cast<float>(std::cos(kTwoPi * (kx1 * u + ky1 * v) + p1) +
+                             a2 * std::cos(kTwoPi * (kx2 * u + ky2 * v) + p2));
+    }
+  }
+}
+
+}  // namespace
+
+MeshTanglingDataset::MeshTanglingDataset(const MeshTanglingConfig& config)
+    : config_(config) {
+  DC_REQUIRE(config.size % config.label_downsample == 0, "label downsample ",
+             config.label_downsample, " must divide the state size ",
+             config.size);
+}
+
+Shape4 MeshTanglingDataset::sample_shape() const {
+  return Shape4{1, config_.channels, config_.size, config_.size};
+}
+
+Shape4 MeshTanglingDataset::label_shape() const {
+  const std::int64_t l = config_.size / config_.label_downsample;
+  return Shape4{1, 1, l, l};
+}
+
+void MeshTanglingDataset::sample(std::int64_t index, Tensor<float>& state) const {
+  DC_REQUIRE(state.shape().c == config_.channels &&
+                 state.shape().h == config_.size &&
+                 state.shape().w == config_.size,
+             "state tensor shape mismatch: ", state.shape().str());
+  DC_REQUIRE(state.shape().n == 1, "sample() fills one sample; use batch()");
+  Rng rng(config_.seed, static_cast<std::uint64_t>(index));
+  for (int c = 0; c < config_.channels; ++c) {
+    fill_smooth_field(state, 0, c, rng);
+  }
+}
+
+void MeshTanglingDataset::label(std::int64_t index, Tensor<float>& tangled) const {
+  DC_REQUIRE(tangled.shape() == label_shape() ||
+                 (tangled.shape().c == 1 &&
+                  tangled.shape().h == label_shape().h &&
+                  tangled.shape().w == label_shape().w),
+             "label tensor shape mismatch: ", tangled.shape().str());
+  Tensor<float> state(sample_shape());
+  sample(index, state);
+  // Distortion metric: gradient energy of channel 0, sampled at the label
+  // resolution. High gradient = cells compressing/shearing = "tangled".
+  const std::int64_t stride = config_.label_downsample;
+  const std::int64_t L = label_shape().h;
+  for (std::int64_t h = 0; h < L; ++h) {
+    for (std::int64_t w = 0; w < L; ++w) {
+      const std::int64_t ih = std::min(config_.size - 2, h * stride);
+      const std::int64_t iw = std::min(config_.size - 2, w * stride);
+      const float gx = state(0, 0, ih + 1, iw) - state(0, 0, ih, iw);
+      const float gy = state(0, 0, ih, iw + 1) - state(0, 0, ih, iw);
+      tangled(0, 0, h, w) =
+          (gx * gx + gy * gy > config_.tangle_threshold) ? 1.0f : 0.0f;
+    }
+  }
+}
+
+void MeshTanglingDataset::batch(std::int64_t first, Tensor<float>& states,
+                                Tensor<float>& labels) const {
+  const std::int64_t n = states.shape().n;
+  DC_REQUIRE(labels.shape().n == n, "state/label batch sizes differ");
+  Tensor<float> state(sample_shape());
+  Tensor<float> lab(label_shape());
+  Box4 src, dst;
+  for (std::int64_t k = 0; k < n; ++k) {
+    sample(first + k, state);
+    for (int d = 0; d < 4; ++d) src.ext[d] = state.shape()[d];
+    dst = src;
+    dst.off[0] = k;
+    copy_box(state, src, states, dst);
+    label(first + k, lab);
+    for (int d = 0; d < 4; ++d) src.ext[d] = lab.shape()[d];
+    dst = src;
+    dst.off[0] = k;
+    copy_box(lab, src, labels, dst);
+  }
+}
+
+double MeshTanglingDataset::tangled_fraction(std::int64_t index) const {
+  Tensor<float> lab(label_shape());
+  label(index, lab);
+  double sum = 0;
+  for (std::int64_t i = 0; i < lab.size(); ++i) sum += lab.data()[i];
+  return sum / double(lab.size());
+}
+
+ClassificationDataset::ClassificationDataset(const ClassificationConfig& config)
+    : config_(config) {
+  DC_REQUIRE(config.classes >= 2, "need at least two classes");
+  Rng rng(config.seed, 0xC1A55);
+  prototypes_.reserve(config.classes);
+  for (int c = 0; c < config.classes; ++c) {
+    Tensor<float> proto(Shape4{1, config.channels, config.size, config.size});
+    for (int ch = 0; ch < config.channels; ++ch) {
+      fill_smooth_field(proto, 0, ch, rng);
+    }
+    prototypes_.push_back(std::move(proto));
+  }
+}
+
+Shape4 ClassificationDataset::sample_shape() const {
+  return Shape4{1, config_.channels, config_.size, config_.size};
+}
+
+int ClassificationDataset::label(std::int64_t index) const {
+  // Round-robin classes so any contiguous batch is balanced.
+  return static_cast<int>(index % config_.classes);
+}
+
+void ClassificationDataset::sample(std::int64_t index, Tensor<float>& image) const {
+  DC_REQUIRE(image.shape() == sample_shape(), "image tensor shape mismatch");
+  const Tensor<float>& proto = prototypes_[label(index)];
+  Rng rng(config_.seed, static_cast<std::uint64_t>(index) + 17);
+  for (std::int64_t i = 0; i < image.size(); ++i) {
+    image.data()[i] = proto.data()[i] +
+                      config_.noise * static_cast<float>(rng.normal());
+  }
+}
+
+void ClassificationDataset::batch(std::int64_t first, Tensor<float>& images,
+                                  std::vector<int>& labels) const {
+  const std::int64_t n = images.shape().n;
+  labels.resize(n);
+  Tensor<float> image(sample_shape());
+  Box4 src, dst;
+  for (std::int64_t k = 0; k < n; ++k) {
+    sample(first + k, image);
+    for (int d = 0; d < 4; ++d) src.ext[d] = image.shape()[d];
+    dst = src;
+    dst.off[0] = k;
+    copy_box(image, src, images, dst);
+    labels[k] = label(first + k);
+  }
+}
+
+}  // namespace distconv::data

@@ -1,0 +1,88 @@
+// Synthetic dataset generators.
+//
+// The paper's two workloads are ImageNet-1K classification and a
+// mesh-tangling dataset of 18-channel hydrodynamics states ("10,000 samples
+// of each size", with per-pixel labels marking cells that need relaxing);
+// neither is available here, and the paper itself used synthetic data for
+// its performance benchmarks. These generators produce deterministic,
+// learnable stand-ins with the same shapes:
+//
+//  * MeshTanglingDataset — smooth multi-channel fields (superposed
+//    low-frequency modes standing in for state variables and mesh-quality
+//    metrics); the label marks pixels where a synthetic cell-distortion
+//    metric (gradient energy of the first channel) crosses a threshold.
+//  * ClassificationDataset — class-conditioned Gaussian blobs over a few
+//    spatial prototypes; labels are recoverable by a small CNN.
+//
+// Samples are generated on demand from (seed, index), so datasets of any
+// size cost no storage and every rank can materialize exactly the samples
+// it owns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace distconv::data {
+
+struct MeshTanglingConfig {
+  std::int64_t size = 64;       ///< H = W of each state
+  int channels = 18;            ///< state variables + mesh-quality metrics
+  int label_downsample = 64;    ///< label resolution = size / this
+  float tangle_threshold = 0.004f;
+  std::uint64_t seed = 1;
+};
+
+class MeshTanglingDataset {
+ public:
+  explicit MeshTanglingDataset(const MeshTanglingConfig& config);
+
+  Shape4 sample_shape() const;  ///< (1, C, size, size)
+  Shape4 label_shape() const;   ///< (1, 1, size/ds, size/ds)
+
+  /// Materialize sample `index` (deterministic in (seed, index)).
+  void sample(std::int64_t index, Tensor<float>& state) const;
+  void label(std::int64_t index, Tensor<float>& tangled) const;
+
+  /// Fill a whole batch: samples [first, first + batch.shape().n).
+  void batch(std::int64_t first, Tensor<float>& states,
+             Tensor<float>& labels) const;
+
+  /// Fraction of tangled pixels in sample `index` (for balance checks).
+  double tangled_fraction(std::int64_t index) const;
+
+ private:
+  MeshTanglingConfig config_;
+};
+
+struct ClassificationConfig {
+  std::int64_t size = 32;
+  int channels = 3;
+  int classes = 10;
+  std::uint64_t seed = 1;
+  float noise = 0.25f;
+};
+
+class ClassificationDataset {
+ public:
+  explicit ClassificationDataset(const ClassificationConfig& config);
+
+  const ClassificationConfig& config() const { return config_; }
+
+  Shape4 sample_shape() const;  ///< (1, C, size, size)
+
+  void sample(std::int64_t index, Tensor<float>& image) const;
+  int label(std::int64_t index) const;
+
+  void batch(std::int64_t first, Tensor<float>& images,
+             std::vector<int>& labels) const;
+
+ private:
+  ClassificationConfig config_;
+  /// Per-class spatial prototypes, generated once from the seed.
+  std::vector<Tensor<float>> prototypes_;
+};
+
+}  // namespace distconv::data

@@ -1,0 +1,102 @@
+#include "kernels/activations.hpp"
+
+#include "support/error.hpp"
+
+namespace distconv::kernels {
+namespace {
+
+void check_boxes(const Box4& a, const Box4& b) {
+  for (int d = 0; d < 4; ++d) {
+    DC_REQUIRE(a.ext[d] == b.ext[d], "box extents differ in dim ", d);
+  }
+}
+
+template <typename Fn>
+void for_rows(const Box4& box, Fn&& fn) {
+  for (std::int64_t n = 0; n < box.ext[0]; ++n)
+    for (std::int64_t c = 0; c < box.ext[1]; ++c)
+      for (std::int64_t h = 0; h < box.ext[2]; ++h) fn(n, c, h);
+}
+
+}  // namespace
+
+void relu_forward(const Tensor<float>& x, const Box4& xbox, Tensor<float>& y,
+                  const Box4& ybox) {
+  check_boxes(xbox, ybox);
+  const auto& xst = x.strides();
+  const auto& yst = y.strides();
+  for_rows(xbox, [&](std::int64_t n, std::int64_t c, std::int64_t h) {
+    const float* xr = x.data() + xst.offset(xbox.off[0] + n, xbox.off[1] + c,
+                                            xbox.off[2] + h, xbox.off[3]);
+    float* yr = y.data() + yst.offset(ybox.off[0] + n, ybox.off[1] + c,
+                                      ybox.off[2] + h, ybox.off[3]);
+    for (std::int64_t w = 0; w < xbox.ext[3]; ++w) {
+      yr[w] = xr[w] > 0.0f ? xr[w] : 0.0f;
+    }
+  });
+}
+
+void relu_backward(const Tensor<float>& x, const Box4& xbox,
+                   const Tensor<float>& dy, const Box4& dybox, Tensor<float>& dx,
+                   const Box4& dxbox) {
+  check_boxes(xbox, dybox);
+  check_boxes(xbox, dxbox);
+  const auto& xst = x.strides();
+  const auto& dyst = dy.strides();
+  const auto& dxst = dx.strides();
+  for_rows(xbox, [&](std::int64_t n, std::int64_t c, std::int64_t h) {
+    const float* xr = x.data() + xst.offset(xbox.off[0] + n, xbox.off[1] + c,
+                                            xbox.off[2] + h, xbox.off[3]);
+    const float* gr = dy.data() + dyst.offset(dybox.off[0] + n, dybox.off[1] + c,
+                                              dybox.off[2] + h, dybox.off[3]);
+    float* dr = dx.data() + dxst.offset(dxbox.off[0] + n, dxbox.off[1] + c,
+                                        dxbox.off[2] + h, dxbox.off[3]);
+    for (std::int64_t w = 0; w < xbox.ext[3]; ++w) {
+      dr[w] = xr[w] > 0.0f ? gr[w] : 0.0f;
+    }
+  });
+}
+
+void add_inplace(Tensor<float>& dst, const Box4& dbox, const Tensor<float>& src,
+                 const Box4& sbox) {
+  check_boxes(dbox, sbox);
+  const auto& dst_st = dst.strides();
+  const auto& sst = src.strides();
+  for_rows(dbox, [&](std::int64_t n, std::int64_t c, std::int64_t h) {
+    float* dr = dst.data() + dst_st.offset(dbox.off[0] + n, dbox.off[1] + c,
+                                           dbox.off[2] + h, dbox.off[3]);
+    const float* sr = src.data() + sst.offset(sbox.off[0] + n, sbox.off[1] + c,
+                                              sbox.off[2] + h, sbox.off[3]);
+    for (std::int64_t w = 0; w < dbox.ext[3]; ++w) dr[w] += sr[w];
+  });
+}
+
+void bias_forward(Tensor<float>& y, const Box4& ybox, const float* bias) {
+  const auto& yst = y.strides();
+  for_rows(ybox, [&](std::int64_t n, std::int64_t c, std::int64_t h) {
+    float* yr = y.data() + yst.offset(ybox.off[0] + n, ybox.off[1] + c,
+                                      ybox.off[2] + h, ybox.off[3]);
+    const float b = bias[c];
+    for (std::int64_t w = 0; w < ybox.ext[3]; ++w) yr[w] += b;
+  });
+}
+
+void bias_backward(const Tensor<float>& dy, const Box4& dybox, float* dbias,
+                   bool accumulate) {
+  if (!accumulate) std::fill(dbias, dbias + dybox.ext[1], 0.0f);
+  const auto& dyst = dy.strides();
+  for_rows(dybox, [&](std::int64_t n, std::int64_t c, std::int64_t h) {
+    const float* gr = dy.data() + dyst.offset(dybox.off[0] + n, dybox.off[1] + c,
+                                              dybox.off[2] + h, dybox.off[3]);
+    float acc = 0.0f;
+    for (std::int64_t w = 0; w < dybox.ext[3]; ++w) acc += gr[w];
+    dbias[c] += acc;
+  });
+}
+
+void copy_region(const Tensor<float>& src, const Box4& sbox, Tensor<float>& dst,
+                 const Box4& dbox) {
+  copy_box(src, sbox, dst, dbox);
+}
+
+}  // namespace distconv::kernels

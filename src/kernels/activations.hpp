@@ -1,0 +1,33 @@
+// Element-wise kernels: ReLU, residual add, per-channel bias. All operate on
+// matching local-buffer boxes so distributed layers can restrict them to
+// owned interiors.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace distconv::kernels {
+
+void relu_forward(const Tensor<float>& x, const Box4& xbox, Tensor<float>& y,
+                  const Box4& ybox);
+
+/// dx = dy · 1[x > 0].
+void relu_backward(const Tensor<float>& x, const Box4& xbox,
+                   const Tensor<float>& dy, const Box4& dybox, Tensor<float>& dx,
+                   const Box4& dxbox);
+
+/// dst += src over matching boxes (residual connections, gradient fan-in).
+void add_inplace(Tensor<float>& dst, const Box4& dbox, const Tensor<float>& src,
+                 const Box4& sbox);
+
+/// y += bias[c] per channel over the box.
+void bias_forward(Tensor<float>& y, const Box4& ybox, const float* bias);
+
+/// dbias[c] (+)= Σ dy over the box.
+void bias_backward(const Tensor<float>& dy, const Box4& dybox, float* dbias,
+                   bool accumulate);
+
+/// Straight copy over matching boxes.
+void copy_region(const Tensor<float>& src, const Box4& sbox, Tensor<float>& dst,
+                 const Box4& dbox);
+
+}  // namespace distconv::kernels

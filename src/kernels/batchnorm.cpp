@@ -1,0 +1,117 @@
+#include "kernels/batchnorm.hpp"
+
+#include "support/error.hpp"
+
+namespace distconv::kernels {
+namespace {
+
+void check_boxes(const Box4& a, const Box4& b) {
+  for (int d = 0; d < 4; ++d) {
+    DC_REQUIRE(a.ext[d] == b.ext[d], "batchnorm box extents differ in dim ", d);
+  }
+}
+
+}  // namespace
+
+void bn_partial_sums(const Tensor<float>& x, const Box4& box, double* sum,
+                     double* sumsq) {
+  const std::int64_t C = box.ext[1];
+  std::fill(sum, sum + C, 0.0);
+  std::fill(sumsq, sumsq + C, 0.0);
+  for (std::int64_t n = 0; n < box.ext[0]; ++n) {
+    for (std::int64_t c = 0; c < C; ++c) {
+      double s = 0.0, s2 = 0.0;
+      for (std::int64_t h = 0; h < box.ext[2]; ++h) {
+        for (std::int64_t w = 0; w < box.ext[3]; ++w) {
+          const double v =
+              x(box.off[0] + n, box.off[1] + c, box.off[2] + h, box.off[3] + w);
+          s += v;
+          s2 += v * v;
+        }
+      }
+      sum[c] += s;
+      sumsq[c] += s2;
+    }
+  }
+}
+
+void bn_forward_apply(const Tensor<float>& x, const Box4& xbox, Tensor<float>& y,
+                      const Box4& ybox, const float* mean, const float* invstd,
+                      const float* gamma, const float* beta) {
+  check_boxes(xbox, ybox);
+  for (std::int64_t n = 0; n < xbox.ext[0]; ++n) {
+    for (std::int64_t c = 0; c < xbox.ext[1]; ++c) {
+      const float m = mean[c], is = invstd[c], g = gamma[c], b = beta[c];
+      for (std::int64_t h = 0; h < xbox.ext[2]; ++h) {
+        for (std::int64_t w = 0; w < xbox.ext[3]; ++w) {
+          const float v = x(xbox.off[0] + n, xbox.off[1] + c, xbox.off[2] + h,
+                            xbox.off[3] + w);
+          y(ybox.off[0] + n, ybox.off[1] + c, ybox.off[2] + h, ybox.off[3] + w) =
+              g * (v - m) * is + b;
+        }
+      }
+    }
+  }
+}
+
+void bn_backward_reduce(const Tensor<float>& x, const Box4& xbox,
+                        const Tensor<float>& dy, const Box4& dybox,
+                        const float* mean, const float* invstd, double* sum_dy,
+                        double* sum_dy_xhat) {
+  check_boxes(xbox, dybox);
+  const std::int64_t C = xbox.ext[1];
+  std::fill(sum_dy, sum_dy + C, 0.0);
+  std::fill(sum_dy_xhat, sum_dy_xhat + C, 0.0);
+  for (std::int64_t n = 0; n < xbox.ext[0]; ++n) {
+    for (std::int64_t c = 0; c < C; ++c) {
+      const double m = mean[c], is = invstd[c];
+      double s = 0.0, sx = 0.0;
+      for (std::int64_t h = 0; h < xbox.ext[2]; ++h) {
+        for (std::int64_t w = 0; w < xbox.ext[3]; ++w) {
+          const double g = dy(dybox.off[0] + n, dybox.off[1] + c, dybox.off[2] + h,
+                              dybox.off[3] + w);
+          const double xhat = (x(xbox.off[0] + n, xbox.off[1] + c, xbox.off[2] + h,
+                                 xbox.off[3] + w) -
+                               m) *
+                              is;
+          s += g;
+          sx += g * xhat;
+        }
+      }
+      sum_dy[c] += s;
+      sum_dy_xhat[c] += sx;
+    }
+  }
+}
+
+void bn_backward_apply(const Tensor<float>& x, const Box4& xbox,
+                       const Tensor<float>& dy, const Box4& dybox,
+                       Tensor<float>& dx, const Box4& dxbox, const float* mean,
+                       const float* invstd, const float* gamma,
+                       const double* sum_dy, const double* sum_dy_xhat,
+                       double count) {
+  check_boxes(xbox, dybox);
+  check_boxes(xbox, dxbox);
+  for (std::int64_t n = 0; n < xbox.ext[0]; ++n) {
+    for (std::int64_t c = 0; c < xbox.ext[1]; ++c) {
+      const double m = mean[c], is = invstd[c], g = gamma[c];
+      const double sdy = sum_dy[c], sdyx = sum_dy_xhat[c];
+      const double coef = g * is / count;
+      for (std::int64_t h = 0; h < xbox.ext[2]; ++h) {
+        for (std::int64_t w = 0; w < xbox.ext[3]; ++w) {
+          const double grad = dy(dybox.off[0] + n, dybox.off[1] + c,
+                                 dybox.off[2] + h, dybox.off[3] + w);
+          const double xhat = (x(xbox.off[0] + n, xbox.off[1] + c, xbox.off[2] + h,
+                                 xbox.off[3] + w) -
+                               m) *
+                              is;
+          dx(dxbox.off[0] + n, dxbox.off[1] + c, dxbox.off[2] + h,
+             dxbox.off[3] + w) =
+              static_cast<float>(coef * (count * grad - sdy - xhat * sdyx));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace distconv::kernels

@@ -1,0 +1,41 @@
+// Batch-normalization kernels (Ioffe & Szegedy), split into reduction and
+// apply phases so the distributed layer can insert allreduces between them.
+//
+// The paper (§III-B) notes BN can be computed purely locally or aggregated
+// over the spatial decomposition of a sample; the layer composes these
+// kernels with the appropriate communicator to implement local / spatial /
+// global variants. Reductions accumulate in double for reproducibility.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace distconv::kernels {
+
+/// Per-channel Σx and Σx² over a local-buffer box (NCHW; channel dim of the
+/// box must cover all channels). sum/sumsq have length box.ext[1].
+void bn_partial_sums(const Tensor<float>& x, const Box4& box, double* sum,
+                     double* sumsq);
+
+/// y = gamma · (x − mean)·invstd + beta over matching boxes.
+void bn_forward_apply(const Tensor<float>& x, const Box4& xbox, Tensor<float>& y,
+                      const Box4& ybox, const float* mean, const float* invstd,
+                      const float* gamma, const float* beta);
+
+/// Per-channel Σdy and Σdy·x̂ over matching boxes (backward reductions).
+void bn_backward_reduce(const Tensor<float>& x, const Box4& xbox,
+                        const Tensor<float>& dy, const Box4& dybox,
+                        const float* mean, const float* invstd, double* sum_dy,
+                        double* sum_dy_xhat);
+
+/// dx = (gamma·invstd/m)·(m·dy − Σdy − x̂·Σdy·x̂) with m = `count` (the
+/// number of elements each channel statistic was computed over).
+void bn_backward_apply(const Tensor<float>& x, const Box4& xbox,
+                       const Tensor<float>& dy, const Box4& dybox,
+                       Tensor<float>& dx, const Box4& dxbox, const float* mean,
+                       const float* invstd, const float* gamma,
+                       const double* sum_dy, const double* sum_dy_xhat,
+                       double count);
+
+}  // namespace distconv::kernels

@@ -1,0 +1,336 @@
+#include "kernels/conv.hpp"
+
+#include <vector>
+
+#include "kernels/gemm.hpp"
+#include "support/error.hpp"
+
+namespace distconv::kernels {
+namespace {
+
+void check_weights(const Tensor<float>& w, const ConvParams& p) {
+  DC_REQUIRE(w.shape().h == p.kh && w.shape().w == p.kw,
+             "weight tensor shape ", w.shape().str(),
+             " does not match kernel size ", p.kh, "x", p.kw);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Padded oracles
+// ---------------------------------------------------------------------------
+
+void conv2d_forward_padded(const Tensor<float>& x, const Tensor<float>& w,
+                           Tensor<float>& y, const ConvParams& p) {
+  check_weights(w, p);
+  const auto& xs = x.shape();
+  const auto& ys = y.shape();
+  DC_REQUIRE(ys.h == p.out_h(xs.h) && ys.w == p.out_w(xs.w),
+             "output shape ", ys.str(), " inconsistent with input ", xs.str());
+  DC_REQUIRE(xs.c == w.shape().c && ys.c == w.shape().n,
+             "channel/filter mismatch");
+  for (std::int64_t k = 0; k < ys.n; ++k) {
+    for (std::int64_t f = 0; f < ys.c; ++f) {
+      for (std::int64_t i = 0; i < ys.h; ++i) {
+        for (std::int64_t j = 0; j < ys.w; ++j) {
+          float acc = 0.0f;
+          for (std::int64_t c = 0; c < xs.c; ++c) {
+            for (int a = 0; a < p.kh; ++a) {
+              const std::int64_t ih = i * p.sh - p.ph + a;
+              if (ih < 0 || ih >= xs.h) continue;
+              for (int b = 0; b < p.kw; ++b) {
+                const std::int64_t iw = j * p.sw - p.pw + b;
+                if (iw < 0 || iw >= xs.w) continue;
+                acc += x(k, c, ih, iw) * w(f, c, a, b);
+              }
+            }
+          }
+          y(k, f, i, j) = acc;
+        }
+      }
+    }
+  }
+}
+
+void conv2d_backward_data_padded(const Tensor<float>& dy, const Tensor<float>& w,
+                                 Tensor<float>& dx, const ConvParams& p) {
+  check_weights(w, p);
+  const auto& ds = dy.shape();
+  const auto& xs = dx.shape();
+  DC_REQUIRE(ds.h == p.out_h(xs.h) && ds.w == p.out_w(xs.w),
+             "dy shape inconsistent with dx shape");
+  dx.zero();
+  for (std::int64_t k = 0; k < ds.n; ++k) {
+    for (std::int64_t f = 0; f < ds.c; ++f) {
+      for (std::int64_t i = 0; i < ds.h; ++i) {
+        for (std::int64_t j = 0; j < ds.w; ++j) {
+          const float g = dy(k, f, i, j);
+          if (g == 0.0f) continue;
+          for (std::int64_t c = 0; c < xs.c; ++c) {
+            for (int a = 0; a < p.kh; ++a) {
+              const std::int64_t ih = i * p.sh - p.ph + a;
+              if (ih < 0 || ih >= xs.h) continue;
+              for (int b = 0; b < p.kw; ++b) {
+                const std::int64_t iw = j * p.sw - p.pw + b;
+                if (iw < 0 || iw >= xs.w) continue;
+                dx(k, c, ih, iw) += g * w(f, c, a, b);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void conv2d_backward_filter_padded(const Tensor<float>& x, const Tensor<float>& dy,
+                                   Tensor<float>& dw, const ConvParams& p,
+                                   bool accumulate) {
+  check_weights(dw, p);
+  const auto& xs = x.shape();
+  const auto& ds = dy.shape();
+  if (!accumulate) dw.zero();
+  for (std::int64_t k = 0; k < ds.n; ++k) {
+    for (std::int64_t f = 0; f < ds.c; ++f) {
+      for (std::int64_t c = 0; c < xs.c; ++c) {
+        for (int a = 0; a < p.kh; ++a) {
+          for (int b = 0; b < p.kw; ++b) {
+            float acc = 0.0f;
+            for (std::int64_t i = 0; i < ds.h; ++i) {
+              const std::int64_t ih = i * p.sh - p.ph + a;
+              if (ih < 0 || ih >= xs.h) continue;
+              for (std::int64_t j = 0; j < ds.w; ++j) {
+                const std::int64_t iw = j * p.sw - p.pw + b;
+                if (iw < 0 || iw >= xs.w) continue;
+                acc += dy(k, f, i, j) * x(k, c, ih, iw);
+              }
+            }
+            dw(f, c, a, b) += acc;
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Region kernels
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void conv2d_forward_direct(const Tensor<float>& x, Origin2 xo,
+                           const Tensor<float>& w, Tensor<float>& y, Origin2 yo,
+                           const ConvParams& p, const Range2& r) {
+  const std::int64_t N = y.shape().n;
+  const std::int64_t F = w.shape().n;
+  const std::int64_t C = w.shape().c;
+  const auto& xst = x.strides();
+  const auto& yst = y.strides();
+  for (std::int64_t k = 0; k < N; ++k) {
+    for (std::int64_t f = 0; f < F; ++f) {
+      // Zero the target region, then accumulate per (c, a, b).
+      for (std::int64_t gh = r.h0; gh < r.h1; ++gh) {
+        float* yrow = y.data() + yst.offset(k, f, gh - yo.h, r.w0 - yo.w);
+        std::fill(yrow, yrow + (r.w1 - r.w0), 0.0f);
+      }
+      for (std::int64_t c = 0; c < C; ++c) {
+        for (int a = 0; a < p.kh; ++a) {
+          for (int b = 0; b < p.kw; ++b) {
+            const float wv = w(f, c, a, b);
+            if (wv == 0.0f) continue;
+            for (std::int64_t gh = r.h0; gh < r.h1; ++gh) {
+              const std::int64_t ih = gh * p.sh - p.ph + a - xo.h;
+              const float* xrow =
+                  x.data() + xst.offset(k, c, ih, r.w0 * p.sw - p.pw + b - xo.w);
+              float* yrow = y.data() + yst.offset(k, f, gh - yo.h, r.w0 - yo.w);
+              if (p.sw == 1) {
+                for (std::int64_t j = 0; j < r.w1 - r.w0; ++j) {
+                  yrow[j] += wv * xrow[j];
+                }
+              } else {
+                for (std::int64_t j = 0; j < r.w1 - r.w0; ++j) {
+                  yrow[j] += wv * xrow[j * p.sw];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void conv2d_forward_im2col(const Tensor<float>& x, Origin2 xo,
+                           const Tensor<float>& w, Tensor<float>& y, Origin2 yo,
+                           const ConvParams& p, const Range2& r) {
+  const std::int64_t N = y.shape().n;
+  const std::int64_t F = w.shape().n;
+  const std::int64_t C = w.shape().c;
+  const std::int64_t ckk = C * p.kh * p.kw;
+  const std::int64_t rows = r.area();
+  std::vector<float> col(static_cast<std::size_t>(ckk) * rows);
+  std::vector<float> out(static_cast<std::size_t>(F) * rows);
+  const auto& yst = y.strides();
+  for (std::int64_t k = 0; k < N; ++k) {
+    im2col(x, xo, k, p, r, col.data());
+    // out (F × rows) = W (F × ckk) · col (ckk × rows)
+    sgemm(false, false, F, rows, ckk, 1.0f, w.data(), ckk, col.data(), rows, 0.0f,
+          out.data(), rows);
+    for (std::int64_t f = 0; f < F; ++f) {
+      const float* src = out.data() + f * rows;
+      for (std::int64_t gh = r.h0; gh < r.h1; ++gh) {
+        float* yrow = y.data() + yst.offset(k, f, gh - yo.h, r.w0 - yo.w);
+        std::copy(src, src + (r.w1 - r.w0), yrow);
+        src += r.w1 - r.w0;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void im2col(const Tensor<float>& x, Origin2 xo, std::int64_t sample,
+            const ConvParams& p, const Range2& r, float* col) {
+  const std::int64_t C = x.shape().c;
+  const std::int64_t rw = r.w1 - r.w0;
+  const std::int64_t rows = r.area();
+  const auto& xst = x.strides();
+  std::int64_t m = 0;
+  for (std::int64_t c = 0; c < C; ++c) {
+    for (int a = 0; a < p.kh; ++a) {
+      for (int b = 0; b < p.kw; ++b, ++m) {
+        float* dst = col + m * rows;
+        for (std::int64_t gh = r.h0; gh < r.h1; ++gh) {
+          const std::int64_t ih = gh * p.sh - p.ph + a - xo.h;
+          const float* xrow =
+              x.data() + xst.offset(sample, c, ih, r.w0 * p.sw - p.pw + b - xo.w);
+          if (p.sw == 1) {
+            std::copy(xrow, xrow + rw, dst);
+          } else {
+            for (std::int64_t j = 0; j < rw; ++j) dst[j] = xrow[j * p.sw];
+          }
+          dst += rw;
+        }
+      }
+    }
+  }
+}
+
+void conv2d_forward(const Tensor<float>& x, Origin2 xo, const Tensor<float>& w,
+                    Tensor<float>& y, Origin2 yo, const ConvParams& p,
+                    const Range2& r, ConvAlgo algo) {
+  check_weights(w, p);
+  if (r.empty()) return;
+  DC_REQUIRE(x.shape().n == y.shape().n, "sample count mismatch");
+  switch (algo) {
+    case ConvAlgo::kDirect:
+      conv2d_forward_direct(x, xo, w, y, yo, p, r);
+      break;
+    case ConvAlgo::kIm2col:
+      conv2d_forward_im2col(x, xo, w, y, yo, p, r);
+      break;
+  }
+}
+
+namespace {
+
+std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return -floor_div(-a, b); }
+
+}  // namespace
+
+void conv2d_backward_data(const Tensor<float>& dy, Origin2 dyo,
+                          const Tensor<float>& w, Tensor<float>& dx, Origin2 dxo,
+                          const ConvParams& p, const Range2& r, std::int64_t out_h,
+                          std::int64_t out_w) {
+  check_weights(w, p);
+  if (r.empty()) return;
+  const std::int64_t N = dx.shape().n;
+  const std::int64_t F = w.shape().n;
+  const std::int64_t C = w.shape().c;
+  const auto& dyst = dy.strides();
+  const auto& wst = w.strides();
+  std::vector<float> acc(C);
+  for (std::int64_t k = 0; k < N; ++k) {
+    for (std::int64_t gi = r.h0; gi < r.h1; ++gi) {
+      // Output rows jh with a = gi + ph - sh·jh ∈ [0, kh), jh ∈ [0, out_h).
+      const std::int64_t jh_lo =
+          std::max<std::int64_t>(0, ceil_div(gi + p.ph - p.kh + 1, p.sh));
+      const std::int64_t jh_hi =
+          std::min<std::int64_t>(out_h - 1, floor_div(gi + p.ph, p.sh));
+      for (std::int64_t gj = r.w0; gj < r.w1; ++gj) {
+        const std::int64_t jw_lo =
+            std::max<std::int64_t>(0, ceil_div(gj + p.pw - p.kw + 1, p.sw));
+        const std::int64_t jw_hi =
+            std::min<std::int64_t>(out_w - 1, floor_div(gj + p.pw, p.sw));
+        std::fill(acc.begin(), acc.end(), 0.0f);
+        for (std::int64_t jh = jh_lo; jh <= jh_hi; ++jh) {
+          const std::int64_t a = gi + p.ph - p.sh * jh;
+          for (std::int64_t jw = jw_lo; jw <= jw_hi; ++jw) {
+            const std::int64_t b = gj + p.pw - p.sw * jw;
+            for (std::int64_t f = 0; f < F; ++f) {
+              const float g = dy.data()[dyst.offset(k, f, jh - dyo.h, jw - dyo.w)];
+              if (g == 0.0f) continue;
+              const float* wbase = w.data() + wst.offset(f, 0, a, b);
+              for (std::int64_t c = 0; c < C; ++c) {
+                acc[c] += g * wbase[c * wst.c];
+              }
+            }
+          }
+        }
+        for (std::int64_t c = 0; c < C; ++c) {
+          dx(k, c, gi - dxo.h, gj - dxo.w) = acc[c];
+        }
+      }
+    }
+  }
+}
+
+void conv2d_backward_filter(const Tensor<float>& x, Origin2 xo,
+                            const Tensor<float>& dy, Origin2 dyo, Tensor<float>& dw,
+                            const ConvParams& p, const Range2& r, bool accumulate) {
+  check_weights(dw, p);
+  if (!accumulate) dw.zero();
+  if (r.empty()) return;
+  const std::int64_t N = dy.shape().n;
+  const std::int64_t F = dw.shape().n;
+  const std::int64_t C = dw.shape().c;
+  const auto& xst = x.strides();
+  const auto& dyst = dy.strides();
+  for (std::int64_t k = 0; k < N; ++k) {
+    for (std::int64_t f = 0; f < F; ++f) {
+      for (std::int64_t c = 0; c < C; ++c) {
+        for (int a = 0; a < p.kh; ++a) {
+          for (int b = 0; b < p.kw; ++b) {
+            float acc = 0.0f;
+            for (std::int64_t gh = r.h0; gh < r.h1; ++gh) {
+              const std::int64_t ih = gh * p.sh - p.ph + a - xo.h;
+              const float* dyrow =
+                  dy.data() + dyst.offset(k, f, gh - dyo.h, r.w0 - dyo.w);
+              const float* xrow =
+                  x.data() + xst.offset(k, c, ih, r.w0 * p.sw - p.pw + b - xo.w);
+              if (p.sw == 1) {
+                for (std::int64_t j = 0; j < r.w1 - r.w0; ++j) {
+                  acc += dyrow[j] * xrow[j];
+                }
+              } else {
+                for (std::int64_t j = 0; j < r.w1 - r.w0; ++j) {
+                  acc += dyrow[j] * xrow[j * p.sw];
+                }
+              }
+            }
+            dw(f, c, a, b) += acc;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace distconv::kernels

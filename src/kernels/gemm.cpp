@@ -1,0 +1,79 @@
+#include "kernels/gemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace distconv::kernels {
+namespace {
+
+// Cache-blocked i-k-j kernel on a row-major layout: the innermost loop
+// streams both B and C rows contiguously.
+void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+             float* c, std::int64_t ldc) {
+  constexpr std::int64_t kBlockI = 64, kBlockK = 128;
+  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockI) {
+    const std::int64_t i1 = std::min(m, i0 + kBlockI);
+    for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const std::int64_t k1 = std::min(k, k0 + kBlockK);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        float* crow = c + i * ldc;
+        for (std::int64_t kk = k0; kk < k1; ++kk) {
+          const float av = alpha * a[i * lda + kk];
+          if (av == 0.0f) continue;
+          const float* brow = b + kk * ldb;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void sgemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+           std::int64_t k, float alpha, const float* a, std::int64_t lda,
+           const float* b, std::int64_t ldb, float beta, float* c,
+           std::int64_t ldc) {
+  // Scale C by beta first.
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * ldc;
+    if (beta == 0.0f) {
+      std::fill(crow, crow + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+  }
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
+
+  if (!trans_a && !trans_b) {
+    gemm_nn(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    return;
+  }
+  // Transposed cases: materialize the transposed operand once (clarity over
+  // micro-optimization; these paths carry small FC matrices).
+  std::vector<float> at, bt;
+  const float* aa = a;
+  std::int64_t alda = lda;
+  if (trans_a) {
+    at.resize(static_cast<std::size_t>(m) * k);
+    for (std::int64_t i = 0; i < m; ++i)
+      for (std::int64_t kk = 0; kk < k; ++kk) at[i * k + kk] = a[kk * lda + i];
+    aa = at.data();
+    alda = k;
+  }
+  const float* bb = b;
+  std::int64_t bldb = ldb;
+  if (trans_b) {
+    bt.resize(static_cast<std::size_t>(k) * n);
+    for (std::int64_t kk = 0; kk < k; ++kk)
+      for (std::int64_t j = 0; j < n; ++j) bt[kk * n + j] = b[j * ldb + kk];
+    bb = bt.data();
+    bldb = n;
+  }
+  gemm_nn(m, n, k, alpha, aa, alda, bb, bldb, c, ldc);
+}
+
+}  // namespace distconv::kernels

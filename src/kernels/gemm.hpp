@@ -1,0 +1,16 @@
+// Minimal single-threaded GEMM used by the im2col convolution path and the
+// model-parallel FC layer. Row-major; C = alpha * op(A) * op(B) + beta * C.
+#pragma once
+
+#include <cstdint>
+
+namespace distconv::kernels {
+
+/// C (m×n) = alpha · A (m×k) · B (k×n) + beta · C. Row-major, leading
+/// dimensions = row lengths.
+void sgemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+           std::int64_t k, float alpha, const float* a, std::int64_t lda,
+           const float* b, std::int64_t ldb, float beta, float* c,
+           std::int64_t ldc);
+
+}  // namespace distconv::kernels

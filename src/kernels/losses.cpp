@@ -1,0 +1,87 @@
+#include "kernels/losses.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace distconv::kernels {
+
+double softmax_xent_forward(const Tensor<float>& logits,
+                            const std::vector<int>& labels, Tensor<float>& probs) {
+  const auto& s = logits.shape();
+  DC_REQUIRE(s.h == 1 && s.w == 1, "softmax expects (N, C, 1, 1) logits, got ",
+             s.str());
+  DC_REQUIRE(static_cast<std::int64_t>(labels.size()) == s.n,
+             "label count mismatch");
+  double loss = 0.0;
+  for (std::int64_t k = 0; k < s.n; ++k) {
+    float mx = logits(k, 0, 0, 0);
+    for (std::int64_t c = 1; c < s.c; ++c) mx = std::max(mx, logits(k, c, 0, 0));
+    double denom = 0.0;
+    for (std::int64_t c = 0; c < s.c; ++c) {
+      denom += std::exp(double(logits(k, c, 0, 0)) - mx);
+    }
+    for (std::int64_t c = 0; c < s.c; ++c) {
+      probs(k, c, 0, 0) =
+          static_cast<float>(std::exp(double(logits(k, c, 0, 0)) - mx) / denom);
+    }
+    const int label = labels[k];
+    DC_REQUIRE(label >= 0 && label < s.c, "label ", label, " out of range");
+    loss -= std::log(std::max(1e-30, double(probs(k, label, 0, 0))));
+  }
+  return loss;
+}
+
+void softmax_xent_backward(const Tensor<float>& probs,
+                           const std::vector<int>& labels, Tensor<float>& dlogits,
+                           float scale) {
+  const auto& s = probs.shape();
+  for (std::int64_t k = 0; k < s.n; ++k) {
+    for (std::int64_t c = 0; c < s.c; ++c) {
+      const float onehot = (labels[k] == c) ? 1.0f : 0.0f;
+      dlogits(k, c, 0, 0) = scale * (probs(k, c, 0, 0) - onehot);
+    }
+  }
+}
+
+double sigmoid_bce_forward(const Tensor<float>& logits, const Box4& lbox,
+                           const Tensor<float>& targets, const Box4& tbox) {
+  double loss = 0.0;
+  for (std::int64_t n = 0; n < lbox.ext[0]; ++n) {
+    for (std::int64_t c = 0; c < lbox.ext[1]; ++c) {
+      for (std::int64_t h = 0; h < lbox.ext[2]; ++h) {
+        for (std::int64_t w = 0; w < lbox.ext[3]; ++w) {
+          const double z = logits(lbox.off[0] + n, lbox.off[1] + c,
+                                  lbox.off[2] + h, lbox.off[3] + w);
+          const double t = targets(tbox.off[0] + n, tbox.off[1] + c,
+                                   tbox.off[2] + h, tbox.off[3] + w);
+          // Numerically stable: max(z,0) - z·t + log(1 + e^{-|z|}).
+          loss += std::max(z, 0.0) - z * t + std::log1p(std::exp(-std::abs(z)));
+        }
+      }
+    }
+  }
+  return loss;
+}
+
+void sigmoid_bce_backward(const Tensor<float>& logits, const Box4& lbox,
+                          const Tensor<float>& targets, const Box4& tbox,
+                          Tensor<float>& dlogits, const Box4& dbox, float scale) {
+  for (std::int64_t n = 0; n < lbox.ext[0]; ++n) {
+    for (std::int64_t c = 0; c < lbox.ext[1]; ++c) {
+      for (std::int64_t h = 0; h < lbox.ext[2]; ++h) {
+        for (std::int64_t w = 0; w < lbox.ext[3]; ++w) {
+          const double z = logits(lbox.off[0] + n, lbox.off[1] + c,
+                                  lbox.off[2] + h, lbox.off[3] + w);
+          const double t = targets(tbox.off[0] + n, tbox.off[1] + c,
+                                   tbox.off[2] + h, tbox.off[3] + w);
+          const double sig = 1.0 / (1.0 + std::exp(-z));
+          dlogits(dbox.off[0] + n, dbox.off[1] + c, dbox.off[2] + h,
+                  dbox.off[3] + w) = static_cast<float>(scale * (sig - t));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace distconv::kernels

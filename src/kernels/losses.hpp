@@ -1,0 +1,34 @@
+// Loss kernels: softmax cross-entropy (classification heads) and per-pixel
+// sigmoid binary cross-entropy (the mesh-tangling segmentation head). Both
+// return *partial sums* so distributed layers can allreduce loss and
+// normalize gradients by the global element count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace distconv::kernels {
+
+/// Softmax over the channel dimension + cross-entropy against integer labels.
+/// logits/probs are (N, Cls, 1, 1); labels has N entries. Returns Σ -log p.
+double softmax_xent_forward(const Tensor<float>& logits,
+                            const std::vector<int>& labels, Tensor<float>& probs);
+
+/// dlogits = scale · (probs − onehot(labels)).
+void softmax_xent_backward(const Tensor<float>& probs,
+                           const std::vector<int>& labels, Tensor<float>& dlogits,
+                           float scale);
+
+/// Per-pixel sigmoid BCE over a box of logits vs. {0,1} targets (matching
+/// box). Returns the partial loss sum over the box.
+double sigmoid_bce_forward(const Tensor<float>& logits, const Box4& lbox,
+                           const Tensor<float>& targets, const Box4& tbox);
+
+/// dlogits = scale · (sigmoid(logit) − target) over the box.
+void sigmoid_bce_backward(const Tensor<float>& logits, const Box4& lbox,
+                          const Tensor<float>& targets, const Box4& tbox,
+                          Tensor<float>& dlogits, const Box4& dbox, float scale);
+
+}  // namespace distconv::kernels

@@ -1,0 +1,187 @@
+#include "kernels/pooling.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace distconv::kernels {
+namespace {
+
+std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return -floor_div(-a, b); }
+
+}  // namespace
+
+void pool2d_forward_padded(const Tensor<float>& x, Tensor<float>& y,
+                           Tensor<std::int64_t>* argmax, const PoolParams& p) {
+  const auto& xs = x.shape();
+  const auto& ys = y.shape();
+  DC_REQUIRE(ys.h == p.out_h(xs.h) && ys.w == p.out_w(xs.w),
+             "pool output shape mismatch");
+  for (std::int64_t k = 0; k < ys.n; ++k) {
+    for (std::int64_t c = 0; c < ys.c; ++c) {
+      for (std::int64_t i = 0; i < ys.h; ++i) {
+        for (std::int64_t j = 0; j < ys.w; ++j) {
+          if (p.mode == PoolMode::kMax) {
+            float best = -std::numeric_limits<float>::infinity();
+            std::int64_t best_pos = -1;
+            for (int a = 0; a < p.kh; ++a) {
+              const std::int64_t ih = i * p.sh - p.ph + a;
+              if (ih < 0 || ih >= xs.h) continue;
+              for (int b = 0; b < p.kw; ++b) {
+                const std::int64_t iw = j * p.sw - p.pw + b;
+                if (iw < 0 || iw >= xs.w) continue;
+                const float v = x(k, c, ih, iw);
+                if (v > best) {
+                  best = v;
+                  best_pos = ih * xs.w + iw;
+                }
+              }
+            }
+            y(k, c, i, j) = best;
+            if (argmax != nullptr) (*argmax)(k, c, i, j) = best_pos;
+          } else {
+            float sum = 0.0f;
+            for (int a = 0; a < p.kh; ++a) {
+              const std::int64_t ih = i * p.sh - p.ph + a;
+              if (ih < 0 || ih >= xs.h) continue;
+              for (int b = 0; b < p.kw; ++b) {
+                const std::int64_t iw = j * p.sw - p.pw + b;
+                if (iw < 0 || iw >= xs.w) continue;
+                sum += x(k, c, ih, iw);
+              }
+            }
+            y(k, c, i, j) = sum / float(p.kh * p.kw);
+          }
+        }
+      }
+    }
+  }
+}
+
+void pool2d_backward_padded(const Tensor<float>& dy,
+                            const Tensor<std::int64_t>* argmax, Tensor<float>& dx,
+                            const PoolParams& p) {
+  const auto& ds = dy.shape();
+  const auto& xs = dx.shape();
+  dx.zero();
+  for (std::int64_t k = 0; k < ds.n; ++k) {
+    for (std::int64_t c = 0; c < ds.c; ++c) {
+      for (std::int64_t i = 0; i < ds.h; ++i) {
+        for (std::int64_t j = 0; j < ds.w; ++j) {
+          const float g = dy(k, c, i, j);
+          if (p.mode == PoolMode::kMax) {
+            const std::int64_t pos = (*argmax)(k, c, i, j);
+            if (pos < 0) continue;
+            dx(k, c, pos / xs.w, pos % xs.w) += g;
+          } else {
+            const float share = g / float(p.kh * p.kw);
+            for (int a = 0; a < p.kh; ++a) {
+              const std::int64_t ih = i * p.sh - p.ph + a;
+              if (ih < 0 || ih >= xs.h) continue;
+              for (int b = 0; b < p.kw; ++b) {
+                const std::int64_t iw = j * p.sw - p.pw + b;
+                if (iw < 0 || iw >= xs.w) continue;
+                dx(k, c, ih, iw) += share;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void pool2d_forward(const Tensor<float>& x, Origin2 xo, Tensor<float>& y,
+                    Origin2 yo, Tensor<std::int64_t>* argmax, Origin2 amo,
+                    const PoolParams& p, const Range2& r, std::int64_t in_h,
+                    std::int64_t in_w) {
+  if (r.empty()) return;
+  const std::int64_t N = y.shape().n;
+  const std::int64_t C = y.shape().c;
+  for (std::int64_t k = 0; k < N; ++k) {
+    for (std::int64_t c = 0; c < C; ++c) {
+      for (std::int64_t gh = r.h0; gh < r.h1; ++gh) {
+        for (std::int64_t gw = r.w0; gw < r.w1; ++gw) {
+          if (p.mode == PoolMode::kMax) {
+            float best = -std::numeric_limits<float>::infinity();
+            std::int64_t best_pos = -1;
+            for (int a = 0; a < p.kh; ++a) {
+              const std::int64_t ih = gh * p.sh - p.ph + a;
+              if (ih < 0 || ih >= in_h) continue;
+              for (int b = 0; b < p.kw; ++b) {
+                const std::int64_t iw = gw * p.sw - p.pw + b;
+                if (iw < 0 || iw >= in_w) continue;
+                const float v = x(k, c, ih - xo.h, iw - xo.w);
+                if (v > best) {
+                  best = v;
+                  best_pos = ih * in_w + iw;
+                }
+              }
+            }
+            y(k, c, gh - yo.h, gw - yo.w) = best;
+            if (argmax != nullptr) {
+              (*argmax)(k, c, gh - amo.h, gw - amo.w) = best_pos;
+            }
+          } else {
+            float sum = 0.0f;
+            for (int a = 0; a < p.kh; ++a) {
+              const std::int64_t ih = gh * p.sh - p.ph + a;
+              for (int b = 0; b < p.kw; ++b) {
+                const std::int64_t iw = gw * p.sw - p.pw + b;
+                sum += x(k, c, ih - xo.h, iw - xo.w);
+              }
+            }
+            y(k, c, gh - yo.h, gw - yo.w) = sum / float(p.kh * p.kw);
+          }
+        }
+      }
+    }
+  }
+}
+
+void pool2d_backward(const Tensor<float>& dy, Origin2 dyo,
+                     const Tensor<std::int64_t>* argmax, Tensor<float>& dx,
+                     Origin2 dxo, const PoolParams& p, const Range2& r,
+                     std::int64_t out_h, std::int64_t out_w, std::int64_t in_w) {
+  if (r.empty()) return;
+  const std::int64_t N = dy.shape().n;
+  const std::int64_t C = dy.shape().c;
+  for (std::int64_t k = 0; k < N; ++k) {
+    for (std::int64_t c = 0; c < C; ++c) {
+      for (std::int64_t gi = r.h0; gi < r.h1; ++gi) {
+        const std::int64_t jh_lo =
+            std::max<std::int64_t>(0, ceil_div(gi + p.ph - p.kh + 1, p.sh));
+        const std::int64_t jh_hi =
+            std::min<std::int64_t>(out_h - 1, floor_div(gi + p.ph, p.sh));
+        for (std::int64_t gj = r.w0; gj < r.w1; ++gj) {
+          const std::int64_t jw_lo =
+              std::max<std::int64_t>(0, ceil_div(gj + p.pw - p.kw + 1, p.sw));
+          const std::int64_t jw_hi =
+              std::min<std::int64_t>(out_w - 1, floor_div(gj + p.pw, p.sw));
+          float acc = 0.0f;
+          const std::int64_t my_pos = gi * in_w + gj;
+          for (std::int64_t jh = jh_lo; jh <= jh_hi; ++jh) {
+            for (std::int64_t jw = jw_lo; jw <= jw_hi; ++jw) {
+              const float g = dy(k, c, jh - dyo.h, jw - dyo.w);
+              if (p.mode == PoolMode::kMax) {
+                if ((*argmax)(k, c, jh - dyo.h, jw - dyo.w) == my_pos) acc += g;
+              } else {
+                acc += g / float(p.kh * p.kw);
+              }
+            }
+          }
+          dx(k, c, gi - dxo.h, gj - dxo.w) = acc;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace distconv::kernels

@@ -1,0 +1,55 @@
+// Pooling kernels. Max pooling records per-output argmax positions in global
+// coordinates so the distributed backward pass can route gradients through
+// halo'd regions; average pooling uses count-include-padding semantics
+// (windows always divide by kh·kw), keeping the backward a pure gather.
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/conv.hpp"
+#include "tensor/tensor.hpp"
+
+namespace distconv::kernels {
+
+enum class PoolMode { kMax, kAverage };
+
+struct PoolParams {
+  int kh = 2, kw = 2;
+  int sh = 2, sw = 2;
+  int ph = 0, pw = 0;
+  PoolMode mode = PoolMode::kMax;
+
+  std::int64_t out_h(std::int64_t in_h) const { return (in_h + 2 * ph - kh) / sh + 1; }
+  std::int64_t out_w(std::int64_t in_w) const { return (in_w + 2 * pw - kw) / sw + 1; }
+};
+
+// --- padded oracles ---------------------------------------------------------
+
+/// Forward pooling with padding; `argmax` (same shape as y) receives encoded
+/// global positions (h·W + w) for max mode, and is ignored for average mode.
+void pool2d_forward_padded(const Tensor<float>& x, Tensor<float>& y,
+                           Tensor<std::int64_t>* argmax, const PoolParams& p);
+
+void pool2d_backward_padded(const Tensor<float>& dy,
+                            const Tensor<std::int64_t>* argmax, Tensor<float>& dx,
+                            const PoolParams& p);
+
+// --- region kernels ---------------------------------------------------------
+
+/// Compute y (and argmax for max mode) over the global output range. Windows
+/// are clipped to [0, in_h) × [0, in_w) for max mode (padding never wins);
+/// average mode reads the zero margins and divides by kh·kw. The argmax
+/// buffer may have different margins than y, hence its own origin `amo`.
+void pool2d_forward(const Tensor<float>& x, Origin2 xo, Tensor<float>& y,
+                    Origin2 yo, Tensor<std::int64_t>* argmax, Origin2 amo,
+                    const PoolParams& p, const Range2& out_range,
+                    std::int64_t in_h, std::int64_t in_w);
+
+/// Compute dx over the global input range by gathering from dy/argmax (both
+/// with margins sufficient for the transpose stencil).
+void pool2d_backward(const Tensor<float>& dy, Origin2 dyo,
+                     const Tensor<std::int64_t>* argmax, Tensor<float>& dx,
+                     Origin2 dxo, const PoolParams& p, const Range2& in_range,
+                     std::int64_t out_h, std::int64_t out_w, std::int64_t in_w);
+
+}  // namespace distconv::kernels

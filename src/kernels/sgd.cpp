@@ -1,0 +1,24 @@
+#include "kernels/sgd.hpp"
+
+#include "support/error.hpp"
+
+namespace distconv::kernels {
+
+void sgd_update(float* param, const float* grad, float* velocity, std::size_t n,
+                const SgdConfig& cfg) {
+  if (cfg.momentum != 0.0f) {
+    DC_REQUIRE(velocity != nullptr, "momentum SGD requires a velocity buffer");
+    for (std::size_t i = 0; i < n; ++i) {
+      const float g = grad[i] + cfg.weight_decay * param[i];
+      velocity[i] = cfg.momentum * velocity[i] + g;
+      param[i] -= cfg.lr * velocity[i];
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      const float g = grad[i] + cfg.weight_decay * param[i];
+      param[i] -= cfg.lr * g;
+    }
+  }
+}
+
+}  // namespace distconv::kernels

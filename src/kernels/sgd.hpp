@@ -1,0 +1,21 @@
+// SGD with momentum and weight decay — the optimizer step applied
+// independently on every rank after the gradient allreduce (replicated
+// weights stay bitwise replicated because the allreduce is deterministic).
+#pragma once
+
+#include <cstddef>
+
+namespace distconv::kernels {
+
+struct SgdConfig {
+  float lr = 0.01f;
+  float momentum = 0.0f;
+  float weight_decay = 0.0f;
+};
+
+/// v = momentum·v + (grad + weight_decay·param); param -= lr·v.
+/// With momentum == 0 this degenerates to plain SGD (velocity may be null).
+void sgd_update(float* param, const float* grad, float* velocity, std::size_t n,
+                const SgdConfig& cfg);
+
+}  // namespace distconv::kernels

@@ -1,0 +1,140 @@
+#include "models/models.hpp"
+
+#include <algorithm>
+
+#include "core/layers.hpp"
+#include "support/error.hpp"
+
+namespace distconv::models {
+namespace {
+
+/// Bottleneck residual block (1×1 reduce, 3×3, 1×1 expand), projection
+/// shortcut when the geometry changes.
+int bottleneck(core::NetworkBuilder& nb, const std::string& name, int x,
+               int in_channels, int width, int stride, core::BatchNormMode bn) {
+  const int expansion = 4;
+  int branch = nb.conv(name + "_branch2a", x, width, 1, stride, 0);
+  branch = nb.batchnorm(name + "_branch2a_bn", branch, bn);
+  branch = nb.relu(name + "_branch2a_relu", branch);
+  branch = nb.conv(name + "_branch2b", branch, width, 3, 1);
+  branch = nb.batchnorm(name + "_branch2b_bn", branch, bn);
+  branch = nb.relu(name + "_branch2b_relu", branch);
+  branch = nb.conv(name + "_branch2c", branch, width * expansion, 1, 1, 0);
+  branch = nb.batchnorm(name + "_branch2c_bn", branch, bn);
+
+  int shortcut = x;
+  if (stride != 1 || in_channels != width * expansion) {
+    shortcut = nb.conv(name + "_branch1", x, width * expansion, 1, stride, 0);
+    shortcut = nb.batchnorm(name + "_branch1_bn", shortcut, bn);
+  }
+  const int sum = nb.add(name, shortcut, branch);
+  return nb.relu(name + "_relu", sum);
+}
+
+}  // namespace
+
+core::NetworkSpec make_resnet(const ResNetConfig& config) {
+  core::NetworkBuilder nb;
+  int x = nb.input(Shape4{config.batch, 3, config.image, config.image});
+  x = nb.conv("conv1", x, config.base_width, 7, 2, 3);
+  x = nb.batchnorm("conv1_bn", x, config.bn);
+  x = nb.relu("conv1_relu", x);
+  x = nb.pool_max("pool1", x, 3, 2, 1);
+
+  int channels = config.base_width;
+  const char* stage_names[] = {"res2", "res3", "res4", "res5"};
+  for (int stage = 0; stage < 4; ++stage) {
+    const int width = config.base_width << stage;
+    for (int block = 0; block < config.stages[stage]; ++block) {
+      const std::string name =
+          std::string(stage_names[stage]) + static_cast<char>('a' + block);
+      const int stride = (block == 0 && stage > 0) ? 2 : 1;
+      x = bottleneck(nb, name, x, channels, width, stride, config.bn);
+      channels = width * 4;
+    }
+  }
+  x = nb.global_avg_pool("gap", x);
+  // Fully-convolutional classifier: 1×1 conv over the pooled features.
+  x = nb.conv("classifier", x, config.classes, 1, 1, 0, /*bias=*/true);
+  return nb.take();
+}
+
+core::NetworkSpec make_resnet50(std::int64_t batch) {
+  ResNetConfig config;
+  config.batch = batch;
+  // LBANN computes batchnorm locally per GPU (§III-B "typically computed
+  // locally"); the paper-scale models follow that default.
+  config.bn = core::BatchNormMode::kLocal;
+  return make_resnet(config);
+}
+
+core::NetworkSpec make_resnet_tiny(std::int64_t batch, std::int64_t image,
+                                   int classes) {
+  ResNetConfig config;
+  config.batch = batch;
+  config.image = image;
+  config.classes = classes;
+  config.stages = {1, 1, 1, 1};
+  config.base_width = 4;
+  return make_resnet(config);
+}
+
+core::NetworkSpec make_mesh_model(const MeshModelConfig& config) {
+  core::NetworkBuilder nb;
+  int x = nb.input(
+      Shape4{config.batch, config.in_channels, config.size, config.size});
+  for (int block = 0; block < 6; ++block) {
+    const int filters = std::max(
+        1, static_cast<int>(config.filters[block] * config.width_scale));
+    for (int unit = 0; unit < config.convs_per_block; ++unit) {
+      const std::string name = internal::compose("conv", block + 1, "_", unit + 1);
+      const bool first_in_model = block == 0 && unit == 0;
+      const bool downsample = unit == 0;
+      const int kernel = first_in_model ? 5 : 3;
+      const int stride = downsample ? 2 : 1;
+      x = nb.conv(name, x, filters, kernel, stride);
+      x = nb.batchnorm(name + "_bn", x, config.bn);
+      x = nb.relu(name + "_relu", x);
+    }
+  }
+  // Per-pixel tangling prediction at the final resolution.
+  x = nb.conv("predict", x, 1, 1, 1, 0, /*bias=*/true);
+  return nb.take();
+}
+
+core::NetworkSpec make_mesh_model_1k(std::int64_t batch) {
+  MeshModelConfig config;
+  config.batch = batch;
+  config.size = 1024;
+  config.convs_per_block = 3;
+  config.bn = core::BatchNormMode::kLocal;
+  return make_mesh_model(config);
+}
+
+core::NetworkSpec make_mesh_model_2k(std::int64_t batch) {
+  MeshModelConfig config;
+  config.batch = batch;
+  config.size = 2048;
+  config.convs_per_block = 5;
+  config.bn = core::BatchNormMode::kLocal;
+  return make_mesh_model(config);
+}
+
+core::NetworkSpec make_mesh_model_test(std::int64_t batch, std::int64_t size) {
+  MeshModelConfig config;
+  config.batch = batch;
+  config.size = size;
+  config.in_channels = 4;
+  config.convs_per_block = 1;
+  config.width_scale = 1.0 / 16.0;  // filters [8, 10, 12, 16, 24, 8]
+  return make_mesh_model(config);
+}
+
+int layer_index(const core::NetworkSpec& spec, const std::string& name) {
+  for (int i = 0; i < spec.size(); ++i) {
+    if (spec.layer(i).name() == name) return i;
+  }
+  DC_FAIL("no layer named '", name, "'");
+}
+
+}  // namespace distconv::models

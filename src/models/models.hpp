@@ -1,0 +1,69 @@
+// Model zoo: the two networks of the paper's evaluation (§VI) plus
+// scaled-down variants for tests and examples.
+//
+//  * ResNet-50 (fully convolutional): He et al. v1 bottleneck layout with a
+//    global-average-pool + 1×1-conv classifier (the paper trains a
+//    fully-convolutional variant). Layer names follow the paper/Caffe
+//    convention (conv1, res2a_branch2a, ..., res3b_branch2a, ...), so the
+//    microbenchmark layers of Fig. 2 can be looked up by name.
+//  * Mesh-tangling models: six blocks of (three for 1K / five for 2K)
+//    conv→BN→ReLU units, 3×3 kernels, stride-2 first conv per block,
+//    18-channel input; the first conv is 5×5/2 with 128 filters and block
+//    filter counts are [128,160,192,256,384,128] to match the layer
+//    geometries reported in Fig. 3 (conv1_1: C=18 H=2048 F=128 K=5 S=2;
+//    conv6_1: C=384 H=64 F=128 K=3 S=2). A final 1×1 conv emits per-pixel
+//    tangling logits (semantic segmentation head).
+#pragma once
+
+#include <string>
+
+#include "core/spec.hpp"
+
+namespace distconv::models {
+
+struct ResNetConfig {
+  std::int64_t batch = 32;
+  int classes = 1000;
+  std::int64_t image = 224;
+  core::BatchNormMode bn = core::BatchNormMode::kGlobal;
+  /// Stage depths; {3,4,6,3} is ResNet-50. Smaller values give the scaled
+  /// test variants.
+  std::array<int, 4> stages{3, 4, 6, 3};
+  int base_width = 64;
+};
+
+core::NetworkSpec make_resnet(const ResNetConfig& config = {});
+
+/// Standard ResNet-50 for ImageNet-1K shapes.
+core::NetworkSpec make_resnet50(std::int64_t batch);
+
+/// A shallow, narrow ResNet (bottleneck blocks, one per stage) for
+/// integration tests: same DAG topology, ~1000× less compute.
+core::NetworkSpec make_resnet_tiny(std::int64_t batch, std::int64_t image = 32,
+                                   int classes = 10);
+
+struct MeshModelConfig {
+  std::int64_t batch = 1;
+  std::int64_t size = 1024;  ///< 1024 (1K) or 2048 (2K)
+  int in_channels = 18;
+  int convs_per_block = 3;  ///< 3 for 1K, 5 for 2K
+  std::array<int, 6> filters{128, 160, 192, 256, 384, 128};
+  core::BatchNormMode bn = core::BatchNormMode::kGlobal;
+  /// Uniform filter scale for scaled-down test variants.
+  double width_scale = 1.0;
+};
+
+core::NetworkSpec make_mesh_model(const MeshModelConfig& config);
+
+/// The paper's 1K / 2K configurations.
+core::NetworkSpec make_mesh_model_1k(std::int64_t batch);
+core::NetworkSpec make_mesh_model_2k(std::int64_t batch);
+
+/// A small mesh-model replica (same topology, 32×32 input, narrow) that
+/// trains in seconds on the CPU engine; used by tests and examples.
+core::NetworkSpec make_mesh_model_test(std::int64_t batch, std::int64_t size = 32);
+
+/// Index of the layer with the given name (throws if absent).
+int layer_index(const core::NetworkSpec& spec, const std::string& name);
+
+}  // namespace distconv::models

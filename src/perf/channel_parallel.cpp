@@ -1,0 +1,52 @@
+#include "perf/channel_parallel.hpp"
+
+#include "support/error.hpp"
+
+namespace distconv::perf {
+namespace {
+
+std::int64_t ceil_ratio(std::int64_t a, int b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+LayerCost channel_filter_cost(const ConvLayerDesc& desc, int grid_n, int pc,
+                              const CommModel& comm, const ComputeModel& compute,
+                              int total_ranks) {
+  DC_REQUIRE(pc >= 1 && grid_n >= 1, "invalid channel-parallel configuration");
+  LayerCost cost;
+
+  // Local work: all spatial positions, C/pc input channels (forward) and
+  // F/pc filters' partial outputs.
+  ConvWork work;
+  work.n = ceil_ratio(desc.n, grid_n);
+  work.c = ceil_ratio(desc.c, pc);
+  work.h = desc.out_h();
+  work.w = desc.out_w();
+  work.f = desc.f;
+  work.kh = desc.k;
+  work.kw = desc.k;
+  cost.fp_compute = compute.conv_fwd(work);
+  cost.bpx_compute = compute.conv_bwd_data(work);
+  cost.bpw_compute = compute.conv_bwd_filter(work);
+
+  // Forward: the sum over channels (c ∈ I_C^(p)) completes with a
+  // reduce-scatter of the full output among the channel group (§III-D); a
+  // reduce-scatter moves ((pc−1)/pc)·n bytes — model it as the ring
+  // allreduce's scatter half.
+  const double y_bytes = 4.0 * work.n * desc.f * desc.out_h() * desc.out_w();
+  const double dx_bytes = 4.0 * work.n * desc.c * desc.h * desc.w;
+  if (pc > 1) {
+    cost.fp_halo = 0.5 * comm.allreduce_ring(pc, y_bytes);
+    cost.bpx_halo = 0.5 * comm.allreduce_ring(pc, dx_bytes);
+  }
+
+  // Weight gradients: each rank owns an F × C/pc slice, so the completing
+  // allreduce spans the ranks sharing that slice (total/pc of them) at 1/pc
+  // of the full weight volume.
+  const double w_bytes = 4.0 * double(desc.f) * ceil_ratio(desc.c, pc) * desc.k *
+                         desc.k;
+  cost.allreduce = comm.allreduce(std::max(1, total_ranks / pc), w_bytes);
+  return cost;
+}
+
+}  // namespace distconv::perf

@@ -1,0 +1,29 @@
+// Channel and filter parallelism — cost models only (§III-D).
+//
+// The paper sketches these decompositions and defers implementation to
+// future work; this repository does the same: the execution engine rejects
+// grids with c > 1, but the performance model can reason about them so the
+// strategy space of the optimizer (and the ablation benches) can quantify
+// when channel/filter partitioning would beat spatial partitioning — e.g.
+// deep ResNet layers with many filters and tiny spatial domains.
+//
+// Modelled scheme: x partitioned on C over `pc` ranks (so y is partitioned
+// on F): forward computes partial sums over local channels followed by a
+// reduce-scatter over the channel group; backward-data mirrors it over the
+// filter group; the weight gradient needs no halo but every rank holds only
+// the (F/pc)×C slice it owns, so its allreduce shrinks accordingly.
+#pragma once
+
+#include "perf/comm_model.hpp"
+#include "perf/compute_model.hpp"
+#include "perf/layer_cost.hpp"
+
+namespace distconv::perf {
+
+/// Cost of a conv layer partitioned over channels/filters on `pc` ranks
+/// (combined with sample parallelism over grid_n groups).
+LayerCost channel_filter_cost(const ConvLayerDesc& desc, int grid_n, int pc,
+                              const CommModel& comm, const ComputeModel& compute,
+                              int total_ranks);
+
+}  // namespace distconv::perf

@@ -1,0 +1,118 @@
+// Local kernel cost model — the C(n,c,h,w,f), C_w(·), C_x(·) of §V-A.
+//
+// The paper uses empirical cuDNN timings ("we perform several warmup runs,
+// then take the average of ten runs"); without a V100 we substitute a
+// roofline surrogate:
+//
+//   t = max( (flops + knee) / peak_flops,  bytes / mem_bw ) + launch_overhead
+//
+// The `knee` term gives small kernels sub-peak efficiency (a kernel with
+// flops == knee runs at 50% of peak), reproducing the fixed-kernel-overhead
+// plateaus the paper observes (res3b_branch2a FP "does not show significant
+// performance improvements beyond two GPUs, due to fixed kernel overheads").
+//
+// An EmpiricalComputeModel mirroring the paper's measure-then-model approach
+// (fill the table by timing this repo's CPU kernels) is provided for the
+// model-validation tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "perf/machine.hpp"
+
+namespace distconv::perf {
+
+/// Local (per-rank) convolution workload.
+struct ConvWork {
+  std::int64_t n = 1;   ///< local samples
+  std::int64_t c = 1;   ///< input channels
+  std::int64_t h = 1;   ///< local *output* rows
+  std::int64_t w = 1;   ///< local *output* cols
+  std::int64_t f = 1;   ///< filters
+  int kh = 1, kw = 1;
+
+  double flops() const {
+    return 2.0 * double(n) * c * h * w * f * kh * kw;
+  }
+  /// Input + output + weight traffic, single precision.
+  double bytes(int sh = 1, int sw = 1) const {
+    const double in_bytes = 4.0 * double(n) * c * (h * sh) * (w * sw);
+    const double out_bytes = 4.0 * double(n) * f * h * w;
+    const double w_bytes = 4.0 * double(f) * c * kh * kw;
+    return in_bytes + out_bytes + w_bytes;
+  }
+};
+
+class ComputeModel {
+ public:
+  virtual ~ComputeModel() = default;
+  /// Forward convolution time C(n,c,h,w,f).
+  virtual double conv_fwd(const ConvWork& w) const = 0;
+  /// Backward-data time C_x.
+  virtual double conv_bwd_data(const ConvWork& w) const = 0;
+  /// Backward-filter time C_w.
+  virtual double conv_bwd_filter(const ConvWork& w) const = 0;
+};
+
+class RooflineComputeModel final : public ComputeModel {
+ public:
+  explicit RooflineComputeModel(const MachineModel& machine,
+                                double slowdown = 1.0)
+      : m_(machine), slowdown_(slowdown) {}
+
+  double kernel_time(double flops, double bytes, double tile_penalty) const {
+    if (flops <= 0) return 0.0;
+    const double compute =
+        tile_penalty * (flops + m_.efficiency_knee) / m_.peak_flops;
+    const double memory = bytes / m_.mem_bandwidth;
+    return slowdown_ * std::max(compute, memory) + m_.kernel_overhead;
+  }
+
+  /// Narrow local shards defeat cuDNN's tiling; this reproduces the paper's
+  /// "local convolution kernels not scaling linearly" under fine spatial
+  /// decomposition.
+  double tile_penalty(const ConvWork& w) const {
+    const double min_dim = static_cast<double>(std::min(w.h, w.w));
+    if (min_dim <= 0) return 1.0;
+    return std::min(2.5, 1.0 + m_.tile_knee / min_dim);
+  }
+
+  double conv_fwd(const ConvWork& w) const override {
+    return kernel_time(w.flops(), w.bytes(), tile_penalty(w));
+  }
+  double conv_bwd_data(const ConvWork& w) const override {
+    // Backward-data does the same multiply-accumulate volume; cuDNN's
+    // transposed kernels typically run slightly slower.
+    return kernel_time(w.flops() * 1.1, w.bytes(), tile_penalty(w));
+  }
+  double conv_bwd_filter(const ConvWork& w) const override {
+    return kernel_time(w.flops() * 1.1, w.bytes(), tile_penalty(w));
+  }
+
+ private:
+  MachineModel m_;
+  double slowdown_;
+};
+
+/// Look-up-table model in the spirit of the paper's empirical benchmark:
+/// the table is a callback so tests can back it with real measured kernel
+/// times from this repository's CPU implementation.
+class EmpiricalComputeModel final : public ComputeModel {
+ public:
+  using Fn = std::function<double(const ConvWork&)>;
+  EmpiricalComputeModel(Fn fwd, Fn bwd_data, Fn bwd_filter)
+      : fwd_(std::move(fwd)), bwd_data_(std::move(bwd_data)),
+        bwd_filter_(std::move(bwd_filter)) {}
+
+  double conv_fwd(const ConvWork& w) const override { return fwd_(w); }
+  double conv_bwd_data(const ConvWork& w) const override { return bwd_data_(w); }
+  double conv_bwd_filter(const ConvWork& w) const override {
+    return bwd_filter_(w);
+  }
+
+ private:
+  Fn fwd_, bwd_data_, bwd_filter_;
+};
+
+}  // namespace distconv::perf

@@ -1,0 +1,73 @@
+// Machine description for the performance model (§II-B, §V).
+//
+// The defaults describe a Lassen-like system: nodes of four V100 GPUs with
+// NVLink2 intra-node and dual-rail InfiniBand EDR inter-node, 16 GiB of
+// memory per GPU. The communication model is the α-β linear model of
+// Fraigniaud & Lazard used by the paper; compute is a roofline with a fixed
+// kernel-launch overhead and a work-dependent efficiency knee calibrated so
+// layer times land in the regime the paper reports (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+
+namespace distconv::perf {
+
+/// α-β link: time = alpha + beta · bytes.
+struct LinkModel {
+  double alpha = 0.0;  ///< latency, seconds
+  double beta = 0.0;   ///< inverse bandwidth, seconds per byte
+
+  double time(double bytes) const { return alpha + beta * bytes; }
+};
+
+struct MachineModel {
+  int gpus_per_node = 4;
+  /// Largest GPU count used in the paper's runs (Lassen allocation).
+  int max_gpus = 2048;
+
+  LinkModel intra{5e-6, 1.0 / 60e9};   ///< NVLink2 (effective)
+  LinkModel inter{7e-6, 1.0 / 10e9};   ///< IB EDR per-GPU-pair (effective)
+  /// Per-hop latency inside a chunk-pipelined ring collective (NCCL-style);
+  /// much smaller than a full message α because chunks stream.
+  double ring_hop_latency = 1e-6;
+  /// Aggregate inter-node bandwidth per node for collectives (dual-rail EDR).
+  double node_collective_bandwidth = 22e9;
+
+  double peak_flops = 12e12;        ///< V100 fp32, effective ceiling
+  double efficiency_knee = 6e8;     ///< FLOPs at which a kernel reaches ~50% peak
+  double mem_bandwidth = 800e9;     ///< HBM2 effective bytes/s
+  /// cuDNN loses tiling efficiency on narrow local shards; kernel time is
+  /// scaled by (1 + tile_knee / min(h_loc, w_loc)), capped at 2.5×.
+  double tile_knee = 24.0;
+  double kernel_overhead = 8e-6;    ///< per-kernel launch/fixed cost, seconds
+  double reduce_flops = 50e9;       ///< local reduction rate for γ terms, el/s
+
+  double gpu_memory_bytes = 16.0 * (1ull << 30);
+  /// Communication-related GPU memory that grows with job size (the paper's
+  /// explanation for sample-parallel degradation at 2048 GPUs: NCCL/Aluminum
+  /// state grows with the job and squeezes the cuDNN workspace).
+  double comm_buffer_bytes_per_gpu_in_job = 1e6;
+  /// Memory pressure (workspace-starved cuDNN algorithm choice) triggers
+  /// when job-wide comm state is large AND the rank's local activations are
+  /// big enough to want a large workspace.
+  double pressure_comm_bytes = 2e9;
+  double pressure_activation_bytes = 1.5e9;
+  double memory_pressure_slowdown = 1.18;   ///< conv slowdown when pressured
+
+  /// Fixed framework + cuDNN workspace overheads counted against feasibility.
+  double base_memory_bytes = 1.0 * (1ull << 30);
+  double activation_overhead = 1.05;  ///< bookkeeping multiplier
+
+  /// Whether two job-ranks are on the same node (ranks pack densely).
+  bool same_node(int rank_a, int rank_b) const {
+    return rank_a / gpus_per_node == rank_b / gpus_per_node;
+  }
+
+  const LinkModel& link(int rank_a, int rank_b) const {
+    return same_node(rank_a, rank_b) ? intra : inter;
+  }
+
+  static MachineModel lassen() { return MachineModel{}; }
+};
+
+}  // namespace distconv::perf

@@ -1,0 +1,60 @@
+// Whole-network cost (§V-B): sum conv layer costs (other layers are treated
+// as free, as in the paper), add redistribution shuffles between mismatched
+// layer grids, model greedy allreduce/backprop overlap with a single
+// in-flight allreduce, and account GPU memory for feasibility and
+// memory-pressure slowdowns.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/spec.hpp"
+#include "core/strategy.hpp"
+#include "perf/layer_cost.hpp"
+
+namespace distconv::perf {
+
+struct NetworkCostOptions {
+  bool overlap_halo = true;       ///< §IV-A interior/boundary overlap
+  bool overlap_allreduce = true;  ///< hide BP_ℓ^a behind backprop compute
+};
+
+struct MemoryEstimate {
+  double activation_bytes = 0;  ///< y + dy local blocks
+  double parameter_bytes = 0;   ///< params + grads + momentum
+  double comm_bytes = 0;        ///< job-size-dependent buffers
+  double total_bytes = 0;       ///< with workspace multiplier + base
+  bool feasible = false;
+  bool pressured = false;  ///< above the slowdown threshold
+};
+
+struct NetworkCost {
+  double forward = 0;
+  double backward = 0;           ///< BPx + BPw incl. exposed allreduce time
+  double allreduce_exposed = 0;  ///< unhidden part of the gradient allreduces
+  double shuffle = 0;            ///< §III-C redistribution (fwd + bwd)
+  MemoryEstimate memory;
+  std::vector<std::optional<LayerCost>> layers;  ///< per layer (conv only)
+
+  double minibatch_time() const { return forward + backward + shuffle; }
+};
+
+/// Extract conv geometry of layer `i` (nullopt for non-conv layers).
+std::optional<ConvLayerDesc> conv_desc(const core::NetworkSpec& spec, int i,
+                                       const std::vector<Shape4>& shapes);
+
+/// Per-rank memory estimate for a strategy on a machine, with `total_ranks`
+/// GPUs in the job.
+MemoryEstimate estimate_memory(const core::NetworkSpec& spec,
+                               const core::Strategy& strategy,
+                               const MachineModel& machine, int total_ranks);
+
+/// Evaluate the full §V model. When `compute` is null, a roofline model (with
+/// any memory-pressure slowdown applied) is built from `machine`.
+NetworkCost network_cost(const core::NetworkSpec& spec,
+                         const core::Strategy& strategy,
+                         const MachineModel& machine,
+                         const NetworkCostOptions& options = {},
+                         const ComputeModel* compute = nullptr);
+
+}  // namespace distconv::perf

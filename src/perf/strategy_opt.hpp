@@ -1,0 +1,62 @@
+// Automatic parallel-execution-strategy selection (§V-C).
+//
+// Candidate distributions are generated per layer (load-balanced grids,
+// cheaper parallelism preferred), then the best assignment is found by
+// reduction to single-source shortest path over a DAG with one vertex per
+// (layer, candidate distribution) and edges weighted
+// Cost_Di(ℓi) + Shuffle(Di, Dj). Networks with branches (ResNets) are
+// handled by the paper's longest-path decomposition: fix the most expensive
+// input→output path first, then iterate on paths with the fewest
+// already-fixed layers until every layer has a distribution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/spec.hpp"
+#include "core/strategy.hpp"
+#include "perf/network_cost.hpp"
+
+namespace distconv::perf {
+
+struct OptimizerOptions {
+  int max_gpus_per_sample = 16;
+  NetworkCostOptions cost_options;
+};
+
+/// Candidate grids for one layer: sample parallelism first (cheapest), then
+/// hybrid sample/spatial splits that stay load-balanced and halo-feasible.
+std::vector<ProcessGrid> candidate_grids(int ranks, const Shape4& in_shape,
+                                         const Shape4& out_shape, int kernel,
+                                         const OptimizerOptions& options);
+
+/// Select a per-layer strategy for `ranks` GPUs.
+core::Strategy optimize_strategy(const core::NetworkSpec& spec, int ranks,
+                                 const MachineModel& machine,
+                                 const OptimizerOptions& options = {});
+
+/// Single-node cost used both for path weights and DP node weights:
+/// conv layers use the §V-A model, BN a small allreduce, the rest are free.
+double layer_node_cost(const core::NetworkSpec& spec, int layer,
+                       const std::vector<Shape4>& shapes,
+                       const ProcessGrid& grid, const MachineModel& machine,
+                       const OptimizerOptions& options);
+
+/// §VI-B2 advisory: "Channel/filter parallelism may be more promising, as
+/// many layers have many filters." For each conv layer, compare the best
+/// sample/spatial candidate against the best channel/filter decomposition
+/// (modelled per §III-D; not executable — see DESIGN.md) and report layers
+/// where channel parallelism would win.
+struct ChannelOpportunity {
+  int layer = -1;
+  std::string name;
+  double best_spatial_cost = 0;  ///< best sample/spatial/hybrid candidate
+  double best_channel_cost = 0;  ///< best sample×channel split
+  int channel_ways = 0;          ///< the winning channel split
+};
+
+std::vector<ChannelOpportunity> analyze_channel_opportunities(
+    const core::NetworkSpec& spec, int ranks, const MachineModel& machine,
+    const OptimizerOptions& options = {});
+
+}  // namespace distconv::perf

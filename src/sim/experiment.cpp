@@ -1,0 +1,151 @@
+#include "sim/experiment.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace distconv::sim {
+
+core::Strategy hybrid_strategy(const core::NetworkSpec& spec, int gpus,
+                               int gpus_per_sample) {
+  return core::Strategy::hybrid(spec.size(), gpus, gpus_per_sample);
+}
+
+Cell evaluate(const SpecBuilder& build, std::int64_t minibatch,
+              int gpus_per_sample, const ExperimentOptions& options) {
+  Cell cell;
+  DC_REQUIRE(minibatch % options.samples_per_group == 0, "mini-batch ",
+             minibatch, " not divisible by samples per group ",
+             options.samples_per_group);
+  cell.gpus = static_cast<int>(minibatch / options.samples_per_group) *
+              gpus_per_sample;
+  if (cell.gpus > options.max_gpus) {
+    cell.infeasible_reason = "needs more GPUs than the machine has";
+    return cell;
+  }
+  const core::NetworkSpec spec = build(minibatch);
+  const core::Strategy strategy =
+      hybrid_strategy(spec, cell.gpus, gpus_per_sample);
+  const perf::NetworkCost cost =
+      perf::network_cost(spec, strategy, options.machine, options.cost);
+  if (!cost.memory.feasible) {
+    cell.infeasible_reason = "exceeds GPU memory";
+    return cell;
+  }
+  cell.feasible = true;
+  cell.seconds = cost.minibatch_time();
+  return cell;
+}
+
+StrongScalingResult strong_scaling(const SpecBuilder& build,
+                                   const std::vector<std::int64_t>& minibatches,
+                                   const std::vector<int>& gpus_per_sample,
+                                   const ExperimentOptions& options) {
+  StrongScalingResult result;
+  result.gpus_per_sample = gpus_per_sample;
+  for (const std::int64_t n : minibatches) {
+    StrongRow row;
+    row.minibatch = n;
+    for (const int gps : gpus_per_sample) {
+      row.cells.push_back(evaluate(build, n, gps, options));
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+std::vector<WeakSeries> weak_scaling(const SpecBuilder& build,
+                                     const std::vector<int>& gpus_per_sample,
+                                     int min_gpus,
+                                     const ExperimentOptions& options) {
+  std::vector<WeakSeries> out;
+  for (const int gps : gpus_per_sample) {
+    WeakSeries series;
+    series.gpus_per_sample = gps;
+    for (int gpus = std::max(min_gpus, gps); gpus <= options.max_gpus;
+         gpus *= 2) {
+      if (gpus % gps != 0) continue;
+      Cell cell = evaluate(build, gpus / gps, gps, options);
+      cell.gpus = gpus;
+      series.cells.push_back(cell);
+    }
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+namespace {
+
+std::string seconds_str(double s) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(s >= 0.0995 ? 3 : 4) << s << "s";
+  return oss.str();
+}
+
+}  // namespace
+
+std::string format_strong_scaling(const StrongScalingResult& result,
+                                  int baseline_gps, const std::string& title) {
+  std::ostringstream oss;
+  oss << "== " << title << " ==\n";
+  int baseline_col = -1;
+  for (std::size_t i = 0; i < result.gpus_per_sample.size(); ++i) {
+    if (result.gpus_per_sample[i] == baseline_gps) {
+      baseline_col = static_cast<int>(i);
+    }
+  }
+  DC_REQUIRE(baseline_col >= 0, "baseline GPUs/sample ", baseline_gps,
+             " not among the columns");
+  oss << std::left << std::setw(8) << "N";
+  for (int gps : result.gpus_per_sample) {
+    oss << std::setw(20)
+        << (std::to_string(gps) + (gps == 1 ? " GPU/sample" : " GPUs/sample"));
+  }
+  oss << "\n";
+  for (const auto& row : result.rows) {
+    oss << std::left << std::setw(8) << row.minibatch;
+    const Cell& base = row.cells[baseline_col];
+    for (std::size_t i = 0; i < row.cells.size(); ++i) {
+      const Cell& cell = row.cells[i];
+      std::string text;
+      if (!cell.feasible) {
+        text = "n/a";
+      } else if (static_cast<int>(i) == baseline_col) {
+        text = seconds_str(cell.seconds);
+      } else if (base.feasible) {
+        std::ostringstream c;
+        c << seconds_str(cell.seconds) << " (" << std::fixed
+          << std::setprecision(1) << base.seconds / cell.seconds << "x)";
+        text = c.str();
+      } else {
+        text = seconds_str(cell.seconds);
+      }
+      oss << std::setw(20) << text;
+    }
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+std::string format_weak_scaling(const std::vector<WeakSeries>& series,
+                                const std::string& title) {
+  std::ostringstream oss;
+  oss << "== " << title << " ==\n";
+  for (const auto& s : series) {
+    oss << "-- " << s.gpus_per_sample << " GPU"
+        << (s.gpus_per_sample > 1 ? "s" : "") << "/sample --\n";
+    oss << std::left << std::setw(10) << "#GPUs" << std::setw(16)
+        << "mini-batch time" << "\n";
+    for (const auto& cell : s.cells) {
+      oss << std::left << std::setw(10) << cell.gpus << std::setw(16)
+          << (cell.feasible ? seconds_str(cell.seconds)
+                            : std::string("n/a (") + cell.infeasible_reason + ")")
+          << "\n";
+    }
+  }
+  return oss.str();
+}
+
+}  // namespace distconv::sim

@@ -1,0 +1,86 @@
+// Scaling-experiment driver: evaluates the §V performance model over the
+// configurations of the paper's evaluation (strong scaling at fixed
+// mini-batch across parallelization schemes; weak scaling growing the
+// mini-batch with the GPU count) and formats paper-style tables.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "perf/network_cost.hpp"
+
+namespace distconv::sim {
+
+/// Builds the network for a given global mini-batch size.
+using SpecBuilder = std::function<core::NetworkSpec(std::int64_t minibatch)>;
+
+struct Cell {
+  int gpus = 0;
+  double seconds = 0;
+  bool feasible = false;  ///< memory-feasible and within the machine
+  std::string infeasible_reason;
+};
+
+/// One strong-scaling row: a mini-batch size across GPUs-per-sample options.
+struct StrongRow {
+  std::int64_t minibatch = 0;
+  std::vector<Cell> cells;  ///< aligned with gpus_per_sample list
+};
+
+struct StrongScalingResult {
+  std::vector<int> gpus_per_sample;
+  std::vector<StrongRow> rows;
+};
+
+/// One weak-scaling series: fixed GPUs/sample, growing GPU count.
+struct WeakSeries {
+  int gpus_per_sample = 0;
+  std::vector<Cell> cells;  ///< indexed by total GPU count sweep
+};
+
+struct ExperimentOptions {
+  perf::MachineModel machine = perf::MachineModel::lassen();
+  perf::NetworkCostOptions cost;
+  int max_gpus = 2048;
+  /// Samples assigned to each GPU group (Table III uses 32 samples per group
+  /// — "32 samples/GPU" baseline vs "32 samples/2 GPUs" hybrid; Tables I-II
+  /// use 1).
+  std::int64_t samples_per_group = 1;
+};
+
+/// Hybrid strategy used throughout the paper's training evaluation: the same
+/// decomposition for every layer.
+core::Strategy hybrid_strategy(const core::NetworkSpec& spec, int gpus,
+                               int gpus_per_sample);
+
+/// Mini-batch time under hybrid sample/spatial parallelism; nullopt when the
+/// configuration is infeasible (memory or machine size).
+Cell evaluate(const SpecBuilder& build, std::int64_t minibatch,
+              int gpus_per_sample, const ExperimentOptions& options);
+
+StrongScalingResult strong_scaling(const SpecBuilder& build,
+                                   const std::vector<std::int64_t>& minibatches,
+                                   const std::vector<int>& gpus_per_sample,
+                                   const ExperimentOptions& options);
+
+/// Weak scaling: per GPUs/sample series, sweep total GPUs in powers of two
+/// from `min_gpus` to options.max_gpus (mini-batch = gpus / gpus_per_sample).
+std::vector<WeakSeries> weak_scaling(const SpecBuilder& build,
+                                     const std::vector<int>& gpus_per_sample,
+                                     int min_gpus,
+                                     const ExperimentOptions& options);
+
+// --- formatting -------------------------------------------------------------
+
+/// Paper-style strong-scaling table: speedups are relative to the column of
+/// `baseline_gps` GPUs/sample.
+std::string format_strong_scaling(const StrongScalingResult& result,
+                                  int baseline_gps, const std::string& title);
+
+/// Weak-scaling series printed as "gpus time" rows per series (Fig. 4 data).
+std::string format_weak_scaling(const std::vector<WeakSeries>& series,
+                                const std::string& title);
+
+}  // namespace distconv::sim

@@ -1,0 +1,11 @@
+#include "support/error.hpp"
+
+namespace distconv::internal {
+
+void throw_error(const char* file, int line, const std::string& msg) {
+  std::ostringstream oss;
+  oss << file << ":" << line << ": " << msg;
+  throw Error(oss.str());
+}
+
+}  // namespace distconv::internal

@@ -1,0 +1,59 @@
+// Error handling primitives for finegrain-distconv.
+//
+// All internal invariant violations throw distconv::Error, carrying the
+// source location and a formatted message. Collective code running on rank
+// threads must not abort the process (other ranks would deadlock), so errors
+// propagate as exceptions and comm::World rethrows the first one on join.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace distconv {
+
+/// Exception type for all library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace internal {
+
+[[noreturn]] void throw_error(const char* file, int line, const std::string& msg);
+
+// Stream-compose a message from a parameter pack.
+template <typename... Args>
+std::string compose(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+
+}  // namespace internal
+}  // namespace distconv
+
+/// Check a condition that indicates a caller/API contract; always evaluated.
+#define DC_REQUIRE(cond, ...)                                                  \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      ::distconv::internal::throw_error(                                       \
+          __FILE__, __LINE__,                                                  \
+          ::distconv::internal::compose("requirement failed: " #cond " — ",    \
+                                        __VA_ARGS__));                         \
+    }                                                                          \
+  } while (0)
+
+/// Check an internal invariant; always evaluated (cheap checks only).
+#define DC_CHECK(cond)                                                         \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      ::distconv::internal::throw_error(__FILE__, __LINE__,                    \
+                                        "internal check failed: " #cond);      \
+    }                                                                          \
+  } while (0)
+
+/// Unconditional failure with a message.
+#define DC_FAIL(...)                                                           \
+  ::distconv::internal::throw_error(                                           \
+      __FILE__, __LINE__, ::distconv::internal::compose(__VA_ARGS__))

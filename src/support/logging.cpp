@@ -1,0 +1,41 @@
+#include "support/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace distconv::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kWarn};
+thread_local int t_rank = -1;
+std::mutex g_mutex;
+
+const char* level_name(Level l) {
+  switch (l) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_thread_rank(int rank) { t_rank = rank; }
+int thread_rank() { return t_rank; }
+
+void write(Level lvl, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (t_rank >= 0) {
+    std::fprintf(stderr, "[%s][rank %d] %s\n", level_name(lvl), t_rank, msg.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_name(lvl), msg.c_str());
+  }
+}
+
+}  // namespace distconv::log

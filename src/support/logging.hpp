@@ -1,0 +1,48 @@
+// Minimal thread-safe logging. Rank threads tag messages with their rank.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace distconv::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped. Default: kWarn.
+void set_level(Level level);
+Level level();
+
+/// Associates a rank with the calling thread for log prefixes (-1 = none).
+void set_thread_rank(int rank);
+int thread_rank();
+
+void write(Level level, const std::string& msg);
+
+namespace internal {
+template <typename... Args>
+void log_at(Level lvl, Args&&... args) {
+  if (lvl < level()) return;
+  std::ostringstream oss;
+  (oss << ... << args);
+  write(lvl, oss.str());
+}
+}  // namespace internal
+
+template <typename... Args>
+void debug(Args&&... args) {
+  internal::log_at(Level::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void info(Args&&... args) {
+  internal::log_at(Level::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void warn(Args&&... args) {
+  internal::log_at(Level::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void error(Args&&... args) {
+  internal::log_at(Level::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace distconv::log

@@ -1,0 +1,46 @@
+// Deterministic random number generation.
+//
+// Rng wraps xoshiro256** seeded via splitmix64 so that (seed, stream) pairs
+// give independent, reproducible sequences — rank r of a distributed run uses
+// stream r and reproduces bit-identically across runs and thread schedules.
+#pragma once
+
+#include <cstdint>
+
+namespace distconv {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull, std::uint64_t stream = 0);
+
+  /// Uniform 64-bit integer.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box–Muller (cached second value).
+  double normal();
+
+  /// Normal with given mean and stddev.
+  double normal(double mean, double stddev);
+
+  /// Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n);
+
+  // Required by std::uniform_int_distribution-style adaptors.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace distconv

@@ -1,0 +1,185 @@
+// DistTensor<T>: a tensor block-distributed over a process grid, with margin
+// (halo/padding) storage — the partitioned-global-view data structure of §IV.
+//
+// Each rank holds its owned block plus margins along H and W. Global
+// coordinates map into the local buffer via global_to_buffer(); the owned
+// region starts at (h_margin_lo, w_margin_lo). Margins at the global boundary
+// represent convolution zero-padding and stay zero; margins adjacent to a
+// neighbouring rank are refreshed by HaloExchange.
+#pragma once
+
+#include "comm/collectives.hpp"
+#include "comm/comm.hpp"
+#include "tensor/margins.hpp"
+#include "tensor/partition.hpp"
+#include "tensor/tensor.hpp"
+
+namespace distconv {
+
+template <typename T>
+class DistTensor {
+ public:
+  DistTensor() = default;
+
+  /// `comm` must have exactly dist.grid.size() ranks; the calling rank's grid
+  /// coordinate is its rank in `comm`.
+  DistTensor(comm::Comm* comm, const Distribution& dist, MarginTable margins_h = {},
+             MarginTable margins_w = {})
+      : comm_(comm), dist_(dist),
+        margins_h_(margins_h.parts() ? std::move(margins_h)
+                                     : MarginTable(dist.grid.h)),
+        margins_w_(margins_w.parts() ? std::move(margins_w)
+                                     : MarginTable(dist.grid.w)) {
+    DC_REQUIRE(comm_ != nullptr, "DistTensor requires a communicator");
+    DC_REQUIRE(comm_->size() == dist_.grid.size(), "communicator size ",
+               comm_->size(), " != grid size ", dist_.grid.size());
+    DC_REQUIRE(margins_h_.parts() == dist_.grid.h, "H margin table has ",
+               margins_h_.parts(), " parts for grid.h=", dist_.grid.h);
+    DC_REQUIRE(margins_w_.parts() == dist_.grid.w, "W margin table has ",
+               margins_w_.parts(), " parts for grid.w=", dist_.grid.w);
+    coord_ = dist_.grid.coord_of(comm_->rank());
+    local_shape_ = dist_.local_shape(comm_->rank());
+    Shape4 alloc = local_shape_;
+    alloc.h += h_margin_lo() + h_margin_hi();
+    alloc.w += w_margin_lo() + w_margin_hi();
+    buffer_ = Tensor<T>(alloc);
+  }
+
+  comm::Comm& comm() const { return *comm_; }
+  const Distribution& dist() const { return dist_; }
+  const ProcessGrid& grid() const { return dist_.grid; }
+  const ProcessGrid::Coord& coord() const { return coord_; }
+  Shape4 global_shape() const { return dist_.global_shape(); }
+  const Shape4& local_shape() const { return local_shape_; }
+  const MarginTable& margins_h() const { return margins_h_; }
+  const MarginTable& margins_w() const { return margins_w_; }
+
+  std::int64_t h_margin_lo() const { return margins_h_.lo[coord_.h]; }
+  std::int64_t h_margin_hi() const { return margins_h_.hi[coord_.h]; }
+  std::int64_t w_margin_lo() const { return margins_w_.lo[coord_.w]; }
+  std::int64_t w_margin_hi() const { return margins_w_.hi[coord_.w]; }
+
+  /// Owned global index box of this rank.
+  Box4 owned_box() const { return dist_.owned_box(comm_->rank()); }
+
+  /// Start of the owned range in each global dimension.
+  std::int64_t owned_start(int d) const {
+    switch (d) {
+      case 0: return dist_.n.start(coord_.n);
+      case 1: return dist_.c.start(coord_.c);
+      case 2: return dist_.h.start(coord_.h);
+      case 3: return dist_.w.start(coord_.w);
+      default: DC_FAIL("bad dimension ", d);
+    }
+  }
+
+  /// The underlying buffer (owned block + margins).
+  Tensor<T>& buffer() { return buffer_; }
+  const Tensor<T>& buffer() const { return buffer_; }
+
+  /// Box of the owned region within the local buffer.
+  Box4 interior_box() const {
+    Box4 b;
+    b.off[0] = 0;
+    b.off[1] = 0;
+    b.off[2] = h_margin_lo();
+    b.off[3] = w_margin_lo();
+    for (int d = 0; d < 4; ++d) b.ext[d] = local_shape_[d];
+    return b;
+  }
+
+  /// Map a global-coordinate box (must lie within owned ∪ margins for H/W and
+  /// within owned for N/C) to local buffer coordinates.
+  Box4 global_to_buffer(const Box4& g) const {
+    Box4 b = g;
+    b.off[0] -= owned_start(0);
+    b.off[1] -= owned_start(1);
+    b.off[2] -= owned_start(2) - h_margin_lo();
+    b.off[3] -= owned_start(3) - w_margin_lo();
+    for (int d = 0; d < 4; ++d) {
+      DC_REQUIRE(b.off[d] >= 0 && b.off[d] + b.ext[d] <= buffer_.shape()[d],
+                 "global box maps outside local buffer in dim ", d);
+    }
+    return b;
+  }
+
+  /// Element access by *owned-local* coordinates (0-based within the owned
+  /// block; margins are addressed with negative h/w or h >= local h).
+  T& at_owned(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+    return buffer_(n, c, h + h_margin_lo(), w + w_margin_lo());
+  }
+  const T& at_owned(std::int64_t n, std::int64_t c, std::int64_t h,
+                    std::int64_t w) const {
+    return buffer_(n, c, h + h_margin_lo(), w + w_margin_lo());
+  }
+
+  /// Element access by global coordinates (must be held locally).
+  T& at_global(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+    return at_owned(n - owned_start(0), c - owned_start(1), h - owned_start(2),
+                    w - owned_start(3));
+  }
+
+  /// Pointer to the first owned element.
+  T* owned_data() {
+    return buffer_.data() +
+           buffer_.strides().offset(0, 0, h_margin_lo(), w_margin_lo());
+  }
+  const T* owned_data() const {
+    return buffer_.data() +
+           buffer_.strides().offset(0, 0, h_margin_lo(), w_margin_lo());
+  }
+
+  /// Zero the whole buffer including margins.
+  void zero() { buffer_.zero(); }
+
+  /// Fill the owned region from per-rank-deterministic RNG; margins are left
+  /// untouched (they are owned by halo exchange / padding).
+  void fill_owned_uniform(Rng& rng, T lo = T(-1), T hi = T(1)) {
+    const Box4 ib = interior_box();
+    for (std::int64_t n = 0; n < ib.ext[0]; ++n)
+      for (std::int64_t c = 0; c < ib.ext[1]; ++c)
+        for (std::int64_t h = 0; h < ib.ext[2]; ++h)
+          for (std::int64_t w = 0; w < ib.ext[3]; ++w)
+            buffer_(n, c, ib.off[2] + h, ib.off[3] + w) =
+                static_cast<T>(rng.uniform(double(lo), double(hi)));
+  }
+
+ private:
+  comm::Comm* comm_ = nullptr;
+  Distribution dist_;
+  MarginTable margins_h_, margins_w_;
+  ProcessGrid::Coord coord_;
+  Shape4 local_shape_{0, 0, 0, 0};
+  Tensor<T> buffer_;
+};
+
+/// Gather a distributed tensor to a full global tensor on every rank
+/// (testing/debugging utility; interiors only).
+template <typename T>
+Tensor<T> gather_to_all(const DistTensor<T>& dt) {
+  auto& comm = dt.comm();
+  const Shape4 g = dt.global_shape();
+  Tensor<T> out(g);
+  // Pack my owned block; broadcast-style allgatherv by rank order.
+  const Box4 owned = dt.owned_box();
+  std::vector<T> mine(static_cast<std::size_t>(owned.volume()));
+  pack_box(dt.buffer(), dt.global_to_buffer(owned), mine.data());
+
+  const int p = comm.size();
+  std::vector<std::size_t> counts(p), displs(p);
+  std::size_t total = 0;
+  for (int r = 0; r < p; ++r) {
+    counts[r] = static_cast<std::size_t>(dt.dist().owned_box(r).volume());
+    displs[r] = total;
+    total += counts[r];
+  }
+  std::vector<T> all(total);
+  comm::allgatherv(comm, mine.data(), mine.size(), all.data(), counts, displs);
+  for (int r = 0; r < p; ++r) {
+    const Box4 b = dt.dist().owned_box(r);
+    unpack_box(all.data() + displs[r], b, out);
+  }
+  return out;
+}
+
+}  // namespace distconv

@@ -1,0 +1,85 @@
+#include "tensor/margins.hpp"
+
+#include <algorithm>
+
+namespace distconv {
+namespace {
+
+std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  // b > 0; round toward negative infinity.
+  std::int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+}  // namespace
+
+void MarginTable::merge_max(const MarginTable& other) {
+  if (other.lo.empty()) return;
+  if (lo.empty()) {
+    *this = other;
+    return;
+  }
+  DC_REQUIRE(parts() == other.parts(), "cannot merge margin tables with ",
+             parts(), " vs ", other.parts(), " parts");
+  for (int i = 0; i < parts(); ++i) {
+    lo[i] = std::max(lo[i], other.lo[i]);
+    hi[i] = std::max(hi[i], other.hi[i]);
+  }
+}
+
+bool MarginTable::all_zero() const {
+  for (auto v : lo)
+    if (v != 0) return false;
+  for (auto v : hi)
+    if (v != 0) return false;
+  return true;
+}
+
+MarginTable forward_stencil_margins(const DimPartition& in, const DimPartition& out,
+                                    const StencilSpec& spec) {
+  DC_REQUIRE(in.parts() == out.parts(),
+             "input and output must be partitioned over the same parts");
+  MarginTable m(in.parts());
+  for (int i = 0; i < in.parts(); ++i) {
+    // An empty output block needs no input at all. An empty *input* block
+    // with output rows is handled by the general formula: in.end(i)-1 ==
+    // in.start(i)-1, so the whole needed range lands in the margins.
+    if (out.size(i) == 0) continue;
+    const std::int64_t oq = out.start(i);
+    const std::int64_t oe = out.end(i) - 1;
+    const std::int64_t needed_lo = spec.stride * oq - spec.pad;
+    const std::int64_t needed_hi = spec.stride * oe - spec.pad + spec.kernel - 1;
+    m.lo[i] = std::max<std::int64_t>(0, in.start(i) - needed_lo);
+    m.hi[i] = std::max<std::int64_t>(0, needed_hi - (in.end(i) - 1));
+  }
+  return m;
+}
+
+MarginTable transpose_stencil_margins(const DimPartition& in, const DimPartition& out,
+                                      const StencilSpec& spec) {
+  DC_REQUIRE(in.parts() == out.parts(),
+             "input and output must be partitioned over the same parts");
+  MarginTable m(out.parts());
+  for (int i = 0; i < out.parts(); ++i) {
+    // An empty input block needs no dL/dy. A rank that owns input rows but
+    // an *empty output block* (fine stride-2 decompositions of small
+    // domains) still needs the dL/dy rows its gradient gathers from; the
+    // general formula places them entirely in the margins because
+    // out.end(i)-1 == out.start(i)-1 then.
+    if (in.size(i) == 0) continue;
+    const std::int64_t iq = in.start(i);
+    const std::int64_t ie = in.end(i) - 1;
+    // Output rows touching input row r: (r + P - K)/S < j <= (r + P)/S.
+    std::int64_t j_lo = floor_div(iq + spec.pad - spec.kernel, spec.stride) + 1;
+    std::int64_t j_hi = floor_div(ie + spec.pad, spec.stride);
+    j_lo = std::max<std::int64_t>(j_lo, 0);
+    j_hi = std::min<std::int64_t>(j_hi, out.global() - 1);
+    if (j_lo > j_hi) continue;
+    m.lo[i] = std::max<std::int64_t>(0, out.start(i) - j_lo);
+    m.hi[i] = std::max<std::int64_t>(0, j_hi - (out.end(i) - 1));
+  }
+  return m;
+}
+
+}  // namespace distconv

@@ -1,0 +1,67 @@
+// Margin (halo + padding) computation for stencil consumers.
+//
+// A distributed tensor's local buffer is allocated with extra rows/columns
+// ("margins") on each side of the owned block. Margins serve two purposes at
+// once: they hold halo data received from neighbouring ranks, and they hold
+// the zero padding of the convolution at the global boundary. The margin
+// widths are derived from the *consumers* of the tensor:
+//
+//   forward stencil  — a conv/pool with kernel K, stride S, padding P reading
+//     input x: the rank owning output rows [oq, oe] needs input rows
+//     [S·oq − P, S·oe − P + K − 1]; the margin is the part of that range
+//     outside the owned input block.
+//   transpose stencil — backward-data reading dL/dy: the rank owning input
+//     rows [iq, ie] needs output rows [⌊(iq+P−K)/S⌋+1, ⌊(ie+P)/S⌋].
+//
+// Generalizing from ±⌊K/2⌋ to these ranges is what makes stride > 1, even
+// kernels, and uneven partitions work; K = 1 naturally yields zero margins
+// (the paper's res3b_branch2a case, "no halo exchange is needed").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/partition.hpp"
+
+namespace distconv {
+
+/// Kernel geometry of a stencil consumer along one spatial dimension.
+struct StencilSpec {
+  int kernel = 1;
+  int stride = 1;
+  int pad = 0;
+
+  /// Output size of the convolution along this dimension.
+  std::int64_t out_size(std::int64_t in_size) const {
+    return (in_size + 2 * pad - kernel) / stride + 1;
+  }
+};
+
+/// Per-part margin widths along one dimension.
+struct MarginTable {
+  std::vector<std::int64_t> lo, hi;
+
+  MarginTable() = default;
+  explicit MarginTable(int parts) : lo(parts, 0), hi(parts, 0) {}
+
+  int parts() const { return static_cast<int>(lo.size()); }
+
+  /// Element-wise max merge (a tensor read by several consumers gets the
+  /// union of their margin requirements).
+  void merge_max(const MarginTable& other);
+
+  bool all_zero() const;
+};
+
+/// Margins needed on the *input* tensor (partitioned by `in`) by a forward
+/// stencil whose output is partitioned by `out` over the same number of
+/// parts.
+MarginTable forward_stencil_margins(const DimPartition& in, const DimPartition& out,
+                                    const StencilSpec& spec);
+
+/// Margins needed on the *output-error* tensor (partitioned by `out`) by the
+/// backward-data computation producing the input-error partitioned by `in`.
+MarginTable transpose_stencil_margins(const DimPartition& in, const DimPartition& out,
+                                      const StencilSpec& spec);
+
+}  // namespace distconv

@@ -1,0 +1,91 @@
+#include "tensor/partition.hpp"
+
+#include <algorithm>
+
+namespace distconv {
+
+DimPartition::DimPartition(std::int64_t global, int parts)
+    : global_(global), parts_(parts) {
+  DC_REQUIRE(global >= 0, "negative dimension size ", global);
+  DC_REQUIRE(parts >= 1, "partition must have at least one part, got ", parts);
+}
+
+std::int64_t DimPartition::start(int part) const {
+  DC_REQUIRE(part >= 0 && part < parts_, "part ", part, " out of range [0,", parts_, ")");
+  const std::int64_t base = global_ / parts_;
+  const std::int64_t extra = global_ % parts_;
+  return part * base + std::min<std::int64_t>(part, extra);
+}
+
+std::int64_t DimPartition::end(int part) const {
+  const std::int64_t base = global_ / parts_;
+  const std::int64_t extra = global_ % parts_;
+  return start(part) + base + (part < extra ? 1 : 0);
+}
+
+int DimPartition::owner_of(std::int64_t idx) const {
+  DC_REQUIRE(idx >= 0 && idx < global_, "index ", idx, " out of range [0,", global_, ")");
+  // Inverse of the balanced-block formula, branch on the "big block" region.
+  const std::int64_t base = global_ / parts_;
+  const std::int64_t extra = global_ % parts_;
+  if (base == 0) return static_cast<int>(idx);  // every big block has one element
+  const std::int64_t big_region = extra * (base + 1);
+  if (idx < big_region) return static_cast<int>(idx / (base + 1));
+  return static_cast<int>(extra + (idx - big_region) / base);
+}
+
+ProcessGrid::Coord ProcessGrid::coord_of(int rank) const {
+  DC_REQUIRE(rank >= 0 && rank < size(), "rank ", rank, " out of range for grid ",
+             str());
+  Coord coord;
+  coord.w = rank % w;
+  rank /= w;
+  coord.h = rank % h;
+  rank /= h;
+  coord.c = rank % c;
+  rank /= c;
+  coord.n = rank;
+  return coord;
+}
+
+int ProcessGrid::rank_of(const Coord& coord) const {
+  DC_REQUIRE(coord.n >= 0 && coord.n < n && coord.c >= 0 && coord.c < c &&
+                 coord.h >= 0 && coord.h < h && coord.w >= 0 && coord.w < w,
+             "grid coordinate out of range for grid ", str());
+  return ((coord.n * c + coord.c) * h + coord.h) * w + coord.w;
+}
+
+Shape4 Distribution::local_shape(int rank) const {
+  const auto coord = grid.coord_of(rank);
+  return Shape4{n.size(coord.n), c.size(coord.c), h.size(coord.h), w.size(coord.w)};
+}
+
+Box4 Distribution::owned_box(int rank) const {
+  const auto coord = grid.coord_of(rank);
+  Box4 box;
+  box.off[0] = n.start(coord.n);
+  box.off[1] = c.start(coord.c);
+  box.off[2] = h.start(coord.h);
+  box.off[3] = w.start(coord.w);
+  box.ext[0] = n.size(coord.n);
+  box.ext[1] = c.size(coord.c);
+  box.ext[2] = h.size(coord.h);
+  box.ext[3] = w.size(coord.w);
+  return box;
+}
+
+Box4 intersect_boxes(const Box4& a, const Box4& b) {
+  Box4 r;
+  for (int d = 0; d < 4; ++d) {
+    const std::int64_t lo = std::max(a.off[d], b.off[d]);
+    const std::int64_t hi = std::min(a.off[d] + a.ext[d], b.off[d] + b.ext[d]);
+    r.off[d] = lo;
+    r.ext[d] = std::max<std::int64_t>(0, hi - lo);
+  }
+  if (r.empty()) {
+    for (int d = 0; d < 4; ++d) r.ext[d] = 0;
+  }
+  return r;
+}
+
+}  // namespace distconv

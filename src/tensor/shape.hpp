@@ -1,0 +1,87 @@
+// Shape4: the N × C × H × W shape of every tensor in the library.
+//
+// The paper works exclusively with 4D NCHW tensors (samples, channels,
+// height, width); weights are F × C × K × K. A fixed-rank shape keeps
+// indexing branch-free and the distribution logic explicit.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace distconv {
+
+struct Shape4 {
+  std::int64_t n = 1;  ///< samples (or filters, for weight tensors)
+  std::int64_t c = 1;  ///< channels
+  std::int64_t h = 1;  ///< height
+  std::int64_t w = 1;  ///< width
+
+  std::int64_t size() const { return n * c * h * w; }
+
+  std::int64_t operator[](int d) const {
+    switch (d) {
+      case 0: return n;
+      case 1: return c;
+      case 2: return h;
+      case 3: return w;
+      default: DC_FAIL("Shape4 index out of range: ", d);
+    }
+  }
+
+  std::int64_t& operator[](int d) {
+    switch (d) {
+      case 0: return n;
+      case 1: return c;
+      case 2: return h;
+      case 3: return w;
+      default: DC_FAIL("Shape4 index out of range: ", d);
+    }
+  }
+
+  bool operator==(const Shape4& o) const {
+    return n == o.n && c == o.c && h == o.h && w == o.w;
+  }
+  bool operator!=(const Shape4& o) const { return !(*this == o); }
+
+  std::string str() const {
+    return internal::compose(n, "x", c, "x", h, "x", w);
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Shape4& s) {
+  return os << s.str();
+}
+
+/// A 4D box: offsets and extents within a tensor, used for sub-region copies,
+/// halo regions, and ownership ranges.
+struct Box4 {
+  std::int64_t off[4] = {0, 0, 0, 0};
+  std::int64_t ext[4] = {0, 0, 0, 0};
+
+  std::int64_t volume() const { return ext[0] * ext[1] * ext[2] * ext[3]; }
+  bool empty() const { return volume() == 0; }
+};
+
+/// Row-major strides of a contiguous NCHW tensor.
+struct Strides4 {
+  std::int64_t n = 0, c = 0, h = 0, w = 1;
+
+  static Strides4 contiguous(const Shape4& s) {
+    Strides4 st;
+    st.w = 1;
+    st.h = s.w;
+    st.c = s.w * s.h;
+    st.n = s.w * s.h * s.c;
+    return st;
+  }
+
+  std::int64_t offset(std::int64_t in, std::int64_t ic, std::int64_t ih,
+                      std::int64_t iw) const {
+    return in * n + ic * c + ih * h + iw * w;
+  }
+};
+
+}  // namespace distconv

@@ -1,0 +1,100 @@
+// Shuffler: redistributes a tensor between two distributions (§III-C).
+//
+// When adjacent layers use different distributions (e.g. sample-parallel →
+// hybrid sample/spatial, or conv → model-parallel FC), data must be shuffled.
+// Each rank sends the indices it owns under the source distribution that it
+// does not own under the destination, via a single all-to-allv: rank p sends
+// I(p)(Di) ∩ I(q)(Dj) to each q.
+//
+// Both distributions must cover the same global shape and be laid out over
+// the same communicator (every rank participates in every layer, as in the
+// paper's experiments).
+#pragma once
+
+#include <vector>
+
+#include "comm/collectives.hpp"
+#include "tensor/dist_tensor.hpp"
+
+namespace distconv {
+
+template <typename T>
+class Shuffler {
+ public:
+  Shuffler(const Distribution& src, const Distribution& dst, comm::Comm& comm)
+      : src_(src), dst_(dst), comm_(&comm) {
+    DC_REQUIRE(src.global_shape() == dst.global_shape(),
+               "cannot shuffle between different global shapes ",
+               src.global_shape().str(), " and ", dst.global_shape().str());
+    DC_REQUIRE(src.grid.size() == comm.size() && dst.grid.size() == comm.size(),
+               "both grids must span the whole communicator");
+    const int p = comm.size();
+    const int me = comm.rank();
+    const Box4 my_src = src.owned_box(me);
+    const Box4 my_dst = dst.owned_box(me);
+    send_boxes_.resize(p);
+    recv_boxes_.resize(p);
+    send_counts_.assign(p, 0);
+    recv_counts_.assign(p, 0);
+    send_displs_.assign(p, 0);
+    recv_displs_.assign(p, 0);
+    std::size_t stot = 0, rtot = 0;
+    for (int r = 0; r < p; ++r) {
+      send_boxes_[r] = intersect_boxes(my_src, dst.owned_box(r));
+      recv_boxes_[r] = intersect_boxes(src.owned_box(r), my_dst);
+      send_counts_[r] = static_cast<std::size_t>(send_boxes_[r].volume());
+      recv_counts_[r] = static_cast<std::size_t>(recv_boxes_[r].volume());
+      send_displs_[r] = stot;
+      recv_displs_[r] = rtot;
+      stot += send_counts_[r];
+      rtot += recv_counts_[r];
+    }
+    send_total_ = stot;
+    recv_total_ = rtot;
+  }
+
+  /// Move owned data of `src` into the owned region of `dst`. Margins of
+  /// `dst` are not refreshed (run a HaloExchange afterwards if needed).
+  void run(const DistTensor<T>& src, DistTensor<T>& dst) const {
+    DC_REQUIRE(src.dist() == src_ && dst.dist() == dst_,
+               "tensors do not match the planned distributions");
+    std::vector<T> sendbuf(send_total_), recvbuf(recv_total_);
+    const int p = comm_->size();
+    for (int r = 0; r < p; ++r) {
+      if (send_counts_[r] == 0) continue;
+      pack_box(src.buffer(), src.global_to_buffer(send_boxes_[r]),
+               sendbuf.data() + send_displs_[r]);
+    }
+    comm::alltoallv(*comm_, sendbuf.data(), send_counts_, send_displs_,
+                    recvbuf.data(), recv_counts_, recv_displs_);
+    for (int r = 0; r < p; ++r) {
+      if (recv_counts_[r] == 0) continue;
+      unpack_box(recvbuf.data() + recv_displs_[r],
+                 dst.global_to_buffer(recv_boxes_[r]), dst.buffer());
+    }
+  }
+
+  /// Total elements this rank sends to other ranks (excludes the local copy);
+  /// used to validate the Shuffle() cost term of the performance model.
+  std::size_t remote_send_elements() const {
+    std::size_t n = 0;
+    for (int r = 0; r < comm_->size(); ++r) {
+      if (r == comm_->rank()) continue;
+      n += send_counts_[r];
+    }
+    return n;
+  }
+
+  /// True when source and destination distributions are identical (the
+  /// shuffle degenerates to a local copy).
+  bool is_identity() const { return src_ == dst_; }
+
+ private:
+  Distribution src_, dst_;
+  comm::Comm* comm_;
+  std::vector<Box4> send_boxes_, recv_boxes_;
+  std::vector<std::size_t> send_counts_, recv_counts_, send_displs_, recv_displs_;
+  std::size_t send_total_ = 0, recv_total_ = 0;
+};
+
+}  // namespace distconv

@@ -1,0 +1,147 @@
+// Tensor<T>: an owning, contiguous NCHW tensor, plus strided-box copy
+// helpers used by halo packing and redistribution.
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "tensor/shape.hpp"
+
+namespace distconv {
+
+template <typename T>
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(const Shape4& shape)
+      : shape_(shape), strides_(Strides4::contiguous(shape)),
+        data_(static_cast<std::size_t>(shape.size()), T{}) {}
+
+  const Shape4& shape() const { return shape_; }
+  const Strides4& strides() const { return strides_; }
+  std::int64_t size() const { return shape_.size(); }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+    return data_[strides_.offset(n, c, h, w)];
+  }
+  const T& operator()(std::int64_t n, std::int64_t c, std::int64_t h,
+                      std::int64_t w) const {
+    return data_[strides_.offset(n, c, h, w)];
+  }
+
+  /// Bounds-checked access (tests and debugging).
+  T& at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+    DC_REQUIRE(n >= 0 && n < shape_.n && c >= 0 && c < shape_.c && h >= 0 &&
+                   h < shape_.h && w >= 0 && w < shape_.w,
+               "index (", n, ",", c, ",", h, ",", w, ") out of range for ",
+               shape_.str());
+    return (*this)(n, c, h, w);
+  }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+  void zero() { fill(T{}); }
+
+  /// Fill with uniform values in [lo, hi) from the given deterministic RNG.
+  void fill_uniform(Rng& rng, T lo = T(-1), T hi = T(1)) {
+    for (auto& v : data_) v = static_cast<T>(rng.uniform(double(lo), double(hi)));
+  }
+
+  /// Fill with N(mean, stddev) values.
+  void fill_normal(Rng& rng, T mean = T(0), T stddev = T(1)) {
+    for (auto& v : data_) v = static_cast<T>(rng.normal(double(mean), double(stddev)));
+  }
+
+ private:
+  Shape4 shape_{0, 0, 0, 0};
+  Strides4 strides_;
+  std::vector<T> data_;
+};
+
+// ---------------------------------------------------------------------------
+// Box copy helpers (canonical NCHW element order within the box).
+// ---------------------------------------------------------------------------
+
+/// Copy a box out of `src` into contiguous `dst` (dst holds box.volume()
+/// elements, canonical order).
+template <typename T>
+void pack_box(const Tensor<T>& src, const Box4& box, T* dst) {
+  const auto& st = src.strides();
+  const T* base = src.data();
+  std::int64_t idx = 0;
+  for (std::int64_t n = 0; n < box.ext[0]; ++n) {
+    for (std::int64_t c = 0; c < box.ext[1]; ++c) {
+      for (std::int64_t h = 0; h < box.ext[2]; ++h) {
+        const T* row = base + st.offset(box.off[0] + n, box.off[1] + c,
+                                        box.off[2] + h, box.off[3]);
+        std::memcpy(dst + idx, row, sizeof(T) * box.ext[3]);
+        idx += box.ext[3];
+      }
+    }
+  }
+}
+
+/// Copy contiguous `src` (canonical order) into a box of `dst`.
+template <typename T>
+void unpack_box(const T* src, const Box4& box, Tensor<T>& dst) {
+  const auto& st = dst.strides();
+  T* base = dst.data();
+  std::int64_t idx = 0;
+  for (std::int64_t n = 0; n < box.ext[0]; ++n) {
+    for (std::int64_t c = 0; c < box.ext[1]; ++c) {
+      for (std::int64_t h = 0; h < box.ext[2]; ++h) {
+        T* row = base + st.offset(box.off[0] + n, box.off[1] + c, box.off[2] + h,
+                                  box.off[3]);
+        std::memcpy(row, src + idx, sizeof(T) * box.ext[3]);
+        idx += box.ext[3];
+      }
+    }
+  }
+}
+
+/// Add contiguous `src` (canonical order) into a box of `dst` (halo
+/// accumulation).
+template <typename T>
+void unpack_box_accumulate(const T* src, const Box4& box, Tensor<T>& dst) {
+  const auto& st = dst.strides();
+  T* base = dst.data();
+  std::int64_t idx = 0;
+  for (std::int64_t n = 0; n < box.ext[0]; ++n) {
+    for (std::int64_t c = 0; c < box.ext[1]; ++c) {
+      for (std::int64_t h = 0; h < box.ext[2]; ++h) {
+        T* row = base + st.offset(box.off[0] + n, box.off[1] + c, box.off[2] + h,
+                                  box.off[3]);
+        for (std::int64_t w = 0; w < box.ext[3]; ++w) row[w] += src[idx + w];
+        idx += box.ext[3];
+      }
+    }
+  }
+}
+
+/// Direct tensor-to-tensor box copy (boxes must have equal extents).
+template <typename T>
+void copy_box(const Tensor<T>& src, const Box4& src_box, Tensor<T>& dst,
+              const Box4& dst_box) {
+  for (int d = 0; d < 4; ++d) {
+    DC_REQUIRE(src_box.ext[d] == dst_box.ext[d], "box extent mismatch in dim ", d);
+  }
+  const auto& sst = src.strides();
+  const auto& dst_st = dst.strides();
+  for (std::int64_t n = 0; n < src_box.ext[0]; ++n) {
+    for (std::int64_t c = 0; c < src_box.ext[1]; ++c) {
+      for (std::int64_t h = 0; h < src_box.ext[2]; ++h) {
+        const T* s = src.data() + sst.offset(src_box.off[0] + n, src_box.off[1] + c,
+                                             src_box.off[2] + h, src_box.off[3]);
+        T* d = dst.data() + dst_st.offset(dst_box.off[0] + n, dst_box.off[1] + c,
+                                          dst_box.off[2] + h, dst_box.off[3]);
+        std::memcpy(d, s, sizeof(T) * src_box.ext[3]);
+      }
+    }
+  }
+}
+
+}  // namespace distconv

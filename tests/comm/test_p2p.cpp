@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "support/error.hpp"
+
+namespace distconv::comm {
+namespace {
+
+TEST(P2P, BlockingSendRecv) {
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      const int v = 1234;
+      comm.send(&v, 1, 1, 7);
+    } else {
+      int v = 0;
+      comm.recv(&v, 1, 0, 7);
+      EXPECT_EQ(v, 1234);
+    }
+  });
+}
+
+TEST(P2P, SendBeforeRecvIsBuffered) {
+  // Eager protocol: sends complete immediately, receiver picks up later.
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 10; ++i) comm.send(&i, 1, 1, i);
+    } else {
+      // Receive in reverse tag order to exercise matching by tag.
+      for (int i = 9; i >= 0; --i) {
+        int v = -1;
+        comm.recv(&v, 1, 0, i);
+        EXPECT_EQ(v, i);
+      }
+    }
+  });
+}
+
+TEST(P2P, NonOvertakingSameTag) {
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 100; ++i) comm.send(&i, 1, 1, 5);
+    } else {
+      for (int i = 0; i < 100; ++i) {
+        int v = -1;
+        comm.recv(&v, 1, 0, 5);
+        EXPECT_EQ(v, i);  // arrival order preserved
+      }
+    }
+  });
+}
+
+TEST(P2P, WildcardSourceAndTag) {
+  World world(3);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      int seen = 0;
+      for (int i = 0; i < 2; ++i) {
+        int v = 0;
+        Request r = comm.irecv(&v, sizeof(int), kAnySource, kAnyTag);
+        r.wait();
+        seen += v;
+      }
+      EXPECT_EQ(seen, 1 + 2);
+    } else {
+      const int v = comm.rank();
+      comm.send(&v, 1, 0, comm.rank() * 10);
+    }
+  });
+}
+
+TEST(P2P, IsendIrecvOverlap) {
+  World world(2);
+  world.run([](Comm& comm) {
+    std::vector<double> out(1000), in(1000);
+    std::iota(out.begin(), out.end(), comm.rank() * 1000.0);
+    const int peer = 1 - comm.rank();
+    Request r = comm.irecv(in.data(), in.size() * sizeof(double), peer, 3);
+    Request s = comm.isend(out.data(), out.size() * sizeof(double), peer, 3);
+    s.wait();
+    r.wait();
+    EXPECT_EQ(r.received_bytes(), in.size() * sizeof(double));
+    EXPECT_DOUBLE_EQ(in[0], peer * 1000.0);
+    EXPECT_DOUBLE_EQ(in[999], peer * 1000.0 + 999);
+  });
+}
+
+TEST(P2P, SendRecvSwapBetweenPair) {
+  World world(2);
+  world.run([](Comm& comm) {
+    const int peer = 1 - comm.rank();
+    int mine = comm.rank() + 100, theirs = -1;
+    comm.sendrecv(&mine, sizeof(int), peer, 1, &theirs, sizeof(int), peer, 1);
+    EXPECT_EQ(theirs, peer + 100);
+  });
+}
+
+TEST(P2P, SelfSendRecv) {
+  World world(1);
+  world.run([](Comm& comm) {
+    int mine = 7, got = 0;
+    comm.sendrecv(&mine, sizeof(int), 0, 2, &got, sizeof(int), 0, 2);
+    EXPECT_EQ(got, 7);
+  });
+}
+
+TEST(P2P, ZeroByteMessage) {
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(nullptr, 0, 1, 0);
+    } else {
+      const std::size_t n = comm.recv(nullptr, 0, 0, 0);
+      EXPECT_EQ(n, 0u);
+    }
+  });
+}
+
+TEST(P2P, OversizedMessageThrows) {
+  World world(2);
+  EXPECT_THROW(world.run([](Comm& comm) {
+                 if (comm.rank() == 0) {
+                   std::vector<char> big(64, 'x');
+                   comm.send(big.data(), big.size(), 1, 0);
+                   // Also block so the world tears down via abort path.
+                   char c;
+                   comm.recv(&c, 1, 1, 99);
+                 } else {
+                   char small[8];
+                   comm.recv(small, sizeof(small), 0, 0);
+                 }
+               }),
+               Error);
+}
+
+TEST(P2P, ExceptionOnOneRankAbortsBlockedRanks) {
+  World world(4);
+  EXPECT_THROW(world.run([](Comm& comm) {
+                 if (comm.rank() == 0) {
+                   DC_FAIL("deliberate failure");
+                 }
+                 // Everyone else blocks on a message that never arrives.
+                 int v;
+                 comm.recv(&v, sizeof(int), 0, 0);
+               }),
+               Error);
+}
+
+TEST(P2P, StatsCountMessagesAndBytes) {
+  World world(2);
+  world.reset_stats();
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<char> buf(100);
+      comm.send(buf.data(), buf.size(), 1, 0);
+    } else {
+      std::vector<char> buf(100);
+      comm.recv(buf.data(), buf.size(), 0, 0);
+    }
+  });
+  const CommStats s = world.stats();
+  EXPECT_EQ(s.messages, 1u);
+  EXPECT_EQ(s.bytes, 100u);
+}
+
+TEST(P2P, WorldCanRunMultipleTimes) {
+  World world(2);
+  for (int iter = 0; iter < 3; ++iter) {
+    world.run([iter](Comm& comm) {
+      int v = iter;
+      if (comm.rank() == 0) {
+        comm.send(&v, 1, 1, 0);
+      } else {
+        int got = -1;
+        comm.recv(&got, 1, 0, 0);
+        EXPECT_EQ(got, iter);
+      }
+    });
+  }
+}
+
+TEST(P2P, RequestTestPolling) {
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      int v = 0;
+      Request r = comm.irecv(&v, sizeof(int), 1, 0);
+      // Spin until complete (the peer sends immediately).
+      while (!r.test()) {
+      }
+      EXPECT_EQ(v, 55);
+    } else {
+      const int v = 55;
+      comm.send(&v, 1, 0, 0);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace distconv::comm

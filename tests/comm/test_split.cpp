@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "comm/collectives.hpp"
+
+namespace distconv::comm {
+namespace {
+
+TEST(Split, PartitionsByColor) {
+  // 8 ranks → two groups of 4 by parity.
+  World world(8);
+  world.run([](Comm& comm) {
+    Comm sub = comm.split(comm.rank() % 2, comm.rank());
+    EXPECT_EQ(sub.size(), 4);
+    EXPECT_EQ(sub.rank(), comm.rank() / 2);
+    // Sum of world ranks within the subgroup.
+    int v = comm.rank();
+    allreduce(sub, &v, 1, ReduceOp::kSum);
+    const int expected = (comm.rank() % 2 == 0) ? (0 + 2 + 4 + 6) : (1 + 3 + 5 + 7);
+    EXPECT_EQ(v, expected);
+  });
+}
+
+TEST(Split, KeyControlsRankOrder) {
+  World world(4);
+  world.run([](Comm& comm) {
+    // Reverse the order via descending keys.
+    Comm sub = comm.split(0, -comm.rank());
+    EXPECT_EQ(sub.size(), 4);
+    EXPECT_EQ(sub.rank(), 3 - comm.rank());
+  });
+}
+
+TEST(Split, SubCommunicatorsAreIsolated) {
+  // Same (src rank, dst rank, tag) on the parent and the sub-communicator
+  // must match by context, not arrival order.
+  World world(4);
+  world.run([](Comm& comm) {
+    Comm sub = comm.split(comm.rank() / 2, comm.rank());
+    ASSERT_EQ(sub.size(), 2);
+    if (comm.rank() == 0) {
+      int on_parent = 111, on_sub = 222;
+      comm.send(&on_parent, 1, 1, 0);  // parent ranks 0→1
+      sub.send(&on_sub, 1, 1, 0);      // sub ranks 0→1 (same world pair)
+    } else if (comm.rank() == 1) {
+      int got_sub = 0, got_parent = 0;
+      // Receive in the opposite order from the sends.
+      sub.recv(&got_sub, 1, 0, 0);
+      comm.recv(&got_parent, 1, 0, 0);
+      EXPECT_EQ(got_sub, 222);
+      EXPECT_EQ(got_parent, 111);
+    }
+  });
+}
+
+TEST(Split, HybridSampleSpatialGrouping) {
+  // The paper's hybrid layout: 8 ranks = 4 sample groups × 2 spatial ranks.
+  // Sample group = rank / 2; spatial allreduce within group, gradient
+  // allreduce across everyone.
+  World world(8);
+  world.run([](Comm& comm) {
+    Comm spatial = comm.split(comm.rank() / 2, comm.rank());
+    EXPECT_EQ(spatial.size(), 2);
+    double v = 1.0;
+    allreduce(spatial, &v, 1, ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(v, 2.0);
+    double g = comm.rank();
+    allreduce(comm, &g, 1, ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(g, 28.0);
+  });
+}
+
+TEST(Split, NestedSplits) {
+  World world(8);
+  world.run([](Comm& comm) {
+    Comm half = comm.split(comm.rank() / 4, comm.rank());
+    Comm quarter = half.split(half.rank() / 2, half.rank());
+    EXPECT_EQ(quarter.size(), 2);
+    int v = 1;
+    allreduce(quarter, &v, 1, ReduceOp::kSum);
+    EXPECT_EQ(v, 2);
+  });
+}
+
+TEST(Split, DupGivesIndependentContext) {
+  World world(3);
+  world.run([](Comm& comm) {
+    Comm dup = comm.dup();
+    EXPECT_EQ(dup.size(), comm.size());
+    EXPECT_EQ(dup.rank(), comm.rank());
+    EXPECT_NE(dup.context(), comm.context());
+    // Message sent on dup is not receivable on comm (different context):
+    // send on dup, receive on dup only.
+    if (comm.rank() == 0) {
+      int v = 42;
+      dup.send(&v, 1, 1, 0);
+    } else if (comm.rank() == 1) {
+      int v = 0;
+      dup.recv(&v, 1, 0, 0);
+      EXPECT_EQ(v, 42);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace distconv::comm

@@ -1,0 +1,142 @@
+// Concurrency stress tests for the message-passing runtime: randomized
+// traffic patterns that exercise matching order, buffering, and
+// sub-communicator isolation under real thread interleavings.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "comm/collectives.hpp"
+#include "support/rng.hpp"
+
+namespace distconv::comm {
+namespace {
+
+TEST(Stress, RandomizedAllToAllTraffic) {
+  // Every rank sends a deterministic pseudo-random set of messages to every
+  // other rank; receivers know exactly what to expect (same generator).
+  const int p = 8;
+  const int rounds = 20;
+  World world(p);
+  world.run([p, rounds](Comm& comm) {
+    const int me = comm.rank();
+    for (int round = 0; round < rounds; ++round) {
+      // Message from s to d in this round: size and fill derived from
+      // (round, s, d).
+      auto spec = [&](int s, int d) {
+        Rng g(0xABCD + round, static_cast<std::uint64_t>(s) * 64 + d);
+        const std::size_t n = 1 + g.next_below(300);
+        return std::pair<std::size_t, float>(n, float(g.uniform(-1, 1)));
+      };
+      // Post all receives first.
+      std::vector<std::vector<float>> bufs(p);
+      std::vector<Request> reqs;
+      for (int s = 0; s < p; ++s) {
+        if (s == me) continue;
+        const auto [n, v] = spec(s, me);
+        bufs[s].assign(n, 0.0f);
+        reqs.push_back(
+            comm.irecv(bufs[s].data(), n * sizeof(float), s, round));
+      }
+      // Send.
+      for (int d = 0; d < p; ++d) {
+        if (d == me) continue;
+        const auto [n, v] = spec(me, d);
+        std::vector<float> payload(n, v);
+        comm.send(payload.data(), payload.size(), d, round);
+      }
+      for (auto& r : reqs) r.wait();
+      for (int s = 0; s < p; ++s) {
+        if (s == me) continue;
+        const auto [n, v] = spec(s, me);
+        ASSERT_EQ(bufs[s].size(), n);
+        for (float x : bufs[s]) ASSERT_FLOAT_EQ(x, v);
+      }
+    }
+  });
+}
+
+TEST(Stress, InterleavedCollectivesOnSplitComms) {
+  // Two disjoint sub-communicators run different collective sequences
+  // concurrently; a world-wide collective interleaves between them.
+  const int p = 8;
+  World world(p);
+  world.run([](Comm& comm) {
+    Comm half = comm.split(comm.rank() % 2, comm.rank());
+    for (int i = 0; i < 25; ++i) {
+      double v = comm.rank() + i;
+      if (comm.rank() % 2 == 0) {
+        allreduce(half, &v, 1, ReduceOp::kSum);
+        EXPECT_DOUBLE_EQ(v, 0 + 2 + 4 + 6 + 4.0 * i);
+      } else {
+        allreduce(half, &v, 1, ReduceOp::kMax, AllreduceAlgo::kRing);
+        EXPECT_DOUBLE_EQ(v, 7.0 + i);
+      }
+      double g = 1.0;
+      allreduce(comm, &g, 1, ReduceOp::kSum);
+      EXPECT_DOUBLE_EQ(g, 8.0);
+    }
+  });
+}
+
+TEST(Stress, ManySmallBarriers) {
+  World world(6);
+  world.run([](Comm& comm) {
+    for (int i = 0; i < 200; ++i) barrier(comm);
+  });
+}
+
+TEST(Stress, LargePayloadRoundTrip) {
+  // 8 MiB payloads through the eager path.
+  World world(2);
+  world.run([](Comm& comm) {
+    const std::size_t n = 2u << 20;
+    std::vector<float> buf(n, float(comm.rank() + 1));
+    const int peer = 1 - comm.rank();
+    Request r = comm.irecv(buf.data(), n * sizeof(float), peer, 0);
+    std::vector<float> out(n, float(comm.rank() + 10));
+    comm.send(out.data(), out.size(), peer, 0);
+    r.wait();
+    EXPECT_FLOAT_EQ(buf[0], float(peer + 10));
+    EXPECT_FLOAT_EQ(buf[n - 1], float(peer + 10));
+  });
+}
+
+TEST(Stress, CollectiveTypeCoverage) {
+  // Collectives over double / int / int64 payloads.
+  World world(5);
+  world.run([](Comm& comm) {
+    std::vector<std::int64_t> big(17, comm.rank());
+    allreduce(comm, big.data(), big.size(), ReduceOp::kSum);
+    for (auto v : big) EXPECT_EQ(v, 0 + 1 + 2 + 3 + 4);
+
+    int small = comm.rank() == 3 ? 99 : 0;
+    allreduce(comm, &small, 1, ReduceOp::kMax);
+    EXPECT_EQ(small, 99);
+
+    double d = 0.5;
+    allreduce(comm, &d, 1, ReduceOp::kProd);
+    EXPECT_NEAR(d, std::pow(0.5, 5), 1e-12);
+  });
+}
+
+TEST(Stress, RepeatedWorldsDoNotLeakState) {
+  // Messages from one run must never appear in a later run.
+  for (int iter = 0; iter < 5; ++iter) {
+    World world(3);
+    world.run([iter](Comm& comm) {
+      if (comm.rank() == 0) {
+        const int v = 1000 + iter;
+        comm.send(&v, 1, 1, 0);
+        comm.send(&v, 1, 2, 0);
+      } else {
+        int got = -1;
+        comm.recv(&got, 1, 0, 0);
+        EXPECT_EQ(got, 1000 + iter);
+      }
+    });
+  }
+}
+
+}  // namespace
+}  // namespace distconv::comm

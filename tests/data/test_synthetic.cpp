@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+
+namespace distconv::data {
+namespace {
+
+TEST(MeshTangling, Deterministic) {
+  MeshTanglingConfig config;
+  config.size = 32;
+  config.channels = 4;
+  config.label_downsample = 8;
+  MeshTanglingDataset a(config), b(config);
+  Tensor<float> sa(a.sample_shape()), sb(b.sample_shape());
+  a.sample(5, sa);
+  b.sample(5, sb);
+  for (std::int64_t i = 0; i < sa.size(); ++i) {
+    ASSERT_EQ(sa.data()[i], sb.data()[i]);
+  }
+}
+
+TEST(MeshTangling, SamplesDifferByIndex) {
+  MeshTanglingConfig config;
+  config.size = 16;
+  config.channels = 2;
+  config.label_downsample = 4;
+  MeshTanglingDataset ds(config);
+  Tensor<float> s0(ds.sample_shape()), s1(ds.sample_shape());
+  ds.sample(0, s0);
+  ds.sample(1, s1);
+  double diff = 0;
+  for (std::int64_t i = 0; i < s0.size(); ++i) {
+    diff += std::abs(s0.data()[i] - s1.data()[i]);
+  }
+  EXPECT_GT(diff / s0.size(), 0.05);
+}
+
+TEST(MeshTangling, FieldsAreSmooth) {
+  // Adjacent pixels of a low-frequency field differ slowly.
+  MeshTanglingConfig config;
+  config.size = 64;
+  config.channels = 1;
+  MeshTanglingDataset ds(config);
+  Tensor<float> s(ds.sample_shape());
+  ds.sample(3, s);
+  double max_step = 0;
+  for (std::int64_t h = 0; h + 1 < 64; ++h) {
+    for (std::int64_t w = 0; w < 64; ++w) {
+      max_step = std::max(max_step,
+                          double(std::abs(s(0, 0, h + 1, w) - s(0, 0, h, w))));
+    }
+  }
+  EXPECT_LT(max_step, 1.0);
+}
+
+TEST(MeshTangling, LabelsAreBinaryAndNonDegenerate) {
+  MeshTanglingConfig config;
+  config.size = 64;
+  config.channels = 2;
+  config.label_downsample = 4;
+  MeshTanglingDataset ds(config);
+  Tensor<float> lab(ds.label_shape());
+  double fraction_sum = 0;
+  for (int i = 0; i < 8; ++i) {
+    ds.label(i, lab);
+    for (std::int64_t j = 0; j < lab.size(); ++j) {
+      ASSERT_TRUE(lab.data()[j] == 0.0f || lab.data()[j] == 1.0f);
+    }
+    fraction_sum += ds.tangled_fraction(i);
+  }
+  const double mean_fraction = fraction_sum / 8;
+  EXPECT_GT(mean_fraction, 0.02) << "labels almost never fire";
+  EXPECT_LT(mean_fraction, 0.98) << "labels almost always fire";
+}
+
+TEST(MeshTangling, BatchMatchesIndividualSamples) {
+  MeshTanglingConfig config;
+  config.size = 16;
+  config.channels = 3;
+  config.label_downsample = 4;
+  MeshTanglingDataset ds(config);
+  Tensor<float> states(Shape4{3, 3, 16, 16});
+  Tensor<float> labels(Shape4{3, 1, 4, 4});
+  ds.batch(10, states, labels);
+  Tensor<float> single(ds.sample_shape());
+  ds.sample(11, single);
+  for (std::int64_t c = 0; c < 3; ++c) {
+    for (std::int64_t h = 0; h < 16; ++h) {
+      for (std::int64_t w = 0; w < 16; ++w) {
+        ASSERT_EQ(states(1, c, h, w), single(0, c, h, w));
+      }
+    }
+  }
+}
+
+TEST(MeshTangling, InvalidDownsampleThrows) {
+  MeshTanglingConfig config;
+  config.size = 30;
+  config.label_downsample = 4;
+  EXPECT_THROW(MeshTanglingDataset ds(config), Error);
+}
+
+TEST(Classification, LabelsRoundRobin) {
+  ClassificationConfig config;
+  config.classes = 4;
+  ClassificationDataset ds(config);
+  EXPECT_EQ(ds.label(0), 0);
+  EXPECT_EQ(ds.label(5), 1);
+  EXPECT_EQ(ds.label(7), 3);
+}
+
+TEST(Classification, SamplesClusterByClass) {
+  // Two samples of the same class are closer than samples of different
+  // classes (the separability a CNN exploits).
+  ClassificationConfig config;
+  config.size = 16;
+  config.channels = 2;
+  config.classes = 3;
+  config.noise = 0.1f;
+  ClassificationDataset ds(config);
+  Tensor<float> a(ds.sample_shape()), b(ds.sample_shape()), c(ds.sample_shape());
+  ds.sample(0, a);   // class 0
+  ds.sample(3, b);   // class 0
+  ds.sample(1, c);   // class 1
+  auto dist = [](const Tensor<float>& x, const Tensor<float>& y) {
+    double d = 0;
+    for (std::int64_t i = 0; i < x.size(); ++i) {
+      const double delta = x.data()[i] - y.data()[i];
+      d += delta * delta;
+    }
+    return d;
+  };
+  EXPECT_LT(dist(a, b), dist(a, c));
+}
+
+TEST(Classification, BatchLabelsAligned) {
+  ClassificationConfig config;
+  config.size = 8;
+  config.classes = 5;
+  ClassificationDataset ds(config);
+  Tensor<float> images(Shape4{6, 3, 8, 8});
+  std::vector<int> labels;
+  ds.batch(2, images, labels);
+  ASSERT_EQ(labels.size(), 6u);
+  for (int k = 0; k < 6; ++k) EXPECT_EQ(labels[k], (2 + k) % 5);
+}
+
+}  // namespace
+}  // namespace distconv::data

@@ -1,0 +1,183 @@
+// Randomized property test: generated layer DAGs, trained one step under
+// randomly chosen *mixed* per-layer strategies (forcing redistribution on
+// arbitrary edges), must reproduce the serial result — outputs, loss, and
+// post-SGD parameters. This sweeps combinations no hand-written test covers:
+// stride-2 stacks over uneven grids, pooling after residual joins, staged
+// inputs into stencil layers, BN over shuffled activations, and so on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/layers.hpp"
+#include "core/model.hpp"
+
+namespace distconv::core {
+namespace {
+
+struct GeneratedNet {
+  NetworkSpec spec;
+  Shape4 in_shape;
+};
+
+GeneratedNet generate_net(std::uint64_t seed) {
+  Rng rng(seed, 0xF022);
+  NetworkBuilder nb;
+  const std::int64_t n = 2 + 2 * rng.next_below(2);       // 2 or 4
+  const std::int64_t hw = 12 + 4 * rng.next_below(2);     // 12 or 16
+  const int c = 1 + static_cast<int>(rng.next_below(3));  // 1..3
+  const Shape4 in_shape{n, c, hw, hw};
+  int x = nb.input(in_shape);
+
+  // Track nodes by output shape so Add can pick compatible pairs.
+  std::vector<int> trail{x};
+  const int body_layers = 3 + static_cast<int>(rng.next_below(4));
+  auto shapes = [&nb]() { return nb.spec().infer_shapes(); };
+  for (int i = 0; i < body_layers; ++i) {
+    const Shape4 cur = shapes()[x];
+    const std::uint64_t pick = rng.next_below(10);
+    const std::string name = internal::compose("l", i);
+    if (pick < 4) {  // conv
+      const int kernels_avail[] = {1, 3, 5};
+      int k = kernels_avail[rng.next_below(3)];
+      // Keep the spatial domain comfortably larger than the kernel.
+      if (cur.h < 2 * k) k = 1;
+      const int stride = (cur.h >= 8 && rng.next_below(3) == 0) ? 2 : 1;
+      const int filters = 2 + static_cast<int>(rng.next_below(4));
+      x = nb.conv(name, x, filters, k, stride);
+    } else if (pick < 6) {  // relu
+      x = nb.relu(name, x);
+    } else if (pick < 7) {  // batchnorm (global mode matches serial exactly)
+      x = nb.batchnorm(name, x, BatchNormMode::kGlobal);
+    } else if (pick < 8 && cur.h >= 8) {  // pool
+      if (rng.next_below(2) == 0) {
+        x = nb.pool_max(name, x, 2, 2, 0);
+      } else {
+        x = nb.pool_avg(name, x, 3, 2, 1);
+      }
+    } else {  // residual: find an earlier node with the same shape
+      int partner = -1;
+      for (int t : trail) {
+        if (shapes()[t] == cur && t != x) partner = t;
+      }
+      if (partner >= 0) {
+        x = nb.add(name, partner, x);
+      } else {
+        x = nb.relu(name, x);
+      }
+    }
+    trail.push_back(x);
+  }
+  nb.conv("head", x, 1, 1, 1, 0, /*bias=*/true);
+  return {nb.take(), in_shape};
+}
+
+/// Random grid for one layer, constrained to be safe for its stencil.
+ProcessGrid random_grid(Rng& rng, int ranks, const Shape4& in_shape,
+                        const Shape4& out_shape, int kernel) {
+  const ProcessGrid candidates[] = {
+      ProcessGrid{ranks, 1, 1, 1},
+      ProcessGrid{1, 1, ranks, 1},
+      ProcessGrid{1, 1, 2, ranks / 2},
+      ProcessGrid{2, 1, ranks / 2, 1},
+      ProcessGrid{2, 1, 1, ranks / 2},
+      ProcessGrid{1, 1, ranks / 2, 2},
+  };
+  const int O = kernel / 2;
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    const ProcessGrid g = candidates[rng.next_below(6)];
+    if (g.size() != ranks) continue;
+    if (out_shape.h < g.h || out_shape.w < g.w) continue;
+    if (kernel > 1 && (in_shape.h / g.h <= O || in_shape.w / g.w <= O)) continue;
+    return g;
+  }
+  return ProcessGrid{ranks, 1, 1, 1};
+}
+
+struct StepResult {
+  Tensor<float> output;
+  double loss = 0;
+  std::vector<Tensor<float>> params;
+};
+
+StepResult run_step(const GeneratedNet& net, int ranks, const Strategy& strategy,
+                    std::uint64_t data_seed) {
+  StepResult result;
+  comm::World world(ranks);
+  world.run([&](comm::Comm& comm) {
+    Model model(net.spec, comm, strategy, /*seed=*/5);
+    Tensor<float> input(net.in_shape);
+    Rng rng(data_seed);
+    input.fill_uniform(rng);
+    model.set_input(0, input);
+    model.forward();
+    Tensor<float> targets(model.rt(model.output_layer()).out_shape);
+    Rng trng(data_seed ^ 0xBEEF);
+    for (std::int64_t i = 0; i < targets.size(); ++i) {
+      targets.data()[i] = trng.uniform() < 0.5 ? 0.0f : 1.0f;
+    }
+    const double loss = model.loss_bce(targets);
+    model.backward();
+    model.sgd_step(kernels::SgdConfig{0.05f, 0.9f, 1e-4f});
+    Tensor<float> out = model.gather_output(model.output_layer());
+    if (comm.rank() == 0) {
+      result.output = std::move(out);
+      result.loss = loss;
+      for (int i = 0; i < model.num_layers(); ++i) {
+        for (const auto& p : model.rt(i).params) result.params.push_back(p);
+      }
+    }
+  });
+  return result;
+}
+
+class FuzzStrategies : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzStrategies, ::testing::Range(1, 13));
+
+TEST_P(FuzzStrategies, MixedStrategyMatchesSerial) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const GeneratedNet net = generate_net(seed);
+  const int ranks = 4;
+  const auto shapes = net.spec.infer_shapes();
+
+  // Random per-layer strategy (input inherits its first child's grid to
+  // avoid a pointless initial shuffle; everything else is independent).
+  Rng rng(seed, 0x57A7);
+  Strategy strategy = Strategy::sample_parallel(net.spec.size(), ranks);
+  for (int i = 1; i < net.spec.size(); ++i) {
+    const Shape4 in_shape = shapes[net.spec.layer(i).parents()[0]];
+    int kernel = 1;
+    if (const auto* conv = dynamic_cast<const Conv2dLayer*>(&net.spec.layer(i))) {
+      kernel = conv->conv_params().kh;
+    } else if (const auto* pool =
+                   dynamic_cast<const Pool2dLayer*>(&net.spec.layer(i))) {
+      kernel = pool->pool_params().kh;
+    }
+    strategy.grids[i] = random_grid(rng, ranks, in_shape, shapes[i], kernel);
+  }
+  strategy.grids[0] = strategy.grids[1];
+
+  SCOPED_TRACE("seed " + std::to_string(seed) + " strategy " + strategy.str());
+  const StepResult serial =
+      run_step(net, 1, Strategy::sample_parallel(net.spec.size(), 1), 100 + seed);
+  const StepResult dist = run_step(net, ranks, strategy, 100 + seed);
+
+  EXPECT_NEAR(dist.loss, serial.loss,
+              1e-5 * std::max(1.0, std::abs(serial.loss)));
+  ASSERT_EQ(dist.output.shape(), serial.output.shape());
+  for (std::int64_t i = 0; i < serial.output.size(); ++i) {
+    ASSERT_NEAR(dist.output.data()[i], serial.output.data()[i],
+                2e-4f * std::max(1.0f, std::abs(serial.output.data()[i])));
+  }
+  ASSERT_EQ(dist.params.size(), serial.params.size());
+  for (std::size_t p = 0; p < serial.params.size(); ++p) {
+    for (std::int64_t i = 0; i < serial.params[p].size(); ++i) {
+      ASSERT_NEAR(dist.params[p].data()[i], serial.params[p].data()[i],
+                  2e-4f * std::max(1.0f, std::abs(serial.params[p].data()[i])))
+          << "param " << p;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace distconv::core

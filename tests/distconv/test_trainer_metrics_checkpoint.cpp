@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "core/checkpoint.hpp"
+#include "core/layers.hpp"
+#include "core/metrics.hpp"
+#include "core/trainer.hpp"
+
+namespace distconv::core {
+namespace {
+
+NetworkSpec bn_free_net(const Shape4& in_shape) {
+  NetworkBuilder nb;
+  const int in = nb.input(in_shape);
+  int x = nb.conv("c1", in, 4, 3, 1);
+  x = nb.relu("r1", x);
+  x = nb.conv("head", x, 1, 1, 1, 0, true);
+  return nb.take();
+}
+
+std::vector<Tensor<float>> snapshot_params(Model& model) {
+  std::vector<Tensor<float>> out;
+  for (int i = 0; i < model.num_layers(); ++i) {
+    for (const auto& p : model.rt(i).params) out.push_back(p);
+  }
+  return out;
+}
+
+TEST(Trainer, MicroBatchingMatchesFullBatchWithoutBN) {
+  // Without batchnorm, splitting a mini-batch into micro-batches with
+  // gradient accumulation computes the *same* gradients (up to accumulation
+  // order) as one full-batch step.
+  const Shape4 full_shape{8, 2, 12, 12};
+  Tensor<float> input(full_shape);
+  Rng rng(3);
+  input.fill_uniform(rng);
+  Tensor<float> targets(Shape4{8, 1, 12, 12});
+  Rng trng(4);
+  for (std::int64_t i = 0; i < targets.size(); ++i) {
+    targets.data()[i] = trng.uniform() < 0.5 ? 0.0f : 1.0f;
+  }
+
+  auto run = [&](int micro_batches) {
+    std::vector<Tensor<float>> params;
+    comm::World world(2);
+    world.run([&](comm::Comm& comm) {
+      const Shape4 micro{full_shape.n / micro_batches, full_shape.c,
+                         full_shape.h, full_shape.w};
+      const NetworkSpec spec = bn_free_net(micro);
+      Model model(spec, comm, Strategy::sample_parallel(spec.size(), 2), 13);
+      TrainerOptions options;
+      options.micro_batches = micro_batches;
+      options.sgd = kernels::SgdConfig{0.1f, 0.0f, 0.0f};
+      Trainer trainer(model, options);
+      trainer.step_bce(input, targets);
+      auto snap = snapshot_params(model);
+      if (comm.rank() == 0) params = std::move(snap);
+    });
+    return params;
+  };
+
+  const auto full = run(1);
+  const auto micro2 = run(2);
+  const auto micro4 = run(4);
+  ASSERT_EQ(full.size(), micro2.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    for (std::int64_t j = 0; j < full[i].size(); ++j) {
+      ASSERT_NEAR(micro2[i].data()[j], full[i].data()[j], 1e-5f) << i;
+      ASSERT_NEAR(micro4[i].data()[j], full[i].data()[j], 1e-5f) << i;
+    }
+  }
+}
+
+TEST(Trainer, SoftmaxStepRuns) {
+  comm::World world(2);
+  world.run([](comm::Comm& comm) {
+    NetworkBuilder nb;
+    const int in = nb.input(Shape4{2, 1, 8, 8});
+    int x = nb.conv("c", in, 4, 3, 1);
+    x = nb.global_avg_pool("gap", x);
+    x = nb.fully_connected("fc", x, 3);
+    const NetworkSpec spec = nb.take();
+    Model model(spec, comm, Strategy::sample_parallel(spec.size(), 2), 2);
+    Trainer trainer(model, TrainerOptions{{0.1f, 0.0f, 0.0f}, 2});
+    Tensor<float> input(Shape4{4, 1, 8, 8});
+    Rng rng(5);
+    input.fill_uniform(rng);
+    const double loss = trainer.step_softmax(input, {0, 1, 2, 0});
+    EXPECT_TRUE(std::isfinite(loss));
+    EXPECT_GT(loss, 0.0);
+  });
+}
+
+TEST(Trainer, BatchSizeMismatchThrows) {
+  comm::World world(1);
+  EXPECT_THROW(world.run([](comm::Comm& comm) {
+                 const NetworkSpec spec = bn_free_net(Shape4{2, 2, 8, 8});
+                 Model model(spec, comm, Strategy::sample_parallel(spec.size(), 1));
+                 Trainer trainer(model, TrainerOptions{{0.1f, 0.0f, 0.0f}, 2});
+                 Tensor<float> wrong(Shape4{2, 2, 8, 8});  // needs 4 samples
+                 Tensor<float> targets(Shape4{4, 1, 8, 8});
+                 trainer.step_bce(wrong, targets);
+               }),
+               Error);
+}
+
+TEST(Metrics, SegmentationCountsAreExact) {
+  comm::World world(4);
+  world.run([](comm::Comm& comm) {
+    NetworkBuilder nb;
+    const int in = nb.input(Shape4{1, 1, 8, 8});
+    nb.relu("r", in);  // identity on positive, zero on negative
+    const NetworkSpec spec = nb.take();
+    Model model(spec, comm, Strategy::uniform(spec.size(), ProcessGrid{1, 1, 2, 2}));
+    // Logits: left half +1, right half -1 (ReLU clamps to 0 → "negative"
+    // prediction since threshold is > 0).
+    Tensor<float> input(Shape4{1, 1, 8, 8});
+    Tensor<float> targets(Shape4{1, 1, 8, 8});
+    for (std::int64_t h = 0; h < 8; ++h) {
+      for (std::int64_t w = 0; w < 8; ++w) {
+        input(0, 0, h, w) = w < 4 ? 1.0f : -1.0f;
+        targets(0, 0, h, w) = (w < 2) ? 1.0f : 0.0f;  // only half of the
+                                                      // positives are true
+      }
+    }
+    model.set_input(0, input);
+    model.forward();
+    const auto m = evaluate_segmentation(model, 1, targets);
+    EXPECT_EQ(m.pixels, 64);
+    EXPECT_DOUBLE_EQ(m.positive_rate, 0.5);   // predicted positive: w<4
+    EXPECT_DOUBLE_EQ(m.iou, 0.5);             // intersection 16 / union 32
+    EXPECT_DOUBLE_EQ(m.pixel_accuracy, 0.75);  // 16 FP, rest correct
+  });
+}
+
+TEST(Metrics, Top1CountsAcrossRanks) {
+  comm::World world(2);
+  world.run([](comm::Comm& comm) {
+    NetworkBuilder nb;
+    const int in = nb.input(Shape4{4, 3, 1, 1});
+    nb.relu("logits", in);
+    const NetworkSpec spec = nb.take();
+    Model model(spec, comm, Strategy::sample_parallel(spec.size(), 2));
+    Tensor<float> input(Shape4{4, 3, 1, 1});
+    // argmax classes: 2, 0, 1, 1
+    const float vals[4][3] = {
+        {0.1f, 0.2f, 0.9f}, {0.8f, 0.1f, 0.2f}, {0.1f, 0.7f, 0.2f},
+        {0.2f, 0.9f, 0.1f}};
+    for (int n = 0; n < 4; ++n)
+      for (int c = 0; c < 3; ++c) input(n, c, 0, 0) = vals[n][c];
+    model.set_input(0, input);
+    model.forward();
+    EXPECT_DOUBLE_EQ(evaluate_top1(model, 1, {2, 0, 1, 1}), 1.0);
+    EXPECT_DOUBLE_EQ(evaluate_top1(model, 1, {2, 0, 0, 0}), 0.5);
+  });
+}
+
+TEST(Checkpoint, RoundTripRestoresExactly) {
+  comm::World world(2);
+  world.run([](comm::Comm& comm) {
+    const NetworkSpec spec = bn_free_net(Shape4{2, 2, 8, 8});
+    Model model(spec, comm, Strategy::sample_parallel(spec.size(), 2), 31);
+    // Train one step so velocity exists too.
+    Tensor<float> input(Shape4{2, 2, 8, 8});
+    Rng rng(1);
+    input.fill_uniform(rng);
+    model.set_input(0, input);
+    model.forward();
+    Tensor<float> targets(model.rt(model.output_layer()).out_shape);
+    model.loss_bce(targets);
+    model.backward();
+    model.sgd_step(kernels::SgdConfig{0.1f, 0.9f, 0.0f});
+
+    std::ostringstream out;
+    save_checkpoint(model, out);
+    const std::string blob = out.str();
+
+    // Construct a fresh model with a different seed and restore.
+    Model restored(spec, comm, Strategy::sample_parallel(spec.size(), 2), 99);
+    std::istringstream in(blob);
+    load_checkpoint(restored, in);
+    for (int i = 0; i < model.num_layers(); ++i) {
+      ASSERT_EQ(model.rt(i).params.size(), restored.rt(i).params.size());
+      for (std::size_t k = 0; k < model.rt(i).params.size(); ++k) {
+        const auto& a = model.rt(i).params[k];
+        const auto& b = restored.rt(i).params[k];
+        for (std::int64_t j = 0; j < a.size(); ++j) {
+          ASSERT_EQ(a.data()[j], b.data()[j]);
+        }
+      }
+      for (std::size_t k = 0; k < model.rt(i).velocity.size(); ++k) {
+        const auto& a = model.rt(i).velocity[k];
+        const auto& b = restored.rt(i).velocity[k];
+        for (std::int64_t j = 0; j < a.size(); ++j) {
+          ASSERT_EQ(a.data()[j], b.data()[j]);
+        }
+      }
+    }
+  });
+}
+
+TEST(Checkpoint, PortableAcrossStrategies) {
+  // Save under sample parallelism, restore under a spatial strategy: the
+  // restored model must produce the same outputs (weights are
+  // strategy-independent).
+  const Shape4 in_shape{2, 2, 8, 8};
+  Tensor<float> input(in_shape);
+  Rng rng(8);
+  input.fill_uniform(rng);
+
+  std::string blob;
+  Tensor<float> reference;
+  {
+    comm::World world(2);
+    world.run([&](comm::Comm& comm) {
+      const NetworkSpec spec = bn_free_net(in_shape);
+      Model model(spec, comm, Strategy::sample_parallel(spec.size(), 2), 44);
+      model.set_input(0, input);
+      model.forward();
+      Tensor<float> out = model.gather_output(model.output_layer());
+      if (comm.rank() == 0) {
+        std::ostringstream os;
+        save_checkpoint(model, os);
+        blob = os.str();
+        reference = std::move(out);
+      }
+    });
+  }
+  {
+    comm::World world(4);
+    world.run([&](comm::Comm& comm) {
+      const NetworkSpec spec = bn_free_net(in_shape);
+      Model model(spec, comm,
+                  Strategy::uniform(spec.size(), ProcessGrid{1, 1, 2, 2}), 77);
+      std::istringstream is(blob);
+      load_checkpoint(model, is);
+      model.set_input(0, input);
+      model.forward();
+      const Tensor<float> out = model.gather_output(model.output_layer());
+      if (comm.rank() == 0) {
+        for (std::int64_t i = 0; i < out.size(); ++i) {
+          ASSERT_NEAR(out.data()[i], reference.data()[i], 1e-5f);
+        }
+      }
+    });
+  }
+}
+
+TEST(Checkpoint, FileRoundTripCollective) {
+  const std::string path = "/tmp/distconv_ckpt_test.bin";
+  comm::World world(2);
+  world.run([&](comm::Comm& comm) {
+    const NetworkSpec spec = bn_free_net(Shape4{2, 2, 8, 8});
+    Model model(spec, comm, Strategy::sample_parallel(spec.size(), 2), 3);
+    save_checkpoint_file(model, path);
+    Model restored(spec, comm, Strategy::sample_parallel(spec.size(), 2), 4);
+    load_checkpoint_file(restored, path);
+    for (std::int64_t j = 0; j < model.rt(1).params[0].size(); ++j) {
+      ASSERT_EQ(restored.rt(1).params[0].data()[j],
+                model.rt(1).params[0].data()[j]);
+    }
+  });
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, CorruptStreamThrows) {
+  comm::World world(1);
+  EXPECT_THROW(world.run([](comm::Comm& comm) {
+                 const NetworkSpec spec = bn_free_net(Shape4{1, 1, 4, 4});
+                 Model model(spec, comm, Strategy::sample_parallel(spec.size(), 1));
+                 std::istringstream in("not a checkpoint at all");
+                 load_checkpoint(model, in);
+               }),
+               Error);
+}
+
+}  // namespace
+}  // namespace distconv::core

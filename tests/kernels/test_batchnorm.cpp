@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "kernels/batchnorm.hpp"
+
+namespace distconv::kernels {
+namespace {
+
+Box4 full_box(const Shape4& s) {
+  Box4 b;
+  for (int d = 0; d < 4; ++d) b.ext[d] = s[d];
+  return b;
+}
+
+TEST(BatchNorm, PartialSumsAreExact) {
+  Tensor<float> x(Shape4{2, 3, 4, 4});
+  Rng rng(3);
+  x.fill_uniform(rng);
+  std::vector<double> sum(3), sumsq(3);
+  bn_partial_sums(x, full_box(x.shape()), sum.data(), sumsq.data());
+  for (int c = 0; c < 3; ++c) {
+    double s = 0, s2 = 0;
+    for (int n = 0; n < 2; ++n)
+      for (int h = 0; h < 4; ++h)
+        for (int w = 0; w < 4; ++w) {
+          s += x(n, c, h, w);
+          s2 += double(x(n, c, h, w)) * x(n, c, h, w);
+        }
+    EXPECT_NEAR(sum[c], s, 1e-9);
+    EXPECT_NEAR(sumsq[c], s2, 1e-9);
+  }
+}
+
+TEST(BatchNorm, PartialSumsSplitAdditive) {
+  // Summing over two disjoint boxes equals one sum over the union — the
+  // property the distributed BN relies on before its allreduce.
+  Tensor<float> x(Shape4{2, 2, 6, 4});
+  Rng rng(5);
+  x.fill_uniform(rng);
+  std::vector<double> whole_s(2), whole_q(2), a_s(2), a_q(2), b_s(2), b_q(2);
+  bn_partial_sums(x, full_box(x.shape()), whole_s.data(), whole_q.data());
+  Box4 top = full_box(x.shape());
+  top.ext[2] = 3;
+  Box4 bottom = top;
+  bottom.off[2] = 3;
+  bn_partial_sums(x, top, a_s.data(), a_q.data());
+  bn_partial_sums(x, bottom, b_s.data(), b_q.data());
+  for (int c = 0; c < 2; ++c) {
+    EXPECT_NEAR(a_s[c] + b_s[c], whole_s[c], 1e-9);
+    EXPECT_NEAR(a_q[c] + b_q[c], whole_q[c], 1e-9);
+  }
+}
+
+TEST(BatchNorm, ForwardNormalizesToZeroMeanUnitVar) {
+  const Shape4 s{4, 2, 5, 5};
+  Tensor<float> x(s), y(s);
+  Rng rng(7);
+  x.fill_normal(rng, 3.0f, 2.0f);
+  std::vector<double> sum(2), sumsq(2);
+  bn_partial_sums(x, full_box(s), sum.data(), sumsq.data());
+  const double count = double(s.n) * s.h * s.w;
+  std::vector<float> mean(2), invstd(2), gamma(2, 1.0f), beta(2, 0.0f);
+  for (int c = 0; c < 2; ++c) {
+    mean[c] = float(sum[c] / count);
+    const double var = sumsq[c] / count - double(mean[c]) * mean[c];
+    invstd[c] = float(1.0 / std::sqrt(var + 1e-5));
+  }
+  bn_forward_apply(x, full_box(s), y, full_box(s), mean.data(), invstd.data(),
+                   gamma.data(), beta.data());
+  std::vector<double> ys(2), yq(2);
+  bn_partial_sums(y, full_box(s), ys.data(), yq.data());
+  for (int c = 0; c < 2; ++c) {
+    EXPECT_NEAR(ys[c] / count, 0.0, 1e-4);
+    EXPECT_NEAR(yq[c] / count, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, GammaBetaAffine) {
+  const Shape4 s{1, 1, 2, 2};
+  Tensor<float> x(s), y(s);
+  x(0, 0, 0, 0) = -1;
+  x(0, 0, 0, 1) = 1;
+  x(0, 0, 1, 0) = -1;
+  x(0, 0, 1, 1) = 1;
+  const float mean = 0.0f, invstd = 1.0f;
+  const float gamma = 2.0f, beta = 10.0f;
+  bn_forward_apply(x, full_box(s), y, full_box(s), &mean, &invstd, &gamma, &beta);
+  EXPECT_FLOAT_EQ(y(0, 0, 0, 0), 8.0f);
+  EXPECT_FLOAT_EQ(y(0, 0, 0, 1), 12.0f);
+}
+
+TEST(BatchNorm, NumericalGradientCheck) {
+  const Shape4 s{2, 2, 3, 3};
+  Tensor<float> x(s), dy(s);
+  Rng rng(11);
+  x.fill_uniform(rng, -2.0f, 2.0f);
+  dy.fill_uniform(rng);
+  std::vector<float> gamma{1.3f, 0.7f}, beta{0.1f, -0.2f};
+  const double count = double(s.n) * s.h * s.w;
+  const double eps_bn = 1e-5;
+
+  auto forward = [&](const Tensor<float>& xin, Tensor<float>& yout) {
+    std::vector<double> sum(2), sumsq(2);
+    bn_partial_sums(xin, full_box(s), sum.data(), sumsq.data());
+    std::vector<float> mean(2), invstd(2);
+    for (int c = 0; c < 2; ++c) {
+      mean[c] = float(sum[c] / count);
+      const double var = sumsq[c] / count - double(mean[c]) * mean[c];
+      invstd[c] = float(1.0 / std::sqrt(var + eps_bn));
+    }
+    bn_forward_apply(xin, full_box(s), yout, full_box(s), mean.data(),
+                     invstd.data(), gamma.data(), beta.data());
+  };
+
+  // Analytic dx.
+  std::vector<double> sum(2), sumsq(2);
+  bn_partial_sums(x, full_box(s), sum.data(), sumsq.data());
+  std::vector<float> mean(2), invstd(2);
+  for (int c = 0; c < 2; ++c) {
+    mean[c] = float(sum[c] / count);
+    const double var = sumsq[c] / count - double(mean[c]) * mean[c];
+    invstd[c] = float(1.0 / std::sqrt(var + eps_bn));
+  }
+  std::vector<double> sdy(2), sdyx(2);
+  bn_backward_reduce(x, full_box(s), dy, full_box(s), mean.data(), invstd.data(),
+                     sdy.data(), sdyx.data());
+  Tensor<float> dx(s);
+  bn_backward_apply(x, full_box(s), dy, full_box(s), dx, full_box(s), mean.data(),
+                    invstd.data(), gamma.data(), sdy.data(), sdyx.data(), count);
+
+  Tensor<float> y(s);
+  const float h = 1e-2f;
+  for (std::int64_t i : {0L, 3L, 9L, 17L, 35L}) {
+    const float orig = x.data()[i];
+    x.data()[i] = orig + h;
+    forward(x, y);
+    double lp = 0;
+    for (std::int64_t j = 0; j < y.size(); ++j) lp += y.data()[j] * dy.data()[j];
+    x.data()[i] = orig - h;
+    forward(x, y);
+    double lm = 0;
+    for (std::int64_t j = 0; j < y.size(); ++j) lm += y.data()[j] * dy.data()[j];
+    x.data()[i] = orig;
+    EXPECT_NEAR(dx.data()[i], (lp - lm) / (2 * h), 5e-2) << "i=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace distconv::kernels

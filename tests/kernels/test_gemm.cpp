@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kernels/gemm.hpp"
+#include "support/rng.hpp"
+
+namespace distconv::kernels {
+namespace {
+
+void naive(bool ta, bool tb, std::int64_t m, std::int64_t n, std::int64_t k,
+           float alpha, const std::vector<float>& a, std::int64_t lda,
+           const std::vector<float>& b, std::int64_t ldb, float beta,
+           std::vector<float>& c, std::int64_t ldc) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float av = ta ? a[kk * lda + i] : a[i * lda + kk];
+        const float bv = tb ? b[j * ldb + kk] : b[kk * ldb + j];
+        acc += double(av) * bv;
+      }
+      c[i * ldc + j] = float(alpha * acc + beta * c[i * ldc + j]);
+    }
+  }
+}
+
+class GemmSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, bool, bool>> {};
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmSweep,
+                         ::testing::Combine(::testing::Values(1, 3, 17, 64),
+                                            ::testing::Values(1, 5, 33),
+                                            ::testing::Values(1, 7, 130),
+                                            ::testing::Bool(), ::testing::Bool()));
+
+TEST_P(GemmSweep, MatchesNaive) {
+  const auto [m, n, k, ta, tb] = GetParam();
+  Rng rng(5);
+  std::vector<float> a(static_cast<std::size_t>(m) * k), b(static_cast<std::size_t>(k) * n);
+  for (auto& v : a) v = float(rng.uniform(-1, 1));
+  for (auto& v : b) v = float(rng.uniform(-1, 1));
+  std::vector<float> c(static_cast<std::size_t>(m) * n, 0.5f), c_ref = c;
+  const std::int64_t lda = ta ? m : k;
+  const std::int64_t ldb = tb ? k : n;
+  sgemm(ta, tb, m, n, k, 1.25f, a.data(), lda, b.data(), ldb, 0.75f, c.data(), n);
+  naive(ta, tb, m, n, k, 1.25f, a, lda, b, ldb, 0.75f, c_ref, n);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    ASSERT_NEAR(c[i], c_ref[i], 1e-3f) << i;
+  }
+}
+
+TEST(Gemm, BetaZeroOverwritesGarbage) {
+  std::vector<float> a{1, 2}, b{3, 4};
+  std::vector<float> c{std::numeric_limits<float>::quiet_NaN()};
+  sgemm(false, false, 1, 1, 2, 1.0f, a.data(), 2, b.data(), 1, 0.0f, c.data(), 1);
+  EXPECT_FLOAT_EQ(c[0], 11.0f);
+}
+
+TEST(Gemm, AlphaZeroLeavesScaledC) {
+  std::vector<float> a{1}, b{1};
+  std::vector<float> c{2.0f};
+  sgemm(false, false, 1, 1, 1, 0.0f, a.data(), 1, b.data(), 1, 0.5f, c.data(), 1);
+  EXPECT_FLOAT_EQ(c[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace distconv::kernels

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/activations.hpp"
+#include "kernels/losses.hpp"
+#include "kernels/sgd.hpp"
+
+namespace distconv::kernels {
+namespace {
+
+Box4 full_box(const Shape4& s) {
+  Box4 b;
+  for (int d = 0; d < 4; ++d) b.ext[d] = s[d];
+  return b;
+}
+
+TEST(Relu, ForwardClampsNegatives) {
+  const Shape4 s{1, 1, 2, 3};
+  Tensor<float> x(s), y(s);
+  float vals[] = {-1, 0, 2, -3, 4, -0.5f};
+  std::copy(vals, vals + 6, x.data());
+  relu_forward(x, full_box(s), y, full_box(s));
+  EXPECT_FLOAT_EQ(y.data()[0], 0);
+  EXPECT_FLOAT_EQ(y.data()[2], 2);
+  EXPECT_FLOAT_EQ(y.data()[4], 4);
+  EXPECT_FLOAT_EQ(y.data()[5], 0);
+}
+
+TEST(Relu, BackwardMasksByInput) {
+  const Shape4 s{1, 1, 1, 4};
+  Tensor<float> x(s), dy(s), dx(s);
+  float xv[] = {-1, 1, 0, 2};
+  std::copy(xv, xv + 4, x.data());
+  dy.fill(3.0f);
+  relu_backward(x, full_box(s), dy, full_box(s), dx, full_box(s));
+  EXPECT_FLOAT_EQ(dx.data()[0], 0);
+  EXPECT_FLOAT_EQ(dx.data()[1], 3);
+  EXPECT_FLOAT_EQ(dx.data()[2], 0);  // gradient at exactly 0 is 0
+  EXPECT_FLOAT_EQ(dx.data()[3], 3);
+}
+
+TEST(Relu, RegionRestrictsEffect) {
+  const Shape4 s{1, 1, 4, 4};
+  Tensor<float> x(s), y(s);
+  x.fill(-1.0f);
+  y.fill(9.0f);
+  Box4 half = full_box(s);
+  half.ext[2] = 2;
+  relu_forward(x, half, y, half);
+  EXPECT_FLOAT_EQ(y(0, 0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y(0, 0, 3, 3), 9.0f);  // outside the box untouched
+}
+
+TEST(AddInplace, Accumulates) {
+  const Shape4 s{2, 1, 2, 2};
+  Tensor<float> a(s), b(s);
+  a.fill(1.0f);
+  b.fill(2.5f);
+  add_inplace(a, full_box(s), b, full_box(s));
+  for (std::int64_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a.data()[i], 3.5f);
+}
+
+TEST(Bias, ForwardAddsPerChannel) {
+  const Shape4 s{1, 2, 2, 2};
+  Tensor<float> y(s);
+  const float bias[] = {1.0f, -2.0f};
+  bias_forward(y, full_box(s), bias);
+  EXPECT_FLOAT_EQ(y(0, 0, 1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(y(0, 1, 0, 0), -2.0f);
+}
+
+TEST(Bias, BackwardSumsPerChannel) {
+  const Shape4 s{2, 2, 2, 2};
+  Tensor<float> dy(s);
+  dy.fill(0.5f);
+  float dbias[2] = {100, 100};
+  bias_backward(dy, full_box(s), dbias, /*accumulate=*/false);
+  EXPECT_FLOAT_EQ(dbias[0], 4.0f);  // 2 samples * 4 pixels * 0.5
+  bias_backward(dy, full_box(s), dbias, /*accumulate=*/true);
+  EXPECT_FLOAT_EQ(dbias[0], 8.0f);
+}
+
+TEST(SoftmaxXent, UniformLogitsGiveLogC) {
+  Tensor<float> logits(Shape4{2, 4, 1, 1}), probs(logits.shape());
+  logits.fill(0.3f);
+  const double loss = softmax_xent_forward(logits, {0, 3}, probs);
+  EXPECT_NEAR(loss, 2 * std::log(4.0), 1e-5);
+  for (std::int64_t i = 0; i < probs.size(); ++i) {
+    EXPECT_NEAR(probs.data()[i], 0.25f, 1e-6);
+  }
+}
+
+TEST(SoftmaxXent, ProbabilitiesSumToOne) {
+  Tensor<float> logits(Shape4{3, 5, 1, 1}), probs(logits.shape());
+  Rng rng(3);
+  logits.fill_uniform(rng, -5, 5);
+  softmax_xent_forward(logits, {1, 2, 4}, probs);
+  for (int k = 0; k < 3; ++k) {
+    double s = 0;
+    for (int c = 0; c < 5; ++c) s += probs(k, c, 0, 0);
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxXent, GradientIsProbMinusOnehot) {
+  Tensor<float> logits(Shape4{1, 3, 1, 1}), probs(logits.shape()),
+      grad(logits.shape());
+  logits(0, 0, 0, 0) = 1;
+  logits(0, 1, 0, 0) = 2;
+  logits(0, 2, 0, 0) = 3;
+  softmax_xent_forward(logits, {2}, probs);
+  softmax_xent_backward(probs, {2}, grad, 1.0f);
+  EXPECT_NEAR(grad(0, 0, 0, 0), probs(0, 0, 0, 0), 1e-6);
+  EXPECT_NEAR(grad(0, 2, 0, 0), probs(0, 2, 0, 0) - 1.0f, 1e-6);
+}
+
+TEST(SoftmaxXent, NumericalGradient) {
+  Tensor<float> logits(Shape4{2, 4, 1, 1}), probs(logits.shape()),
+      grad(logits.shape());
+  Rng rng(9);
+  logits.fill_uniform(rng, -2, 2);
+  const std::vector<int> labels{1, 3};
+  softmax_xent_forward(logits, labels, probs);
+  softmax_xent_backward(probs, labels, grad, 1.0f);
+  const float h = 1e-3f;
+  for (std::int64_t i = 0; i < logits.size(); ++i) {
+    const float orig = logits.data()[i];
+    logits.data()[i] = orig + h;
+    const double lp = softmax_xent_forward(logits, labels, probs);
+    logits.data()[i] = orig - h;
+    const double lm = softmax_xent_forward(logits, labels, probs);
+    logits.data()[i] = orig;
+    EXPECT_NEAR(grad.data()[i], (lp - lm) / (2 * h), 1e-3) << i;
+  }
+}
+
+TEST(SigmoidBce, KnownValues) {
+  const Shape4 s{1, 1, 1, 2};
+  Tensor<float> z(s), t(s);
+  z.data()[0] = 0.0f;
+  t.data()[0] = 1.0f;  // -log(0.5)
+  z.data()[1] = 100.0f;
+  t.data()[1] = 1.0f;  // ~0
+  const double loss = sigmoid_bce_forward(z, full_box(s), t, full_box(s));
+  EXPECT_NEAR(loss, std::log(2.0), 1e-6);
+}
+
+TEST(SigmoidBce, NumericalGradient) {
+  const Shape4 s{1, 1, 2, 3};
+  Tensor<float> z(s), t(s), g(s);
+  Rng rng(13);
+  z.fill_uniform(rng, -3, 3);
+  for (std::int64_t i = 0; i < t.size(); ++i) t.data()[i] = (i % 2) ? 1.0f : 0.0f;
+  sigmoid_bce_backward(z, full_box(s), t, full_box(s), g, full_box(s), 1.0f);
+  const float h = 1e-3f;
+  for (std::int64_t i = 0; i < z.size(); ++i) {
+    const float orig = z.data()[i];
+    z.data()[i] = orig + h;
+    const double lp = sigmoid_bce_forward(z, full_box(s), t, full_box(s));
+    z.data()[i] = orig - h;
+    const double lm = sigmoid_bce_forward(z, full_box(s), t, full_box(s));
+    z.data()[i] = orig;
+    EXPECT_NEAR(g.data()[i], (lp - lm) / (2 * h), 1e-3) << i;
+  }
+}
+
+TEST(Sgd, PlainStep) {
+  float p = 1.0f, g = 0.5f;
+  sgd_update(&p, &g, nullptr, 1, SgdConfig{0.1f, 0.0f, 0.0f});
+  EXPECT_FLOAT_EQ(p, 0.95f);
+}
+
+TEST(Sgd, WeightDecayAddsToGradient) {
+  float p = 1.0f, g = 0.0f;
+  sgd_update(&p, &g, nullptr, 1, SgdConfig{0.1f, 0.0f, 0.5f});
+  EXPECT_FLOAT_EQ(p, 1.0f - 0.1f * 0.5f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  float p = 0.0f, g = 1.0f, v = 0.0f;
+  const SgdConfig cfg{1.0f, 0.9f, 0.0f};
+  sgd_update(&p, &g, &v, 1, cfg);
+  EXPECT_FLOAT_EQ(p, -1.0f);  // v = 1
+  sgd_update(&p, &g, &v, 1, cfg);
+  EXPECT_FLOAT_EQ(p, -1.0f - 1.9f);  // v = 0.9 + 1
+}
+
+TEST(Sgd, MomentumWithoutVelocityThrows) {
+  float p = 0, g = 0;
+  EXPECT_THROW(sgd_update(&p, &g, nullptr, 1, SgdConfig{0.1f, 0.9f, 0.0f}),
+               Error);
+}
+
+}  // namespace
+}  // namespace distconv::kernels

@@ -1,0 +1,105 @@
+// Numerical robustness: extreme logits, degenerate shapes, and stability
+// properties of the loss and normalization kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/batchnorm.hpp"
+#include "kernels/losses.hpp"
+
+namespace distconv::kernels {
+namespace {
+
+Box4 full_box(const Shape4& s) {
+  Box4 b;
+  for (int d = 0; d < 4; ++d) b.ext[d] = s[d];
+  return b;
+}
+
+TEST(SigmoidBce, StableAtExtremeLogits) {
+  const Shape4 s{1, 1, 1, 4};
+  Tensor<float> z(s), t(s), g(s);
+  z.data()[0] = 100.0f;
+  t.data()[0] = 1.0f;  // loss ≈ 0
+  z.data()[1] = -100.0f;
+  t.data()[1] = 0.0f;  // loss ≈ 0
+  z.data()[2] = 100.0f;
+  t.data()[2] = 0.0f;  // loss ≈ 100
+  z.data()[3] = -100.0f;
+  t.data()[3] = 1.0f;  // loss ≈ 100
+  const double loss = sigmoid_bce_forward(z, full_box(s), t, full_box(s));
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_NEAR(loss, 200.0, 1e-3);
+  sigmoid_bce_backward(z, full_box(s), t, full_box(s), g, full_box(s), 1.0f);
+  for (std::int64_t i = 0; i < g.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(g.data()[i])) << i;
+    EXPECT_LE(std::abs(g.data()[i]), 1.0f) << i;  // |σ(z) − t| ≤ 1
+  }
+}
+
+TEST(SoftmaxXent, StableAtExtremeLogits) {
+  Tensor<float> logits(Shape4{2, 3, 1, 1}), probs(logits.shape());
+  logits(0, 0, 0, 0) = 1000.0f;  // would overflow a naive exp()
+  logits(0, 1, 0, 0) = -1000.0f;
+  logits(0, 2, 0, 0) = 0.0f;
+  logits(1, 0, 0, 0) = -1000.0f;
+  logits(1, 1, 0, 0) = -1000.0f;
+  logits(1, 2, 0, 0) = -1000.0f;  // all equal: uniform
+  const double loss = softmax_xent_forward(logits, {0, 1}, probs);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_NEAR(probs(0, 0, 0, 0), 1.0f, 1e-5);
+  EXPECT_NEAR(probs(1, 1, 0, 0), 1.0f / 3.0f, 1e-5);
+  EXPECT_NEAR(loss, 0.0 + std::log(3.0), 1e-4);
+}
+
+TEST(SoftmaxXent, OutOfRangeLabelThrows) {
+  Tensor<float> logits(Shape4{1, 3, 1, 1}), probs(logits.shape());
+  EXPECT_THROW(softmax_xent_forward(logits, {3}, probs), Error);
+  EXPECT_THROW(softmax_xent_forward(logits, {-1}, probs), Error);
+}
+
+TEST(BatchNorm, ConstantInputDoesNotDivideByZero) {
+  // Zero variance: invstd = 1/sqrt(eps); outputs stay finite and equal beta.
+  const Shape4 s{2, 1, 3, 3};
+  Tensor<float> x(s), y(s);
+  x.fill(5.0f);
+  std::vector<double> sum(1), sumsq(1);
+  bn_partial_sums(x, full_box(s), sum.data(), sumsq.data());
+  const double count = 2.0 * 9.0;
+  const float mean = float(sum[0] / count);
+  const double var = std::max(0.0, sumsq[0] / count - double(mean) * mean);
+  const float invstd = float(1.0 / std::sqrt(var + 1e-5));
+  EXPECT_TRUE(std::isfinite(invstd));
+  const float gamma = 1.0f, beta = 0.25f;
+  bn_forward_apply(x, full_box(s), y, full_box(s), &mean, &invstd, &gamma, &beta);
+  for (std::int64_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y.data()[i], 0.25f, 1e-3f);
+  }
+}
+
+TEST(BatchNorm, SingleElementStatistics) {
+  const Shape4 s{1, 2, 1, 1};
+  Tensor<float> x(s);
+  x(0, 0, 0, 0) = 3.0f;
+  x(0, 1, 0, 0) = -7.0f;
+  std::vector<double> sum(2), sumsq(2);
+  bn_partial_sums(x, full_box(s), sum.data(), sumsq.data());
+  EXPECT_DOUBLE_EQ(sum[0], 3.0);
+  EXPECT_DOUBLE_EQ(sum[1], -7.0);
+  EXPECT_DOUBLE_EQ(sumsq[1], 49.0);
+}
+
+TEST(SigmoidBce, GradientScaleAppliesLinearly) {
+  const Shape4 s{1, 1, 2, 2};
+  Tensor<float> z(s), t(s), g1(s), g2(s);
+  Rng rng(9);
+  z.fill_uniform(rng, -2, 2);
+  sigmoid_bce_backward(z, full_box(s), t, full_box(s), g1, full_box(s), 1.0f);
+  sigmoid_bce_backward(z, full_box(s), t, full_box(s), g2, full_box(s), 0.25f);
+  for (std::int64_t i = 0; i < g1.size(); ++i) {
+    EXPECT_NEAR(g2.data()[i], 0.25f * g1.data()[i], 1e-6f);
+  }
+}
+
+}  // namespace
+}  // namespace distconv::kernels

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "kernels/pooling.hpp"
+
+namespace distconv::kernels {
+namespace {
+
+Tensor<float> make_padded_buffer(const Tensor<float>& x, int ph, int pw) {
+  const auto& s = x.shape();
+  Tensor<float> buf(Shape4{s.n, s.c, s.h + 2 * ph, s.w + 2 * pw});
+  Box4 src, dst;
+  for (int d = 0; d < 4; ++d) src.ext[d] = s[d];
+  dst = src;
+  dst.off[2] = ph;
+  dst.off[3] = pw;
+  copy_box(x, src, buf, dst);
+  return buf;
+}
+
+struct PoolCase {
+  std::int64_t h, w;
+  int k, s, pad;
+  PoolMode mode;
+};
+
+class PoolSweep : public ::testing::TestWithParam<PoolCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PoolSweep,
+    ::testing::Values(PoolCase{8, 8, 2, 2, 0, PoolMode::kMax},
+                      PoolCase{8, 8, 2, 2, 0, PoolMode::kAverage},
+                      PoolCase{9, 9, 3, 2, 1, PoolMode::kMax},
+                      PoolCase{9, 9, 3, 2, 1, PoolMode::kAverage},
+                      PoolCase{7, 11, 3, 3, 0, PoolMode::kMax},
+                      PoolCase{12, 12, 3, 1, 1, PoolMode::kAverage}));
+
+TEST_P(PoolSweep, RegionMatchesPaddedOracle) {
+  const auto cfg = GetParam();
+  PoolParams p{cfg.k, cfg.k, cfg.s, cfg.s, cfg.pad, cfg.pad, cfg.mode};
+  Tensor<float> x(Shape4{2, 3, cfg.h, cfg.w});
+  Rng rng(31);
+  x.fill_uniform(rng);
+  const std::int64_t oh = p.out_h(cfg.h), ow = p.out_w(cfg.w);
+  Tensor<float> y_ref(Shape4{2, 3, oh, ow});
+  Tensor<std::int64_t> am_ref(y_ref.shape());
+  pool2d_forward_padded(x, y_ref, &am_ref, p);
+
+  Tensor<float> xbuf = make_padded_buffer(x, p.ph, p.pw);
+  Tensor<float> y(y_ref.shape());
+  Tensor<std::int64_t> am(y.shape());
+  pool2d_forward(xbuf, Origin2{-p.ph, -p.pw}, y, Origin2{0, 0}, &am,
+                 Origin2{0, 0}, p, Range2{0, oh, 0, ow}, cfg.h, cfg.w);
+  for (std::int64_t i = 0; i < y.size(); ++i) {
+    ASSERT_FLOAT_EQ(y.data()[i], y_ref.data()[i]) << i;
+  }
+  if (cfg.mode == PoolMode::kMax) {
+    for (std::int64_t i = 0; i < am.size(); ++i) {
+      ASSERT_EQ(am.data()[i], am_ref.data()[i]) << i;
+    }
+  }
+
+  // Backward.
+  Tensor<float> dy(y.shape());
+  dy.fill_uniform(rng);
+  Tensor<float> dx_ref(x.shape());
+  pool2d_backward_padded(dy, &am_ref, dx_ref, p);
+  Tensor<float> dx(x.shape());
+  pool2d_backward(dy, Origin2{0, 0}, &am, dx, Origin2{0, 0}, p,
+                  Range2{0, cfg.h, 0, cfg.w}, oh, ow, cfg.w);
+  for (std::int64_t i = 0; i < dx.size(); ++i) {
+    ASSERT_NEAR(dx.data()[i], dx_ref.data()[i], 1e-5f) << i;
+  }
+}
+
+TEST(Pool, MaxSelectsMaximum) {
+  PoolParams p{2, 2, 2, 2, 0, 0, PoolMode::kMax};
+  Tensor<float> x(Shape4{1, 1, 2, 2});
+  x(0, 0, 0, 0) = 1;
+  x(0, 0, 0, 1) = 5;
+  x(0, 0, 1, 0) = -2;
+  x(0, 0, 1, 1) = 3;
+  Tensor<float> y(Shape4{1, 1, 1, 1});
+  Tensor<std::int64_t> am(y.shape());
+  pool2d_forward_padded(x, y, &am, p);
+  EXPECT_FLOAT_EQ(y(0, 0, 0, 0), 5.0f);
+  EXPECT_EQ(am(0, 0, 0, 0), 1);  // h=0, w=1 → 0*2+1
+}
+
+TEST(Pool, MaxBackwardRoutesToArgmaxOnly) {
+  PoolParams p{2, 2, 2, 2, 0, 0, PoolMode::kMax};
+  Tensor<float> x(Shape4{1, 1, 2, 2});
+  x(0, 0, 0, 1) = 5;
+  Tensor<float> y(Shape4{1, 1, 1, 1});
+  Tensor<std::int64_t> am(y.shape());
+  pool2d_forward_padded(x, y, &am, p);
+  Tensor<float> dy(y.shape());
+  dy.fill(2.0f);
+  Tensor<float> dx(x.shape());
+  pool2d_backward_padded(dy, &am, dx, p);
+  EXPECT_FLOAT_EQ(dx(0, 0, 0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(dx(0, 0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(dx(0, 0, 1, 1), 0.0f);
+}
+
+TEST(Pool, AverageIsMean) {
+  PoolParams p{2, 2, 2, 2, 0, 0, PoolMode::kAverage};
+  Tensor<float> x(Shape4{1, 1, 2, 2});
+  x(0, 0, 0, 0) = 1;
+  x(0, 0, 0, 1) = 2;
+  x(0, 0, 1, 0) = 3;
+  x(0, 0, 1, 1) = 6;
+  Tensor<float> y(Shape4{1, 1, 1, 1});
+  pool2d_forward_padded(x, y, nullptr, p);
+  EXPECT_FLOAT_EQ(y(0, 0, 0, 0), 3.0f);
+}
+
+TEST(Pool, MaxIgnoresPadding) {
+  // All-negative input with padding: max must pick the largest real value,
+  // never the zero padding.
+  PoolParams p{3, 3, 2, 2, 1, 1, PoolMode::kMax};
+  Tensor<float> x(Shape4{1, 1, 4, 4});
+  x.fill(-1.0f);
+  x(0, 0, 0, 0) = -0.5f;
+  Tensor<float> y(Shape4{1, 1, 2, 2});
+  Tensor<std::int64_t> am(y.shape());
+  pool2d_forward_padded(x, y, &am, p);
+  EXPECT_FLOAT_EQ(y(0, 0, 0, 0), -0.5f);
+  EXPECT_LT(y(0, 0, 1, 1), 0.0f);
+}
+
+}  // namespace
+}  // namespace distconv::kernels

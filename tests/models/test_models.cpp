@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "core/layers.hpp"
+#include "models/models.hpp"
+
+namespace distconv::models {
+namespace {
+
+TEST(ResNet50, LayerGeometryMatchesPaperMicrobenchmarks) {
+  // Fig. 2 anchors: conv1 (C=3 H=224 W=224 F=64 K=7 P=3 S=2) and
+  // res3b_branch2a (C=512 H=28 W=28 F=128 K=1 P=0 S=1).
+  const auto spec = make_resnet50(32);
+  const auto shapes = spec.infer_shapes();
+
+  const int conv1 = layer_index(spec, "conv1");
+  const auto* c1 = dynamic_cast<const core::Conv2dLayer*>(&spec.layer(conv1));
+  ASSERT_NE(c1, nullptr);
+  const auto p1 = c1->conv_params();
+  EXPECT_EQ(p1.kh, 7);
+  EXPECT_EQ(p1.sh, 2);
+  EXPECT_EQ(p1.ph, 3);
+  EXPECT_EQ(shapes[spec.layer(conv1).parents()[0]],
+            (Shape4{32, 3, 224, 224}));
+  EXPECT_EQ(shapes[conv1], (Shape4{32, 64, 112, 112}));
+
+  const int r3b = layer_index(spec, "res3b_branch2a");
+  const auto* c3 = dynamic_cast<const core::Conv2dLayer*>(&spec.layer(r3b));
+  ASSERT_NE(c3, nullptr);
+  EXPECT_EQ(c3->conv_params().kh, 1);
+  EXPECT_EQ(c3->filters(), 128);
+  const Shape4 in3 = shapes[spec.layer(r3b).parents()[0]];
+  EXPECT_EQ(in3.c, 512);
+  EXPECT_EQ(in3.h, 28);
+  EXPECT_EQ(in3.w, 28);
+}
+
+TEST(ResNet50, StageStructure) {
+  const auto spec = make_resnet50(8);
+  const auto shapes = spec.infer_shapes();
+  // Final pre-pool features: 2048 channels at 7x7.
+  const int gap = layer_index(spec, "gap");
+  const Shape4 pre = shapes[spec.layer(gap).parents()[0]];
+  EXPECT_EQ(pre.c, 2048);
+  EXPECT_EQ(pre.h, 7);
+  // Classifier output: 1000-way.
+  EXPECT_EQ(shapes.back(), (Shape4{8, 1000, 1, 1}));
+}
+
+TEST(ResNet50, ParameterCountNearTwentyFiveMillion) {
+  const auto spec = make_resnet50(1);
+  std::int64_t params = 0;
+  const auto shapes = spec.infer_shapes();
+  for (int i = 0; i < spec.size(); ++i) {
+    if (const auto* conv = dynamic_cast<const core::Conv2dLayer*>(&spec.layer(i))) {
+      const Shape4 in = shapes[conv->parents()[0]];
+      const auto p = conv->conv_params();
+      params += std::int64_t(conv->filters()) * in.c * p.kh * p.kw;
+    }
+  }
+  // ~25.6M including the 2048→1000 classifier; BN params excluded here.
+  EXPECT_GT(params, 23'000'000);
+  EXPECT_LT(params, 28'000'000);
+}
+
+TEST(ResNet50, HasResidualBranches) {
+  const auto spec = make_resnet50(1);
+  int adds = 0;
+  for (int i = 0; i < spec.size(); ++i) {
+    if (dynamic_cast<const core::AddLayer*>(&spec.layer(i)) != nullptr) ++adds;
+  }
+  EXPECT_EQ(adds, 3 + 4 + 6 + 3);  // one residual join per bottleneck block
+}
+
+TEST(MeshModel, Conv1GeometryMatchesFig3) {
+  // conv1_1: C=18 H=2048 W=2048 F=128 K=5 P=2 S=2.
+  const auto spec = make_mesh_model_2k(1);
+  const auto shapes = spec.infer_shapes();
+  const int c11 = layer_index(spec, "conv1_1");
+  const auto* conv = dynamic_cast<const core::Conv2dLayer*>(&spec.layer(c11));
+  ASSERT_NE(conv, nullptr);
+  const auto p = conv->conv_params();
+  EXPECT_EQ(p.kh, 5);
+  EXPECT_EQ(p.ph, 2);
+  EXPECT_EQ(p.sh, 2);
+  EXPECT_EQ(conv->filters(), 128);
+  EXPECT_EQ(shapes[spec.layer(c11).parents()[0]], (Shape4{1, 18, 2048, 2048}));
+  EXPECT_EQ(shapes[c11], (Shape4{1, 128, 1024, 1024}));
+}
+
+TEST(MeshModel, Conv6GeometryMatchesFig3) {
+  // conv6_1: C=384 H=64 W=64 F=128 K=3 P=1 S=2.
+  const auto spec = make_mesh_model_2k(1);
+  const auto shapes = spec.infer_shapes();
+  const int c61 = layer_index(spec, "conv6_1");
+  const auto* conv = dynamic_cast<const core::Conv2dLayer*>(&spec.layer(c61));
+  ASSERT_NE(conv, nullptr);
+  EXPECT_EQ(conv->conv_params().kh, 3);
+  EXPECT_EQ(conv->conv_params().sh, 2);
+  EXPECT_EQ(conv->filters(), 128);
+  const Shape4 in = shapes[spec.layer(c61).parents()[0]];
+  EXPECT_EQ(in.c, 384);
+  EXPECT_EQ(in.h, 64);
+}
+
+TEST(MeshModel, BlockCountsFollowPaper) {
+  // "six blocks of either three (1K) or five (2K) convolution-batch
+  // normalization-ReLU operations ... and a final convolutional layer".
+  auto count_convs = [](const core::NetworkSpec& spec) {
+    int n = 0;
+    for (int i = 0; i < spec.size(); ++i) {
+      if (dynamic_cast<const core::Conv2dLayer*>(&spec.layer(i)) != nullptr) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count_convs(make_mesh_model_1k(1)), 6 * 3 + 1);
+  EXPECT_EQ(count_convs(make_mesh_model_2k(1)), 6 * 5 + 1);
+}
+
+TEST(MeshModel, SegmentationOutputIsPerPixel) {
+  const auto spec = make_mesh_model_1k(4);
+  const auto shapes = spec.infer_shapes();
+  EXPECT_EQ(shapes.back(), (Shape4{4, 1, 16, 16}));  // 1024 / 2^6
+}
+
+TEST(MeshModel, EighteenChannelInput) {
+  const auto spec = make_mesh_model_1k(2);
+  EXPECT_EQ(spec.infer_shapes()[0], (Shape4{2, 18, 1024, 1024}));
+}
+
+TEST(TinyVariants, AreTrainableShapes) {
+  // The scaled-down models must infer valid shapes end to end.
+  EXPECT_NO_THROW(make_resnet_tiny(4).infer_shapes());
+  EXPECT_NO_THROW(make_mesh_model_test(2).infer_shapes());
+}
+
+TEST(LayerIndex, ThrowsForUnknownName) {
+  const auto spec = make_mesh_model_test(1);
+  EXPECT_THROW(layer_index(spec, "not_a_layer"), Error);
+}
+
+}  // namespace
+}  // namespace distconv::models

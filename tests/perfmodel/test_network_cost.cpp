@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "models/models.hpp"
+#include "perf/network_cost.hpp"
+#include "sim/experiment.hpp"
+
+namespace distconv::perf {
+namespace {
+
+const MachineModel kMachine = MachineModel::lassen();
+
+TEST(NetworkCost, MeshModelStrongScalingIsMonotone) {
+  // More GPUs per sample at a fixed mini-batch must reduce the simulated
+  // time across the paper's range (Table I behaviour).
+  const auto spec = models::make_mesh_model_1k(4);
+  double prev = 1e9;
+  for (int gps : {1, 2, 4, 8, 16}) {
+    const auto strategy = core::Strategy::hybrid(spec.size(), 4 * gps, gps);
+    const auto cost = network_cost(spec, strategy, kMachine);
+    EXPECT_LT(cost.minibatch_time(), prev) << gps;
+    prev = cost.minibatch_time();
+  }
+}
+
+TEST(NetworkCost, SpeedupsAreSublinear) {
+  const auto spec = models::make_mesh_model_1k(4);
+  const auto base = network_cost(
+      spec, core::Strategy::hybrid(spec.size(), 4, 1), kMachine);
+  for (int gps : {2, 4, 8, 16}) {
+    const auto cost = network_cost(
+        spec, core::Strategy::hybrid(spec.size(), 4 * gps, gps), kMachine);
+    const double speedup = base.minibatch_time() / cost.minibatch_time();
+    EXPECT_LT(speedup, gps) << gps;  // never superlinear
+    EXPECT_GT(speedup, 0.3 * gps) << gps;  // but real
+  }
+}
+
+TEST(NetworkCost, OverlapReducesTime) {
+  const auto spec = models::make_mesh_model_1k(8);
+  const auto strategy = core::Strategy::hybrid(spec.size(), 32, 4);
+  NetworkCostOptions with, without;
+  without.overlap_halo = false;
+  without.overlap_allreduce = false;
+  const double a = network_cost(spec, strategy, kMachine, with).minibatch_time();
+  const double b =
+      network_cost(spec, strategy, kMachine, without).minibatch_time();
+  EXPECT_LT(a, b);
+}
+
+TEST(NetworkCost, WeakScalingIsNearlyFlatForSampleParallelism) {
+  // Fig. 4: "the flat mini-batch time for increasing numbers of GPUs ...
+  // shows near-perfect weak scaling" (below the memory-pressure scale).
+  const auto t64 = network_cost(models::make_mesh_model_1k(64),
+                                core::Strategy::sample_parallel(
+                                    models::make_mesh_model_1k(64).size(), 64),
+                                kMachine)
+                       .minibatch_time();
+  const auto t512 = network_cost(models::make_mesh_model_1k(512),
+                                 core::Strategy::sample_parallel(
+                                     models::make_mesh_model_1k(512).size(), 512),
+                                 kMachine)
+                        .minibatch_time();
+  EXPECT_NEAR(t512 / t64, 1.0, 0.05);
+}
+
+TEST(NetworkCost, MemoryPressureSlowsSampleParallelismAt2048) {
+  // Fig. 4's sample-parallel degradation at 2048 GPUs.
+  const auto spec = models::make_mesh_model_1k(2048);
+  const auto sample =
+      network_cost(spec, core::Strategy::sample_parallel(spec.size(), 2048),
+                   kMachine);
+  EXPECT_TRUE(sample.memory.pressured);
+  const auto spec_small = models::make_mesh_model_1k(1024);
+  const auto smaller = network_cost(
+      spec_small, core::Strategy::sample_parallel(spec_small.size(), 1024),
+      kMachine);
+  EXPECT_FALSE(smaller.memory.pressured);
+  EXPECT_GT(sample.minibatch_time(), 1.1 * smaller.minibatch_time());
+}
+
+TEST(Memory, Mesh2kInfeasibleWithoutSpatialParallelism) {
+  // §VI: "pure sample parallelism is not possible due to memory constraints"
+  // for the 2K model; 2 GPUs/sample fits.
+  const auto spec = models::make_mesh_model_2k(2);
+  const auto sample = estimate_memory(
+      spec, core::Strategy::sample_parallel(spec.size(), 2), kMachine, 2);
+  EXPECT_FALSE(sample.feasible);
+  const auto spatial = estimate_memory(
+      spec, core::Strategy::hybrid(spec.size(), 4, 2), kMachine, 4);
+  EXPECT_TRUE(spatial.feasible);
+}
+
+TEST(Memory, Mesh1kFitsOneSamplePerGpu) {
+  const auto spec = models::make_mesh_model_1k(4);
+  const auto est = estimate_memory(
+      spec, core::Strategy::sample_parallel(spec.size(), 4), kMachine, 4);
+  EXPECT_TRUE(est.feasible);
+}
+
+TEST(Memory, ResNet50At32PerGpuFits) {
+  const auto spec = models::make_resnet50(128);
+  const auto est = estimate_memory(
+      spec, core::Strategy::sample_parallel(spec.size(), 4), kMachine, 4);
+  EXPECT_TRUE(est.feasible);  // 32 samples per GPU, the paper's baseline
+}
+
+TEST(Memory, SpatialParallelismReducesActivationMemory) {
+  const auto spec = models::make_mesh_model_2k(2);
+  const auto one = estimate_memory(
+      spec, core::Strategy::sample_parallel(spec.size(), 2), kMachine, 2);
+  const auto four = estimate_memory(
+      spec, core::Strategy::hybrid(spec.size(), 8, 4), kMachine, 8);
+  EXPECT_LT(four.activation_bytes, 0.3 * one.activation_bytes);
+}
+
+TEST(Sim, TableOneShapeReproduced) {
+  // The headline strong-scaling behaviour of Table I: speedups grow with
+  // GPUs/sample and land in the paper's band.
+  sim::ExperimentOptions opt;
+  auto build = [](std::int64_t n) { return models::make_mesh_model_1k(n); };
+  const auto cell1 = sim::evaluate(build, 4, 1, opt);
+  const auto cell2 = sim::evaluate(build, 4, 2, opt);
+  const auto cell16 = sim::evaluate(build, 4, 16, opt);
+  ASSERT_TRUE(cell1.feasible && cell2.feasible && cell16.feasible);
+  const double s2 = cell1.seconds / cell2.seconds;
+  const double s16 = cell1.seconds / cell16.seconds;
+  EXPECT_GT(s2, 1.5);   // paper: 2.0x
+  EXPECT_LT(s2, 2.05);
+  EXPECT_GT(s16, 4.0);  // paper: 6.1x
+  EXPECT_LT(s16, 10.0);
+}
+
+TEST(Sim, TableTwoBaselineIsTwoGpus) {
+  sim::ExperimentOptions opt;
+  auto build = [](std::int64_t n) { return models::make_mesh_model_2k(n); };
+  EXPECT_FALSE(sim::evaluate(build, 2, 1, opt).feasible);
+  EXPECT_TRUE(sim::evaluate(build, 2, 2, opt).feasible);
+}
+
+TEST(Sim, MachineSizeLimitsConfigurations) {
+  sim::ExperimentOptions opt;
+  auto build = [](std::int64_t n) { return models::make_mesh_model_1k(n); };
+  const auto cell = sim::evaluate(build, 1024, 4, opt);  // 4096 GPUs > 2048
+  EXPECT_FALSE(cell.feasible);
+  EXPECT_NE(cell.infeasible_reason.find("GPUs"), std::string::npos);
+}
+
+TEST(Sim, FormattingContainsPaperStyleColumns) {
+  sim::ExperimentOptions opt;
+  auto build = [](std::int64_t n) { return models::make_mesh_model_1k(n); };
+  const auto table = sim::strong_scaling(build, {4}, {1, 2}, opt);
+  const std::string text = sim::format_strong_scaling(table, 1, "T");
+  EXPECT_NE(text.find("1 GPU/sample"), std::string::npos);
+  EXPECT_NE(text.find("2 GPUs/sample"), std::string::npos);
+  EXPECT_NE(text.find("x)"), std::string::npos);
+}
+
+TEST(Sim, WeakScalingSeriesRespectMachineSize) {
+  sim::ExperimentOptions opt;
+  opt.max_gpus = 64;
+  auto build = [](std::int64_t n) { return models::make_mesh_model_1k(n); };
+  const auto series = sim::weak_scaling(build, {1, 4}, 4, opt);
+  ASSERT_EQ(series.size(), 2u);
+  for (const auto& s : series) {
+    for (const auto& cell : s.cells) {
+      EXPECT_LE(cell.gpus, 64);
+      if (cell.feasible) EXPECT_GT(cell.seconds, 0.0);
+    }
+    // Weak scaling: flat within 10% below the pressure scale.
+    const double first = s.cells.front().seconds;
+    for (const auto& cell : s.cells) {
+      if (cell.feasible) EXPECT_NEAR(cell.seconds / first, 1.0, 0.1);
+    }
+  }
+}
+
+TEST(Sim, SamplesPerGroupScalesGpuCount) {
+  sim::ExperimentOptions opt;
+  opt.samples_per_group = 32;
+  auto build = [](std::int64_t n) { return models::make_resnet50(n); };
+  const auto cell = sim::evaluate(build, 128, 2, opt);
+  EXPECT_EQ(cell.gpus, 8);  // 128 samples / 32 per group x 2 GPUs
+  ASSERT_TRUE(cell.feasible);
+}
+
+TEST(Sim, WeakScalingFormatMentionsInfeasibleReason) {
+  sim::ExperimentOptions opt;
+  opt.max_gpus = 8;
+  auto build = [](std::int64_t n) { return models::make_mesh_model_2k(n); };
+  // 1 GPU/sample on the 2K model: every point is memory-infeasible.
+  const auto series = sim::weak_scaling(build, {1}, 4, opt);
+  const std::string text = sim::format_weak_scaling(series, "T");
+  EXPECT_NE(text.find("n/a"), std::string::npos);
+  EXPECT_NE(text.find("memory"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace distconv::perf

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/model.hpp"
+#include "models/models.hpp"
+#include "perf/strategy_opt.hpp"
+
+namespace distconv::perf {
+namespace {
+
+const MachineModel kMachine = MachineModel::lassen();
+
+TEST(Candidates, SampleParallelAlwaysFirst) {
+  OptimizerOptions opt;
+  const auto grids = candidate_grids(8, Shape4{8, 3, 64, 64},
+                                     Shape4{8, 16, 64, 64}, 3, opt);
+  ASSERT_FALSE(grids.empty());
+  EXPECT_EQ(grids[0], (ProcessGrid{8, 1, 1, 1}));
+}
+
+TEST(Candidates, SpatialVariantsRequireEnoughRowsAndSamples) {
+  OptimizerOptions opt;
+  // Only 2 samples on 8 ranks: pure sample parallelism is impossible; the
+  // 4- and 8-way hybrids survive.
+  const auto grids = candidate_grids(8, Shape4{2, 3, 64, 64},
+                                     Shape4{2, 16, 64, 64}, 3, opt);
+  for (const auto& g : grids) {
+    EXPECT_LE(g.n, 2);
+    EXPECT_GE(g.h * g.w, 4);
+  }
+  EXPECT_FALSE(grids.empty());
+}
+
+TEST(Candidates, TooFineSpatialSplitsExcluded) {
+  OptimizerOptions opt;
+  // 8×8 image with K=7: O=3 halos fit in 4-row blocks (2-way) but not in
+  // 2-row blocks (4-way per dimension) — the §III-A edge case.
+  const auto grids =
+      candidate_grids(4, Shape4{4, 3, 8, 8}, Shape4{4, 8, 8, 8}, 7, opt);
+  ASSERT_FALSE(grids.empty());
+  for (const auto& g : grids) {
+    EXPECT_LE(g.h, 2) << "4-way H split must be excluded for K=7 on 8x8";
+    EXPECT_LE(g.w, 2);
+  }
+}
+
+TEST(Candidates, HeadLayersFallBackToSampleParallelWithEmptyBlocks) {
+  OptimizerOptions opt;
+  // A 1×1 output on more ranks than samples admits no balanced grid; the
+  // fallback is sample parallelism with empty shards on the excess ranks.
+  const auto grids =
+      candidate_grids(8, Shape4{2, 64, 1, 1}, Shape4{2, 8, 1, 1}, 1, opt);
+  ASSERT_EQ(grids.size(), 1u);
+  EXPECT_EQ(grids[0], (ProcessGrid{8, 1, 1, 1}));
+}
+
+TEST(Optimizer, PicksSampleParallelismWhenBatchIsAmple) {
+  // Plenty of samples per rank: the cheapest (sample) distribution should
+  // win everywhere (§V-A: sample parallelism has the least overhead).
+  const auto spec = models::make_mesh_model_1k(64);
+  const auto strategy = optimize_strategy(spec, 8, kMachine);
+  for (int i = 0; i < spec.size(); ++i) {
+    EXPECT_EQ(strategy.grids[i].h * strategy.grids[i].w, 1) << i;
+  }
+}
+
+TEST(Optimizer, UsesSpatialParallelismWhenBatchIsSmall) {
+  // 1 sample on 8 ranks: only spatial/hybrid candidates exist for conv
+  // layers.
+  const auto spec = models::make_mesh_model_1k(1);
+  const auto strategy = optimize_strategy(spec, 8, kMachine);
+  bool any_spatial = false;
+  for (int i = 0; i < spec.size(); ++i) {
+    if (strategy.grids[i].h * strategy.grids[i].w > 1) any_spatial = true;
+  }
+  EXPECT_TRUE(any_spatial);
+}
+
+TEST(Optimizer, StrategyBeatsOrMatchesUniformBaselines) {
+  // The optimizer's pick must cost no more than every uniform hybrid
+  // strategy (it has them all in its search space for line networks).
+  const auto spec = models::make_mesh_model_1k(2);
+  const int ranks = 16;
+  const auto chosen = optimize_strategy(spec, ranks, kMachine);
+  const double chosen_cost =
+      network_cost(spec, chosen, kMachine).minibatch_time();
+  for (int gps : {8, 16}) {
+    const auto uniform = core::Strategy::hybrid(spec.size(), ranks, gps);
+    const double cost = network_cost(spec, uniform, kMachine).minibatch_time();
+    EXPECT_LE(chosen_cost, cost * 1.02) << gps;
+  }
+}
+
+TEST(Optimizer, HandlesResNetBranches) {
+  // ResNet-50's DAG exercises the longest-path decomposition; every layer
+  // must end with a grid spanning all ranks.
+  const auto spec = models::make_resnet50(32);
+  const auto strategy = optimize_strategy(spec, 8, kMachine);
+  ASSERT_EQ(static_cast<int>(strategy.grids.size()), spec.size());
+  for (int i = 0; i < spec.size(); ++i) {
+    EXPECT_EQ(strategy.grids[i].size(), 8) << i;
+  }
+}
+
+TEST(Optimizer, ResNetWithFewSamplesGoesSpatialEarly) {
+  // Strong-scaling regime: 4 samples on 16 ranks — early high-resolution
+  // layers should pick hybrid decompositions.
+  const auto spec = models::make_resnet50(4);
+  const auto strategy = optimize_strategy(spec, 16, kMachine);
+  const int conv1 = models::layer_index(spec, "conv1");
+  EXPECT_GT(strategy.grids[conv1].h * strategy.grids[conv1].w, 1);
+}
+
+TEST(Optimizer, MixedStrategiesAreExecutable) {
+  // Whatever the optimizer returns must run on the real engine.
+  const auto spec = models::make_mesh_model_test(2, 64);
+  const auto strategy = optimize_strategy(spec, 4, kMachine);
+  comm::World world(4);
+  world.run([&](comm::Comm& comm) {
+    core::Model model(spec, comm, strategy, 3);
+    Tensor<float> input(model.rt(0).out_shape);
+    Rng rng(1);
+    input.fill_uniform(rng);
+    model.set_input(0, input);
+    model.forward();
+    Tensor<float> targets(model.rt(model.output_layer()).out_shape);
+    const double loss = model.loss_bce(targets);
+    model.backward();
+    EXPECT_TRUE(std::isfinite(loss));
+  });
+}
+
+TEST(ChannelAdvisory, FlagsDeepResNetLayers) {
+  // §VI-B2: deep layers (many filters, 7x7-14x14 spatial) are where channel
+  // parallelism should beat spatial decomposition under strong scaling.
+  const auto spec = models::make_resnet50(4);
+  const auto opportunities = analyze_channel_opportunities(spec, 16, kMachine);
+  ASSERT_FALSE(opportunities.empty());
+  bool deep = false;
+  for (const auto& opp : opportunities) {
+    EXPECT_LT(opp.best_channel_cost, opp.best_spatial_cost);
+    EXPECT_GE(opp.channel_ways, 2);
+    if (opp.name.rfind("res5", 0) == 0 || opp.name.rfind("res4", 0) == 0) {
+      deep = true;
+    }
+  }
+  EXPECT_TRUE(deep) << "expected opportunities in the deep stages";
+}
+
+TEST(ChannelAdvisory, MeshStemPrefersSpatial) {
+  // The 18-channel stem has a huge spatial domain and almost no channels to
+  // split: spatial parallelism must win there (the paper's headline case).
+  const auto spec = models::make_mesh_model_1k(2);
+  const auto opportunities = analyze_channel_opportunities(spec, 8, kMachine);
+  for (const auto& opp : opportunities) {
+    EXPECT_NE(opp.name, "conv1_1");
+  }
+}
+
+}  // namespace
+}  // namespace distconv::perf

@@ -1,0 +1,31 @@
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace distconv {
+namespace {
+
+TEST(Error, RequireThrowsWithMessage) {
+  try {
+    DC_REQUIRE(1 == 2, "context ", 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("context 42"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, RequirePassesSilently) {
+  EXPECT_NO_THROW(DC_REQUIRE(true, "unused"));
+}
+
+TEST(Error, CheckThrows) { EXPECT_THROW(DC_CHECK(false), Error); }
+
+TEST(Error, FailAlwaysThrows) {
+  EXPECT_THROW(DC_FAIL("boom ", 1, " ", 2.5), Error);
+}
+
+}  // namespace
+}  // namespace distconv

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include "comm/comm.hpp"
+#include "tensor/halo.hpp"
+
+namespace distconv {
+namespace {
+
+// Fill a distributed tensor's owned region with a globally-determined value
+// so halo contents can be checked against the global coordinate function.
+template <typename T>
+void fill_global_pattern(DistTensor<T>& t) {
+  const Box4 owned = t.owned_box();
+  for (std::int64_t n = 0; n < owned.ext[0]; ++n)
+    for (std::int64_t c = 0; c < owned.ext[1]; ++c)
+      for (std::int64_t h = 0; h < owned.ext[2]; ++h)
+        for (std::int64_t w = 0; w < owned.ext[3]; ++w) {
+          const std::int64_t gn = owned.off[0] + n, gc = owned.off[1] + c,
+                             gh = owned.off[2] + h, gw = owned.off[3] + w;
+          t.at_owned(n, c, h, w) =
+              static_cast<T>(((gn * 131 + gc) * 131 + gh) * 131 + gw);
+        }
+}
+
+// Expected buffer value at a global coordinate: pattern inside the domain,
+// zero (padding) outside.
+template <typename T>
+T expected_at(const Shape4& global, std::int64_t gn, std::int64_t gc,
+              std::int64_t gh, std::int64_t gw) {
+  if (gh < 0 || gh >= global.h || gw < 0 || gw >= global.w) return T(0);
+  return static_cast<T>(((gn * 131 + gc) * 131 + gh) * 131 + gw);
+}
+
+struct HaloCase {
+  int grid_h, grid_w;
+  std::int64_t H, W;
+  int K, S;
+};
+
+class HaloSweep : public ::testing::TestWithParam<HaloCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    GridsAndStencils, HaloSweep,
+    ::testing::Values(HaloCase{2, 1, 12, 8, 3, 1}, HaloCase{1, 2, 8, 12, 3, 1},
+                      HaloCase{2, 2, 12, 12, 3, 1}, HaloCase{3, 3, 15, 15, 3, 1},
+                      HaloCase{2, 2, 16, 16, 5, 1}, HaloCase{4, 1, 16, 8, 7, 1},
+                      HaloCase{2, 2, 16, 16, 3, 2}, HaloCase{4, 4, 32, 32, 5, 2},
+                      HaloCase{3, 2, 17, 13, 3, 1}));
+
+TEST_P(HaloSweep, MarginsMatchNeighbourDataAndPadding) {
+  const auto cfg = GetParam();
+  const int P = cfg.grid_h * cfg.grid_w;
+  comm::World world(P);
+  world.run([&cfg](comm::Comm& comm) {
+    const Shape4 global{2, 3, cfg.H, cfg.W};
+    const ProcessGrid grid{1, 1, cfg.grid_h, cfg.grid_w};
+    const auto dist = Distribution::make(global, grid);
+    const StencilSpec spec{cfg.K, cfg.S, cfg.K / 2};
+    const auto mh = forward_stencil_margins(
+        dist.h, DimPartition(spec.out_size(global.h), grid.h), spec);
+    const auto mw = forward_stencil_margins(
+        dist.w, DimPartition(spec.out_size(global.w), grid.w), spec);
+
+    DistTensor<float> t(&comm, dist, mh, mw);
+    fill_global_pattern(t);
+    HaloExchange<float> hx(&t);
+    hx.exchange();
+
+    // Every buffer position (owned + margins) must match the global pattern
+    // (or zero padding outside the domain).
+    const Box4 owned = t.owned_box();
+    const std::int64_t hlo = t.h_margin_lo(), whi = t.w_margin_hi();
+    const std::int64_t wlo = t.w_margin_lo(), hhi = t.h_margin_hi();
+    for (std::int64_t n = 0; n < owned.ext[0]; ++n)
+      for (std::int64_t c = 0; c < owned.ext[1]; ++c)
+        for (std::int64_t h = -hlo; h < owned.ext[2] + hhi; ++h)
+          for (std::int64_t w = -wlo; w < owned.ext[3] + whi; ++w) {
+            const float got = t.at_owned(n, c, h, w);
+            const float want = expected_at<float>(
+                global, owned.off[0] + n, owned.off[1] + c, owned.off[2] + h,
+                owned.off[3] + w);
+            ASSERT_FLOAT_EQ(got, want)
+                << "n=" << n << " c=" << c << " h=" << h << " w=" << w
+                << " grid=" << cfg.grid_h << "x" << cfg.grid_w;
+          }
+  });
+}
+
+TEST(Halo, NoMarginsNoTraffic) {
+  comm::World world(4);
+  world.reset_stats();
+  world.run([](comm::Comm& comm) {
+    const Shape4 global{1, 1, 8, 8};
+    const ProcessGrid grid{1, 1, 2, 2};
+    DistTensor<float> t(&comm, Distribution::make(global, grid));
+    HaloExchange<float> hx(&t);
+    EXPECT_EQ(hx.num_send_transfers(), 0);
+    hx.exchange();
+  });
+  EXPECT_EQ(world.stats().bytes, 0u);
+}
+
+TEST(Halo, SendVolumeMatchesAnalyticFormula) {
+  // Interior rank of a 1D H decomposition with K=3 (O=1) sends O rows of
+  // width W in each direction: 2 * O * N * C * W elements total (the
+  // 2·SR(O·I_N·I_C·I_W) term of FP_ℓ in §V-A).
+  comm::World world(4);
+  world.run([](comm::Comm& comm) {
+    const Shape4 global{2, 3, 16, 10};
+    const ProcessGrid grid{1, 1, 4, 1};
+    const auto dist = Distribution::make(global, grid);
+    const StencilSpec spec{3, 1, 1};
+    const auto mh =
+        forward_stencil_margins(dist.h, DimPartition(16, 4), spec);
+    DistTensor<float> t(&comm, dist, mh, MarginTable(1));
+    HaloExchange<float> hx(&t);
+    const std::size_t row = 2 * 3 * 10;  // N*C*W elements
+    const bool interior = comm.rank() == 1 || comm.rank() == 2;
+    const std::size_t expect = (interior ? 2 : 1) * row * sizeof(float);
+    EXPECT_EQ(hx.send_bytes_per_exchange(), expect) << "rank " << comm.rank();
+  });
+}
+
+TEST(Halo, CornerExchangeHappensOn2x2Grid) {
+  comm::World world(4);
+  world.run([](comm::Comm& comm) {
+    const Shape4 global{1, 1, 8, 8};
+    const ProcessGrid grid{1, 1, 2, 2};
+    const auto dist = Distribution::make(global, grid);
+    const StencilSpec spec{3, 1, 1};
+    const auto mh = forward_stencil_margins(dist.h, DimPartition(8, 2), spec);
+    const auto mw = forward_stencil_margins(dist.w, DimPartition(8, 2), spec);
+    DistTensor<float> t(&comm, dist, mh, mw);
+    HaloExchange<float> hx(&t);
+    // Each rank of a 2x2 grid has 3 neighbours: edge, edge, corner.
+    EXPECT_EQ(hx.num_send_transfers(), 3);
+    EXPECT_EQ(hx.num_recv_transfers(), 3);
+  });
+}
+
+TEST(Halo, StartFinishAllowsOverlappedWork) {
+  comm::World world(2);
+  world.run([](comm::Comm& comm) {
+    const Shape4 global{1, 1, 8, 4};
+    const ProcessGrid grid{1, 1, 2, 1};
+    const auto dist = Distribution::make(global, grid);
+    const StencilSpec spec{3, 1, 1};
+    const auto mh = forward_stencil_margins(dist.h, DimPartition(8, 2), spec);
+    DistTensor<float> t(&comm, dist, mh, MarginTable(1));
+    fill_global_pattern(t);
+    HaloExchange<float> hx(&t);
+    hx.start();
+    // "Interior work" happens here; then completion.
+    double sum = 0;
+    for (int i = 0; i < 1000; ++i) sum += i;
+    EXPECT_GT(sum, 0);
+    hx.finish();
+    // Margin row must hold neighbour data.
+    if (comm.rank() == 0) {
+      EXPECT_FLOAT_EQ(t.at_owned(0, 0, 4, 0), expected_at<float>(global, 0, 0, 4, 0));
+    } else {
+      EXPECT_FLOAT_EQ(t.at_owned(0, 0, -1, 3),
+                      expected_at<float>(global, 0, 0, 3, 3));
+    }
+  });
+}
+
+TEST(Halo, DoubleStartThrows) {
+  comm::World world(1);
+  world.run([](comm::Comm& comm) {
+    DistTensor<float> t(&comm, Distribution::make(Shape4{1, 1, 4, 4}, ProcessGrid{}));
+    HaloExchange<float> hx(&t);
+    hx.start();
+    EXPECT_THROW(hx.start(), Error);
+    hx.finish();
+  });
+}
+
+TEST(Halo, AccumulateSumsMarginIntoOwner) {
+  // Reverse exchange: each rank writes a value into its margins; the owner
+  // accumulates it onto its edge rows.
+  comm::World world(2);
+  world.run([](comm::Comm& comm) {
+    const Shape4 global{1, 1, 8, 2};
+    const ProcessGrid grid{1, 1, 2, 1};
+    const auto dist = Distribution::make(global, grid);
+    MarginTable mh(2);
+    mh.lo = {0, 1};
+    mh.hi = {1, 0};
+    DistTensor<float> t(&comm, dist, mh, MarginTable(1));
+    // Owned values 1.0 everywhere; margins hold 0.25.
+    const Box4 ib = t.interior_box();
+    t.buffer().fill(0.25f);
+    for (std::int64_t h = 0; h < ib.ext[2]; ++h)
+      for (std::int64_t w = 0; w < ib.ext[3]; ++w)
+        t.at_owned(0, 0, h, w) = 1.0f;
+    HaloExchange<float> hx(&t);
+    hx.exchange(HaloOp::kSum);
+    // Rank 0's last owned row and rank 1's first owned row get +0.25.
+    if (comm.rank() == 0) {
+      EXPECT_FLOAT_EQ(t.at_owned(0, 0, 3, 0), 1.25f);
+      EXPECT_FLOAT_EQ(t.at_owned(0, 0, 2, 0), 1.0f);
+    } else {
+      EXPECT_FLOAT_EQ(t.at_owned(0, 0, 0, 1), 1.25f);
+      EXPECT_FLOAT_EQ(t.at_owned(0, 0, 1, 1), 1.0f);
+    }
+  });
+}
+
+TEST(Halo, TooFinePartitionThrows) {
+  // 4-way split of 8 rows with a kernel needing 3-row halos: margins exceed
+  // neighbour blocks of 2 rows.
+  comm::World world(4);
+  EXPECT_THROW(
+      world.run([](comm::Comm& comm) {
+        const Shape4 global{1, 1, 8, 1};
+        const ProcessGrid grid{1, 1, 4, 1};
+        const auto dist = Distribution::make(global, grid);
+        const StencilSpec spec{7, 1, 3};
+        const auto mh = forward_stencil_margins(dist.h, DimPartition(8, 4), spec);
+        DistTensor<float> t(&comm, dist, mh, MarginTable(1));
+        HaloExchange<float> hx(&t);
+        hx.exchange();
+      }),
+      Error);
+}
+
+
+TEST_P(HaloSweep, TwoPhaseVariantMatchesDirectExchange) {
+  const auto cfg = GetParam();
+  const int P = cfg.grid_h * cfg.grid_w;
+  comm::World world(P);
+  world.run([&cfg](comm::Comm& comm) {
+    const Shape4 global{2, 2, cfg.H, cfg.W};
+    const ProcessGrid grid{1, 1, cfg.grid_h, cfg.grid_w};
+    const auto dist = Distribution::make(global, grid);
+    const StencilSpec spec{cfg.K, cfg.S, cfg.K / 2};
+    const auto mh = forward_stencil_margins(
+        dist.h, DimPartition(spec.out_size(global.h), grid.h), spec);
+    const auto mw = forward_stencil_margins(
+        dist.w, DimPartition(spec.out_size(global.w), grid.w), spec);
+
+    DistTensor<float> direct(&comm, dist, mh, mw);
+    DistTensor<float> two_phase(&comm, dist, mh, mw);
+    fill_global_pattern(direct);
+    fill_global_pattern(two_phase);
+    HaloExchange<float> hx_direct(&direct);
+    HaloExchange<float> hx_two(&two_phase);
+    hx_direct.exchange();
+    hx_two.exchange_two_phase();
+    ASSERT_EQ(direct.buffer().size(), two_phase.buffer().size());
+    for (std::int64_t i = 0; i < direct.buffer().size(); ++i) {
+      ASSERT_EQ(direct.buffer().data()[i], two_phase.buffer().data()[i]) << i;
+    }
+  });
+}
+
+TEST(Halo, TwoPhaseUsesFewerMessagesOn2x2Grid) {
+  // Corner traffic collapses into the W-phase: each rank of a 2x2 grid sends
+  // 2 messages (one per phase) instead of 3 (edge + edge + corner).
+  comm::World world(4);
+  world.reset_stats();
+  world.run([](comm::Comm& comm) {
+    const Shape4 global{1, 1, 8, 8};
+    const ProcessGrid grid{1, 1, 2, 2};
+    const auto dist = Distribution::make(global, grid);
+    const StencilSpec spec{3, 1, 1};
+    const auto mh = forward_stencil_margins(dist.h, DimPartition(8, 2), spec);
+    const auto mw = forward_stencil_margins(dist.w, DimPartition(8, 2), spec);
+    DistTensor<float> t(&comm, dist, mh, mw);
+    HaloExchange<float> hx(&t);
+    hx.exchange_two_phase();
+  });
+  EXPECT_EQ(world.stats().messages, 4u * 2u);  // 4 ranks x 2 messages
+  // (the direct 8-direction plan sends 3 per rank on this grid)
+}
+
+}  // namespace
+}  // namespace distconv

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "tensor/margins.hpp"
+
+namespace distconv {
+namespace {
+
+TEST(StencilSpec, OutSizeMatchesConvArithmetic) {
+  EXPECT_EQ((StencilSpec{3, 1, 1}.out_size(224)), 224);  // "same" 3x3
+  EXPECT_EQ((StencilSpec{7, 2, 3}.out_size(224)), 112);  // ResNet conv1
+  EXPECT_EQ((StencilSpec{1, 1, 0}.out_size(28)), 28);    // 1x1
+  EXPECT_EQ((StencilSpec{5, 2, 2}.out_size(2048)), 1024);  // mesh conv1_1
+  EXPECT_EQ((StencilSpec{3, 2, 1}.out_size(64)), 32);    // mesh conv6_1
+}
+
+TEST(ForwardMargins, SamePaddingK3GivesHaloOne) {
+  // H=16 over 4 parts, K=3 S=1 P=1: interior parts need 1 row each side;
+  // boundary parts carry the zero padding as a margin on the outside.
+  const StencilSpec spec{3, 1, 1};
+  DimPartition in(16, 4), out(spec.out_size(16), 4);
+  const auto m = forward_stencil_margins(in, out, spec);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(m.lo[i], 1) << i;
+    EXPECT_EQ(m.hi[i], 1) << i;
+  }
+}
+
+TEST(ForwardMargins, KOneNeedsNoHalo) {
+  const StencilSpec spec{1, 1, 0};
+  DimPartition in(28, 4), out(28, 4);
+  const auto m = forward_stencil_margins(in, out, spec);
+  EXPECT_TRUE(m.all_zero());
+}
+
+TEST(ForwardMargins, LargeKernelGrowsHalo) {
+  // K=7 P=3 S=1: O=3 rows each side.
+  const StencilSpec spec{7, 1, 3};
+  DimPartition in(32, 2), out(32, 2);
+  const auto m = forward_stencil_margins(in, out, spec);
+  EXPECT_EQ(m.lo[0], 3);  // padding margin at the global boundary
+  EXPECT_EQ(m.hi[0], 3);  // halo from part 1
+  EXPECT_EQ(m.lo[1], 3);
+  EXPECT_EQ(m.hi[1], 3);
+}
+
+TEST(ForwardMargins, StrideTwoAlignedBlocksNeedAsymmetricHalo) {
+  // H=16, K=3 S=2 P=1, H_out=8 over 2 parts: part 0 owns out rows [0,4) →
+  // needs in rows [-1, 7); owns in [0,8) → lo=1 (padding), hi=0.
+  // Part 1 owns out [4,8) → needs in [7,15); owns [8,16) → lo=1, hi=0.
+  const StencilSpec spec{3, 2, 1};
+  DimPartition in(16, 2), out(8, 2);
+  const auto m = forward_stencil_margins(in, out, spec);
+  EXPECT_EQ(m.lo[0], 1);
+  EXPECT_EQ(m.hi[0], 0);
+  EXPECT_EQ(m.lo[1], 1);
+  EXPECT_EQ(m.hi[1], 0);
+}
+
+TEST(ForwardMargins, NeededRangeCoverageProperty) {
+  // Property: for every part, [start - lo, end + hi) covers every input row
+  // any of its output rows reads (clipped to the global range).
+  for (int H : {8, 12, 16, 31}) {
+    for (int parts : {1, 2, 3, 4}) {
+      for (int K : {1, 3, 5, 7}) {
+        for (int S : {1, 2}) {
+          const int P = K / 2;
+          const StencilSpec spec{K, S, P};
+          const std::int64_t Ho = spec.out_size(H);
+          if (Ho < parts || H < parts) continue;
+          DimPartition in(H, parts), out(Ho, parts);
+          const auto m = forward_stencil_margins(in, out, spec);
+          for (int i = 0; i < parts; ++i) {
+            const std::int64_t cover_lo = in.start(i) - m.lo[i];
+            const std::int64_t cover_hi = (in.end(i) - 1) + m.hi[i];
+            for (std::int64_t o = out.start(i); o < out.end(i); ++o) {
+              const std::int64_t need_lo = std::int64_t{S} * o - P;
+              const std::int64_t need_hi = std::int64_t{S} * o - P + K - 1;
+              EXPECT_LE(cover_lo, need_lo)
+                  << "H=" << H << " parts=" << parts << " K=" << K << " S=" << S;
+              EXPECT_GE(cover_hi, need_hi);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TransposeMargins, KOneNoHalo) {
+  const StencilSpec spec{1, 1, 0};
+  DimPartition in(28, 4), out(28, 4);
+  const auto m = transpose_stencil_margins(in, out, spec);
+  EXPECT_TRUE(m.all_zero());
+}
+
+TEST(TransposeMargins, CoverageProperty) {
+  // Property: for every part, the dL/dy rows needed to compute every owned
+  // input row's gradient are inside [out.start - lo, out.end + hi).
+  for (int H : {8, 12, 16, 31}) {
+    for (int parts : {1, 2, 3, 4}) {
+      for (int K : {1, 3, 5}) {
+        for (int S : {1, 2}) {
+          const int P = K / 2;
+          const StencilSpec spec{K, S, P};
+          const std::int64_t Ho = spec.out_size(H);
+          if (Ho < parts || H < parts) continue;
+          DimPartition in(H, parts), out(Ho, parts);
+          const auto m = transpose_stencil_margins(in, out, spec);
+          for (int i = 0; i < parts; ++i) {
+            const std::int64_t cover_lo = out.start(i) - m.lo[i];
+            const std::int64_t cover_hi = (out.end(i) - 1) + m.hi[i];
+            for (std::int64_t r = in.start(i); r < in.end(i); ++r) {
+              // Every output row j with S*j - P + a == r for a in [0, K).
+              for (std::int64_t j = 0; j < Ho; ++j) {
+                const std::int64_t a = r - (S * j - P);
+                if (a < 0 || a >= K) continue;
+                EXPECT_LE(cover_lo, j) << "H=" << H << " parts=" << parts
+                                       << " K=" << K << " S=" << S << " i=" << i;
+                EXPECT_GE(cover_hi, j);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(MarginTable, MergeTakesMax) {
+  MarginTable a(2), b(2);
+  a.lo = {1, 0};
+  a.hi = {0, 2};
+  b.lo = {0, 3};
+  b.hi = {1, 1};
+  a.merge_max(b);
+  EXPECT_EQ(a.lo[0], 1);
+  EXPECT_EQ(a.lo[1], 3);
+  EXPECT_EQ(a.hi[0], 1);
+  EXPECT_EQ(a.hi[1], 2);
+}
+
+TEST(MarginTable, MergeWithEmptyAdoptsOther) {
+  MarginTable a, b(3);
+  b.lo = {1, 1, 1};
+  a.merge_max(b);
+  EXPECT_EQ(a.parts(), 3);
+  EXPECT_EQ(a.lo[2], 1);
+}
+
+TEST(MarginTable, MergeSizeMismatchThrows) {
+  MarginTable a(2), b(3);
+  EXPECT_THROW(a.merge_max(b), Error);
+}
+
+}  // namespace
+}  // namespace distconv

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "tensor/partition.hpp"
+#include "tensor/tensor.hpp"
+
+namespace distconv {
+namespace {
+
+TEST(DimPartition, EvenSplit) {
+  DimPartition p(12, 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(p.start(i), 3 * i);
+    EXPECT_EQ(p.size(i), 3);
+  }
+}
+
+TEST(DimPartition, UnevenSplitFrontLoaded) {
+  DimPartition p(10, 4);  // sizes 3,3,2,2
+  EXPECT_EQ(p.size(0), 3);
+  EXPECT_EQ(p.size(1), 3);
+  EXPECT_EQ(p.size(2), 2);
+  EXPECT_EQ(p.size(3), 2);
+  EXPECT_EQ(p.start(2), 6);
+  EXPECT_EQ(p.end(3), 10);
+}
+
+TEST(DimPartition, CoversWholeRangeWithoutOverlap) {
+  for (std::int64_t g : {1, 5, 7, 16, 17, 101}) {
+    for (int parts : {1, 2, 3, 4, 7, 16}) {
+      if (parts > g) continue;
+      DimPartition p(g, parts);
+      std::int64_t expect_start = 0;
+      for (int i = 0; i < parts; ++i) {
+        EXPECT_EQ(p.start(i), expect_start);
+        EXPECT_GE(p.size(i), 1);
+        expect_start = p.end(i);
+      }
+      EXPECT_EQ(expect_start, g);
+    }
+  }
+}
+
+TEST(DimPartition, OwnerOfInvertsStart) {
+  for (std::int64_t g : {1, 9, 10, 33}) {
+    for (int parts : {1, 2, 3, 5, 8}) {
+      if (parts > g) continue;
+      DimPartition p(g, parts);
+      for (std::int64_t idx = 0; idx < g; ++idx) {
+        const int owner = p.owner_of(idx);
+        EXPECT_GE(idx, p.start(owner));
+        EXPECT_LT(idx, p.end(owner));
+      }
+    }
+  }
+}
+
+TEST(DimPartition, OutOfRangeThrows) {
+  DimPartition p(8, 2);
+  EXPECT_THROW(p.start(2), Error);
+  EXPECT_THROW(p.owner_of(8), Error);
+  EXPECT_THROW(p.owner_of(-1), Error);
+}
+
+TEST(ProcessGrid, RankCoordRoundTrip) {
+  ProcessGrid g{2, 1, 3, 4};
+  EXPECT_EQ(g.size(), 24);
+  for (int r = 0; r < g.size(); ++r) {
+    const auto c = g.coord_of(r);
+    EXPECT_EQ(g.rank_of(c), r);
+  }
+}
+
+TEST(ProcessGrid, LexicographicOrderSampleMajor) {
+  // Sample groups are contiguous rank ranges (rank / (h*w) = sample coord).
+  ProcessGrid g{4, 1, 2, 2};
+  for (int r = 0; r < g.size(); ++r) {
+    EXPECT_EQ(g.coord_of(r).n, r / 4);
+  }
+  EXPECT_EQ(g.coord_of(5).h, 0);
+  EXPECT_EQ(g.coord_of(5).w, 1);
+  EXPECT_EQ(g.coord_of(6).h, 1);
+}
+
+TEST(Distribution, LocalShapesTileGlobal) {
+  const Shape4 global{8, 3, 10, 12};
+  const ProcessGrid grid{2, 1, 2, 3};
+  const auto d = Distribution::make(global, grid);
+  std::int64_t total = 0;
+  for (int r = 0; r < grid.size(); ++r) total += d.local_shape(r).size();
+  EXPECT_EQ(total, global.size());
+  EXPECT_EQ(d.global_shape(), global);
+}
+
+TEST(Distribution, OwnedBoxesDisjointAndCovering) {
+  const Shape4 global{4, 2, 7, 5};
+  const ProcessGrid grid{2, 1, 3, 1};
+  const auto d = Distribution::make(global, grid);
+  Tensor<int> cover(global);
+  for (int r = 0; r < grid.size(); ++r) {
+    const Box4 b = d.owned_box(r);
+    for (std::int64_t n = 0; n < b.ext[0]; ++n)
+      for (std::int64_t c = 0; c < b.ext[1]; ++c)
+        for (std::int64_t h = 0; h < b.ext[2]; ++h)
+          for (std::int64_t w = 0; w < b.ext[3]; ++w)
+            cover(b.off[0] + n, b.off[1] + c, b.off[2] + h, b.off[3] + w)++;
+  }
+  for (std::int64_t i = 0; i < cover.size(); ++i) EXPECT_EQ(cover.data()[i], 1);
+}
+
+TEST(IntersectBoxes, OverlapAndDisjoint) {
+  Box4 a, b;
+  a.off[2] = 0;
+  a.ext[2] = 5;
+  a.ext[0] = a.ext[1] = a.ext[3] = 1;
+  b = a;
+  b.off[2] = 3;
+  b.ext[2] = 5;
+  const Box4 i = intersect_boxes(a, b);
+  EXPECT_EQ(i.off[2], 3);
+  EXPECT_EQ(i.ext[2], 2);
+
+  b.off[2] = 5;
+  const Box4 empty = intersect_boxes(a, b);
+  EXPECT_TRUE(empty.empty());
+}
+
+}  // namespace
+}  // namespace distconv

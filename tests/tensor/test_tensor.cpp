@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+
+namespace distconv {
+namespace {
+
+TEST(Shape4, SizeAndIndexing) {
+  Shape4 s{2, 3, 4, 5};
+  EXPECT_EQ(s.size(), 120);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[1], 3);
+  EXPECT_EQ(s[2], 4);
+  EXPECT_EQ(s[3], 5);
+  EXPECT_THROW(s[4], Error);
+}
+
+TEST(Shape4, Equality) {
+  EXPECT_EQ((Shape4{1, 2, 3, 4}), (Shape4{1, 2, 3, 4}));
+  EXPECT_NE((Shape4{1, 2, 3, 4}), (Shape4{1, 2, 3, 5}));
+}
+
+TEST(Strides4, ContiguousNCHW) {
+  const auto st = Strides4::contiguous(Shape4{2, 3, 4, 5});
+  EXPECT_EQ(st.w, 1);
+  EXPECT_EQ(st.h, 5);
+  EXPECT_EQ(st.c, 20);
+  EXPECT_EQ(st.n, 60);
+  EXPECT_EQ(st.offset(1, 2, 3, 4), 60 + 40 + 15 + 4);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor<float> t(Shape4{2, 2, 2, 2});
+  for (std::int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.data()[i], 0.0f);
+}
+
+TEST(Tensor, AccessorsRoundTrip) {
+  Tensor<float> t(Shape4{2, 3, 4, 5});
+  float v = 0;
+  for (int n = 0; n < 2; ++n)
+    for (int c = 0; c < 3; ++c)
+      for (int h = 0; h < 4; ++h)
+        for (int w = 0; w < 5; ++w) t(n, c, h, w) = v++;
+  EXPECT_FLOAT_EQ(t(0, 0, 0, 0), 0);
+  EXPECT_FLOAT_EQ(t(1, 2, 3, 4), 119);
+  EXPECT_FLOAT_EQ(t(0, 2, 1, 3), 2 * 20 + 5 + 3);
+}
+
+TEST(Tensor, AtBoundsChecks) {
+  Tensor<float> t(Shape4{1, 1, 2, 2});
+  EXPECT_NO_THROW(t.at(0, 0, 1, 1));
+  EXPECT_THROW(t.at(0, 0, 2, 0), Error);
+  EXPECT_THROW(t.at(1, 0, 0, 0), Error);
+}
+
+TEST(Tensor, FillUniformWithinBounds) {
+  Tensor<double> t(Shape4{1, 2, 8, 8});
+  Rng rng(3);
+  t.fill_uniform(rng, -0.5, 0.5);
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t.data()[i], -0.5);
+    EXPECT_LT(t.data()[i], 0.5);
+  }
+}
+
+TEST(PackBox, RoundTripThroughContiguous) {
+  Tensor<float> t(Shape4{2, 2, 4, 4});
+  Rng rng(11);
+  t.fill_uniform(rng);
+  Box4 box;
+  box.off[0] = 0;
+  box.ext[0] = 2;
+  box.off[1] = 1;
+  box.ext[1] = 1;
+  box.off[2] = 1;
+  box.ext[2] = 2;
+  box.off[3] = 2;
+  box.ext[3] = 2;
+  std::vector<float> packed(box.volume());
+  pack_box(t, box, packed.data());
+  EXPECT_FLOAT_EQ(packed[0], t(0, 1, 1, 2));
+  EXPECT_FLOAT_EQ(packed[1], t(0, 1, 1, 3));
+  EXPECT_FLOAT_EQ(packed[2], t(0, 1, 2, 2));
+
+  Tensor<float> u(t.shape());
+  unpack_box(packed.data(), box, u);
+  for (int n = 0; n < 2; ++n)
+    for (int h = 1; h < 3; ++h)
+      for (int w = 2; w < 4; ++w) EXPECT_FLOAT_EQ(u(n, 1, h, w), t(n, 1, h, w));
+  EXPECT_FLOAT_EQ(u(0, 0, 0, 0), 0.0f);  // outside the box untouched
+}
+
+TEST(PackBox, AccumulateAdds) {
+  Tensor<float> t(Shape4{1, 1, 2, 2});
+  t.fill(1.0f);
+  Box4 box;
+  box.ext[0] = box.ext[1] = 1;
+  box.ext[2] = box.ext[3] = 2;
+  std::vector<float> add(4, 2.5f);
+  unpack_box_accumulate(add.data(), box, t);
+  for (std::int64_t i = 0; i < t.size(); ++i) EXPECT_FLOAT_EQ(t.data()[i], 3.5f);
+}
+
+TEST(CopyBox, CopiesBetweenTensors) {
+  Tensor<int> a(Shape4{1, 1, 3, 3}), b(Shape4{1, 1, 5, 5});
+  for (int h = 0; h < 3; ++h)
+    for (int w = 0; w < 3; ++w) a(0, 0, h, w) = h * 3 + w;
+  Box4 sb, db;
+  sb.ext[0] = sb.ext[1] = 1;
+  sb.ext[2] = sb.ext[3] = 3;
+  db = sb;
+  db.off[2] = 1;
+  db.off[3] = 2;
+  copy_box(a, sb, b, db);
+  EXPECT_EQ(b(0, 0, 1, 2), 0);
+  EXPECT_EQ(b(0, 0, 3, 4), 8);
+  EXPECT_EQ(b(0, 0, 0, 0), 0);
+}
+
+TEST(CopyBox, MismatchedExtentsThrow) {
+  Tensor<int> a(Shape4{1, 1, 3, 3}), b(Shape4{1, 1, 3, 3});
+  Box4 sb, db;
+  sb.ext[0] = sb.ext[1] = 1;
+  sb.ext[2] = sb.ext[3] = 2;
+  db = sb;
+  db.ext[3] = 3;
+  EXPECT_THROW(copy_box(a, sb, b, db), Error);
+}
+
+}  // namespace
+}  // namespace distconv
