@@ -2,10 +2,16 @@
 // algorithm-selection study behind the paper's reliance on cuDNN autotuning
 // (direct vs im2col+GEMM, forward vs backward passes), on shrunken versions
 // of the Fig. 2/3 layer geometries.
+//
+// Items processed are FLOP counts (2·N·F·H̃·W̃·C·Kh·Kw per conv pass), so
+// items_per_second reads directly as FLOP/s. The *_threads variants sweep
+// the intra-rank pool budget to expose kernel strong-scaling.
 #include <benchmark/benchmark.h>
 
 #include "kernels/conv.hpp"
+#include "kernels/gemm.hpp"
 #include "kernels/pooling.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -30,6 +36,21 @@ ConvParams params_of(const LayerArgs& a) {
   return ConvParams{a.k, a.k, a.s, a.s, a.k / 2, a.k / 2};
 }
 
+/// Multiply-add count of one convolution pass (fwd, bwd-data and bwd-filter
+/// all contract the same index space).
+double conv_flops(const LayerArgs& a) {
+  const ConvParams p = params_of(a);
+  return 2.0 * a.n * a.f * double(p.out_h(a.h)) * p.out_w(a.w) * a.c * a.k * a.k;
+}
+
+/// Pin the pool budget from a benchmark Arg (0 keeps automatic sizing).
+struct ThreadArg {
+  explicit ThreadArg(benchmark::State& state) {
+    parallel::set_num_threads(static_cast<int>(state.range(0)));
+  }
+  ~ThreadArg() { parallel::set_num_threads(0); }
+};
+
 void bench_forward(benchmark::State& state, const LayerArgs& a, ConvAlgo algo) {
   const ConvParams p = params_of(a);
   Tensor<float> x(Shape4{a.n, a.c, a.h + 2 * p.ph, a.w + 2 * p.pw});
@@ -43,10 +64,18 @@ void bench_forward(benchmark::State& state, const LayerArgs& a, ConvAlgo algo) {
     conv2d_forward(x, Origin2{-p.ph, -p.pw}, w, y, Origin2{0, 0}, p, full, algo);
     benchmark::DoNotOptimize(y.data());
   }
-  state.SetItemsProcessed(state.iterations() * y.size());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() *
+                                                    conv_flops(a)));
 }
 
-void bench_backward_data(benchmark::State& state, const LayerArgs& a) {
+void bench_forward_threads(benchmark::State& state, const LayerArgs& a,
+                           ConvAlgo algo) {
+  ThreadArg threads(state);
+  bench_forward(state, a, algo);
+}
+
+void bench_backward_data(benchmark::State& state, const LayerArgs& a,
+                         ConvAlgo algo) {
   const ConvParams p = params_of(a);
   Tensor<float> dy(Shape4{a.n, a.f, p.out_h(a.h), p.out_w(a.w)});
   Tensor<float> w(Shape4{a.f, a.c, a.k, a.k});
@@ -56,12 +85,16 @@ void bench_backward_data(benchmark::State& state, const LayerArgs& a) {
   w.fill_uniform(rng);
   for (auto _ : state) {
     conv2d_backward_data(dy, Origin2{0, 0}, w, dx, Origin2{0, 0}, p,
-                         Range2{0, a.h, 0, a.w}, dy.shape().h, dy.shape().w);
+                         Range2{0, a.h, 0, a.w}, dy.shape().h, dy.shape().w,
+                         algo);
     benchmark::DoNotOptimize(dx.data());
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() *
+                                                    conv_flops(a)));
 }
 
-void bench_backward_filter(benchmark::State& state, const LayerArgs& a) {
+void bench_backward_filter(benchmark::State& state, const LayerArgs& a,
+                           ConvAlgo algo) {
   const ConvParams p = params_of(a);
   Tensor<float> x(Shape4{a.n, a.c, a.h + 2 * p.ph, a.w + 2 * p.pw});
   Tensor<float> dy(Shape4{a.n, a.f, p.out_h(a.h), p.out_w(a.w)});
@@ -72,9 +105,11 @@ void bench_backward_filter(benchmark::State& state, const LayerArgs& a) {
   const Range2 full{0, dy.shape().h, 0, dy.shape().w};
   for (auto _ : state) {
     conv2d_backward_filter(x, Origin2{-p.ph, -p.pw}, dy, Origin2{0, 0}, dw, p,
-                           full, false);
+                           full, false, algo);
     benchmark::DoNotOptimize(dw.data());
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() *
+                                                    conv_flops(a)));
 }
 
 void bench_pool(benchmark::State& state, PoolMode mode) {
@@ -90,6 +125,45 @@ void bench_pool(benchmark::State& state, PoolMode mode) {
                    Range2{0, 28, 0, 28}, 56, 56);
     benchmark::DoNotOptimize(y.data());
   }
+  // One comparison/add per window element.
+  state.SetItemsProcessed(state.iterations() * y.size() * p.kh * p.kw);
+}
+
+// ---------------------------------------------------------------------------
+// GEMM: the im2col contraction shapes of the paper's layer geometries
+// (M = filters, N = output positions per sample, K = C·Kh·Kw), plus the
+// model-parallel FC shape. items_per_second = FLOP/s.
+// ---------------------------------------------------------------------------
+
+void bench_gemm_shape(benchmark::State& state, std::int64_t m, std::int64_t n,
+                      std::int64_t k) {
+  std::vector<float> a(static_cast<std::size_t>(m) * k);
+  std::vector<float> b(static_cast<std::size_t>(k) * n);
+  std::vector<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+  Rng rng(9);
+  for (auto& v : a) v = float(rng.uniform(-1, 1));
+  for (auto& v : b) v = float(rng.uniform(-1, 1));
+  for (auto _ : state) {
+    sgemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f, c.data(),
+          n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * 2.0 * m * n * k));
+}
+
+std::int64_t out_positions(const LayerArgs& a) {
+  const ConvParams p = params_of(a);
+  return p.out_h(a.h) * p.out_w(a.w);
+}
+
+void bench_gemm(benchmark::State& state, const LayerArgs& a) {
+  bench_gemm_shape(state, a.f, out_positions(a), a.c * std::int64_t(a.k) * a.k);
+}
+
+void bench_gemm_threads(benchmark::State& state, const LayerArgs& a) {
+  ThreadArg threads(state);
+  bench_gemm(state, a);
 }
 
 }  // namespace
@@ -102,11 +176,28 @@ BENCHMARK_CAPTURE(bench_forward, mesh_conv1_1_direct, kMesh11, ConvAlgo::kDirect
 BENCHMARK_CAPTURE(bench_forward, mesh_conv1_1_im2col, kMesh11, ConvAlgo::kIm2col);
 BENCHMARK_CAPTURE(bench_forward, mesh_conv6_1_direct, kMesh61, ConvAlgo::kDirect);
 BENCHMARK_CAPTURE(bench_forward, mesh_conv6_1_im2col, kMesh61, ConvAlgo::kIm2col);
-BENCHMARK_CAPTURE(bench_backward_data, res3b, kRes3b);
-BENCHMARK_CAPTURE(bench_backward_data, mesh_conv6_1, kMesh61);
-BENCHMARK_CAPTURE(bench_backward_filter, res3b, kRes3b);
-BENCHMARK_CAPTURE(bench_backward_filter, mesh_conv6_1, kMesh61);
+BENCHMARK_CAPTURE(bench_forward_threads, res3b_im2col, kRes3b, ConvAlgo::kIm2col)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK_CAPTURE(bench_backward_data, res3b_direct, kRes3b, ConvAlgo::kDirect);
+BENCHMARK_CAPTURE(bench_backward_data, res3b_gemm, kRes3b, ConvAlgo::kIm2col);
+BENCHMARK_CAPTURE(bench_backward_data, mesh_conv6_1_direct, kMesh61,
+                  ConvAlgo::kDirect);
+BENCHMARK_CAPTURE(bench_backward_data, mesh_conv6_1_gemm, kMesh61,
+                  ConvAlgo::kIm2col);
+BENCHMARK_CAPTURE(bench_backward_filter, res3b_direct, kRes3b, ConvAlgo::kDirect);
+BENCHMARK_CAPTURE(bench_backward_filter, res3b_gemm, kRes3b, ConvAlgo::kIm2col);
+BENCHMARK_CAPTURE(bench_backward_filter, mesh_conv6_1_direct, kMesh61,
+                  ConvAlgo::kDirect);
+BENCHMARK_CAPTURE(bench_backward_filter, mesh_conv6_1_gemm, kMesh61,
+                  ConvAlgo::kIm2col);
 BENCHMARK_CAPTURE(bench_pool, max, distconv::kernels::PoolMode::kMax);
 BENCHMARK_CAPTURE(bench_pool, average, distconv::kernels::PoolMode::kAverage);
+BENCHMARK_CAPTURE(bench_gemm, conv1, kConv1);
+BENCHMARK_CAPTURE(bench_gemm, res3b, kRes3b);
+BENCHMARK_CAPTURE(bench_gemm, mesh_conv1_1, kMesh11);
+BENCHMARK_CAPTURE(bench_gemm, mesh_conv6_1, kMesh61);
+// FC forward: y (N × F) = x (N × D) · Wᵀ, N=32, D=2048, F=1000.
+BENCHMARK_CAPTURE(bench_gemm_shape, fc1000, 32, 1000, 2048);
+BENCHMARK_CAPTURE(bench_gemm_threads, res3b, kRes3b)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 BENCHMARK_MAIN();

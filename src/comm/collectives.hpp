@@ -64,11 +64,14 @@ inline std::pair<std::size_t, std::size_t> block_range(std::size_t n, int p, int
 inline void barrier(Comm& comm) {
   const int p = comm.size();
   const int tag = comm.next_internal_tag();
-  char token = 0;
+  // Distinct send/recv bytes: sendrecv aliasing one buffer races the
+  // remote's delivery read against the local receive completion write.
+  const char snd = 0;
+  char rcv = 0;
   for (int k = 1; k < p; k <<= 1) {
     const int dst = (comm.rank() + k) % p;
     const int src = (comm.rank() - k + p) % p;
-    comm.sendrecv(&token, 1, dst, tag, &token, 1, src, tag);
+    comm.sendrecv(&snd, 1, dst, tag, &rcv, 1, src, tag);
   }
 }
 

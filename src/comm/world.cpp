@@ -6,6 +6,7 @@
 #include "comm/comm.hpp"
 #include "support/error.hpp"
 #include "support/logging.hpp"
+#include "support/parallel.hpp"
 
 namespace distconv::comm {
 
@@ -17,6 +18,10 @@ World::World(int size) {
 
 void World::run(const std::function<void(Comm&)>& fn) {
   const int p = size();
+  // Budget the intra-rank kernel pool against the rank threads about to
+  // run: each rank's parallel_for gets ~hw_concurrency / p workers instead
+  // of oversubscribing the machine p-fold (DC_NUM_THREADS overrides).
+  parallel::set_rank_threads(p);
   std::vector<std::thread> threads;
   threads.reserve(p);
   std::mutex error_mutex;
@@ -42,6 +47,7 @@ void World::run(const std::function<void(Comm&)>& fn) {
     });
   }
   for (auto& t : threads) t.join();
+  parallel::set_rank_threads(1);  // single-threaded callers get the machine back
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -30,7 +30,10 @@ enum class BatchNormMode { kLocal, kSpatial, kGlobal };
 
 struct ModelOptions {
   bool overlap_halo = true;  ///< interior/boundary split to hide halo exchange
-  kernels::ConvAlgo conv_algo = kernels::ConvAlgo::kDirect;
+  /// Per-layer algorithm selection (kAuto mirrors the paper's reliance on
+  /// cuDNN autotuning; the heuristic depends only on layer constants, so
+  /// every rank resolves identically).
+  kernels::ConvAlgo conv_algo = kernels::ConvAlgo::kAuto;
   float bn_epsilon = 1e-5f;
   float bn_momentum = 0.9f;
 };

@@ -151,6 +151,7 @@ void Conv2dLayer::backward(Model& model, int, LayerRt& rt) const {
   const Tensor<float>& w = rt.params[0];
   const Range2 out_owned = owned_range(dyt.owned_box());
   const Origin2 xo = origin_of(xt), dyo = origin_of(dyt);
+  const auto algo = model.options().conv_algo;
   DC_REQUIRE(port.read->fresh || port.read->halo == nullptr,
              "conv '", name(), "': input halos were invalidated before backward");
 
@@ -164,7 +165,7 @@ void Conv2dLayer::backward(Model& model, int, LayerRt& rt) const {
   if (exchange && !overlap) rt.dy.ensure_fresh();
 
   kernels::conv2d_backward_filter(xt.buffer(), xo, dyt.buffer(), dyo, rt.grads[0],
-                                  p, out_owned, /*accumulate=*/true);
+                                  p, out_owned, /*accumulate=*/true, algo);
   if (bias_) {
     kernels::bias_backward(dyt.buffer(), dyt.interior_box(), rt.grads[1].data(),
                            /*accumulate=*/true);
@@ -178,7 +179,7 @@ void Conv2dLayer::backward(Model& model, int, LayerRt& rt) const {
   const Range2 in_owned = owned_range(port.dx.owned_box());
   kernels::conv2d_backward_data(dyt.buffer(), dyo, w, port.dx.buffer(),
                                 origin_of(port.dx), p, in_owned,
-                                rt.out_shape.h, rt.out_shape.w);
+                                rt.out_shape.h, rt.out_shape.w, algo);
 }
 
 // ---------------------------------------------------------------------------

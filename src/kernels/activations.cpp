@@ -1,6 +1,7 @@
 #include "kernels/activations.hpp"
 
 #include "support/error.hpp"
+#include "support/parallel.hpp"
 
 namespace distconv::kernels {
 namespace {
@@ -11,11 +12,18 @@ void check_boxes(const Box4& a, const Box4& b) {
   }
 }
 
+/// Run fn(n, c, h) over every row of the box, rows spread across the
+/// intra-rank pool (each row's output is disjoint). Rows are short for the
+/// element-wise kernels, so chunk a few dozen per task.
 template <typename Fn>
 void for_rows(const Box4& box, Fn&& fn) {
-  for (std::int64_t n = 0; n < box.ext[0]; ++n)
-    for (std::int64_t c = 0; c < box.ext[1]; ++c)
-      for (std::int64_t h = 0; h < box.ext[2]; ++h) fn(n, c, h);
+  const std::int64_t ch = box.ext[1] * box.ext[2];
+  parallel::parallel_for(
+      0, box.ext[0] * ch, 32, [&](std::int64_t t0, std::int64_t t1) {
+        for (std::int64_t t = t0; t < t1; ++t) {
+          fn(t / ch, (t / box.ext[2]) % box.ext[1], t % box.ext[2]);
+        }
+      });
 }
 
 }  // namespace
@@ -85,12 +93,21 @@ void bias_backward(const Tensor<float>& dy, const Box4& dybox, float* dbias,
                    bool accumulate) {
   if (!accumulate) std::fill(dbias, dbias + dybox.ext[1], 0.0f);
   const auto& dyst = dy.strides();
-  for_rows(dybox, [&](std::int64_t n, std::int64_t c, std::int64_t h) {
-    const float* gr = dy.data() + dyst.offset(dybox.off[0] + n, dybox.off[1] + c,
-                                              dybox.off[2] + h, dybox.off[3]);
-    float acc = 0.0f;
-    for (std::int64_t w = 0; w < dybox.ext[3]; ++w) acc += gr[w];
-    dbias[c] += acc;
+  // Channel-major reduction: each channel's (n, h, w) sum is one task, so
+  // the per-channel accumulation chain is fixed for any thread budget.
+  parallel::parallel_for(0, dybox.ext[1], 1, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t c = c0; c < c1; ++c) {
+      for (std::int64_t n = 0; n < dybox.ext[0]; ++n) {
+        for (std::int64_t h = 0; h < dybox.ext[2]; ++h) {
+          const float* gr =
+              dy.data() + dyst.offset(dybox.off[0] + n, dybox.off[1] + c,
+                                      dybox.off[2] + h, dybox.off[3]);
+          float acc = 0.0f;
+          for (std::int64_t w = 0; w < dybox.ext[3]; ++w) acc += gr[w];
+          dbias[c] += acc;
+        }
+      }
+    }
   });
 }
 

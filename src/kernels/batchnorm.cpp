@@ -1,6 +1,7 @@
 #include "kernels/batchnorm.hpp"
 
 #include "support/error.hpp"
+#include "support/parallel.hpp"
 
 namespace distconv::kernels {
 namespace {
@@ -11,47 +12,60 @@ void check_boxes(const Box4& a, const Box4& b) {
   }
 }
 
+/// Run fn(n, c) for every (sample, channel) plane on the pool.
+template <typename Fn>
+void for_planes(const Box4& box, Fn&& fn) {
+  const std::int64_t C = box.ext[1];
+  parallel::parallel_for(0, box.ext[0] * C, 4, [&](std::int64_t t0, std::int64_t t1) {
+    for (std::int64_t t = t0; t < t1; ++t) fn(t / C, t % C);
+  });
+}
+
 }  // namespace
 
 void bn_partial_sums(const Tensor<float>& x, const Box4& box, double* sum,
                      double* sumsq) {
   const std::int64_t C = box.ext[1];
-  std::fill(sum, sum + C, 0.0);
-  std::fill(sumsq, sumsq + C, 0.0);
-  for (std::int64_t n = 0; n < box.ext[0]; ++n) {
-    for (std::int64_t c = 0; c < C; ++c) {
-      double s = 0.0, s2 = 0.0;
-      for (std::int64_t h = 0; h < box.ext[2]; ++h) {
-        for (std::int64_t w = 0; w < box.ext[3]; ++w) {
-          const double v =
-              x(box.off[0] + n, box.off[1] + c, box.off[2] + h, box.off[3] + w);
-          s += v;
-          s2 += v * v;
+  // Channel-major: each channel's reduction over (n, h, w) is a single task
+  // with a fixed ascending accumulation chain, so statistics are
+  // bit-identical for any thread budget (and match the seed's per-(n, c)
+  // partial-sum grouping).
+  parallel::parallel_for(0, C, 1, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t c = c0; c < c1; ++c) {
+      sum[c] = 0.0;
+      sumsq[c] = 0.0;
+      for (std::int64_t n = 0; n < box.ext[0]; ++n) {
+        double s = 0.0, s2 = 0.0;
+        for (std::int64_t h = 0; h < box.ext[2]; ++h) {
+          for (std::int64_t w = 0; w < box.ext[3]; ++w) {
+            const double v =
+                x(box.off[0] + n, box.off[1] + c, box.off[2] + h, box.off[3] + w);
+            s += v;
+            s2 += v * v;
+          }
         }
+        sum[c] += s;
+        sumsq[c] += s2;
       }
-      sum[c] += s;
-      sumsq[c] += s2;
     }
-  }
+  });
 }
 
 void bn_forward_apply(const Tensor<float>& x, const Box4& xbox, Tensor<float>& y,
                       const Box4& ybox, const float* mean, const float* invstd,
                       const float* gamma, const float* beta) {
   check_boxes(xbox, ybox);
-  for (std::int64_t n = 0; n < xbox.ext[0]; ++n) {
-    for (std::int64_t c = 0; c < xbox.ext[1]; ++c) {
-      const float m = mean[c], is = invstd[c], g = gamma[c], b = beta[c];
-      for (std::int64_t h = 0; h < xbox.ext[2]; ++h) {
-        for (std::int64_t w = 0; w < xbox.ext[3]; ++w) {
-          const float v = x(xbox.off[0] + n, xbox.off[1] + c, xbox.off[2] + h,
-                            xbox.off[3] + w);
-          y(ybox.off[0] + n, ybox.off[1] + c, ybox.off[2] + h, ybox.off[3] + w) =
-              g * (v - m) * is + b;
-        }
+  for_planes(xbox, [&](std::int64_t n, std::int64_t c) {
+    const float m = mean[c], is = invstd[c], g = gamma[c], b = beta[c];
+    for (std::int64_t h = 0; h < xbox.ext[2]; ++h) {
+      for (std::int64_t w = 0; w < xbox.ext[3]; ++w) {
+        const float v = x(xbox.off[0] + n, xbox.off[1] + c, xbox.off[2] + h,
+                          xbox.off[3] + w);
+        y(ybox.off[0] + n, ybox.off[1] + c, ybox.off[2] + h, ybox.off[3] + w) =
+            g * (v - m) * is + b;
       }
     }
-  }
+  });
 }
 
 void bn_backward_reduce(const Tensor<float>& x, const Box4& xbox,
@@ -60,28 +74,30 @@ void bn_backward_reduce(const Tensor<float>& x, const Box4& xbox,
                         double* sum_dy_xhat) {
   check_boxes(xbox, dybox);
   const std::int64_t C = xbox.ext[1];
-  std::fill(sum_dy, sum_dy + C, 0.0);
-  std::fill(sum_dy_xhat, sum_dy_xhat + C, 0.0);
-  for (std::int64_t n = 0; n < xbox.ext[0]; ++n) {
-    for (std::int64_t c = 0; c < C; ++c) {
+  parallel::parallel_for(0, C, 1, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t c = c0; c < c1; ++c) {
       const double m = mean[c], is = invstd[c];
-      double s = 0.0, sx = 0.0;
-      for (std::int64_t h = 0; h < xbox.ext[2]; ++h) {
-        for (std::int64_t w = 0; w < xbox.ext[3]; ++w) {
-          const double g = dy(dybox.off[0] + n, dybox.off[1] + c, dybox.off[2] + h,
-                              dybox.off[3] + w);
-          const double xhat = (x(xbox.off[0] + n, xbox.off[1] + c, xbox.off[2] + h,
-                                 xbox.off[3] + w) -
-                               m) *
-                              is;
-          s += g;
-          sx += g * xhat;
+      sum_dy[c] = 0.0;
+      sum_dy_xhat[c] = 0.0;
+      for (std::int64_t n = 0; n < xbox.ext[0]; ++n) {
+        double s = 0.0, sx = 0.0;
+        for (std::int64_t h = 0; h < xbox.ext[2]; ++h) {
+          for (std::int64_t w = 0; w < xbox.ext[3]; ++w) {
+            const double g = dy(dybox.off[0] + n, dybox.off[1] + c,
+                                dybox.off[2] + h, dybox.off[3] + w);
+            const double xhat = (x(xbox.off[0] + n, xbox.off[1] + c,
+                                   xbox.off[2] + h, xbox.off[3] + w) -
+                                 m) *
+                                is;
+            s += g;
+            sx += g * xhat;
+          }
         }
+        sum_dy[c] += s;
+        sum_dy_xhat[c] += sx;
       }
-      sum_dy[c] += s;
-      sum_dy_xhat[c] += sx;
     }
-  }
+  });
 }
 
 void bn_backward_apply(const Tensor<float>& x, const Box4& xbox,
@@ -92,26 +108,24 @@ void bn_backward_apply(const Tensor<float>& x, const Box4& xbox,
                        double count) {
   check_boxes(xbox, dybox);
   check_boxes(xbox, dxbox);
-  for (std::int64_t n = 0; n < xbox.ext[0]; ++n) {
-    for (std::int64_t c = 0; c < xbox.ext[1]; ++c) {
-      const double m = mean[c], is = invstd[c], g = gamma[c];
-      const double sdy = sum_dy[c], sdyx = sum_dy_xhat[c];
-      const double coef = g * is / count;
-      for (std::int64_t h = 0; h < xbox.ext[2]; ++h) {
-        for (std::int64_t w = 0; w < xbox.ext[3]; ++w) {
-          const double grad = dy(dybox.off[0] + n, dybox.off[1] + c,
-                                 dybox.off[2] + h, dybox.off[3] + w);
-          const double xhat = (x(xbox.off[0] + n, xbox.off[1] + c, xbox.off[2] + h,
-                                 xbox.off[3] + w) -
-                               m) *
-                              is;
-          dx(dxbox.off[0] + n, dxbox.off[1] + c, dxbox.off[2] + h,
-             dxbox.off[3] + w) =
-              static_cast<float>(coef * (count * grad - sdy - xhat * sdyx));
-        }
+  for_planes(xbox, [&](std::int64_t n, std::int64_t c) {
+    const double m = mean[c], is = invstd[c], g = gamma[c];
+    const double sdy = sum_dy[c], sdyx = sum_dy_xhat[c];
+    const double coef = g * is / count;
+    for (std::int64_t h = 0; h < xbox.ext[2]; ++h) {
+      for (std::int64_t w = 0; w < xbox.ext[3]; ++w) {
+        const double grad = dy(dybox.off[0] + n, dybox.off[1] + c,
+                               dybox.off[2] + h, dybox.off[3] + w);
+        const double xhat = (x(xbox.off[0] + n, xbox.off[1] + c, xbox.off[2] + h,
+                               xbox.off[3] + w) -
+                             m) *
+                            is;
+        dx(dxbox.off[0] + n, dxbox.off[1] + c, dxbox.off[2] + h,
+           dxbox.off[3] + w) =
+            static_cast<float>(coef * (count * grad - sdy - xhat * sdyx));
       }
     }
-  }
+  });
 }
 
 }  // namespace distconv::kernels

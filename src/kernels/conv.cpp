@@ -1,9 +1,12 @@
 #include "kernels/conv.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "kernels/gemm.hpp"
 #include "support/error.hpp"
+#include "support/intmath.hpp"
+#include "support/parallel.hpp"
 
 namespace distconv::kernels {
 namespace {
@@ -14,10 +17,29 @@ void check_weights(const Tensor<float>& w, const ConvParams& p) {
              " does not match kernel size ", p.kh, "x", p.kw);
 }
 
+/// The GEMM-backed paths tile their lowering buffers into strips of at most
+/// this many floats (~2 MiB), so buffer size is bounded regardless of the
+/// range; strips only split the GEMM's n dimension, which leaves every
+/// output element's accumulation chain unchanged.
+constexpr std::int64_t kLoweringStripElems = 1 << 19;
+
 }  // namespace
 
+ConvAlgo resolve_conv_algo(ConvAlgo algo, const ConvParams& p, std::int64_t c,
+                           std::int64_t f) {
+  if (algo != ConvAlgo::kAuto) return algo;
+  // Arithmetic-intensity cutoff: the im2col pack writes C·Kh·Kw floats per
+  // output position and the GEMM reads each back F times. Shallow stencils
+  // (small C·Kh·Kw) or few filters leave the GEMM memory-bound on packing
+  // traffic, where the direct stencil — which touches x only once per
+  // (c, a, b) — wins.
+  const std::int64_t depth = c * p.kh * p.kw;
+  return (depth >= 32 && f >= 8) ? ConvAlgo::kIm2col : ConvAlgo::kDirect;
+}
+
 // ---------------------------------------------------------------------------
-// Padded oracles
+// Padded oracles (single-threaded references; the region kernels are the
+// production paths)
 // ---------------------------------------------------------------------------
 
 void conv2d_forward_padded(const Tensor<float>& x, const Tensor<float>& w,
@@ -65,7 +87,6 @@ void conv2d_backward_data_padded(const Tensor<float>& dy, const Tensor<float>& w
       for (std::int64_t i = 0; i < ds.h; ++i) {
         for (std::int64_t j = 0; j < ds.w; ++j) {
           const float g = dy(k, f, i, j);
-          if (g == 0.0f) continue;
           for (std::int64_t c = 0; c < xs.c; ++c) {
             for (int a = 0; a < p.kh; ++a) {
               const std::int64_t ih = i * p.sh - p.ph + a;
@@ -127,8 +148,13 @@ void conv2d_forward_direct(const Tensor<float>& x, Origin2 xo,
   const std::int64_t C = w.shape().c;
   const auto& xst = x.strides();
   const auto& yst = y.strides();
-  for (std::int64_t k = 0; k < N; ++k) {
-    for (std::int64_t f = 0; f < F; ++f) {
+  // Each (sample, filter) owns a disjoint output region: safe to run them
+  // in parallel, and the per-element accumulation order (c, a, b, rows) is
+  // independent of the thread budget.
+  parallel::parallel_for(0, N * F, 1, [&](std::int64_t t0, std::int64_t t1) {
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::int64_t k = t / F;
+      const std::int64_t f = t % F;
       // Zero the target region, then accumulate per (c, a, b).
       for (std::int64_t gh = r.h0; gh < r.h1; ++gh) {
         float* yrow = y.data() + yst.offset(k, f, gh - yo.h, r.w0 - yo.w);
@@ -138,7 +164,6 @@ void conv2d_forward_direct(const Tensor<float>& x, Origin2 xo,
         for (int a = 0; a < p.kh; ++a) {
           for (int b = 0; b < p.kw; ++b) {
             const float wv = w(f, c, a, b);
-            if (wv == 0.0f) continue;
             for (std::int64_t gh = r.h0; gh < r.h1; ++gh) {
               const std::int64_t ih = gh * p.sh - p.ph + a - xo.h;
               const float* xrow =
@@ -158,7 +183,15 @@ void conv2d_forward_direct(const Tensor<float>& x, Origin2 xo,
         }
       }
     }
-  }
+  });
+}
+
+/// Strip height for a lowering buffer of depth `depth` floats per output
+/// position over rows of width `rw`. Depends only on shapes, never on the
+/// thread budget.
+std::int64_t lowering_strip_height(std::int64_t depth, std::int64_t rw) {
+  const std::int64_t target_rows = std::max<std::int64_t>(1, kLoweringStripElems / depth);
+  return std::max<std::int64_t>(1, target_rows / std::max<std::int64_t>(1, rw));
 }
 
 void conv2d_forward_im2col(const Tensor<float>& x, Origin2 xo,
@@ -168,22 +201,29 @@ void conv2d_forward_im2col(const Tensor<float>& x, Origin2 xo,
   const std::int64_t F = w.shape().n;
   const std::int64_t C = w.shape().c;
   const std::int64_t ckk = C * p.kh * p.kw;
-  const std::int64_t rows = r.area();
-  std::vector<float> col(static_cast<std::size_t>(ckk) * rows);
-  std::vector<float> out(static_cast<std::size_t>(F) * rows);
+  const std::int64_t rw = r.w1 - r.w0;
+  const std::int64_t hb = lowering_strip_height(ckk, rw);
+  std::vector<float> col(static_cast<std::size_t>(ckk) * hb * rw);
+  std::vector<float> out(static_cast<std::size_t>(F) * hb * rw);
   const auto& yst = y.strides();
   for (std::int64_t k = 0; k < N; ++k) {
-    im2col(x, xo, k, p, r, col.data());
-    // out (F × rows) = W (F × ckk) · col (ckk × rows)
-    sgemm(false, false, F, rows, ckk, 1.0f, w.data(), ckk, col.data(), rows, 0.0f,
-          out.data(), rows);
-    for (std::int64_t f = 0; f < F; ++f) {
-      const float* src = out.data() + f * rows;
-      for (std::int64_t gh = r.h0; gh < r.h1; ++gh) {
-        float* yrow = y.data() + yst.offset(k, f, gh - yo.h, r.w0 - yo.w);
-        std::copy(src, src + (r.w1 - r.w0), yrow);
-        src += r.w1 - r.w0;
-      }
+    for (std::int64_t h0 = r.h0; h0 < r.h1; h0 += hb) {
+      const Range2 rs{h0, std::min(r.h1, h0 + hb), r.w0, r.w1};
+      const std::int64_t rows = rs.area();
+      im2col(x, xo, k, p, rs, col.data());
+      // out (F × rows) = W (F × ckk) · col (ckk × rows)
+      sgemm(false, false, F, rows, ckk, 1.0f, w.data(), ckk, col.data(), rows,
+            0.0f, out.data(), rows);
+      parallel::parallel_for(0, F, 1, [&](std::int64_t f0, std::int64_t f1) {
+        for (std::int64_t f = f0; f < f1; ++f) {
+          const float* src = out.data() + f * rows;
+          for (std::int64_t gh = rs.h0; gh < rs.h1; ++gh) {
+            float* yrow = y.data() + yst.offset(k, f, gh - yo.h, rs.w0 - yo.w);
+            std::copy(src, src + rw, yrow);
+            src += rw;
+          }
+        }
+      });
     }
   }
 }
@@ -196,25 +236,30 @@ void im2col(const Tensor<float>& x, Origin2 xo, std::int64_t sample,
   const std::int64_t rw = r.w1 - r.w0;
   const std::int64_t rows = r.area();
   const auto& xst = x.strides();
-  std::int64_t m = 0;
-  for (std::int64_t c = 0; c < C; ++c) {
-    for (int a = 0; a < p.kh; ++a) {
-      for (int b = 0; b < p.kw; ++b, ++m) {
-        float* dst = col + m * rows;
-        for (std::int64_t gh = r.h0; gh < r.h1; ++gh) {
-          const std::int64_t ih = gh * p.sh - p.ph + a - xo.h;
-          const float* xrow =
-              x.data() + xst.offset(sample, c, ih, r.w0 * p.sw - p.pw + b - xo.w);
-          if (p.sw == 1) {
-            std::copy(xrow, xrow + rw, dst);
-          } else {
-            for (std::int64_t j = 0; j < rw; ++j) dst[j] = xrow[j * p.sw];
+  // Channel c owns rows [c·kh·kw, (c+1)·kh·kw) of the lowering: disjoint
+  // writes, parallel over channels.
+  parallel::parallel_for(0, C, 1, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t c = c0; c < c1; ++c) {
+      std::int64_t m = c * p.kh * p.kw;
+      for (int a = 0; a < p.kh; ++a) {
+        for (int b = 0; b < p.kw; ++b, ++m) {
+          float* dst = col + m * rows;
+          for (std::int64_t gh = r.h0; gh < r.h1; ++gh) {
+            const std::int64_t ih = gh * p.sh - p.ph + a - xo.h;
+            const float* xrow =
+                x.data() +
+                xst.offset(sample, c, ih, r.w0 * p.sw - p.pw + b - xo.w);
+            if (p.sw == 1) {
+              std::copy(xrow, xrow + rw, dst);
+            } else {
+              for (std::int64_t j = 0; j < rw; ++j) dst[j] = xrow[j * p.sw];
+            }
+            dst += rw;
           }
-          dst += rw;
         }
       }
     }
-  }
+  });
 }
 
 void conv2d_forward(const Tensor<float>& x, Origin2 xo, const Tensor<float>& w,
@@ -223,42 +268,72 @@ void conv2d_forward(const Tensor<float>& x, Origin2 xo, const Tensor<float>& w,
   check_weights(w, p);
   if (r.empty()) return;
   DC_REQUIRE(x.shape().n == y.shape().n, "sample count mismatch");
-  switch (algo) {
+  switch (resolve_conv_algo(algo, p, w.shape().c, w.shape().n)) {
     case ConvAlgo::kDirect:
       conv2d_forward_direct(x, xo, w, y, yo, p, r);
       break;
     case ConvAlgo::kIm2col:
       conv2d_forward_im2col(x, xo, w, y, yo, p, r);
       break;
+    case ConvAlgo::kAuto:
+      DC_FAIL("resolve_conv_algo returned kAuto");
   }
 }
 
+// ---------------------------------------------------------------------------
+// Backward data
+// ---------------------------------------------------------------------------
+
 namespace {
 
-std::int64_t floor_div(std::int64_t a, std::int64_t b) {
-  std::int64_t q = a / b;
-  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
-  return q;
+/// The global output rows/cols whose stencil windows can touch the input
+/// range `r`, clipped to the global output extents.
+Range2 gather_window(const ConvParams& p, const Range2& r, std::int64_t out_h,
+                     std::int64_t out_w) {
+  Range2 win;
+  win.h0 = std::max<std::int64_t>(0, ceil_div(r.h0 + p.ph - p.kh + 1, p.sh));
+  win.h1 = std::min<std::int64_t>(out_h, floor_div(r.h1 - 1 + p.ph, p.sh) + 1);
+  win.w0 = std::max<std::int64_t>(0, ceil_div(r.w0 + p.pw - p.kw + 1, p.sw));
+  win.w1 = std::min<std::int64_t>(out_w, floor_div(r.w1 - 1 + p.pw, p.sw) + 1);
+  return win;
 }
 
-std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return -floor_div(-a, b); }
+/// Pack `nch` channel planes of `t` over the window `win` into a dense
+/// (nch × win.area()) matrix.
+void pack_window(const Tensor<float>& t, Origin2 to, std::int64_t sample,
+                 std::int64_t nch, const Range2& win, float* dst) {
+  const auto& st = t.strides();
+  const std::int64_t ww = win.w1 - win.w0;
+  const std::int64_t rows = win.area();
+  parallel::parallel_for(0, nch, 1, [&](std::int64_t f0, std::int64_t f1) {
+    for (std::int64_t f = f0; f < f1; ++f) {
+      float* out = dst + f * rows;
+      for (std::int64_t jh = win.h0; jh < win.h1; ++jh) {
+        const float* src =
+            t.data() + st.offset(sample, f, jh - to.h, win.w0 - to.w);
+        std::copy(src, src + ww, out);
+        out += ww;
+      }
+    }
+  });
+}
 
-}  // namespace
-
-void conv2d_backward_data(const Tensor<float>& dy, Origin2 dyo,
-                          const Tensor<float>& w, Tensor<float>& dx, Origin2 dxo,
-                          const ConvParams& p, const Range2& r, std::int64_t out_h,
-                          std::int64_t out_w) {
-  check_weights(w, p);
-  if (r.empty()) return;
+void conv2d_backward_data_direct(const Tensor<float>& dy, Origin2 dyo,
+                                 const Tensor<float>& w, Tensor<float>& dx,
+                                 Origin2 dxo, const ConvParams& p, const Range2& r,
+                                 std::int64_t out_h, std::int64_t out_w) {
   const std::int64_t N = dx.shape().n;
   const std::int64_t F = w.shape().n;
   const std::int64_t C = w.shape().c;
   const auto& dyst = dy.strides();
   const auto& wst = w.strides();
-  std::vector<float> acc(C);
-  for (std::int64_t k = 0; k < N; ++k) {
-    for (std::int64_t gi = r.h0; gi < r.h1; ++gi) {
+  const std::int64_t rh = r.h1 - r.h0;
+  // Each (sample, input row) writes a disjoint dx row.
+  parallel::parallel_for(0, N * rh, 1, [&](std::int64_t t0, std::int64_t t1) {
+    std::vector<float> acc(C);
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::int64_t k = t / rh;
+      const std::int64_t gi = r.h0 + t % rh;
       // Output rows jh with a = gi + ph - sh·jh ∈ [0, kh), jh ∈ [0, out_h).
       const std::int64_t jh_lo =
           std::max<std::int64_t>(0, ceil_div(gi + p.ph - p.kh + 1, p.sh));
@@ -276,7 +351,6 @@ void conv2d_backward_data(const Tensor<float>& dy, Origin2 dyo,
             const std::int64_t b = gj + p.pw - p.sw * jw;
             for (std::int64_t f = 0; f < F; ++f) {
               const float g = dy.data()[dyst.offset(k, f, jh - dyo.h, jw - dyo.w)];
-              if (g == 0.0f) continue;
               const float* wbase = w.data() + wst.offset(f, 0, a, b);
               for (std::int64_t c = 0; c < C; ++c) {
                 acc[c] += g * wbase[c * wst.c];
@@ -289,26 +363,132 @@ void conv2d_backward_data(const Tensor<float>& dy, Origin2 dyo,
         }
       }
     }
+  });
+}
+
+/// col2im backward data: dcol = Wᵀ · dy over the gather window, scattered
+/// back into dx. Processed in input-row strips so the dcol buffer stays
+/// bounded; each strip owns its dx rows, and within a strip channel c owns
+/// plane (k, c), so the scatter parallelizes over channels with a fixed
+/// (a, b, jh, jw) accumulation order per element.
+void conv2d_backward_data_gemm(const Tensor<float>& dy, Origin2 dyo,
+                               const Tensor<float>& w, Tensor<float>& dx,
+                               Origin2 dxo, const ConvParams& p, const Range2& r,
+                               std::int64_t out_h, std::int64_t out_w) {
+  const std::int64_t N = dx.shape().n;
+  const std::int64_t F = w.shape().n;
+  const std::int64_t C = w.shape().c;
+  const std::int64_t ckk = C * p.kh * p.kw;
+  const auto& dxst = dx.strides();
+  // Strip the input rows; the corresponding output window grows by the
+  // transposed stencil's reach (kh / sh rows).
+  const Range2 full_win = gather_window(p, r, out_h, out_w);
+  const std::int64_t win_w = std::max<std::int64_t>(1, full_win.w1 - full_win.w0);
+  const std::int64_t hb =
+      std::max<std::int64_t>(1, lowering_strip_height(ckk, win_w) * p.sh);
+  std::vector<float> dyp, dcol;
+  for (std::int64_t k = 0; k < N; ++k) {
+    for (std::int64_t g0 = r.h0; g0 < r.h1; g0 += hb) {
+      const Range2 rs{g0, std::min(r.h1, g0 + hb), r.w0, r.w1};
+      const Range2 win = gather_window(p, rs, out_h, out_w);
+      // Zero the strip's dx rows (positions with no contributing outputs
+      // must read 0, and the scatter accumulates).
+      parallel::parallel_for(0, C, 1, [&](std::int64_t c0, std::int64_t c1) {
+        for (std::int64_t c = c0; c < c1; ++c) {
+          for (std::int64_t gi = rs.h0; gi < rs.h1; ++gi) {
+            float* row =
+                dx.data() + dxst.offset(k, c, gi - dxo.h, rs.w0 - dxo.w);
+            std::fill(row, row + (rs.w1 - rs.w0), 0.0f);
+          }
+        }
+      });
+      if (win.empty()) continue;
+      const std::int64_t rows = win.area();
+      const std::int64_t ww = win.w1 - win.w0;
+      dyp.resize(static_cast<std::size_t>(F) * rows);
+      dcol.resize(static_cast<std::size_t>(ckk) * rows);
+      pack_window(dy, dyo, k, F, win, dyp.data());
+      // dcol (ckk × rows) = Wᵀ (ckk × F) · dy (F × rows)
+      sgemm(true, false, ckk, rows, F, 1.0f, w.data(), ckk, dyp.data(), rows,
+            0.0f, dcol.data(), rows);
+      parallel::parallel_for(0, C, 1, [&](std::int64_t c0, std::int64_t c1) {
+        for (std::int64_t c = c0; c < c1; ++c) {
+          for (int a = 0; a < p.kh; ++a) {
+            for (int b = 0; b < p.kw; ++b) {
+              const float* src =
+                  dcol.data() + ((c * p.kh + a) * p.kw + b) * rows;
+              for (std::int64_t jh = win.h0; jh < win.h1; ++jh) {
+                const std::int64_t gi = jh * p.sh - p.ph + a;
+                if (gi < rs.h0 || gi >= rs.h1) continue;
+                const float* srow = src + (jh - win.h0) * ww;
+                float* drow = dx.data() + dxst.offset(k, c, gi - dxo.h, -dxo.w);
+                if (p.sw == 1 && p.pw == b && win.w0 == rs.w0 &&
+                    win.w1 == rs.w1) {
+                  // Fast path: unit horizontal stride with aligned window.
+                  for (std::int64_t jw = win.w0; jw < win.w1; ++jw) {
+                    drow[jw] += srow[jw - win.w0];
+                  }
+                } else {
+                  for (std::int64_t jw = win.w0; jw < win.w1; ++jw) {
+                    const std::int64_t gj = jw * p.sw - p.pw + b;
+                    if (gj < rs.w0 || gj >= rs.w1) continue;
+                    drow[gj] += srow[jw - win.w0];
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+    }
   }
 }
 
-void conv2d_backward_filter(const Tensor<float>& x, Origin2 xo,
-                            const Tensor<float>& dy, Origin2 dyo, Tensor<float>& dw,
-                            const ConvParams& p, const Range2& r, bool accumulate) {
-  check_weights(dw, p);
-  if (!accumulate) dw.zero();
+}  // namespace
+
+void conv2d_backward_data(const Tensor<float>& dy, Origin2 dyo,
+                          const Tensor<float>& w, Tensor<float>& dx, Origin2 dxo,
+                          const ConvParams& p, const Range2& r, std::int64_t out_h,
+                          std::int64_t out_w, ConvAlgo algo) {
+  check_weights(w, p);
   if (r.empty()) return;
+  switch (resolve_conv_algo(algo, p, w.shape().c, w.shape().n)) {
+    case ConvAlgo::kDirect:
+      conv2d_backward_data_direct(dy, dyo, w, dx, dxo, p, r, out_h, out_w);
+      break;
+    case ConvAlgo::kIm2col:
+      conv2d_backward_data_gemm(dy, dyo, w, dx, dxo, p, r, out_h, out_w);
+      break;
+    case ConvAlgo::kAuto:
+      DC_FAIL("resolve_conv_algo returned kAuto");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Backward filter
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void conv2d_backward_filter_direct(const Tensor<float>& x, Origin2 xo,
+                                   const Tensor<float>& dy, Origin2 dyo,
+                                   Tensor<float>& dw, const ConvParams& p,
+                                   const Range2& r) {
   const std::int64_t N = dy.shape().n;
   const std::int64_t F = dw.shape().n;
   const std::int64_t C = dw.shape().c;
   const auto& xst = x.strides();
   const auto& dyst = dy.strides();
-  for (std::int64_t k = 0; k < N; ++k) {
-    for (std::int64_t f = 0; f < F; ++f) {
-      for (std::int64_t c = 0; c < C; ++c) {
-        for (int a = 0; a < p.kh; ++a) {
-          for (int b = 0; b < p.kw; ++b) {
-            float acc = 0.0f;
+  // Each (filter, channel) owns a disjoint dw plane; the (k, a, b, rows)
+  // reduction order inside is fixed.
+  parallel::parallel_for(0, F * C, 1, [&](std::int64_t t0, std::int64_t t1) {
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::int64_t f = t / C;
+      const std::int64_t c = t % C;
+      for (int a = 0; a < p.kh; ++a) {
+        for (int b = 0; b < p.kw; ++b) {
+          float acc = 0.0f;
+          for (std::int64_t k = 0; k < N; ++k) {
             for (std::int64_t gh = r.h0; gh < r.h1; ++gh) {
               const std::int64_t ih = gh * p.sh - p.ph + a - xo.h;
               const float* dyrow =
@@ -325,11 +505,60 @@ void conv2d_backward_filter(const Tensor<float>& x, Origin2 xo,
                 }
               }
             }
-            dw(f, c, a, b) += acc;
           }
+          dw(f, c, a, b) += acc;
         }
       }
     }
+  });
+}
+
+/// im2col-transpose backward filter: dw (F × ckk) += dy (F × rows) ·
+/// im2col(x)ᵀ (rows × ckk), accumulated serially over samples and strips so
+/// the per-element chain is fixed.
+void conv2d_backward_filter_gemm(const Tensor<float>& x, Origin2 xo,
+                                 const Tensor<float>& dy, Origin2 dyo,
+                                 Tensor<float>& dw, const ConvParams& p,
+                                 const Range2& r) {
+  const std::int64_t N = dy.shape().n;
+  const std::int64_t F = dw.shape().n;
+  const std::int64_t C = dw.shape().c;
+  const std::int64_t ckk = C * p.kh * p.kw;
+  const std::int64_t rw = r.w1 - r.w0;
+  const std::int64_t hb = lowering_strip_height(ckk, rw);
+  std::vector<float> col(static_cast<std::size_t>(ckk) * hb * rw);
+  std::vector<float> dyp(static_cast<std::size_t>(F) * hb * rw);
+  for (std::int64_t k = 0; k < N; ++k) {
+    for (std::int64_t h0 = r.h0; h0 < r.h1; h0 += hb) {
+      const Range2 rs{h0, std::min(r.h1, h0 + hb), r.w0, r.w1};
+      const std::int64_t rows = rs.area();
+      im2col(x, xo, k, p, rs, col.data());
+      pack_window(dy, dyo, k, F, rs, dyp.data());
+      // dw (F × ckk) += dy (F × rows) · col (ckk × rows)ᵀ
+      sgemm(false, true, F, ckk, rows, 1.0f, dyp.data(), rows, col.data(), rows,
+            1.0f, dw.data(), ckk);
+    }
+  }
+}
+
+}  // namespace
+
+void conv2d_backward_filter(const Tensor<float>& x, Origin2 xo,
+                            const Tensor<float>& dy, Origin2 dyo, Tensor<float>& dw,
+                            const ConvParams& p, const Range2& r, bool accumulate,
+                            ConvAlgo algo) {
+  check_weights(dw, p);
+  if (!accumulate) dw.zero();
+  if (r.empty()) return;
+  switch (resolve_conv_algo(algo, p, dw.shape().c, dw.shape().n)) {
+    case ConvAlgo::kDirect:
+      conv2d_backward_filter_direct(x, xo, dy, dyo, dw, p, r);
+      break;
+    case ConvAlgo::kIm2col:
+      conv2d_backward_filter_gemm(x, xo, dy, dyo, dw, p, r);
+      break;
+    case ConvAlgo::kAuto:
+      DC_FAIL("resolve_conv_algo returned kAuto");
   }
 }
 

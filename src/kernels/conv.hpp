@@ -47,9 +47,21 @@ struct Range2 {
 };
 
 enum class ConvAlgo {
-  kDirect,  ///< straight 7-deep loop nest
-  kIm2col,  ///< im2col + GEMM (the classic cuDNN GEMM algorithm)
+  kDirect,  ///< straight loop nests (forward stencil / backward gather)
+  kIm2col,  ///< GEMM-backed: im2col (fwd), col2im (bwd-data),
+            ///< im2col-transpose (bwd-filter)
+  kAuto,    ///< per-layer heuristic, the stand-in for cuDNN autotuning
 };
+
+/// Resolve kAuto for a layer. Depends only on layer constants (channels,
+/// filters, kernel) — never on the local range — so every rank of a
+/// distributed run picks the same algorithm and results stay bitwise
+/// reproducible across decompositions. The GEMM path wins once the
+/// contraction depth C·Kh·Kw amortizes the im2col packing traffic (each
+/// packed element is reused F times); the lowering buffer itself is tiled
+/// to a fixed size, so it does not enter the decision.
+ConvAlgo resolve_conv_algo(ConvAlgo algo, const ConvParams& p, std::int64_t c,
+                           std::int64_t f);
 
 // --- padded oracles --------------------------------------------------------
 
@@ -74,24 +86,28 @@ void conv2d_backward_filter_padded(const Tensor<float>& x, const Tensor<float>& 
 /// margins encode padding). N and C/F extents are taken from the buffers.
 void conv2d_forward(const Tensor<float>& x, Origin2 xo, const Tensor<float>& w,
                     Tensor<float>& y, Origin2 yo, const ConvParams& p,
-                    const Range2& out_range, ConvAlgo algo = ConvAlgo::kDirect);
+                    const Range2& out_range, ConvAlgo algo = ConvAlgo::kAuto);
 
 /// Compute dx over the global input range `in_range` by gathering from dy
 /// (Eq. 3 adapted: for each input position, sum the output positions whose
 /// window covers it). `out_h/out_w` are the global output extents used to
-/// clip the gather at domain boundaries.
+/// clip the gather at domain boundaries. kIm2col computes dcol = Wᵀ·dy with
+/// the tiled GEMM and scatters it back via col2im.
 void conv2d_backward_data(const Tensor<float>& dy, Origin2 dyo,
                           const Tensor<float>& w, Tensor<float>& dx, Origin2 dxo,
                           const ConvParams& p, const Range2& in_range,
-                          std::int64_t out_h, std::int64_t out_w);
+                          std::int64_t out_h, std::int64_t out_w,
+                          ConvAlgo algo = ConvAlgo::kAuto);
 
 /// Accumulate the local contribution to dw over the global output range
 /// `out_range` (Eq. 2 restricted to I(p); the cross-rank allreduce happens at
-/// the layer level).
+/// the layer level). kIm2col computes dw += dy·im2col(x)ᵀ with the tiled
+/// GEMM.
 void conv2d_backward_filter(const Tensor<float>& x, Origin2 xo,
                             const Tensor<float>& dy, Origin2 dyo, Tensor<float>& dw,
                             const ConvParams& p, const Range2& out_range,
-                            bool accumulate = false);
+                            bool accumulate = false,
+                            ConvAlgo algo = ConvAlgo::kAuto);
 
 // --- im2col helpers (exposed for tests/benchmarks) --------------------------
 

@@ -1,30 +1,175 @@
+// Register-tiled SGEMM.
+//
+// Structure (BLIS-style, scalar C++ left to the auto-vectorizer):
+//
+//   * the output is cut into fixed MC×NC tiles; each tile is an independent
+//     task on the intra-rank pool (parallel_for over the tile grid);
+//   * per tile, the k dimension is walked in KC blocks; op(A) and op(B)
+//     sub-panels are packed into contiguous MR-/NR-strips (transposed
+//     operands are handled by the packing gather — no materialized
+//     transposed matrices), with alpha folded into the A panel;
+//   * a 6×16 register-tile micro-kernel accumulates each strip pair.
+//
+// Determinism: the tile grid and KC blocking are compile-time constants, so
+// every C element sees the same ascending-k accumulation chain regardless
+// of the thread budget or of how the caller splits the n range (edge tiles
+// are zero-padded to full micro-tiles rather than taking a different code
+// path). That keeps results bit-identical across DC_NUM_THREADS settings
+// and across the interior/boundary range splits of the halo-overlap path.
 #include "kernels/gemm.hpp"
 
 #include <algorithm>
 #include <vector>
 
-#include "support/error.hpp"
+#include "support/intmath.hpp"
+#include "support/parallel.hpp"
 
 namespace distconv::kernels {
 namespace {
 
-// Cache-blocked i-k-j kernel on a row-major layout: the innermost loop
-// streams both B and C rows contiguously.
-void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-             const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
-             float* c, std::int64_t ldc) {
-  constexpr std::int64_t kBlockI = 64, kBlockK = 128;
-  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockI) {
-    const std::int64_t i1 = std::min(m, i0 + kBlockI);
-    for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
-      const std::int64_t k1 = std::min(k, k0 + kBlockK);
-      for (std::int64_t i = i0; i < i1; ++i) {
-        float* crow = c + i * ldc;
-        for (std::int64_t kk = k0; kk < k1; ++kk) {
-          const float av = alpha * a[i * lda + kk];
-          if (av == 0.0f) continue;
-          const float* brow = b + kk * ldb;
-          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+constexpr std::int64_t kMr = 6;    ///< micro-tile rows (register accumulators)
+constexpr std::int64_t kMc = 96;   ///< rows per task tile (multiple of kMr)
+constexpr std::int64_t kNr = 16;   ///< micro-tile cols (two AVX2 vectors)
+constexpr std::int64_t kNc = 192;  ///< cols per task tile (multiple of kNr)
+constexpr std::int64_t kKc = 256;  ///< k-block length (fixed => fixed chains)
+
+/// op(A)[i, kk] for the packing gather.
+inline float a_elem(const float* a, std::int64_t lda, bool trans, std::int64_t i,
+                    std::int64_t kk) {
+  return trans ? a[kk * lda + i] : a[i * lda + kk];
+}
+
+/// op(B)[kk, j] for the packing gather.
+inline float b_elem(const float* b, std::int64_t ldb, bool trans, std::int64_t kk,
+                    std::int64_t j) {
+  return trans ? b[j * ldb + kk] : b[kk * ldb + j];
+}
+
+/// Pack op(A)[i0:i1, p0:p1] (alpha folded in) into kMr-row strips laid out
+/// [strip][kk][kMr]; rows past i1 are zero so edge strips run the full
+/// micro-kernel unchanged.
+void pack_a(const float* a, std::int64_t lda, bool trans, float alpha,
+            std::int64_t i0, std::int64_t i1, std::int64_t p0, std::int64_t p1,
+            float* ap) {
+  const std::int64_t kc = p1 - p0;
+  for (std::int64_t s0 = i0; s0 < i1; s0 += kMr) {
+    for (std::int64_t kk = p0; kk < p1; ++kk) {
+      float* dst = ap + (s0 - i0) * kc + (kk - p0) * kMr;
+      for (std::int64_t r = 0; r < kMr; ++r) {
+        const std::int64_t i = s0 + r;
+        dst[r] = i < i1 ? alpha * a_elem(a, lda, trans, i, kk) : 0.0f;
+      }
+    }
+  }
+}
+
+/// Pack op(B)[p0:p1, j0:j1] into kNr-column strips laid out
+/// [strip][kk][kNr]; columns past j1 are zero.
+void pack_b(const float* b, std::int64_t ldb, bool trans, std::int64_t p0,
+            std::int64_t p1, std::int64_t j0, std::int64_t j1, float* bp) {
+  const std::int64_t kc = p1 - p0;
+  for (std::int64_t t0 = j0; t0 < j1; t0 += kNr) {
+    float* dst = bp + (t0 - j0) * kc;
+    if (!trans && t0 + kNr <= j1) {
+      for (std::int64_t kk = p0; kk < p1; ++kk, dst += kNr) {
+        const float* src = b + kk * ldb + t0;
+        for (std::int64_t c = 0; c < kNr; ++c) dst[c] = src[c];
+      }
+    } else {
+      for (std::int64_t kk = p0; kk < p1; ++kk, dst += kNr) {
+        for (std::int64_t c = 0; c < kNr; ++c) {
+          const std::int64_t j = t0 + c;
+          dst[c] = j < j1 ? b_elem(b, ldb, trans, kk, j) : 0.0f;
+        }
+      }
+    }
+  }
+}
+
+/// acc[kMr][kNr] = Ap-strip · Bp-strip over kc steps — the register tile.
+/// GCC/Clang vector extensions pin the 6×16 accumulator into 12 8-wide
+/// vector registers (broadcast-FMA per k step); the scalar fallback keeps
+/// the identical per-element ascending-k chain for other compilers.
+#if defined(__GNUC__) || defined(__clang__)
+typedef float vf8 __attribute__((vector_size(32), aligned(4)));
+
+inline void micro_kernel(std::int64_t kc, const float* __restrict ap,
+                         const float* __restrict bp, float (*acc)[kNr]) {
+  static_assert(kMr == 6 && kNr == 16, "micro-kernel is specialized to 6x16");
+  vf8 r0a{}, r0b{}, r1a{}, r1b{}, r2a{}, r2b{};
+  vf8 r3a{}, r3b{}, r4a{}, r4b{}, r5a{}, r5b{};
+  for (std::int64_t kk = 0; kk < kc; ++kk) {
+    const float* arow = ap + kk * kMr;
+    const vf8 b0 = *reinterpret_cast<const vf8*>(bp + kk * kNr);
+    const vf8 b1 = *reinterpret_cast<const vf8*>(bp + kk * kNr + 8);
+    r0a += arow[0] * b0; r0b += arow[0] * b1;
+    r1a += arow[1] * b0; r1b += arow[1] * b1;
+    r2a += arow[2] * b0; r2b += arow[2] * b1;
+    r3a += arow[3] * b0; r3b += arow[3] * b1;
+    r4a += arow[4] * b0; r4b += arow[4] * b1;
+    r5a += arow[5] * b0; r5b += arow[5] * b1;
+  }
+  vf8* out = reinterpret_cast<vf8*>(acc);
+  out[0] = r0a; out[1] = r0b; out[2] = r1a; out[3] = r1b;
+  out[4] = r2a; out[5] = r2b; out[6] = r3a; out[7] = r3b;
+  out[8] = r4a; out[9] = r4b; out[10] = r5a; out[11] = r5b;
+}
+#else
+inline void micro_kernel(std::int64_t kc, const float* __restrict ap,
+                         const float* __restrict bp, float (*acc)[kNr]) {
+  for (std::int64_t r = 0; r < kMr; ++r) {
+    for (std::int64_t c = 0; c < kNr; ++c) acc[r][c] = 0.0f;
+  }
+  for (std::int64_t kk = 0; kk < kc; ++kk) {
+    const float* arow = ap + kk * kMr;
+    const float* brow = bp + kk * kNr;
+    for (std::int64_t r = 0; r < kMr; ++r) {
+      const float av = arow[r];
+      for (std::int64_t c = 0; c < kNr; ++c) acc[r][c] += av * brow[c];
+    }
+  }
+}
+#endif
+
+/// Per-thread packing scratch, reused across tasks.
+struct PackScratch {
+  std::vector<float> ap, bp;
+};
+PackScratch& scratch() {
+  thread_local PackScratch s;
+  return s;
+}
+
+/// Compute one MC×NC output tile: C[i0:i1, j0:j1] += alpha·op(A)·op(B).
+void compute_tile(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+                  const float* a, std::int64_t lda, bool trans_a, const float* b,
+                  std::int64_t ldb, bool trans_b, float* c, std::int64_t ldc,
+                  std::int64_t i0, std::int64_t j0) {
+  const std::int64_t i1 = std::min(m, i0 + kMc);
+  const std::int64_t j1 = std::min(n, j0 + kNc);
+  const std::int64_t mstrips = ceil_div(i1 - i0, kMr);
+  const std::int64_t nstrips = ceil_div(j1 - j0, kNr);
+  PackScratch& s = scratch();
+  s.ap.resize(static_cast<std::size_t>(mstrips) * kMr * kKc);
+  s.bp.resize(static_cast<std::size_t>(nstrips) * kNr * kKc);
+  for (std::int64_t p0 = 0; p0 < k; p0 += kKc) {
+    const std::int64_t p1 = std::min(k, p0 + kKc);
+    const std::int64_t kc = p1 - p0;
+    pack_a(a, lda, trans_a, alpha, i0, i1, p0, p1, s.ap.data());
+    pack_b(b, ldb, trans_b, p0, p1, j0, j1, s.bp.data());
+    for (std::int64_t si = 0; si < mstrips; ++si) {
+      const float* ap = s.ap.data() + si * kMr * kc;
+      const std::int64_t rows = std::min(kMr, i1 - i0 - si * kMr);
+      for (std::int64_t sj = 0; sj < nstrips; ++sj) {
+        const float* bp = s.bp.data() + sj * kNr * kc;
+        const std::int64_t cols = std::min(kNr, j1 - j0 - sj * kNr);
+        alignas(32) float acc[kMr][kNr];
+        micro_kernel(kc, ap, bp, acc);
+        float* cbase = c + (i0 + si * kMr) * ldc + j0 + sj * kNr;
+        for (std::int64_t r = 0; r < rows; ++r) {
+          for (std::int64_t col = 0; col < cols; ++col) {
+            cbase[r * ldc + col] += acc[r][col];
+          }
         }
       }
     }
@@ -37,43 +182,31 @@ void sgemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
            std::int64_t k, float alpha, const float* a, std::int64_t lda,
            const float* b, std::int64_t ldb, float beta, float* c,
            std::int64_t ldc) {
-  // Scale C by beta first.
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* crow = c + i * ldc;
-    if (beta == 0.0f) {
-      std::fill(crow, crow + n, 0.0f);
-    } else if (beta != 1.0f) {
-      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
-    }
+  // Scale C by beta first (no 0-skips: 0·NaN must stay NaN).
+  if (beta != 1.0f) {
+    parallel::parallel_for(0, m, 16, [&](std::int64_t r0, std::int64_t r1) {
+      for (std::int64_t i = r0; i < r1; ++i) {
+        float* crow = c + i * ldc;
+        if (beta == 0.0f) {
+          std::fill(crow, crow + n, 0.0f);
+        } else {
+          for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+        }
+      }
+    });
   }
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
 
-  if (!trans_a && !trans_b) {
-    gemm_nn(m, n, k, alpha, a, lda, b, ldb, c, ldc);
-    return;
-  }
-  // Transposed cases: materialize the transposed operand once (clarity over
-  // micro-optimization; these paths carry small FC matrices).
-  std::vector<float> at, bt;
-  const float* aa = a;
-  std::int64_t alda = lda;
-  if (trans_a) {
-    at.resize(static_cast<std::size_t>(m) * k);
-    for (std::int64_t i = 0; i < m; ++i)
-      for (std::int64_t kk = 0; kk < k; ++kk) at[i * k + kk] = a[kk * lda + i];
-    aa = at.data();
-    alda = k;
-  }
-  const float* bb = b;
-  std::int64_t bldb = ldb;
-  if (trans_b) {
-    bt.resize(static_cast<std::size_t>(k) * n);
-    for (std::int64_t kk = 0; kk < k; ++kk)
-      for (std::int64_t j = 0; j < n; ++j) bt[kk * n + j] = b[j * ldb + kk];
-    bb = bt.data();
-    bldb = n;
-  }
-  gemm_nn(m, n, k, alpha, aa, alda, bb, bldb, c, ldc);
+  const std::int64_t mtiles = ceil_div(m, kMc);
+  const std::int64_t ntiles = ceil_div(n, kNc);
+  parallel::parallel_for(0, mtiles * ntiles, 1, [&](std::int64_t t0, std::int64_t t1) {
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::int64_t i0 = (t / ntiles) * kMc;
+      const std::int64_t j0 = (t % ntiles) * kNc;
+      compute_tile(m, n, k, alpha, a, lda, trans_a, b, ldb, trans_b, c, ldc, i0,
+                   j0);
+    }
+  });
 }
 
 }  // namespace distconv::kernels

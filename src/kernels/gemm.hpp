@@ -1,5 +1,8 @@
-// Minimal single-threaded GEMM used by the im2col convolution path and the
+// Register-tiled GEMM used by the im2col convolution paths and the
 // model-parallel FC layer. Row-major; C = alpha * op(A) * op(B) + beta * C.
+// Fans output tiles out over the intra-rank thread pool (support/parallel.hpp)
+// — results are bit-identical for any thread budget; see gemm.cpp for the
+// determinism contract.
 #pragma once
 
 #include <cstdint>

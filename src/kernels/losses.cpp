@@ -1,8 +1,10 @@
 #include "kernels/losses.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "support/error.hpp"
+#include "support/parallel.hpp"
 
 namespace distconv::kernels {
 
@@ -13,22 +15,29 @@ double softmax_xent_forward(const Tensor<float>& logits,
              s.str());
   DC_REQUIRE(static_cast<std::int64_t>(labels.size()) == s.n,
              "label count mismatch");
+  // Per-sample terms computed in parallel; the scalar loss is reduced
+  // serially in sample order afterwards so the total does not depend on the
+  // thread budget.
+  std::vector<double> sample_loss(static_cast<std::size_t>(s.n));
+  parallel::parallel_for(0, s.n, 1, [&](std::int64_t k0, std::int64_t k1) {
+    for (std::int64_t k = k0; k < k1; ++k) {
+      float mx = logits(k, 0, 0, 0);
+      for (std::int64_t c = 1; c < s.c; ++c) mx = std::max(mx, logits(k, c, 0, 0));
+      double denom = 0.0;
+      for (std::int64_t c = 0; c < s.c; ++c) {
+        denom += std::exp(double(logits(k, c, 0, 0)) - mx);
+      }
+      for (std::int64_t c = 0; c < s.c; ++c) {
+        probs(k, c, 0, 0) =
+            static_cast<float>(std::exp(double(logits(k, c, 0, 0)) - mx) / denom);
+      }
+      const int label = labels[k];
+      DC_REQUIRE(label >= 0 && label < s.c, "label ", label, " out of range");
+      sample_loss[k] = -std::log(std::max(1e-30, double(probs(k, label, 0, 0))));
+    }
+  });
   double loss = 0.0;
-  for (std::int64_t k = 0; k < s.n; ++k) {
-    float mx = logits(k, 0, 0, 0);
-    for (std::int64_t c = 1; c < s.c; ++c) mx = std::max(mx, logits(k, c, 0, 0));
-    double denom = 0.0;
-    for (std::int64_t c = 0; c < s.c; ++c) {
-      denom += std::exp(double(logits(k, c, 0, 0)) - mx);
-    }
-    for (std::int64_t c = 0; c < s.c; ++c) {
-      probs(k, c, 0, 0) =
-          static_cast<float>(std::exp(double(logits(k, c, 0, 0)) - mx) / denom);
-    }
-    const int label = labels[k];
-    DC_REQUIRE(label >= 0 && label < s.c, "label ", label, " out of range");
-    loss -= std::log(std::max(1e-30, double(probs(k, label, 0, 0))));
-  }
+  for (std::int64_t k = 0; k < s.n; ++k) loss += sample_loss[k];
   return loss;
 }
 
@@ -36,52 +45,65 @@ void softmax_xent_backward(const Tensor<float>& probs,
                            const std::vector<int>& labels, Tensor<float>& dlogits,
                            float scale) {
   const auto& s = probs.shape();
-  for (std::int64_t k = 0; k < s.n; ++k) {
-    for (std::int64_t c = 0; c < s.c; ++c) {
-      const float onehot = (labels[k] == c) ? 1.0f : 0.0f;
-      dlogits(k, c, 0, 0) = scale * (probs(k, c, 0, 0) - onehot);
+  parallel::parallel_for(0, s.n, 8, [&](std::int64_t k0, std::int64_t k1) {
+    for (std::int64_t k = k0; k < k1; ++k) {
+      for (std::int64_t c = 0; c < s.c; ++c) {
+        const float onehot = (labels[k] == c) ? 1.0f : 0.0f;
+        dlogits(k, c, 0, 0) = scale * (probs(k, c, 0, 0) - onehot);
+      }
     }
-  }
+  });
 }
 
 double sigmoid_bce_forward(const Tensor<float>& logits, const Box4& lbox,
                            const Tensor<float>& targets, const Box4& tbox) {
-  double loss = 0.0;
-  for (std::int64_t n = 0; n < lbox.ext[0]; ++n) {
-    for (std::int64_t c = 0; c < lbox.ext[1]; ++c) {
+  // Partial sums grouped per (sample, channel) plane — a fixed grouping —
+  // then reduced serially in plane order.
+  const std::int64_t C = lbox.ext[1];
+  const std::int64_t planes = lbox.ext[0] * C;
+  std::vector<double> plane_loss(static_cast<std::size_t>(planes), 0.0);
+  parallel::parallel_for(0, planes, 1, [&](std::int64_t t0, std::int64_t t1) {
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::int64_t n = t / C, c = t % C;
+      double acc = 0.0;
       for (std::int64_t h = 0; h < lbox.ext[2]; ++h) {
         for (std::int64_t w = 0; w < lbox.ext[3]; ++w) {
           const double z = logits(lbox.off[0] + n, lbox.off[1] + c,
                                   lbox.off[2] + h, lbox.off[3] + w);
-          const double t = targets(tbox.off[0] + n, tbox.off[1] + c,
-                                   tbox.off[2] + h, tbox.off[3] + w);
+          const double tv = targets(tbox.off[0] + n, tbox.off[1] + c,
+                                    tbox.off[2] + h, tbox.off[3] + w);
           // Numerically stable: max(z,0) - z·t + log(1 + e^{-|z|}).
-          loss += std::max(z, 0.0) - z * t + std::log1p(std::exp(-std::abs(z)));
+          acc += std::max(z, 0.0) - z * tv + std::log1p(std::exp(-std::abs(z)));
         }
       }
+      plane_loss[t] = acc;
     }
-  }
+  });
+  double loss = 0.0;
+  for (std::int64_t t = 0; t < planes; ++t) loss += plane_loss[t];
   return loss;
 }
 
 void sigmoid_bce_backward(const Tensor<float>& logits, const Box4& lbox,
                           const Tensor<float>& targets, const Box4& tbox,
                           Tensor<float>& dlogits, const Box4& dbox, float scale) {
-  for (std::int64_t n = 0; n < lbox.ext[0]; ++n) {
-    for (std::int64_t c = 0; c < lbox.ext[1]; ++c) {
+  const std::int64_t C = lbox.ext[1];
+  parallel::parallel_for(0, lbox.ext[0] * C, 1, [&](std::int64_t t0, std::int64_t t1) {
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::int64_t n = t / C, c = t % C;
       for (std::int64_t h = 0; h < lbox.ext[2]; ++h) {
         for (std::int64_t w = 0; w < lbox.ext[3]; ++w) {
           const double z = logits(lbox.off[0] + n, lbox.off[1] + c,
                                   lbox.off[2] + h, lbox.off[3] + w);
-          const double t = targets(tbox.off[0] + n, tbox.off[1] + c,
-                                   tbox.off[2] + h, tbox.off[3] + w);
+          const double tv = targets(tbox.off[0] + n, tbox.off[1] + c,
+                                    tbox.off[2] + h, tbox.off[3] + w);
           const double sig = 1.0 / (1.0 + std::exp(-z));
           dlogits(dbox.off[0] + n, dbox.off[1] + c, dbox.off[2] + h,
-                  dbox.off[3] + w) = static_cast<float>(scale * (sig - t));
+                  dbox.off[3] + w) = static_cast<float>(scale * (sig - tv));
         }
       }
     }
-  }
+  });
 }
 
 }  // namespace distconv::kernels

@@ -4,19 +4,10 @@
 #include <limits>
 
 #include "support/error.hpp"
+#include "support/intmath.hpp"
+#include "support/parallel.hpp"
 
 namespace distconv::kernels {
-namespace {
-
-std::int64_t floor_div(std::int64_t a, std::int64_t b) {
-  std::int64_t q = a / b;
-  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
-  return q;
-}
-
-std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return -floor_div(-a, b); }
-
-}  // namespace
 
 void pool2d_forward_padded(const Tensor<float>& x, Tensor<float>& y,
                            Tensor<std::int64_t>* argmax, const PoolParams& p) {
@@ -105,8 +96,11 @@ void pool2d_forward(const Tensor<float>& x, Origin2 xo, Tensor<float>& y,
   if (r.empty()) return;
   const std::int64_t N = y.shape().n;
   const std::int64_t C = y.shape().c;
-  for (std::int64_t k = 0; k < N; ++k) {
-    for (std::int64_t c = 0; c < C; ++c) {
+  // Each (sample, channel) plane is independent.
+  parallel::parallel_for(0, N * C, 1, [&](std::int64_t t0, std::int64_t t1) {
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::int64_t k = t / C;
+      const std::int64_t c = t % C;
       for (std::int64_t gh = r.h0; gh < r.h1; ++gh) {
         for (std::int64_t gw = r.w0; gw < r.w1; ++gw) {
           if (p.mode == PoolMode::kMax) {
@@ -143,7 +137,7 @@ void pool2d_forward(const Tensor<float>& x, Origin2 xo, Tensor<float>& y,
         }
       }
     }
-  }
+  });
 }
 
 void pool2d_backward(const Tensor<float>& dy, Origin2 dyo,
@@ -153,8 +147,10 @@ void pool2d_backward(const Tensor<float>& dy, Origin2 dyo,
   if (r.empty()) return;
   const std::int64_t N = dy.shape().n;
   const std::int64_t C = dy.shape().c;
-  for (std::int64_t k = 0; k < N; ++k) {
-    for (std::int64_t c = 0; c < C; ++c) {
+  parallel::parallel_for(0, N * C, 1, [&](std::int64_t t0, std::int64_t t1) {
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::int64_t k = t / C;
+      const std::int64_t c = t % C;
       for (std::int64_t gi = r.h0; gi < r.h1; ++gi) {
         const std::int64_t jh_lo =
             std::max<std::int64_t>(0, ceil_div(gi + p.ph - p.kh + 1, p.sh));
@@ -181,7 +177,7 @@ void pool2d_backward(const Tensor<float>& dy, Origin2 dyo,
         }
       }
     }
-  }
+  });
 }
 
 }  // namespace distconv::kernels

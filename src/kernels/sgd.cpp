@@ -1,23 +1,29 @@
 #include "kernels/sgd.hpp"
 
 #include "support/error.hpp"
+#include "support/parallel.hpp"
 
 namespace distconv::kernels {
 
 void sgd_update(float* param, const float* grad, float* velocity, std::size_t n,
                 const SgdConfig& cfg) {
+  const std::int64_t count = static_cast<std::int64_t>(n);
   if (cfg.momentum != 0.0f) {
     DC_REQUIRE(velocity != nullptr, "momentum SGD requires a velocity buffer");
-    for (std::size_t i = 0; i < n; ++i) {
-      const float g = grad[i] + cfg.weight_decay * param[i];
-      velocity[i] = cfg.momentum * velocity[i] + g;
-      param[i] -= cfg.lr * velocity[i];
-    }
+    parallel::parallel_for(0, count, 4096, [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float g = grad[i] + cfg.weight_decay * param[i];
+        velocity[i] = cfg.momentum * velocity[i] + g;
+        param[i] -= cfg.lr * velocity[i];
+      }
+    });
   } else {
-    for (std::size_t i = 0; i < n; ++i) {
-      const float g = grad[i] + cfg.weight_decay * param[i];
-      param[i] -= cfg.lr * g;
-    }
+    parallel::parallel_for(0, count, 4096, [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float g = grad[i] + cfg.weight_decay * param[i];
+        param[i] -= cfg.lr * g;
+      }
+    });
   }
 }
 

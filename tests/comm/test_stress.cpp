@@ -3,6 +3,7 @@
 // sub-communicator isolation under real thread interleavings.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <vector>
 

@@ -1,6 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+#include <limits>
+
 #include "kernels/conv.hpp"
+#include "support/rng.hpp"
+#include "tests/support/thread_guard.hpp"
 
 namespace distconv::kernels {
 namespace {
@@ -138,6 +144,154 @@ TEST_P(ConvSweep, BackwardFilterMatchesPaddedOracle) {
                          Range2{0, oh, 0, ow});
   for (std::int64_t i = 0; i < dw.size(); ++i) {
     ASSERT_NEAR(dw.data()[i], dw_ref.data()[i], 1e-3f) << "i=" << i;
+  }
+}
+
+TEST_P(ConvSweep, GemmBackwardDataMatchesOracle) {
+  const auto cfg = GetParam();
+  const ConvParams p{cfg.k, cfg.k, cfg.s, cfg.s, cfg.k / 2, cfg.k / 2};
+  const std::int64_t oh = p.out_h(cfg.h), ow = p.out_w(cfg.w);
+  Tensor<float> dy(Shape4{cfg.n, cfg.f, oh, ow});
+  Tensor<float> w(Shape4{cfg.f, cfg.c, cfg.k, cfg.k});
+  Rng rng(83);
+  dy.fill_uniform(rng);
+  w.fill_uniform(rng);
+  Tensor<float> dx_ref(Shape4{cfg.n, cfg.c, cfg.h, cfg.w});
+  conv2d_backward_data_padded(dy, w, dx_ref, p);
+
+  Tensor<float> dx(dx_ref.shape());
+  conv2d_backward_data(dy, Origin2{0, 0}, w, dx, Origin2{0, 0}, p,
+                       Range2{0, cfg.h, 0, cfg.w}, oh, ow, ConvAlgo::kIm2col);
+  for (std::int64_t i = 0; i < dx.size(); ++i) {
+    ASSERT_NEAR(dx.data()[i], dx_ref.data()[i], 1e-4f) << "i=" << i;
+  }
+}
+
+TEST_P(ConvSweep, GemmBackwardDataSplitRangesMatch) {
+  // The halo-overlap path hands backward-data disjoint sub-ranges; the
+  // col2im scatter must fill exactly its own range.
+  const auto cfg = GetParam();
+  const ConvParams p{cfg.k, cfg.k, cfg.s, cfg.s, cfg.k / 2, cfg.k / 2};
+  const std::int64_t oh = p.out_h(cfg.h), ow = p.out_w(cfg.w);
+  Tensor<float> dy(Shape4{cfg.n, cfg.f, oh, ow});
+  Tensor<float> w(Shape4{cfg.f, cfg.c, cfg.k, cfg.k});
+  Rng rng(89);
+  dy.fill_uniform(rng);
+  w.fill_uniform(rng);
+  Tensor<float> whole(Shape4{cfg.n, cfg.c, cfg.h, cfg.w}), split(whole.shape());
+  conv2d_backward_data(dy, Origin2{0, 0}, w, whole, Origin2{0, 0}, p,
+                       Range2{0, cfg.h, 0, cfg.w}, oh, ow, ConvAlgo::kIm2col);
+  const std::int64_t mh = cfg.h / 2, mw = cfg.w / 2;
+  for (const Range2& r :
+       {Range2{0, mh, 0, mw}, Range2{0, mh, mw, cfg.w},
+        Range2{mh, cfg.h, 0, mw}, Range2{mh, cfg.h, mw, cfg.w}}) {
+    conv2d_backward_data(dy, Origin2{0, 0}, w, split, Origin2{0, 0}, p, r, oh,
+                         ow, ConvAlgo::kIm2col);
+  }
+  for (std::int64_t i = 0; i < whole.size(); ++i) {
+    ASSERT_NEAR(whole.data()[i], split.data()[i], 1e-5f) << "i=" << i;
+  }
+}
+
+TEST_P(ConvSweep, GemmBackwardFilterMatchesOracle) {
+  const auto cfg = GetParam();
+  const ConvParams p{cfg.k, cfg.k, cfg.s, cfg.s, cfg.k / 2, cfg.k / 2};
+  const std::int64_t oh = p.out_h(cfg.h), ow = p.out_w(cfg.w);
+  Tensor<float> x(Shape4{cfg.n, cfg.c, cfg.h, cfg.w});
+  Tensor<float> dy(Shape4{cfg.n, cfg.f, oh, ow});
+  Rng rng(97);
+  x.fill_uniform(rng);
+  dy.fill_uniform(rng);
+  Tensor<float> dw_ref(Shape4{cfg.f, cfg.c, cfg.k, cfg.k});
+  conv2d_backward_filter_padded(x, dy, dw_ref, p);
+
+  Tensor<float> xbuf = make_padded_buffer(x, p.ph, p.pw);
+  Tensor<float> dw(dw_ref.shape());
+  conv2d_backward_filter(xbuf, Origin2{-p.ph, -p.pw}, dy, Origin2{0, 0}, dw, p,
+                         Range2{0, oh, 0, ow}, /*accumulate=*/false,
+                         ConvAlgo::kIm2col);
+  for (std::int64_t i = 0; i < dw.size(); ++i) {
+    ASSERT_NEAR(dw.data()[i], dw_ref.data()[i], 1e-3f) << "i=" << i;
+  }
+}
+
+TEST_P(ConvSweep, ThreadCountDeterminism) {
+  // Forward (both algorithms) and both GEMM-backed backward passes must be
+  // bit-identical under DC_NUM_THREADS=1 vs 8: the tile grids, strip
+  // heights, and reduction groupings are all fixed by shapes alone.
+  const auto cfg = GetParam();
+  const ConvParams p{cfg.k, cfg.k, cfg.s, cfg.s, cfg.k / 2, cfg.k / 2};
+  const std::int64_t oh = p.out_h(cfg.h), ow = p.out_w(cfg.w);
+  Tensor<float> x(Shape4{cfg.n, cfg.c, cfg.h, cfg.w});
+  Tensor<float> w(Shape4{cfg.f, cfg.c, cfg.k, cfg.k});
+  Tensor<float> dy(Shape4{cfg.n, cfg.f, oh, ow});
+  Rng rng(101);
+  x.fill_uniform(rng);
+  w.fill_uniform(rng);
+  dy.fill_uniform(rng);
+  Tensor<float> xbuf = make_padded_buffer(x, p.ph, p.pw);
+  const Range2 yr{0, oh, 0, ow};
+  const Range2 xr{0, cfg.h, 0, cfg.w};
+
+  auto run_all = [&](Tensor<float>& y, Tensor<float>& dx, Tensor<float>& dw) {
+    conv2d_forward(xbuf, Origin2{-p.ph, -p.pw}, w, y, Origin2{0, 0}, p, yr,
+                   ConvAlgo::kIm2col);
+    conv2d_backward_data(dy, Origin2{0, 0}, w, dx, Origin2{0, 0}, p, xr, oh, ow,
+                         ConvAlgo::kIm2col);
+    conv2d_backward_filter(xbuf, Origin2{-p.ph, -p.pw}, dy, Origin2{0, 0}, dw,
+                           p, yr, false, ConvAlgo::kIm2col);
+  };
+  Tensor<float> y1(Shape4{cfg.n, cfg.f, oh, ow}), y8(y1.shape());
+  Tensor<float> dx1(x.shape()), dx8(x.shape());
+  Tensor<float> dw1(w.shape()), dw8(w.shape());
+  {
+    parallel::ThreadGuard guard(1);
+    run_all(y1, dx1, dw1);
+  }
+  {
+    parallel::ThreadGuard guard(8);
+    run_all(y8, dx8, dw8);
+  }
+  EXPECT_EQ(0, std::memcmp(y1.data(), y8.data(), y1.size() * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(dx1.data(), dx8.data(), dx1.size() * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(dw1.data(), dw8.data(), dw1.size() * sizeof(float)));
+}
+
+TEST(ConvAlgoHeuristic, AutoResolvesOnLayerConstantsOnly) {
+  const ConvParams deep{3, 3, 1, 1, 1, 1};
+  // 64·3·3 = 576 deep, 64 filters: GEMM territory.
+  EXPECT_EQ(resolve_conv_algo(ConvAlgo::kAuto, deep, 64, 64), ConvAlgo::kIm2col);
+  // 3·3·3 = 27 shallow first layer: direct.
+  EXPECT_EQ(resolve_conv_algo(ConvAlgo::kAuto, deep, 3, 64), ConvAlgo::kDirect);
+  // Few filters: packing traffic is never amortized.
+  EXPECT_EQ(resolve_conv_algo(ConvAlgo::kAuto, deep, 64, 4), ConvAlgo::kDirect);
+  // Explicit choices pass through untouched.
+  EXPECT_EQ(resolve_conv_algo(ConvAlgo::kDirect, deep, 64, 64), ConvAlgo::kDirect);
+  EXPECT_EQ(resolve_conv_algo(ConvAlgo::kIm2col, deep, 3, 4), ConvAlgo::kIm2col);
+}
+
+TEST(ConvNaN, BackwardPathsPropagateNaN) {
+  // A NaN in dy must reach every dx/dw element its window touches, even
+  // where weights or activations are zero (the seed's `g == 0` skip only
+  // dropped zero *gradients*; the NaN case it could mask is 0·NaN from
+  // zero weights, exercised here with w = 0 and x = 0).
+  const ConvParams p{3, 3, 1, 1, 1, 1};
+  Tensor<float> dy(Shape4{1, 1, 5, 5});
+  Tensor<float> w(Shape4{1, 1, 3, 3});  // all-zero weights
+  Tensor<float> x(Shape4{1, 1, 5, 5});  // all-zero activations
+  dy(0, 0, 2, 2) = std::numeric_limits<float>::quiet_NaN();
+  for (const ConvAlgo algo : {ConvAlgo::kDirect, ConvAlgo::kIm2col}) {
+    Tensor<float> dx(Shape4{1, 1, 5, 5});
+    conv2d_backward_data(dy, Origin2{0, 0}, w, dx, Origin2{0, 0}, p,
+                         Range2{0, 5, 0, 5}, 5, 5, algo);
+    EXPECT_TRUE(std::isnan(dx(0, 0, 2, 2)))
+        << "algo " << int(algo) << ": 0-weight · NaN-gradient must be NaN";
+    Tensor<float> xbuf = make_padded_buffer(x, 1, 1);
+    Tensor<float> dw(w.shape());
+    conv2d_backward_filter(xbuf, Origin2{-1, -1}, dy, Origin2{0, 0}, dw, p,
+                           Range2{0, 5, 0, 5}, false, algo);
+    EXPECT_TRUE(std::isnan(dw(0, 0, 1, 1)))
+        << "algo " << int(algo) << ": NaN-gradient · 0-activation must be NaN";
   }
 }
 

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+#include <limits>
 #include <vector>
 
 #include "kernels/gemm.hpp"
 #include "support/rng.hpp"
+#include "tests/support/thread_guard.hpp"
 
 namespace distconv::kernels {
 namespace {
@@ -48,6 +52,75 @@ TEST_P(GemmSweep, MatchesNaive) {
   for (std::size_t i = 0; i < c.size(); ++i) {
     ASSERT_NEAR(c[i], c_ref[i], 1e-3f) << i;
   }
+}
+
+// Leading dimensions larger than the row length (odd strides) must be
+// honoured by the packing gathers for every transpose combination.
+TEST(Gemm, OddLeadingDimensions) {
+  Rng rng(19);
+  const std::int64_t m = 13, n = 21, k = 37;
+  for (const bool ta : {false, true}) {
+    for (const bool tb : {false, true}) {
+      const std::int64_t lda = (ta ? m : k) + 3;
+      const std::int64_t ldb = (tb ? k : n) + 5;
+      const std::int64_t ldc = n + 7;
+      std::vector<float> a(static_cast<std::size_t>((ta ? k : m)) * lda);
+      std::vector<float> b(static_cast<std::size_t>((tb ? n : k)) * ldb);
+      std::vector<float> c(static_cast<std::size_t>(m) * ldc, 0.25f), c_ref = c;
+      for (auto& v : a) v = float(rng.uniform(-1, 1));
+      for (auto& v : b) v = float(rng.uniform(-1, 1));
+      sgemm(ta, tb, m, n, k, 1.5f, a.data(), lda, b.data(), ldb, 0.5f, c.data(),
+            ldc);
+      naive(ta, tb, m, n, k, 1.5f, a, lda, b, ldb, 0.5f, c_ref, ldc);
+      for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t j = 0; j < ldc; ++j) {
+          const float got = c[i * ldc + j], want = c_ref[i * ldc + j];
+          ASSERT_NEAR(got, want, 1e-3f)
+              << "ta=" << ta << " tb=" << tb << " (" << i << "," << j << ")";
+        }
+      }
+    }
+  }
+}
+
+// IEEE semantics: a zero in A must not short-circuit the product — 0·NaN and
+// 0·Inf are NaN and must reach C (the seed kernel's `av == 0` skip broke
+// this).
+TEST(Gemm, ZeroTimesNanPropagates) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  // Row 0 of A is all zeros; column 0 of B carries a NaN, column 1 an Inf.
+  std::vector<float> a{0, 0, 1, 1};          // 2×2
+  std::vector<float> b{nan, inf, 7, 3};      // 2×2
+  std::vector<float> c(4, 0.0f);
+  sgemm(false, false, 2, 2, 2, 1.0f, a.data(), 2, b.data(), 2, 0.0f, c.data(), 2);
+  EXPECT_TRUE(std::isnan(c[0])) << "0*NaN must be NaN, got " << c[0];
+  EXPECT_TRUE(std::isnan(c[1])) << "0*Inf must be NaN, got " << c[1];
+  EXPECT_TRUE(std::isnan(c[2]));
+  EXPECT_TRUE(std::isinf(c[3])) << "Inf + finite must stay Inf, got " << c[3];
+}
+
+// Results must be bit-identical for any thread budget: the tile grid and
+// k-blocking are fixed, so only scheduling changes with DC_NUM_THREADS.
+TEST(Gemm, ThreadCountDeterminism) {
+  Rng rng(23);
+  const std::int64_t m = 203, n = 311, k = 517;
+  std::vector<float> a(static_cast<std::size_t>(m) * k);
+  std::vector<float> b(static_cast<std::size_t>(k) * n);
+  for (auto& v : a) v = float(rng.uniform(-1, 1));
+  for (auto& v : b) v = float(rng.uniform(-1, 1));
+  std::vector<float> c1(static_cast<std::size_t>(m) * n, 0.125f), c8 = c1;
+  {
+    parallel::ThreadGuard guard(1);
+    sgemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 1.0f, c1.data(),
+          n);
+  }
+  {
+    parallel::ThreadGuard guard(8);
+    sgemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 1.0f, c8.data(),
+          n);
+  }
+  EXPECT_EQ(0, std::memcmp(c1.data(), c8.data(), c1.size() * sizeof(float)));
 }
 
 TEST(Gemm, BetaZeroOverwritesGarbage) {

@@ -1,0 +1,17 @@
+// RAII override of the intra-rank thread budget for determinism tests:
+// restores automatic sizing even if the body under test throws, so a
+// leaked override can't silently change what later tests exercise.
+#pragma once
+
+#include "support/parallel.hpp"
+
+namespace distconv::parallel {
+
+struct ThreadGuard {
+  explicit ThreadGuard(int n) { set_num_threads(n); }
+  ~ThreadGuard() { set_num_threads(0); }
+  ThreadGuard(const ThreadGuard&) = delete;
+  ThreadGuard& operator=(const ThreadGuard&) = delete;
+};
+
+}  // namespace distconv::parallel
