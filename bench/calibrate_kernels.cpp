@@ -1,0 +1,104 @@
+// Kernel calibration writer: times this machine's conv kernels on the
+// micro_kernels layer geometries (the paper's measure-then-model
+// methodology, §V-A) and writes the effective GFLOP/s table that
+// perf/compute_model.hpp consumes via DC_KERNEL_CALIBRATION — replacing the
+// roofline constants with measured rates.
+//
+//   $ ./calibrate_kernels [out_path]       # default: kernel_calibration.txt
+//   $ DC_KERNEL_CALIBRATION=kernel_calibration.txt ./strategy_explorer
+//
+// Rates are the FLOP-weighted aggregate over the shapes (total FLOPs /
+// total time), so large layers dominate — matching how the optimizer uses
+// the rate. Set DC_NUM_THREADS to calibrate a specific intra-rank budget.
+#include <cstdio>
+#include <vector>
+
+#include "bench/kernel_shapes.hpp"
+#include "perf/compute_model.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace distconv;
+using namespace distconv::kernels;
+using bench::LayerArgs;
+using bench::conv_flops;
+using bench::kKernelShapes;
+using bench::params_of;
+using bench::time_average;
+
+/// Measure one pass over one shape (mode 0 = fwd, 1 = bwd-data, 2 = bwd-f).
+double pass_time(const LayerArgs& a, int mode) {
+  const ConvParams p = params_of(a);
+  Tensor<float> x(Shape4{a.n, a.c, a.h + 2 * p.ph, a.w + 2 * p.pw});
+  Tensor<float> w(Shape4{a.f, a.c, a.k, a.k});
+  Tensor<float> y(Shape4{a.n, a.f, p.out_h(a.h), p.out_w(a.w)});
+  Rng rng(5);
+  x.fill_uniform(rng);
+  w.fill_uniform(rng);
+  y.fill_uniform(rng);
+  const Range2 out_full{0, y.shape().h, 0, y.shape().w};
+  const Range2 in_full{0, a.h, 0, a.w};
+  const Origin2 xo{-p.ph, -p.pw}, yo{0, 0};
+  switch (mode) {
+    case 0:
+      return time_average(
+          [&] { conv2d_forward(x, xo, w, y, yo, p, out_full); });
+    case 1:
+      return time_average([&] {
+        conv2d_backward_data(y, yo, w, x, xo, p, in_full, y.shape().h,
+                             y.shape().w);
+      });
+    default:
+      return time_average([&] {
+        conv2d_backward_filter(x, xo, y, yo, w, p, out_full, false);
+      });
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "kernel_calibration.txt";
+
+  const char* mode_names[] = {"forward", "backward-data", "backward-filter"};
+  double rates[3] = {0, 0, 0};
+  std::printf("%-16s %-18s %-12s %-10s\n", "layer", "pass", "time (ms)",
+              "GFLOP/s");
+  for (int mode = 0; mode < 3; ++mode) {
+    double flops_total = 0, time_total = 0;
+    for (const LayerArgs& a : kKernelShapes) {
+      const double t = pass_time(a, mode);
+      const double fl = conv_flops(a);
+      flops_total += fl;
+      time_total += t;
+      std::printf("%-16s %-18s %-12.3f %-10.2f\n", a.name, mode_names[mode],
+                  t * 1e3, fl / t / 1e9);
+    }
+    rates[mode] = flops_total / time_total;  // FLOP-weighted aggregate
+  }
+
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path);
+    return 1;
+  }
+  std::fprintf(out, "# distconv kernel calibration (effective GFLOP/s; "
+                    "FLOP-weighted over the micro_kernels shapes)\n");
+  std::fprintf(out, "conv_fwd_gflops %.4f\n", rates[0] / 1e9);
+  std::fprintf(out, "conv_bwd_data_gflops %.4f\n", rates[1] / 1e9);
+  std::fprintf(out, "conv_bwd_filter_gflops %.4f\n", rates[2] / 1e9);
+  std::fclose(out);
+
+  std::printf("\nwrote %s (fwd %.2f, bwd-data %.2f, bwd-filter %.2f GFLOP/s)\n",
+              out_path, rates[0] / 1e9, rates[1] / 1e9, rates[2] / 1e9);
+  std::printf("use it via: DC_KERNEL_CALIBRATION=%s\n", out_path);
+
+  // Sanity: the written table must round-trip through the loader.
+  const auto cal = distconv::perf::load_kernel_calibration(out_path);
+  if (!cal.has_value()) {
+    std::fprintf(stderr, "round-trip parse of %s failed\n", out_path);
+    return 1;
+  }
+  return 0;
+}

@@ -8,6 +8,7 @@
 // the intra-rank pool budget to expose kernel strong-scaling.
 #include <benchmark/benchmark.h>
 
+#include "bench/kernel_shapes.hpp"
 #include "kernels/conv.hpp"
 #include "kernels/gemm.hpp"
 #include "kernels/pooling.hpp"
@@ -19,29 +20,15 @@ namespace {
 using namespace distconv;
 using namespace distconv::kernels;
 
-struct LayerArgs {
-  std::int64_t n, c, h, w, f;
-  int k, s;
-};
-
-// Scaled-down versions of conv1 (ResNet), res3b_branch2a, mesh conv1_1 and
-// conv6_1: same channel/kernel structure, reduced spatial extents so a CPU
-// iteration stays in the microsecond-to-millisecond range.
-const LayerArgs kConv1{1, 3, 112, 112, 64, 7, 2};
-const LayerArgs kRes3b{4, 512, 28, 28, 128, 1, 1};
-const LayerArgs kMesh11{1, 18, 256, 256, 32, 5, 2};
-const LayerArgs kMesh61{1, 96, 64, 64, 32, 3, 2};
-
-ConvParams params_of(const LayerArgs& a) {
-  return ConvParams{a.k, a.k, a.s, a.s, a.k / 2, a.k / 2};
-}
-
-/// Multiply-add count of one convolution pass (fwd, bwd-data and bwd-filter
-/// all contract the same index space).
-double conv_flops(const LayerArgs& a) {
-  const ConvParams p = params_of(a);
-  return 2.0 * a.n * a.f * double(p.out_h(a.h)) * p.out_w(a.w) * a.c * a.k * a.k;
-}
+// Layer geometries and FLOP counts shared with calibrate_kernels, so the
+// calibration table always times exactly these shapes.
+using bench::LayerArgs;
+using bench::conv_flops;
+using bench::kConv1;
+using bench::kMesh11;
+using bench::kMesh61;
+using bench::kRes3b;
+using bench::params_of;
 
 /// Pin the pool budget from a benchmark Arg (0 keeps automatic sizing).
 struct ThreadArg {

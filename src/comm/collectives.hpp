@@ -211,6 +211,55 @@ void reduce_scatter_inplace(Comm& comm, T* buf, std::size_t n, ReduceOp op) {
   }
 }
 
+/// Ring reduce-scatter with explicit per-rank block sizes: buf holds the
+/// concatenation of p blocks (block b spans counts[b] elements at offset
+/// sum(counts[0..b))); on return rank r's block holds the full reduction,
+/// other positions are scratch. Unlike reduce_scatter_inplace, the block
+/// boundaries are caller-chosen, which the channel/filter-parallel
+/// convolution needs: its blocks are per-rank filter slices of a partial-sum
+/// tensor, and balanced element blocks would not align with slice
+/// boundaries when the filter count does not divide evenly. Zero-sized
+/// blocks are fine (they ride the ring as empty messages), so singleton and
+/// degenerate channel groups work.
+template <typename T>
+void reduce_scatterv_inplace(Comm& comm, T* buf,
+                             const std::vector<std::size_t>& counts,
+                             ReduceOp op) {
+  const int p = comm.size();
+  DC_REQUIRE(static_cast<int>(counts.size()) == p,
+             "reduce_scatterv: counts must have one entry per rank");
+  if (p == 1) return;
+  std::vector<std::size_t> displs(p);
+  std::size_t total = 0, max_block = 0;
+  for (int b = 0; b < p; ++b) {
+    displs[b] = total;
+    total += counts[b];
+    max_block = std::max(max_block, counts[b]);
+  }
+  const int me = comm.rank();
+  const int tag = comm.next_internal_tag();
+  const int right = (me + 1) % p;
+  const int left = (me - 1 + p) % p;
+  std::vector<T> tmp(max_block);
+  // Step s: send block (me - s), receive and reduce block (me - s - 1).
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_block = (me - s + p) % p;
+    const int recv_block = (me - s - 1 + p) % p;
+    comm.sendrecv(buf + displs[send_block], counts[send_block] * sizeof(T), right,
+                  tag, tmp.data(), counts[recv_block] * sizeof(T), left, tag);
+    internal::apply_op(op, buf + displs[recv_block], tmp.data(),
+                       counts[recv_block]);
+  }
+  // After p-1 steps rank me holds the fully reduced block (me + 1) % p; send
+  // it straight to its owner and receive my own block from the rank holding
+  // it (my left neighbour).
+  const int have = (me + 1) % p;
+  if (have != me) {
+    comm.sendrecv(buf + displs[have], counts[have] * sizeof(T), have, tag,
+                  buf + displs[me], counts[me] * sizeof(T), left, tag);
+  }
+}
+
 template <typename T>
 void allreduce_recursive_doubling(Comm& comm, T* buf, std::size_t n, ReduceOp op) {
   const int p = comm.size();

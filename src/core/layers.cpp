@@ -80,6 +80,17 @@ struct FcScratch : LayerScratch {
   std::vector<float> x_flat, dy_flat, dx_flat, y_flat;
 };
 
+/// Scratch of the channel/filter-parallel conv schedule (grid.c > 1). All
+/// tensors are dense (no margins except dy_full, which mirrors dL/dy's
+/// margin frame so the transpose-stencil gather reads stay in-bounds).
+struct ConvChannelScratch : LayerScratch {
+  Tensor<float> w_slice;    ///< w[:, I_C^(c), :, :] — (F, C_loc, K, K)
+  Tensor<float> y_partial;  ///< full-F partial sums over local channels
+  Tensor<float> dy_full;    ///< allgathered full-F dL/dy incl. margins
+  Tensor<float> dw_slice;   ///< dL/dw[:, I_C^(c), :, :]
+  std::vector<float> pack;  ///< collective staging (slice-ordered blocks)
+};
+
 }  // namespace
 
 void Layer::init_params(LayerRt&, Rng&) const {}
@@ -110,7 +121,150 @@ void Conv2dLayer::init_params(LayerRt& rt, Rng& rng) const {
   }
 }
 
-void Conv2dLayer::forward(Model& model, int, LayerRt& rt) const {
+void Conv2dLayer::init_scratch(Model& model, int index, LayerRt& rt) const {
+  if (!model.is_channel_parallel(index)) return;
+  auto scratch = std::make_unique<ConvChannelScratch>();
+  const DistTensor<float>& xt = rt.inputs[0].read->t;
+  const DistTensor<float>& yt = rt.y.t;
+  const DistTensor<float>& dyt = rt.dy.t;
+  const std::int64_t c_loc = xt.local_shape().c;
+  scratch->w_slice = Tensor<float>(Shape4{filters_, c_loc, kernel_, kernel_});
+  scratch->dw_slice = Tensor<float>(Shape4{filters_, c_loc, kernel_, kernel_});
+  // Partial sums cover the owned output box with the *full* filter extent;
+  // every channel-group member shares the same (n, h, w) coordinates, so
+  // these shapes agree across the group.
+  scratch->y_partial = Tensor<float>(Shape4{
+      yt.local_shape().n, filters_, yt.local_shape().h, yt.local_shape().w});
+  const Shape4& db = dyt.buffer().shape();
+  scratch->dy_full = Tensor<float>(Shape4{db.n, filters_, db.h, db.w});
+  rt.scratch = std::move(scratch);
+}
+
+/// §III-D forward: y is a sum over all input channels, so each rank computes
+/// the full-F partial sum over its channel slice and a reduce-scatter over
+/// the channel group both completes the sum and leaves each rank exactly its
+/// filter slice of y. No interior/boundary split here — the reduce-scatter
+/// needs the whole partial anyway, so halos are refreshed up front.
+void Conv2dLayer::forward_channel(Model& model, int index, LayerRt& rt) const {
+  ActTensor& xa = *rt.inputs[0].read;
+  DistTensor<float>& xt = xa.t;
+  DistTensor<float>& yt = rt.y.t;
+  const auto p = conv_params();
+  auto* scratch = dynamic_cast<ConvChannelScratch*>(rt.scratch.get());
+  DC_CHECK(scratch != nullptr);
+  auto& cgroup = model.channel_comm(index);
+  const int pc = cgroup.size();
+
+  // Repack the weight slice (parameters changed since the last step).
+  const DimPartition& cpart = xt.dist().c;
+  const std::int64_t c_loc = xt.local_shape().c;
+  const Box4 wcols =
+      channel_slice_box(cpart, xt.coord().c, filters_, kernel_, kernel_);
+  pack_box(rt.params[0], wcols, scratch->w_slice.data());
+
+  xa.ensure_fresh();
+  const Range2 out_owned = owned_range(yt.owned_box());
+  const Origin2 ypo{yt.owned_start(2), yt.owned_start(3)};
+  if (c_loc > 0) {
+    kernels::conv2d_forward(xt.buffer(), origin_of(xt), scratch->w_slice,
+                            scratch->y_partial, ypo, p, out_owned,
+                            model.options().conv_algo);
+  } else {
+    scratch->y_partial.zero();  // empty channel slice contributes zeros
+  }
+
+  // Reduce-scatter over the channel group: block q is member q's filter
+  // slice of the partial (uneven when pc ∤ F, hence the v-variant).
+  const DimPartition& fpart = yt.dist().c;
+  const Shape4& ys = scratch->y_partial.shape();
+  const SliceBlocks blocks = channel_slice_blocks(fpart, ys.n, ys.h, ys.w);
+  scratch->pack.resize(blocks.total);
+  for (int q = 0; q < pc; ++q) {
+    if (blocks.counts[q] == 0) continue;
+    pack_box(scratch->y_partial, channel_slice_box(fpart, q, ys.n, ys.h, ys.w),
+             scratch->pack.data() + blocks.displs[q]);
+  }
+  comm::reduce_scatterv_inplace(cgroup, scratch->pack.data(), blocks.counts,
+                                comm::ReduceOp::kSum);
+  unpack_box(scratch->pack.data() + blocks.displs[cgroup.rank()],
+             yt.interior_box(), yt.buffer());
+
+  if (bias_) {
+    kernels::bias_forward(yt.buffer(), yt.interior_box(),
+                          rt.params[1].data() + yt.owned_start(1));
+  }
+}
+
+/// §III-D backward: one allgather of dL/dy over the filter slices gives every
+/// group member the full-F error signal, after which both backward kernels
+/// are *exact* local computations — dL/dw for all filters × the owned channel
+/// columns, dL/dx for the owned channels against the forward weight slice.
+void Conv2dLayer::backward_channel(Model& model, int index, LayerRt& rt) const {
+  auto& port = rt.inputs[0];
+  DistTensor<float>& xt = port.read->t;
+  DistTensor<float>& dyt = rt.dy.t;
+  const auto p = conv_params();
+  const auto algo = model.options().conv_algo;
+  auto* scratch = dynamic_cast<ConvChannelScratch*>(rt.scratch.get());
+  DC_CHECK(scratch != nullptr);
+  DC_REQUIRE(port.read->fresh || port.read->halo == nullptr,
+             "conv '", name(), "': input halos were invalidated before backward");
+  auto& cgroup = model.channel_comm(index);
+  const int pc = cgroup.size();
+
+  // Refresh dL/dy margins first: every group member shares the same spatial
+  // margin frame, so the gathered buffers stay coherent.
+  rt.dy.ensure_fresh();
+
+  const DimPartition& fpart = dyt.dist().c;
+  const Shape4& db = dyt.buffer().shape();
+  const SliceBlocks blocks = channel_slice_blocks(fpart, db.n, db.h, db.w);
+  scratch->pack.resize(blocks.total);
+  comm::allgatherv(cgroup, dyt.buffer().data(),
+                   static_cast<std::size_t>(dyt.buffer().size()),
+                   scratch->pack.data(), blocks.counts, blocks.displs);
+  for (int q = 0; q < pc; ++q) {
+    if (blocks.counts[q] == 0) continue;
+    unpack_box(scratch->pack.data() + blocks.displs[q],
+               channel_slice_box(fpart, q, db.n, db.h, db.w),
+               scratch->dy_full);
+  }
+
+  const Origin2 xo = origin_of(xt), dyo = origin_of(dyt);
+  const Range2 out_owned = owned_range(dyt.owned_box());
+  const std::int64_t c_loc = xt.local_shape().c;
+
+  if (c_loc > 0) {
+    kernels::conv2d_backward_filter(xt.buffer(), xo, scratch->dy_full, dyo,
+                                    scratch->dw_slice, p, out_owned,
+                                    /*accumulate=*/false, algo);
+    // Owned channel columns of the replicated gradient buffer; the engine's
+    // slice allreduce + allgather completes them (micro-batches accumulate
+    // here in between).
+    unpack_box_accumulate(scratch->dw_slice.data(),
+                          channel_slice_box(xt.dist().c, xt.coord().c, filters_,
+                                            kernel_, kernel_),
+                          rt.grads[0]);
+  }
+  if (bias_) {
+    kernels::bias_backward(dyt.buffer(), dyt.interior_box(),
+                           rt.grads[1].data() + dyt.owned_start(1),
+                           /*accumulate=*/true);
+  }
+
+  const Range2 in_owned = owned_range(port.dx.owned_box());
+  if (c_loc > 0) {
+    kernels::conv2d_backward_data(scratch->dy_full, dyo, scratch->w_slice,
+                                  port.dx.buffer(), origin_of(port.dx), p,
+                                  in_owned, rt.out_shape.h, rt.out_shape.w, algo);
+  }
+}
+
+void Conv2dLayer::forward(Model& model, int index, LayerRt& rt) const {
+  if (model.is_channel_parallel(index)) {
+    forward_channel(model, index, rt);
+    return;
+  }
   ActTensor& xa = *rt.inputs[0].read;
   DistTensor<float>& xt = xa.t;
   DistTensor<float>& yt = rt.y.t;
@@ -143,7 +297,11 @@ void Conv2dLayer::forward(Model& model, int, LayerRt& rt) const {
   }
 }
 
-void Conv2dLayer::backward(Model& model, int, LayerRt& rt) const {
+void Conv2dLayer::backward(Model& model, int index, LayerRt& rt) const {
+  if (model.is_channel_parallel(index)) {
+    backward_channel(model, index, rt);
+    return;
+  }
   auto& port = rt.inputs[0];
   DistTensor<float>& xt = port.read->t;  // forward halos still valid
   DistTensor<float>& dyt = rt.dy.t;
@@ -295,9 +453,18 @@ void BatchNormLayer::init_scratch(Model&, int, LayerRt& rt) const {
 namespace {
 
 /// Aggregate per-channel statistics according to the BN mode. `vals` holds
-/// 2·C doubles plus the element count in the final slot.
+/// 2·c_loc doubles for the *owned* channel slice plus the local element
+/// count in the final slot; on return it holds the aggregated values.
+///
+/// kSpatial groups share their channel slice (the spatial communicator is
+/// colored by (n, c)), so the local-slice vector reduces directly. kGlobal
+/// must align slices across channel-partitioned ranks: the local sums embed
+/// into a global-C vector at the slice offset, reduce over everyone, and the
+/// owned slice is extracted back. The summed count then counts each (n, h, w)
+/// site once per channel-grid coordinate, so it is divided by grid.c.
 void bn_aggregate(Model& model, int index, BatchNormMode mode,
-                  std::vector<double>& vals) {
+                  std::vector<double>& vals, std::int64_t c_loc,
+                  std::int64_t c_start, std::int64_t c_glob, int grid_c) {
   switch (mode) {
     case BatchNormMode::kLocal:
       return;
@@ -305,10 +472,27 @@ void bn_aggregate(Model& model, int index, BatchNormMode mode,
       comm::allreduce(model.spatial_comm(index), vals.data(), vals.size(),
                       comm::ReduceOp::kSum);
       return;
-    case BatchNormMode::kGlobal:
-      comm::allreduce(model.comm(), vals.data(), vals.size(),
+    case BatchNormMode::kGlobal: {
+      if (grid_c == 1) {
+        comm::allreduce(model.comm(), vals.data(), vals.size(),
+                        comm::ReduceOp::kSum);
+        return;
+      }
+      std::vector<double> global(2 * c_glob + 1, 0.0);
+      for (std::int64_t c = 0; c < c_loc; ++c) {
+        global[c_start + c] = vals[c];
+        global[c_glob + c_start + c] = vals[c_loc + c];
+      }
+      global[2 * c_glob] = vals[2 * c_loc];
+      comm::allreduce(model.comm(), global.data(), global.size(),
                       comm::ReduceOp::kSum);
+      for (std::int64_t c = 0; c < c_loc; ++c) {
+        vals[c] = global[c_start + c];
+        vals[c_loc + c] = global[c_glob + c_start + c];
+      }
+      vals[2 * c_loc] = global[2 * c_glob] / grid_c;
       return;
+    }
   }
 }
 
@@ -317,24 +501,28 @@ void bn_aggregate(Model& model, int index, BatchNormMode mode,
 void BatchNormLayer::forward(Model& model, int index, LayerRt& rt) const {
   DistTensor<float>& xt = rt.inputs[0].read->t;
   DistTensor<float>& yt = rt.y.t;
+  // All statistics are kept per *owned* channel (the slice [c0, c0 + c_loc)
+  // of the global C channels); with grid.c == 1 that is simply every channel.
   const std::int64_t C = rt.in_shapes[0].c;
+  const std::int64_t c_loc = xt.local_shape().c;
+  const std::int64_t c0 = xt.owned_start(1);
   const Box4 xib = xt.interior_box();
   const Box4 yib = yt.interior_box();
 
-  std::vector<double> vals(2 * C + 1, 0.0);
-  kernels::bn_partial_sums(xt.buffer(), xib, vals.data(), vals.data() + C);
-  vals[2 * C] =
+  std::vector<double> vals(2 * c_loc + 1, 0.0);
+  kernels::bn_partial_sums(xt.buffer(), xib, vals.data(), vals.data() + c_loc);
+  vals[2 * c_loc] =
       double(xib.ext[0]) * xib.ext[2] * xib.ext[3];  // per-channel count
-  bn_aggregate(model, index, mode_, vals);
+  bn_aggregate(model, index, mode_, vals, c_loc, c0, C, rt.grid.c);
 
   auto* scratch = dynamic_cast<BnScratch*>(rt.scratch.get());
-  scratch->mean.assign(C, 0.0f);
-  scratch->invstd.assign(C, 0.0f);
-  const double count = vals[2 * C];
+  scratch->mean.assign(c_loc, 0.0f);
+  scratch->invstd.assign(c_loc, 0.0f);
+  const double count = vals[2 * c_loc];
   if (count > 0) {
-    for (std::int64_t c = 0; c < C; ++c) {
+    for (std::int64_t c = 0; c < c_loc; ++c) {
       const double m = vals[c] / count;
-      const double var = std::max(0.0, vals[C + c] / count - m * m);
+      const double var = std::max(0.0, vals[c_loc + c] / count - m * m);
       scratch->mean[c] = static_cast<float>(m);
       scratch->invstd[c] =
           static_cast<float>(1.0 / std::sqrt(var + model.options().bn_epsilon));
@@ -342,7 +530,7 @@ void BatchNormLayer::forward(Model& model, int index, LayerRt& rt) const {
   }
   kernels::bn_forward_apply(xt.buffer(), xib, yt.buffer(), yib,
                             scratch->mean.data(), scratch->invstd.data(),
-                            rt.params[0].data(), rt.params[1].data());
+                            rt.params[0].data() + c0, rt.params[1].data() + c0);
 }
 
 void BatchNormLayer::backward(Model& model, int index, LayerRt& rt) const {
@@ -350,30 +538,34 @@ void BatchNormLayer::backward(Model& model, int index, LayerRt& rt) const {
   DistTensor<float>& xt = port.read->t;
   DistTensor<float>& dyt = rt.dy.t;
   const std::int64_t C = rt.in_shapes[0].c;
+  const std::int64_t c_loc = xt.local_shape().c;
+  const std::int64_t c0 = xt.owned_start(1);
   const Box4 xib = xt.interior_box();
   const Box4 dyib = dyt.interior_box();
   auto* scratch = dynamic_cast<BnScratch*>(rt.scratch.get());
 
-  std::vector<double> vals(2 * C + 1, 0.0);
+  std::vector<double> vals(2 * c_loc + 1, 0.0);
   kernels::bn_backward_reduce(xt.buffer(), xib, dyt.buffer(), dyib,
                               scratch->mean.data(), scratch->invstd.data(),
-                              vals.data(), vals.data() + C);
-  // Local sums feed the parameter gradients (the cross-rank sum happens in
-  // the engine's gradient allreduce; accumulation supports micro-batching).
-  for (std::int64_t c = 0; c < C; ++c) {
-    rt.grads[0].data()[c] += static_cast<float>(vals[C + c]);  // dgamma
-    rt.grads[1].data()[c] += static_cast<float>(vals[c]);      // dbeta
+                              vals.data(), vals.data() + c_loc);
+  // Local sums feed the parameter gradients of the owned channel rows (the
+  // cross-rank sum happens in the engine's gradient allreduce — ranks not
+  // owning a channel contribute zeros there; accumulation supports
+  // micro-batching).
+  for (std::int64_t c = 0; c < c_loc; ++c) {
+    rt.grads[0].data()[c0 + c] += static_cast<float>(vals[c_loc + c]);  // dgamma
+    rt.grads[1].data()[c0 + c] += static_cast<float>(vals[c]);          // dbeta
   }
 
-  vals[2 * C] = double(xib.ext[0]) * xib.ext[2] * xib.ext[3];
-  bn_aggregate(model, index, mode_, vals);
-  const double count = vals[2 * C];
+  vals[2 * c_loc] = double(xib.ext[0]) * xib.ext[2] * xib.ext[3];
+  bn_aggregate(model, index, mode_, vals, c_loc, c0, C, rt.grid.c);
+  const double count = vals[2 * c_loc];
   if (count > 0) {
     kernels::bn_backward_apply(xt.buffer(), xib, dyt.buffer(), dyib,
                                port.dx.buffer(), port.dx.interior_box(),
                                scratch->mean.data(), scratch->invstd.data(),
-                               rt.params[0].data(), vals.data(), vals.data() + C,
-                               count);
+                               rt.params[0].data() + c0, vals.data(),
+                               vals.data() + c_loc, count);
   }
 }
 
@@ -502,10 +694,10 @@ void FullyConnectedLayer::init_params(LayerRt& rt, Rng& rng) const {
 
 void FullyConnectedLayer::forward(Model& model, int, LayerRt& rt) const {
   (void)model;
-  DC_REQUIRE(rt.grid.h == 1 && rt.grid.w == 1,
-             "FC layer '", name(), "' requires a spatially-trivial grid; use a "
-             "sample-parallel strategy entry (the engine shuffles inputs "
-             "automatically)");
+  DC_REQUIRE(rt.grid.h == 1 && rt.grid.w == 1 && rt.grid.c == 1,
+             "FC layer '", name(), "' requires a spatially- and channel-trivial "
+             "grid; use a sample-parallel strategy entry (the engine shuffles "
+             "inputs automatically)");
   DistTensor<float>& xt = rt.inputs[0].read->t;
   DistTensor<float>& yt = rt.y.t;
   const std::int64_t n_loc = xt.local_shape().n;

@@ -21,6 +21,13 @@ class InputLayer final : public Layer {
 /// Distributed 2D convolution — the paper's core algorithm (§III-A): halo
 /// exchange on x, local cuDNN-style kernels, halo exchange on dL/dy in
 /// backprop, allreduce on dL/dw, with interior/boundary overlap (§IV-A).
+///
+/// Grids with c > 1 run the channel/filter-parallel schedule of §III-D
+/// instead: x is partitioned on C and y on F over the channel group; forward
+/// computes a full-F partial sum over the local channels and completes it
+/// with a reduce-scatter, backward allgathers dL/dy over the filter slices
+/// and runs exact local kernels against the weight slice, and the weight
+/// gradient is completed per slice (see README "Channel/filter parallelism").
 class Conv2dLayer final : public Layer {
  public:
   Conv2dLayer(std::string name, int parent, int filters, int kernel, int stride,
@@ -31,15 +38,20 @@ class Conv2dLayer final : public Layer {
   Shape4 infer_shape(const std::vector<Shape4>& in) const override;
   StencilSpec stencil() const override { return {kernel_, stride_, pad_}; }
   void init_params(LayerRt& rt, Rng& rng) const override;
+  void init_scratch(Model& model, int index, LayerRt& rt) const override;
   void forward(Model& model, int index, LayerRt& rt) const override;
   void backward(Model& model, int index, LayerRt& rt) const override;
 
   int filters() const { return filters_; }
+  bool has_bias() const { return bias_; }
   kernels::ConvParams conv_params() const {
     return {kernel_, kernel_, stride_, stride_, pad_, pad_};
   }
 
  private:
+  void forward_channel(Model& model, int index, LayerRt& rt) const;
+  void backward_channel(Model& model, int index, LayerRt& rt) const;
+
   int filters_, kernel_, stride_, pad_;
   bool bias_;
 };

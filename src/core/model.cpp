@@ -16,8 +16,6 @@ Model::Model(const NetworkSpec& spec, comm::Comm& comm, const Strategy& strategy
     const auto& g = strategy_.grids[i];
     DC_REQUIRE(g.size() == comm.size(), "layer ", i, " grid ", g.str(),
                " does not span the communicator (", comm.size(), " ranks)");
-    DC_REQUIRE(g.c == 1, "channel/filter parallelism is not implemented in the "
-               "execution engine (modelled only; see DESIGN.md)");
   }
 
   const auto shapes = spec.infer_shapes();
@@ -33,18 +31,30 @@ Model::Model(const NetworkSpec& spec, comm::Comm& comm, const Strategy& strategy
   }
 
   // Spatial-group communicators for layers that aggregate across the spatial
-  // decomposition. Creation is collective and happens in layer order on
-  // every rank.
+  // decomposition, and channel-group + slice communicators for conv layers
+  // running the channel/filter-parallel schedule. Creation is collective and
+  // happens in layer order on every rank.
   spatial_comms_.resize(spec.size());
+  channel_comms_.resize(spec.size());
+  slice_comms_.resize(spec.size());
   for (int i = 0; i < spec.size(); ++i) {
     const Layer& l = spec.layer(i);
+    const ProcessGrid& g = strategy_.grids[i];
+    const auto coord = g.coord_of(comm.rank());
     const auto* bn = dynamic_cast<const BatchNormLayer*>(&l);
     const bool needs = (bn != nullptr && bn->mode() == BatchNormMode::kSpatial) ||
                        dynamic_cast<const GlobalAvgPoolLayer*>(&l) != nullptr;
     if (needs) {
-      const auto coord = strategy_.grids[i].coord_of(comm.rank());
-      const int color = coord.n * strategy_.grids[i].c + coord.c;
+      const int color = coord.n * g.c + coord.c;
       spatial_comms_[i].emplace(comm.split(color, comm.rank()));
+    }
+    if (g.c > 1 && dynamic_cast<const Conv2dLayer*>(&l) != nullptr) {
+      // Channel group: ranks differing only in the c coordinate. Keyed by
+      // parent rank, so the group rank equals the c coordinate (ranks are
+      // c-contiguous within a fixed (n, h, w)).
+      const int group_color = (coord.n * g.h + coord.h) * g.w + coord.w;
+      channel_comms_[i].emplace(comm.split(group_color, comm.rank()));
+      slice_comms_[i].emplace(comm.split(coord.c, comm.rank()));
     }
   }
 
@@ -138,6 +148,20 @@ comm::Comm& Model::spatial_comm(int layer) {
   return *spatial_comms_[layer];
 }
 
+comm::Comm& Model::channel_comm(int layer) {
+  DC_REQUIRE(layer >= 0 && layer < num_layers(), "bad layer index ", layer);
+  DC_REQUIRE(channel_comms_[layer].has_value(),
+             "layer ", layer, " has no channel-group communicator");
+  return *channel_comms_[layer];
+}
+
+comm::Comm& Model::slice_comm(int layer) {
+  DC_REQUIRE(layer >= 0 && layer < num_layers(), "bad layer index ", layer);
+  DC_REQUIRE(slice_comms_[layer].has_value(),
+             "layer ", layer, " has no slice communicator");
+  return *slice_comms_[layer];
+}
+
 void Model::set_input(int layer, const Tensor<float>& global) {
   auto& rt = rts_[layer];
   DC_REQUIRE(dynamic_cast<const InputLayer*>(&spec_->layer(layer)) != nullptr,
@@ -194,8 +218,9 @@ double Model::loss_softmax(const std::vector<int>& labels,
   DC_REQUIRE(rt.out_shape.h == 1 && rt.out_shape.w == 1,
              "softmax head expects (N, classes, 1, 1) output, got ",
              rt.out_shape.str());
-  DC_REQUIRE(rt.grid.h == 1 && rt.grid.w == 1,
-             "softmax head requires a sample-parallel grid for the last layer");
+  DC_REQUIRE(rt.grid.h == 1 && rt.grid.w == 1 && rt.grid.c == 1,
+             "softmax head requires a sample-parallel grid for the last layer "
+             "(the per-sample softmax reads all classes locally)");
   DC_REQUIRE(static_cast<std::int64_t>(labels.size()) == rt.out_shape.n,
              "label count mismatch");
   for (auto& r : rts_) {
@@ -249,14 +274,55 @@ void Model::zero_gradients() {
   }
 }
 
+void Model::reduce_sliced_weight_grad(int layer, Tensor<float>& grad) {
+  const ProcessGrid& grid = rts_[layer].grid;
+  const auto coord = grid.coord_of(comm_->rank());
+  const Shape4& ws = grad.shape();  // (F, C, Kh, Kw)
+  const DimPartition cpart(ws.c, grid.c);
+
+  // Pack the owned channel columns (this rank only ever wrote those).
+  const Box4 my_cols = channel_slice_box(cpart, coord.c, ws.n, ws.h, ws.w);
+  std::vector<float> slice(static_cast<std::size_t>(my_cols.volume()));
+  pack_box(grad, my_cols, slice.data());
+
+  // The shrunk allreduce: 1/pc of the weight volume over the P/pc ranks that
+  // share this slice.
+  comm::allreduce(slice_comm(layer), slice.data(), slice.size(),
+                  comm::ReduceOp::kSum);
+
+  // Replicate: allgather the slices across the channel group and unpack, so
+  // every rank applies the bitwise-identical full gradient.
+  auto& cgroup = channel_comm(layer);
+  const int pc = cgroup.size();
+  const SliceBlocks blocks = channel_slice_blocks(cpart, ws.n, ws.h, ws.w);
+  std::vector<float> all(blocks.total);
+  comm::allgatherv(cgroup, slice.data(), slice.size(), all.data(),
+                   blocks.counts, blocks.displs);
+  for (int q = 0; q < pc; ++q) {
+    unpack_box(all.data() + blocks.displs[q],
+               channel_slice_box(cpart, q, ws.n, ws.h, ws.w), grad);
+  }
+}
+
 void Model::allreduce_gradients() {
   // Complete dL/dw: allreduce over every rank (weights are replicated on
   // all of them — the BPa_ℓ term of the performance model). Reverse layer
   // order matches the backprop schedule the model overlaps against.
+  // Channel-parallel conv layers computed only the channel-slice columns of
+  // their weight gradient, so those take the shrunk slice allreduce +
+  // allgather route; their bias gradients (disjoint filter slices, zeros
+  // elsewhere) and every other layer's gradients sum over the full
+  // communicator as before.
   for (int i = num_layers() - 1; i >= 0; --i) {
-    for (auto& g : rts_[i].grads) {
-      comm::allreduce(*comm_, g.data(), static_cast<std::size_t>(g.size()),
-                      comm::ReduceOp::kSum);
+    auto& rt = rts_[i];
+    for (std::size_t k = 0; k < rt.grads.size(); ++k) {
+      auto& g = rt.grads[k];
+      if (k == 0 && is_channel_parallel(i)) {
+        reduce_sliced_weight_grad(i, g);
+      } else {
+        comm::allreduce(*comm_, g.data(), static_cast<std::size_t>(g.size()),
+                        comm::ReduceOp::kSum);
+      }
     }
   }
 }

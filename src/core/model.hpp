@@ -41,6 +41,24 @@ class Model {
   /// the spatial decomposition (BN kSpatial, global average pooling).
   comm::Comm& spatial_comm(int layer);
 
+  /// Channel-group communicator of a layer's grid (ranks sharing the same
+  /// (n, h, w) coordinates, spanning the c dimension). Created for conv
+  /// layers with grid.c > 1: the forward partial-sum reduce-scatter and the
+  /// backward dL/dy allgather run here. Its rank order follows the grid's c
+  /// coordinate.
+  comm::Comm& channel_comm(int layer);
+
+  /// Slice communicator: ranks sharing the same c coordinate — i.e. the same
+  /// weight slice w[:, I_C^(c)] — across all sample groups. The shrunk
+  /// weight-gradient allreduce (1/pc of the weight volume over P/pc ranks)
+  /// runs here; created alongside channel_comm().
+  comm::Comm& slice_comm(int layer);
+
+  /// True when `layer` executes the channel/filter-parallel schedule.
+  bool is_channel_parallel(int layer) const {
+    return channel_comms_[layer].has_value();
+  }
+
   /// Copy the owned box of a replicated global tensor into an input layer.
   void set_input(int layer, const Tensor<float>& global);
 
@@ -90,6 +108,11 @@ class Model {
  private:
   void build_tensors(const std::vector<Shape4>& shapes);
   void accumulate_into_parent_dy(LayerRt& rt);
+  /// Complete a channel-parallel conv's weight gradient: each rank holds the
+  /// dL/dw columns of its channel slice; allreduce the slice across the ranks
+  /// sharing it, then allgather the slices over the channel group so the
+  /// replicated parameters see the identical full gradient everywhere.
+  void reduce_sliced_weight_grad(int layer, Tensor<float>& grad);
 
   const NetworkSpec* spec_;
   comm::Comm* comm_;
@@ -97,6 +120,8 @@ class Model {
   ModelOptions opts_;
   std::vector<LayerRt> rts_;
   std::vector<std::optional<comm::Comm>> spatial_comms_;  // per layer
+  std::vector<std::optional<comm::Comm>> channel_comms_;  // per layer, c > 1
+  std::vector<std::optional<comm::Comm>> slice_comms_;    // per layer, c > 1
   bool loss_seeded_ = false;
 };
 

@@ -31,6 +31,13 @@ std::pair<int, int> Strategy::spatial_factors(int gpus_per_sample) {
   return {best_h, best_w};
 }
 
+Strategy Strategy::channel_parallel(int num_layers, int p, int channel_ways) {
+  DC_REQUIRE(channel_ways >= 1 && p % channel_ways == 0,
+             "ranks (", p, ") must be a multiple of the channel ways (",
+             channel_ways, ")");
+  return uniform(num_layers, ProcessGrid{p / channel_ways, channel_ways, 1, 1});
+}
+
 Strategy Strategy::hybrid(int num_layers, int p, int gpus_per_sample) {
   DC_REQUIRE(gpus_per_sample >= 1 && p % gpus_per_sample == 0,
              "ranks (", p, ") must be a multiple of GPUs per sample (",

@@ -7,6 +7,9 @@
 //   * hybrid sample/spatial     — grid (P/s, 1, ph, pw) with s = ph·pw
 //     ("samples are first partitioned onto groups of GPUs, and then
 //      spatially parallelized within that group")
+//   * channel/filter parallelism — grid (P/pc, pc, 1, 1): each sample group
+//     partitions input channels (x) and filters (y) pc ways (§III-D, now
+//     executable — see README "Channel/filter parallelism")
 // Mixed per-layer strategies (different grids for different layers, shuffles
 // in between) are what the §V-C optimizer emits.
 #pragma once
@@ -30,6 +33,11 @@ struct Strategy {
   /// Hybrid: p ranks split into sample groups of `gpus_per_sample` ranks,
   /// each group decomposing H×W over a near-square (ph × pw) factorization.
   static Strategy hybrid(int num_layers, int p, int gpus_per_sample);
+
+  /// Hybrid sample/channel parallelism: p ranks split into p/channel_ways
+  /// sample groups, each partitioning channels (x) and filters (y)
+  /// channel_ways ways — grid (p/channel_ways, channel_ways, 1, 1).
+  static Strategy channel_parallel(int num_layers, int p, int channel_ways);
 
   /// Near-square factorization helper: gpus_per_sample = ph · pw, ph ≥ pw.
   static std::pair<int, int> spatial_factors(int gpus_per_sample);

@@ -7,7 +7,11 @@
 // gradient-accumulation API: a global mini-batch of N samples runs as M
 // micro-batches of N/M through a model built with batch N/M, gradients
 // accumulate locally, and a single allreduce completes the step. With M = 1
-// this is a plain training step.
+// this is a plain training step. Every strategy the engine executes —
+// sample, spatial, hybrid, and channel/filter-parallel (c > 1) grids —
+// composes with micro-batching: channel-parallel layers accumulate their
+// weight-gradient slices locally and the deferred completion runs the
+// shrunk slice allreduce once per step.
 #pragma once
 
 #include <functional>

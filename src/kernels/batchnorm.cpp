@@ -15,10 +15,7 @@ void check_boxes(const Box4& a, const Box4& b) {
 /// Run fn(n, c) for every (sample, channel) plane on the pool.
 template <typename Fn>
 void for_planes(const Box4& box, Fn&& fn) {
-  const std::int64_t C = box.ext[1];
-  parallel::parallel_for(0, box.ext[0] * C, 4, [&](std::int64_t t0, std::int64_t t1) {
-    for (std::int64_t t = t0; t < t1; ++t) fn(t / C, t % C);
-  });
+  parallel::parallel_for_2d(box.ext[0], box.ext[1], 4, fn);
 }
 
 }  // namespace

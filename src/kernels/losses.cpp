@@ -62,22 +62,19 @@ double sigmoid_bce_forward(const Tensor<float>& logits, const Box4& lbox,
   const std::int64_t C = lbox.ext[1];
   const std::int64_t planes = lbox.ext[0] * C;
   std::vector<double> plane_loss(static_cast<std::size_t>(planes), 0.0);
-  parallel::parallel_for(0, planes, 1, [&](std::int64_t t0, std::int64_t t1) {
-    for (std::int64_t t = t0; t < t1; ++t) {
-      const std::int64_t n = t / C, c = t % C;
-      double acc = 0.0;
-      for (std::int64_t h = 0; h < lbox.ext[2]; ++h) {
-        for (std::int64_t w = 0; w < lbox.ext[3]; ++w) {
-          const double z = logits(lbox.off[0] + n, lbox.off[1] + c,
-                                  lbox.off[2] + h, lbox.off[3] + w);
-          const double tv = targets(tbox.off[0] + n, tbox.off[1] + c,
-                                    tbox.off[2] + h, tbox.off[3] + w);
-          // Numerically stable: max(z,0) - z·t + log(1 + e^{-|z|}).
-          acc += std::max(z, 0.0) - z * tv + std::log1p(std::exp(-std::abs(z)));
-        }
+  parallel::parallel_for_2d(lbox.ext[0], C, 1, [&](std::int64_t n, std::int64_t c) {
+    double acc = 0.0;
+    for (std::int64_t h = 0; h < lbox.ext[2]; ++h) {
+      for (std::int64_t w = 0; w < lbox.ext[3]; ++w) {
+        const double z = logits(lbox.off[0] + n, lbox.off[1] + c,
+                                lbox.off[2] + h, lbox.off[3] + w);
+        const double tv = targets(tbox.off[0] + n, tbox.off[1] + c,
+                                  tbox.off[2] + h, tbox.off[3] + w);
+        // Numerically stable: max(z,0) - z·t + log(1 + e^{-|z|}).
+        acc += std::max(z, 0.0) - z * tv + std::log1p(std::exp(-std::abs(z)));
       }
-      plane_loss[t] = acc;
     }
+    plane_loss[n * C + c] = acc;
   });
   double loss = 0.0;
   for (std::int64_t t = 0; t < planes; ++t) loss += plane_loss[t];
@@ -87,23 +84,20 @@ double sigmoid_bce_forward(const Tensor<float>& logits, const Box4& lbox,
 void sigmoid_bce_backward(const Tensor<float>& logits, const Box4& lbox,
                           const Tensor<float>& targets, const Box4& tbox,
                           Tensor<float>& dlogits, const Box4& dbox, float scale) {
-  const std::int64_t C = lbox.ext[1];
-  parallel::parallel_for(0, lbox.ext[0] * C, 1, [&](std::int64_t t0, std::int64_t t1) {
-    for (std::int64_t t = t0; t < t1; ++t) {
-      const std::int64_t n = t / C, c = t % C;
-      for (std::int64_t h = 0; h < lbox.ext[2]; ++h) {
-        for (std::int64_t w = 0; w < lbox.ext[3]; ++w) {
-          const double z = logits(lbox.off[0] + n, lbox.off[1] + c,
-                                  lbox.off[2] + h, lbox.off[3] + w);
-          const double tv = targets(tbox.off[0] + n, tbox.off[1] + c,
-                                    tbox.off[2] + h, tbox.off[3] + w);
-          const double sig = 1.0 / (1.0 + std::exp(-z));
-          dlogits(dbox.off[0] + n, dbox.off[1] + c, dbox.off[2] + h,
-                  dbox.off[3] + w) = static_cast<float>(scale * (sig - tv));
+  parallel::parallel_for_2d(
+      lbox.ext[0], lbox.ext[1], 1, [&](std::int64_t n, std::int64_t c) {
+        for (std::int64_t h = 0; h < lbox.ext[2]; ++h) {
+          for (std::int64_t w = 0; w < lbox.ext[3]; ++w) {
+            const double z = logits(lbox.off[0] + n, lbox.off[1] + c,
+                                    lbox.off[2] + h, lbox.off[3] + w);
+            const double tv = targets(tbox.off[0] + n, tbox.off[1] + c,
+                                      tbox.off[2] + h, tbox.off[3] + w);
+            const double sig = 1.0 / (1.0 + std::exp(-z));
+            dlogits(dbox.off[0] + n, dbox.off[1] + c, dbox.off[2] + h,
+                    dbox.off[3] + w) = static_cast<float>(scale * (sig - tv));
+          }
         }
-      }
-    }
-  });
+      });
 }
 
 }  // namespace distconv::kernels

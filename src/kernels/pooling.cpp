@@ -97,43 +97,39 @@ void pool2d_forward(const Tensor<float>& x, Origin2 xo, Tensor<float>& y,
   const std::int64_t N = y.shape().n;
   const std::int64_t C = y.shape().c;
   // Each (sample, channel) plane is independent.
-  parallel::parallel_for(0, N * C, 1, [&](std::int64_t t0, std::int64_t t1) {
-    for (std::int64_t t = t0; t < t1; ++t) {
-      const std::int64_t k = t / C;
-      const std::int64_t c = t % C;
-      for (std::int64_t gh = r.h0; gh < r.h1; ++gh) {
-        for (std::int64_t gw = r.w0; gw < r.w1; ++gw) {
-          if (p.mode == PoolMode::kMax) {
-            float best = -std::numeric_limits<float>::infinity();
-            std::int64_t best_pos = -1;
-            for (int a = 0; a < p.kh; ++a) {
-              const std::int64_t ih = gh * p.sh - p.ph + a;
-              if (ih < 0 || ih >= in_h) continue;
-              for (int b = 0; b < p.kw; ++b) {
-                const std::int64_t iw = gw * p.sw - p.pw + b;
-                if (iw < 0 || iw >= in_w) continue;
-                const float v = x(k, c, ih - xo.h, iw - xo.w);
-                if (v > best) {
-                  best = v;
-                  best_pos = ih * in_w + iw;
-                }
+  parallel::parallel_for_2d(N, C, 1, [&](std::int64_t k, std::int64_t c) {
+    for (std::int64_t gh = r.h0; gh < r.h1; ++gh) {
+      for (std::int64_t gw = r.w0; gw < r.w1; ++gw) {
+        if (p.mode == PoolMode::kMax) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_pos = -1;
+          for (int a = 0; a < p.kh; ++a) {
+            const std::int64_t ih = gh * p.sh - p.ph + a;
+            if (ih < 0 || ih >= in_h) continue;
+            for (int b = 0; b < p.kw; ++b) {
+              const std::int64_t iw = gw * p.sw - p.pw + b;
+              if (iw < 0 || iw >= in_w) continue;
+              const float v = x(k, c, ih - xo.h, iw - xo.w);
+              if (v > best) {
+                best = v;
+                best_pos = ih * in_w + iw;
               }
             }
-            y(k, c, gh - yo.h, gw - yo.w) = best;
-            if (argmax != nullptr) {
-              (*argmax)(k, c, gh - amo.h, gw - amo.w) = best_pos;
-            }
-          } else {
-            float sum = 0.0f;
-            for (int a = 0; a < p.kh; ++a) {
-              const std::int64_t ih = gh * p.sh - p.ph + a;
-              for (int b = 0; b < p.kw; ++b) {
-                const std::int64_t iw = gw * p.sw - p.pw + b;
-                sum += x(k, c, ih - xo.h, iw - xo.w);
-              }
-            }
-            y(k, c, gh - yo.h, gw - yo.w) = sum / float(p.kh * p.kw);
           }
+          y(k, c, gh - yo.h, gw - yo.w) = best;
+          if (argmax != nullptr) {
+            (*argmax)(k, c, gh - amo.h, gw - amo.w) = best_pos;
+          }
+        } else {
+          float sum = 0.0f;
+          for (int a = 0; a < p.kh; ++a) {
+            const std::int64_t ih = gh * p.sh - p.ph + a;
+            for (int b = 0; b < p.kw; ++b) {
+              const std::int64_t iw = gw * p.sw - p.pw + b;
+              sum += x(k, c, ih - xo.h, iw - xo.w);
+            }
+          }
+          y(k, c, gh - yo.h, gw - yo.w) = sum / float(p.kh * p.kw);
         }
       }
     }
@@ -147,34 +143,30 @@ void pool2d_backward(const Tensor<float>& dy, Origin2 dyo,
   if (r.empty()) return;
   const std::int64_t N = dy.shape().n;
   const std::int64_t C = dy.shape().c;
-  parallel::parallel_for(0, N * C, 1, [&](std::int64_t t0, std::int64_t t1) {
-    for (std::int64_t t = t0; t < t1; ++t) {
-      const std::int64_t k = t / C;
-      const std::int64_t c = t % C;
-      for (std::int64_t gi = r.h0; gi < r.h1; ++gi) {
-        const std::int64_t jh_lo =
-            std::max<std::int64_t>(0, ceil_div(gi + p.ph - p.kh + 1, p.sh));
-        const std::int64_t jh_hi =
-            std::min<std::int64_t>(out_h - 1, floor_div(gi + p.ph, p.sh));
-        for (std::int64_t gj = r.w0; gj < r.w1; ++gj) {
-          const std::int64_t jw_lo =
-              std::max<std::int64_t>(0, ceil_div(gj + p.pw - p.kw + 1, p.sw));
-          const std::int64_t jw_hi =
-              std::min<std::int64_t>(out_w - 1, floor_div(gj + p.pw, p.sw));
-          float acc = 0.0f;
-          const std::int64_t my_pos = gi * in_w + gj;
-          for (std::int64_t jh = jh_lo; jh <= jh_hi; ++jh) {
-            for (std::int64_t jw = jw_lo; jw <= jw_hi; ++jw) {
-              const float g = dy(k, c, jh - dyo.h, jw - dyo.w);
-              if (p.mode == PoolMode::kMax) {
-                if ((*argmax)(k, c, jh - dyo.h, jw - dyo.w) == my_pos) acc += g;
-              } else {
-                acc += g / float(p.kh * p.kw);
-              }
+  parallel::parallel_for_2d(N, C, 1, [&](std::int64_t k, std::int64_t c) {
+    for (std::int64_t gi = r.h0; gi < r.h1; ++gi) {
+      const std::int64_t jh_lo =
+          std::max<std::int64_t>(0, ceil_div(gi + p.ph - p.kh + 1, p.sh));
+      const std::int64_t jh_hi =
+          std::min<std::int64_t>(out_h - 1, floor_div(gi + p.ph, p.sh));
+      for (std::int64_t gj = r.w0; gj < r.w1; ++gj) {
+        const std::int64_t jw_lo =
+            std::max<std::int64_t>(0, ceil_div(gj + p.pw - p.kw + 1, p.sw));
+        const std::int64_t jw_hi =
+            std::min<std::int64_t>(out_w - 1, floor_div(gj + p.pw, p.sw));
+        float acc = 0.0f;
+        const std::int64_t my_pos = gi * in_w + gj;
+        for (std::int64_t jh = jh_lo; jh <= jh_hi; ++jh) {
+          for (std::int64_t jw = jw_lo; jw <= jw_hi; ++jw) {
+            const float g = dy(k, c, jh - dyo.h, jw - dyo.w);
+            if (p.mode == PoolMode::kMax) {
+              if ((*argmax)(k, c, jh - dyo.h, jw - dyo.w) == my_pos) acc += g;
+            } else {
+              acc += g / float(p.kh * p.kw);
             }
           }
-          dx(k, c, gi - dxo.h, gj - dxo.w) = acc;
         }
+        dx(k, c, gi - dxo.h, gj - dxo.w) = acc;
       }
     }
   });

@@ -11,17 +11,20 @@ std::int64_t ceil_ratio(std::int64_t a, int b) { return (a + b - 1) / b; }
 
 LayerCost channel_filter_cost(const ConvLayerDesc& desc, int grid_n, int pc,
                               const CommModel& comm, const ComputeModel& compute,
-                              int total_ranks) {
-  DC_REQUIRE(pc >= 1 && grid_n >= 1, "invalid channel-parallel configuration");
+                              int total_ranks, int grid_h, int grid_w) {
+  DC_REQUIRE(pc >= 1 && grid_n >= 1 && grid_h >= 1 && grid_w >= 1,
+             "invalid channel-parallel configuration");
   LayerCost cost;
 
-  // Local work: all spatial positions, C/pc input channels (forward) and
-  // F/pc filters' partial outputs.
+  // Local work: the owned spatial block, C/pc input channels and the
+  // *full* F filters (forward computes a full-F partial sum; backward-data
+  // and backward-filter also contract full F against the allgathered dL/dy
+  // — see core/layers.cpp).
   ConvWork work;
   work.n = ceil_ratio(desc.n, grid_n);
   work.c = ceil_ratio(desc.c, pc);
-  work.h = desc.out_h();
-  work.w = desc.out_w();
+  work.h = ceil_ratio(desc.out_h(), grid_h);
+  work.w = ceil_ratio(desc.out_w(), grid_w);
   work.f = desc.f;
   work.kh = desc.k;
   work.kw = desc.k;
@@ -30,22 +33,35 @@ LayerCost channel_filter_cost(const ConvLayerDesc& desc, int grid_n, int pc,
   cost.bpw_compute = compute.conv_bwd_filter(work);
 
   // Forward: the sum over channels (c ∈ I_C^(p)) completes with a
-  // reduce-scatter of the full output among the channel group (§III-D); a
-  // reduce-scatter moves ((pc−1)/pc)·n bytes — model it as the ring
-  // allreduce's scatter half.
-  const double y_bytes = 4.0 * work.n * desc.f * desc.out_h() * desc.out_w();
-  const double dx_bytes = 4.0 * work.n * desc.c * desc.h * desc.w;
+  // reduce-scatter of the full-F partial output among the channel group
+  // (§III-D); a reduce-scatter moves ((pc−1)/pc)·n bytes — model it as the
+  // ring allreduce's scatter half. Backward runs one allgather of dL/dy
+  // (the same volume as y) over the filter slices, after which both
+  // backward kernels are local — the engine implements exactly this
+  // schedule (core/layers.cpp). With a spatial split inside the group, the
+  // collectives carry only the owned spatial block and the usual halo
+  // exchanges ride on top, on channel-thinned (1/pc) tensors.
+  const double y_bytes = 4.0 * work.n * desc.f * work.h * work.w;
   if (pc > 1) {
     cost.fp_halo = 0.5 * comm.allreduce_ring(pc, y_bytes);
-    cost.bpx_halo = 0.5 * comm.allreduce_ring(pc, dx_bytes);
+    cost.bpx_halo = 0.5 * comm.allreduce_ring(pc, y_bytes);
+  }
+  if (grid_h > 1 || grid_w > 1) {
+    const ProcessGrid grid{grid_n, pc, grid_h, grid_w};
+    cost.fp_halo += halo_exchange_time(desc, grid, comm, false) / pc;
+    cost.bpx_halo += halo_exchange_time(desc, grid, comm, true) / pc;
   }
 
   // Weight gradients: each rank owns an F × C/pc slice, so the completing
   // allreduce spans the ranks sharing that slice (total/pc of them) at 1/pc
-  // of the full weight volume.
-  const double w_bytes = 4.0 * double(desc.f) * ceil_ratio(desc.c, pc) * desc.k *
-                         desc.k;
-  cost.allreduce = comm.allreduce(std::max(1, total_ranks / pc), w_bytes);
+  // of the full weight volume; re-replicating the full gradient for the SGD
+  // step adds an allgather of the slices over the channel group (the ring
+  // allgather's half of a full-volume allreduce).
+  const double w_slice_bytes =
+      4.0 * double(desc.f) * ceil_ratio(desc.c, pc) * desc.k * desc.k;
+  const double w_bytes = 4.0 * double(desc.f) * desc.c * desc.k * desc.k;
+  cost.allreduce = comm.allreduce(std::max(1, total_ranks / pc), w_slice_bytes);
+  if (pc > 1) cost.allreduce += 0.5 * comm.allreduce_ring(pc, w_bytes);
   return cost;
 }
 

@@ -1,17 +1,24 @@
-// Channel and filter parallelism — cost models only (§III-D).
+// Channel and filter parallelism — the cost model of §III-D.
 //
 // The paper sketches these decompositions and defers implementation to
-// future work; this repository does the same: the execution engine rejects
-// grids with c > 1, but the performance model can reason about them so the
-// strategy space of the optimizer (and the ablation benches) can quantify
-// when channel/filter partitioning would beat spatial partitioning — e.g.
-// deep ResNet layers with many filters and tiny spatial domains.
+// future work; this repository *executes* them: grids with c > 1 run the
+// channel/filter-parallel schedule in the training engine (see README
+// "Channel/filter parallelism" and core/layers.cpp), and this model prices
+// exactly that schedule so the §V-C optimizer can weigh it against spatial
+// decompositions — e.g. deep ResNet layers with many filters and tiny
+// spatial domains, where halo exchange dominates spatial splits.
 //
-// Modelled scheme: x partitioned on C over `pc` ranks (so y is partitioned
-// on F): forward computes partial sums over local channels followed by a
-// reduce-scatter over the channel group; backward-data mirrors it over the
-// filter group; the weight gradient needs no halo but every rank holds only
-// the (F/pc)×C slice it owns, so its allreduce shrinks accordingly.
+// Modelled (and implemented) schedule for a channel group of pc ranks:
+//   * x partitioned on C, y on F; weights replicated, each rank computing
+//     against its w[:, I_C] / w[I_F, :] slices.
+//   * Forward: full-F partial sums over the local channels, completed by a
+//     reduce-scatter of the partial output over the channel group.
+//   * Backward: one allgather of dL/dy over the filter slices, after which
+//     backward-data and backward-filter are exact local kernels.
+//   * Weight gradient: each rank produces the F × C/pc slice it owns; the
+//     completing allreduce spans only the total/pc ranks sharing that slice
+//     (at 1/pc of the weight volume) and an allgather over the channel
+//     group re-replicates the full gradient for the SGD step.
 #pragma once
 
 #include "perf/comm_model.hpp"
@@ -20,10 +27,14 @@
 
 namespace distconv::perf {
 
-/// Cost of a conv layer partitioned over channels/filters on `pc` ranks
-/// (combined with sample parallelism over grid_n groups).
+/// Cost of a conv layer partitioned over channels/filters on `pc` ranks,
+/// combined with sample parallelism over grid_n groups and (optionally) a
+/// grid_h × grid_w spatial split inside each channel group — equivalent to
+/// conv_layer_cost with grid (grid_n, pc, grid_h, grid_w). The engine
+/// executes all of these; the optimizer only generates the spatially
+/// trivial ones.
 LayerCost channel_filter_cost(const ConvLayerDesc& desc, int grid_n, int pc,
                               const CommModel& comm, const ComputeModel& compute,
-                              int total_ranks);
+                              int total_ranks, int grid_h = 1, int grid_w = 1);
 
 }  // namespace distconv::perf

@@ -1,0 +1,49 @@
+#include "perf/compute_model.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace distconv::perf {
+
+std::optional<KernelCalibration> load_kernel_calibration(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  KernelCalibration cal;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string key;
+    double gflops = 0;
+    if (!(ls >> key >> gflops) || gflops <= 0) continue;
+    if (key == "conv_fwd_gflops") cal.fwd_flops = gflops * 1e9;
+    if (key == "conv_bwd_data_gflops") cal.bwd_data_flops = gflops * 1e9;
+    if (key == "conv_bwd_filter_gflops") cal.bwd_filter_flops = gflops * 1e9;
+  }
+  if (!cal.valid()) return std::nullopt;
+  return cal;
+}
+
+const std::optional<KernelCalibration>& kernel_calibration_from_env() {
+  static const std::optional<KernelCalibration> cached = [] {
+    const char* path = std::getenv("DC_KERNEL_CALIBRATION");
+    if (path == nullptr || *path == '\0') {
+      return std::optional<KernelCalibration>{};
+    }
+    return load_kernel_calibration(path);
+  }();
+  return cached;
+}
+
+std::unique_ptr<ComputeModel> default_compute_model(const MachineModel& machine,
+                                                    double slowdown) {
+  if (const auto& cal = kernel_calibration_from_env()) {
+    return std::make_unique<CalibratedComputeModel>(*cal);
+  }
+  return std::make_unique<RooflineComputeModel>(machine, slowdown);
+}
+
+}  // namespace distconv::perf

@@ -14,10 +14,21 @@
 // An EmpiricalComputeModel mirroring the paper's measure-then-model approach
 // (fill the table by timing this repo's CPU kernels) is provided for the
 // model-validation tests.
+//
+// A CalibratedComputeModel replaces the roofline constants with *measured*
+// effective GFLOP/s of this repository's kernels: `calibrate_kernels` (see
+// bench/) times the micro-kernel layer geometries and writes a small table;
+// pointing DC_KERNEL_CALIBRATION at that file makes default_compute_model()
+// — used by the strategy optimizer and network_cost — price layers with the
+// measured rates instead of the analytic surrogate. Unset (or unreadable),
+// everything falls back to the roofline model.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
+#include <string>
 
 #include "perf/machine.hpp"
 
@@ -94,6 +105,64 @@ class RooflineComputeModel final : public ComputeModel {
   MachineModel m_;
   double slowdown_;
 };
+
+/// Measured effective rates of the three conv passes (FLOP/s, not bytes):
+/// the calibration table written by bench `calibrate_kernels`.
+struct KernelCalibration {
+  double fwd_flops = 0;         ///< forward conv FLOP/s
+  double bwd_data_flops = 0;    ///< backward-data FLOP/s
+  double bwd_filter_flops = 0;  ///< backward-filter FLOP/s
+
+  bool valid() const {
+    return fwd_flops > 0 && bwd_data_flops > 0 && bwd_filter_flops > 0;
+  }
+};
+
+/// Rate-based model backed by a KernelCalibration: t = flops / rate +
+/// overhead. The per-pass rates fold the machine's real tiling/packing
+/// efficiency in, which the roofline surrogate can only approximate.
+class CalibratedComputeModel final : public ComputeModel {
+ public:
+  explicit CalibratedComputeModel(const KernelCalibration& rates,
+                                  double overhead = 0.0)
+      : rates_(rates), overhead_(overhead) {}
+
+  double conv_fwd(const ConvWork& w) const override {
+    return time(w.flops(), rates_.fwd_flops);
+  }
+  double conv_bwd_data(const ConvWork& w) const override {
+    return time(w.flops(), rates_.bwd_data_flops);
+  }
+  double conv_bwd_filter(const ConvWork& w) const override {
+    return time(w.flops(), rates_.bwd_filter_flops);
+  }
+
+ private:
+  double time(double flops, double rate) const {
+    if (flops <= 0) return 0.0;
+    return flops / rate + overhead_;
+  }
+
+  KernelCalibration rates_;
+  double overhead_;
+};
+
+/// Parse a calibration table ("key value" lines, '#' comments; keys
+/// conv_fwd_gflops / conv_bwd_data_gflops / conv_bwd_filter_gflops, values
+/// in GFLOP/s). Returns nullopt when the file is missing or incomplete.
+std::optional<KernelCalibration> load_kernel_calibration(
+    const std::string& path);
+
+/// The table named by DC_KERNEL_CALIBRATION, parsed once per process;
+/// nullopt when the variable is unset or the file is unusable.
+const std::optional<KernelCalibration>& kernel_calibration_from_env();
+
+/// The compute model the perf stack uses by default: calibrated when
+/// DC_KERNEL_CALIBRATION names a readable table, else the roofline surrogate
+/// (with the given memory-pressure slowdown applied to the roofline only —
+/// measured rates already reflect the machine as-is).
+std::unique_ptr<ComputeModel> default_compute_model(const MachineModel& machine,
+                                                    double slowdown = 1.0);
 
 /// Look-up-table model in the spirit of the paper's empirical benchmark:
 /// the table is a callback so tests can back it with real measured kernel

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "perf/channel_parallel.hpp"
 #include "support/error.hpp"
 #include "support/intmath.hpp"
 
@@ -81,8 +82,13 @@ double halo_exchange_time(const ConvLayerDesc& desc, const ProcessGrid& grid,
 LayerCost conv_layer_cost(const ConvLayerDesc& desc, const ProcessGrid& grid,
                           const CommModel& comm, const ComputeModel& compute,
                           int total_ranks) {
-  DC_REQUIRE(grid.c == 1, "channel/filter parallelism costing uses "
-             "channel_filter_cost (see channel_parallel.hpp)");
+  if (grid.c > 1) {
+    // Channel/filter parallelism (§III-D), optionally combined with a
+    // spatial split inside each channel group — every grid the engine
+    // executes is priceable.
+    return channel_filter_cost(desc, grid.n, grid.c, comm, compute, total_ranks,
+                               grid.h, grid.w);
+  }
   LayerCost cost;
 
   ConvWork work;

@@ -163,8 +163,10 @@ NetworkCost network_cost(const core::NetworkSpec& spec,
 
   const double slowdown =
       cost.memory.pressured ? machine.memory_pressure_slowdown : 1.0;
-  RooflineComputeModel roofline(machine, slowdown);
-  const ComputeModel& cm = compute != nullptr ? *compute : roofline;
+  // Caller-supplied model first; otherwise the calibrated table when
+  // DC_KERNEL_CALIBRATION is set, else the roofline surrogate.
+  const auto fallback = default_compute_model(machine, slowdown);
+  const ComputeModel& cm = compute != nullptr ? *compute : *fallback;
 
   cost.layers.assign(spec.size(), std::nullopt);
   std::vector<double> aux_bp(spec.size(), 0.0);

@@ -44,6 +44,19 @@ std::vector<ProcessGrid> candidate_grids(int ranks, const Shape4& in_shape,
     }
     grids.push_back(ProcessGrid{groups, 1, gh, gw});
   }
+  // Channel/filter parallelism (§III-D): split C (input) and F (output)
+  // pc ways with the remaining ranks on samples — spatially trivial, the
+  // regime where deep layers with tiny domains beat halo-bound spatial
+  // splits. Every divisor is offered (channel groups are often
+  // non-power-of-two); slices must be non-empty on both sides so the
+  // optimizer never emits idle ranks.
+  for (int pc = 2; pc <= std::min(ranks, options.max_channel_ways); ++pc) {
+    if (ranks % pc != 0) continue;
+    if (in_shape.c < pc || out_shape.c < pc) continue;
+    const int groups = ranks / pc;
+    if (groups > in_shape.n) continue;
+    grids.push_back(ProcessGrid{groups, pc, 1, 1});
+  }
   if (grids.empty()) {
     // Head layers (1×1 outputs, or fewer samples than ranks with spatial
     // splits infeasible) fall back to sample parallelism with empty blocks
@@ -56,9 +69,17 @@ std::vector<ProcessGrid> candidate_grids(int ranks, const Shape4& in_shape,
 double layer_node_cost(const core::NetworkSpec& spec, int layer,
                        const std::vector<Shape4>& shapes,
                        const ProcessGrid& grid, const MachineModel& machine,
-                       const OptimizerOptions& options) {
+                       const OptimizerOptions& options,
+                       const ComputeModel* compute_in) {
   const CommModel comm(machine);
-  const RooflineComputeModel compute(machine);
+  // Measured kernel rates when DC_KERNEL_CALIBRATION is set, roofline
+  // surrogate otherwise (see compute_model.hpp).
+  std::unique_ptr<ComputeModel> owned;
+  if (compute_in == nullptr) {
+    owned = default_compute_model(machine);
+    compute_in = owned.get();
+  }
+  const ComputeModel& compute = *compute_in;
   if (const auto d = conv_desc(spec, layer, shapes)) {
     const LayerCost c = conv_layer_cost(*d, grid, comm, compute, grid.size());
     return c.fp(options.cost_options.overlap_halo) +
@@ -79,8 +100,9 @@ namespace {
 void assign_path(const core::NetworkSpec& spec, const std::vector<Shape4>& shapes,
                  const std::vector<int>& path,
                  const std::vector<std::vector<ProcessGrid>>& candidates,
-                 const MachineModel& machine, const OptimizerOptions& options,
-                 std::vector<bool>& fixed, core::Strategy& strategy, int ranks) {
+                 const MachineModel& machine, const ComputeModel& compute,
+                 const OptimizerOptions& options, std::vector<bool>& fixed,
+                 core::Strategy& strategy, int ranks) {
   const CommModel comm(machine);
   const int L = static_cast<int>(path.size());
   std::vector<std::vector<double>> dist(L);
@@ -96,7 +118,7 @@ void assign_path(const core::NetworkSpec& spec, const std::vector<Shape4>& shape
   dist[0].assign(prev_cands.size(), 0.0);
   for (std::size_t a = 0; a < prev_cands.size(); ++a) {
     dist[0][a] = layer_node_cost(spec, path[0], shapes, prev_cands[a], machine,
-                                 options);
+                                 options, &compute);
   }
   back[0].assign(prev_cands.size(), -1);
 
@@ -108,7 +130,7 @@ void assign_path(const core::NetworkSpec& spec, const std::vector<Shape4>& shape
     back[k].assign(cands.size(), -1);
     for (std::size_t b = 0; b < cands.size(); ++b) {
       const double node = layer_node_cost(spec, path[k], shapes, cands[b],
-                                          machine, options);
+                                          machine, options, &compute);
       for (std::size_t a = 0; a < all_cands[k - 1].size(); ++a) {
         if (dist[k - 1][a] == kInf) continue;
         const double edge = shuffle_cost(shapes[path[k - 1]],
@@ -174,6 +196,9 @@ core::Strategy optimize_strategy(const core::NetworkSpec& spec, int ranks,
                                  const MachineModel& machine,
                                  const OptimizerOptions& options) {
   const auto shapes = spec.infer_shapes();
+  // One compute model for the whole optimization (hundreds of node-cost
+  // evaluations across the DP loops).
+  const auto compute = default_compute_model(machine);
   std::vector<std::vector<ProcessGrid>> candidates(spec.size());
   std::vector<double> proxy(spec.size(), 0.0);
   for (int i = 0; i < spec.size(); ++i) {
@@ -194,7 +219,7 @@ core::Strategy optimize_strategy(const core::NetworkSpec& spec, int ranks,
     }
     // Path weight proxy: the layer's cost under its cheapest candidate.
     proxy[i] = layer_node_cost(spec, i, shapes, candidates[i][0], machine,
-                               options);
+                               options, compute.get());
   }
 
   core::Strategy strategy = core::Strategy::sample_parallel(spec.size(), ranks);
@@ -217,8 +242,8 @@ core::Strategy optimize_strategy(const core::NetworkSpec& spec, int ranks,
       }
       break;
     }
-    assign_path(spec, shapes, path, candidates, machine, options, fixed,
-                strategy, ranks);
+    assign_path(spec, shapes, path, candidates, machine, *compute, options,
+                fixed, strategy, ranks);
   }
   return strategy;
 }
@@ -228,7 +253,8 @@ std::vector<ChannelOpportunity> analyze_channel_opportunities(
     const OptimizerOptions& options) {
   const auto shapes = spec.infer_shapes();
   const CommModel comm(machine);
-  const RooflineComputeModel compute(machine);
+  const auto compute_ptr = default_compute_model(machine);
+  const ComputeModel& compute = *compute_ptr;
   const bool overlap = options.cost_options.overlap_halo;
 
   std::vector<ChannelOpportunity> out;
@@ -240,6 +266,7 @@ std::vector<ChannelOpportunity> analyze_channel_opportunities(
     double best_spatial = kInf;
     for (const auto& g :
          candidate_grids(ranks, in_shape, shapes[i], desc->k, options)) {
+      if (g.c > 1) continue;  // compare against sample/spatial only
       best_spatial = std::min(
           best_spatial,
           conv_layer_cost(*desc, g, comm, compute, ranks).total(overlap));

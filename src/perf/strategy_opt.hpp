@@ -21,11 +21,16 @@ namespace distconv::perf {
 
 struct OptimizerOptions {
   int max_gpus_per_sample = 16;
+  /// Largest channel/filter split offered as a candidate (§III-D grids
+  /// (n, pc, 1, 1), now executable); 1 disables channel parallelism.
+  int max_channel_ways = 8;
   NetworkCostOptions cost_options;
 };
 
 /// Candidate grids for one layer: sample parallelism first (cheapest), then
-/// hybrid sample/spatial splits that stay load-balanced and halo-feasible.
+/// hybrid sample/spatial splits that stay load-balanced and halo-feasible,
+/// then hybrid sample/channel splits whose channel and filter slices are all
+/// non-empty.
 std::vector<ProcessGrid> candidate_grids(int ranks, const Shape4& in_shape,
                                          const Shape4& out_shape, int kernel,
                                          const OptimizerOptions& options);
@@ -37,16 +42,20 @@ core::Strategy optimize_strategy(const core::NetworkSpec& spec, int ranks,
 
 /// Single-node cost used both for path weights and DP node weights:
 /// conv layers use the §V-A model, BN a small allreduce, the rest are free.
+/// `compute` lets callers in a loop reuse one model (the optimizer's DP
+/// calls this per (layer, candidate) pair); nullptr builds the default
+/// model (calibrated via DC_KERNEL_CALIBRATION, else roofline) per call.
 double layer_node_cost(const core::NetworkSpec& spec, int layer,
                        const std::vector<Shape4>& shapes,
                        const ProcessGrid& grid, const MachineModel& machine,
-                       const OptimizerOptions& options);
+                       const OptimizerOptions& options,
+                       const ComputeModel* compute = nullptr);
 
 /// §VI-B2 advisory: "Channel/filter parallelism may be more promising, as
 /// many layers have many filters." For each conv layer, compare the best
 /// sample/spatial candidate against the best channel/filter decomposition
-/// (modelled per §III-D; not executable — see DESIGN.md) and report layers
-/// where channel parallelism would win.
+/// (modelled per §III-D and executable since the channel-parallel engine
+/// landed) and report layers where channel parallelism wins.
 struct ChannelOpportunity {
   int layer = -1;
   std::string name;

@@ -198,4 +198,12 @@ void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
   pool.run(job);
 }
 
+void parallel_for_2d(std::int64_t n0, std::int64_t n1, std::int64_t grain,
+                     const Elem2dFn& fn) {
+  if (n0 <= 0 || n1 <= 0) return;
+  parallel_for(0, n0 * n1, grain, [&](std::int64_t t0, std::int64_t t1) {
+    for (std::int64_t t = t0; t < t1; ++t) fn(t / n1, t % n1);
+  });
+}
+
 }  // namespace distconv::parallel

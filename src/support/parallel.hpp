@@ -46,4 +46,18 @@ void set_rank_threads(int n);
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                   const ChunkFn& fn);
 
+/// Element body for parallel_for_2d: fn(i, j) with i ∈ [0, n0), j ∈ [0, n1).
+using Elem2dFn = std::function<void(std::int64_t, std::int64_t)>;
+
+/// Static-chunked parallel loop over the flattened 2-D iteration space
+/// [0, n0) × [0, n1), row-major (j fastest) — the shared form of the
+/// "flattened-plane" idiom the NCHW kernels use for per-(sample, channel) or
+/// per-(filter, channel) plane work. fn is invoked once per (i, j) pair;
+/// `grain` is the minimum number of flattened pairs per chunk. The same
+/// determinism contract as parallel_for applies: chunk boundaries move with
+/// the thread budget, so each fn(i, j) must own its outputs and keep any
+/// reduction grouped by fixed indices.
+void parallel_for_2d(std::int64_t n0, std::int64_t n1, std::int64_t grain,
+                     const Elem2dFn& fn);
+
 }  // namespace distconv::parallel

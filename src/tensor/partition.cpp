@@ -74,6 +74,33 @@ Box4 Distribution::owned_box(int rank) const {
   return box;
 }
 
+Box4 channel_slice_box(const DimPartition& part, int q, std::int64_t n,
+                       std::int64_t h, std::int64_t w) {
+  Box4 box;
+  box.off[0] = 0;
+  box.ext[0] = n;
+  box.off[1] = part.start(q);
+  box.ext[1] = part.size(q);
+  box.off[2] = 0;
+  box.ext[2] = h;
+  box.off[3] = 0;
+  box.ext[3] = w;
+  return box;
+}
+
+SliceBlocks channel_slice_blocks(const DimPartition& part, std::int64_t n,
+                                 std::int64_t h, std::int64_t w) {
+  SliceBlocks blocks;
+  blocks.counts.resize(part.parts());
+  blocks.displs.resize(part.parts());
+  for (int q = 0; q < part.parts(); ++q) {
+    blocks.counts[q] = static_cast<std::size_t>(n * part.size(q) * h * w);
+    blocks.displs[q] = blocks.total;
+    blocks.total += blocks.counts[q];
+  }
+  return blocks;
+}
+
 Box4 intersect_boxes(const Box4& a, const Box4& b) {
   Box4 r;
   for (int d = 0; d < 4; ++d) {

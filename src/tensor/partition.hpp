@@ -45,6 +45,11 @@ class DimPartition {
 /// (n-major, then c, h, w) so sample groups are contiguous rank ranges —
 /// matching the hybrid scheme of §VI-B where "samples are first partitioned
 /// onto groups of GPUs, and then spatially parallelized within that group".
+/// The c dimension partitions channels the same way: a conv layer on a grid
+/// with c > 1 distributes x over C and y over F across the *channel group*
+/// (ranks sharing (n, h, w) coordinates — contiguous by the same ordering),
+/// executing the §III-D channel/filter-parallel schedule (see
+/// core/layers.cpp and README "Channel/filter parallelism").
 struct ProcessGrid {
   int n = 1, c = 1, h = 1, w = 1;
 
@@ -114,5 +119,22 @@ struct Distribution {
 
 /// Intersection of two global-index boxes; empty extents if disjoint.
 Box4 intersect_boxes(const Box4& a, const Box4& b);
+
+/// Box covering channel slice `part` index `q` of a dense (n, C, h, w)
+/// tensor: {0..n} × [part.start(q), part.end(q)) × {0..h} × {0..w}.
+Box4 channel_slice_box(const DimPartition& part, int q, std::int64_t n,
+                       std::int64_t h, std::int64_t w);
+
+/// Per-slice element counts and exclusive prefix displacements of the
+/// channel slices of a dense (n, C, h, w) tensor — the block layout every
+/// channel-group collective uses (forward reduce-scatter, backward dL/dy
+/// allgather, weight-gradient re-replication), kept in one place so the
+/// three schedules cannot drift apart.
+struct SliceBlocks {
+  std::vector<std::size_t> counts, displs;
+  std::size_t total = 0;
+};
+SliceBlocks channel_slice_blocks(const DimPartition& part, std::int64_t n,
+                                 std::int64_t h, std::int64_t w);
 
 }  // namespace distconv

@@ -1,10 +1,14 @@
 // Shuffler: redistributes a tensor between two distributions (§III-C).
 //
 // When adjacent layers use different distributions (e.g. sample-parallel →
-// hybrid sample/spatial, or conv → model-parallel FC), data must be shuffled.
-// Each rank sends the indices it owns under the source distribution that it
-// does not own under the destination, via a single all-to-allv: rank p sends
-// I(p)(Di) ∩ I(q)(Dj) to each q.
+// hybrid sample/spatial, conv → model-parallel FC, or spatial → channel
+// grids in the §III-D mixed strategies), data must be shuffled. Each rank
+// sends the indices it owns under the source distribution that it does not
+// own under the destination, via a single all-to-allv: rank p sends
+// I(p)(Di) ∩ I(q)(Dj) to each q. The plan is built from 4-D box
+// intersections, so every grid dimension — samples, channels, H, W —
+// redistributes uniformly; channel-partitioned ↔ spatially-partitioned
+// moves need no special casing.
 //
 // Both distributions must cover the same global shape and be laid out over
 // the same communicator (every rank participates in every layer, as in the

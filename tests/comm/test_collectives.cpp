@@ -266,5 +266,136 @@ TEST(CollectiveStats, RingAllreduceBandwidthOptimalVolume) {
   EXPECT_LE(s.bytes, upper);
 }
 
+TEST_P(CollectiveSizes, ReduceScattervUnevenBlocks) {
+  const int p = GetParam();
+  World world(p);
+  world.run([p](Comm& comm) {
+    // Block b holds b + 1 elements — never balanced, exercising the explicit
+    // per-rank counts (the channel-parallel filter slices have this shape).
+    std::vector<std::size_t> counts(p), displs(p);
+    std::size_t total = 0;
+    for (int b = 0; b < p; ++b) {
+      counts[b] = b + 1;
+      displs[b] = total;
+      total += counts[b];
+    }
+    std::vector<double> buf(total);
+    for (std::size_t i = 0; i < total; ++i) buf[i] = comm.rank() + double(i);
+    reduce_scatterv_inplace(comm, buf.data(), counts, ReduceOp::kSum);
+    const double rank_sum = p * (p - 1) / 2.0;
+    for (std::size_t i = 0; i < counts[comm.rank()]; ++i) {
+      const std::size_t g = displs[comm.rank()] + i;
+      EXPECT_NEAR(buf[g], rank_sum + double(g) * p, 1e-9) << "i=" << g;
+    }
+  });
+}
+
+TEST(ReduceScatterv, ZeroSizedBlocksRideTheRing) {
+  // Filter counts smaller than the channel group leave trailing empty
+  // slices; the ring must pass them through as empty messages.
+  const int p = 4;
+  World world(p);
+  world.run([p](Comm& comm) {
+    const std::vector<std::size_t> counts{3, 2, 0, 0};
+    std::vector<float> buf{1, 2, 3, 10, 20};
+    for (auto& v : buf) v += float(comm.rank());
+    reduce_scatterv_inplace(comm, buf.data(), counts, ReduceOp::kSum);
+    const float rank_sum = p * (p - 1) / 2.0f;
+    const float base[] = {1, 2, 3, 10, 20};
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(buf[i], p * base[i] + rank_sum);
+    }
+    if (comm.rank() == 1) {
+      for (int i = 3; i < 5; ++i) EXPECT_FLOAT_EQ(buf[i], p * base[i] + rank_sum);
+    }
+  });
+}
+
+// The channel-parallel engine runs its collectives on *subgroup*
+// communicators obtained by splitting the world — including singleton and
+// non-power-of-two groups (e.g. 3-way channel splits). Exercise every
+// collective the channel path uses inside such groups, concurrently across
+// groups.
+class SubgroupCollectives : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, SubgroupCollectives,
+                         ::testing::Values(3, 5, 6, 7, 10));
+
+TEST_P(SubgroupCollectives, ChannelGroupShapedCollectives) {
+  const int p = GetParam();
+  World world(p);
+  world.run([p](Comm& comm) {
+    // Group 0 is a singleton; the rest split into a group of ⌈(p-1)/2⌉ and a
+    // group of ⌊(p-1)/2⌋ — non-power-of-two for most p.
+    const int color = comm.rank() == 0 ? 0 : 1 + (comm.rank() - 1) % 2;
+    Comm sub = comm.split(color, comm.rank());
+    const int sp = sub.size();
+
+    // Both allreduce variants.
+    for (auto algo : {AllreduceAlgo::kRecursiveDoubling, AllreduceAlgo::kRing}) {
+      std::vector<double> buf(37);
+      for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = sub.rank() + double(i);
+      allreduce(sub, buf.data(), buf.size(), ReduceOp::kSum, algo);
+      const double rank_sum = sp * (sp - 1) / 2.0;
+      for (std::size_t i = 0; i < buf.size(); ++i) {
+        ASSERT_NEAR(buf[i], rank_sum + double(i) * sp, 1e-9);
+      }
+    }
+
+    // reduce_scatter_inplace (balanced blocks).
+    {
+      const std::size_t n = 29;
+      if (n >= static_cast<std::size_t>(sp)) {
+        std::vector<double> buf(n);
+        for (std::size_t i = 0; i < n; ++i) buf[i] = sub.rank() + double(i);
+        reduce_scatter_inplace(sub, buf.data(), n, ReduceOp::kSum);
+        const auto [s, e] = internal::block_range(n, sp, sub.rank());
+        const double rank_sum = sp * (sp - 1) / 2.0;
+        for (std::size_t i = s; i < e; ++i) {
+          ASSERT_NEAR(buf[i], rank_sum + double(i) * sp, 1e-9);
+        }
+      }
+    }
+
+    // reduce_scatterv_inplace (uneven blocks, like filter slices).
+    {
+      std::vector<std::size_t> counts(sp), displs(sp);
+      std::size_t total = 0;
+      for (int b = 0; b < sp; ++b) {
+        counts[b] = (b % 2 == 0) ? 4 : 1;
+        displs[b] = total;
+        total += counts[b];
+      }
+      std::vector<double> buf(total);
+      for (std::size_t i = 0; i < total; ++i) buf[i] = sub.rank() + double(i);
+      reduce_scatterv_inplace(sub, buf.data(), counts, ReduceOp::kSum);
+      const double rank_sum = sp * (sp - 1) / 2.0;
+      for (std::size_t i = 0; i < counts[sub.rank()]; ++i) {
+        const std::size_t g = displs[sub.rank()] + i;
+        ASSERT_NEAR(buf[g], rank_sum + double(g) * sp, 1e-9);
+      }
+    }
+
+    // allgatherv (uneven contributions).
+    {
+      std::vector<std::size_t> counts(sp), displs(sp);
+      std::size_t total = 0;
+      for (int r = 0; r < sp; ++r) {
+        counts[r] = r + 1;
+        displs[r] = total;
+        total += counts[r];
+      }
+      std::vector<int> mine(sub.rank() + 1, sub.rank() * 100 + color);
+      std::vector<int> all(total, -1);
+      allgatherv(sub, mine.data(), mine.size(), all.data(), counts, displs);
+      for (int r = 0; r < sp; ++r) {
+        for (std::size_t i = 0; i < counts[r]; ++i) {
+          ASSERT_EQ(all[displs[r] + i], r * 100 + color);
+        }
+      }
+    }
+  });
+}
+
 }  // namespace
 }  // namespace distconv::comm

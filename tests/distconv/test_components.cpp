@@ -100,14 +100,43 @@ TEST(Model, GridNotSpanningCommThrows) {
                Error);
 }
 
-TEST(Model, ChannelParallelGridRejected) {
+TEST(Model, ChannelParallelGridExecutes) {
+  // c > 1 grids used to be rejected by the engine (channel/filter parallelism
+  // was modelled only); they now run the §III-D schedule end-to-end.
+  comm::World world(2);
+  world.run([](comm::Comm& comm) {
+    NetworkBuilder nb;
+    const int in = nb.input(Shape4{2, 4, 4, 4});
+    nb.conv("c", in, 4, 3, 1);
+    const NetworkSpec spec = nb.take();
+    Model model(spec, comm, Strategy::channel_parallel(spec.size(), 2, 2));
+    EXPECT_TRUE(model.is_channel_parallel(1));
+    EXPECT_EQ(model.channel_comm(1).size(), 2);
+    EXPECT_EQ(model.slice_comm(1).size(), 1);
+    Tensor<float> input(Shape4{2, 4, 4, 4});
+    Rng rng(11);
+    input.fill_uniform(rng);
+    model.set_input(0, input);
+    model.forward();
+    const Tensor<float> out = model.gather_output(1);
+    EXPECT_EQ(out.shape(), (Shape4{2, 4, 4, 4}));
+  });
+}
+
+TEST(Model, FullyConnectedRejectsChannelGrid) {
   comm::World world(2);
   EXPECT_THROW(world.run([](comm::Comm& comm) {
                  NetworkBuilder nb;
-                 nb.input(Shape4{2, 4, 4, 4});
+                 const int in = nb.input(Shape4{2, 4, 1, 1});
+                 nb.fully_connected("fc", in, 3);
                  const NetworkSpec spec = nb.take();
                  Model model(spec, comm,
-                             Strategy::uniform(1, ProcessGrid{1, 2, 1, 1}));
+                             Strategy::uniform(2, ProcessGrid{1, 2, 1, 1}));
+                 Tensor<float> input(Shape4{2, 4, 1, 1});
+                 Rng rng(1);
+                 input.fill_uniform(rng);
+                 model.set_input(0, input);
+                 model.forward();
                }),
                Error);
 }

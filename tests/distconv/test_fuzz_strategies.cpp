@@ -72,6 +72,8 @@ GeneratedNet generate_net(std::uint64_t seed) {
 }
 
 /// Random grid for one layer, constrained to be safe for its stencil.
+/// Includes channel-parallel and channel×spatial grids — empty channel/filter
+/// slices (layers narrower than the channel split) are legal and exercised.
 ProcessGrid random_grid(Rng& rng, int ranks, const Shape4& in_shape,
                         const Shape4& out_shape, int kernel) {
   const ProcessGrid candidates[] = {
@@ -81,10 +83,14 @@ ProcessGrid random_grid(Rng& rng, int ranks, const Shape4& in_shape,
       ProcessGrid{2, 1, ranks / 2, 1},
       ProcessGrid{2, 1, 1, ranks / 2},
       ProcessGrid{1, 1, ranks / 2, 2},
+      ProcessGrid{1, ranks, 1, 1},
+      ProcessGrid{2, ranks / 2, 1, 1},
+      ProcessGrid{1, 2, ranks / 2, 1},
+      ProcessGrid{1, 2, 1, ranks / 2},
   };
   const int O = kernel / 2;
-  for (int attempt = 0; attempt < 12; ++attempt) {
-    const ProcessGrid g = candidates[rng.next_below(6)];
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const ProcessGrid g = candidates[rng.next_below(10)];
     if (g.size() != ranks) continue;
     if (out_shape.h < g.h || out_shape.w < g.w) continue;
     if (kernel > 1 && (in_shape.h / g.h <= O || in_shape.w / g.w <= O)) continue;

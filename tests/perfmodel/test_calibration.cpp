@@ -1,0 +1,94 @@
+// Measured-kernel calibration (perf/compute_model.hpp): table parsing, the
+// calibrated model's rate arithmetic, and the roofline fallback.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "perf/compute_model.hpp"
+
+namespace distconv::perf {
+namespace {
+
+class CalibrationFile : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "dc_calibration_test.txt";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void write(const std::string& contents) {
+    std::ofstream out(path_);
+    out << contents;
+  }
+
+  std::string path_;
+};
+
+TEST_F(CalibrationFile, ParsesTableWithCommentsAndJunk) {
+  write("# distconv kernel calibration\n"
+        "conv_fwd_gflops 12.5   # aggregate over shapes\n"
+        "\n"
+        "unrelated_key 3.0\n"
+        "conv_bwd_data_gflops 10.0\n"
+        "conv_bwd_filter_gflops 8.0\n");
+  const auto cal = load_kernel_calibration(path_);
+  ASSERT_TRUE(cal.has_value());
+  EXPECT_DOUBLE_EQ(cal->fwd_flops, 12.5e9);
+  EXPECT_DOUBLE_EQ(cal->bwd_data_flops, 10.0e9);
+  EXPECT_DOUBLE_EQ(cal->bwd_filter_flops, 8.0e9);
+}
+
+TEST_F(CalibrationFile, IncompleteOrInvalidTablesRejected) {
+  write("conv_fwd_gflops 12.5\n");  // missing backward rates
+  EXPECT_FALSE(load_kernel_calibration(path_).has_value());
+  write("conv_fwd_gflops -1\n"
+        "conv_bwd_data_gflops 10\n"
+        "conv_bwd_filter_gflops 8\n");  // non-positive rate ignored → invalid
+  EXPECT_FALSE(load_kernel_calibration(path_).has_value());
+  EXPECT_FALSE(load_kernel_calibration("/nonexistent/path.txt").has_value());
+}
+
+TEST_F(CalibrationFile, CalibratedModelUsesMeasuredRates) {
+  KernelCalibration cal;
+  cal.fwd_flops = 20e9;
+  cal.bwd_data_flops = 10e9;
+  cal.bwd_filter_flops = 5e9;
+  const CalibratedComputeModel model(cal);
+  ConvWork w;
+  w.n = 2;
+  w.c = 8;
+  w.h = 16;
+  w.w = 16;
+  w.f = 8;
+  w.kh = w.kw = 3;
+  const double flops = w.flops();
+  EXPECT_DOUBLE_EQ(model.conv_fwd(w), flops / 20e9);
+  EXPECT_DOUBLE_EQ(model.conv_bwd_data(w), flops / 10e9);
+  EXPECT_DOUBLE_EQ(model.conv_bwd_filter(w), flops / 5e9);
+  // Rate order: slower pass → larger time, matching the roofline's shape.
+  EXPECT_LT(model.conv_fwd(w), model.conv_bwd_filter(w));
+}
+
+TEST(CalibrationFallback, DefaultModelIsRooflineWithoutEnv) {
+  // The test environment does not set DC_KERNEL_CALIBRATION, so the default
+  // model must reproduce the roofline surrogate exactly.
+  const MachineModel machine = MachineModel::lassen();
+  const auto model = default_compute_model(machine);
+  ASSERT_NE(model, nullptr);
+  const RooflineComputeModel roofline(machine);
+  ConvWork w;
+  w.n = 4;
+  w.c = 64;
+  w.h = 28;
+  w.w = 28;
+  w.f = 64;
+  w.kh = w.kw = 3;
+  EXPECT_DOUBLE_EQ(model->conv_fwd(w), roofline.conv_fwd(w));
+  EXPECT_DOUBLE_EQ(model->conv_bwd_data(w), roofline.conv_bwd_data(w));
+  EXPECT_DOUBLE_EQ(model->conv_bwd_filter(w), roofline.conv_bwd_filter(w));
+}
+
+}  // namespace
+}  // namespace distconv::perf

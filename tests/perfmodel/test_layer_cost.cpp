@@ -133,5 +133,34 @@ TEST(ChannelParallel, CanBeatSpatialForManyFiltersTinySpatial) {
   EXPECT_LT(channel.total(true), spatial.total(true));
 }
 
+TEST(ChannelParallel, ConvLayerCostDispatchMatchesChannelFilterCost) {
+  ConvLayerDesc d{32, 512, 7, 7, 512, 3, 1, 1};
+  CommModel comm(kMachine);
+  RooflineComputeModel compute(kMachine);
+  const auto direct = channel_filter_cost(d, 8, 4, comm, compute, 32);
+  const auto dispatched =
+      conv_layer_cost(d, ProcessGrid{8, 4, 1, 1}, comm, compute, 32);
+  EXPECT_DOUBLE_EQ(dispatched.total(true), direct.total(true));
+  EXPECT_DOUBLE_EQ(dispatched.allreduce, direct.allreduce);
+}
+
+TEST(ChannelParallel, ChannelTimesSpatialGridsArePriceable) {
+  // The engine executes c > 1 grids with spatial splits inside the channel
+  // group (exactness case channel2_spatial2); the cost model must price
+  // them rather than reject them.
+  ConvLayerDesc d{8, 64, 16, 16, 64, 3, 1, 1};
+  CommModel comm(kMachine);
+  RooflineComputeModel compute(kMachine);
+  const auto mixed =
+      conv_layer_cost(d, ProcessGrid{1, 2, 2, 1}, comm, compute, 4);
+  EXPECT_GT(mixed.fp_compute, 0.0);
+  EXPECT_GT(mixed.fp_halo, 0.0);  // reduce-scatter + spatial halo
+  // The spatial split shrinks compute relative to the pure channel grid of
+  // the same channel ways, and adds halo traffic on top of the
+  // reduce-scatter of the (smaller) owned block.
+  const auto pure = conv_layer_cost(d, ProcessGrid{2, 2, 1, 1}, comm, compute, 4);
+  EXPECT_LT(mixed.fp_compute, pure.fp_compute * 1.01);
+}
+
 }  // namespace
 }  // namespace distconv::perf

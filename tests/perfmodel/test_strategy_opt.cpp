@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/layers.hpp"
 #include "core/model.hpp"
 #include "models/models.hpp"
 #include "perf/strategy_opt.hpp"
@@ -45,14 +46,24 @@ TEST(Candidates, TooFineSpatialSplitsExcluded) {
   }
 }
 
-TEST(Candidates, HeadLayersFallBackToSampleParallelWithEmptyBlocks) {
+TEST(Candidates, HeadLayersGetChannelSplitsOrEmptyBlockFallback) {
   OptimizerOptions opt;
-  // A 1×1 output on more ranks than samples admits no balanced grid; the
-  // fallback is sample parallelism with empty shards on the excess ranks.
+  // A 1×1 output on more ranks than samples admits no spatial grid, but a
+  // wide head can still split channels/filters (the §III-C model-parallel
+  // regime, executable since the channel-parallel engine landed).
   const auto grids =
       candidate_grids(8, Shape4{2, 64, 1, 1}, Shape4{2, 8, 1, 1}, 1, opt);
-  ASSERT_EQ(grids.size(), 1u);
-  EXPECT_EQ(grids[0], (ProcessGrid{8, 1, 1, 1}));
+  ASSERT_FALSE(grids.empty());
+  for (const auto& g : grids) {
+    EXPECT_EQ(g.h * g.w, 1);
+    EXPECT_GT(g.c, 1) << "only channel splits are balanced here";
+  }
+  // With a single output channel nothing splits: the fallback is sample
+  // parallelism with empty shards on the excess ranks.
+  const auto fallback =
+      candidate_grids(8, Shape4{2, 64, 1, 1}, Shape4{2, 1, 1, 1}, 1, opt);
+  ASSERT_EQ(fallback.size(), 1u);
+  EXPECT_EQ(fallback[0], (ProcessGrid{8, 1, 1, 1}));
 }
 
 TEST(Optimizer, PicksSampleParallelismWhenBatchIsAmple) {
@@ -127,6 +138,77 @@ TEST(Optimizer, MixedStrategiesAreExecutable) {
     Tensor<float> targets(model.rt(model.output_layer()).out_shape);
     const double loss = model.loss_bce(targets);
     model.backward();
+    EXPECT_TRUE(std::isfinite(loss));
+  });
+}
+
+TEST(Candidates, ChannelSplitsOfferedForDeepLayers) {
+  OptimizerOptions opt;
+  // Deep layer: many channels/filters, tiny spatial domain.
+  const auto grids = candidate_grids(8, Shape4{8, 256, 7, 7},
+                                     Shape4{8, 256, 7, 7}, 3, opt);
+  bool channel2 = false, channel4 = false, channel8 = false;
+  for (const auto& g : grids) {
+    if (g.c > 1) {
+      EXPECT_EQ(g.h, 1);
+      EXPECT_EQ(g.w, 1);
+      EXPECT_EQ(g.n * g.c, 8);
+    }
+    channel2 |= g.c == 2;
+    channel4 |= g.c == 4;
+    channel8 |= g.c == 8;
+  }
+  EXPECT_TRUE(channel2 && channel4 && channel8);
+}
+
+TEST(Candidates, ChannelSplitsRequireNonEmptySlices) {
+  OptimizerOptions opt;
+  // 3 input channels: splits beyond 3 ways would leave empty slices.
+  const auto grids =
+      candidate_grids(8, Shape4{8, 3, 7, 7}, Shape4{8, 64, 7, 7}, 3, opt);
+  for (const auto& g : grids) EXPECT_LE(g.c, 3);
+  // Non-power-of-two ways are offered when they divide the rank count.
+  const auto grids6 =
+      candidate_grids(6, Shape4{8, 64, 7, 7}, Shape4{8, 64, 7, 7}, 3, opt);
+  bool channel3 = false;
+  for (const auto& g : grids6) channel3 |= g.c == 3;
+  EXPECT_TRUE(channel3);
+}
+
+TEST(Optimizer, PicksChannelParallelismForDeepNarrowNet) {
+  // A deep-layer stack where spatial splitting is infeasible (4×4 domain,
+  // K=3 halos do not fit) and sample parallelism is capped by a single
+  // sample: channel/filter parallelism is the only way to shrink the local
+  // work, so the optimizer must emit c > 1 conv grids — and they must run.
+  core::NetworkBuilder nb;
+  const int in = nb.input(Shape4{1, 32, 4, 4});
+  int x = nb.conv("deep1", in, 32, 3, 1);
+  x = nb.relu("r1", x);
+  x = nb.conv("deep2", x, 32, 3, 1);
+  x = nb.relu("r2", x);
+  x = nb.conv("deep3", x, 32, 3, 1);
+  const auto spec = nb.take();
+  const auto strategy = optimize_strategy(spec, 8, kMachine);
+  bool any_channel = false;
+  for (int i = 0; i < spec.size(); ++i) {
+    if (dynamic_cast<const core::Conv2dLayer*>(&spec.layer(i)) != nullptr) {
+      any_channel |= strategy.grids[i].c > 1;
+    }
+  }
+  EXPECT_TRUE(any_channel) << strategy.str();
+
+  comm::World world(8);
+  world.run([&](comm::Comm& comm) {
+    core::Model model(spec, comm, strategy, 3);
+    Tensor<float> input(model.rt(0).out_shape);
+    Rng rng(1);
+    input.fill_uniform(rng);
+    model.set_input(0, input);
+    model.forward();
+    Tensor<float> targets(model.rt(model.output_layer()).out_shape);
+    const double loss = model.loss_bce(targets);
+    model.backward();
+    model.sgd_step(kernels::SgdConfig{0.05f, 0.9f, 0.0f});
     EXPECT_TRUE(std::isfinite(loss));
   });
 }

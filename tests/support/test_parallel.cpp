@@ -154,5 +154,51 @@ TEST(ParallelFor, ChunkBoundariesDeterministicPerBudget) {
   EXPECT_EQ(a, b);
 }
 
+TEST(ParallelFor2d, VisitsEveryPairExactlyOnce) {
+  ThreadGuard guard(4);
+  const std::int64_t n0 = 13, n1 = 7;
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n0 * n1));
+  for (auto& h : hits) h.store(0);
+  parallel_for_2d(n0, n1, 1, [&](std::int64_t i, std::int64_t j) {
+    ASSERT_GE(i, 0);
+    ASSERT_LT(i, n0);
+    ASSERT_GE(j, 0);
+    ASSERT_LT(j, n1);
+    hits[static_cast<std::size_t>(i * n1 + j)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor2d, EmptyDimensionsRunNothing) {
+  int calls = 0;
+  parallel_for_2d(0, 5, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  parallel_for_2d(5, 0, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  parallel_for_2d(-1, 5, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor2d, PlaneSumsIndependentOfBudget) {
+  // The flattened-plane idiom's determinism contract: per-(i, j) results are
+  // identical for any thread budget when each pair owns its output.
+  const std::int64_t n0 = 6, n1 = 9;
+  auto run = [&](int threads) {
+    ThreadGuard guard(threads);
+    std::vector<double> out(static_cast<std::size_t>(n0 * n1), 0.0);
+    parallel_for_2d(n0, n1, 2, [&](std::int64_t i, std::int64_t j) {
+      double acc = 0.0;
+      for (int k = 0; k < 100; ++k) acc += 1e-3 * double(k) * (i + 2 * j + 1);
+      out[static_cast<std::size_t>(i * n1 + j)] = acc;
+    });
+    return out;
+  };
+  const auto serial = run(1);
+  for (int threads : {2, 3, 8}) {
+    const auto parallel_result = run(threads);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i], parallel_result[i]) << "threads=" << threads;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace distconv::parallel
