@@ -11,60 +11,36 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <thread>
 #include <vector>
 
+#include "bench/args.hpp"
 #include "bench/kernel_shapes.hpp"
+#include "bench/pricing.hpp"
 #include "comm/collectives.hpp"
 #include "core/layers.hpp"
 #include "core/model.hpp"
 #include "perf/channel_parallel.hpp"
+#include "perf/compute_model.hpp"
 #include "perf/layer_cost.hpp"
-#include "support/parallel.hpp"
 
 namespace {
 
 using namespace distconv;
 using bench::time_average;
 
-struct Fit {
-  double alpha = 0, beta = 0;
-};
-
-/// Fit α/β of the thread-rank messaging runtime with ping-pongs.
-Fit measure_comm() {
-  Fit fit;
-  comm::World world(2);
-  world.run([&](comm::Comm& comm) {
-    std::vector<char> small(8), large(1 << 20);
-    auto pingpong = [&](std::vector<char>& buf) {
-      const int peer = 1 - comm.rank();
-      for (int i = 0; i < 50; ++i) {
-        if (comm.rank() == 0) {
-          comm.send(buf.data(), buf.size(), peer, 0);
-          comm.recv(buf.data(), buf.size(), peer, 0);
-        } else {
-          comm.recv(buf.data(), buf.size(), peer, 0);
-          comm.send(buf.data(), buf.size(), peer, 0);
-        }
-      }
-    };
-    const double t_small = time_average([&] { pingpong(small); }) / 100.0;
-    const double t_large = time_average([&] { pingpong(large); }) / 100.0;
-    if (comm.rank() == 0) {
-      fit.alpha = t_small;
-      fit.beta = std::max(0.0, (t_large - t_small) / double(large.size()));
-    }
-  });
-  return fit;
-}
-
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_harness_args(argc, argv);
+  const int warmup = bench::warmup_runs(args);
+  const int reps = bench::timed_runs(args);
   // Deep-layer geometry (res4-like, shrunk): 64→64 channels over 8×8.
-  const Shape4 in_shape{8, 64, 8, 8};
-  const int filters = 64, kernel = 3;
+  const Shape4 in_shape =
+      args.smoke ? Shape4{2, 16, 8, 8} : Shape4{8, 64, 8, 8};
+  const int filters = args.smoke ? 16 : 64;
+  const int kernel = 3;
   const int ranks = 4;
 
   // Empirical kernel table, as in perfmodel_validation — measured under the
@@ -80,45 +56,14 @@ int main() {
                 "the %.1fx timesharing factor\n",
                 ranks, hw, oversub);
   }
-  auto kernel_time = [&](const perf::ConvWork& w, int mode) -> double {
-    if (w.c == 0 || w.f == 0 || w.n == 0) return 0.0;
-    struct BudgetGuard {
-      explicit BudgetGuard(int n) { parallel::set_num_threads(n); }
-      ~BudgetGuard() { parallel::set_num_threads(0); }
-    } budget(std::max(1, hw / ranks));
-    Tensor<float> x(Shape4{w.n, w.c, w.h + 2, w.w + 2});
-    Tensor<float> wt(Shape4{w.f, w.c, w.kh, w.kw});
-    Tensor<float> y(Shape4{w.n, w.f, w.h, w.w});
-    Rng rng(1);
-    x.fill_uniform(rng);
-    wt.fill_uniform(rng);
-    y.fill_uniform(rng);
-    const kernels::ConvParams p{w.kh, w.kw, 1, 1, w.kh / 2, w.kw / 2};
-    const kernels::Range2 full{0, w.h, 0, w.w};
-    const kernels::Origin2 xo{-1, -1}, yo{0, 0};
-    switch (mode) {
-      case 0:
-        return oversub * time_average([&] {
-          kernels::conv2d_forward(x, xo, wt, y, yo, p, full);
-        });
-      case 1:
-        return oversub * time_average([&] {
-          kernels::conv2d_backward_data(y, yo, wt, x, xo, p,
-                                        kernels::Range2{0, w.h, 0, w.w}, w.h,
-                                        w.w);
-        });
-      default:
-        return oversub * time_average([&] {
-          kernels::conv2d_backward_filter(x, xo, y, yo, wt, p, full, false);
-        });
-    }
-  };
-  perf::EmpiricalComputeModel compute(
-      [&](const perf::ConvWork& w) { return kernel_time(w, 0); },
-      [&](const perf::ConvWork& w) { return kernel_time(w, 1); },
-      [&](const perf::ConvWork& w) { return kernel_time(w, 2); });
+  // Prefer the measured calibration table (DC_KERNEL_CALIBRATION) when
+  // present, scaled by the same timesharing factor; fall back to in-process
+  // measurement under the per-rank thread budget.
+  std::unique_ptr<perf::ComputeModel> compute_owned = bench::make_pricing_model(
+      oversub, /*budget_threads=*/std::max(1, hw / ranks), warmup, reps);
+  const perf::ComputeModel& compute = *compute_owned;
 
-  const Fit fit = measure_comm();
+  const bench::CommFit fit = bench::fit_comm(warmup, reps);
   perf::MachineModel machine;
   machine.gpus_per_node = ranks;
   machine.intra = {fit.alpha, fit.beta};
@@ -173,13 +118,13 @@ int main() {
       Rng trng(4);
       targets.fill_uniform(trng, 0.0f, 1.0f);
 
-      double t_fwd = time_average([&] { model.forward(); }, 3, 10);
+      double t_fwd = time_average([&] { model.forward(); }, warmup, reps);
       double t_bwd = time_average(
           [&] {
             model.loss_bce(targets);
             model.backward();
           },
-          3, 10);
+          warmup, reps);
       comm::allreduce(comm, &t_fwd, 1, comm::ReduceOp::kMax);
       comm::allreduce(comm, &t_bwd, 1, comm::ReduceOp::kMax);
       if (comm.rank() == 0) {

@@ -1,0 +1,53 @@
+// Command-line handling shared by the plain-main paper harnesses.
+//
+// Every bench binary accepts `--smoke`: tiny shapes, single-iteration
+// timing, truncated sweeps — just enough execution to prove the harness
+// still builds, runs and parses its own output. CI runs each binary with
+// --smoke on every PR so the benches cannot rot; without the flag the
+// harnesses run their full paper-reproduction sweeps.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace distconv::bench {
+
+struct HarnessArgs {
+  bool smoke = false;
+  const char* positional = nullptr;  ///< first non-flag argument, if any
+};
+
+inline HarnessArgs parse_harness_args(int argc, char** argv) {
+  HarnessArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      args.smoke = true;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      // Fail fast on typos: a mistyped flag must not silently become the
+      // output path / run the full sweep.
+      std::fprintf(stderr, "%s: unknown flag '%s' (supported: --smoke)\n",
+                   argv[0], argv[i]);
+      std::exit(2);
+    } else if (args.positional == nullptr) {
+      args.positional = argv[i];
+    }
+  }
+  return args;
+}
+
+/// Timing parameters for time_average under smoke mode: no warmup, one rep.
+inline int warmup_runs(const HarnessArgs& args) { return args.smoke ? 0 : 3; }
+inline int timed_runs(const HarnessArgs& args) { return args.smoke ? 1 : 10; }
+
+/// Truncate a sweep list to its first `keep` entries in smoke mode.
+template <typename T>
+std::vector<T> smoke_truncate(const HarnessArgs& args, std::vector<T> values,
+                              std::size_t keep = 2) {
+  if (args.smoke && values.size() > keep) values.resize(keep);
+  return values;
+}
+
+}  // namespace distconv::bench

@@ -4,7 +4,7 @@
 // perf/compute_model.hpp consumes via DC_KERNEL_CALIBRATION — replacing the
 // roofline constants with measured rates.
 //
-//   $ ./calibrate_kernels [out_path]       # default: kernel_calibration.txt
+//   $ ./calibrate_kernels [--smoke] [out_path]   # default: kernel_calibration.txt
 //   $ DC_KERNEL_CALIBRATION=kernel_calibration.txt ./strategy_explorer
 //
 // Rates are the FLOP-weighted aggregate over the shapes (total FLOPs /
@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/args.hpp"
 #include "bench/kernel_shapes.hpp"
 #include "perf/compute_model.hpp"
 #include "support/rng.hpp"
@@ -28,7 +29,7 @@ using bench::params_of;
 using bench::time_average;
 
 /// Measure one pass over one shape (mode 0 = fwd, 1 = bwd-data, 2 = bwd-f).
-double pass_time(const LayerArgs& a, int mode) {
+double pass_time(const LayerArgs& a, int mode, int warmup, int reps) {
   const ConvParams p = params_of(a);
   Tensor<float> x(Shape4{a.n, a.c, a.h + 2 * p.ph, a.w + 2 * p.pw});
   Tensor<float> w(Shape4{a.f, a.c, a.k, a.k});
@@ -43,23 +44,25 @@ double pass_time(const LayerArgs& a, int mode) {
   switch (mode) {
     case 0:
       return time_average(
-          [&] { conv2d_forward(x, xo, w, y, yo, p, out_full); });
+          [&] { conv2d_forward(x, xo, w, y, yo, p, out_full); }, warmup, reps);
     case 1:
       return time_average([&] {
         conv2d_backward_data(y, yo, w, x, xo, p, in_full, y.shape().h,
                              y.shape().w);
-      });
+      }, warmup, reps);
     default:
       return time_average([&] {
         conv2d_backward_filter(x, xo, y, yo, w, p, out_full, false);
-      });
+      }, warmup, reps);
   }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* out_path = argc > 1 ? argv[1] : "kernel_calibration.txt";
+  const auto args = bench::parse_harness_args(argc, argv);
+  const char* out_path =
+      args.positional != nullptr ? args.positional : "kernel_calibration.txt";
 
   const char* mode_names[] = {"forward", "backward-data", "backward-filter"};
   double rates[3] = {0, 0, 0};
@@ -68,12 +71,23 @@ int main(int argc, char** argv) {
   for (int mode = 0; mode < 3; ++mode) {
     double flops_total = 0, time_total = 0;
     for (const LayerArgs& a : kKernelShapes) {
-      const double t = pass_time(a, mode);
+      // Smoke mode times one cheap geometry once per pass — enough to
+      // exercise the writer + round-trip without a multi-second run.
+      if (args.smoke && std::strcmp(a.name, "mesh_conv6_1") != 0) continue;
+      const double t =
+          pass_time(a, mode, bench::warmup_runs(args), bench::timed_runs(args));
       const double fl = conv_flops(a);
       flops_total += fl;
       time_total += t;
       std::printf("%-16s %-18s %-12.3f %-10.2f\n", a.name, mode_names[mode],
                   t * 1e3, fl / t / 1e9);
+    }
+    if (flops_total <= 0 || time_total <= 0) {
+      std::fprintf(stderr,
+                   "no shapes measured for %s (shape filter broke?) — "
+                   "refusing to write a degenerate table\n",
+                   mode_names[mode]);
+      return 1;
     }
     rates[mode] = flops_total / time_total;  // FLOP-weighted aggregate
   }

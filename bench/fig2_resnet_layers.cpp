@@ -12,10 +12,14 @@
 //     (fixed kernel overheads); backprop improves up to 16 GPUs.
 //   * With N=32, spatial decomposition stays competitive with pure sample
 //     parallelism (halo exchanges hidden).
+#include "bench/args.hpp"
 #include "bench/bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace distconv;
+  const auto args = bench::parse_harness_args(argc, argv);
+  const std::vector<std::int64_t> samples =
+      bench::smoke_truncate(args, std::vector<std::int64_t>{1, 4, 32}, 1);
   const auto machine = perf::MachineModel::lassen();
 
   perf::ConvLayerDesc conv1;
@@ -27,7 +31,7 @@ int main() {
   conv1.p = 3;
   bench::print_layer_sweep(
       "== Fig 2 (left): conv1  C=3 H=224 W=224 F=64 K=7 P=3 S=2 ==", conv1,
-      {1, 4, 32}, machine);
+      samples, machine);
   std::printf(
       "paper: N=1 FP 0.035-0.045ms flat/degrading; BP 0.15->0.10ms; net ~1.35x "
       "at 8 GPUs, degrading at 16\n\n");
@@ -41,7 +45,7 @@ int main() {
   res3b.p = 0;
   bench::print_layer_sweep(
       "== Fig 2 (right): res3b_branch2a  C=512 H=28 W=28 F=128 K=1 P=0 S=1 ==",
-      res3b, {1, 4, 32}, machine);
+      res3b, samples, machine);
   std::printf(
       "paper: FP flat beyond 2 GPUs (fixed kernel overheads, no halo for K=1); "
       "BP improves up to 16 GPUs\n");

@@ -7,10 +7,14 @@
 //     well-hidden.
 //   * conv6_1 (64² input, deeper): continued but modest benefit for N=1
 //     (≈1.4x).
+#include "bench/args.hpp"
 #include "bench/bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace distconv;
+  const auto args = bench::parse_harness_args(argc, argv);
+  const std::vector<std::int64_t> samples =
+      bench::smoke_truncate(args, std::vector<std::int64_t>{1, 2, 4}, 1);
   const auto machine = perf::MachineModel::lassen();
 
   perf::ConvLayerDesc conv1_1;
@@ -22,7 +26,7 @@ int main() {
   conv1_1.p = 2;
   bench::print_layer_sweep(
       "== Fig 3 (left): conv1_1  C=18 H=2048 W=2048 F=128 K=5 P=2 S=2 ==",
-      conv1_1, {1, 2, 4}, machine);
+      conv1_1, samples, machine);
   std::printf("paper: N=1 FP ~7.5ms at 1 GPU; ~14.8x FP+BP speedup at 16 GPUs\n\n");
 
   perf::ConvLayerDesc conv6_1;
@@ -34,7 +38,7 @@ int main() {
   conv6_1.p = 1;
   bench::print_layer_sweep(
       "== Fig 3 (right): conv6_1  C=384 H=64 W=64 F=128 K=3 P=1 S=2 ==",
-      conv6_1, {1, 2, 4}, machine);
+      conv6_1, samples, machine);
   std::printf("paper: N=1 continued but modest benefit (~1.4x)\n");
   return 0;
 }

@@ -8,15 +8,19 @@
 //     the cuDNN workspace);
 //   * a slight upward trend for 8/16 GPUs/sample at large scale (allreduces
 //     no longer fully overlap with the shrunken local backprop).
+#include "bench/args.hpp"
 #include "bench/bench_util.hpp"
 #include "models/models.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace distconv;
+  const auto args = bench::parse_harness_args(argc, argv);
   sim::ExperimentOptions options;
   {
     auto build = [](std::int64_t n) { return models::make_mesh_model_1k(n); };
-    const auto series = sim::weak_scaling(build, {1, 2, 4, 8, 16}, 4, options);
+    const auto series = sim::weak_scaling(
+        build, bench::smoke_truncate(args, std::vector<int>{1, 2, 4, 8, 16}),
+        4, options);
     std::printf("%s\n", sim::format_weak_scaling(
                             series, "Fig 4 (left): 1024x1024 mesh model weak "
                                     "scaling (simulated)")
@@ -27,7 +31,9 @@ int main() {
   }
   {
     auto build = [](std::int64_t n) { return models::make_mesh_model_2k(n); };
-    const auto series = sim::weak_scaling(build, {2, 4, 8, 16}, 4, options);
+    const auto series = sim::weak_scaling(
+        build, bench::smoke_truncate(args, std::vector<int>{2, 4, 8, 16}), 4,
+        options);
     std::printf("%s\n", sim::format_weak_scaling(
                             series, "Fig 4 (right): 2048x2048 mesh model weak "
                                     "scaling (simulated; spatial parallelism "

@@ -9,106 +9,43 @@
 //   4. compare against the measured distributed execution and check that the
 //      model ranks the parallelization strategies correctly.
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
+#include "bench/args.hpp"
+#include "bench/pricing.hpp"
 #include "comm/collectives.hpp"
 #include "core/layers.hpp"
 #include "core/model.hpp"
+#include "perf/compute_model.hpp"
 #include "perf/layer_cost.hpp"
 
 namespace {
 
 using namespace distconv;
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-/// Average wall time of fn() over `reps` runs after `warmup` runs.
-template <typename Fn>
-double time_average(Fn&& fn, int warmup = 3, int reps = 10) {
-  for (int i = 0; i < warmup; ++i) fn();
-  const auto start = Clock::now();
-  for (int i = 0; i < reps; ++i) fn();
-  return seconds_since(start) / reps;
-}
-
-struct Fit {
-  double alpha = 0, beta = 0;
-};
-
-/// Fit α (latency) and β (inverse bandwidth) of the thread-rank runtime.
-Fit measure_comm() {
-  Fit fit;
-  comm::World world(2);
-  world.run([&](comm::Comm& comm) {
-    std::vector<char> small(8), large(1 << 20);
-    auto pingpong = [&](std::vector<char>& buf) {
-      const int peer = 1 - comm.rank();
-      for (int i = 0; i < 50; ++i) {
-        if (comm.rank() == 0) {
-          comm.send(buf.data(), buf.size(), peer, 0);
-          comm.recv(buf.data(), buf.size(), peer, 0);
-        } else {
-          comm.recv(buf.data(), buf.size(), peer, 0);
-          comm.send(buf.data(), buf.size(), peer, 0);
-        }
-      }
-    };
-    const double t_small = time_average([&] { pingpong(small); }) / 100.0;
-    const double t_large = time_average([&] { pingpong(large); }) / 100.0;
-    if (comm.rank() == 0) {
-      fit.alpha = t_small;
-      fit.beta = std::max(0.0, (t_large - t_small) / double(large.size()));
-    }
-  });
-  return fit;
-}
+using bench::time_average;
 
 }  // namespace
 
-int main() {
-  const Shape4 in_shape{4, 8, 64, 64};
+int main(int argc, char** argv) {
+  const auto args = bench::parse_harness_args(argc, argv);
+  const int warmup = bench::warmup_runs(args);
+  const int reps = bench::timed_runs(args);
+  const Shape4 in_shape =
+      args.smoke ? Shape4{2, 4, 32, 32} : Shape4{4, 8, 64, 64};
   const int filters = 8, kernel = 3;
   const int ranks = 4;
 
   // --- empirical kernel table (the paper's C(n,c,h,w,f)) -------------------
-  auto kernel_time = [&](const perf::ConvWork& w, int mode) {
-    Tensor<float> x(Shape4{w.n, w.c, w.h + 2, w.w + 2});
-    Tensor<float> wt(Shape4{w.f, w.c, w.kh, w.kw});
-    Tensor<float> y(Shape4{w.n, w.f, w.h, w.w});
-    Rng rng(1);
-    x.fill_uniform(rng);
-    wt.fill_uniform(rng);
-    const kernels::ConvParams p{w.kh, w.kw, 1, 1, w.kh / 2, w.kw / 2};
-    const kernels::Range2 full{0, w.h, 0, w.w};
-    const kernels::Origin2 xo{-1, -1}, yo{0, 0};
-    switch (mode) {
-      case 0:
-        return time_average(
-            [&] { kernels::conv2d_forward(x, xo, wt, y, yo, p, full); });
-      case 1:
-        return time_average([&] {
-          kernels::conv2d_backward_data(y, yo, wt, x, xo, p,
-                                        kernels::Range2{0, w.h, 0, w.w}, w.h,
-                                        w.w);
-        });
-      default:
-        return time_average([&] {
-          kernels::conv2d_backward_filter(x, xo, y, yo, wt, p, full, false);
-        });
-    }
-  };
-  perf::EmpiricalComputeModel compute(
-      [&](const perf::ConvWork& w) { return kernel_time(w, 0); },
-      [&](const perf::ConvWork& w) { return kernel_time(w, 1); },
-      [&](const perf::ConvWork& w) { return kernel_time(w, 2); });
+  // The DC_KERNEL_CALIBRATION table when present (measured GFLOP/s, the
+  // paper's methodology), else rates measured in-process.
+  std::unique_ptr<perf::ComputeModel> compute_owned = bench::make_pricing_model(
+      /*oversub=*/1.0, /*budget_threads=*/0, warmup, reps);
+  const perf::ComputeModel& compute = *compute_owned;
 
   // --- fitted communication model ------------------------------------------
-  const Fit fit = measure_comm();
+  const bench::CommFit fit = bench::fit_comm(warmup, reps);
   perf::MachineModel machine;
   machine.gpus_per_node = ranks;  // every thread-rank is "on one node"
   machine.intra = {fit.alpha, fit.beta};
@@ -158,7 +95,7 @@ int main() {
       Rng rng(3);
       input.fill_uniform(rng);
       model.set_input(0, input);
-      const double t = time_average([&] { model.forward(); }, 3, 10);
+      const double t = time_average([&] { model.forward(); }, warmup, reps);
       double t_max = t;
       comm::allreduce(comm, &t_max, 1, comm::ReduceOp::kMax);
       if (comm.rank() == 0) fp_time = t_max;

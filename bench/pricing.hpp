@@ -1,0 +1,142 @@
+// Shared measurement plumbing for the measure-then-predict harnesses
+// (perfmodel_validation, ablation_channel_parallel,
+// ablation_overlap_allreduce): the α/β comm fit, the in-process conv kernel
+// timing, and the choice between it and the DC_KERNEL_CALIBRATION table all
+// live here so the three benches cannot drift apart.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/kernel_shapes.hpp"
+#include "comm/comm.hpp"
+#include "perf/compute_model.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+
+namespace distconv::bench {
+
+struct CommFit {
+  double alpha = 0;  ///< per-message latency (s)
+  double beta = 0;   ///< inverse bandwidth (s/byte)
+};
+
+/// Fit α (latency) and β (inverse bandwidth) of the thread-rank messaging
+/// runtime with small/large ping-pongs, the §V-B methodology.
+inline CommFit fit_comm(int warmup = 3, int reps = 10) {
+  CommFit fit;
+  comm::World world(2);
+  world.run([&](comm::Comm& comm) {
+    std::vector<char> small(8), large(1 << 20);
+    auto pingpong = [&](std::vector<char>& buf) {
+      const int peer = 1 - comm.rank();
+      for (int i = 0; i < 50; ++i) {
+        if (comm.rank() == 0) {
+          comm.send(buf.data(), buf.size(), peer, 0);
+          comm.recv(buf.data(), buf.size(), peer, 0);
+        } else {
+          comm.recv(buf.data(), buf.size(), peer, 0);
+          comm.send(buf.data(), buf.size(), peer, 0);
+        }
+      }
+    };
+    const double t_small =
+        time_average([&] { pingpong(small); }, warmup, reps) / 100.0;
+    const double t_large =
+        time_average([&] { pingpong(large); }, warmup, reps) / 100.0;
+    if (comm.rank() == 0) {
+      fit.alpha = t_small;
+      fit.beta = std::max(0.0, (t_large - t_small) / double(large.size()));
+    }
+  });
+  return fit;
+}
+
+/// Time one conv pass of `w` with this repository's kernels (mode 0 = fwd,
+/// 1 = bwd-data, 2 = bwd-filter). `budget_threads` pins the intra-rank pool
+/// for the measurement (0 = leave the automatic budget), so the table
+/// predicts distributed runs where each rank owns only a slice of the
+/// machine; `oversub` scales the result by the CPU timesharing factor when
+/// rank threads outnumber cores.
+inline double inprocess_kernel_time(const perf::ConvWork& w, int mode,
+                                    double oversub, int budget_threads,
+                                    int warmup, int reps) {
+  if (w.c == 0 || w.f == 0 || w.n == 0) return 0.0;
+  struct BudgetGuard {
+    explicit BudgetGuard(int n) : set(n > 0) {
+      if (set) parallel::set_num_threads(n);
+    }
+    ~BudgetGuard() {
+      if (set) parallel::set_num_threads(0);  // only undo our own override
+    }
+    bool set;
+  } budget(budget_threads);
+  Tensor<float> x(Shape4{w.n, w.c, w.h + 2, w.w + 2});
+  Tensor<float> wt(Shape4{w.f, w.c, w.kh, w.kw});
+  Tensor<float> y(Shape4{w.n, w.f, w.h, w.w});
+  Rng rng(1);
+  x.fill_uniform(rng);
+  wt.fill_uniform(rng);
+  y.fill_uniform(rng);
+  const kernels::ConvParams p{w.kh, w.kw, 1, 1, w.kh / 2, w.kw / 2};
+  const kernels::Range2 full{0, w.h, 0, w.w};
+  const kernels::Origin2 xo{-1, -1}, yo{0, 0};
+  switch (mode) {
+    case 0:
+      return oversub * time_average([&] {
+               kernels::conv2d_forward(x, xo, wt, y, yo, p, full);
+             },
+                                    warmup, reps);
+    case 1:
+      return oversub * time_average([&] {
+               kernels::conv2d_backward_data(y, yo, wt, x, xo, p, full, w.h,
+                                             w.w);
+             },
+                                    warmup, reps);
+    default:
+      return oversub * time_average([&] {
+               kernels::conv2d_backward_filter(x, xo, y, yo, wt, p, full,
+                                               false);
+             },
+                                    warmup, reps);
+  }
+}
+
+/// Build the compute model a harness should price with: the calibration
+/// table from the environment when present — each pass scaled by `oversub`,
+/// the CPU timesharing factor when rank threads outnumber cores — otherwise
+/// in-process measurement via inprocess_kernel_time. Prints which source
+/// was chosen.
+inline std::unique_ptr<perf::ComputeModel> make_pricing_model(
+    double oversub, int budget_threads, int warmup, int reps) {
+  if (const auto& cal = perf::kernel_calibration_from_env()) {
+    std::printf("kernel pricing: measured calibration table "
+                "(DC_KERNEL_CALIBRATION)\n");
+    auto base = std::make_shared<perf::CalibratedComputeModel>(*cal);
+    return std::make_unique<perf::EmpiricalComputeModel>(
+        [base, oversub](const perf::ConvWork& w) {
+          return oversub * base->conv_fwd(w);
+        },
+        [base, oversub](const perf::ConvWork& w) {
+          return oversub * base->conv_bwd_data(w);
+        },
+        [base, oversub](const perf::ConvWork& w) {
+          return oversub * base->conv_bwd_filter(w);
+        });
+  }
+  std::printf("kernel pricing: in-process measurement (set "
+              "DC_KERNEL_CALIBRATION to use a calibration table)\n");
+  auto measure = [oversub, budget_threads, warmup, reps](
+                     const perf::ConvWork& w, int mode) {
+    return inprocess_kernel_time(w, mode, oversub, budget_threads, warmup,
+                                 reps);
+  };
+  return std::make_unique<perf::EmpiricalComputeModel>(
+      [measure](const perf::ConvWork& w) { return measure(w, 0); },
+      [measure](const perf::ConvWork& w) { return measure(w, 1); },
+      [measure](const perf::ConvWork& w) { return measure(w, 2); });
+}
+
+}  // namespace distconv::bench

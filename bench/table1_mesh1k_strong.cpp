@@ -1,13 +1,16 @@
 // Table I reproduction: 1K mesh-model strong scaling at fixed mini-batch
 // sizes, mini-batch time and speedup over 1 GPU/sample (sample parallelism).
+#include "bench/args.hpp"
 #include "bench/bench_util.hpp"
 #include "models/models.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace distconv;
+  const auto args = bench::parse_harness_args(argc, argv);
   sim::ExperimentOptions options;
   auto build = [](std::int64_t n) { return models::make_mesh_model_1k(n); };
-  const std::vector<std::int64_t> batches{4, 8, 16, 32, 64, 128, 256, 512, 1024};
+  const std::vector<std::int64_t> batches = bench::smoke_truncate(
+      args, std::vector<std::int64_t>{4, 8, 16, 32, 64, 128, 256, 512, 1024});
   const std::vector<int> gps{1, 2, 4, 8, 16};
   const auto table = sim::strong_scaling(build, batches, gps, options);
   std::printf("%s\n", sim::format_strong_scaling(

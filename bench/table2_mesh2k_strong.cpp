@@ -1,14 +1,17 @@
 // Table II reproduction: 2K mesh-model strong scaling. Pure sample
 // parallelism is infeasible (a single sample's activations exceed GPU
 // memory), so speedups are over the 2 GPUs/sample baseline.
+#include "bench/args.hpp"
 #include "bench/bench_util.hpp"
 #include "models/models.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace distconv;
+  const auto args = bench::parse_harness_args(argc, argv);
   sim::ExperimentOptions options;
   auto build = [](std::int64_t n) { return models::make_mesh_model_2k(n); };
-  const std::vector<std::int64_t> batches{2, 4, 8, 16, 32, 64, 128, 256, 512};
+  const std::vector<std::int64_t> batches = bench::smoke_truncate(
+      args, std::vector<std::int64_t>{2, 4, 8, 16, 32, 64, 128, 256, 512});
   const std::vector<int> gps{1, 2, 4, 8, 16};
   const auto table = sim::strong_scaling(build, batches, gps, options);
   std::printf("%s\n", sim::format_strong_scaling(

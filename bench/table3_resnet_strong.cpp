@@ -1,16 +1,19 @@
 // Table III reproduction: ResNet-50 strong scaling with 32 samples per GPU
 // group — pure sample parallelism (32 samples/GPU) vs hybrid sample+spatial
 // (32 samples / 2 GPUs and 32 samples / 4 GPUs).
+#include "bench/args.hpp"
 #include "bench/bench_util.hpp"
 #include "models/models.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace distconv;
+  const auto args = bench::parse_harness_args(argc, argv);
   sim::ExperimentOptions options;
   options.samples_per_group = 32;
   auto build = [](std::int64_t n) { return models::make_resnet50(n); };
-  const std::vector<std::int64_t> batches{128,  256,  512,   1024, 2048,
-                                          4096, 8192, 16384, 32768};
+  const std::vector<std::int64_t> batches = bench::smoke_truncate(
+      args, std::vector<std::int64_t>{128, 256, 512, 1024, 2048, 4096, 8192,
+                                      16384, 32768});
   const std::vector<int> gps{1, 2, 4};
   const auto table = sim::strong_scaling(build, batches, gps, options);
   std::printf("%s\n",

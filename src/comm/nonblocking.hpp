@@ -1,0 +1,410 @@
+// Nonblocking collectives: resumable state machines over the eager
+// point-to-point layer, progressed by a CollectiveEngine.
+//
+// Each operation is the *same* algorithm as its blocking counterpart in
+// comm/collectives.hpp (recursive doubling / ring, identical partner order
+// and identical reduction order per element), restructured so that every
+// blocking receive becomes a posted irecv plus a resumption point. Sends are
+// eager (they complete on return), so an op only ever blocks on one posted
+// receive at a time — `progress()` tests it, applies the step, and posts the
+// next round. Because the arithmetic order inside an op is fixed, a
+// nonblocking allreduce produces bitwise-identical results to the blocking
+// call regardless of when or how often it is progressed.
+//
+// The CollectiveEngine serializes ops onto a single logical channel: an op
+// starts communicating only when it reaches the head of the queue, matching
+// the performance model's greedy schedule ("only one allreduce at a time is
+// considered to run", perf/network_cost.cpp). Ops are constructed — and
+// allocate their tags — at enqueue time, so as long as every rank enqueues
+// in the same program order (SPMD discipline, as with the blocking
+// collectives), tags agree across ranks no matter how the wire schedules
+// interleave.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "comm/collectives.hpp"
+#include "comm/comm.hpp"
+#include "support/error.hpp"
+
+namespace distconv::comm {
+
+/// A resumable collective operation. Lifecycle: construct (allocates tags,
+/// touches no wire) → start() (first sends/receives) → progress() until done.
+class NbOp {
+ public:
+  virtual ~NbOp() = default;
+  NbOp() = default;
+  NbOp(const NbOp&) = delete;
+  NbOp& operator=(const NbOp&) = delete;
+
+  bool started() const { return started_; }
+  bool done() const { return done_; }
+
+  /// Begin communicating. Called once, by the engine, when the op reaches
+  /// the head of the wire queue.
+  void start() {
+    DC_REQUIRE(!started_, "nonblocking op started twice");
+    started_ = true;
+    if (begin()) done_ = true;
+  }
+
+  /// Advance as far as currently possible without blocking; true when the
+  /// op has completed (its buffers hold the final result).
+  bool progress() {
+    if (done_) return true;
+    DC_REQUIRE(started_, "progress() on an op that was never started");
+    if (advance()) done_ = true;
+    return done_;
+  }
+
+  /// Block until the op can advance, then advance. Throws on world abort.
+  void wait_progress() {
+    if (done_) return;
+    DC_REQUIRE(started_, "wait_progress() on an op that was never started");
+    block();
+    progress();
+  }
+
+ protected:
+  /// Post the first sends/receives. True if the op is already complete
+  /// (single-rank groups, zero-length buffers).
+  virtual bool begin() = 0;
+  /// Nonblocking advance; true when complete.
+  virtual bool advance() = 0;
+  /// Block until advance() can make progress.
+  virtual void block() = 0;
+
+ private:
+  bool started_ = false;
+  bool done_ = false;
+};
+
+/// Helper base for ops whose progress is driven by one posted receive at a
+/// time: advance() drains completed receives through step(), block() waits
+/// on the pending one.
+class RequestDrivenOp : public NbOp {
+ protected:
+  bool advance() final {
+    while (pending_.test()) {
+      if (step()) return true;
+    }
+    return false;
+  }
+  void block() final { pending_.wait(); }
+
+  /// The pending receive completed: apply it and post the next round.
+  /// True when the op is complete.
+  virtual bool step() = 0;
+
+  Request pending_;  ///< receive the op is currently blocked on
+};
+
+/// Nonblocking recursive-doubling allreduce; the resumable twin of
+/// allreduce_recursive_doubling() with the identical fold → exchange →
+/// unfold partner schedule and reduction order.
+template <typename T>
+class NbAllreduceRd final : public RequestDrivenOp {
+ public:
+  NbAllreduceRd(Comm& comm, T* buf, std::size_t n, ReduceOp op, int tag = -1)
+      : comm_(&comm), buf_(buf), n_(n), op_(op),
+        tag_(tag >= 0 ? tag : comm.next_internal_tag()) {}
+
+ protected:
+  bool begin() override {
+    const int p = comm_->size();
+    if (p == 1 || n_ == 0) return true;
+    me_ = comm_->rank();
+    tmp_.resize(n_);
+    pof2_ = 1;
+    while (pof2_ * 2 <= p) pof2_ *= 2;
+    rem_ = p - pof2_;
+    if (me_ < 2 * rem_) {
+      if (me_ % 2 == 0) {
+        // Fold into the odd neighbour; the only message that ever comes
+        // back on this (src, tag) channel is the final result, so the
+        // receive can be posted now.
+        comm_->send(buf_, n_, me_ + 1, tag_);
+        pending_ = comm_->irecv(buf_, n_ * sizeof(T), me_ + 1, tag_);
+        stage_ = Stage::kFinalRecv;
+      } else {
+        pending_ = comm_->irecv(tmp_.data(), n_ * sizeof(T), me_ - 1, tag_);
+        stage_ = Stage::kFoldRecv;
+      }
+      return false;
+    }
+    newrank_ = me_ - rem_;
+    mask_ = 1;
+    return post_exchange();
+  }
+
+  bool step() override {
+    switch (stage_) {
+      case Stage::kFoldRecv:
+        internal::apply_op(op_, buf_, tmp_.data(), n_);
+        newrank_ = me_ / 2;
+        mask_ = 1;
+        return post_exchange();
+      case Stage::kExchangeRecv:
+        internal::apply_op(op_, buf_, tmp_.data(), n_);
+        mask_ <<= 1;
+        return post_exchange();
+      case Stage::kFinalRecv:
+        return true;
+    }
+    DC_FAIL("unreachable nonblocking allreduce stage");
+  }
+
+ private:
+  enum class Stage { kFoldRecv, kExchangeRecv, kFinalRecv };
+
+  /// Post the next hypercube exchange, or unfold and finish.
+  bool post_exchange() {
+    if (mask_ < pof2_) {
+      const int partner_new = newrank_ ^ mask_;
+      const int partner =
+          partner_new < rem_ ? partner_new * 2 + 1 : partner_new + rem_;
+      pending_ = comm_->irecv(tmp_.data(), n_ * sizeof(T), partner, tag_);
+      comm_->send(buf_, n_, partner, tag_);
+      stage_ = Stage::kExchangeRecv;
+      return false;
+    }
+    if (me_ < 2 * rem_) comm_->send(buf_, n_, me_ - 1, tag_);  // odd unfolds
+    return true;
+  }
+
+  Comm* comm_;
+  T* buf_;
+  std::size_t n_;
+  ReduceOp op_;
+  int tag_;
+  int me_ = 0, pof2_ = 1, rem_ = 0, newrank_ = -1, mask_ = 1;
+  Stage stage_ = Stage::kFinalRecv;
+  std::vector<T> tmp_;
+};
+
+/// Nonblocking ring allreduce: the resumable twin of allreduce_ring()
+/// (ring reduce-scatter over the balanced block partition, owner exchange,
+/// ring allgather) with identical block boundaries and reduction order.
+/// Callers must guarantee n >= p (the dispatcher falls back to recursive
+/// doubling below that, exactly like the blocking kAuto/kRing paths).
+template <typename T>
+class NbAllreduceRing final : public RequestDrivenOp {
+ public:
+  NbAllreduceRing(Comm& comm, T* buf, std::size_t n, ReduceOp op, int tag = -1)
+      : comm_(&comm), buf_(buf), n_(n), op_(op),
+        tag_(tag >= 0 ? tag : comm.next_internal_tag()) {
+    DC_REQUIRE(n == 0 || n >= static_cast<std::size_t>(comm.size()),
+               "ring allreduce needs n >= p (dispatcher bug)");
+  }
+
+ protected:
+  bool begin() override {
+    p_ = comm_->size();
+    if (p_ == 1 || n_ == 0) return true;
+    me_ = comm_->rank();
+    right_ = (me_ + 1) % p_;
+    left_ = (me_ - 1 + p_) % p_;
+    std::size_t max_block = 0;
+    for (int b = 0; b < p_; ++b) {
+      const auto [s, e] = internal::block_range(n_, p_, b);
+      max_block = std::max(max_block, e - s);
+    }
+    tmp_.resize(max_block);
+    s_ = 0;
+    stage_ = Stage::kReduceScatter;
+    post_reduce_scatter();
+    return false;
+  }
+
+  bool step() override {
+    switch (stage_) {
+      case Stage::kReduceScatter: {
+        const int recv_block = (me_ - s_ - 1 + p_) % p_;
+        const auto [rs, re] = internal::block_range(n_, p_, recv_block);
+        internal::apply_op(op_, buf_ + rs, tmp_.data(), re - rs);
+        if (++s_ < p_ - 1) {
+          post_reduce_scatter();
+          return false;
+        }
+        // Rank me now holds the fully reduced block (me + 1) % p; swap it
+        // straight to its owner and receive my own block from my left
+        // neighbour (who holds it), as in reduce_scatter_inplace.
+        const int have = (me_ + 1) % p_;
+        const auto [ms, me2] = internal::block_range(n_, p_, me_);
+        const auto [hs, he] = internal::block_range(n_, p_, have);
+        stage_ = Stage::kOwnerSwap;
+        pending_ = comm_->irecv(buf_ + ms, (me2 - ms) * sizeof(T), left_, tag_);
+        comm_->send(buf_ + hs, he - hs, have, tag_);
+        return false;
+      }
+      case Stage::kOwnerSwap:
+        s_ = 0;
+        stage_ = Stage::kAllgather;
+        post_allgather();
+        return false;
+      case Stage::kAllgather:
+        if (++s_ < p_ - 1) {
+          post_allgather();
+          return false;
+        }
+        return true;
+    }
+    DC_FAIL("unreachable nonblocking ring stage");
+  }
+
+ private:
+  enum class Stage { kReduceScatter, kOwnerSwap, kAllgather };
+
+  void post_reduce_scatter() {
+    const int send_block = (me_ - s_ + p_) % p_;
+    const int recv_block = (me_ - s_ - 1 + p_) % p_;
+    const auto [ss, se] = internal::block_range(n_, p_, send_block);
+    const auto [rs, re] = internal::block_range(n_, p_, recv_block);
+    pending_ = comm_->irecv(tmp_.data(), (re - rs) * sizeof(T), left_, tag_);
+    comm_->send(buf_ + ss, se - ss, right_, tag_);
+  }
+
+  void post_allgather() {
+    const int send_block = (me_ - s_ + p_) % p_;
+    const int recv_block = (me_ - s_ - 1 + p_) % p_;
+    const auto [ss, se] = internal::block_range(n_, p_, send_block);
+    const auto [rs, re] = internal::block_range(n_, p_, recv_block);
+    pending_ = comm_->irecv(buf_ + rs, (re - rs) * sizeof(T), left_, tag_);
+    comm_->send(buf_ + ss, se - ss, right_, tag_);
+  }
+
+  Comm* comm_;
+  T* buf_;
+  std::size_t n_;
+  ReduceOp op_;
+  int tag_;
+  int p_ = 1, me_ = 0, right_ = 0, left_ = 0, s_ = 0;
+  Stage stage_ = Stage::kReduceScatter;
+  std::vector<T> tmp_;
+};
+
+/// Nonblocking ring allgatherv; the resumable twin of allgatherv() with the
+/// same ring schedule (no arithmetic, so exactness is trivial).
+template <typename T>
+class NbAllgatherv final : public RequestDrivenOp {
+ public:
+  NbAllgatherv(Comm& comm, const T* sendbuf, std::size_t n, T* recvbuf,
+               std::vector<std::size_t> counts, std::vector<std::size_t> displs,
+               int tag = -1)
+      : comm_(&comm), sendbuf_(sendbuf), n_(n), recvbuf_(recvbuf),
+        counts_(std::move(counts)), displs_(std::move(displs)),
+        tag_(tag >= 0 ? tag : comm.next_internal_tag()) {}
+
+ protected:
+  bool begin() override {
+    p_ = comm_->size();
+    me_ = comm_->rank();
+    DC_REQUIRE(counts_[me_] == n_, "allgatherv: local count mismatch");
+    std::copy(sendbuf_, sendbuf_ + n_, recvbuf_ + displs_[me_]);
+    if (p_ == 1) return true;
+    right_ = (me_ + 1) % p_;
+    left_ = (me_ - 1 + p_) % p_;
+    s_ = 0;
+    post_step();
+    return false;
+  }
+
+  bool step() override {
+    if (++s_ < p_ - 1) {
+      post_step();
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void post_step() {
+    const int send_block = (me_ - s_ + p_) % p_;
+    const int recv_block = (me_ - s_ - 1 + p_) % p_;
+    pending_ = comm_->irecv(recvbuf_ + displs_[recv_block],
+                            counts_[recv_block] * sizeof(T), left_, tag_);
+    comm_->send(recvbuf_ + displs_[send_block], counts_[send_block], right_,
+                tag_);
+  }
+
+  Comm* comm_;
+  const T* sendbuf_;
+  std::size_t n_;
+  T* recvbuf_;
+  std::vector<std::size_t> counts_, displs_;
+  int tag_;
+  int p_ = 1, me_ = 0, right_ = 0, left_ = 0, s_ = 0;
+};
+
+/// Build the nonblocking allreduce matching what the blocking allreduce()
+/// would execute for (n, algo): kAuto picks recursive doubling at or below
+/// kAllreduceRingThresholdBytes, and the ring path falls back to recursive
+/// doubling when blocks would be empty (n < p) — so the op's arithmetic is
+/// bitwise-identical to the blocking call's.
+template <typename T>
+std::unique_ptr<NbOp> make_iallreduce(Comm& comm, T* buf, std::size_t n,
+                                      ReduceOp op,
+                                      AllreduceAlgo algo = AllreduceAlgo::kAuto,
+                                      int tag = -1) {
+  bool ring = false;
+  switch (algo) {
+    case AllreduceAlgo::kRecursiveDoubling: ring = false; break;
+    case AllreduceAlgo::kRing: ring = true; break;
+    case AllreduceAlgo::kAuto:
+      ring = n * sizeof(T) > kAllreduceRingThresholdBytes;
+      break;
+  }
+  if (ring && n < static_cast<std::size_t>(comm.size())) ring = false;
+  if (ring) {
+    return std::make_unique<NbAllreduceRing<T>>(comm, buf, n, op, tag);
+  }
+  return std::make_unique<NbAllreduceRd<T>>(comm, buf, n, op, tag);
+}
+
+/// Progress engine for nonblocking collectives. Ops are enqueued in SPMD
+/// order on every rank; only the head op communicates ("one allreduce in
+/// flight"), the rest wait their turn. progress() is cheap and safe to call
+/// between kernels; drain() blocks until the queue is empty.
+class CollectiveEngine {
+ public:
+  /// Take ownership of op and start it if the wire is free.
+  void enqueue(std::unique_ptr<NbOp> op) {
+    DC_REQUIRE(op != nullptr, "enqueue of null op");
+    queue_.push_back(std::move(op));
+    progress();
+  }
+
+  /// Advance the head op (and any successors that complete immediately)
+  /// without blocking. Returns true when the queue is empty.
+  bool progress() {
+    while (!queue_.empty()) {
+      NbOp& head = *queue_.front();
+      if (!head.started()) head.start();
+      if (!head.progress()) return false;
+      queue_.pop_front();
+    }
+    return true;
+  }
+
+  /// Block until every enqueued op has completed.
+  void drain() {
+    while (!queue_.empty()) {
+      NbOp& head = *queue_.front();
+      if (!head.started()) head.start();
+      while (!head.progress()) head.wait_progress();
+      queue_.pop_front();
+    }
+  }
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending_ops() const { return queue_.size(); }
+
+ private:
+  std::deque<std::unique_ptr<NbOp>> queue_;
+};
+
+}  // namespace distconv::comm

@@ -28,8 +28,19 @@ class Layer;
 /// across the whole mini-batch (matches single-device training exactly).
 enum class BatchNormMode { kLocal, kSpatial, kGlobal };
 
+/// Default for ModelOptions::overlap_allreduce: the DC_OVERLAP_ALLREDUCE
+/// environment knob ("1"/"true"/"on"), false when unset.
+bool overlap_allreduce_from_env();
+
 struct ModelOptions {
   bool overlap_halo = true;  ///< interior/boundary split to hide halo exchange
+  /// Complete each layer's weight gradient with nonblocking collectives
+  /// enqueued as backprop retires the layer (reverse layer order, one op on
+  /// the wire at a time), instead of one blocking sweep after backprop —
+  /// the executable form of the cost model's greedy allreduce overlap.
+  /// Results are bitwise identical either way (fixed reduction order per
+  /// op); the knob only moves when the communication happens.
+  bool overlap_allreduce = overlap_allreduce_from_env();
   /// Per-layer algorithm selection (kAuto mirrors the paper's reliance on
   /// cuDNN autotuning; the heuristic depends only on layer constants, so
   /// every rank resolves identically).

@@ -1,10 +1,145 @@
 #include "core/model.hpp"
 
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
 #include "core/layers.hpp"
 #include "kernels/activations.hpp"
 #include "support/logging.hpp"
 
 namespace distconv::core {
+
+bool overlap_allreduce_from_env() {
+  const char* s = std::getenv("DC_OVERLAP_ALLREDUCE");
+  if (s == nullptr) return false;
+  return std::strcmp(s, "1") == 0 || std::strcmp(s, "true") == 0 ||
+         std::strcmp(s, "on") == 0;
+}
+
+namespace {
+
+/// Nonblocking twin of Model::reduce_sliced_weight_grad: pack the owned
+/// channel columns, shrunk allreduce over the slice communicator, allgather
+/// across the channel group, unpack the full gradient. Both tags are
+/// allocated at construction (enqueue) time so every member rank draws them
+/// in the same program order regardless of how wire schedules interleave.
+class SlicedWeightGradOp final : public comm::NbOp {
+ public:
+  SlicedWeightGradOp(comm::Comm& slice_comm, comm::Comm& channel_comm,
+                     Tensor<float>& grad, const DimPartition& cpart, int coord_c)
+      : slice_comm_(&slice_comm), channel_comm_(&channel_comm), grad_(&grad),
+        cpart_(cpart), coord_c_(coord_c),
+        ar_tag_(slice_comm.next_internal_tag()),
+        ag_tag_(channel_comm.next_internal_tag()) {}
+
+ protected:
+  bool begin() override {
+    const Shape4& ws = grad_->shape();  // (F, C, Kh, Kw)
+    const Box4 my_cols = channel_slice_box(cpart_, coord_c_, ws.n, ws.h, ws.w);
+    slice_.resize(static_cast<std::size_t>(my_cols.volume()));
+    pack_box(*grad_, my_cols, slice_.data());
+    ar_ = comm::make_iallreduce(*slice_comm_, slice_.data(), slice_.size(),
+                                comm::ReduceOp::kSum, comm::AllreduceAlgo::kAuto,
+                                ar_tag_);
+    ar_->start();
+    return pump();
+  }
+  bool advance() override { return pump(); }
+  void block() override {
+    if (allgathering_) {
+      ag_->wait_progress();
+    } else {
+      ar_->wait_progress();
+    }
+  }
+
+ private:
+  bool pump() {
+    if (!allgathering_) {
+      if (!ar_->progress()) return false;
+      const Shape4& ws = grad_->shape();
+      blocks_ = channel_slice_blocks(cpart_, ws.n, ws.h, ws.w);
+      all_.resize(blocks_.total);
+      ag_ = std::make_unique<comm::NbAllgatherv<float>>(
+          *channel_comm_, slice_.data(), slice_.size(), all_.data(),
+          blocks_.counts, blocks_.displs, ag_tag_);
+      ag_->start();
+      allgathering_ = true;
+    }
+    if (!ag_->progress()) return false;
+    const Shape4& ws = grad_->shape();
+    for (int q = 0; q < channel_comm_->size(); ++q) {
+      unpack_box(all_.data() + blocks_.displs[q],
+                 channel_slice_box(cpart_, q, ws.n, ws.h, ws.w), *grad_);
+    }
+    return true;
+  }
+
+  comm::Comm* slice_comm_;
+  comm::Comm* channel_comm_;
+  Tensor<float>* grad_;
+  DimPartition cpart_;
+  int coord_c_;
+  int ar_tag_, ag_tag_;
+  bool allgathering_ = false;
+  std::vector<float> slice_, all_;
+  SliceBlocks blocks_;
+  std::unique_ptr<comm::NbOp> ar_;
+  std::unique_ptr<comm::NbAllgatherv<float>> ag_;
+};
+
+/// One layer's small gradients (BN γ/β, biases) concatenated into a single
+/// recursive-doubling allreduce to amortize latency. Recursive doubling
+/// applies the reduction element-wise with the same partner order whatever
+/// the buffer layout, and each bucketed gradient is individually at or
+/// below the ring threshold, so the blocking path's per-gradient kAuto
+/// allreduces compute the bitwise-identical sums.
+class SmallGradBucketOp final : public comm::NbOp {
+ public:
+  SmallGradBucketOp(comm::Comm& comm,
+                    std::vector<std::pair<float*, std::size_t>> spans)
+      : comm_(&comm), spans_(std::move(spans)),
+        tag_(comm.next_internal_tag()) {}
+
+ protected:
+  bool begin() override {
+    std::size_t total = 0;
+    for (const auto& s : spans_) total += s.second;
+    buf_.resize(total);
+    std::size_t off = 0;
+    for (const auto& s : spans_) {
+      std::copy(s.first, s.first + s.second, buf_.data() + off);
+      off += s.second;
+    }
+    ar_ = std::make_unique<comm::NbAllreduceRd<float>>(
+        *comm_, buf_.data(), buf_.size(), comm::ReduceOp::kSum, tag_);
+    ar_->start();
+    return pump();
+  }
+  bool advance() override { return pump(); }
+  void block() override { ar_->wait_progress(); }
+
+ private:
+  bool pump() {
+    if (!ar_->progress()) return false;
+    std::size_t off = 0;
+    for (const auto& s : spans_) {
+      std::copy(buf_.data() + off, buf_.data() + off + s.second, s.first);
+      off += s.second;
+    }
+    return true;
+  }
+
+  comm::Comm* comm_;
+  std::vector<std::pair<float*, std::size_t>> spans_;
+  int tag_;
+  std::vector<float> buf_;
+  std::unique_ptr<comm::NbAllreduceRd<float>> ar_;
+};
+
+}  // namespace
 
 Model::Model(const NetworkSpec& spec, comm::Comm& comm, const Strategy& strategy,
              std::uint64_t seed, ModelOptions opts)
@@ -327,17 +462,68 @@ void Model::allreduce_gradients() {
   }
 }
 
-void Model::backward(bool accumulate) {
+void Model::enqueue_gradient_completion(int layer) {
+  auto& rt = rts_[layer];
+  if (rt.grads.empty()) return;
+  std::vector<std::pair<float*, std::size_t>> small;
+  for (std::size_t k = 0; k < rt.grads.size(); ++k) {
+    auto& g = rt.grads[k];
+    const auto n = static_cast<std::size_t>(g.size());
+    if (k == 0 && is_channel_parallel(layer)) {
+      const ProcessGrid& grid = rt.grid;
+      grad_engine_.enqueue(std::make_unique<SlicedWeightGradOp>(
+          slice_comm(layer), channel_comm(layer), g,
+          DimPartition(g.shape().c, grid.c), grid.coord_of(comm_->rank()).c));
+    } else if (n * sizeof(float) <= comm::kAllreduceRingThresholdBytes) {
+      small.emplace_back(g.data(), n);
+    } else {
+      grad_engine_.enqueue(comm::make_iallreduce(*comm_, g.data(), n,
+                                                 comm::ReduceOp::kSum));
+    }
+  }
+  if (!small.empty()) {
+    grad_engine_.enqueue(
+        std::make_unique<SmallGradBucketOp>(*comm_, std::move(small)));
+  }
+}
+
+void Model::backward(bool accumulate) { backward(accumulate, !accumulate); }
+
+void Model::backward(bool accumulate, bool complete) {
   DC_REQUIRE(loss_seeded_, "backward() requires a prior loss_*() call");
+  DC_CHECK(grad_engine_.idle());
   if (!accumulate) zero_gradients();
+  const bool overlap = complete && opts_.overlap_allreduce;
+  grad_completion_seconds_ = 0;
   for (int i = num_layers() - 1; i >= 0; --i) {
     auto& rt = rts_[i];
     const Layer& layer = spec_->layer(i);
-    if (layer.parents().empty()) continue;
-    layer.backward(*this, i, rt);
-    accumulate_into_parent_dy(rt);
+    if (overlap) grad_engine_.progress();  // advance in-flight rounds
+    if (!layer.parents().empty()) {
+      layer.backward(*this, i, rt);
+      if (overlap) grad_engine_.progress();
+      accumulate_into_parent_dy(rt);
+    }
+    // This layer's gradients are final (later layers only touch their own):
+    // put their completion on the wire behind whatever is already in
+    // flight, then poll so finished ops free the channel — the engine-side
+    // realization of the model's greedy single-channel schedule.
+    if (overlap) {
+      enqueue_gradient_completion(i);
+      grad_engine_.progress();
+    }
   }
-  if (!accumulate) allreduce_gradients();
+  if (complete) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (overlap) {
+      grad_engine_.drain();
+    } else {
+      allreduce_gradients();
+    }
+    grad_completion_seconds_ =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
   loss_seeded_ = false;
 }
 

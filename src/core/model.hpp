@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "comm/nonblocking.hpp"
 #include "core/spec.hpp"
 #include "core/strategy.hpp"
 #include "kernels/losses.hpp"
@@ -89,8 +90,29 @@ class Model {
   /// micro-batches and updates accumulated").
   void backward(bool accumulate = false);
 
-  /// Complete deferred gradient sums across all ranks.
+  /// Backpropagation with explicit gradient completion: complete=true
+  /// finishes every cross-rank gradient sum before returning. When
+  /// options().overlap_allreduce is set, completion is *overlapped*: each
+  /// layer's ops (full allreduce, the shrunk slice-allreduce + channel-group
+  /// allgather for channel-parallel convs, or the small-gradient bucket) are
+  /// enqueued on the nonblocking engine as soon as the layer's backward
+  /// kernels retire, and the engine is drained before returning — so
+  /// sgd_step() always sees completed gradients. The one-argument overload
+  /// keeps the historical meaning (complete = !accumulate).
+  void backward(bool accumulate, bool complete);
+
+  /// Complete deferred gradient sums across all ranks (blocking sweep).
   void allreduce_gradients();
+
+  /// Seconds the most recent completing backward() spent finishing
+  /// gradients after its last backprop kernel: the blocking sweep's
+  /// duration, or — overlapped — the final engine drain, the executable
+  /// analogue of the model's `allreduce_exposed` (ideally ~0 when every op
+  /// was hidden behind backprop compute). Both include whatever rank skew
+  /// the completion absorbs, so the two modes compare like for like.
+  double last_grad_completion_seconds() const {
+    return grad_completion_seconds_;
+  }
 
   /// Apply SGD on every parameter (replicated update).
   void sgd_step(const kernels::SgdConfig& cfg);
@@ -108,6 +130,10 @@ class Model {
  private:
   void build_tensors(const std::vector<Shape4>& shapes);
   void accumulate_into_parent_dy(LayerRt& rt);
+  /// Enqueue the nonblocking completion ops for a layer's gradients on
+  /// grad_engine_ (overlapped backward path). Bitwise-equivalent to the
+  /// layer's slice of allreduce_gradients().
+  void enqueue_gradient_completion(int layer);
   /// Complete a channel-parallel conv's weight gradient: each rank holds the
   /// dL/dw columns of its channel slice; allreduce the slice across the ranks
   /// sharing it, then allgather the slices over the channel group so the
@@ -122,6 +148,8 @@ class Model {
   std::vector<std::optional<comm::Comm>> spatial_comms_;  // per layer
   std::vector<std::optional<comm::Comm>> channel_comms_;  // per layer, c > 1
   std::vector<std::optional<comm::Comm>> slice_comms_;    // per layer, c > 1
+  comm::CollectiveEngine grad_engine_;  ///< overlapped gradient completion
+  double grad_completion_seconds_ = 0;
   bool loss_seeded_ = false;
 };
 

@@ -39,9 +39,11 @@ double Trainer::step_bce(const Tensor<float>& global_input,
     model.set_input(0, micro_in);
     model.forward();
     loss_sum += model.loss_bce(micro_tgt, grad_count);
-    model.backward(/*accumulate=*/true);
+    // The last micro-batch completes the accumulated gradients inside
+    // backward, so the per-layer sums can ride the nonblocking engine and
+    // hide behind the remaining backprop when overlap is enabled.
+    model.backward(/*accumulate=*/true, /*complete=*/k == m - 1);
   }
-  model.allreduce_gradients();
   model.sgd_step(options_.sgd);
   return loss_sum / m;
 }
@@ -68,9 +70,8 @@ double Trainer::step_softmax(const Tensor<float>& global_input,
     model.set_input(0, micro_in);
     model.forward();
     loss_sum += model.loss_softmax(micro_labels, grad_count);
-    model.backward(/*accumulate=*/true);
+    model.backward(/*accumulate=*/true, /*complete=*/k == m - 1);
   }
-  model.allreduce_gradients();
   model.sgd_step(options_.sgd);
   return loss_sum / m;
 }

@@ -6,8 +6,9 @@
 // spatial parallelism competes with. Trainer implements it over the Model's
 // gradient-accumulation API: a global mini-batch of N samples runs as M
 // micro-batches of N/M through a model built with batch N/M, gradients
-// accumulate locally, and a single allreduce completes the step. With M = 1
-// this is a plain training step. Every strategy the engine executes —
+// accumulate locally, and the last micro-batch's backward completes the
+// step's gradient sums (overlapped with its backprop when the model's
+// overlap_allreduce option is on). With M = 1 this is a plain training step. Every strategy the engine executes —
 // sample, spatial, hybrid, and channel/filter-parallel (c > 1) grids —
 // composes with micro-batching: channel-parallel layers accumulate their
 // weight-gradient slices locally and the deferred completion runs the

@@ -1,0 +1,250 @@
+// Nonblocking collectives: bitwise agreement with the blocking algorithms,
+// multiple in-flight operations with out-of-order completion, tag isolation
+// (between concurrent ops and against blocking traffic), zero-length
+// buffers, and the CollectiveEngine's FIFO drain.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <iterator>
+#include <memory>
+#include <vector>
+
+#include "comm/collectives.hpp"
+#include "comm/nonblocking.hpp"
+#include "support/rng.hpp"
+
+namespace distconv::comm {
+namespace {
+
+std::vector<float> random_floats(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+bool bitwise_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+/// The nonblocking allreduce must produce the bitwise-identical result to
+/// the blocking call for every algorithm the kAuto dispatcher can pick:
+/// recursive doubling (small n), ring (large n), and the ring → recursive
+/// doubling fallback (n < p).
+TEST(Nonblocking, IallreduceBitwiseMatchesBlocking) {
+  for (const int p : {2, 3, 4, 5, 8}) {
+    for (const std::size_t n :
+         {std::size_t{1}, std::size_t{3}, std::size_t{257}, std::size_t{8192}}) {
+      World world(p);
+      world.run([n, p](Comm& comm) {
+        std::vector<float> blocking =
+            random_floats(n, 17 * static_cast<std::uint64_t>(comm.rank() + 1));
+        std::vector<float> nonblocking = blocking;
+
+        allreduce(comm, blocking.data(), n, ReduceOp::kSum);
+
+        CollectiveEngine engine;
+        engine.enqueue(
+            make_iallreduce(comm, nonblocking.data(), n, ReduceOp::kSum));
+        engine.drain();
+        EXPECT_TRUE(engine.idle());
+        EXPECT_TRUE(bitwise_equal(blocking, nonblocking))
+            << "p=" << p << " n=" << n << " rank=" << comm.rank();
+      });
+    }
+  }
+}
+
+TEST(Nonblocking, ExplicitAlgorithmsMatchBlocking) {
+  World world(4);
+  world.run([](Comm& comm) {
+    const std::size_t n = 4096;  // above the p=4 ring minimum either way
+    for (const auto algo :
+         {AllreduceAlgo::kRecursiveDoubling, AllreduceAlgo::kRing}) {
+      std::vector<float> blocking =
+          random_floats(n, 3 * static_cast<std::uint64_t>(comm.rank() + 1));
+      std::vector<float> nonblocking = blocking;
+      allreduce(comm, blocking.data(), n, ReduceOp::kMax, algo);
+
+      CollectiveEngine engine;
+      engine.enqueue(
+          make_iallreduce(comm, nonblocking.data(), n, ReduceOp::kMax, algo));
+      engine.drain();
+      EXPECT_TRUE(bitwise_equal(blocking, nonblocking));
+    }
+  });
+}
+
+TEST(Nonblocking, ZeroLengthBuffersCompleteImmediately) {
+  World world(3);
+  world.run([](Comm& comm) {
+    CollectiveEngine engine;
+    engine.enqueue(
+        make_iallreduce<float>(comm, nullptr, 0, ReduceOp::kSum));
+    EXPECT_TRUE(engine.idle());  // trivial op retires inside enqueue()
+    engine.drain();
+  });
+}
+
+TEST(Nonblocking, SingleRankCompletesImmediately) {
+  World world(1);
+  world.run([](Comm& comm) {
+    std::vector<float> v{1.0f, 2.0f, 3.0f};
+    const std::vector<float> expect = v;
+    CollectiveEngine engine;
+    engine.enqueue(make_iallreduce(comm, v.data(), v.size(), ReduceOp::kSum));
+    EXPECT_TRUE(engine.idle());
+    EXPECT_TRUE(bitwise_equal(v, expect));
+  });
+}
+
+/// Two operations in flight at once on the same communicator, progressed in
+/// a rank-dependent interleaving so completion order differs across ranks.
+/// Tags are allocated in SPMD order at construction, so the concurrent
+/// messages cannot cross-match — each op still reduces its own payload.
+TEST(Nonblocking, InFlightOpsCompleteOutOfOrder) {
+  World world(4);
+  world.run([](Comm& comm) {
+    const std::size_t n = 64;
+    std::vector<float> a =
+        random_floats(n, 100 + static_cast<std::uint64_t>(comm.rank()));
+    std::vector<float> b =
+        random_floats(n, 200 + static_cast<std::uint64_t>(comm.rank()));
+    std::vector<float> a_ref = a, b_ref = b;
+    allreduce(comm, a_ref.data(), n, ReduceOp::kSum);
+    allreduce(comm, b_ref.data(), n, ReduceOp::kSum);
+
+    // Both ops constructed (tags drawn) and started on every rank before
+    // either is progressed — both are genuinely on the wire.
+    auto op_a = make_iallreduce(comm, a.data(), n, ReduceOp::kSum);
+    auto op_b = make_iallreduce(comm, b.data(), n, ReduceOp::kSum);
+    op_a->start();
+    op_b->start();
+
+    // Even ranks poll (b, a), odd ranks poll (a, b): under contention the
+    // finish order can differ per rank; both must still be exact.
+    NbOp* first = comm.rank() % 2 == 0 ? op_b.get() : op_a.get();
+    NbOp* second = comm.rank() % 2 == 0 ? op_a.get() : op_b.get();
+    while (!first->done() || !second->done()) {
+      first->progress();
+      second->progress();
+    }
+    EXPECT_TRUE(bitwise_equal(a, a_ref));
+    EXPECT_TRUE(bitwise_equal(b, b_ref));
+  });
+}
+
+/// Blocking collectives may run on the same communicator while nonblocking
+/// ops are in flight: internal tags are distinct, so neither steals the
+/// other's messages.
+TEST(Nonblocking, InFlightOpIsolatedFromBlockingTraffic) {
+  World world(4);
+  world.run([](Comm& comm) {
+    const std::size_t n = 512;
+    std::vector<float> v =
+        random_floats(n, 7 * static_cast<std::uint64_t>(comm.rank() + 1));
+    std::vector<float> ref = v;
+    allreduce(comm, ref.data(), n, ReduceOp::kSum);
+
+    auto op = make_iallreduce(comm, v.data(), n, ReduceOp::kSum);
+    op->start();
+
+    // A blocking allreduce and a barrier complete while `op` is pending.
+    double x = comm.rank();
+    allreduce(comm, &x, 1, ReduceOp::kSum);
+    const int p = comm.size();
+    EXPECT_DOUBLE_EQ(x, p * (p - 1) / 2.0);
+    barrier(comm);
+
+    while (!op->progress()) op->wait_progress();
+    EXPECT_TRUE(bitwise_equal(v, ref));
+  });
+}
+
+TEST(Nonblocking, IallgathervMatchesBlockingWithUnevenAndEmptyBlocks) {
+  World world(4);
+  world.run([](Comm& comm) {
+    const int p = comm.size();
+    // Rank r contributes r * 3 elements — rank 0 contributes none.
+    std::vector<std::size_t> counts(p), displs(p);
+    std::size_t total = 0;
+    for (int r = 0; r < p; ++r) {
+      counts[r] = static_cast<std::size_t>(r) * 3;
+      displs[r] = total;
+      total += counts[r];
+    }
+    const std::size_t mine = counts[comm.rank()];
+    std::vector<float> send =
+        random_floats(mine, 31 + static_cast<std::uint64_t>(comm.rank()));
+    std::vector<float> ref(total), got(total);
+    allgatherv(comm, send.data(), mine, ref.data(), counts, displs);
+
+    CollectiveEngine engine;
+    engine.enqueue(std::make_unique<NbAllgatherv<float>>(
+        comm, send.data(), mine, got.data(), counts, displs));
+    engine.drain();
+    EXPECT_TRUE(bitwise_equal(got, ref));
+  });
+}
+
+/// The engine keeps strict FIFO per rank: a burst of mixed-size, mixed-op
+/// enqueues (small recursive-doubling, large ring, an allgatherv) drains to
+/// the same results as the blocking sequence.
+TEST(Nonblocking, EngineDrainsMixedBurstFifo) {
+  World world(3);
+  world.run([](Comm& comm) {
+    const std::size_t sizes[] = {5, 6000, 17, 0, 1024};
+    std::vector<std::vector<float>> bufs, refs;
+    for (std::size_t k = 0; k < std::size(sizes); ++k) {
+      bufs.push_back(random_floats(
+          sizes[k], (k + 1) * 1000 + static_cast<std::uint64_t>(comm.rank())));
+      refs.push_back(bufs.back());
+      allreduce(comm, refs.back().data(), refs.back().size(), ReduceOp::kSum);
+    }
+    CollectiveEngine engine;
+    for (auto& buf : bufs) {
+      engine.enqueue(
+          make_iallreduce(comm, buf.data(), buf.size(), ReduceOp::kSum));
+    }
+    EXPECT_GE(std::size(sizes), engine.pending_ops());
+    engine.drain();
+    EXPECT_TRUE(engine.idle());
+    for (std::size_t k = 0; k < bufs.size(); ++k) {
+      EXPECT_TRUE(bitwise_equal(bufs[k], refs[k])) << "op " << k;
+    }
+  });
+}
+
+/// Ops on split sub-communicators progress independently of the parent's
+/// wire: contexts differ, so an op per subgroup plus one on the parent can
+/// all be in flight.
+TEST(Nonblocking, SubCommunicatorOpsRunConcurrently) {
+  World world(4);
+  world.run([](Comm& comm) {
+    Comm half = comm.split(comm.rank() / 2, comm.rank());
+    const std::size_t n = 128;
+    std::vector<float> on_world =
+        random_floats(n, 400 + static_cast<std::uint64_t>(comm.rank()));
+    std::vector<float> on_half =
+        random_floats(n, 500 + static_cast<std::uint64_t>(comm.rank()));
+    std::vector<float> world_ref = on_world, half_ref = on_half;
+    allreduce(comm, world_ref.data(), n, ReduceOp::kSum);
+    allreduce(half, half_ref.data(), n, ReduceOp::kSum);
+
+    auto wop = make_iallreduce(comm, on_world.data(), n, ReduceOp::kSum);
+    auto hop = make_iallreduce(half, on_half.data(), n, ReduceOp::kSum);
+    wop->start();
+    hop->start();
+    while (!wop->done() || !hop->done()) {
+      wop->progress();
+      hop->progress();
+    }
+    EXPECT_TRUE(bitwise_equal(on_world, world_ref));
+    EXPECT_TRUE(bitwise_equal(on_half, half_ref));
+  });
+}
+
+}  // namespace
+}  // namespace distconv::comm

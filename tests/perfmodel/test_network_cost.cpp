@@ -164,12 +164,16 @@ TEST(Sim, WeakScalingSeriesRespectMachineSize) {
   for (const auto& s : series) {
     for (const auto& cell : s.cells) {
       EXPECT_LE(cell.gpus, 64);
-      if (cell.feasible) EXPECT_GT(cell.seconds, 0.0);
+      if (cell.feasible) {
+        EXPECT_GT(cell.seconds, 0.0);
+      }
     }
     // Weak scaling: flat within 10% below the pressure scale.
     const double first = s.cells.front().seconds;
     for (const auto& cell : s.cells) {
-      if (cell.feasible) EXPECT_NEAR(cell.seconds / first, 1.0, 0.1);
+      if (cell.feasible) {
+        EXPECT_NEAR(cell.seconds / first, 1.0, 0.1);
+      }
     }
   }
 }
