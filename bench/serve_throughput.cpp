@@ -1,0 +1,212 @@
+// Closed-loop serving benchmark: synthetic clients with Poisson arrivals
+// drive the distributed inference server, and the harness reports measured
+// throughput and p50/p99 latency per batching policy, next to the
+// forward-only cost model's ServingEstimate for the same (strategy, policy)
+// pair.
+//
+// Policies compared (the max-batch / max-delay knobs of serve::Batcher):
+//   no-batching — max_batch 1                    (a latency floor)
+//   greedy      — max_batch B, max_delay 0       (batch whatever is queued)
+//   max-delay   — max_batch B, max_delay D µs    (hold for fuller batches)
+//
+// The serving strategy itself comes from the §V-C optimizer under the
+// forward-only objective (perf::Objective::kInference), so this harness also
+// demonstrates the optimizer recommending serving grids.
+//
+//   $ ./serve_throughput [--smoke]
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "bench/args.hpp"
+#include "comm/collectives.hpp"
+#include "core/checkpoint.hpp"
+#include "core/layers.hpp"
+#include "core/model.hpp"
+#include "perf/strategy_opt.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace distconv;
+
+struct Policy {
+  const char* name;
+  int max_batch;
+  std::int64_t max_delay_us;
+};
+
+struct Config {
+  int ranks = 4;
+  std::int64_t batch = 8;  ///< model dispatch capacity
+  int classes = 10;
+  std::int64_t image = 32;
+  int requests = 512;
+  double arrival_rate = 2000.0;  ///< Poisson λ, requests/second
+};
+
+core::NetworkSpec classifier(const Config& cfg) {
+  core::NetworkBuilder nb;
+  const int in = nb.input(Shape4{cfg.batch, 3, cfg.image, cfg.image});
+  int x = nb.conv_bn_relu("b1", in, 16, 3, 2);
+  x = nb.conv_bn_relu("b2", x, 24, 3, 1);
+  x = nb.conv_bn_relu("b3", x, 32, 3, 1);
+  x = nb.global_avg_pool("gap", x);
+  x = nb.fully_connected("fc", x, cfg.classes, /*bias=*/true);
+  return nb.take();
+}
+
+struct PolicyResult {
+  double seconds = 0;  ///< first submit → last completion
+  serve::ServerStats stats;
+};
+
+PolicyResult run_policy(const Config& cfg, const Policy& policy,
+                        const core::Strategy& strategy,
+                        const std::string& checkpoint_blob) {
+  serve::ServeOptions opts;
+  opts.batcher.max_batch = policy.max_batch;
+  opts.batcher.max_delay_us = policy.max_delay_us;
+  opts.top_k = 3;
+  serve::Server server(opts);
+
+  PolicyResult result;
+  // Hold the clients until the serving model is actually up (built, loaded,
+  // inside serve()) so startup cost cannot leak into measured latency.
+  std::promise<void> server_up;
+  std::shared_future<void> up = server_up.get_future().share();
+  std::thread client([&] {
+    // Open-loop Poisson arrivals: inter-arrival gaps ~ Exp(λ); every client
+    // waits for its own completion at the end (closed at the run level).
+    up.wait();
+    Rng rng(4242);
+    std::vector<std::future<serve::InferenceResult>> futures;
+    futures.reserve(cfg.requests);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < cfg.requests; ++i) {
+      Tensor<float> sample(Shape4{1, 3, cfg.image, cfg.image});
+      sample.fill_uniform(rng, -1.0f, 1.0f);
+      futures.push_back(server.submit(std::move(sample)));
+      const double gap = -std::log(std::max(1e-12, 1.0 - rng.uniform())) /
+                         cfg.arrival_rate;
+      std::this_thread::sleep_for(std::chrono::duration<double>(gap));
+    }
+    for (auto& f : futures) f.wait();
+    result.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    server.shutdown();
+  });
+
+  comm::World world(cfg.ranks);
+  world.run([&](comm::Comm& comm) {
+    const core::NetworkSpec spec = classifier(cfg);
+    core::Model model(spec, comm, strategy, /*seed=*/7);
+    std::istringstream in(checkpoint_blob);
+    core::load_checkpoint(model, in);
+    comm::barrier(comm);  // every rank ready to serve
+    if (comm.rank() == 0) server_up.set_value();
+    server.serve(model);
+  });
+  client.join();
+  result.stats = server.stats();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = distconv::bench::parse_harness_args(argc, argv);
+  Config cfg;
+  if (args.smoke) {
+    cfg.requests = 24;
+    cfg.image = 16;
+    cfg.batch = 4;
+    cfg.arrival_rate = 4000.0;
+  }
+
+  // Train briefly so batchnorm has running statistics (otherwise serving
+  // falls back to batch statistics and the zero-padded slots stop being
+  // inert); checkpoint and serve from the restored weights, as production
+  // would.
+  std::string blob;
+  {
+    comm::World world(1);
+    world.run([&](comm::Comm& comm) {
+      const core::NetworkSpec spec = classifier(cfg);
+      core::Model model(
+          spec, comm, core::Strategy::sample_parallel(spec.size(), 1), 7);
+      Rng rng(99);
+      const Shape4 in_shape = model.rt(0).out_shape;
+      for (int step = 0; step < 2; ++step) {
+        Tensor<float> x(in_shape);
+        x.fill_uniform(rng, -1.0f, 1.0f);
+        std::vector<int> labels;
+        for (std::int64_t n = 0; n < in_shape.n; ++n) {
+          labels.push_back(static_cast<int>(rng.uniform() * cfg.classes) %
+                           cfg.classes);
+        }
+        model.set_input(0, x);
+        model.forward();
+        model.loss_softmax(labels);
+        model.backward();
+        model.sgd_step(distconv::kernels::SgdConfig{0.05f, 0.9f, 0.0f});
+      }
+      std::ostringstream out;
+      core::save_checkpoint(model, out);
+      blob = out.str();
+    });
+  }
+
+  // Serving strategy from the forward-only objective (FC head layers are
+  // pinned sample-parallel by the optimizer).
+  const core::NetworkSpec spec = classifier(cfg);
+  const perf::MachineModel machine = perf::MachineModel::lassen();
+  perf::OptimizerOptions opt;
+  opt.objective = perf::Objective::kInference;
+  const core::Strategy strategy =
+      perf::optimize_strategy(spec, cfg.ranks, machine, opt);
+  std::printf("serving strategy (forward-only objective, %d ranks): %s\n",
+              cfg.ranks, strategy.str().c_str());
+
+  const std::vector<Policy> policies = {
+      {"no-batching", 1, 0},
+      {"greedy", static_cast<int>(cfg.batch), 0},
+      {"max-delay", static_cast<int>(cfg.batch), args.smoke ? 500 : 2000},
+  };
+
+  const perf::ServingEstimate model_est = perf::estimate_serving(
+      spec, strategy, machine, /*max_delay_seconds=*/2e-3);
+  std::printf("model: batch latency %.3f ms, throughput %.0f samples/s "
+              "(at dispatch batch %lld)\n\n",
+              model_est.batch_latency * 1e3, model_est.throughput,
+              static_cast<long long>(cfg.batch));
+
+  std::printf("%-12s %9s %11s %11s %11s %10s\n", "policy", "reqs",
+              "thru(r/s)", "p50(ms)", "p99(ms)", "avg fill");
+  for (const auto& policy : policies) {
+    const PolicyResult res = run_policy(cfg, policy, strategy, blob);
+    const double throughput =
+        res.seconds > 0 ? double(res.stats.requests) / res.seconds : 0.0;
+    std::printf("%-12s %9llu %11.1f %11.3f %11.3f %10.2f\n", policy.name,
+                static_cast<unsigned long long>(res.stats.requests),
+                throughput, res.stats.p50_latency_seconds * 1e3,
+                res.stats.p99_latency_seconds * 1e3,
+                res.stats.mean_batch_fill);
+    if (res.stats.requests != static_cast<std::uint64_t>(cfg.requests)) {
+      std::fprintf(stderr, "FAIL: %s served %llu of %d requests\n",
+                   policy.name,
+                   static_cast<unsigned long long>(res.stats.requests),
+                   cfg.requests);
+      return 1;
+    }
+  }
+  std::printf("\nknobs: DC_SERVE_MAX_BATCH / DC_SERVE_MAX_DELAY_US "
+              "(see README \"Inference serving\")\n");
+  return 0;
+}

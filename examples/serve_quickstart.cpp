@@ -1,0 +1,126 @@
+// Serving quickstart: train a small classifier for a few steps, checkpoint
+// it, bring up the distributed inference server on a *different* process
+// grid, issue requests from a client thread, and print latency statistics.
+//
+//   $ ./serve_quickstart
+//
+// Walks through the serving objects:
+//   core::Model::forward(Mode::kInference) — eval-mode forward (batchnorm
+//       normalizes with the running statistics tracked during training)
+//   core::save/load_checkpoint_file — format v2 round-trips those statistics
+//   serve::Server / serve::Batcher — dynamic request batching (max-batch /
+//       max-delay policy) over the distributed forward
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/layers.hpp"
+#include "core/model.hpp"
+#include "serve/server.hpp"
+
+using namespace distconv;
+
+namespace {
+
+constexpr int kRanks = 4;
+constexpr int kClasses = 8;
+constexpr std::int64_t kBatch = 8;
+
+core::NetworkSpec classifier() {
+  core::NetworkBuilder nb;
+  const int in = nb.input(Shape4{kBatch, 3, 32, 32});
+  int x = nb.conv_bn_relu("b1", in, 16, 3, 2);
+  x = nb.conv_bn_relu("b2", x, 24, 3, 1);
+  x = nb.global_avg_pool("gap", x);
+  x = nb.fully_connected("fc", x, kClasses, /*bias=*/true);
+  return nb.take();
+}
+
+}  // namespace
+
+int main() {
+  const char* ckpt = "serve_quickstart.ckpt";
+
+  // Batching policy from the env knobs (DC_SERVE_MAX_BATCH /
+  // DC_SERVE_MAX_DELAY_US), defaults: batch 8, 1 ms max delay. The server
+  // additionally caps each dispatch at the model's batch capacity (kBatch).
+  serve::ServeOptions opts = serve::serve_options_from_env();
+  opts.top_k = 3;
+  serve::Server server(opts);
+
+  std::thread client;
+  comm::World world(kRanks);
+  world.run([&](comm::Comm& comm) {
+    // ---- Phase 1: train under a hybrid sample/spatial grid (the FC head
+    // pins to sample parallelism; the engine shuffles into it). ------------
+    const core::NetworkSpec spec = classifier();
+    core::Strategy train_strategy =
+        core::Strategy::hybrid(spec.size(), kRanks, 2);
+    train_strategy.grids[spec.size() - 1] = ProcessGrid{kRanks, 1, 1, 1};
+    {
+      core::Model model(spec, comm, train_strategy, /*seed=*/1);
+      Rng rng(5);
+      const Shape4 in_shape = model.rt(0).out_shape;
+      for (int step = 0; step < 6; ++step) {
+        Tensor<float> x(in_shape);
+        x.fill_uniform(rng, -1.0f, 1.0f);
+        std::vector<int> labels;
+        for (std::int64_t n = 0; n < in_shape.n; ++n) {
+          labels.push_back(static_cast<int>(rng.uniform() * kClasses) %
+                           kClasses);
+        }
+        model.set_input(0, x);
+        model.forward();
+        const double loss = model.loss_softmax(labels);
+        model.backward();
+        model.sgd_step(kernels::SgdConfig{0.1f, 0.9f, 0.0f});
+        if (comm.rank() == 0) {
+          std::printf("train step %d  loss %.4f\n", step, loss);
+        }
+      }
+      core::save_checkpoint_file(model, ckpt);  // v2: weights + BN stats
+    }
+
+    // ---- Phase 2: serve from the checkpoint under a different grid. ------
+    core::Model serving(spec, comm,
+                        core::Strategy::sample_parallel(spec.size(), kRanks),
+                        /*seed=*/2);
+    core::load_checkpoint_file(serving, ckpt);
+    if (comm.rank() == 0) {
+      std::printf("\nserving %d-class model on %d ranks "
+                  "(max_batch=%d, max_delay=%lldus)\n\n",
+                  kClasses, kRanks, opts.batcher.max_batch,
+                  static_cast<long long>(opts.batcher.max_delay_us));
+      client = std::thread([&server] {
+        Rng rng(77);
+        std::vector<std::future<serve::InferenceResult>> futures;
+        for (int i = 0; i < 20; ++i) {
+          Tensor<float> sample(Shape4{1, 3, 32, 32});
+          sample.fill_uniform(rng, -1.0f, 1.0f);
+          futures.push_back(server.submit(std::move(sample)));
+        }
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+          const serve::InferenceResult res = futures[i].get();
+          std::printf("request %2zu: top-1 class %d (p=%.3f)  "
+                      "latency %.2f ms\n",
+                      i, res.topk[0].cls, res.topk[0].prob,
+                      res.latency_seconds * 1e3);
+        }
+        server.shutdown();
+      });
+    }
+    server.serve(serving);  // collective: every rank runs the serving loop
+  });
+  client.join();
+
+  const serve::ServerStats stats = server.stats();
+  std::printf("\nserved %llu requests in %llu batches "
+              "(avg fill %.2f)  p50 %.2f ms  p99 %.2f ms\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.batches),
+              stats.mean_batch_fill, stats.p50_latency_seconds * 1e3,
+              stats.p99_latency_seconds * 1e3);
+  std::remove(ckpt);
+  return 0;
+}

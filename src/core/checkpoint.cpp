@@ -5,12 +5,12 @@
 #include <sstream>
 
 #include "comm/collectives.hpp"
+#include "support/logging.hpp"
 
 namespace distconv::core {
 namespace {
 
 constexpr char kMagic[4] = {'D', 'C', 'K', 'P'};
-constexpr std::uint32_t kVersion = 1;
 
 template <typename T>
 void write_pod(std::ostream& out, const T& value) {
@@ -45,7 +45,7 @@ void read_tensor(std::istream& in, Tensor<float>& t) {
 
 void save_checkpoint(const Model& model, std::ostream& out) {
   out.write(kMagic, 4);
-  write_pod(out, kVersion);
+  write_pod(out, kCheckpointVersion);
   write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(model.num_layers()));
   bool any_velocity = false;
   for (int i = 0; i < model.num_layers(); ++i) {
@@ -63,6 +63,13 @@ void save_checkpoint(const Model& model, std::ostream& out) {
       for (const auto& v : rt.velocity) write_tensor(out, v);
     }
   }
+  // v2: non-trainable buffers (the v1 layout above is an exact prefix, so a
+  // v2 reader consumes v1 streams by stopping here).
+  for (int i = 0; i < model.num_layers(); ++i) {
+    const auto& rt = model.rt(i);
+    write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(rt.buffers.size()));
+    for (const auto& b : rt.buffers) write_tensor(out, b);
+  }
 }
 
 void load_checkpoint(Model& model, std::istream& in) {
@@ -71,7 +78,8 @@ void load_checkpoint(Model& model, std::istream& in) {
   DC_REQUIRE(in.good() && std::memcmp(magic, kMagic, 4) == 0,
              "not a distconv checkpoint");
   const auto version = read_pod<std::uint32_t>(in);
-  DC_REQUIRE(version == kVersion, "unsupported checkpoint version ", version);
+  DC_REQUIRE(version >= 1 && version <= kCheckpointVersion,
+             "unsupported checkpoint version ", version);
   const auto layers = read_pod<std::uint32_t>(in);
   DC_REQUIRE(layers == static_cast<std::uint32_t>(model.num_layers()),
              "checkpoint has ", layers, " layers, model has ",
@@ -94,6 +102,30 @@ void load_checkpoint(Model& model, std::istream& in) {
       }
       DC_REQUIRE(count == rt.velocity.size(), "velocity count mismatch");
       for (auto& v : rt.velocity) read_tensor(in, v);
+    }
+  }
+  if (version >= 2) {
+    for (int i = 0; i < model.num_layers(); ++i) {
+      auto& rt = model.rt(i);
+      const auto count = read_pod<std::uint32_t>(in);
+      DC_REQUIRE(count == rt.buffers.size(), "layer ", i, ": checkpoint has ",
+                 count, " buffers, model has ", rt.buffers.size());
+      for (auto& b : rt.buffers) read_tensor(in, b);
+    }
+  } else {
+    // v1 stream: the buffer section does not exist. Reset every layer's
+    // buffers to their fresh state so stale running statistics from a
+    // previous life of this model cannot leak into the restored one;
+    // eval-mode forward then falls back to batch statistics.
+    bool any = false;
+    for (int i = 0; i < model.num_layers(); ++i) {
+      auto& rt = model.rt(i);
+      any = any || !rt.buffers.empty();
+      model.spec().layer(i).init_buffers(rt);
+    }
+    if (any && model.comm().rank() == 0) {
+      log::warn("loaded a v1 checkpoint: no batchnorm running statistics; "
+                "eval-mode forward will fall back to batch statistics");
     }
   }
 }

@@ -1,15 +1,21 @@
-// Checkpointing of model parameters (and optimizer momentum).
+// Checkpointing of model parameters, non-trainable buffers (batchnorm
+// running statistics) and optimizer momentum.
 //
 // Because weights are replicated and kept bitwise identical across ranks,
 // rank 0 alone writes the checkpoint; loading broadcasts from rank 0 so the
 // replicas stay exact. Checkpoints are strategy-independent: a model trained
 // under one parallel execution strategy restores into any other (only the
 // activations are distributed, never the parameters) — which is what makes
-// "strong-scale the same training run on more GPUs" workflows possible.
+// "strong-scale the same training run on more GPUs" and "train under one
+// grid, serve under another" workflows possible.
 //
 // Format (little-endian): magic "DCKP", version u32, layer count u32, then
 // per layer: param count u32, per param: 4×i64 shape + f32 data; then a u8
-// flag and, if set, the momentum tensors in the same layout.
+// flag and, if set, the momentum tensors in the same layout. Version 2
+// appends one more section: per layer, buffer count u32 + buffer tensors
+// (BN running mean/variance/update counter). Version 1 streams still load —
+// buffers are re-initialized to their fresh state and eval-mode forward
+// falls back to batch statistics with a logged warning.
 #pragma once
 
 #include <iosfwd>
@@ -19,12 +25,16 @@
 
 namespace distconv::core {
 
-/// Serialize parameters (+ momentum if present) to a stream. Not collective;
-/// normally guarded by rank 0 (every rank holds identical parameters).
+/// The format version save_checkpoint writes.
+constexpr std::uint32_t kCheckpointVersion = 2;
+
+/// Serialize parameters, buffers and momentum (if present) to a stream. Not
+/// collective; normally guarded by rank 0 (every rank holds identical
+/// parameters and buffers).
 void save_checkpoint(const Model& model, std::ostream& out);
 
-/// Restore parameters from a stream into a model with matching layer/param
-/// shapes. Not collective.
+/// Restore parameters (and, for v2 streams, buffers) from a stream into a
+/// model with matching layer/param shapes. Not collective.
 void load_checkpoint(Model& model, std::istream& in);
 
 /// Collective file variants: rank 0 writes / reads, load broadcasts to all.

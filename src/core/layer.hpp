@@ -28,6 +28,12 @@ class Layer;
 /// across the whole mini-batch (matches single-device training exactly).
 enum class BatchNormMode { kLocal, kSpatial, kGlobal };
 
+/// Execution mode of a forward pass. Training computes batch statistics and
+/// tracks running statistics; inference normalizes with the tracked running
+/// statistics (every sample is independent, so zero-padded batch slots are
+/// inert — the property the serving batcher relies on) and mutates no state.
+enum class Mode { kTraining, kInference };
+
 /// Default for ModelOptions::overlap_allreduce: the DC_OVERLAP_ALLREDUCE
 /// environment knob ("1"/"true"/"on"), false when unset.
 bool overlap_allreduce_from_env();
@@ -47,6 +53,13 @@ struct ModelOptions {
   kernels::ConvAlgo conv_algo = kernels::ConvAlgo::kAuto;
   float bn_epsilon = 1e-5f;
   float bn_momentum = 0.9f;
+  /// Track batchnorm running statistics during training forwards (the EMA
+  /// of the *globally aggregated* batch statistics that eval-mode forward
+  /// normalizes with). Costs one world allreduce of 2C+1 doubles per BN
+  /// layer per forward when the BN mode is not kGlobal (kGlobal shares the
+  /// normalization allreduce). Disable for latency-critical training that
+  /// will never serve — eval then falls back to batch statistics.
+  bool bn_track_running_stats = true;
 };
 
 /// An activation tensor plus its halo machinery and freshness flag. The flag
@@ -104,6 +117,11 @@ struct LayerRt {
   // Replicated parameters (identical on every rank) and their gradients.
   std::vector<Tensor<float>> params, grads, velocity;
 
+  /// Replicated non-trainable state (batchnorm running statistics). Updated
+  /// only by training-mode forward passes, never touched by sgd_step or the
+  /// gradient allreduce, and serialized by checkpoint format v2.
+  std::vector<Tensor<float>> buffers;
+
   std::unique_ptr<LayerScratch> scratch;
 
   Shape4 out_shape;                 ///< global output shape
@@ -132,6 +150,11 @@ class Layer {
   /// Allocate and initialize parameters into rt (weights are replicated, so
   /// init must be deterministic given the rng).
   virtual void init_params(LayerRt& rt, Rng& rng) const;
+
+  /// (Re)create rt.buffers in their freshly-initialized state. Called by
+  /// init_params implementations that own buffers, and by the checkpoint
+  /// loader when restoring a v1 stream that predates buffer serialization.
+  virtual void init_buffers(LayerRt& rt) const { rt.buffers.clear(); }
 
   /// Allocate per-layer scratch after tensors exist.
   virtual void init_scratch(Model& model, int index, LayerRt& rt) const;

@@ -7,6 +7,7 @@
 #include "kernels/batchnorm.hpp"
 #include "kernels/gemm.hpp"
 #include "support/intmath.hpp"
+#include "support/logging.hpp"
 
 namespace distconv::core {
 namespace {
@@ -74,6 +75,7 @@ struct PoolScratch : LayerScratch {
 
 struct BnScratch : LayerScratch {
   std::vector<float> mean, invstd;
+  bool warned_stat_fallback = false;  ///< one warning per layer per model
 };
 
 struct FcScratch : LayerScratch {
@@ -89,6 +91,10 @@ struct ConvChannelScratch : LayerScratch {
   Tensor<float> dy_full;    ///< allgathered full-F dL/dy incl. margins
   Tensor<float> dw_slice;   ///< dL/dw[:, I_C^(c), :, :]
   std::vector<float> pack;  ///< collective staging (slice-ordered blocks)
+  // Inference (allgather-x) schedule only; allocated lazily on first use so
+  // training-only models pay nothing.
+  Tensor<float> x_full;     ///< allgathered full-C input incl. margins
+  Tensor<float> w_fslice;   ///< w[I_F^(c), :, :, :] — (F_loc, C, K, K)
 };
 
 }  // namespace
@@ -195,6 +201,69 @@ void Conv2dLayer::forward_channel(Model& model, int index, LayerRt& rt) const {
   }
 }
 
+/// Inference twin of forward_channel (§III-D's other decomposition): instead
+/// of full-F partial sums completed by a reduce-scatter — whose cross-rank
+/// float summation regroups the accumulation chain — allgather x over the
+/// channel group and compute the owned filter slice against *all* input
+/// channels. Same local FLOPs (F/pc filters × C channels vs. F filters ×
+/// C/pc channels), one allgather of the input instead of one reduce-scatter
+/// of the output, and every output element keeps the oracle's exact
+/// ascending-channel accumulation chain — the property the serving
+/// exactness tests pin down.
+void Conv2dLayer::forward_channel_inference(Model& model, int index,
+                                            LayerRt& rt) const {
+  ActTensor& xa = *rt.inputs[0].read;
+  DistTensor<float>& xt = xa.t;
+  DistTensor<float>& yt = rt.y.t;
+  const auto p = conv_params();
+  auto* scratch = dynamic_cast<ConvChannelScratch*>(rt.scratch.get());
+  DC_CHECK(scratch != nullptr);
+  auto& cgroup = model.channel_comm(index);
+  const int pc = cgroup.size();
+
+  // Every channel-group member shares the same (n, h, w) coordinates and
+  // margin frame, so the gathered buffers tile a dense full-C copy of the
+  // local input block (margins included — the stencil reads them).
+  xa.ensure_fresh();
+  const Shape4& xb = xt.buffer().shape();
+  const DimPartition& cpart = xt.dist().c;
+  const std::int64_t C = cpart.global();
+  if (scratch->x_full.size() == 0) {
+    scratch->x_full = Tensor<float>(Shape4{xb.n, C, xb.h, xb.w});
+  }
+  const SliceBlocks blocks = channel_slice_blocks(cpart, xb.n, xb.h, xb.w);
+  scratch->pack.resize(blocks.total);
+  comm::allgatherv(cgroup, xt.buffer().data(),
+                   static_cast<std::size_t>(xt.buffer().size()),
+                   scratch->pack.data(), blocks.counts, blocks.displs);
+  for (int q = 0; q < pc; ++q) {
+    if (blocks.counts[q] == 0) continue;
+    unpack_box(scratch->pack.data() + blocks.displs[q],
+               channel_slice_box(cpart, q, xb.n, xb.h, xb.w), scratch->x_full);
+  }
+
+  // Owned filter rows of the replicated weights are contiguous: copy the
+  // slice and run the ordinary region kernel straight into y's buffer.
+  const std::int64_t f0 = yt.owned_start(1);
+  const std::int64_t f_loc = yt.local_shape().c;
+  if (f_loc > 0) {
+    if (scratch->w_fslice.shape().n != f_loc) {
+      scratch->w_fslice = Tensor<float>(Shape4{f_loc, C, kernel_, kernel_});
+    }
+    const std::int64_t per_filter = C * kernel_ * kernel_;
+    const float* w0 = rt.params[0].data() + f0 * per_filter;
+    std::copy(w0, w0 + f_loc * per_filter, scratch->w_fslice.data());
+    kernels::conv2d_forward(scratch->x_full, origin_of(xt), scratch->w_fslice,
+                            yt.buffer(), origin_of(yt), p,
+                            owned_range(yt.owned_box()),
+                            model.options().conv_algo);
+    if (bias_) {
+      kernels::bias_forward(yt.buffer(), yt.interior_box(),
+                            rt.params[1].data() + f0);
+    }
+  }
+}
+
 /// §III-D backward: one allgather of dL/dy over the filter slices gives every
 /// group member the full-F error signal, after which both backward kernels
 /// are *exact* local computations — dL/dw for all filters × the owned channel
@@ -262,7 +331,11 @@ void Conv2dLayer::backward_channel(Model& model, int index, LayerRt& rt) const {
 
 void Conv2dLayer::forward(Model& model, int index, LayerRt& rt) const {
   if (model.is_channel_parallel(index)) {
-    forward_channel(model, index, rt);
+    if (model.mode() == Mode::kInference) {
+      forward_channel_inference(model, index, rt);
+    } else {
+      forward_channel(model, index, rt);
+    }
     return;
   }
   ActTensor& xa = *rt.inputs[0].read;
@@ -444,6 +517,17 @@ void BatchNormLayer::init_params(LayerRt& rt, Rng&) const {
   rt.params.emplace_back(Shape4{1, C, 1, 1});  // beta = 0
   rt.grads.emplace_back(Shape4{1, C, 1, 1});
   rt.grads.emplace_back(Shape4{1, C, 1, 1});
+  init_buffers(rt);
+}
+
+void BatchNormLayer::init_buffers(LayerRt& rt) const {
+  const std::int64_t C = rt.in_shapes[0].c;
+  rt.buffers.clear();
+  rt.buffers.emplace_back(Shape4{1, C, 1, 1});  // running mean = 0
+  Tensor<float> var(Shape4{1, C, 1, 1});
+  var.fill(1.0f);  // running variance = 1 (identity transform until tracked)
+  rt.buffers.push_back(std::move(var));
+  rt.buffers.emplace_back(Shape4{1, 1, 1, 1});  // update counter = 0
 }
 
 void BatchNormLayer::init_scratch(Model&, int, LayerRt& rt) const {
@@ -462,38 +546,47 @@ namespace {
 /// into a global-C vector at the slice offset, reduce over everyone, and the
 /// owned slice is extracted back. The summed count then counts each (n, h, w)
 /// site once per channel-grid coordinate, so it is divided by grid.c.
+///
+/// When `global_out` is non-null it additionally receives the full-C
+/// globally summed vector [Σx(0..C), Σx²(0..C), raw count] — the source of
+/// the running-statistics EMA, aggregated over the whole communicator
+/// whatever the mode (kGlobal shares this allreduce; other modes pay one
+/// extra). The raw count in global_out[2C] counts each (n, h, w) site once
+/// per channel-grid coordinate, so consumers divide by grid_c.
 void bn_aggregate(Model& model, int index, BatchNormMode mode,
                   std::vector<double>& vals, std::int64_t c_loc,
-                  std::int64_t c_start, std::int64_t c_glob, int grid_c) {
+                  std::int64_t c_start, std::int64_t c_glob, int grid_c,
+                  std::vector<double>* global_out = nullptr) {
+  std::vector<double> global;
+  if (global_out != nullptr || mode == BatchNormMode::kGlobal) {
+    // With a channel-trivial grid the embedding is the identity (c_loc ==
+    // c_glob, c_start == 0), so this is bitwise the direct allreduce of
+    // `vals` that the kGlobal path historically ran.
+    global.assign(2 * c_glob + 1, 0.0);
+    for (std::int64_t c = 0; c < c_loc; ++c) {
+      global[c_start + c] = vals[c];
+      global[c_glob + c_start + c] = vals[c_loc + c];
+    }
+    global[2 * c_glob] = vals[2 * c_loc];
+    comm::allreduce(model.comm(), global.data(), global.size(),
+                    comm::ReduceOp::kSum);
+  }
   switch (mode) {
     case BatchNormMode::kLocal:
-      return;
+      break;
     case BatchNormMode::kSpatial:
       comm::allreduce(model.spatial_comm(index), vals.data(), vals.size(),
                       comm::ReduceOp::kSum);
-      return;
-    case BatchNormMode::kGlobal: {
-      if (grid_c == 1) {
-        comm::allreduce(model.comm(), vals.data(), vals.size(),
-                        comm::ReduceOp::kSum);
-        return;
-      }
-      std::vector<double> global(2 * c_glob + 1, 0.0);
-      for (std::int64_t c = 0; c < c_loc; ++c) {
-        global[c_start + c] = vals[c];
-        global[c_glob + c_start + c] = vals[c_loc + c];
-      }
-      global[2 * c_glob] = vals[2 * c_loc];
-      comm::allreduce(model.comm(), global.data(), global.size(),
-                      comm::ReduceOp::kSum);
+      break;
+    case BatchNormMode::kGlobal:
       for (std::int64_t c = 0; c < c_loc; ++c) {
         vals[c] = global[c_start + c];
         vals[c_loc + c] = global[c_glob + c_start + c];
       }
       vals[2 * c_loc] = global[2 * c_glob] / grid_c;
-      return;
-    }
+      break;
   }
+  if (global_out != nullptr) *global_out = std::move(global);
 }
 
 }  // namespace
@@ -508,14 +601,71 @@ void BatchNormLayer::forward(Model& model, int index, LayerRt& rt) const {
   const std::int64_t c0 = xt.owned_start(1);
   const Box4 xib = xt.interior_box();
   const Box4 yib = yt.interior_box();
+  auto* scratch = dynamic_cast<BnScratch*>(rt.scratch.get());
+
+  if (model.mode() == Mode::kInference) {
+    if (has_running_stats(rt)) {
+      // Normalize with the tracked running statistics: a pure per-sample
+      // affine transform (no reductions, no communication), bitwise
+      // identical to the single-rank oracle given identical buffers.
+      scratch->mean.assign(c_loc, 0.0f);
+      scratch->invstd.assign(c_loc, 0.0f);
+      const float* rm = rt.buffers[0].data();
+      const float* rv = rt.buffers[1].data();
+      for (std::int64_t c = 0; c < c_loc; ++c) {
+        scratch->mean[c] = rm[c0 + c];
+        scratch->invstd[c] = static_cast<float>(
+            1.0 / std::sqrt(double(rv[c0 + c]) + model.options().bn_epsilon));
+      }
+      kernels::bn_forward_apply(xt.buffer(), xib, yt.buffer(), yib,
+                                scratch->mean.data(), scratch->invstd.data(),
+                                rt.params[0].data() + c0,
+                                rt.params[1].data() + c0);
+      return;
+    }
+    // Documented v1-checkpoint fallback: no running statistics were ever
+    // tracked, so inference normalizes with this batch's statistics.
+    if (!scratch->warned_stat_fallback) {
+      scratch->warned_stat_fallback = true;
+      if (model.comm().rank() == 0) {
+        log::warn("batchnorm '", name(), "': no running statistics tracked "
+                  "(fresh model or v1 checkpoint); inference falls back to "
+                  "batch statistics");
+      }
+    }
+  }
 
   std::vector<double> vals(2 * c_loc + 1, 0.0);
   kernels::bn_partial_sums(xt.buffer(), xib, vals.data(), vals.data() + c_loc);
   vals[2 * c_loc] =
       double(xib.ext[0]) * xib.ext[2] * xib.ext[3];  // per-channel count
-  bn_aggregate(model, index, mode_, vals, c_loc, c0, C, rt.grid.c);
 
-  auto* scratch = dynamic_cast<BnScratch*>(rt.scratch.get());
+  // Running statistics are always the EMA of the *globally* aggregated
+  // mini-batch statistics — every channel on every rank, so the replicated
+  // buffers stay bitwise identical whatever the grid; mode_ only selects
+  // which statistics normalize the training forward.
+  const bool track = model.mode() == Mode::kTraining &&
+                     model.options().bn_track_running_stats;
+  std::vector<double> global;
+  bn_aggregate(model, index, mode_, vals, c_loc, c0, C, rt.grid.c,
+               track ? &global : nullptr);
+
+  if (track) {
+    const double count = global[2 * C] / rt.grid.c;
+    if (count > 0) {
+      const float mom = model.options().bn_momentum;
+      float* rm = rt.buffers[0].data();
+      float* rv = rt.buffers[1].data();
+      for (std::int64_t c = 0; c < C; ++c) {
+        const double m = global[c] / count;
+        const double var = std::max(0.0, global[C + c] / count - m * m);
+        rm[c] = mom * rm[c] + (1.0f - mom) * static_cast<float>(m);
+        rv[c] = mom * rv[c] + (1.0f - mom) * static_cast<float>(var);
+      }
+      rt.buffers[2].data()[0] += 1.0f;
+    }
+  }
+
   scratch->mean.assign(c_loc, 0.0f);
   scratch->invstd.assign(c_loc, 0.0f);
   const double count = vals[2 * c_loc];

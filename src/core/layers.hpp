@@ -50,6 +50,13 @@ class Conv2dLayer final : public Layer {
 
  private:
   void forward_channel(Model& model, int index, LayerRt& rt) const;
+  /// Inference-mode channel-parallel forward: allgather x over the channel
+  /// group, then compute the owned filter slice against *all* input channels
+  /// locally. Costs the same FLOPs as the training schedule but keeps every
+  /// output element's accumulation chain identical to the single-rank oracle
+  /// (no cross-rank partial sums), which is what makes distributed eval-mode
+  /// forward bitwise exact.
+  void forward_channel_inference(Model& model, int index, LayerRt& rt) const;
   void backward_channel(Model& model, int index, LayerRt& rt) const;
 
   int filters_, kernel_, stride_, pad_;
@@ -87,10 +94,19 @@ class BatchNormLayer final : public Layer {
     return in[0];
   }
   void init_params(LayerRt& rt, Rng& rng) const override;
+  void init_buffers(LayerRt& rt) const override;
   void init_scratch(Model& model, int index, LayerRt& rt) const override;
   void forward(Model& model, int index, LayerRt& rt) const override;
   void backward(Model& model, int index, LayerRt& rt) const override;
   BatchNormMode mode() const { return mode_; }
+
+  /// rt.buffers layout: [0] running mean (1, C, 1, 1), [1] running variance
+  /// (population, biased), [2] a (1, 1, 1, 1) update counter — 0 means "no
+  /// running statistics yet" (fresh model or v1 checkpoint), in which case
+  /// inference falls back to batch statistics with a logged warning.
+  static bool has_running_stats(const LayerRt& rt) {
+    return rt.buffers.size() == 3 && rt.buffers[2].data()[0] > 0.0f;
+  }
 
  private:
   BatchNormMode mode_;

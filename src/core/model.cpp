@@ -307,7 +307,8 @@ void Model::set_input(int layer, const Tensor<float>& global) {
   rt.y.mark_stale();
 }
 
-void Model::forward() {
+void Model::forward(Mode mode) {
+  mode_ = mode;
   for (int i = 0; i < num_layers(); ++i) {
     auto& rt = rts_[i];
     for (auto& port : rt.inputs) {
@@ -491,6 +492,10 @@ void Model::backward(bool accumulate) { backward(accumulate, !accumulate); }
 
 void Model::backward(bool accumulate, bool complete) {
   DC_REQUIRE(loss_seeded_, "backward() requires a prior loss_*() call");
+  DC_REQUIRE(mode_ == Mode::kTraining,
+             "backward() requires a training-mode forward(): an inference "
+             "forward normalizes with running statistics, which the batchnorm "
+             "backward kernels do not differentiate through");
   DC_CHECK(grad_engine_.idle());
   if (!accumulate) zero_gradients();
   const bool overlap = complete && opts_.overlap_allreduce;

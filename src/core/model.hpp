@@ -63,8 +63,19 @@ class Model {
   /// Copy the owned box of a replicated global tensor into an input layer.
   void set_input(int layer, const Tensor<float>& global);
 
-  /// Run forward propagation over the whole DAG.
-  void forward();
+  /// Run forward propagation over the whole DAG. Mode::kTraining computes
+  /// batch statistics (and tracks BN running statistics); Mode::kInference
+  /// normalizes with the tracked running statistics and mutates no state
+  /// beyond the activations, so serving can interleave with training on the
+  /// same model. Channel-parallel conv layers switch to the allgather-x
+  /// schedule under inference, which keeps every output element's
+  /// floating-point accumulation chain identical to the single-rank oracle
+  /// (see README "Inference serving").
+  void forward(Mode mode);
+  void forward() { forward(Mode::kTraining); }
+
+  /// Mode of the most recent forward() (kTraining before any forward).
+  Mode mode() const { return mode_; }
 
   /// Mean sigmoid-BCE loss of the last layer vs. replicated global targets;
   /// seeds the backward error signal. Collective. `grad_scale_count`
@@ -151,6 +162,7 @@ class Model {
   comm::CollectiveEngine grad_engine_;  ///< overlapped gradient completion
   double grad_completion_seconds_ = 0;
   bool loss_seeded_ = false;
+  Mode mode_ = Mode::kTraining;  ///< mode of the most recent forward()
 };
 
 }  // namespace distconv::core

@@ -371,6 +371,14 @@ void conv2d_backward_data_direct(const Tensor<float>& dy, Origin2 dyo,
 /// bounded; each strip owns its dx rows, and within a strip channel c owns
 /// plane (k, c), so the scatter parallelizes over channels with a fixed
 /// (a, b, jh, jw) accumulation order per element.
+///
+/// When kh > sh, consecutive strips' gather windows overlap by the
+/// transposed stencil's reach (~(kh−1)/sh output rows). Each dcol element
+/// depends only on its (jh, jw) output position, so the overlapping rows
+/// are copied out of the previous strip's packed panel instead of being
+/// recomputed — the GEMM and the dy pack run over the fresh rows alone.
+/// Values are bitwise identical either way (the GEMM's per-element k-chain
+/// does not depend on which n-columns share a call).
 void conv2d_backward_data_gemm(const Tensor<float>& dy, Origin2 dyo,
                                const Tensor<float>& w, Tensor<float>& dx,
                                Origin2 dxo, const ConvParams& p, const Range2& r,
@@ -386,8 +394,12 @@ void conv2d_backward_data_gemm(const Tensor<float>& dy, Origin2 dyo,
   const std::int64_t win_w = std::max<std::int64_t>(1, full_win.w1 - full_win.w0);
   const std::int64_t hb =
       std::max<std::int64_t>(1, lowering_strip_height(ckk, win_w) * p.sh);
-  std::vector<float> dyp, dcol;
+  std::vector<float> dyp, dcol_a, dcol_b;
   for (std::int64_t k = 0; k < N; ++k) {
+    std::vector<float>* dcol = &dcol_a;
+    std::vector<float>* dcol_prev = &dcol_b;
+    Range2 prev_win{0, 0, 0, 0};
+    bool prev_valid = false;  // previous strip's panel reusable (same sample)
     for (std::int64_t g0 = r.h0; g0 < r.h1; g0 += hb) {
       const Range2 rs{g0, std::min(r.h1, g0 + hb), r.w0, r.w1};
       const Range2 win = gather_window(p, rs, out_h, out_w);
@@ -402,21 +414,47 @@ void conv2d_backward_data_gemm(const Tensor<float>& dy, Origin2 dyo,
           }
         }
       });
-      if (win.empty()) continue;
+      if (win.empty()) {
+        prev_valid = false;
+        continue;
+      }
       const std::int64_t rows = win.area();
       const std::int64_t ww = win.w1 - win.w0;
-      dyp.resize(static_cast<std::size_t>(F) * rows);
-      dcol.resize(static_cast<std::size_t>(ckk) * rows);
-      pack_window(dy, dyo, k, F, win, dyp.data());
-      // dcol (ckk × rows) = Wᵀ (ckk × F) · dy (F × rows)
-      sgemm(true, false, ckk, rows, F, 1.0f, w.data(), ckk, dyp.data(), rows,
-            0.0f, dcol.data(), rows);
+      dcol->resize(static_cast<std::size_t>(ckk) * rows);
+      // Output rows [win.h0, prev_win.h1) were packed by the previous strip
+      // (the w-range is strip-invariant); copy them, GEMM the rest.
+      const std::int64_t reuse_rows =
+          prev_valid
+              ? std::max<std::int64_t>(
+                    0, std::min(prev_win.h1, win.h1) - win.h0)
+              : 0;
+      if (reuse_rows > 0) {
+        const std::int64_t prev_rows = prev_win.area();
+        const std::int64_t src_off = (win.h0 - prev_win.h0) * ww;
+        parallel::parallel_for(0, ckk, 1, [&](std::int64_t m0, std::int64_t m1) {
+          for (std::int64_t m = m0; m < m1; ++m) {
+            std::copy(dcol_prev->data() + m * prev_rows + src_off,
+                      dcol_prev->data() + m * prev_rows + src_off +
+                          reuse_rows * ww,
+                      dcol->data() + m * rows);
+          }
+        });
+      }
+      if (win.h0 + reuse_rows < win.h1) {
+        const Range2 fresh{win.h0 + reuse_rows, win.h1, win.w0, win.w1};
+        const std::int64_t fresh_rows = fresh.area();
+        dyp.resize(static_cast<std::size_t>(F) * fresh_rows);
+        pack_window(dy, dyo, k, F, fresh, dyp.data());
+        // dcol[:, fresh] (ckk × fresh_rows) = Wᵀ (ckk × F) · dy (F × fresh_rows)
+        sgemm(true, false, ckk, fresh_rows, F, 1.0f, w.data(), ckk, dyp.data(),
+              fresh_rows, 0.0f, dcol->data() + reuse_rows * ww, rows);
+      }
       parallel::parallel_for(0, C, 1, [&](std::int64_t c0, std::int64_t c1) {
         for (std::int64_t c = c0; c < c1; ++c) {
           for (int a = 0; a < p.kh; ++a) {
             for (int b = 0; b < p.kw; ++b) {
               const float* src =
-                  dcol.data() + ((c * p.kh + a) * p.kw + b) * rows;
+                  dcol->data() + ((c * p.kh + a) * p.kw + b) * rows;
               for (std::int64_t jh = win.h0; jh < win.h1; ++jh) {
                 const std::int64_t gi = jh * p.sh - p.ph + a;
                 if (gi < rs.h0 || gi >= rs.h1) continue;
@@ -440,6 +478,9 @@ void conv2d_backward_data_gemm(const Tensor<float>& dy, Origin2 dyo,
           }
         }
       });
+      prev_win = win;
+      prev_valid = true;
+      std::swap(dcol, dcol_prev);
     }
   }
 }

@@ -58,6 +58,13 @@ AuxCost aux_layer_cost(const core::NetworkSpec& spec, int i,
       aux.forward += comm.allreduce(group, stat_bytes);
       aux.backward += comm.allreduce(group, stat_bytes);
     }
+    // Running-stat tracking (engine default, ModelOptions::
+    // bn_track_running_stats): training forwards aggregate the statistics
+    // over the whole job for the EMA unless the kGlobal normalization
+    // already did exactly that.
+    if (bn->mode() != core::BatchNormMode::kGlobal && total_ranks > 1) {
+      aux.forward += comm.allreduce(total_ranks, stat_bytes);
+    }
     aux.allreduce = comm.allreduce(total_ranks, 2.0 * 4.0 * shapes[i].c);
     return aux;
   }
@@ -118,20 +125,27 @@ std::optional<ConvLayerDesc> conv_desc(const core::NetworkSpec& spec, int i,
   return d;
 }
 
-MemoryEstimate estimate_memory(const core::NetworkSpec& spec,
-                               const core::Strategy& strategy,
-                               const MachineModel& machine, int total_ranks) {
+namespace {
+
+MemoryEstimate estimate_memory_impl(const core::NetworkSpec& spec,
+                                    const core::Strategy& strategy,
+                                    const MachineModel& machine,
+                                    int total_ranks, bool inference) {
   const auto shapes = spec.infer_shapes();
   MemoryEstimate est;
+  // Training holds y + dy local blocks; forward-only serving holds y alone.
+  const double act_copies = inference ? 1.0 : 2.0;
+  // Training replicates parameters, gradients and momentum on every rank;
+  // serving needs the parameters alone.
+  const double param_copies = inference ? 1.0 : 3.0;
   for (int i = 0; i < spec.size(); ++i) {
-    // y + dy local blocks, single precision.
     est.activation_bytes +=
-        2.0 * 4.0 * local_elements(shapes[i], strategy.grids[i]);
+        act_copies * 4.0 * local_elements(shapes[i], strategy.grids[i]);
   }
-  // Parameters, gradients and momentum are replicated on every rank.
   for (int i = 0; i < spec.size(); ++i) {
     if (const auto d = conv_desc(spec, i, shapes)) {
-      est.parameter_bytes += 3.0 * 4.0 * double(d->f) * d->c * d->k * d->k;
+      est.parameter_bytes +=
+          param_copies * 4.0 * double(d->f) * d->c * d->k * d->k;
     }
   }
   est.comm_bytes = machine.comm_buffer_bytes_per_gpu_in_job * total_ranks;
@@ -142,9 +156,27 @@ MemoryEstimate estimate_memory(const core::NetworkSpec& spec,
   // Workspace pressure: large job-wide comm state squeezing the workspace of
   // ranks that hold big local tensors (the paper's 2048-GPU sample-parallel
   // degradation).
-  est.pressured = est.comm_bytes > machine.pressure_comm_bytes &&
-                  est.activation_bytes / 2.0 > machine.pressure_activation_bytes;
+  est.pressured =
+      est.comm_bytes > machine.pressure_comm_bytes &&
+      est.activation_bytes / act_copies > machine.pressure_activation_bytes;
   return est;
+}
+
+}  // namespace
+
+MemoryEstimate estimate_memory(const core::NetworkSpec& spec,
+                               const core::Strategy& strategy,
+                               const MachineModel& machine, int total_ranks) {
+  return estimate_memory_impl(spec, strategy, machine, total_ranks,
+                              /*inference=*/false);
+}
+
+MemoryEstimate estimate_memory_inference(const core::NetworkSpec& spec,
+                                         const core::Strategy& strategy,
+                                         const MachineModel& machine,
+                                         int total_ranks) {
+  return estimate_memory_impl(spec, strategy, machine, total_ranks,
+                              /*inference=*/true);
 }
 
 NetworkCost network_cost(const core::NetworkSpec& spec,
@@ -221,6 +253,71 @@ NetworkCost network_cost(const core::NetworkSpec& spec,
   cost.allreduce_exposed = bp_total - t;
   cost.backward = bp_total;
   return cost;
+}
+
+InferenceCost inference_cost(const core::NetworkSpec& spec,
+                             const core::Strategy& strategy,
+                             const MachineModel& machine,
+                             const NetworkCostOptions& options,
+                             const ComputeModel* compute) {
+  DC_REQUIRE(static_cast<int>(strategy.grids.size()) == spec.size(),
+             "strategy/spec size mismatch");
+  const int P = strategy.num_ranks();
+  const auto shapes = spec.infer_shapes();
+  const CommModel comm(machine);
+
+  InferenceCost cost;
+  cost.memory = estimate_memory_inference(spec, strategy, machine, P);
+  const double slowdown =
+      cost.memory.pressured ? machine.memory_pressure_slowdown : 1.0;
+  const auto fallback = default_compute_model(machine, slowdown);
+  const ComputeModel& cm = compute != nullptr ? *compute : *fallback;
+
+  cost.layers.assign(spec.size(), std::nullopt);
+  for (int i = 0; i < spec.size(); ++i) {
+    const core::Layer& layer = spec.layer(i);
+    if (const auto d = conv_desc(spec, i, shapes)) {
+      cost.layers[i] = conv_layer_cost(*d, strategy.grids[i], comm, cm, P);
+      cost.forward += cost.layers[i]->fp(options.overlap_halo);
+    } else if (dynamic_cast<const core::BatchNormLayer*>(&layer) != nullptr) {
+      // Eval-mode BN normalizes with running statistics: one elementwise
+      // pass, no statistics reductions and no parameter-gradient traffic.
+      const double local_bytes =
+          4.0 * local_elements(shapes[i], strategy.grids[i]);
+      cost.forward += elementwise_time(local_bytes, 2, 1, machine);
+    } else {
+      const AuxCost aux =
+          aux_layer_cost(spec, i, shapes, strategy.grids[i], comm, machine, P);
+      cost.forward += aux.forward;
+    }
+    for (int parent : layer.parents()) {
+      if (!(strategy.grids[parent] == strategy.grids[i])) {
+        const double bytes =
+            4.0 * local_elements(shapes[parent], strategy.grids[parent]);
+        cost.shuffle += comm.alltoall(P, bytes);  // forward direction only
+      }
+    }
+  }
+  return cost;
+}
+
+ServingEstimate estimate_serving(const core::NetworkSpec& spec,
+                                 const core::Strategy& strategy,
+                                 const MachineModel& machine,
+                                 double max_delay_seconds,
+                                 const NetworkCostOptions& options,
+                                 const ComputeModel* compute) {
+  const InferenceCost cost =
+      inference_cost(spec, strategy, machine, options, compute);
+  const auto shapes = spec.infer_shapes();
+  const double batch = static_cast<double>(shapes.empty() ? 1 : shapes[0].n);
+  ServingEstimate est;
+  est.batch_latency = cost.batch_latency();
+  est.p50_latency = est.batch_latency + 0.5 * max_delay_seconds;
+  est.p99_latency = est.batch_latency + max_delay_seconds;
+  est.throughput =
+      est.batch_latency > 0 ? batch / est.batch_latency : 0.0;
+  return est;
 }
 
 }  // namespace distconv::perf

@@ -39,6 +39,34 @@ struct NetworkCost {
   double minibatch_time() const { return forward + backward + shuffle; }
 };
 
+/// Forward-only cost of a strategy — the serving objective. No backprop, no
+/// gradient-allreduce terms, one-way redistribution shuffles, batchnorm
+/// normalizing with running statistics (a pure elementwise pass, no
+/// statistics traffic). Channel-parallel conv layers are priced with the
+/// training fp term (reduce-scatter completion); the executed inference
+/// schedule trades that for an input allgather of comparable volume.
+struct InferenceCost {
+  double forward = 0;  ///< conv FP + aux forward costs
+  double shuffle = 0;  ///< §III-C redistribution, forward direction only
+  MemoryEstimate memory;  ///< forward-only footprint (no dy/grads/momentum)
+  std::vector<std::optional<LayerCost>> layers;  ///< per layer (conv only)
+
+  /// Model time to push one batch through the distributed forward.
+  double batch_latency() const { return forward + shuffle; }
+};
+
+/// What the serving cost model predicts for a (strategy, batching policy)
+/// pair: the spec's input batch is the dispatch batch, `max_delay_seconds`
+/// the batcher's max-delay knob. p50 adds the expected batching delay of a
+/// request arriving uniformly within the fill window; p99 adds the
+/// worst-case wait before the delay cut.
+struct ServingEstimate {
+  double batch_latency = 0;  ///< distributed forward for one batch
+  double p50_latency = 0;
+  double p99_latency = 0;
+  double throughput = 0;  ///< samples/second at full batches
+};
+
 /// Extract conv geometry of layer `i` (nullopt for non-conv layers).
 std::optional<ConvLayerDesc> conv_desc(const core::NetworkSpec& spec, int i,
                                        const std::vector<Shape4>& shapes);
@@ -49,6 +77,13 @@ MemoryEstimate estimate_memory(const core::NetworkSpec& spec,
                                const core::Strategy& strategy,
                                const MachineModel& machine, int total_ranks);
 
+/// Forward-only footprint: activations once (no error signals), parameters
+/// once (no gradients or momentum).
+MemoryEstimate estimate_memory_inference(const core::NetworkSpec& spec,
+                                         const core::Strategy& strategy,
+                                         const MachineModel& machine,
+                                         int total_ranks);
+
 /// Evaluate the full §V model. When `compute` is null, a roofline model (with
 /// any memory-pressure slowdown applied) is built from `machine`.
 NetworkCost network_cost(const core::NetworkSpec& spec,
@@ -56,5 +91,22 @@ NetworkCost network_cost(const core::NetworkSpec& spec,
                          const MachineModel& machine,
                          const NetworkCostOptions& options = {},
                          const ComputeModel* compute = nullptr);
+
+/// Evaluate the forward-only serving model.
+InferenceCost inference_cost(const core::NetworkSpec& spec,
+                             const core::Strategy& strategy,
+                             const MachineModel& machine,
+                             const NetworkCostOptions& options = {},
+                             const ComputeModel* compute = nullptr);
+
+/// Combine inference_cost with a max-batch / max-delay batching policy (the
+/// serve::Batcher's knobs) into latency percentiles and throughput. The
+/// spec's input batch is the dispatch batch.
+ServingEstimate estimate_serving(const core::NetworkSpec& spec,
+                                 const core::Strategy& strategy,
+                                 const MachineModel& machine,
+                                 double max_delay_seconds,
+                                 const NetworkCostOptions& options = {},
+                                 const ComputeModel* compute = nullptr);
 
 }  // namespace distconv::perf

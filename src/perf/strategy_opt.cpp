@@ -15,12 +15,16 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 std::int64_t ceil_ratio(std::int64_t a, int b) { return (a + b - 1) / b; }
 
 double shuffle_cost(const Shape4& shape, const ProcessGrid& from,
-                    const ProcessGrid& to, const CommModel& comm, int ranks) {
+                    const ProcessGrid& to, const CommModel& comm, int ranks,
+                    Objective objective) {
   if (from == to) return 0.0;
   const double bytes = 4.0 * double(ceil_ratio(shape.n, from.n)) *
                        ceil_ratio(shape.c, from.c) * ceil_ratio(shape.h, from.h) *
                        ceil_ratio(shape.w, from.w);
-  return 2.0 * comm.alltoall(ranks, bytes);  // forward + backward shuffles
+  // Training redistributes activations forward and error signals backward;
+  // a forward-only serving pass shuffles once.
+  const double directions = objective == Objective::kInference ? 1.0 : 2.0;
+  return directions * comm.alltoall(ranks, bytes);
 }
 
 }  // namespace
@@ -82,11 +86,16 @@ double layer_node_cost(const core::NetworkSpec& spec, int layer,
   const ComputeModel& compute = *compute_in;
   if (const auto d = conv_desc(spec, layer, shapes)) {
     const LayerCost c = conv_layer_cost(*d, grid, comm, compute, grid.size());
+    if (options.objective == Objective::kInference) {
+      // Forward-only serving objective: no backprop, no gradient allreduce.
+      return c.fp(options.cost_options.overlap_halo);
+    }
     return c.fp(options.cost_options.overlap_halo) +
            c.bp(options.cost_options.overlap_halo) +
            (options.cost_options.overlap_allreduce ? 0.0 : c.allreduce);
   }
   if (dynamic_cast<const core::BatchNormLayer*>(&spec.layer(layer)) != nullptr &&
+      options.objective == Objective::kTrainingStep &&
       !options.cost_options.overlap_allreduce) {
     return comm.allreduce(grid.size(), 2.0 * 4.0 * shapes[layer].c);
   }
@@ -135,7 +144,7 @@ void assign_path(const core::NetworkSpec& spec, const std::vector<Shape4>& shape
         if (dist[k - 1][a] == kInf) continue;
         const double edge = shuffle_cost(shapes[path[k - 1]],
                                          all_cands[k - 1][a], cands[b], comm,
-                                         ranks);
+                                         ranks, options.objective);
         const double total = dist[k - 1][a] + edge + node;
         if (total < dist[k][b]) {
           dist[k][b] = total;

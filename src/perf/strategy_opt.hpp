@@ -19,11 +19,21 @@
 
 namespace distconv::perf {
 
+/// What the per-layer node costs price. kTrainingStep is the historical
+/// full-step objective (FP + BPx + BPw + exposed allreduce). kInference is
+/// the forward-only serving objective: no backprop, no gradient traffic,
+/// one-way redistribution shuffles — so the optimizer can recommend
+/// *different* grids for serving than for training (spatial/channel splits
+/// that cut latency at a serving batch too small for sample parallelism,
+/// sample parallelism at saturating throughput batches).
+enum class Objective { kTrainingStep, kInference };
+
 struct OptimizerOptions {
   int max_gpus_per_sample = 16;
   /// Largest channel/filter split offered as a candidate (§III-D grids
   /// (n, pc, 1, 1), now executable); 1 disables channel parallelism.
   int max_channel_ways = 8;
+  Objective objective = Objective::kTrainingStep;
   NetworkCostOptions cost_options;
 };
 

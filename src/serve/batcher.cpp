@@ -1,0 +1,90 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace distconv::serve {
+
+namespace {
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || v < 0) return fallback;
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
+
+BatcherOptions batcher_options_from_env() {
+  BatcherOptions opts;
+  opts.max_batch = static_cast<int>(
+      std::max<std::int64_t>(1, env_int("DC_SERVE_MAX_BATCH", opts.max_batch)));
+  opts.max_delay_us = env_int("DC_SERVE_MAX_DELAY_US", opts.max_delay_us);
+  return opts;
+}
+
+ServeOptions serve_options_from_env() {
+  ServeOptions opts;
+  opts.batcher = batcher_options_from_env();
+  return opts;
+}
+
+std::future<InferenceResult> Batcher::push(Tensor<float> input) {
+  DC_REQUIRE(input.shape().n == 1, "serve requests carry one sample, got ",
+             input.shape().str());
+  std::lock_guard<std::mutex> lock(mu_);
+  DC_REQUIRE(!closed_, "Batcher::push after close()");
+  Request req;
+  req.id = next_id_++;
+  req.input = std::move(input);
+  req.enqueued = std::chrono::steady_clock::now();
+  std::future<InferenceResult> fut = req.done.get_future();
+  queue_.push_back(std::move(req));
+  cv_.notify_all();
+  return fut;
+}
+
+std::vector<Request> Batcher::next_batch(int limit) {
+  const int cap = std::max(1, std::min(limit, opts_.max_batch));
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (!closed_ && static_cast<int>(queue_.size()) < cap &&
+      opts_.max_delay_us > 0) {
+    // Wait for the batch to fill, but never past the oldest request's
+    // deadline. New arrivals can fill the batch early; close() wakes us.
+    const auto deadline =
+        queue_.front().enqueued + std::chrono::microseconds(opts_.max_delay_us);
+    cv_.wait_until(lock, deadline, [&] {
+      return closed_ || static_cast<int>(queue_.size()) >= cap;
+    });
+  }
+  std::vector<Request> out;
+  while (!queue_.empty() && static_cast<int>(out.size()) < cap) {
+    out.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return out;
+}
+
+void Batcher::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+bool Batcher::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t Batcher::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace distconv::serve

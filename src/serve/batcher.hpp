@@ -1,0 +1,61 @@
+// Dynamic request batcher: a thread-safe queue that groups single-sample
+// inference requests into batches under a max-batch / max-delay policy.
+//
+// Clients push from any thread; the serving loop's rank 0 pops batches.
+// Dispatch triggers when the batch is full or the *oldest* queued request
+// has waited max_delay_us — the standard latency/throughput trade-off knob
+// of serving systems (larger batches amortize the distributed forward,
+// longer delays add queueing latency).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "serve/types.hpp"
+
+namespace distconv::serve {
+
+/// A queued single-sample request.
+struct Request {
+  std::uint64_t id = 0;
+  Tensor<float> input;  ///< (1, C, H, W)
+  std::promise<InferenceResult> done;
+  std::chrono::steady_clock::time_point enqueued;
+};
+
+class Batcher {
+ public:
+  explicit Batcher(const BatcherOptions& opts) : opts_(opts) {}
+
+  /// Enqueue one sample (shape (1, C, H, W)); returns the future its result
+  /// will arrive on. Thread-safe; must not be called after close().
+  std::future<InferenceResult> push(Tensor<float> input);
+
+  /// Block until a batch is ready under the policy and pop it (FIFO order,
+  /// at most min(limit, max_batch) requests — `limit` is the model's batch
+  /// capacity). After close(), drains the remaining requests batch by batch
+  /// and then returns an empty vector: the shutdown signal.
+  std::vector<Request> next_batch(int limit);
+
+  /// Stop accepting requests and wake all waiters. Queued requests are still
+  /// served by subsequent next_batch calls.
+  void close();
+
+  bool closed() const;
+  std::size_t pending() const;
+  const BatcherOptions& options() const { return opts_; }
+
+ private:
+  BatcherOptions opts_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  std::uint64_t next_id_ = 1;
+  bool closed_ = false;
+};
+
+}  // namespace distconv::serve

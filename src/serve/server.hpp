@@ -1,0 +1,85 @@
+// Distributed inference server: dispatches dynamically batched requests
+// through the eval-mode distributed forward pass.
+//
+// Threading model: client threads call submit() / shutdown() from anywhere;
+// every rank thread of the World calls serve(model) — an SPMD collective
+// loop. Rank 0 pops batches from the Batcher, broadcasts the packed input,
+// and all ranks run Model::forward(Mode::kInference) over whatever process
+// grids the model's strategy assigned (sample, spatial, channel — all legal;
+// the §V-C optimizer with Objective::kInference picks serving grids). Rank 0
+// then scatters per-request top-k softmax results back to the clients'
+// futures.
+//
+// Batches smaller than the model's (fixed) batch capacity are zero-padded;
+// with batchnorm running statistics every eval-mode operator is per-sample,
+// so padded slots cannot perturb real requests (serving a model without
+// running statistics falls back to batch statistics and logs a warning —
+// see README "Inference serving").
+#pragma once
+
+#include "core/model.hpp"
+#include "serve/batcher.hpp"
+
+namespace distconv::serve {
+
+struct ServerStats {
+  std::uint64_t requests = 0;  ///< completed requests
+  std::uint64_t batches = 0;   ///< dispatched forward passes
+  double mean_batch_fill = 0;  ///< requests / batches
+  /// Percentiles over a sliding window of the most recent completions
+  /// (Server::kLatencyWindow), so long-lived servers stay O(1) in memory.
+  double p50_latency_seconds = 0;
+  double p99_latency_seconds = 0;
+};
+
+class Server {
+ public:
+  explicit Server(const ServeOptions& opts = serve_options_from_env())
+      : opts_(opts), batcher_(opts.batcher) {}
+
+  /// Enqueue one sample (shape (1, C, H, W), matching the model input with
+  /// n = 1). Thread-safe; callable from any client thread while serve() runs.
+  std::future<InferenceResult> submit(Tensor<float> sample) {
+    return batcher_.push(std::move(sample));
+  }
+
+  /// Stop accepting requests. serve() drains the queue and returns.
+  void shutdown() { batcher_.close(); }
+
+  /// The SPMD serving loop; every rank of the model's communicator must call
+  /// it. Returns after shutdown() once all queued requests completed. If the
+  /// loop dies on an error (on any rank), rank 0 closes the batcher and
+  /// fails every still-queued request's future with that error before
+  /// rethrowing, so no client blocks on a promise the server can no longer
+  /// keep.
+  void serve(core::Model& model);
+
+  /// Latency/throughput statistics of completed requests (thread-safe).
+  ServerStats stats() const;
+
+  const ServeOptions& options() const { return opts_; }
+  Batcher& batcher() { return batcher_; }
+
+  /// Latency samples retained for the percentile window.
+  static constexpr std::size_t kLatencyWindow = 1 << 16;
+
+ private:
+  void serve_loop(core::Model& model);
+  /// Close the batcher and deliver `err` to every still-queued request.
+  void fail_pending(std::exception_ptr err);
+
+  ServeOptions opts_;
+  Batcher batcher_;
+  mutable std::mutex stats_mu_;
+  std::vector<double> latencies_;  ///< ring buffer of recent latencies
+  std::size_t latency_cursor_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t served_ = 0;
+};
+
+/// Top-k softmax of one row of logits: probabilities descending, ties broken
+/// by the lower class index. Exposed for tests and offline scoring.
+std::vector<Prediction> topk_softmax(const float* logits, std::int64_t classes,
+                                     int k);
+
+}  // namespace distconv::serve

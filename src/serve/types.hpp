@@ -1,0 +1,51 @@
+// Shared types of the distributed inference serving subsystem.
+//
+// Serving composes three pieces: a Batcher that groups single-sample
+// requests under a max-batch / max-delay policy (serve/batcher.hpp), a
+// Server whose SPMD loop dispatches each batch through the distributed
+// eval-mode forward over whatever process grids the model was built with
+// (serve/server.hpp), and the forward-only strategy objective that picks
+// those grids (perf/strategy_opt.hpp, Objective::kInference).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace distconv::serve {
+
+/// One scored class of a completed request.
+struct Prediction {
+  int cls = 0;
+  float prob = 0.0f;
+};
+
+/// What a submitted request's future resolves to.
+struct InferenceResult {
+  /// Top-k classes by softmax probability, descending (ties broken by the
+  /// lower class index so results are deterministic).
+  std::vector<Prediction> topk;
+  double latency_seconds = 0;  ///< submit → completion
+};
+
+/// Dynamic batching policy: dispatch as soon as `max_batch` requests are
+/// queued, or when the oldest queued request has waited `max_delay_us`
+/// microseconds — whichever comes first. max_delay_us == 0 is the greedy
+/// policy: dispatch whatever is queued the moment the server is free.
+struct BatcherOptions {
+  int max_batch = 8;             ///< DC_SERVE_MAX_BATCH
+  std::int64_t max_delay_us = 1000;  ///< DC_SERVE_MAX_DELAY_US
+};
+
+struct ServeOptions {
+  BatcherOptions batcher;
+  int top_k = 5;
+};
+
+/// Read the batching knobs from DC_SERVE_MAX_BATCH / DC_SERVE_MAX_DELAY_US
+/// (defaults above when unset or unparsable).
+BatcherOptions batcher_options_from_env();
+ServeOptions serve_options_from_env();
+
+}  // namespace distconv::serve

@@ -1,0 +1,236 @@
+// Checkpoint format v2: round-trips batchnorm running statistics (and
+// momentum) bitwise, and still loads v1 streams — buffers reset to their
+// fresh state so eval-mode forward falls back to batch statistics.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "core/checkpoint.hpp"
+#include "core/layers.hpp"
+#include "core/model.hpp"
+
+namespace distconv::core {
+namespace {
+
+NetworkSpec bn_net() {
+  NetworkBuilder nb;
+  const int in = nb.input(Shape4{4, 3, 12, 12});
+  int x = nb.conv_bn_relu("b1", in, 6, 3);
+  x = nb.conv("head", x, 1, 1, 1, 0, /*bias=*/true);
+  return nb.take();
+}
+
+Tensor<float> make_input(const Shape4& shape, std::uint64_t seed) {
+  Tensor<float> t(shape);
+  Rng rng(seed);
+  t.fill_uniform(rng, -1.0f, 1.0f);
+  return t;
+}
+
+Tensor<float> make_targets(const Shape4& shape, std::uint64_t seed) {
+  Tensor<float> t(shape);
+  Rng rng(seed ^ 0xfeedull);
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = rng.uniform() < 0.5 ? 0.0f : 1.0f;
+  }
+  return t;
+}
+
+void train_steps(Model& model, int steps) {
+  const Shape4 in_shape = model.rt(0).out_shape;
+  const Shape4 out_shape = model.rt(model.output_layer()).out_shape;
+  for (int s = 0; s < steps; ++s) {
+    model.set_input(0, make_input(in_shape, 10 + s));
+    model.forward();
+    model.loss_bce(make_targets(out_shape, 20 + s));
+    model.backward();
+    model.sgd_step(kernels::SgdConfig{0.05f, 0.9f, 0.0f});
+  }
+}
+
+/// Serialize `model` in the historical v1 layout (no buffer section) — the
+/// byte stream a pre-v2 build would have written.
+std::string write_v1_blob(const Model& model) {
+  std::ostringstream out;
+  auto pod = [&out](const auto& v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  auto tensor = [&](const Tensor<float>& t) {
+    for (int d = 0; d < 4; ++d) pod(static_cast<std::int64_t>(t.shape()[d]));
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(t.size() * sizeof(float)));
+  };
+  out.write("DCKP", 4);
+  pod(std::uint32_t{1});
+  pod(static_cast<std::uint32_t>(model.num_layers()));
+  bool any_velocity = false;
+  for (int i = 0; i < model.num_layers(); ++i) {
+    const auto& rt = model.rt(i);
+    pod(static_cast<std::uint32_t>(rt.params.size()));
+    for (const auto& p : rt.params) tensor(p);
+    any_velocity = any_velocity || !rt.velocity.empty();
+  }
+  pod(std::uint8_t{any_velocity ? std::uint8_t{1} : std::uint8_t{0}});
+  if (any_velocity) {
+    for (int i = 0; i < model.num_layers(); ++i) {
+      const auto& rt = model.rt(i);
+      pod(static_cast<std::uint32_t>(rt.velocity.size()));
+      for (const auto& v : rt.velocity) tensor(v);
+    }
+  }
+  return out.str();
+}
+
+void expect_tensors_equal(const Tensor<float>& a, const Tensor<float>& b,
+                          const char* what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]) << what << " at " << i;
+  }
+}
+
+TEST(CheckpointV2, RoundTripsRunningStatsAndMomentumBitwise) {
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    const NetworkSpec spec = bn_net();
+    Model trained(spec, comm, Strategy::sample_parallel(spec.size(), 1), 7);
+    train_steps(trained, 3);
+    ASSERT_GT(trained.rt(2).buffers[2].data()[0], 0.0f);  // b1_bn tracked
+
+    std::ostringstream out;
+    save_checkpoint(trained, out);
+    const std::string blob = out.str();
+    // The stream advertises version 2.
+    std::uint32_t version = 0;
+    std::memcpy(&version, blob.data() + 4, sizeof(version));
+    EXPECT_EQ(version, kCheckpointVersion);
+
+    Model restored(spec, comm, Strategy::sample_parallel(spec.size(), 1), 99);
+    std::istringstream in(blob);
+    load_checkpoint(restored, in);
+    for (int i = 0; i < spec.size(); ++i) {
+      ASSERT_EQ(restored.rt(i).params.size(), trained.rt(i).params.size());
+      for (std::size_t k = 0; k < trained.rt(i).params.size(); ++k) {
+        expect_tensors_equal(restored.rt(i).params[k], trained.rt(i).params[k],
+                             "param");
+      }
+      ASSERT_EQ(restored.rt(i).buffers.size(), trained.rt(i).buffers.size());
+      for (std::size_t k = 0; k < trained.rt(i).buffers.size(); ++k) {
+        expect_tensors_equal(restored.rt(i).buffers[k],
+                             trained.rt(i).buffers[k], "buffer");
+      }
+      ASSERT_EQ(restored.rt(i).velocity.size(), trained.rt(i).velocity.size());
+      for (std::size_t k = 0; k < trained.rt(i).velocity.size(); ++k) {
+        expect_tensors_equal(restored.rt(i).velocity[k],
+                             trained.rt(i).velocity[k], "velocity");
+      }
+    }
+
+    // Eval forward of the restored model is bitwise the trained model's.
+    const Tensor<float> x = make_input(trained.rt(0).out_shape, 777);
+    trained.set_input(0, x);
+    trained.forward(Mode::kInference);
+    restored.set_input(0, x);
+    restored.forward(Mode::kInference);
+    expect_tensors_equal(restored.gather_output(restored.output_layer()),
+                         trained.gather_output(trained.output_layer()),
+                         "eval output");
+  });
+}
+
+TEST(CheckpointV2, V1StreamLoadsWithBatchStatFallback) {
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    const NetworkSpec spec = bn_net();
+    Model trained(spec, comm, Strategy::sample_parallel(spec.size(), 1), 7);
+    train_steps(trained, 3);
+    const std::string v1 = write_v1_blob(trained);
+
+    // Load into a model whose buffers hold stale statistics: the v1 load
+    // must restore the parameters and reset the buffers to fresh.
+    Model restored(spec, comm, Strategy::sample_parallel(spec.size(), 1), 99);
+    train_steps(restored, 1);  // dirty the running stats
+    std::istringstream in(v1);
+    load_checkpoint(restored, in);
+
+    for (int i = 0; i < spec.size(); ++i) {
+      for (std::size_t k = 0; k < trained.rt(i).params.size(); ++k) {
+        expect_tensors_equal(restored.rt(i).params[k], trained.rt(i).params[k],
+                             "param");
+      }
+    }
+    const auto& bn_rt = restored.rt(2);  // b1_bn
+    ASSERT_EQ(bn_rt.buffers.size(), 3u);
+    EXPECT_EQ(bn_rt.buffers[2].data()[0], 0.0f);  // counter reset
+    for (std::int64_t c = 0; c < bn_rt.buffers[0].size(); ++c) {
+      EXPECT_EQ(bn_rt.buffers[0].data()[c], 0.0f);  // fresh mean
+      EXPECT_EQ(bn_rt.buffers[1].data()[c], 1.0f);  // fresh variance
+    }
+
+    // Without running stats, eval-mode forward falls back to batch
+    // statistics: identical to a training-mode forward's output.
+    const Tensor<float> x = make_input(restored.rt(0).out_shape, 555);
+    restored.set_input(0, x);
+    restored.forward(Mode::kInference);
+    const Tensor<float> eval_out =
+        restored.gather_output(restored.output_layer());
+    restored.set_input(0, x);
+    restored.forward(Mode::kTraining);
+    expect_tensors_equal(eval_out,
+                         restored.gather_output(restored.output_layer()),
+                         "fallback output");
+  });
+}
+
+TEST(CheckpointV2, RejectsUnknownVersion) {
+  comm::World world(1);
+  EXPECT_THROW(
+      world.run([&](comm::Comm& comm) {
+        const NetworkSpec spec = bn_net();
+        Model model(spec, comm, Strategy::sample_parallel(spec.size(), 1), 7);
+        std::string blob;
+        {
+          std::ostringstream out;
+          save_checkpoint(model, out);
+          blob = out.str();
+        }
+        const std::uint32_t bad = 99;
+        std::memcpy(blob.data() + 4, &bad, sizeof(bad));
+        std::istringstream in(blob);
+        load_checkpoint(model, in);
+      }),
+      Error);
+}
+
+TEST(CheckpointV2, FileRoundTripBroadcastsToAllRanks) {
+  const std::string path = "checkpoint_v2_test.ckpt";
+  std::string expect_blob;
+  {
+    comm::World world(1);
+    world.run([&](comm::Comm& comm) {
+      const NetworkSpec spec = bn_net();
+      Model model(spec, comm, Strategy::sample_parallel(spec.size(), 1), 7);
+      train_steps(model, 2);
+      save_checkpoint_file(model, path);
+      std::ostringstream out;
+      save_checkpoint(model, out);
+      expect_blob = out.str();
+    });
+  }
+  comm::World world(4);
+  world.run([&](comm::Comm& comm) {
+    const NetworkSpec spec = bn_net();
+    Model model(spec, comm, Strategy::hybrid(spec.size(), 4, 2), 3);
+    load_checkpoint_file(model, path);
+    // Every rank's restored state re-serializes to the original bytes.
+    std::ostringstream out;
+    save_checkpoint(model, out);
+    ASSERT_EQ(out.str(), expect_blob) << "rank " << comm.rank();
+  });
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace distconv::core

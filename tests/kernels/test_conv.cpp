@@ -257,6 +257,70 @@ TEST_P(ConvSweep, ThreadCountDeterminism) {
   EXPECT_EQ(0, std::memcmp(dw1.data(), dw8.data(), dw1.size() * sizeof(float)));
 }
 
+// Shapes large enough that the GEMM backward-data path runs several
+// lowering strips per sample (ckk · win rows > the ~2 MiB strip budget),
+// with kh > sh so consecutive strips' gather windows overlap: the packed
+// dcol boundary rows are reused from the previous strip instead of being
+// recomputed. The reuse must be invisible — identical to the oracle, to
+// the direct kernel, across a split input range, and for any thread count.
+struct StripCase {
+  std::int64_t c, h, w, f;
+  int k, s;
+};
+
+class BackwardDataStripSweep : public ::testing::TestWithParam<StripCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BackwardDataStripSweep,
+    ::testing::Values(StripCase{96, 40, 88, 32, 3, 1},   // deep 3×3, ~7 strips
+                      StripCase{64, 44, 80, 16, 5, 1},   // wider overlap (k=5)
+                      StripCase{96, 61, 80, 24, 5, 2},   // strided, kh > sh
+                      StripCase{128, 40, 72, 16, 7, 2}));  // reach ⌈(k−1)/s⌉=3
+
+TEST_P(BackwardDataStripSweep, BoundaryRowReuseMatchesOracle) {
+  const auto cfg = GetParam();
+  const ConvParams p{cfg.k, cfg.k, cfg.s, cfg.s, cfg.k / 2, cfg.k / 2};
+  const std::int64_t oh = p.out_h(cfg.h), ow = p.out_w(cfg.w);
+  Tensor<float> w(Shape4{cfg.f, cfg.c, cfg.k, cfg.k});
+  Tensor<float> dy(Shape4{2, cfg.f, oh, ow});
+  Rng rng(314);
+  w.fill_uniform(rng);
+  dy.fill_uniform(rng);
+  const Range2 xr{0, cfg.h, 0, cfg.w};
+
+  Tensor<float> dx_ref(Shape4{2, cfg.c, cfg.h, cfg.w});
+  conv2d_backward_data_padded(dy, w, dx_ref, p);
+  Tensor<float> dx(dx_ref.shape());
+  conv2d_backward_data(dy, Origin2{0, 0}, w, dx, Origin2{0, 0}, p, xr, oh, ow,
+                       ConvAlgo::kIm2col);
+  for (std::int64_t i = 0; i < dx.size(); ++i) {
+    ASSERT_NEAR(dx.data()[i], dx_ref.data()[i],
+                1e-3f * std::max(1.0f, std::abs(dx_ref.data()[i])))
+        << "i=" << i;
+  }
+
+  // Splitting the input range restarts the strip sequence mid-tensor; the
+  // per-element accumulation chains must not move.
+  Tensor<float> dx_split(dx_ref.shape());
+  const std::int64_t cut = cfg.h / 3;
+  conv2d_backward_data(dy, Origin2{0, 0}, w, dx_split, Origin2{0, 0}, p,
+                       Range2{0, cut, 0, cfg.w}, oh, ow, ConvAlgo::kIm2col);
+  conv2d_backward_data(dy, Origin2{0, 0}, w, dx_split, Origin2{0, 0}, p,
+                       Range2{cut, cfg.h, 0, cfg.w}, oh, ow, ConvAlgo::kIm2col);
+  EXPECT_EQ(0, std::memcmp(dx.data(), dx_split.data(),
+                           dx.size() * sizeof(float)));
+
+  // Thread-count determinism (strip heights and reuse depend on shapes
+  // alone, never on the budget).
+  Tensor<float> dx8(dx_ref.shape());
+  {
+    parallel::ThreadGuard guard(8);
+    conv2d_backward_data(dy, Origin2{0, 0}, w, dx8, Origin2{0, 0}, p, xr, oh,
+                         ow, ConvAlgo::kIm2col);
+  }
+  EXPECT_EQ(0, std::memcmp(dx.data(), dx8.data(), dx.size() * sizeof(float)));
+}
+
 TEST(ConvAlgoHeuristic, AutoResolvesOnLayerConstantsOnly) {
   const ConvParams deep{3, 3, 1, 1, 1, 1};
   // 64·3·3 = 576 deep, 64 filters: GEMM territory.

@@ -187,6 +187,57 @@ TEST(Sim, SamplesPerGroupScalesGpuCount) {
   ASSERT_TRUE(cell.feasible);
 }
 
+TEST(InferenceCost, ForwardOnlyIsCheaperThanTrainingStep) {
+  const auto spec = models::make_mesh_model_1k(4);
+  const auto strategy = core::Strategy::hybrid(spec.size(), 16, 4);
+  const auto train = network_cost(spec, strategy, kMachine);
+  const auto infer = inference_cost(spec, strategy, kMachine);
+  EXPECT_GT(infer.forward, 0.0);
+  // No backprop, no gradient allreduce, one-way shuffles.
+  EXPECT_LT(infer.batch_latency(), train.minibatch_time());
+  EXPECT_LE(infer.forward, train.forward);
+  EXPECT_LE(infer.shuffle, train.shuffle);
+}
+
+TEST(InferenceCost, ForwardOnlyMemoryFootprintIsSmaller) {
+  const auto spec = models::make_mesh_model_1k(4);
+  const auto strategy = core::Strategy::hybrid(spec.size(), 16, 4);
+  const auto train = estimate_memory(spec, strategy, kMachine, 16);
+  const auto infer = estimate_memory_inference(spec, strategy, kMachine, 16);
+  // y only (no dy), params only (no grads/momentum).
+  EXPECT_NEAR(infer.activation_bytes, train.activation_bytes / 2.0, 1.0);
+  EXPECT_NEAR(infer.parameter_bytes, train.parameter_bytes / 3.0, 1.0);
+  EXPECT_LT(infer.total_bytes, train.total_bytes);
+}
+
+TEST(InferenceCost, SpatialSplitCutsSingleSampleLatency) {
+  // The serving regime the forward-only objective exists for: at batch 1,
+  // sample parallelism cannot cut latency but a spatial split can.
+  const auto spec = models::make_mesh_model_1k(1);
+  const auto sample =
+      inference_cost(spec, core::Strategy::sample_parallel(spec.size(), 4),
+                     kMachine);
+  const auto spatial = inference_cost(
+      spec, core::Strategy::uniform(spec.size(), ProcessGrid{1, 1, 2, 2}),
+      kMachine);
+  EXPECT_LT(spatial.batch_latency(), sample.batch_latency());
+}
+
+TEST(ServingEstimate, PolicyDelayShapesLatencyPercentiles) {
+  const auto spec = models::make_mesh_model_1k(4);
+  const auto strategy = core::Strategy::hybrid(spec.size(), 16, 4);
+  const double delay = 2e-3;
+  const auto est = estimate_serving(spec, strategy, kMachine, delay);
+  EXPECT_GT(est.batch_latency, 0.0);
+  EXPECT_NEAR(est.p50_latency, est.batch_latency + 0.5 * delay, 1e-12);
+  EXPECT_NEAR(est.p99_latency, est.batch_latency + delay, 1e-12);
+  EXPECT_NEAR(est.throughput, 4.0 / est.batch_latency, 1e-6);
+  // The greedy policy trades percentile latency for throughput headroom.
+  const auto greedy = estimate_serving(spec, strategy, kMachine, 0.0);
+  EXPECT_LT(greedy.p99_latency, est.p99_latency);
+  EXPECT_EQ(greedy.p50_latency, greedy.p99_latency);
+}
+
 TEST(Sim, WeakScalingFormatMentionsInfeasibleReason) {
   sim::ExperimentOptions opt;
   opt.max_gpus = 8;

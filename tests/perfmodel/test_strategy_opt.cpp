@@ -230,6 +230,65 @@ TEST(ChannelAdvisory, FlagsDeepResNetLayers) {
   EXPECT_TRUE(deep) << "expected opportunities in the deep stages";
 }
 
+TEST(InferenceObjective, ServingGridsDifferFromTrainingAtBatchOne) {
+  // At a serving batch of 1, sample parallelism leaves every rank but one
+  // idle: the forward-only objective must decompose the heavy layers
+  // spatially (or over channels) instead, while the training objective at a
+  // saturating batch keeps recommending sample-majority grids — the
+  // "different grids for serving than for training" contract.
+  const auto serve_spec = models::make_mesh_model_1k(1);
+  OptimizerOptions serving;
+  serving.objective = Objective::kInference;
+  const auto serving_strategy =
+      optimize_strategy(serve_spec, 4, kMachine, serving);
+  bool any_decomposed = false;
+  for (const auto& g : serving_strategy.grids) {
+    if (g.h * g.w > 1 || g.c > 1) any_decomposed = true;
+  }
+  EXPECT_TRUE(any_decomposed)
+      << "batch-1 serving should not stay pure sample-parallel";
+
+  const auto train_spec = models::make_mesh_model_1k(4);
+  const auto training_strategy = optimize_strategy(train_spec, 4, kMachine);
+  EXPECT_NE(serving_strategy.str(), training_strategy.str());
+}
+
+TEST(InferenceObjective, ThroughputBatchesKeepSampleParallelism) {
+  // At a saturating dispatch batch the forward-only objective agrees with
+  // the classic result: sample parallelism (no halo, no channel collectives)
+  // maximizes throughput.
+  const auto spec = models::make_resnet_tiny(8);
+  OptimizerOptions serving;
+  serving.objective = Objective::kInference;
+  const auto strategy = optimize_strategy(spec, 4, kMachine, serving);
+  int sample_layers = 0, total = 0;
+  for (const auto& g : strategy.grids) {
+    ++total;
+    if (g.n == 4 && g.c == 1 && g.h == 1 && g.w == 1) ++sample_layers;
+  }
+  EXPECT_GT(sample_layers, total / 2);
+}
+
+TEST(InferenceObjective, NodeCostDropsBackpropTerms) {
+  const auto spec = models::make_mesh_model_1k(2);
+  const auto shapes = spec.infer_shapes();
+  OptimizerOptions train_opt;
+  OptimizerOptions serve_opt;
+  serve_opt.objective = Objective::kInference;
+  const ProcessGrid grid{1, 1, 2, 2};
+  for (int i = 0; i < spec.size(); ++i) {
+    const double train = layer_node_cost(spec, i, shapes, grid, kMachine,
+                                         train_opt);
+    const double serve = layer_node_cost(spec, i, shapes, grid, kMachine,
+                                         serve_opt);
+    EXPECT_LE(serve, train) << "layer " << i;
+    if (train > 0.0 && conv_desc(spec, i, shapes).has_value()) {
+      EXPECT_LT(serve, train) << "conv layer " << i
+                              << " must shed its backward terms";
+    }
+  }
+}
+
 TEST(ChannelAdvisory, MeshStemPrefersSpatial) {
   // The 18-channel stem has a huge spatial domain and almost no channels to
   // split: spatial parallelism must win there (the paper's headline case).

@@ -1,0 +1,148 @@
+// Dynamic batching policy unit tests: max-batch cut, max-delay flush,
+// greedy dispatch, FIFO order, shutdown drain, and the env knobs.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "serve/batcher.hpp"
+
+namespace distconv::serve {
+namespace {
+
+Tensor<float> sample(float fill = 0.0f) {
+  Tensor<float> t(Shape4{1, 2, 4, 4});
+  t.fill(fill);
+  return t;
+}
+
+TEST(Batcher, FullBatchDispatchesImmediately) {
+  BatcherOptions opts;
+  opts.max_batch = 3;
+  opts.max_delay_us = 1000000;  // a full second: must not be waited out
+  Batcher b(opts);
+  for (int i = 0; i < 5; ++i) b.push(sample());
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto batch = b.next_batch(/*limit=*/8);
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(batch.size(), 3u);
+  EXPECT_LT(waited, 0.5);  // did not sit out the max delay
+  EXPECT_EQ(b.pending(), 2u);
+}
+
+TEST(Batcher, ModelCapacityCapsBelowMaxBatch) {
+  BatcherOptions opts;
+  opts.max_batch = 8;
+  opts.max_delay_us = 0;
+  Batcher b(opts);
+  for (int i = 0; i < 5; ++i) b.push(sample());
+  EXPECT_EQ(b.next_batch(/*limit=*/2).size(), 2u);
+}
+
+TEST(Batcher, MaxDelayFlushesPartialBatch) {
+  BatcherOptions opts;
+  opts.max_batch = 8;
+  opts.max_delay_us = 30000;  // 30 ms
+  Batcher b(opts);
+  b.push(sample());
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto batch = b.next_batch(8);
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_GE(waited, 0.025);  // held for roughly the configured delay
+}
+
+TEST(Batcher, GreedyPolicyDispatchesWhatIsQueued) {
+  BatcherOptions opts;
+  opts.max_batch = 8;
+  opts.max_delay_us = 0;
+  Batcher b(opts);
+  b.push(sample());
+  b.push(sample());
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto batch = b.next_batch(8);
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_LT(waited, 0.02);
+}
+
+TEST(Batcher, FifoOrderAndIds) {
+  BatcherOptions opts;
+  opts.max_batch = 4;
+  opts.max_delay_us = 0;
+  Batcher b(opts);
+  for (int i = 0; i < 4; ++i) b.push(sample(float(i)));
+  const auto batch = b.next_batch(4);
+  ASSERT_EQ(batch.size(), 4u);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i].id, i + 1);
+    EXPECT_EQ(batch[i].input.data()[0], float(i));
+  }
+}
+
+TEST(Batcher, NewArrivalFillsBatchBeforeDeadline) {
+  BatcherOptions opts;
+  opts.max_batch = 2;
+  opts.max_delay_us = 500000;  // half a second
+  Batcher b(opts);
+  b.push(sample());
+  std::thread late([&b] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    b.push(sample());
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto batch = b.next_batch(8);
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  late.join();
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_LT(waited, 0.4);  // woke on the second arrival, not the deadline
+}
+
+TEST(Batcher, CloseDrainsThenSignalsShutdown) {
+  BatcherOptions opts;
+  opts.max_batch = 2;
+  opts.max_delay_us = 1000000;
+  Batcher b(opts);
+  for (int i = 0; i < 3; ++i) b.push(sample());
+  b.close();
+  EXPECT_EQ(b.next_batch(8).size(), 2u);
+  EXPECT_EQ(b.next_batch(8).size(), 1u);
+  EXPECT_TRUE(b.next_batch(8).empty());  // drained → shutdown signal
+  EXPECT_THROW(b.push(sample()), Error);
+}
+
+TEST(Batcher, CloseWakesBlockedConsumer) {
+  Batcher b(BatcherOptions{});
+  std::thread closer([&b] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    b.close();
+  });
+  EXPECT_TRUE(b.next_batch(8).empty());
+  closer.join();
+}
+
+TEST(Batcher, EnvKnobsParse) {
+  setenv("DC_SERVE_MAX_BATCH", "17", 1);
+  setenv("DC_SERVE_MAX_DELAY_US", "2500", 1);
+  const BatcherOptions opts = batcher_options_from_env();
+  EXPECT_EQ(opts.max_batch, 17);
+  EXPECT_EQ(opts.max_delay_us, 2500);
+  setenv("DC_SERVE_MAX_BATCH", "not-a-number", 1);
+  unsetenv("DC_SERVE_MAX_DELAY_US");
+  const BatcherOptions fallback = batcher_options_from_env();
+  EXPECT_EQ(fallback.max_batch, BatcherOptions{}.max_batch);
+  EXPECT_EQ(fallback.max_delay_us, BatcherOptions{}.max_delay_us);
+  unsetenv("DC_SERVE_MAX_BATCH");
+}
+
+}  // namespace
+}  // namespace distconv::serve

@@ -1,0 +1,291 @@
+// End-to-end serving: train the single-rank oracle, checkpoint (v2), load
+// into distributed serving models under sample / spatial / channel grids,
+// and verify every dynamically batched request resolves to the oracle's
+// exact top-k — bitwise, whatever batch its sample landed in (eval-mode
+// operators are per-sample, so zero-padded slots are inert).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "core/checkpoint.hpp"
+#include "core/layers.hpp"
+#include "core/model.hpp"
+#include "serve/server.hpp"
+
+namespace distconv::serve {
+namespace {
+
+using core::BatchNormMode;
+using core::Mode;
+using core::Model;
+using core::NetworkBuilder;
+using core::NetworkSpec;
+using core::Strategy;
+
+constexpr int kClasses = 6;
+constexpr std::int64_t kBatch = 4;
+
+NetworkSpec classifier_net() {
+  NetworkBuilder nb;
+  const int in = nb.input(Shape4{kBatch, 3, 16, 16});
+  int x = nb.conv_bn_relu("b1", in, 8, 3);
+  x = nb.pool_max("pool", x, 3, 2, 1);
+  x = nb.conv_bn_relu("b2", x, 8, 3);
+  x = nb.global_avg_pool("gap", x);
+  x = nb.fully_connected("fc", x, kClasses, /*bias=*/true);
+  return nb.take();
+}
+
+Tensor<float> make_sample(std::uint64_t seed) {
+  Tensor<float> t(Shape4{1, 3, 16, 16});
+  Rng rng(seed);
+  t.fill_uniform(rng, -1.0f, 1.0f);
+  return t;
+}
+
+/// Train the oracle, checkpoint it, and score each request sample alone
+/// (slot 0, rest zero-padded): the reference top-k for any batching.
+struct OracleServing {
+  std::string blob;
+  std::vector<std::vector<Prediction>> topk;  ///< per request sample
+};
+
+OracleServing run_oracle(const std::vector<Tensor<float>>& samples, int top_k) {
+  OracleServing oracle;
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    const NetworkSpec spec = classifier_net();
+    Model model(spec, comm, Strategy::sample_parallel(spec.size(), 1), 7);
+    const Shape4 in_shape = model.rt(0).out_shape;
+    Rng rng(17);
+    for (int step = 0; step < 3; ++step) {
+      Tensor<float> x(in_shape);
+      x.fill_uniform(rng, -1.0f, 1.0f);
+      std::vector<int> labels;
+      for (std::int64_t n = 0; n < in_shape.n; ++n) {
+        labels.push_back(static_cast<int>(rng.uniform() * kClasses) % kClasses);
+      }
+      model.set_input(0, x);
+      model.forward();
+      model.loss_softmax(labels);
+      model.backward();
+      model.sgd_step(kernels::SgdConfig{0.05f, 0.9f, 0.0f});
+    }
+    std::ostringstream out;
+    core::save_checkpoint(model, out);
+    oracle.blob = out.str();
+
+    for (const auto& s : samples) {
+      Tensor<float> input(in_shape);
+      input.zero();
+      std::copy(s.data(), s.data() + s.size(), input.data());
+      model.set_input(0, input);
+      model.forward(Mode::kInference);
+      const Tensor<float> logits = model.gather_output(model.output_layer());
+      oracle.topk.push_back(topk_softmax(logits.data(), kClasses, top_k));
+    }
+  });
+  return oracle;
+}
+
+struct GridCase {
+  const char* name;
+  int ranks;
+  std::function<Strategy(const NetworkSpec&)> make;
+};
+
+std::vector<GridCase> grid_cases() {
+  return {
+      {"sample4", 4,
+       [](const NetworkSpec& spec) {
+         return Strategy::sample_parallel(spec.size(), 4);
+       }},
+      {"spatial_then_sample", 4,
+       [](const NetworkSpec& spec) {
+         // Convs spatially decomposed; the classifier head (GAP output is
+         // (N, C, 1, 1)) shuffles to a sample-parallel grid for the FC.
+         Strategy s =
+             Strategy::uniform(spec.size(), ProcessGrid{1, 1, 2, 2});
+         s.grids[spec.size() - 1] = ProcessGrid{4, 1, 1, 1};
+         return s;
+       }},
+      {"channel_then_sample", 4,
+       [](const NetworkSpec& spec) {
+         Strategy s =
+             Strategy::uniform(spec.size(), ProcessGrid{2, 2, 1, 1});
+         s.grids[spec.size() - 2] = ProcessGrid{4, 1, 1, 1};  // gap
+         s.grids[spec.size() - 1] = ProcessGrid{4, 1, 1, 1};  // fc
+         return s;
+       }},
+  };
+}
+
+TEST(Server, BatchedRequestsMatchOracleBitwiseUnderAllGrids) {
+  constexpr int kRequests = 10;
+  std::vector<Tensor<float>> samples;
+  for (int i = 0; i < kRequests; ++i) samples.push_back(make_sample(900 + i));
+
+  ServeOptions opts;
+  opts.batcher.max_batch = static_cast<int>(kBatch);
+  opts.batcher.max_delay_us = 500;
+  opts.top_k = 3;
+  const OracleServing oracle = run_oracle(samples, opts.top_k);
+
+  for (const auto& gc : grid_cases()) {
+    SCOPED_TRACE(gc.name);
+    Server server(opts);
+    std::vector<std::future<InferenceResult>> futures;
+    std::thread client([&] {
+      for (const auto& s : samples) {
+        Tensor<float> copy(s.shape());
+        std::copy(s.data(), s.data() + s.size(), copy.data());
+        futures.push_back(server.submit(std::move(copy)));
+      }
+      for (auto& f : futures) f.wait();
+      server.shutdown();
+    });
+    comm::World world(gc.ranks);
+    world.run([&](comm::Comm& comm) {
+      const NetworkSpec spec = classifier_net();
+      Model model(spec, comm, gc.make(spec), /*seed=*/21);
+      std::istringstream in(oracle.blob);
+      core::load_checkpoint(model, in);
+      server.serve(model);
+    });
+    client.join();
+
+    ASSERT_EQ(futures.size(), samples.size());
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const InferenceResult res = futures[i].get();
+      ASSERT_EQ(res.topk.size(), oracle.topk[i].size()) << "request " << i;
+      for (std::size_t k = 0; k < res.topk.size(); ++k) {
+        EXPECT_EQ(res.topk[k].cls, oracle.topk[i][k].cls)
+            << "request " << i << " rank " << k;
+        EXPECT_EQ(res.topk[k].prob, oracle.topk[i][k].prob)
+            << "request " << i << " rank " << k;
+      }
+      EXPECT_GE(res.latency_seconds, 0.0);
+    }
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(kRequests));
+    EXPECT_GE(stats.batches,
+              static_cast<std::uint64_t>(kRequests) / kBatch);
+    EXPECT_GT(stats.mean_batch_fill, 0.0);
+    EXPECT_LE(stats.mean_batch_fill, double(kBatch));
+    EXPECT_GE(stats.p99_latency_seconds, stats.p50_latency_seconds);
+  }
+}
+
+TEST(Server, ConcurrentClientsAllComplete) {
+  ServeOptions opts;
+  opts.batcher.max_batch = static_cast<int>(kBatch);
+  opts.batcher.max_delay_us = 200;
+  opts.top_k = 2;
+  Server server(opts);
+
+  constexpr int kClients = 3;
+  constexpr int kPerClient = 5;
+  std::vector<std::vector<std::future<InferenceResult>>> futures(kClients);
+  std::vector<std::thread> clients;
+  std::atomic<int> done{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        futures[c].push_back(server.submit(make_sample(7000 + c * 100 + i)));
+      }
+      for (auto& f : futures[c]) f.wait();
+      if (done.fetch_add(1) + 1 == kClients) server.shutdown();
+    });
+  }
+  comm::World world(4);
+  world.run([&](comm::Comm& comm) {
+    const NetworkSpec spec = classifier_net();
+    Model model(spec, comm, Strategy::sample_parallel(spec.size(), 4), 5);
+    server.serve(model);
+  });
+  for (auto& t : clients) t.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    for (auto& f : futures[c]) {
+      const InferenceResult res = f.get();
+      ASSERT_EQ(res.topk.size(), 2u);
+      // Probabilities are a valid, sorted distribution prefix.
+      EXPECT_GE(res.topk[0].prob, res.topk[1].prob);
+      EXPECT_GT(res.topk[0].prob, 0.0f);
+      EXPECT_LE(double(res.topk[0].prob) + res.topk[1].prob, 1.0 + 1e-6);
+    }
+  }
+  EXPECT_EQ(server.stats().requests,
+            static_cast<std::uint64_t>(kClients * kPerClient));
+}
+
+TEST(Server, MalformedRequestFailsItsFutureWithoutWedgingTheLoop) {
+  ServeOptions opts;
+  opts.batcher.max_batch = 2;
+  opts.batcher.max_delay_us = 200;
+  Server server(opts);
+
+  std::future<InferenceResult> bad, good;
+  std::thread client([&] {
+    Tensor<float> wrong(Shape4{1, 3, 8, 8});  // model expects 16×16
+    wrong.fill(1.0f);
+    bad = server.submit(std::move(wrong));
+    good = server.submit(make_sample(31337));
+    good.wait();
+    server.shutdown();
+  });
+  comm::World world(4);
+  world.run([&](comm::Comm& comm) {
+    const NetworkSpec spec = classifier_net();
+    Model model(spec, comm, Strategy::sample_parallel(spec.size(), 4), 5);
+    server.serve(model);
+  });
+  client.join();
+
+  EXPECT_THROW(bad.get(), Error);
+  const InferenceResult res = good.get();  // must not throw
+  EXPECT_FALSE(res.topk.empty());
+  EXPECT_EQ(server.stats().requests, 1u);  // the rejected request never served
+}
+
+TEST(Server, DyingServeLoopFailsQueuedFuturesInsteadOfHanging) {
+  // A model whose head is not (N, classes, 1, 1) makes serve() throw during
+  // setup; the queued request's future must carry the error (not block
+  // forever) and the world must rethrow.
+  ServeOptions opts;
+  opts.batcher.max_delay_us = 0;
+  Server server(opts);
+  std::future<InferenceResult> fut = server.submit(make_sample(1));
+  comm::World world(1);
+  EXPECT_THROW(world.run([&](comm::Comm& comm) {
+                 NetworkBuilder nb;
+                 const int in = nb.input(Shape4{2, 3, 8, 8});
+                 nb.conv("head", in, 4, 3, 1);  // spatial output
+                 const NetworkSpec spec = nb.take();
+                 Model model(spec, comm,
+                             Strategy::sample_parallel(spec.size(), 1), 1);
+                 server.serve(model);
+               }),
+               Error);
+  EXPECT_THROW(fut.get(), Error);
+  EXPECT_TRUE(server.batcher().closed());
+}
+
+TEST(TopkSoftmax, DeterministicOrderAndProbabilities) {
+  const float logits[5] = {1.0f, 3.0f, 3.0f, -2.0f, 0.5f};
+  const auto topk = topk_softmax(logits, 5, 3);
+  ASSERT_EQ(topk.size(), 3u);
+  EXPECT_EQ(topk[0].cls, 1);  // tie with class 2 broken by lower index
+  EXPECT_EQ(topk[1].cls, 2);
+  EXPECT_EQ(topk[2].cls, 0);
+  EXPECT_EQ(topk[0].prob, topk[1].prob);
+  double sum = 0;
+  for (const auto& p : topk) sum += p.prob;
+  EXPECT_LE(sum, 1.0 + 1e-6);
+  // k clamps to the class count.
+  EXPECT_EQ(topk_softmax(logits, 5, 50).size(), 5u);
+}
+
+}  // namespace
+}  // namespace distconv::serve
