@@ -22,7 +22,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -340,6 +342,110 @@ class NbAllgatherv final : public RequestDrivenOp {
   int p_ = 1, me_ = 0, right_ = 0, left_ = 0, s_ = 0;
 };
 
+/// Nonblocking twin of reduce_scatterv_inplace(): the same ring over
+/// caller-chosen blocks with the same apply order per element, restructured
+/// into one posted receive per round. The optional `pack` callback defers
+/// filling a block of `buf` until just before the schedule first touches it
+/// (one block ahead of its reduce), so the channel-parallel forward's
+/// packing of later filter slices pipelines with the communication of
+/// earlier rounds instead of happening up front. With a null `pack`, the
+/// caller pre-packs the whole buffer, exactly like the blocking call.
+template <typename T>
+class NbReduceScattervInplace final : public RequestDrivenOp {
+ public:
+  using PackFn = std::function<void(int /*block*/)>;
+
+  NbReduceScattervInplace(Comm& comm, T* buf, std::vector<std::size_t> counts,
+                          ReduceOp op, PackFn pack = nullptr, int tag = -1)
+      : comm_(&comm), buf_(buf), counts_(std::move(counts)), op_(op),
+        pack_(std::move(pack)),
+        tag_(tag >= 0 ? tag : comm.next_internal_tag()) {
+    DC_REQUIRE(static_cast<int>(counts_.size()) == comm.size(),
+               "reduce_scatterv: counts must have one entry per rank");
+  }
+
+ protected:
+  bool begin() override {
+    p_ = comm_->size();
+    me_ = comm_->rank();
+    displs_.resize(p_);
+    std::size_t total = 0, max_block = 0;
+    for (int b = 0; b < p_; ++b) {
+      displs_[b] = total;
+      total += counts_[b];
+      max_block = std::max(max_block, counts_[b]);
+    }
+    if (p_ == 1) {
+      pack_block(me_);
+      return true;
+    }
+    right_ = (me_ + 1) % p_;
+    left_ = (me_ - 1 + p_) % p_;
+    tmp_.resize(max_block);
+    s_ = 0;
+    stage_ = Stage::kReduceScatter;
+    // Step 0 sends block `me` and will reduce into block `me - 1`.
+    pack_block(me_);
+    pack_block((me_ - 1 + p_) % p_);
+    post_step();
+    return false;
+  }
+
+  bool step() override {
+    switch (stage_) {
+      case Stage::kReduceScatter: {
+        const int recv_block = (me_ - s_ - 1 + p_) % p_;
+        internal::apply_op(op_, buf_ + displs_[recv_block], tmp_.data(),
+                           counts_[recv_block]);
+        if (++s_ < p_ - 1) {
+          // The block this step reduces into; its send happens next step, so
+          // packing it here overlaps the round already in flight.
+          pack_block((me_ - s_ - 1 + p_) % p_);
+          post_step();
+          return false;
+        }
+        // Rank me holds the fully reduced block (me + 1) % p; swap it to its
+        // owner and receive my own block, as in reduce_scatterv_inplace.
+        const int have = (me_ + 1) % p_;
+        stage_ = Stage::kOwnerSwap;
+        pending_ = comm_->irecv(buf_ + displs_[me_], counts_[me_] * sizeof(T),
+                                left_, tag_);
+        comm_->send(buf_ + displs_[have], counts_[have], have, tag_);
+        return false;
+      }
+      case Stage::kOwnerSwap:
+        return true;
+    }
+    DC_FAIL("unreachable nonblocking reduce_scatterv stage");
+  }
+
+ private:
+  enum class Stage { kReduceScatter, kOwnerSwap };
+
+  void pack_block(int b) {
+    if (pack_) pack_(b);
+  }
+
+  void post_step() {
+    const int send_block = (me_ - s_ + p_) % p_;
+    const int recv_block = (me_ - s_ - 1 + p_) % p_;
+    pending_ = comm_->irecv(tmp_.data(), counts_[recv_block] * sizeof(T), left_,
+                            tag_);
+    comm_->send(buf_ + displs_[send_block], counts_[send_block], right_, tag_);
+  }
+
+  Comm* comm_;
+  T* buf_;
+  std::vector<std::size_t> counts_;
+  ReduceOp op_;
+  PackFn pack_;
+  int tag_;
+  int p_ = 1, me_ = 0, right_ = 0, left_ = 0, s_ = 0;
+  Stage stage_ = Stage::kReduceScatter;
+  std::vector<std::size_t> displs_;
+  std::vector<T> tmp_;
+};
+
 /// Build the nonblocking allreduce matching what the blocking allreduce()
 /// would execute for (n, algo): kAuto picks recursive doubling at or below
 /// kAllreduceRingThresholdBytes, and the ring path falls back to recursive
@@ -371,11 +477,16 @@ std::unique_ptr<NbOp> make_iallreduce(Comm& comm, T* buf, std::size_t n,
 /// between kernels; drain() blocks until the queue is empty.
 class CollectiveEngine {
  public:
-  /// Take ownership of op and start it if the wire is free.
-  void enqueue(std::unique_ptr<NbOp> op) {
+  /// Take ownership of op and start it if the wire is free. Returns the op's
+  /// ticket: a 1-based sequence number that drain_until() accepts — tickets
+  /// are never reused, so a consumer can wait on "its" op without holding a
+  /// pointer into the queue.
+  std::uint64_t enqueue(std::unique_ptr<NbOp> op) {
     DC_REQUIRE(op != nullptr, "enqueue of null op");
     queue_.push_back(std::move(op));
+    const std::uint64_t ticket = ++enqueued_;
     progress();
+    return ticket;
   }
 
   /// Advance the head op (and any successors that complete immediately)
@@ -386,25 +497,35 @@ class CollectiveEngine {
       if (!head.started()) head.start();
       if (!head.progress()) return false;
       queue_.pop_front();
+      ++completed_;
     }
     return true;
   }
 
   /// Block until every enqueued op has completed.
-  void drain() {
-    while (!queue_.empty()) {
+  void drain() { drain_until(enqueued_); }
+
+  /// Block until the op with the given ticket (and every op ahead of it in
+  /// the FIFO) has completed. No-op for already-completed tickets.
+  void drain_until(std::uint64_t ticket) {
+    while (completed_ < ticket && !queue_.empty()) {
       NbOp& head = *queue_.front();
       if (!head.started()) head.start();
       while (!head.progress()) head.wait_progress();
       queue_.pop_front();
+      ++completed_;
     }
   }
 
   bool idle() const { return queue_.empty(); }
   std::size_t pending_ops() const { return queue_.size(); }
+  /// Ops retired since construction (monotonic; drain_until's clock).
+  std::uint64_t completed_ops() const { return completed_; }
 
  private:
   std::deque<std::unique_ptr<NbOp>> queue_;
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t completed_ = 0;
 };
 
 }  // namespace distconv::comm

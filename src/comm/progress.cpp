@@ -1,0 +1,245 @@
+#include "comm/progress.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+
+namespace distconv::comm {
+namespace {
+
+void hook_entry();  // forward: installed into parallel::set_progress_hook
+
+/// True while this thread is inside a registry sweep. Checked before any
+/// Driver::mutex_ acquisition from a sweep path, so an op callback that
+/// reaches a chunk boundary (and thus the hook) can never re-enter the
+/// non-recursive mutex it already holds.
+thread_local bool t_in_sweep = false;
+
+/// Process-wide registry of live engines plus the dedicated progress thread.
+/// The thread starts lazily on the first thread-mode engine and sleeps on a
+/// condition variable whenever every registered engine is idle, so binaries
+/// that never enqueue background work pay nothing.
+///
+/// Locking: `list_mutex_` guards only the engine list (held for
+/// microseconds, so registration — Model construction on a rank thread —
+/// never waits behind an op's unpack). Sweeps snapshot the list and iterate
+/// under `sweep_mutex_` alone; remove() takes `sweep_mutex_` as a barrier
+/// after unlisting, so no sweep can still hold a pointer to a destroyed
+/// engine.
+class Driver {
+ public:
+  static Driver& instance() {
+    static Driver driver;
+    return driver;
+  }
+
+  void add(ProgressEngine* engine, ProgressMode mode) {
+    std::lock_guard<std::mutex> lock(list_mutex_);
+    engines_.push_back(engine);
+    if (mode == ProgressMode::kHooks) {
+      parallel::set_progress_hook(&hook_entry);
+    }
+    if (mode == ProgressMode::kThread && !thread_.joinable()) {
+      thread_ = std::thread([this] { thread_loop(); });
+    }
+    cv_.notify_all();
+  }
+
+  void remove(ProgressEngine* engine) {
+    {
+      std::lock_guard<std::mutex> lock(list_mutex_);
+      engines_.erase(std::remove(engines_.begin(), engines_.end(), engine),
+                     engines_.end());
+    }
+    // Barrier: a sweep that snapshotted the list before the erase may still
+    // be touching this engine; it holds sweep_mutex_ until done.
+    std::lock_guard<std::mutex> barrier(sweep_mutex_);
+  }
+
+  /// Wake the progress thread: an idle engine just received work.
+  void notify() { cv_.notify_all(); }
+
+  /// One try-lock sweep from a compute thread's chunk boundary. Skips
+  /// entirely when another thread is already sweeping (the hook must never
+  /// serialize the pool's workers) and when fired reentrantly from an op's
+  /// own callbacks.
+  void hook_sweep() noexcept {
+    if (t_in_sweep) return;
+    std::unique_lock<std::mutex> lock(sweep_mutex_, std::try_to_lock);
+    if (!lock.owns_lock()) return;
+    sweep_locked();
+  }
+
+ private:
+  Driver() = default;
+  ~Driver() {
+    {
+      std::lock_guard<std::mutex> lock(list_mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  /// Snapshot the list and progress every engine. Caller holds sweep_mutex_.
+  /// Returns true when any engine had in-flight work.
+  bool sweep_locked() noexcept {
+    std::vector<ProgressEngine*> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(list_mutex_);
+      snapshot = engines_;
+    }
+    bool any_in_flight = false;
+    t_in_sweep = true;
+    for (ProgressEngine* e : snapshot) {
+      any_in_flight |= e->try_progress_background();
+    }
+    t_in_sweep = false;
+    return any_in_flight;
+  }
+
+  void thread_loop() {
+    for (;;) {
+      bool any_in_flight = false;
+      {
+        std::unique_lock<std::mutex> lock(list_mutex_);
+        if (stop_) return;
+        if (engines_.empty()) {
+          cv_.wait(lock, [this] { return stop_ || !engines_.empty(); });
+          continue;
+        }
+      }
+      {
+        std::lock_guard<std::mutex> sweep(sweep_mutex_);
+        any_in_flight = sweep_locked();
+      }
+      if (any_in_flight) {
+        // Stay hot while rounds are in flight, but yield the core so the
+        // rank/pool threads this box is already running keep making the
+        // compute progress the rounds are hiding behind.
+        std::this_thread::yield();
+      } else {
+        // Everything idle: doze until an enqueue() notifies (bounded wait so
+        // a missed notify can only cost one period, never liveness).
+        std::unique_lock<std::mutex> lock(list_mutex_);
+        if (stop_) return;
+        cv_.wait_for(lock, std::chrono::microseconds(500));
+      }
+    }
+  }
+
+  std::mutex list_mutex_;   ///< engines_, stop_; cv_ waits here
+  std::mutex sweep_mutex_;  ///< held while iterating a snapshot
+  std::condition_variable cv_;
+  std::vector<ProgressEngine*> engines_;
+  std::thread thread_;
+  bool stop_ = false;
+};
+
+void hook_entry() { Driver::instance().hook_sweep(); }
+
+}  // namespace
+
+ProgressMode progress_mode_from_env() {
+  static const ProgressMode cached = [] {
+    const char* s = std::getenv("DC_COMM_PROGRESS");
+    if (s == nullptr) return ProgressMode::kThread;
+    if (std::strcmp(s, "thread") == 0) return ProgressMode::kThread;
+    if (std::strcmp(s, "hooks") == 0) return ProgressMode::kHooks;
+    if (std::strcmp(s, "off") == 0 || std::strcmp(s, "0") == 0 ||
+        std::strcmp(s, "false") == 0 || std::strcmp(s, "none") == 0) {
+      return ProgressMode::kOff;
+    }
+    DC_FAIL("DC_COMM_PROGRESS must be one of thread|hooks|off, got \"", s,
+            "\"");
+  }();
+  return cached;
+}
+
+const char* to_string(ProgressMode mode) {
+  switch (mode) {
+    case ProgressMode::kOff: return "off";
+    case ProgressMode::kThread: return "thread";
+    case ProgressMode::kHooks: return "hooks";
+  }
+  return "?";
+}
+
+ProgressEngine::ProgressEngine(ProgressMode mode) : mode_(mode) {
+  if (mode_ != ProgressMode::kOff) Driver::instance().add(this, mode_);
+}
+
+ProgressEngine::~ProgressEngine() {
+  if (mode_ != ProgressMode::kOff) Driver::instance().remove(this);
+}
+
+void ProgressEngine::rethrow_background_error_locked() {
+  if (background_error_) {
+    std::exception_ptr err = background_error_;
+    background_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+std::uint64_t ProgressEngine::enqueue(std::unique_ptr<NbOp> op) {
+  std::uint64_t ticket;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rethrow_background_error_locked();
+    ticket = engine_.enqueue(std::move(op));
+  }
+  if (mode_ == ProgressMode::kThread) Driver::instance().notify();
+  return ticket;
+}
+
+bool ProgressEngine::progress() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rethrow_background_error_locked();
+  return engine_.progress();
+}
+
+void ProgressEngine::drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rethrow_background_error_locked();
+  engine_.drain();
+}
+
+void ProgressEngine::drain_until(std::uint64_t ticket) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rethrow_background_error_locked();
+  engine_.drain_until(ticket);
+}
+
+bool ProgressEngine::idle() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return engine_.idle();
+}
+
+std::size_t ProgressEngine::pending_ops() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return engine_.pending_ops();
+}
+
+bool ProgressEngine::try_progress_background() noexcept {
+  std::unique_lock<std::mutex> lock(mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) return false;
+  if (background_error_ || engine_.idle()) return false;
+  const std::uint64_t before = engine_.completed_ops();
+  try {
+    engine_.progress();
+  } catch (...) {
+    background_error_ = std::current_exception();
+  }
+  background_completions_.fetch_add(engine_.completed_ops() - before,
+                                    std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace distconv::comm

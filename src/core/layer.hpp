@@ -7,10 +7,12 @@
 // makes the SPMD execution thread-safe.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "comm/progress.hpp"
 #include "kernels/conv.hpp"
 #include "support/rng.hpp"
 #include "tensor/dist_tensor.hpp"
@@ -34,8 +36,11 @@ enum class BatchNormMode { kLocal, kSpatial, kGlobal };
 /// inert — the property the serving batcher relies on) and mutates no state.
 enum class Mode { kTraining, kInference };
 
-/// Default for ModelOptions::overlap_allreduce: the DC_OVERLAP_ALLREDUCE
-/// environment knob ("1"/"true"/"on"), false when unset.
+/// Default for ModelOptions::overlap_allreduce: on unless the
+/// DC_OVERLAP_ALLREDUCE environment knob disables it ("0"/"false"/"off").
+/// The default flipped to on once the progress engine kept the hidden
+/// fraction high on few-core hosts (see README "Communication/computation
+/// overlap"); CI gates the blocking path by setting it to 0 in one cell.
 bool overlap_allreduce_from_env();
 
 struct ModelOptions {
@@ -45,8 +50,21 @@ struct ModelOptions {
   /// the wire at a time), instead of one blocking sweep after backprop —
   /// the executable form of the cost model's greedy allreduce overlap.
   /// Results are bitwise identical either way (fixed reduction order per
-  /// op); the knob only moves when the communication happens.
+  /// op); the knob only moves when the communication happens. Default on.
   bool overlap_allreduce = overlap_allreduce_from_env();
+  /// Who advances in-flight collective rounds while kernels run: a dedicated
+  /// progress thread, parallel_for chunk-boundary hooks, or nobody (rounds
+  /// then advance only at layer boundaries, the pre-engine behaviour).
+  /// When not kOff the model also routes halo refreshes, redistribution
+  /// shuffles and the channel-parallel forward's reduce-scatter through the
+  /// engine so they overlap too. Results are bitwise identical in every
+  /// mode. Default: DC_COMM_PROGRESS, "thread" when unset.
+  comm::ProgressMode comm_progress = comm::progress_mode_from_env();
+  /// Test-only: invoked after each layer's backward kernels retire (and its
+  /// gradient completions are enqueued), with the layer index. The overlap
+  /// stress tests inject artificial kernel time here to prove in-flight
+  /// rounds complete before the layer boundary.
+  std::function<void(int)> backward_layer_hook;
   /// Per-layer algorithm selection (kAuto mirrors the paper's reliance on
   /// cuDNN autotuning; the heuristic depends only on layer constants, so
   /// every rank resolves identically).
@@ -111,6 +129,11 @@ struct LayerRt {
     std::unique_ptr<Shuffler<float>> bwd_shuffle;
     /// Gradient this layer produces wrt this input (this layer's grid).
     DistTensor<float> dx;
+    /// Engine tickets of in-flight shuffle ops for this edge (0 = none):
+    /// the forward shuffle pre-posted when the parent finished computing,
+    /// and the backward shuffle posted when this layer's dx retired.
+    std::uint64_t pending_fwd_shuffle = 0;
+    std::uint64_t pending_bwd_shuffle = 0;
   };
   std::vector<InputPort> inputs;
 

@@ -149,8 +149,11 @@ void Conv2dLayer::init_scratch(Model& model, int index, LayerRt& rt) const {
 /// §III-D forward: y is a sum over all input channels, so each rank computes
 /// the full-F partial sum over its channel slice and a reduce-scatter over
 /// the channel group both completes the sum and leaves each rank exactly its
-/// filter slice of y. No interior/boundary split here — the reduce-scatter
-/// needs the whole partial anyway, so halos are refreshed up front.
+/// filter slice of y. With the progress engine active, the halo refresh
+/// hides behind the interior partial (the §IV-A split also applies here —
+/// only the *boundary* rows of the partial need margins) and the
+/// reduce-scatter runs as an engine op whose per-block packing pipelines
+/// with its ring rounds.
 void Conv2dLayer::forward_channel(Model& model, int index, LayerRt& rt) const {
   ActTensor& xa = *rt.inputs[0].read;
   DistTensor<float>& xt = xa.t;
@@ -168,15 +171,34 @@ void Conv2dLayer::forward_channel(Model& model, int index, LayerRt& rt) const {
       channel_slice_box(cpart, xt.coord().c, filters_, kernel_, kernel_);
   pack_box(rt.params[0], wcols, scratch->w_slice.data());
 
-  xa.ensure_fresh();
   const Range2 out_owned = owned_range(yt.owned_box());
   const Origin2 ypo{yt.owned_start(2), yt.owned_start(3)};
-  if (c_loc > 0) {
-    kernels::conv2d_forward(xt.buffer(), origin_of(xt), scratch->w_slice,
-                            scratch->y_partial, ypo, p, out_owned,
-                            model.options().conv_algo);
+  auto compute_partial = [&](const Range2& r) {
+    if (c_loc > 0 && !r.empty()) {
+      kernels::conv2d_forward(xt.buffer(), origin_of(xt), scratch->w_slice,
+                              scratch->y_partial, ypo, p, r,
+                              model.options().conv_algo);
+    }
+  };
+  if (c_loc == 0) scratch->y_partial.zero();  // empty slice contributes zeros
+
+  if (xa.halo == nullptr || xa.fresh) {
+    compute_partial(out_owned);
+  } else if (model.options().overlap_halo && model.progress_active()) {
+    const auto ticket = model.comm_engine().enqueue(
+        std::make_unique<HaloRefreshOp<float>>(*xa.halo, HaloOp::kReplace,
+                                               xt.comm()));
+    const Range2 interior =
+        interior_range(xt, p.kh, p.kw, p.sh, p.sw, p.ph, p.pw, out_owned);
+    compute_partial(interior);
+    model.comm_engine().drain_until(ticket);
+    xa.fresh = true;
+    for (const Range2& b : boundary_ranges(out_owned, interior)) {
+      compute_partial(b);
+    }
   } else {
-    scratch->y_partial.zero();  // empty channel slice contributes zeros
+    xa.ensure_fresh();
+    compute_partial(out_owned);
   }
 
   // Reduce-scatter over the channel group: block q is member q's filter
@@ -185,13 +207,30 @@ void Conv2dLayer::forward_channel(Model& model, int index, LayerRt& rt) const {
   const Shape4& ys = scratch->y_partial.shape();
   const SliceBlocks blocks = channel_slice_blocks(fpart, ys.n, ys.h, ys.w);
   scratch->pack.resize(blocks.total);
-  for (int q = 0; q < pc; ++q) {
-    if (blocks.counts[q] == 0) continue;
-    pack_box(scratch->y_partial, channel_slice_box(fpart, q, ys.n, ys.h, ys.w),
-             scratch->pack.data() + blocks.displs[q]);
+  if (model.progress_active()) {
+    // Engine op with lazy packing: block q is packed one ring step before
+    // its reduce, so the packing of later filter slices overlaps the rounds
+    // already in flight (and a background driver keeps those moving).
+    auto pack_block = [scratch, &fpart, ys, &blocks](int q) {
+      if (blocks.counts[q] == 0) return;
+      pack_box(scratch->y_partial, channel_slice_box(fpart, q, ys.n, ys.h, ys.w),
+               scratch->pack.data() + blocks.displs[q]);
+    };
+    const auto ticket =
+        model.comm_engine().enqueue(
+            std::make_unique<comm::NbReduceScattervInplace<float>>(
+                cgroup, scratch->pack.data(), blocks.counts,
+                comm::ReduceOp::kSum, pack_block));
+    model.comm_engine().drain_until(ticket);
+  } else {
+    for (int q = 0; q < pc; ++q) {
+      if (blocks.counts[q] == 0) continue;
+      pack_box(scratch->y_partial, channel_slice_box(fpart, q, ys.n, ys.h, ys.w),
+               scratch->pack.data() + blocks.displs[q]);
+    }
+    comm::reduce_scatterv_inplace(cgroup, scratch->pack.data(), blocks.counts,
+                                  comm::ReduceOp::kSum);
   }
-  comm::reduce_scatterv_inplace(cgroup, scratch->pack.data(), blocks.counts,
-                                comm::ReduceOp::kSum);
   unpack_box(scratch->pack.data() + blocks.displs[cgroup.rank()],
              yt.interior_box(), yt.buffer());
 
@@ -354,11 +393,22 @@ void Conv2dLayer::forward(Model& model, int index, LayerRt& rt) const {
   if (xa.halo == nullptr || xa.fresh) {
     compute(out_owned);
   } else if (model.options().overlap_halo) {
-    xa.halo->start();
     const Range2 interior =
         interior_range(xt, p.kh, p.kw, p.sh, p.sw, p.ph, p.pw, out_owned);
-    compute(interior);
-    xa.halo->finish();
+    if (model.progress_active()) {
+      // Engine-driven refresh: a background driver can test the transfers
+      // and unpack the margins while the interior kernel runs, so even the
+      // unpack leaves the critical path; drain_until is then just a fence.
+      const auto ticket = model.comm_engine().enqueue(
+          std::make_unique<HaloRefreshOp<float>>(*xa.halo, HaloOp::kReplace,
+                                                 xt.comm()));
+      compute(interior);
+      model.comm_engine().drain_until(ticket);
+    } else {
+      xa.halo->start();
+      compute(interior);
+      xa.halo->finish();
+    }
     xa.fresh = true;
     for (const Range2& b : boundary_ranges(out_owned, interior)) compute(b);
   } else {
@@ -389,10 +439,20 @@ void Conv2dLayer::backward(Model& model, int index, LayerRt& rt) const {
   // Backward-data needs dL/dy halos; the exchange is hidden behind the
   // filter-gradient kernel, which only reads the owned interior (§IV-A:
   // "exploit the task-level parallelism of backward data and filter
-  // convolutions").
+  // convolutions"). With the progress engine, the exchange rides the wire
+  // channel behind whatever gradient ops later layers already enqueued, and
+  // a background driver can retire it (margin unpack included) mid-kernel.
   const bool exchange = rt.dy.halo != nullptr && !rt.dy.fresh;
   const bool overlap = exchange && model.options().overlap_halo;
-  if (overlap) rt.dy.halo->start();
+  const bool engine = overlap && model.progress_active();
+  std::uint64_t halo_ticket = 0;
+  if (engine) {
+    halo_ticket = model.comm_engine().enqueue(
+        std::make_unique<HaloRefreshOp<float>>(*rt.dy.halo, HaloOp::kReplace,
+                                               dyt.comm()));
+  } else if (overlap) {
+    rt.dy.halo->start();
+  }
   if (exchange && !overlap) rt.dy.ensure_fresh();
 
   kernels::conv2d_backward_filter(xt.buffer(), xo, dyt.buffer(), dyo, rt.grads[0],
@@ -402,7 +462,10 @@ void Conv2dLayer::backward(Model& model, int index, LayerRt& rt) const {
                            /*accumulate=*/true);
   }
 
-  if (overlap) {
+  if (engine) {
+    model.comm_engine().drain_until(halo_ticket);
+    rt.dy.fresh = true;
+  } else if (overlap) {
     rt.dy.halo->finish();
     rt.dy.fresh = true;
   }

@@ -7,15 +7,26 @@
 
 #include "core/layers.hpp"
 #include "kernels/activations.hpp"
+#include "support/error.hpp"
 #include "support/logging.hpp"
 
 namespace distconv::core {
 
 bool overlap_allreduce_from_env() {
   const char* s = std::getenv("DC_OVERLAP_ALLREDUCE");
-  if (s == nullptr) return false;
-  return std::strcmp(s, "1") == 0 || std::strcmp(s, "true") == 0 ||
-         std::strcmp(s, "on") == 0;
+  if (s == nullptr) return true;  // default on since the progress engine
+  if (std::strcmp(s, "0") == 0 || std::strcmp(s, "false") == 0 ||
+      std::strcmp(s, "off") == 0) {
+    return false;
+  }
+  if (std::strcmp(s, "1") == 0 || std::strcmp(s, "true") == 0 ||
+      std::strcmp(s, "on") == 0) {
+    return true;
+  }
+  // With the default flipped to on, a typo'd disable must not silently
+  // enable the path under debug — fail loudly like DC_COMM_PROGRESS does.
+  DC_FAIL("DC_OVERLAP_ALLREDUCE must be one of 1|true|on|0|false|off, got \"",
+          s, "\"");
 }
 
 namespace {
@@ -143,7 +154,8 @@ class SmallGradBucketOp final : public comm::NbOp {
 
 Model::Model(const NetworkSpec& spec, comm::Comm& comm, const Strategy& strategy,
              std::uint64_t seed, ModelOptions opts)
-    : spec_(&spec), comm_(&comm), strategy_(strategy), opts_(opts) {
+    : spec_(&spec), comm_(&comm), strategy_(strategy), opts_(std::move(opts)),
+      engine_(opts_.comm_progress) {
   DC_REQUIRE(static_cast<int>(strategy_.grids.size()) == spec.size(),
              "strategy has ", strategy_.grids.size(), " grids for ", spec.size(),
              " layers");
@@ -155,6 +167,19 @@ Model::Model(const NetworkSpec& spec, comm::Comm& comm, const Strategy& strategy
 
   const auto shapes = spec.infer_shapes();
   build_tensors(shapes);
+
+  // Cross-grid edges indexed by producer, in (consumer, port) order — the
+  // SPMD enqueue order of pre-posted forward shuffles.
+  shuffle_children_.assign(spec.size(), {});
+  pending_dy_.assign(spec.size(), {});
+  for (int i = 0; i < spec.size(); ++i) {
+    for (std::size_t k = 0; k < rts_[i].inputs.size(); ++k) {
+      if (rts_[i].inputs[k].fwd_shuffle != nullptr) {
+        shuffle_children_[rts_[i].inputs[k].parent].emplace_back(
+            i, static_cast<int>(k));
+      }
+    }
+  }
 
   // Parameters: deterministic per-layer streams so replicas agree bitwise.
   for (int i = 0; i < spec.size(); ++i) {
@@ -309,16 +334,33 @@ void Model::set_input(int layer, const Tensor<float>& global) {
 
 void Model::forward(Mode mode) {
   mode_ = mode;
+  const bool engine_moves = progress_active();
   for (int i = 0; i < num_layers(); ++i) {
     auto& rt = rts_[i];
     for (auto& port : rt.inputs) {
       if (port.fwd_shuffle != nullptr) {
-        port.fwd_shuffle->run(rts_[port.parent].y.t, port.staging->t);
+        if (port.pending_fwd_shuffle != 0) {
+          // Pre-posted when the parent finished; the rounds advanced behind
+          // the layers in between, so this usually just retires the op.
+          engine_.drain_until(port.pending_fwd_shuffle);
+          port.pending_fwd_shuffle = 0;
+        } else {
+          port.fwd_shuffle->run(rts_[port.parent].y.t, port.staging->t);
+        }
         port.staging->mark_stale();
       }
     }
     spec_->layer(i).forward(*this, i, rt);
     rt.y.mark_stale();
+    if (engine_moves) {
+      // This layer's output is final: pre-post every consumer shuffle fed by
+      // it (topological order guarantees consumers run later).
+      for (const auto& [child, k] : shuffle_children_[i]) {
+        auto& cport = rts_[child].inputs[k];
+        cport.pending_fwd_shuffle =
+            engine_.enqueue(cport.fwd_shuffle->make_op(rt.y.t, cport.staging->t));
+      }
+    }
   }
   loss_seeded_ = false;
 }
@@ -404,6 +446,42 @@ void Model::accumulate_into_parent_dy(LayerRt& rt) {
   }
 }
 
+void Model::defer_parent_dy(int layer) {
+  auto& rt = rts_[layer];
+  for (std::size_t k = 0; k < rt.inputs.size(); ++k) {
+    auto& port = rt.inputs[k];
+    if (port.bwd_shuffle != nullptr) {
+      port.pending_bwd_shuffle =
+          engine_.enqueue(port.bwd_shuffle->make_op(port.dx, *port.bwd_staging));
+    }
+    pending_dy_[port.parent].emplace_back(layer, static_cast<int>(k));
+  }
+}
+
+void Model::apply_pending_dy(int layer) {
+  auto& pending = pending_dy_[layer];
+  if (pending.empty()) return;
+  auto& pdy = rts_[layer].dy;
+  // Children were recorded in descending layer order — exactly the order the
+  // blocking path added them — so the sums into dy are bitwise identical;
+  // only the shuffles' wire time moved off the critical path.
+  for (const auto& [child, k] : pending) {
+    auto& port = rts_[child].inputs[k];
+    if (port.bwd_shuffle != nullptr) {
+      engine_.drain_until(port.pending_bwd_shuffle);
+      port.pending_bwd_shuffle = 0;
+      kernels::add_inplace(pdy.t.buffer(), pdy.t.interior_box(),
+                           port.bwd_staging->buffer(),
+                           port.bwd_staging->interior_box());
+    } else {
+      kernels::add_inplace(pdy.t.buffer(), pdy.t.interior_box(),
+                           port.dx.buffer(), port.dx.interior_box());
+    }
+    pdy.mark_stale();
+  }
+  pending.clear();
+}
+
 void Model::zero_gradients() {
   for (auto& rt : rts_) {
     for (auto& g : rt.grads) g.zero();
@@ -472,18 +550,18 @@ void Model::enqueue_gradient_completion(int layer) {
     const auto n = static_cast<std::size_t>(g.size());
     if (k == 0 && is_channel_parallel(layer)) {
       const ProcessGrid& grid = rt.grid;
-      grad_engine_.enqueue(std::make_unique<SlicedWeightGradOp>(
+      engine_.enqueue(std::make_unique<SlicedWeightGradOp>(
           slice_comm(layer), channel_comm(layer), g,
           DimPartition(g.shape().c, grid.c), grid.coord_of(comm_->rank()).c));
     } else if (n * sizeof(float) <= comm::kAllreduceRingThresholdBytes) {
       small.emplace_back(g.data(), n);
     } else {
-      grad_engine_.enqueue(comm::make_iallreduce(*comm_, g.data(), n,
-                                                 comm::ReduceOp::kSum));
+      engine_.enqueue(comm::make_iallreduce(*comm_, g.data(), n,
+                                            comm::ReduceOp::kSum));
     }
   }
   if (!small.empty()) {
-    grad_engine_.enqueue(
+    engine_.enqueue(
         std::make_unique<SmallGradBucketOp>(*comm_, std::move(small)));
   }
 }
@@ -496,18 +574,26 @@ void Model::backward(bool accumulate, bool complete) {
              "backward() requires a training-mode forward(): an inference "
              "forward normalizes with running statistics, which the batchnorm "
              "backward kernels do not differentiate through");
-  DC_CHECK(grad_engine_.idle());
+  DC_CHECK(engine_.idle());
   if (!accumulate) zero_gradients();
   const bool overlap = complete && opts_.overlap_allreduce;
+  const bool engine_moves = progress_active();
   grad_completion_seconds_ = 0;
   for (int i = num_layers() - 1; i >= 0; --i) {
     auto& rt = rts_[i];
     const Layer& layer = spec_->layer(i);
-    if (overlap) grad_engine_.progress();  // advance in-flight rounds
+    if (overlap) engine_.progress();  // advance in-flight rounds
+    // Children ran already (reverse order): fold their deferred error
+    // contributions into this layer's dy before its backward reads it.
+    if (engine_moves) apply_pending_dy(i);
     if (!layer.parents().empty()) {
       layer.backward(*this, i, rt);
-      if (overlap) grad_engine_.progress();
-      accumulate_into_parent_dy(rt);
+      if (overlap) engine_.progress();
+      if (engine_moves) {
+        defer_parent_dy(i);
+      } else {
+        accumulate_into_parent_dy(rt);
+      }
     }
     // This layer's gradients are final (later layers only touch their own):
     // put their completion on the wire behind whatever is already in
@@ -515,19 +601,23 @@ void Model::backward(bool accumulate, bool complete) {
     // realization of the model's greedy single-channel schedule.
     if (overlap) {
       enqueue_gradient_completion(i);
-      grad_engine_.progress();
+      engine_.progress();
     }
+    if (opts_.backward_layer_hook) opts_.backward_layer_hook(i);
   }
   if (complete) {
     const auto t0 = std::chrono::steady_clock::now();
     if (overlap) {
-      grad_engine_.drain();
+      engine_.drain();
     } else {
+      engine_.drain();  // retire any deferred backward shuffles first
       allreduce_gradients();
     }
     grad_completion_seconds_ =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+  } else {
+    engine_.drain();  // accumulation steps leave no shuffle ops in flight
   }
   loss_seeded_ = false;
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "comm/nonblocking.hpp"
+#include "comm/progress.hpp"
 #include "core/spec.hpp"
 #include "core/strategy.hpp"
 #include "kernels/losses.hpp"
@@ -58,6 +59,22 @@ class Model {
   /// True when `layer` executes the channel/filter-parallel schedule.
   bool is_channel_parallel(int layer) const {
     return channel_comms_[layer].has_value();
+  }
+
+  /// The model's communication engine: gradient completions, pre-posted
+  /// shuffles, engine-driven halo refreshes and the channel-parallel
+  /// forward's reduce-scatter all serialize onto this one wire channel (the
+  /// cost model's greedy single-op schedule), and a background driver keeps
+  /// its in-flight rounds advancing while kernels run (DC_COMM_PROGRESS).
+  comm::ProgressEngine& comm_engine() { return engine_; }
+  const comm::ProgressEngine& comm_engine() const { return engine_; }
+
+  /// True when communication ops route through the progress engine (the
+  /// engine's background driver may be a thread or the kernel-pool hooks).
+  /// False (DC_COMM_PROGRESS=off) keeps the pre-engine blocking paths for
+  /// halos/shuffles/reduce-scatters — results are bitwise identical.
+  bool progress_active() const {
+    return opts_.comm_progress != comm::ProgressMode::kOff;
   }
 
   /// Copy the owned box of a replicated global tensor into an input layer.
@@ -141,6 +158,15 @@ class Model {
  private:
   void build_tensors(const std::vector<Shape4>& shapes);
   void accumulate_into_parent_dy(LayerRt& rt);
+  /// Overlapped backward: enqueue each parent edge's dx move (a shuffle op
+  /// for cross-grid edges) and record the contribution; the adds into the
+  /// parents' dy are applied by apply_pending_dy() right before each parent
+  /// runs, in the identical child/port order as the blocking path, so the
+  /// floating-point accumulation chains are unchanged.
+  void defer_parent_dy(int layer);
+  /// Apply (and where needed, drain) the recorded dy contributions of
+  /// `layer` in recorded order.
+  void apply_pending_dy(int layer);
   /// Enqueue the nonblocking completion ops for a layer's gradients on
   /// grad_engine_ (overlapped backward path). Bitwise-equivalent to the
   /// layer's slice of allreduce_gradients().
@@ -159,7 +185,14 @@ class Model {
   std::vector<std::optional<comm::Comm>> spatial_comms_;  // per layer
   std::vector<std::optional<comm::Comm>> channel_comms_;  // per layer, c > 1
   std::vector<std::optional<comm::Comm>> slice_comms_;    // per layer, c > 1
-  comm::CollectiveEngine grad_engine_;  ///< overlapped gradient completion
+  comm::ProgressEngine engine_;  ///< the model's single wire channel
+  /// Cross-grid edges by producer: (consumer layer, port index) pairs whose
+  /// forward shuffle is pre-posted the moment the producer's output is
+  /// final, so the move overlaps every layer between producer and consumer.
+  std::vector<std::vector<std::pair<int, int>>> shuffle_children_;
+  /// Deferred backward dy contributions per parent layer, in the blocking
+  /// path's application order: (child layer, port index).
+  std::vector<std::vector<std::pair<int, int>>> pending_dy_;
   double grad_completion_seconds_ = 0;
   bool loss_seeded_ = false;
   Mode mode_ = Mode::kTraining;  ///< mode of the most recent forward()

@@ -203,8 +203,10 @@ NetworkCost network_cost(const core::NetworkSpec& spec,
   cost.layers.assign(spec.size(), std::nullopt);
   std::vector<double> aux_bp(spec.size(), 0.0);
   std::vector<double> aux_ar(spec.size(), 0.0);
+  std::vector<double> bwd_shuffle(spec.size(), 0.0);
 
-  // Forward pass + forward shuffles; collect backward-side aux costs.
+  // Forward pass + forward shuffles; collect backward-side aux costs and the
+  // per-consumer backward shuffle volumes.
   for (int i = 0; i < spec.size(); ++i) {
     if (const auto d = conv_desc(spec, i, shapes)) {
       cost.layers[i] = conv_layer_cost(*d, strategy.grids[i], comm, cm, P);
@@ -220,17 +222,26 @@ NetworkCost network_cost(const core::NetworkSpec& spec,
       if (!(strategy.grids[parent] == strategy.grids[i])) {
         const double bytes =
             4.0 * local_elements(shapes[parent], strategy.grids[parent]);
-        cost.shuffle += 2.0 * comm.alltoall(P, bytes);  // forward + backward
+        const double one_way = comm.alltoall(P, bytes);
+        cost.shuffle += one_way;  // forward direction: always exposed
+        if (options.overlap_shuffle) {
+          bwd_shuffle[i] += one_way;  // rides the backward wire channel
+        } else {
+          cost.shuffle += one_way;  // blocking: paid in full, like forward
+        }
       }
     }
   }
 
   // Backward pass: compute runs layer by layer in reverse; gradient
-  // allreduces queue on a single channel and overlap with subsequent
+  // allreduces — and, with the progress engine, the backward-direction
+  // shuffles — queue on a single channel and overlap with subsequent
   // compute ("we estimate allreduce overlap ... greedily; only one allreduce
-  // at a time is considered to run").
+  // at a time is considered to run"). A consumer's error shuffle is
+  // enqueued when its backward retires (before the layer's own gradient
+  // completion), matching the executable engine's FIFO.
   double t = 0.0;       // backprop compute clock
-  double nic_free = 0;  // when the in-flight allreduce completes
+  double nic_free = 0;  // when the in-flight wire op completes
   for (int i = spec.size() - 1; i >= 0; --i) {
     double ar = 0.0;
     if (cost.layers[i].has_value()) {
@@ -239,6 +250,10 @@ NetworkCost network_cost(const core::NetworkSpec& spec,
     } else {
       t += aux_bp[i];
       ar = aux_ar[i];
+    }
+    if (bwd_shuffle[i] > 0.0) {
+      const double start = std::max(t, nic_free);
+      nic_free = start + bwd_shuffle[i];
     }
     if (ar > 0.0) {
       if (options.overlap_allreduce) {

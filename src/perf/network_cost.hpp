@@ -17,6 +17,12 @@ namespace distconv::perf {
 struct NetworkCostOptions {
   bool overlap_halo = true;       ///< §IV-A interior/boundary overlap
   bool overlap_allreduce = true;  ///< hide BP_ℓ^a behind backprop compute
+  /// Backward-direction redistribution shuffles ride the progress engine's
+  /// single wire channel alongside the gradient allreduces (the executable
+  /// engine defers each cross-grid edge's error move until its consumer
+  /// layer runs, hiding the rounds behind the backprop in between). Forward
+  /// shuffles stay exposed: on a chain the consumer is the very next layer.
+  bool overlap_shuffle = true;
 };
 
 struct MemoryEstimate {
@@ -30,9 +36,14 @@ struct MemoryEstimate {
 
 struct NetworkCost {
   double forward = 0;
-  double backward = 0;           ///< BPx + BPw incl. exposed allreduce time
-  double allreduce_exposed = 0;  ///< unhidden part of the gradient allreduces
-  double shuffle = 0;            ///< §III-C redistribution (fwd + bwd)
+  double backward = 0;  ///< BPx + BPw incl. exposed wire time
+  /// Unhidden wire time of the backward pass's greedy single-channel
+  /// schedule: gradient allreduces plus (with overlap_shuffle) the
+  /// backward-direction redistribution shuffles that share the channel.
+  double allreduce_exposed = 0;
+  /// §III-C redistribution cost outside the backward channel: forward
+  /// shuffles always; backward shuffles too when overlap_shuffle is off.
+  double shuffle = 0;
   MemoryEstimate memory;
   std::vector<std::optional<LayerCost>> layers;  ///< per layer (conv only)
 

@@ -16,14 +16,22 @@ std::int64_t ceil_ratio(std::int64_t a, int b) { return (a + b - 1) / b; }
 
 double shuffle_cost(const Shape4& shape, const ProcessGrid& from,
                     const ProcessGrid& to, const CommModel& comm, int ranks,
-                    Objective objective) {
+                    const OptimizerOptions& options) {
   if (from == to) return 0.0;
   const double bytes = 4.0 * double(ceil_ratio(shape.n, from.n)) *
                        ceil_ratio(shape.c, from.c) * ceil_ratio(shape.h, from.h) *
                        ceil_ratio(shape.w, from.w);
-  // Training redistributes activations forward and error signals backward;
-  // a forward-only serving pass shuffles once.
-  const double directions = objective == Objective::kInference ? 1.0 : 2.0;
+  // Training redistributes activations forward and error signals backward; a
+  // forward-only serving pass shuffles once. With the progress engine
+  // (overlap_shuffle), the backward move rides the gradient wire channel and
+  // hides behind backprop compute, so — like the §IV-A halo terms under
+  // overlap — the edge weight optimistically prices the exposed direction
+  // only, and mixed-grid strategies stop being double-taxed.
+  const double directions =
+      options.objective == Objective::kInference ||
+              options.cost_options.overlap_shuffle
+          ? 1.0
+          : 2.0;
   return directions * comm.alltoall(ranks, bytes);
 }
 
@@ -144,7 +152,7 @@ void assign_path(const core::NetworkSpec& spec, const std::vector<Shape4>& shape
         if (dist[k - 1][a] == kInf) continue;
         const double edge = shuffle_cost(shapes[path[k - 1]],
                                          all_cands[k - 1][a], cands[b], comm,
-                                         ranks, options.objective);
+                                         ranks, options);
         const double total = dist[k - 1][a] + edge + node;
         if (total < dist[k][b]) {
           dist[k][b] = total;

@@ -18,6 +18,13 @@ namespace {
 
 std::atomic<int> g_override{0};
 std::atomic<int> g_rank_threads{1};
+std::atomic<ProgressHook> g_progress_hook{nullptr};
+
+void fire_progress_hook() {
+  if (ProgressHook hook = g_progress_hook.load(std::memory_order_acquire)) {
+    hook();
+  }
+}
 
 int env_threads() {
   static const int cached = [] {
@@ -64,6 +71,8 @@ struct Job {
       std::lock_guard<std::mutex> lock(m);
       if (!error) error = std::current_exception();
     }
+    // Chunk boundary: let the communication layer drive in-flight rounds.
+    fire_progress_hook();
     if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
       {
         std::lock_guard<std::mutex> lock(m);
@@ -168,6 +177,10 @@ void set_num_threads(int n) {
 
 void set_rank_threads(int n) {
   g_rank_threads.store(n > 0 ? n : 1, std::memory_order_relaxed);
+}
+
+void set_progress_hook(ProgressHook hook) {
+  g_progress_hook.store(hook, std::memory_order_release);
 }
 
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,

@@ -36,6 +36,16 @@ void set_num_threads(int n);
 /// comm::World::run); automatic sizing divides the hardware by this.
 void set_rank_threads(int n);
 
+/// Hook fired at every chunk boundary of every parallel_for (on workers and
+/// on the calling thread alike). The communication layer installs a
+/// dispatcher here so in-flight collective rounds advance *while* kernels
+/// run (`DC_COMM_PROGRESS=hooks`) instead of only between layers. The hook
+/// must be cheap, reentrancy-safe, and must never throw; nullptr clears it.
+/// Installation is process-global and sticky — dispatchers are expected to
+/// no-op when they have nothing to progress.
+using ProgressHook = void (*)();
+void set_progress_hook(ProgressHook hook);
+
 /// Static-chunked parallel loop over [begin, end). Cuts the range into at
 /// most num_threads() contiguous chunks of at least `grain` iterations and
 /// runs them on the shared pool; the caller participates, so the call makes

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "comm/comm.hpp"
+#include "comm/nonblocking.hpp"
 #include "tensor/dist_tensor.hpp"
 
 namespace distconv {
@@ -40,13 +41,15 @@ class HaloExchange {
   }
 
   /// Post all receives and sends. Interior computation may run between
-  /// start() and finish().
-  void start(HaloOp op = HaloOp::kReplace) {
+  /// start() and finish(). `tag_base` lets a caller that defers start() (the
+  /// progress engine starts ops only at the head of its FIFO) allocate the
+  /// tag at enqueue time, preserving the SPMD tag order; -1 allocates here.
+  void start(HaloOp op = HaloOp::kReplace, int tag_base = -1) {
     DC_REQUIRE(!in_flight_, "halo exchange already in flight");
     op_ = op;
     in_flight_ = true;
     auto& comm = t_->comm();
-    const int tag_base = comm.next_internal_tag();
+    if (tag_base < 0) tag_base = comm.next_internal_tag();
 
     const auto& outgoing = (op == HaloOp::kReplace) ? sends_ : recvs_;
     const auto& incoming = (op == HaloOp::kReplace) ? recvs_ : sends_;
@@ -75,17 +78,27 @@ class HaloExchange {
   /// into the owned edge (kSum).
   void finish() {
     DC_REQUIRE(in_flight_, "finish() without start()");
-    const auto& incoming = (op_ == HaloOp::kReplace) ? recvs_ : sends_;
     for (auto& r : reqs_) r.wait();
-    for (std::size_t i = 0; i < incoming.size(); ++i) {
-      const Box4 local = t_->global_to_buffer(incoming[i].box);
-      if (op_ == HaloOp::kReplace) {
-        unpack_box(recv_bufs_[i].data(), local, t_->buffer());
-      } else {
-        unpack_box_accumulate(recv_bufs_[i].data(), local, t_->buffer());
-      }
+    unpack_received();
+  }
+
+  /// Nonblocking finish: true (and unpacked) when every transfer has
+  /// completed, false otherwise. Lets the progress engine drive the
+  /// exchange: all sends are eager and all receives are posted by start(),
+  /// so the only deferred work is this completion test plus the unpack.
+  bool try_finish() {
+    DC_REQUIRE(in_flight_, "try_finish() without start()");
+    for (auto& r : reqs_) {
+      if (!r.test()) return false;
     }
-    in_flight_ = false;
+    unpack_received();
+    return true;
+  }
+
+  /// Block until every posted transfer is complete (without unpacking);
+  /// the progress engine's blocking-wait primitive for an in-flight op.
+  void wait_transfers() {
+    for (auto& r : reqs_) r.wait();
   }
 
   void exchange(HaloOp op = HaloOp::kReplace) {
@@ -131,6 +144,20 @@ class HaloExchange {
     int send_tag_off = 0;   ///< sub-tag when this side originates the message
     int recv_tag_off = 0;   ///< sub-tag the originator used (opposite dir)
   };
+
+  /// Unpack every completed receive and retire the in-flight exchange.
+  void unpack_received() {
+    const auto& incoming = (op_ == HaloOp::kReplace) ? recvs_ : sends_;
+    for (std::size_t i = 0; i < incoming.size(); ++i) {
+      const Box4 local = t_->global_to_buffer(incoming[i].box);
+      if (op_ == HaloOp::kReplace) {
+        unpack_box(recv_bufs_[i].data(), local, t_->buffer());
+      } else {
+        unpack_box_accumulate(recv_bufs_[i].data(), local, t_->buffer());
+      }
+    }
+    in_flight_ = false;
+  }
 
   /// Blocking pairwise phase used by the two-phase variant.
   void run_blocking_phase(comm::Comm& comm, const std::vector<Transfer>& sends,
@@ -370,6 +397,32 @@ class HaloExchange {
   Box4 cached_owned_;
   std::vector<Transfer> phase_h_sends_, phase_h_recvs_;
   std::vector<Transfer> two_phase_w_sends_, two_phase_w_recvs_;
+};
+
+/// A halo exchange as a progress-engine op: the tag is drawn at construction
+/// (enqueue time, SPMD order), the wire work starts when the op reaches the
+/// engine's FIFO head, and the margin unpack happens on whichever thread
+/// observes completion — so a progress thread can retire the whole refresh
+/// behind the consumer's interior compute. Same transfers and the same
+/// unpack as the blocking exchange(), hence bitwise-identical margins.
+template <typename T>
+class HaloRefreshOp final : public comm::NbOp {
+ public:
+  explicit HaloRefreshOp(HaloExchange<T>& halo, HaloOp op, comm::Comm& comm)
+      : halo_(&halo), hop_(op), tag_base_(comm.next_internal_tag()) {}
+
+ protected:
+  bool begin() override {
+    halo_->start(hop_, tag_base_);
+    return halo_->try_finish();
+  }
+  bool advance() override { return halo_->try_finish(); }
+  void block() override { halo_->wait_transfers(); }
+
+ private:
+  HaloExchange<T>* halo_;
+  HaloOp hop_;
+  int tag_base_;
 };
 
 }  // namespace distconv

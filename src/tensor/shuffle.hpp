@@ -15,12 +15,17 @@
 // paper's experiments).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "comm/collectives.hpp"
+#include "comm/nonblocking.hpp"
 #include "tensor/dist_tensor.hpp"
 
 namespace distconv {
+
+template <typename T>
+class ShuffleOp;
 
 template <typename T>
 class Shuffler {
@@ -93,12 +98,99 @@ class Shuffler {
   /// shuffle degenerates to a local copy).
   bool is_identity() const { return src_ == dst_; }
 
+  /// Build this shuffle as a progress-engine op moving src → dst. The tag is
+  /// drawn here (enqueue time, SPMD order); the pairwise-exchange rounds run
+  /// as the engine progresses the op, so a pre-posted shuffle overlaps the
+  /// layers between its producer and its consumer. Pure data movement with
+  /// the blocking run()'s boxes — bitwise-identical destination contents.
+  std::unique_ptr<comm::NbOp> make_op(const DistTensor<T>& src,
+                                      DistTensor<T>& dst) const {
+    DC_REQUIRE(src.dist() == src_ && dst.dist() == dst_,
+               "tensors do not match the planned distributions");
+    return std::make_unique<ShuffleOp<T>>(*this, src, dst,
+                                          comm_->next_internal_tag());
+  }
+
  private:
+  friend class ShuffleOp<T>;
+
   Distribution src_, dst_;
   comm::Comm* comm_;
   std::vector<Box4> send_boxes_, recv_boxes_;
   std::vector<std::size_t> send_counts_, recv_counts_, send_displs_, recv_displs_;
   std::size_t send_total_ = 0, recv_total_ = 0;
+};
+
+/// Resumable twin of Shuffler::run(): the same pairwise-exchange schedule as
+/// comm::alltoallv (local copy, then round s exchanges with ranks me ± s),
+/// restructured into one posted receive per round. Packing happens when the
+/// op starts (off the consumer's critical path when a progress driver runs
+/// it); the unpack into dst happens at completion.
+template <typename T>
+class ShuffleOp final : public comm::RequestDrivenOp {
+ public:
+  ShuffleOp(const Shuffler<T>& plan, const DistTensor<T>& src,
+            DistTensor<T>& dst, int tag)
+      : plan_(&plan), src_(&src), dst_(&dst), tag_(tag) {}
+
+ protected:
+  bool begin() override {
+    const Shuffler<T>& plan = *plan_;
+    const int p = plan.comm_->size();
+    const int me = plan.comm_->rank();
+    sendbuf_.resize(plan.send_total_);
+    recvbuf_.resize(plan.recv_total_);
+    for (int r = 0; r < p; ++r) {
+      if (plan.send_counts_[r] == 0) continue;
+      pack_box(src_->buffer(), src_->global_to_buffer(plan.send_boxes_[r]),
+               sendbuf_.data() + plan.send_displs_[r]);
+    }
+    std::copy(sendbuf_.begin() + plan.send_displs_[me],
+              sendbuf_.begin() + plan.send_displs_[me] + plan.send_counts_[me],
+              recvbuf_.begin() + plan.recv_displs_[me]);
+    if (p == 1) return finish();
+    s_ = 1;
+    post_round();
+    return false;
+  }
+
+  bool step() override {
+    if (++s_ < plan_->comm_->size()) {
+      post_round();
+      return false;
+    }
+    return finish();
+  }
+
+ private:
+  void post_round() {
+    const Shuffler<T>& plan = *plan_;
+    const int p = plan.comm_->size();
+    const int me = plan.comm_->rank();
+    const int dst = (me + s_) % p;
+    const int src = (me - s_ + p) % p;
+    pending_ = plan.comm_->irecv(recvbuf_.data() + plan.recv_displs_[src],
+                                 plan.recv_counts_[src] * sizeof(T), src, tag_);
+    plan.comm_->send(sendbuf_.data() + plan.send_displs_[dst],
+                     plan.send_counts_[dst], dst, tag_);
+  }
+
+  bool finish() {
+    const Shuffler<T>& plan = *plan_;
+    for (int r = 0; r < plan.comm_->size(); ++r) {
+      if (plan.recv_counts_[r] == 0) continue;
+      unpack_box(recvbuf_.data() + plan.recv_displs_[r],
+                 dst_->global_to_buffer(plan.recv_boxes_[r]), dst_->buffer());
+    }
+    return true;
+  }
+
+  const Shuffler<T>* plan_;
+  const DistTensor<T>* src_;
+  DistTensor<T>* dst_;
+  int tag_;
+  int s_ = 0;
+  std::vector<T> sendbuf_, recvbuf_;
 };
 
 }  // namespace distconv

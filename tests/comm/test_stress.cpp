@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <map>
 #include <vector>
 
@@ -13,11 +14,22 @@
 namespace distconv::comm {
 namespace {
 
+/// Iteration multiplier: 1 on PRs, raised by the nightly fuzz job via
+/// DC_STRESS_ITERS so the randomized suites sweep a 10× deeper tail.
+int stress_iters(int base) {
+  static const int mult = [] {
+    const char* s = std::getenv("DC_STRESS_ITERS");
+    const int v = s != nullptr ? std::atoi(s) : 0;
+    return v > 0 ? v : 1;
+  }();
+  return base * mult;
+}
+
 TEST(Stress, RandomizedAllToAllTraffic) {
   // Every rank sends a deterministic pseudo-random set of messages to every
   // other rank; receivers know exactly what to expect (same generator).
   const int p = 8;
-  const int rounds = 20;
+  const int rounds = stress_iters(20);
   World world(p);
   world.run([p, rounds](Comm& comm) {
     const int me = comm.rank();
@@ -64,7 +76,7 @@ TEST(Stress, InterleavedCollectivesOnSplitComms) {
   World world(p);
   world.run([](Comm& comm) {
     Comm half = comm.split(comm.rank() % 2, comm.rank());
-    for (int i = 0; i < 25; ++i) {
+    for (int i = 0; i < stress_iters(25); ++i) {
       double v = comm.rank() + i;
       if (comm.rank() % 2 == 0) {
         allreduce(half, &v, 1, ReduceOp::kSum);
@@ -83,7 +95,7 @@ TEST(Stress, InterleavedCollectivesOnSplitComms) {
 TEST(Stress, ManySmallBarriers) {
   World world(6);
   world.run([](Comm& comm) {
-    for (int i = 0; i < 200; ++i) barrier(comm);
+    for (int i = 0; i < stress_iters(200); ++i) barrier(comm);
   });
 }
 

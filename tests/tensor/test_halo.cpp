@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <memory>
+
 #include "comm/comm.hpp"
 #include "tensor/halo.hpp"
 
@@ -83,6 +86,44 @@ TEST_P(HaloSweep, MarginsMatchNeighbourDataAndPadding) {
                 << "n=" << n << " c=" << c << " h=" << h << " w=" << w
                 << " grid=" << cfg.grid_h << "x" << cfg.grid_w;
           }
+  });
+}
+
+TEST_P(HaloSweep, RefreshOpMatchesBlockingExchange) {
+  // The progress-engine form of the exchange: tag drawn at enqueue, wire
+  // work deferred to the engine, margins unpacked at completion — buffer
+  // contents (owned + margins) must equal the blocking exchange()'s.
+  const auto cfg = GetParam();
+  const int P = cfg.grid_h * cfg.grid_w;
+  comm::World world(P);
+  world.run([&cfg](comm::Comm& comm) {
+    const Shape4 global{2, 3, cfg.H, cfg.W};
+    const ProcessGrid grid{1, 1, cfg.grid_h, cfg.grid_w};
+    const auto dist = Distribution::make(global, grid);
+    const StencilSpec spec{cfg.K, cfg.S, cfg.K / 2};
+    const auto mh = forward_stencil_margins(
+        dist.h, DimPartition(spec.out_size(global.h), grid.h), spec);
+    const auto mw = forward_stencil_margins(
+        dist.w, DimPartition(spec.out_size(global.w), grid.w), spec);
+
+    DistTensor<float> blocking(&comm, dist, mh, mw), nb(&comm, dist, mh, mw);
+    fill_global_pattern(blocking);
+    fill_global_pattern(nb);
+    HaloExchange<float> hx_blocking(&blocking);
+    hx_blocking.exchange();
+
+    HaloExchange<float> hx_nb(&nb);
+    comm::CollectiveEngine engine;
+    engine.enqueue(
+        std::make_unique<HaloRefreshOp<float>>(hx_nb, HaloOp::kReplace, comm));
+    engine.drain();
+    EXPECT_TRUE(engine.idle());
+
+    const auto& a = blocking.buffer();
+    const auto& b = nb.buffer();
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(),
+                             static_cast<std::size_t>(a.size()) * sizeof(float)));
   });
 }
 
