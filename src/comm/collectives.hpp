@@ -62,6 +62,7 @@ inline std::pair<std::size_t, std::size_t> block_range(std::size_t n, int p, int
 }  // namespace internal
 
 inline void barrier(Comm& comm) {
+  OpScope scope("barrier");
   const int p = comm.size();
   const int tag = comm.next_internal_tag();
   // Distinct send/recv bytes: sendrecv aliasing one buffer races the
@@ -77,6 +78,7 @@ inline void barrier(Comm& comm) {
 
 template <typename T>
 void broadcast(Comm& comm, T* buf, std::size_t n, int root) {
+  OpScope scope("broadcast");
   const int p = comm.size();
   if (p == 1) return;
   const int tag = comm.next_internal_tag();
@@ -103,6 +105,7 @@ void broadcast(Comm& comm, T* buf, std::size_t n, int root) {
 
 template <typename T>
 void reduce(Comm& comm, T* buf, std::size_t n, ReduceOp op, int root) {
+  OpScope scope("reduce");
   const int p = comm.size();
   if (p == 1) return;
   const int tag = comm.next_internal_tag();
@@ -129,6 +132,7 @@ void reduce(Comm& comm, T* buf, std::size_t n, ReduceOp op, int root) {
 /// Allgather with equal contribution sizes; recvbuf holds p * n elements.
 template <typename T>
 void allgather(Comm& comm, const T* sendbuf, std::size_t n, T* recvbuf) {
+  OpScope scope("allgather");
   const int p = comm.size();
   const int me = comm.rank();
   std::copy(sendbuf, sendbuf + n, recvbuf + static_cast<std::size_t>(me) * n);
@@ -152,6 +156,7 @@ template <typename T>
 void allgatherv(Comm& comm, const T* sendbuf, std::size_t n, T* recvbuf,
                 const std::vector<std::size_t>& counts,
                 const std::vector<std::size_t>& displs) {
+  OpScope scope("allgatherv");
   const int p = comm.size();
   const int me = comm.rank();
   DC_REQUIRE(counts[me] == n, "allgatherv: local count mismatch");
@@ -174,6 +179,7 @@ void allgatherv(Comm& comm, const T* sendbuf, std::size_t n, T* recvbuf,
 /// reduction; other positions are scratch.
 template <typename T>
 void reduce_scatter_inplace(Comm& comm, T* buf, std::size_t n, ReduceOp op) {
+  OpScope scope("reduce_scatter");
   const int p = comm.size();
   if (p == 1) return;
   const int me = comm.rank();
@@ -225,6 +231,7 @@ template <typename T>
 void reduce_scatterv_inplace(Comm& comm, T* buf,
                              const std::vector<std::size_t>& counts,
                              ReduceOp op) {
+  OpScope scope("reduce_scatterv");
   const int p = comm.size();
   DC_REQUIRE(static_cast<int>(counts.size()) == p,
              "reduce_scatterv: counts must have one entry per rank");
@@ -262,6 +269,7 @@ void reduce_scatterv_inplace(Comm& comm, T* buf,
 
 template <typename T>
 void allreduce_recursive_doubling(Comm& comm, T* buf, std::size_t n, ReduceOp op) {
+  OpScope scope("allreduce-rd");
   const int p = comm.size();
   if (p == 1) return;
   const int me = comm.rank();
@@ -308,6 +316,7 @@ void allreduce_recursive_doubling(Comm& comm, T* buf, std::size_t n, ReduceOp op
 
 template <typename T>
 void allreduce_ring(Comm& comm, T* buf, std::size_t n, ReduceOp op) {
+  OpScope scope("allreduce-ring");
   const int p = comm.size();
   if (p == 1) return;
   if (n < static_cast<std::size_t>(p)) {
@@ -362,6 +371,7 @@ void alltoallv(Comm& comm, const T* sendbuf, const std::vector<std::size_t>& sen
                const std::vector<std::size_t>& senddispls, T* recvbuf,
                const std::vector<std::size_t>& recvcounts,
                const std::vector<std::size_t>& recvdispls) {
+  OpScope scope("alltoallv");
   const int p = comm.size();
   const int me = comm.rank();
   DC_REQUIRE(static_cast<int>(sendcounts.size()) == p &&
@@ -385,6 +395,7 @@ template <typename T>
 void gatherv(Comm& comm, const T* sendbuf, std::size_t n, T* recvbuf,
              const std::vector<std::size_t>& counts,
              const std::vector<std::size_t>& displs, int root) {
+  OpScope scope("gatherv");
   const int p = comm.size();
   const int me = comm.rank();
   const int tag = comm.next_internal_tag();
@@ -406,6 +417,7 @@ template <typename T>
 void scatterv(Comm& comm, const T* sendbuf, const std::vector<std::size_t>& counts,
               const std::vector<std::size_t>& displs, T* recvbuf, std::size_t n,
               int root) {
+  OpScope scope("scatterv");
   const int p = comm.size();
   const int me = comm.rank();
   const int tag = comm.next_internal_tag();

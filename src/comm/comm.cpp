@@ -4,6 +4,7 @@
 #include <tuple>
 
 #include "comm/collectives.hpp"
+#include "comm/faults.hpp"
 #include "support/error.hpp"
 
 namespace distconv::comm {
@@ -15,6 +16,15 @@ void Request::wait() {
 bool Request::test() {
   if (mailbox_ == nullptr) return true;
   return mailbox_->test(state_);
+}
+
+void Request::cancel() {
+  if (mailbox_ == nullptr || !state_) return;
+  // Sole ownership means the mailbox already unlinked the operation (posted
+  // receives hold a state reference until they match), so the common
+  // completed-then-destroyed path skips the mailbox lock entirely.
+  if (state_.use_count() > 1) mailbox_->cancel(state_);
+  state_.reset();
 }
 
 std::size_t Request::received_bytes() const {
@@ -37,6 +47,9 @@ int Comm::world_rank(int rank_in_comm) const {
 
 void Comm::send(const void* buf, std::size_t bytes, int dst, int tag) {
   DC_REQUIRE(tag >= 0, "negative tag ", tag);
+  // Fault-injection site: may sleep (delay / drop-then-retry, which reaches
+  // the receiver as a late delivery) or throw (kill) before the wire copy.
+  faults::on_send(my_world_rank_);
   Envelope env{context_, rank_, tag};
   world_->mailbox(world_rank(dst)).deliver(env, buf, bytes);
   world_->count_message(bytes);
@@ -93,6 +106,10 @@ Comm Comm::split(int color, int key) {
 Comm Comm::dup() { return split(/*color=*/0, /*key=*/rank_); }
 
 int Comm::next_internal_tag() {
+  // Fault-injection site: every collective (blocking or nonblocking)
+  // allocates its tag block here exactly once per rank, so "the Nth
+  // collective boundary on rank r" is a well-defined, repeatable event.
+  faults::on_collective(my_world_rank_);
   // Cycle through a large reserved window; reuse after a full cycle cannot
   // collide because collectives fully drain their own messages before
   // returning. Each allocation reserves a block of 16 consecutive tags so an

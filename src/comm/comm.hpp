@@ -18,15 +18,38 @@ namespace distconv::comm {
 
 /// Handle for a nonblocking operation. Default-constructed requests are
 /// complete (used for eager sends).
+///
+/// Move-only, and the destructor cancels a still-pending receive: once the
+/// handle is gone the receive buffer must be assumed dead, so an abandoned
+/// operation is withdrawn from the mailbox rather than left for a late
+/// delivery to scribble through. This is what makes exception unwind past
+/// in-flight communication (watchdog timeout, world abort) memory-safe.
 class Request {
  public:
   Request() = default;
+  ~Request() { cancel(); }
+  Request(Request&& other) noexcept
+      : mailbox_(other.mailbox_), state_(std::move(other.state_)) {}
+  Request& operator=(Request&& other) noexcept {
+    if (this != &other) {
+      cancel();
+      mailbox_ = other.mailbox_;
+      state_ = std::move(other.state_);
+    }
+    return *this;
+  }
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
 
   /// Block until complete. No-op for complete requests.
   void wait();
 
   /// Nonblocking completion check.
   bool test();
+
+  /// Withdraw the operation if it has not completed (no-op otherwise);
+  /// afterwards the request is complete and its buffer unreferenced.
+  void cancel();
 
   /// Number of payload bytes received (valid after completion of a receive).
   std::size_t received_bytes() const;

@@ -1,0 +1,241 @@
+#include "comm/faults.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "support/error.hpp"
+
+namespace distconv::comm::faults {
+namespace {
+
+struct GlobalState {
+  std::mutex mutex;
+  FaultPlan plan;                      // guarded by mutex
+  std::atomic<bool> active{false};     // fast-path gate for the hooks
+  std::atomic<std::uint64_t> delays{0};
+  std::atomic<std::uint64_t> retransmits{0};
+  std::atomic<std::uint64_t> kills{0};
+  bool env_loaded = false;             // guarded by mutex
+};
+
+GlobalState& state() {
+  static GlobalState s;
+  return s;
+}
+
+/// Load DC_FAULT_PLAN exactly once, unless a plan was installed first.
+void ensure_env_loaded_locked(GlobalState& s) {
+  if (s.env_loaded) return;
+  s.env_loaded = true;
+  const char* text = std::getenv("DC_FAULT_PLAN");
+  if (text == nullptr || *text == '\0') return;
+  s.plan = FaultPlan::parse(text);
+  s.active.store(!s.plan.empty(), std::memory_order_relaxed);
+}
+
+std::size_t site_index(FaultSite site) {
+  return static_cast<std::size_t>(site);
+}
+
+}  // namespace
+
+const char* to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::kSend: return "send";
+    case FaultSite::kCollective: return "coll";
+    case FaultSite::kStep: return "step";
+  }
+  return "?";
+}
+
+const char* to_string(FaultAction action) {
+  switch (action) {
+    case FaultAction::kNone: return "none";
+    case FaultAction::kDelay: return "delay";
+    case FaultAction::kDrop: return "drop";
+    case FaultAction::kKill: return "kill";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t end = std::min(text.find(';', pos), text.size());
+    const std::string entry = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    FaultSpec spec;
+    bool have_rank = false, have_site = false, have_at = false, have_act = false;
+    std::size_t fpos = 0;
+    while (fpos <= entry.size()) {
+      const std::size_t fend = std::min(entry.find(',', fpos), entry.size());
+      const std::string field = entry.substr(fpos, fend - fpos);
+      fpos = fend + 1;
+      if (field.empty()) continue;
+      const std::size_t eq = field.find('=');
+      DC_REQUIRE(eq != std::string::npos, "DC_FAULT_PLAN: field \"", field,
+                 "\" is not key=value (in \"", entry, "\")");
+      const std::string key = field.substr(0, eq);
+      const std::string value = field.substr(eq + 1);
+      if (key == "rank") {
+        spec.rank = std::atoi(value.c_str());
+        have_rank = true;
+      } else if (key == "site") {
+        if (value == "send") spec.site = FaultSite::kSend;
+        else if (value == "coll" || value == "collective")
+          spec.site = FaultSite::kCollective;
+        else if (value == "step") spec.site = FaultSite::kStep;
+        else DC_FAIL("DC_FAULT_PLAN: unknown site \"", value, "\"");
+        have_site = true;
+      } else if (key == "at") {
+        spec.at = std::strtoull(value.c_str(), nullptr, 10);
+        have_at = true;
+      } else if (key == "act" || key == "action") {
+        if (value == "kill") spec.action = FaultAction::kKill;
+        else if (value == "delay") spec.action = FaultAction::kDelay;
+        else if (value == "drop") spec.action = FaultAction::kDrop;
+        else DC_FAIL("DC_FAULT_PLAN: unknown action \"", value, "\"");
+        have_act = true;
+      } else if (key == "ms") {
+        spec.ms = std::atoll(value.c_str());
+      } else {
+        DC_FAIL("DC_FAULT_PLAN: unknown key \"", key, "\" (in \"", entry, "\")");
+      }
+    }
+    DC_REQUIRE(have_rank && have_site && have_at && have_act,
+               "DC_FAULT_PLAN: spec \"", entry,
+               "\" needs rank=, site=, at= and act=");
+    DC_REQUIRE(spec.rank >= 0, "DC_FAULT_PLAN: rank must be >= 0");
+    DC_REQUIRE(spec.ms >= 0, "DC_FAULT_PLAN: ms must be >= 0");
+    plan.add(spec);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::kill_at_step(int rank, std::uint64_t step) {
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.rank = rank;
+  spec.site = FaultSite::kStep;
+  spec.at = step;
+  spec.action = FaultAction::kKill;
+  plan.add(spec);
+  return plan;
+}
+
+FaultPlan FaultPlan::random_kill(std::uint64_t seed, int world_size,
+                                 std::uint64_t max_step) {
+  DC_REQUIRE(world_size > 0 && max_step > 0,
+             "random_kill needs positive world_size and max_step");
+  // SplitMix64: every seed lands on a well-mixed (rank, step) pair.
+  auto next = [&seed] {
+    seed += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = seed;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  };
+  const int rank = static_cast<int>(next() % static_cast<std::uint64_t>(world_size));
+  const std::uint64_t step = next() % max_step;
+  return kill_at_step(rank, step);
+}
+
+/// Decide the action for one event. Returns kNone on the common miss.
+FaultAction next_action(int rank, FaultSite site, std::int64_t* ms,
+                        std::uint64_t* occurrence) {
+  GlobalState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  FaultPlan& plan = s.plan;
+  const std::size_t slot = static_cast<std::size_t>(rank) * 3 + site_index(site);
+  if (plan.counts_.size() <= slot) plan.counts_.resize(slot + 1, 0);
+  const std::uint64_t n = plan.counts_[slot]++;
+  *occurrence = n;
+  for (FaultSpec& spec : plan.specs_) {
+    if (!spec.fired && spec.rank == rank && spec.site == site && spec.at == n) {
+      spec.fired = true;  // one-shot: a restarted world must not re-die here
+      *ms = spec.ms;
+      return spec.action;
+    }
+  }
+  return FaultAction::kNone;
+}
+
+void install_fault_plan(FaultPlan plan) {
+  GlobalState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.env_loaded = true;  // an installed plan overrides the environment
+  s.plan = std::move(plan);
+  s.active.store(!s.plan.empty(), std::memory_order_relaxed);
+}
+
+void clear_fault_plan() { install_fault_plan(FaultPlan{}); }
+
+bool fault_plan_active() {
+  GlobalState& s = state();
+  if (!s.active.load(std::memory_order_relaxed)) {
+    // Cold path: the environment plan may not be loaded yet.
+    std::lock_guard<std::mutex> lock(s.mutex);
+    ensure_env_loaded_locked(s);
+  }
+  return s.active.load(std::memory_order_relaxed);
+}
+
+FaultStats fault_stats() {
+  GlobalState& s = state();
+  FaultStats out;
+  out.delays = s.delays.load(std::memory_order_relaxed);
+  out.retransmits = s.retransmits.load(std::memory_order_relaxed);
+  out.kills = s.kills.load(std::memory_order_relaxed);
+  return out;
+}
+
+void reset_fault_stats() {
+  GlobalState& s = state();
+  s.delays.store(0, std::memory_order_relaxed);
+  s.retransmits.store(0, std::memory_order_relaxed);
+  s.kills.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+void on_event(int world_rank, FaultSite site) {
+  if (!fault_plan_active()) return;
+  std::int64_t ms = 0;
+  std::uint64_t n = 0;
+  const FaultAction action = next_action(world_rank, site, &ms, &n);
+  GlobalState& s = state();
+  switch (action) {
+    case FaultAction::kNone:
+      return;
+    case FaultAction::kDelay:
+      s.delays.fetch_add(1, std::memory_order_relaxed);
+      if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      return;
+    case FaultAction::kDrop:
+      // Drop-then-retry: the first transmission is lost; the retransmit
+      // arrives `ms` later. Observably a delayed delivery plus a counter
+      // tick — and with a watchdog deadline shorter than `ms`, a timeout.
+      s.retransmits.fetch_add(1, std::memory_order_relaxed);
+      if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      return;
+    case FaultAction::kKill:
+      s.kills.fetch_add(1, std::memory_order_relaxed);
+      throw RankFailedError(
+          internal::compose("fault injection: rank ", world_rank,
+                            " killed at ", to_string(site), "[", n, "]"),
+          world_rank);
+  }
+}
+
+}  // namespace
+
+void on_send(int world_rank) { on_event(world_rank, FaultSite::kSend); }
+void on_collective(int world_rank) { on_event(world_rank, FaultSite::kCollective); }
+void on_step(int world_rank) { on_event(world_rank, FaultSite::kStep); }
+
+}  // namespace distconv::comm::faults

@@ -1,0 +1,101 @@
+// Deterministic fault injection for the simulated communication runtime.
+//
+// A FaultPlan is a list of (rank, site, occurrence) → action triples: the
+// Nth send / collective / training-step boundary reached by a given world
+// rank either sleeps (kDelay), loses the message and retransmits it after a
+// pause (kDrop — observable as a late delivery plus a retransmit counter
+// tick), or throws (kKill — the rank dies mid-step and the world aborts).
+// Because the simulator is repeatable, the same plan hits the same program
+// point every run, which is what lets the recovery tests demand *bitwise*
+// equality between a faulted-and-recovered run and an unfaulted one.
+//
+// The plan is process-global: hooks in Comm::send (kSend),
+// Comm::next_internal_tag (kCollective — every collective allocates its tag
+// there, exactly once per rank in SPMD order) and the Trainer's step loop
+// (kStep) consult it. With no plan installed the hooks are a single relaxed
+// atomic load. DC_FAULT_PLAN seeds the plan from the environment; tests
+// install plans programmatically. One-shot semantics: a spec fires at most
+// once per process, so a rank killed at step 3 stays dead through the
+// recovery restart instead of killing every attempt.
+//
+// DC_FAULT_PLAN grammar: semicolon-separated specs of comma-separated
+// key=value fields, e.g.
+//   rank=1,site=step,at=3,act=kill
+//   rank=0,site=send,at=5,act=drop,ms=50;rank=2,site=coll,at=2,act=delay,ms=20
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace distconv::comm::faults {
+
+enum class FaultSite { kSend, kCollective, kStep };
+enum class FaultAction { kNone, kDelay, kDrop, kKill };
+
+const char* to_string(FaultSite site);
+const char* to_string(FaultAction action);
+
+struct FaultSpec {
+  int rank = -1;                          ///< world rank the fault targets
+  FaultSite site = FaultSite::kStep;
+  std::uint64_t at = 0;                   ///< Nth occurrence (0-based) of site on rank
+  FaultAction action = FaultAction::kKill;
+  std::int64_t ms = 0;                    ///< delay / retransmit latency
+  bool fired = false;                     ///< one-shot latch
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Parse the DC_FAULT_PLAN grammar (see file comment). Throws Error on a
+  /// malformed spec.
+  static FaultPlan parse(const std::string& text);
+
+  /// Kill `rank` at its `step`-th training-step boundary (0-based).
+  static FaultPlan kill_at_step(int rank, std::uint64_t step);
+
+  /// Seeded pseudo-random kill: picks a (rank, step) in
+  /// [0, world_size) × [0, max_step) from `seed` via an LCG — the CI seed
+  /// sweep's source of varied but repeatable kill points.
+  static FaultPlan random_kill(std::uint64_t seed, int world_size,
+                               std::uint64_t max_step);
+
+  void add(FaultSpec spec) { specs_.push_back(spec); }
+  bool empty() const { return specs_.empty(); }
+  const std::vector<FaultSpec>& specs() const { return specs_; }
+
+ private:
+  friend FaultAction next_action(int rank, FaultSite site, std::int64_t* ms,
+                                 std::uint64_t* occurrence);
+  std::vector<FaultSpec> specs_;
+  // Events seen per (rank, site); indexed rank * 3 + site. Grown on demand.
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Counters for observability (tests assert a drop really retransmitted).
+struct FaultStats {
+  std::uint64_t delays = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t kills = 0;
+};
+
+/// Replace the process-global plan (tests). Resets nothing else.
+void install_fault_plan(FaultPlan plan);
+/// Remove the process-global plan; hooks return to the no-op fast path.
+void clear_fault_plan();
+/// True when a non-empty plan is installed (relaxed; the hooks' fast path).
+bool fault_plan_active();
+
+FaultStats fault_stats();
+void reset_fault_stats();
+
+/// Hook entry points. Each counts one occurrence of the site on `world_rank`
+/// against the installed plan, then sleeps (kDelay/kDrop) or throws
+/// RankFailedError (kKill) as the plan dictates. No-ops without a plan.
+void on_send(int world_rank);
+void on_collective(int world_rank);
+void on_step(int world_rank);
+
+}  // namespace distconv::comm::faults

@@ -46,6 +46,10 @@ class NbOp {
   bool started() const { return started_; }
   bool done() const { return done_; }
 
+  /// Short label for watchdog diagnostics: what a drain blocked on this op
+  /// reports if the wait times out.
+  virtual const char* name() const { return "nonblocking-op"; }
+
   /// Begin communicating. Called once, by the engine, when the op reaches
   /// the head of the wire queue.
   void start() {
@@ -111,6 +115,7 @@ class RequestDrivenOp : public NbOp {
 template <typename T>
 class NbAllreduceRd final : public RequestDrivenOp {
  public:
+  const char* name() const override { return "iallreduce-rd"; }
   NbAllreduceRd(Comm& comm, T* buf, std::size_t n, ReduceOp op, int tag = -1)
       : comm_(&comm), buf_(buf), n_(n), op_(op),
         tag_(tag >= 0 ? tag : comm.next_internal_tag()) {}
@@ -196,6 +201,7 @@ class NbAllreduceRd final : public RequestDrivenOp {
 template <typename T>
 class NbAllreduceRing final : public RequestDrivenOp {
  public:
+  const char* name() const override { return "iallreduce-ring"; }
   NbAllreduceRing(Comm& comm, T* buf, std::size_t n, ReduceOp op, int tag = -1)
       : comm_(&comm), buf_(buf), n_(n), op_(op),
         tag_(tag >= 0 ? tag : comm.next_internal_tag()) {
@@ -294,6 +300,7 @@ class NbAllreduceRing final : public RequestDrivenOp {
 template <typename T>
 class NbAllgatherv final : public RequestDrivenOp {
  public:
+  const char* name() const override { return "iallgatherv"; }
   NbAllgatherv(Comm& comm, const T* sendbuf, std::size_t n, T* recvbuf,
                std::vector<std::size_t> counts, std::vector<std::size_t> displs,
                int tag = -1)
@@ -353,6 +360,7 @@ class NbAllgatherv final : public RequestDrivenOp {
 template <typename T>
 class NbReduceScattervInplace final : public RequestDrivenOp {
  public:
+  const char* name() const override { return "ireduce_scatterv"; }
   using PackFn = std::function<void(int /*block*/)>;
 
   NbReduceScattervInplace(Comm& comm, T* buf, std::vector<std::size_t> counts,
@@ -510,6 +518,7 @@ class CollectiveEngine {
   void drain_until(std::uint64_t ticket) {
     while (completed_ < ticket && !queue_.empty()) {
       NbOp& head = *queue_.front();
+      OpScope scope(head.name());  // watchdog: say which op a hung drain held
       if (!head.started()) head.start();
       while (!head.progress()) head.wait_progress();
       queue_.pop_front();

@@ -41,7 +41,17 @@ void World::run(const std::function<void(Comm&)>& fn) {
           if (!first_error) first_error = std::current_exception();
         }
         // Wake every rank blocked in communication so the world can unwind.
-        for (auto& mb : mailboxes_) mb->abort();
+        // The abort carries this rank's identity and message: each mailbox
+        // latches the first failure it hears about, so every other rank's
+        // RankFailedError names the rank that actually died and why.
+        std::string why = "non-exception failure";
+        try {
+          throw;
+        } catch (const std::exception& e) {
+          why = e.what();
+        } catch (...) {
+        }
+        for (auto& mb : mailboxes_) mb->abort(rank, why);
       }
       log::set_thread_rank(-1);
     });
@@ -49,6 +59,14 @@ void World::run(const std::function<void(Comm&)>& fn) {
   for (auto& t : threads) t.join();
   parallel::set_rank_threads(1);  // single-threaded callers get the machine back
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void World::reset() {
+  // Only legal between run() sessions: every rank thread has joined, so no
+  // waiter can observe the abort latch clearing. Split-context memoization is
+  // deliberately kept — a restarted SPMD program replays the same split
+  // sequence and must land on the same context ids.
+  for (auto& mb : mailboxes_) mb->reset();
 }
 
 CommStats World::stats() const {

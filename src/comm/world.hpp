@@ -34,6 +34,12 @@ class World {
   /// Rethrows the first rank exception. May be called repeatedly.
   void run(const std::function<void(Comm&)>& fn);
 
+  /// Clear all mailbox state (queued messages, posted receives, the abort
+  /// latch) so the world can host another run() after a failed one. Must only
+  /// be called between run() sessions; the auto-recovery driver calls it
+  /// before each restart attempt.
+  void reset();
+
   /// Communication-volume counters (world lifetime totals).
   CommStats stats() const;
   void reset_stats();

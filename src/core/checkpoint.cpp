@@ -5,12 +5,20 @@
 #include <sstream>
 
 #include "comm/collectives.hpp"
+#include "support/atomic_file.hpp"
+#include "support/crc32.hpp"
 #include "support/logging.hpp"
 
 namespace distconv::core {
 namespace {
 
 constexpr char kMagic[4] = {'D', 'C', 'K', 'P'};
+constexpr char kCrcMagic[4] = {'D', 'C', 'R', 'C'};
+// Sanity bounds for the model-free structural walk: far above anything a
+// real model produces, far below anything that could overflow the walk.
+constexpr std::uint32_t kMaxLayers = 1u << 20;
+constexpr std::uint32_t kMaxTensorsPerLayer = 1u << 16;
+constexpr std::uint64_t kMaxTensorElems = 1ull << 36;
 
 template <typename T>
 void write_pod(std::ostream& out, const T& value) {
@@ -41,38 +49,74 @@ void read_tensor(std::istream& in, Tensor<float>& t) {
   DC_REQUIRE(in.good(), "checkpoint stream truncated in tensor data");
 }
 
-}  // namespace
+/// Cursor for the model-free structural walk. Every overrun or out-of-bounds
+/// field is a CheckpointCorruptError — the walk runs before any model state
+/// is touched.
+class BlobWalker {
+ public:
+  explicit BlobWalker(const std::string& blob) : blob_(&blob) {}
 
-void save_checkpoint(const Model& model, std::ostream& out) {
-  out.write(kMagic, 4);
-  write_pod(out, kCheckpointVersion);
-  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(model.num_layers()));
-  bool any_velocity = false;
-  for (int i = 0; i < model.num_layers(); ++i) {
-    const auto& rt = model.rt(i);
-    write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(rt.params.size()));
-    for (const auto& p : rt.params) write_tensor(out, p);
-    any_velocity = any_velocity || !rt.velocity.empty();
+  std::size_t offset() const { return off_; }
+  std::size_t remaining() const { return blob_->size() - off_; }
+
+  template <typename T>
+  T pod() {
+    require(remaining() >= sizeof(T), "truncated (need ", sizeof(T),
+            " bytes at offset ", off_, ", have ", remaining(), ")");
+    T value{};
+    std::memcpy(&value, blob_->data() + off_, sizeof(T));
+    off_ += sizeof(T);
+    return value;
   }
-  write_pod<std::uint8_t>(out, any_velocity ? 1 : 0);
-  if (any_velocity) {
-    for (int i = 0; i < model.num_layers(); ++i) {
-      const auto& rt = model.rt(i);
-      write_pod<std::uint32_t>(out,
-                               static_cast<std::uint32_t>(rt.velocity.size()));
-      for (const auto& v : rt.velocity) write_tensor(out, v);
+
+  /// Skip one serialized tensor: 4×i64 shape + f32 data.
+  void tensor() {
+    std::uint64_t elems = 1;
+    for (int d = 0; d < 4; ++d) {
+      const auto dim = pod<std::int64_t>();
+      require(dim >= 0 && static_cast<std::uint64_t>(dim) <= kMaxTensorElems,
+              "tensor dimension ", dim, " out of range at offset ", off_);
+      elems *= static_cast<std::uint64_t>(dim);
+      require(elems <= kMaxTensorElems, "tensor volume overflows at offset ",
+              off_);
+    }
+    const std::uint64_t bytes = elems * sizeof(float);
+    require(remaining() >= bytes, "truncated in tensor data (need ", bytes,
+            " bytes at offset ", off_, ", have ", remaining(), ")");
+    off_ += bytes;
+  }
+
+  /// One per-layer tensor section: per layer, u32 count + tensors.
+  void tensor_section(std::uint32_t layers) {
+    for (std::uint32_t i = 0; i < layers; ++i) {
+      const auto count = pod<std::uint32_t>();
+      require(count <= kMaxTensorsPerLayer, "layer ", i,
+              ": implausible tensor count ", count);
+      for (std::uint32_t t = 0; t < count; ++t) tensor();
     }
   }
-  // v2: non-trainable buffers (the v1 layout above is an exact prefix, so a
-  // v2 reader consumes v1 streams by stopping here).
-  for (int i = 0; i < model.num_layers(); ++i) {
-    const auto& rt = model.rt(i);
-    write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(rt.buffers.size()));
-    for (const auto& b : rt.buffers) write_tensor(out, b);
+
+  template <typename... Args>
+  void require(bool cond, Args&&... args) {
+    if (!cond) {
+      throw CheckpointCorruptError(distconv::internal::compose(
+          "corrupt checkpoint: ", std::forward<Args>(args)...));
+    }
   }
+
+ private:
+  const std::string* blob_;
+  std::size_t off_ = 0;
+};
+
+std::uint32_t crc_of(const std::string& blob, std::size_t begin, std::size_t end) {
+  return support::crc32(blob.data() + begin, end - begin);
 }
 
-void load_checkpoint(Model& model, std::istream& in) {
+/// Parse an already-validated stream into the model. Mismatches against the
+/// model (shape, layer count) remain plain Errors — the bytes are intact,
+/// they just describe a different model.
+void parse_checkpoint(Model& model, std::istream& in) {
   char magic[4];
   in.read(magic, 4);
   DC_REQUIRE(in.good() && std::memcmp(magic, kMagic, 4) == 0,
@@ -130,19 +174,119 @@ void load_checkpoint(Model& model, std::istream& in) {
   }
 }
 
+}  // namespace
+
+std::string serialize_checkpoint(const Model& model) {
+  std::ostringstream out;
+  out.write(kMagic, 4);
+  write_pod(out, kCheckpointVersion);
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(model.num_layers()));
+  bool any_velocity = false;
+  for (int i = 0; i < model.num_layers(); ++i) {
+    const auto& rt = model.rt(i);
+    write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(rt.params.size()));
+    for (const auto& p : rt.params) write_tensor(out, p);
+    any_velocity = any_velocity || !rt.velocity.empty();
+  }
+  const std::size_t params_end = static_cast<std::size_t>(out.tellp());
+  write_pod<std::uint8_t>(out, any_velocity ? 1 : 0);
+  if (any_velocity) {
+    for (int i = 0; i < model.num_layers(); ++i) {
+      const auto& rt = model.rt(i);
+      write_pod<std::uint32_t>(out,
+                               static_cast<std::uint32_t>(rt.velocity.size()));
+      for (const auto& v : rt.velocity) write_tensor(out, v);
+    }
+  }
+  const std::size_t velocity_end = static_cast<std::size_t>(out.tellp());
+  // v2: non-trainable buffers (the v1 layout above is an exact prefix, so a
+  // v2 reader consumes v1 streams by stopping here).
+  for (int i = 0; i < model.num_layers(); ++i) {
+    const auto& rt = model.rt(i);
+    write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(rt.buffers.size()));
+    for (const auto& b : rt.buffers) write_tensor(out, b);
+  }
+  std::string blob = out.str();
+  const std::size_t buffers_end = blob.size();
+  // v3 trailer: one CRC per section, so validation can say *which* section a
+  // flip corrupted and a truncated trailer is itself detectable.
+  std::ostringstream trailer;
+  trailer.write(kCrcMagic, 4);
+  write_pod<std::uint32_t>(trailer, crc_of(blob, 0, params_end));
+  write_pod<std::uint32_t>(trailer, crc_of(blob, params_end, velocity_end));
+  write_pod<std::uint32_t>(trailer, crc_of(blob, velocity_end, buffers_end));
+  blob += trailer.str();
+  return blob;
+}
+
+void validate_checkpoint_blob(const std::string& blob) {
+  BlobWalker w(blob);
+  w.require(blob.size() >= 12, "too short (", blob.size(), " bytes)");
+  w.require(std::memcmp(blob.data(), kMagic, 4) == 0, "bad magic");
+  (void)w.pod<std::uint32_t>();  // magic (checked above)
+  const auto version = w.pod<std::uint32_t>();
+  w.require(version >= 1 && version <= kCheckpointVersion,
+            "unsupported version ", version);
+  const auto layers = w.pod<std::uint32_t>();
+  w.require(layers <= kMaxLayers, "implausible layer count ", layers);
+  w.tensor_section(layers);  // params (header bytes included in section 1)
+  const std::size_t params_end = w.offset();
+  const auto has_velocity = w.pod<std::uint8_t>();
+  w.require(has_velocity <= 1, "bad momentum flag ", int(has_velocity));
+  if (has_velocity != 0) w.tensor_section(layers);
+  const std::size_t velocity_end = w.offset();
+  if (version >= 2) w.tensor_section(layers);
+  const std::size_t buffers_end = w.offset();
+  if (version >= 3) {
+    w.require(w.remaining() == 12 + 4, "trailer has ", w.remaining(),
+              " bytes, expected 16");
+    w.require(std::memcmp(blob.data() + buffers_end, kCrcMagic, 4) == 0,
+              "bad trailer magic");
+    (void)w.pod<std::uint32_t>();
+    const auto crc_params = w.pod<std::uint32_t>();
+    const auto crc_velocity = w.pod<std::uint32_t>();
+    const auto crc_buffers = w.pod<std::uint32_t>();
+    w.require(crc_params == crc_of(blob, 0, params_end),
+              "CRC mismatch in header/params section");
+    w.require(crc_velocity == crc_of(blob, params_end, velocity_end),
+              "CRC mismatch in momentum section");
+    w.require(crc_buffers == crc_of(blob, velocity_end, buffers_end),
+              "CRC mismatch in buffers section");
+  } else {
+    // v1/v2 predate the trailer; any trailing bytes mean the version field
+    // itself is suspect (e.g. a flipped v3 file masquerading as v2).
+    w.require(w.remaining() == 0, "trailing garbage: ", w.remaining(),
+              " bytes past the v", version, " layout");
+  }
+}
+
+void save_checkpoint(const Model& model, std::ostream& out) {
+  const std::string blob = serialize_checkpoint(model);
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+}
+
+void load_checkpoint(Model& model, std::istream& in) {
+  // Slurp and validate before any model state is touched: a corrupt stream
+  // must never leave the model half-restored.
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  validate_checkpoint_blob(blob);
+  std::istringstream parse_in(blob);
+  parse_checkpoint(model, parse_in);
+}
+
 void save_checkpoint_file(Model& model, const std::string& path) {
   if (model.comm().rank() == 0) {
-    std::ofstream out(path, std::ios::binary);
-    DC_REQUIRE(out.good(), "cannot open '", path, "' for writing");
-    save_checkpoint(model, out);
-    DC_REQUIRE(out.good(), "write to '", path, "' failed");
+    support::write_file_atomic(path, serialize_checkpoint(model));
   }
   comm::barrier(model.comm());  // checkpoint complete before anyone proceeds
 }
 
 void load_checkpoint_file(Model& model, const std::string& path) {
   // Rank 0 reads the file; contents broadcast so all replicas load the same
-  // bytes even if the filesystem is local to rank 0.
+  // bytes even if the filesystem is local to rank 0 — and every rank then
+  // validates the identical blob, so corruption raises the same
+  // CheckpointCorruptError everywhere (SPMD-consistent failure).
   std::string blob;
   if (model.comm().rank() == 0) {
     std::ifstream in(path, std::ios::binary);
@@ -155,8 +299,9 @@ void load_checkpoint_file(Model& model, const std::string& path) {
   comm::broadcast(model.comm(), &size, 1, 0);
   blob.resize(size);
   comm::broadcast(model.comm(), blob.data(), size, 0);
+  validate_checkpoint_blob(blob);
   std::istringstream in(blob);
-  load_checkpoint(model, in);
+  parse_checkpoint(model, in);
 }
 
 }  // namespace distconv::core

@@ -13,9 +13,18 @@
 // per layer: param count u32, per param: 4×i64 shape + f32 data; then a u8
 // flag and, if set, the momentum tensors in the same layout. Version 2
 // appends one more section: per layer, buffer count u32 + buffer tensors
-// (BN running mean/variance/update counter). Version 1 streams still load —
-// buffers are re-initialized to their fresh state and eval-mode forward
-// falls back to batch statistics with a logged warning.
+// (BN running mean/variance/update counter). Version 3 appends an integrity
+// trailer: magic "DCRC" + one CRC32 per section (header+params, momentum,
+// buffers) — the v2 byte stream is an exact prefix. Version 1 and 2 streams
+// still load; for v1, buffers are re-initialized to their fresh state and
+// eval-mode forward falls back to batch statistics with a logged warning.
+//
+// Every load validates the stream *before* touching the model: structure is
+// walked (bounded counts, in-range shapes, exact length) and, for v3, the
+// section CRCs are checked. Torn writes, truncation and bit flips surface as
+// CheckpointCorruptError with the model untouched — a corrupt snapshot can
+// never leak garbage weights into a live model, which is what lets the
+// recovery path probe snapshots from newest to oldest.
 #pragma once
 
 #include <iosfwd>
@@ -26,18 +35,31 @@
 namespace distconv::core {
 
 /// The format version save_checkpoint writes.
-constexpr std::uint32_t kCheckpointVersion = 2;
+constexpr std::uint32_t kCheckpointVersion = 3;
 
-/// Serialize parameters, buffers and momentum (if present) to a stream. Not
-/// collective; normally guarded by rank 0 (every rank holds identical
-/// parameters and buffers).
+/// Serialize parameters, buffers and momentum (if present) into the v3 byte
+/// format (including the CRC trailer).
+std::string serialize_checkpoint(const Model& model);
+
+/// Validate a checkpoint byte stream without a model: magic, version,
+/// structural walk with bounds checks, exact length, and (v3) section CRCs.
+/// Throws CheckpointCorruptError on any defect; touches no model state.
+void validate_checkpoint_blob(const std::string& blob);
+
+/// Serialize to a stream (the v3 format, trailer included). Not collective;
+/// normally guarded by rank 0 (every rank holds identical parameters and
+/// buffers).
 void save_checkpoint(const Model& model, std::ostream& out);
 
-/// Restore parameters (and, for v2 streams, buffers) from a stream into a
-/// model with matching layer/param shapes. Not collective.
+/// Restore parameters (and, for v2+ streams, buffers) from a stream into a
+/// model with matching layer/param shapes. Validates first (see above);
+/// throws CheckpointCorruptError before any mutation on a bad stream. Not
+/// collective.
 void load_checkpoint(Model& model, std::istream& in);
 
-/// Collective file variants: rank 0 writes / reads, load broadcasts to all.
+/// Collective file variants: rank 0 writes (atomically: tmp + fsync +
+/// rename, so a crash mid-save cannot tear an existing snapshot) / reads,
+/// load broadcasts to all ranks and validates the same bytes everywhere.
 void save_checkpoint_file(Model& model, const std::string& path);
 void load_checkpoint_file(Model& model, const std::string& path);
 

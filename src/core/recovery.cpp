@@ -1,0 +1,27 @@
+#include "core/recovery.hpp"
+
+#include "support/error.hpp"
+#include "support/logging.hpp"
+
+namespace distconv::core {
+
+RecoveryReport run_with_recovery(comm::World& world,
+                                 const std::function<void(comm::Comm&)>& fn,
+                                 const RecoveryOptions& options) {
+  DC_REQUIRE(options.max_attempts >= 1, "need at least one attempt");
+  RecoveryReport report;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      world.run(fn);
+      report.attempts = attempt;
+      return report;
+    } catch (const CommError& e) {
+      if (attempt >= options.max_attempts) throw;
+      log::warn("recovery: attempt ", attempt, " failed (", e.what(),
+                "); resetting world and retrying");
+      world.reset();
+    }
+  }
+}
+
+}  // namespace distconv::core

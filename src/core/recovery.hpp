@@ -1,0 +1,43 @@
+// Auto-recovery driver: rerun a failed SPMD session from its checkpoints.
+//
+// run_with_recovery wraps World::run in a retry loop keyed on the typed
+// error hierarchy: CommError (a rank died, a watchdog fired, the world
+// aborted) means the *world's* state is gone but the process is healthy, so
+// the world is reset and the function re-entered — where it is expected to
+// restore from the newest mutually-valid snapshot (SnapshotManager::
+// restore_latest) and continue. Anything that is not a CommError (assertion
+// failures, corrupt checkpoints surfacing on every rank, logic bugs)
+// propagates immediately: retrying cannot fix those.
+//
+// Combined with one-shot fault specs (a killed rank stays dead in the plan,
+// not in the world — the restarted run gets all its ranks back) this yields
+// the paper-style fail-stop model: kill → all ranks raise within a timeout →
+// reset → restore → replay the lost steps. Because the simulator and the
+// optimizer are deterministic, the replayed steps recompute the *same*
+// arithmetic, so a recovered run finishes bitwise identical to an unfaulted
+// one.
+#pragma once
+
+#include <functional>
+
+#include "comm/world.hpp"
+
+namespace distconv::core {
+
+struct RecoveryOptions {
+  /// Total attempts (first run + retries). At least 1.
+  int max_attempts = 3;
+};
+
+struct RecoveryReport {
+  int attempts = 1;  ///< attempts consumed (1 = no fault seen)
+};
+
+/// Run `fn` under `world`, retrying after communication-class failures (see
+/// file comment). Rethrows the final error when attempts are exhausted or
+/// the failure is not a CommError.
+RecoveryReport run_with_recovery(comm::World& world,
+                                 const std::function<void(comm::Comm&)>& fn,
+                                 const RecoveryOptions& options = {});
+
+}  // namespace distconv::core

@@ -1,6 +1,21 @@
 #include "core/trainer.hpp"
 
+#include "comm/faults.hpp"
+#include "core/snapshots.hpp"
+
 namespace distconv::core {
+
+void Trainer::begin_step() {
+  // Fault-injection step boundary: "kill rank r at step n" fires here, on
+  // the target rank only, before the step's first collective.
+  comm::Comm& comm = model_->comm();
+  comm::faults::on_step(comm.world_rank(comm.rank()));
+}
+
+void Trainer::end_step() {
+  const std::int64_t step = steps_done_++;
+  if (snapshots_ != nullptr) snapshots_->on_step_complete(step);
+}
 
 void Trainer::slice_samples(const Tensor<float>& global, std::int64_t first,
                             Tensor<float>& micro) {
@@ -19,6 +34,7 @@ void Trainer::slice_samples(const Tensor<float>& global, std::int64_t first,
 
 double Trainer::step_bce(const Tensor<float>& global_input,
                          const Tensor<float>& global_targets) {
+  begin_step();
   Model& model = *model_;
   const Shape4 in_shape = model.rt(0).out_shape;
   const Shape4 out_shape = model.rt(model.output_layer()).out_shape;
@@ -45,11 +61,13 @@ double Trainer::step_bce(const Tensor<float>& global_input,
     model.backward(/*accumulate=*/true, /*complete=*/k == m - 1);
   }
   model.sgd_step(options_.sgd);
+  end_step();
   return loss_sum / m;
 }
 
 double Trainer::step_softmax(const Tensor<float>& global_input,
                              const std::vector<int>& labels) {
+  begin_step();
   Model& model = *model_;
   const Shape4 in_shape = model.rt(0).out_shape;
   const Shape4 out_shape = model.rt(model.output_layer()).out_shape;
@@ -73,6 +91,7 @@ double Trainer::step_softmax(const Tensor<float>& global_input,
     model.backward(/*accumulate=*/true, /*complete=*/k == m - 1);
   }
   model.sgd_step(options_.sgd);
+  end_step();
   return loss_sum / m;
 }
 

@@ -24,6 +24,8 @@
 
 namespace distconv::core {
 
+class SnapshotManager;
+
 struct TrainerOptions {
   kernels::SgdConfig sgd{0.01f, 0.9f, 0.0f};
   /// Micro-batches per optimizer step; the model's batch dimension must be
@@ -51,13 +53,31 @@ class Trainer {
   Model& model() { return *model_; }
   const TrainerOptions& options() const { return options_; }
 
+  /// Periodic checkpointing: after each completed step the manager's cadence
+  /// decides whether to snapshot (collective when it does). Pass nullptr to
+  /// detach. The manager must outlive the trainer.
+  void attach_snapshots(SnapshotManager* snapshots) { snapshots_ = snapshots; }
+
+  /// Optimizer steps completed by *this trainer object*. The recovery path
+  /// seeds it from the restored snapshot's step so the replayed loop and the
+  /// snapshot cadence line up with the pre-fault run.
+  std::int64_t steps_done() const { return steps_done_; }
+  void set_steps_done(std::int64_t steps) { steps_done_ = steps; }
+
  private:
   /// Copy samples [first, first + n) of `global` into `micro`.
   static void slice_samples(const Tensor<float>& global, std::int64_t first,
                             Tensor<float>& micro);
 
+  /// Step-boundary bookkeeping shared by both loss heads: the fault
+  /// injection site fires before any of the step's communication.
+  void begin_step();
+  void end_step();
+
   Model* model_;
   TrainerOptions options_;
+  SnapshotManager* snapshots_ = nullptr;
+  std::int64_t steps_done_ = 0;
 };
 
 }  // namespace distconv::core

@@ -25,6 +25,8 @@ BatcherOptions batcher_options_from_env() {
   opts.max_batch = static_cast<int>(
       std::max<std::int64_t>(1, env_int("DC_SERVE_MAX_BATCH", opts.max_batch)));
   opts.max_delay_us = env_int("DC_SERVE_MAX_DELAY_US", opts.max_delay_us);
+  opts.max_queue = env_int("DC_SERVE_MAX_QUEUE", opts.max_queue);
+  opts.deadline_us = env_int("DC_SERVE_DEADLINE_US", opts.deadline_us);
   return opts;
 }
 
@@ -39,6 +41,13 @@ std::future<InferenceResult> Batcher::push(Tensor<float> input) {
              input.shape().str());
   std::lock_guard<std::mutex> lock(mu_);
   DC_REQUIRE(!closed_, "Batcher::push after close()");
+  if (opts_.max_queue > 0 &&
+      static_cast<std::int64_t>(queue_.size()) >= opts_.max_queue) {
+    ++shed_;
+    throw OverloadedError(internal::compose(
+        "serve queue full (", queue_.size(), " of DC_SERVE_MAX_QUEUE=",
+        opts_.max_queue, " requests queued); request rejected"));
+  }
   Request req;
   req.id = next_id_++;
   req.input = std::move(input);
@@ -49,26 +58,52 @@ std::future<InferenceResult> Batcher::push(Tensor<float> input) {
   return fut;
 }
 
+void Batcher::expire_stale_locked(std::chrono::steady_clock::time_point now) {
+  if (opts_.deadline_us <= 0) return;
+  const auto limit = std::chrono::microseconds(opts_.deadline_us);
+  while (!queue_.empty() && now - queue_.front().enqueued > limit) {
+    Request req = std::move(queue_.front());
+    queue_.pop_front();
+    ++expired_;
+    req.done.set_exception(std::make_exception_ptr(DeadlineExceededError(
+        internal::compose("request ", req.id, " queued longer than "
+                          "DC_SERVE_DEADLINE_US=", opts_.deadline_us,
+                          " us; dropped before dispatch"))));
+  }
+}
+
 std::vector<Request> Batcher::next_batch(int limit) {
   const int cap = std::max(1, std::min(limit, opts_.max_batch));
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
-  if (!closed_ && static_cast<int>(queue_.size()) < cap &&
-      opts_.max_delay_us > 0) {
-    // Wait for the batch to fill, but never past the oldest request's
-    // deadline. New arrivals can fill the batch early; close() wakes us.
-    const auto deadline =
-        queue_.front().enqueued + std::chrono::microseconds(opts_.max_delay_us);
-    cv_.wait_until(lock, deadline, [&] {
-      return closed_ || static_cast<int>(queue_.size()) >= cap;
-    });
+  for (;;) {
+    cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    expire_stale_locked(std::chrono::steady_clock::now());
+    if (queue_.empty()) {
+      if (closed_) return {};  // drained: the shutdown signal
+      continue;                // everything that woke us had already expired
+    }
+    if (!closed_ && static_cast<int>(queue_.size()) < cap &&
+        opts_.max_delay_us > 0) {
+      // Wait for the batch to fill, but never past the oldest request's
+      // dispatch deadline. New arrivals can fill the batch early; close()
+      // wakes us.
+      const auto deadline = queue_.front().enqueued +
+                            std::chrono::microseconds(opts_.max_delay_us);
+      cv_.wait_until(lock, deadline, [&] {
+        return closed_ || static_cast<int>(queue_.size()) >= cap;
+      });
+      // The fill wait may have outlived some requests' deadlines.
+      expire_stale_locked(std::chrono::steady_clock::now());
+    }
+    std::vector<Request> out;
+    while (!queue_.empty() && static_cast<int>(out.size()) < cap) {
+      out.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    if (!out.empty() || closed_) return out;
+    // Every queued request expired while we were forming the batch; a live
+    // server must keep waiting (an empty return means shutdown).
   }
-  std::vector<Request> out;
-  while (!queue_.empty() && static_cast<int>(out.size()) < cap) {
-    out.push_back(std::move(queue_.front()));
-    queue_.pop_front();
-  }
-  return out;
 }
 
 void Batcher::close() {
@@ -85,6 +120,16 @@ bool Batcher::closed() const {
 std::size_t Batcher::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+std::uint64_t Batcher::shed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+std::uint64_t Batcher::expired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return expired_;
 }
 
 }  // namespace distconv::serve

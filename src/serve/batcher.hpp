@@ -32,13 +32,18 @@ class Batcher {
   explicit Batcher(const BatcherOptions& opts) : opts_(opts) {}
 
   /// Enqueue one sample (shape (1, C, H, W)); returns the future its result
-  /// will arrive on. Thread-safe; must not be called after close().
+  /// will arrive on. Throws OverloadedError when the queue already holds
+  /// max_queue requests (admission control — the caller should back off or
+  /// shed load). Thread-safe; must not be called after close().
   std::future<InferenceResult> push(Tensor<float> input);
 
   /// Block until a batch is ready under the policy and pop it (FIFO order,
   /// at most min(limit, max_batch) requests — `limit` is the model's batch
-  /// capacity). After close(), drains the remaining requests batch by batch
-  /// and then returns an empty vector: the shutdown signal.
+  /// capacity). Requests that outlived deadline_us in the queue are not
+  /// returned: their futures fail with DeadlineExceededError here, at pop,
+  /// and the wait continues until a live batch (or shutdown) emerges. After
+  /// close(), drains the remaining requests batch by batch and then returns
+  /// an empty vector: the shutdown signal.
   std::vector<Request> next_batch(int limit);
 
   /// Stop accepting requests and wake all waiters. Queued requests are still
@@ -49,12 +54,23 @@ class Batcher {
   std::size_t pending() const;
   const BatcherOptions& options() const { return opts_; }
 
+  /// Requests rejected at push by admission control (OverloadedError).
+  std::uint64_t shed() const;
+  /// Requests whose deadline expired in the queue (DeadlineExceededError).
+  std::uint64_t expired() const;
+
  private:
+  /// Fail and drop queued requests whose deadline has passed. Caller holds
+  /// mu_. FIFO order means expired requests are always a queue prefix.
+  void expire_stale_locked(std::chrono::steady_clock::time_point now);
+
   BatcherOptions opts_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Request> queue_;
   std::uint64_t next_id_ = 1;
+  std::uint64_t shed_ = 0;
+  std::uint64_t expired_ = 0;
   bool closed_ = false;
 };
 

@@ -174,6 +174,8 @@ ServerStats Server::stats() const {
   ServerStats s;
   s.requests = served_;
   s.batches = batches_;
+  s.shed = batcher_.shed();
+  s.expired = batcher_.expired();
   s.mean_batch_fill =
       batches_ > 0 ? double(served_) / double(batches_) : 0.0;
   if (!latencies_.empty()) {

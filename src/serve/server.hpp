@@ -25,6 +25,8 @@ namespace distconv::serve {
 struct ServerStats {
   std::uint64_t requests = 0;  ///< completed requests
   std::uint64_t batches = 0;   ///< dispatched forward passes
+  std::uint64_t shed = 0;      ///< rejected at push (OverloadedError)
+  std::uint64_t expired = 0;   ///< deadline-failed in queue (DeadlineExceededError)
   double mean_batch_fill = 0;  ///< requests / batches
   /// Percentiles over a sliding window of the most recent completions
   /// (Server::kLatencyWindow), so long-lived servers stay O(1) in memory.

@@ -33,9 +33,18 @@ struct InferenceResult {
 /// queued, or when the oldest queued request has waited `max_delay_us`
 /// microseconds — whichever comes first. max_delay_us == 0 is the greedy
 /// policy: dispatch whatever is queued the moment the server is free.
+///
+/// Degradation policy: `max_queue` bounds the backlog — a push against a
+/// full queue throws OverloadedError immediately (admission control: reject
+/// fast while the server still works, rather than letting latency grow
+/// without bound until everything times out). `deadline_us` bounds queueing
+/// time — a request still queued past its deadline has its future failed
+/// with DeadlineExceededError at pop, and never wastes a forward pass.
 struct BatcherOptions {
-  int max_batch = 8;             ///< DC_SERVE_MAX_BATCH
+  int max_batch = 8;                 ///< DC_SERVE_MAX_BATCH
   std::int64_t max_delay_us = 1000;  ///< DC_SERVE_MAX_DELAY_US
+  std::int64_t max_queue = 1024;     ///< DC_SERVE_MAX_QUEUE; 0 = unbounded
+  std::int64_t deadline_us = 0;      ///< DC_SERVE_DEADLINE_US; 0 = no deadline
 };
 
 struct ServeOptions {
@@ -43,8 +52,9 @@ struct ServeOptions {
   int top_k = 5;
 };
 
-/// Read the batching knobs from DC_SERVE_MAX_BATCH / DC_SERVE_MAX_DELAY_US
-/// (defaults above when unset or unparsable).
+/// Read the batching knobs from DC_SERVE_MAX_BATCH / DC_SERVE_MAX_DELAY_US /
+/// DC_SERVE_MAX_QUEUE / DC_SERVE_DEADLINE_US (defaults above when unset or
+/// unparsable).
 BatcherOptions batcher_options_from_env();
 ServeOptions serve_options_from_env();
 

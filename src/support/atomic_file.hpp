@@ -1,0 +1,22 @@
+// Crash-safe file replacement: write to a temporary, fsync, rename over the
+// destination. A reader can then never observe a half-written file — it sees
+// either the old bytes or the new bytes in full, which is the property the
+// checkpoint retention / recovery logic builds on (a crash mid-save leaves
+// the previous snapshot intact and at most a stray .tmp to sweep).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace distconv::support {
+
+/// Atomically replace `path` with `n` bytes at `data`: writes `path`.tmp,
+/// flushes it to stable storage, then rename()s over `path`. Throws Error on
+/// any I/O failure (the temporary is removed on the failure paths).
+void write_file_atomic(const std::string& path, const void* data, std::size_t n);
+
+inline void write_file_atomic(const std::string& path, const std::string& bytes) {
+  write_file_atomic(path, bytes.data(), bytes.size());
+}
+
+}  // namespace distconv::support

@@ -1,0 +1,16 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320): the integrity check
+// appended to v3 checkpoints. Detects every single-bit and single-byte error
+// and all burst errors shorter than 32 bits, so a torn or bit-flipped
+// checkpoint section cannot validate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace distconv::support {
+
+/// CRC of `bytes[0, n)`. Pass a previous result as `seed` to continue a
+/// running CRC over discontiguous chunks; the default seed starts fresh.
+std::uint32_t crc32(const void* bytes, std::size_t n, std::uint32_t seed = 0);
+
+}  // namespace distconv::support

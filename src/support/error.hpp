@@ -4,8 +4,26 @@
 // source location and a formatted message. Collective code running on rank
 // threads must not abort the process (other ranks would deadlock), so errors
 // propagate as exceptions and comm::World rethrows the first one on join.
+//
+// The fault-tolerant runtime layers a typed hierarchy on top of the base
+// Error so callers can route on failure class instead of parsing messages:
+//
+//   Error
+//   ├── CommError                — any communication-layer fault
+//   │   ├── CommTimeoutError    — a blocking wait outlived DC_COMM_TIMEOUT_MS
+//   │   └── RankFailedError     — a (possibly other) rank raised and the
+//   │                             world aborted; carries the failing rank
+//   ├── CheckpointCorruptError  — checkpoint bytes failed structural or CRC
+//   │                             validation (torn write, truncation, flip)
+//   ├── OverloadedError         — serve admission control rejected a request
+//   └── DeadlineExceededError   — a queued serve request expired before
+//                                 dispatch
+//
+// CommError (and only it) marks faults that auto-recovery may retry after a
+// world reset: the world's state is gone but the process is healthy.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -16,6 +34,64 @@ namespace distconv {
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Base of all communication-layer faults (timeouts, failed ranks). Recovery
+/// drivers treat exactly this class as "restartable from a checkpoint".
+class CommError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A blocking communication wait exceeded the configured deadline
+/// (DC_COMM_TIMEOUT_MS). Carries what the rank was blocked on.
+class CommTimeoutError : public CommError {
+ public:
+  CommTimeoutError(const std::string& what, std::int64_t timeout_ms)
+      : CommError(what), timeout_ms_(timeout_ms) {}
+
+  std::int64_t timeout_ms() const { return timeout_ms_; }
+
+ private:
+  std::int64_t timeout_ms_;
+};
+
+/// The world aborted because a rank failed (fault-injected kill, timeout or
+/// any other exception on that rank); every other rank blocked in — or next
+/// touching — communication raises this instead of deadlocking.
+class RankFailedError : public CommError {
+ public:
+  RankFailedError(const std::string& what, int rank)
+      : CommError(what), rank_(rank) {}
+
+  /// World rank that failed first; -1 when unknown.
+  int rank() const { return rank_; }
+
+ private:
+  int rank_;
+};
+
+/// Checkpoint bytes failed validation (bad magic/version, truncated stream,
+/// impossible structure, or a CRC32 mismatch in a v3 section). Thrown
+/// *before* any model state is mutated, so a corrupt snapshot can never leak
+/// garbage weights into a live model.
+class CheckpointCorruptError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Serve admission control: the request queue is at DC_SERVE_MAX_QUEUE and
+/// the request was rejected instead of growing the backlog without bound.
+class OverloadedError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A queued serve request outlived DC_SERVE_DEADLINE_US before dispatch; its
+/// future carries this instead of serving stale work.
+class DeadlineExceededError : public Error {
+ public:
+  using Error::Error;
 };
 
 namespace internal {

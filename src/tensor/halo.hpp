@@ -78,6 +78,7 @@ class HaloExchange {
   /// into the owned edge (kSum).
   void finish() {
     DC_REQUIRE(in_flight_, "finish() without start()");
+    comm::OpScope scope("halo-exchange");
     for (auto& r : reqs_) r.wait();
     unpack_received();
   }
@@ -98,6 +99,7 @@ class HaloExchange {
   /// Block until every posted transfer is complete (without unpacking);
   /// the progress engine's blocking-wait primitive for an in-flight op.
   void wait_transfers() {
+    comm::OpScope scope("halo-exchange");
     for (auto& r : reqs_) r.wait();
   }
 
@@ -410,6 +412,8 @@ class HaloRefreshOp final : public comm::NbOp {
  public:
   explicit HaloRefreshOp(HaloExchange<T>& halo, HaloOp op, comm::Comm& comm)
       : halo_(&halo), hop_(op), tag_base_(comm.next_internal_tag()) {}
+
+  const char* name() const override { return "halo-refresh"; }
 
  protected:
   bool begin() override {

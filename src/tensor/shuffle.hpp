@@ -133,6 +133,8 @@ class ShuffleOp final : public comm::RequestDrivenOp {
             DistTensor<T>& dst, int tag)
       : plan_(&plan), src_(&src), dst_(&dst), tag_(tag) {}
 
+  const char* name() const override { return "shuffle"; }
+
  protected:
   bool begin() override {
     const Shuffler<T>& plan = *plan_;

@@ -133,15 +133,106 @@ TEST(Batcher, CloseWakesBlockedConsumer) {
 TEST(Batcher, EnvKnobsParse) {
   setenv("DC_SERVE_MAX_BATCH", "17", 1);
   setenv("DC_SERVE_MAX_DELAY_US", "2500", 1);
+  setenv("DC_SERVE_MAX_QUEUE", "99", 1);
+  setenv("DC_SERVE_DEADLINE_US", "7000", 1);
   const BatcherOptions opts = batcher_options_from_env();
   EXPECT_EQ(opts.max_batch, 17);
   EXPECT_EQ(opts.max_delay_us, 2500);
+  EXPECT_EQ(opts.max_queue, 99);
+  EXPECT_EQ(opts.deadline_us, 7000);
   setenv("DC_SERVE_MAX_BATCH", "not-a-number", 1);
+  setenv("DC_SERVE_MAX_QUEUE", "-4", 1);
   unsetenv("DC_SERVE_MAX_DELAY_US");
+  unsetenv("DC_SERVE_DEADLINE_US");
   const BatcherOptions fallback = batcher_options_from_env();
   EXPECT_EQ(fallback.max_batch, BatcherOptions{}.max_batch);
   EXPECT_EQ(fallback.max_delay_us, BatcherOptions{}.max_delay_us);
+  EXPECT_EQ(fallback.max_queue, BatcherOptions{}.max_queue);
+  EXPECT_EQ(fallback.deadline_us, BatcherOptions{}.deadline_us);
   unsetenv("DC_SERVE_MAX_BATCH");
+  unsetenv("DC_SERVE_MAX_QUEUE");
+}
+
+TEST(Batcher, AdmissionControlShedsWhenQueueFull) {
+  BatcherOptions opts;
+  opts.max_batch = 4;
+  opts.max_delay_us = 0;
+  opts.max_queue = 2;
+  Batcher b(opts);
+  b.push(sample());
+  b.push(sample());
+  EXPECT_THROW(b.push(sample()), OverloadedError);
+  EXPECT_EQ(b.shed(), 1u);
+  EXPECT_EQ(b.pending(), 2u);  // queued requests are untouched
+  // Draining the queue re-opens admission.
+  EXPECT_EQ(b.next_batch(8).size(), 2u);
+  b.push(sample());
+  EXPECT_EQ(b.shed(), 1u);
+}
+
+TEST(Batcher, ZeroMaxQueueIsUnbounded) {
+  BatcherOptions opts;
+  opts.max_queue = 0;
+  opts.max_delay_us = 0;
+  Batcher b(opts);
+  for (int i = 0; i < 64; ++i) b.push(sample());
+  EXPECT_EQ(b.pending(), 64u);
+  EXPECT_EQ(b.shed(), 0u);
+}
+
+TEST(Batcher, ExpiredRequestsFailAtPopAndFreshOnesDispatch) {
+  BatcherOptions opts;
+  opts.max_batch = 8;
+  opts.max_delay_us = 0;
+  opts.deadline_us = 20000;  // 20 ms
+  Batcher b(opts);
+  auto stale1 = b.push(sample(1.0f));
+  auto stale2 = b.push(sample(2.0f));
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  auto fresh = b.push(sample(3.0f));
+  const auto batch = b.next_batch(8);
+  ASSERT_EQ(batch.size(), 1u);  // only the fresh request dispatches
+  EXPECT_EQ(batch[0].input.data()[0], 3.0f);
+  EXPECT_EQ(b.expired(), 2u);
+  EXPECT_THROW(stale1.get(), DeadlineExceededError);
+  EXPECT_THROW(stale2.get(), DeadlineExceededError);
+  EXPECT_TRUE(fresh.valid());  // still waiting on the server
+}
+
+TEST(Batcher, AllExpiredKeepsServerAliveUntilFreshArrival) {
+  BatcherOptions opts;
+  opts.max_batch = 8;
+  opts.max_delay_us = 0;
+  opts.deadline_us = 10000;  // 10 ms
+  Batcher b(opts);
+  auto stale = b.push(sample(1.0f));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  std::thread producer([&b] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    b.push(sample(9.0f));
+  });
+  // The consumer must not return an empty batch (that means shutdown): it
+  // expires the stale prefix and keeps waiting for live work.
+  const auto batch = b.next_batch(8);
+  producer.join();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].input.data()[0], 9.0f);
+  EXPECT_EQ(b.expired(), 1u);
+  EXPECT_THROW(stale.get(), DeadlineExceededError);
+}
+
+TEST(Batcher, CloseAfterExpiryStillSignalsShutdown) {
+  BatcherOptions opts;
+  opts.max_batch = 8;
+  opts.max_delay_us = 0;
+  opts.deadline_us = 5000;  // 5 ms
+  Batcher b(opts);
+  auto stale = b.push(sample());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  b.close();
+  EXPECT_TRUE(b.next_batch(8).empty());  // expired + drained → shutdown
+  EXPECT_EQ(b.expired(), 1u);
+  EXPECT_THROW(stale.get(), DeadlineExceededError);
 }
 
 }  // namespace
