@@ -18,6 +18,10 @@
 #include "comm/collectives.hpp"
 #include "core/layers.hpp"
 #include "core/model.hpp"
+#include "core/trainer.hpp"
+#include "models/models.hpp"
+#include "obs/compare.hpp"
+#include "obs/metrics.hpp"
 #include "perf/compute_model.hpp"
 #include "perf/layer_cost.hpp"
 
@@ -130,5 +134,40 @@ int main(int argc, char** argv) {
   std::printf("\nstrategy ranking agreement (measured vs predicted, 10%% tie "
               "band): %s\n",
               agree ? "yes" : "no (CPU timing noise; rerun on a quiet machine)");
+
+  // --- instrumented training vs the model, term by term --------------------
+  // The observability registry collects per-layer/per-op timings during a
+  // short mesh-model training run, and obs::compare_to_model joins them
+  // against the same §V predictions the harness just validated — the ratio
+  // per term is the drift detector CI watches.
+  {
+    const bool metrics_were_on = obs::metrics::enabled();
+    obs::metrics::set_enabled(true);
+    obs::metrics::reset();
+    const int steps = args.smoke ? 2 : 4;
+    const core::NetworkSpec spec = models::make_mesh_model_test(4, 32);
+    const core::Strategy strategy =
+        core::Strategy::uniform(spec.size(), ProcessGrid{1, 1, 2, 2});
+    comm::World world(ranks);
+    world.run([&](comm::Comm& comm) {
+      core::Model model(spec, comm, strategy, 7);
+      core::Trainer trainer(model, core::TrainerOptions{});
+      const Shape4 mesh_in = model.rt(0).out_shape;
+      const Shape4 mesh_out = model.rt(model.output_layer()).out_shape;
+      Tensor<float> input(mesh_in), targets(mesh_out);
+      Rng rng(11);
+      input.fill_uniform(rng, -1.0f, 1.0f);
+      for (std::int64_t i = 0; i < targets.size(); ++i) {
+        targets.data()[i] = rng.uniform() < 0.5f ? 0.0f : 1.0f;
+      }
+      for (int s = 0; s < steps; ++s) trainer.step_bce(input, targets);
+    });
+    const obs::ModelComparison cmp =
+        obs::compare_to_model(obs::metrics::snapshot(), spec, strategy,
+                              machine, ranks, {}, &compute);
+    std::printf("\nmeasured vs modelled (per rank, per step, %d steps):\n%s",
+                cmp.steps, cmp.str().c_str());
+    if (!metrics_were_on) obs::metrics::set_enabled(false);
+  }
   return 0;
 }

@@ -22,6 +22,7 @@
 
 #include "comm/comm.hpp"
 #include "comm/types.hpp"
+#include "obs/attribution.hpp"
 #include "support/error.hpp"
 
 namespace distconv::comm {
@@ -29,6 +30,14 @@ namespace distconv::comm {
 enum class AllreduceAlgo { kAuto, kRecursiveDoubling, kRing };
 
 namespace internal {
+
+/// Rounds of a binomial/dissemination pattern over p ranks (for the
+/// observability span args; matches the α terms in perf/comm_model).
+inline int log2_rounds(int p) {
+  int r = 0;
+  while ((1 << r) < p) ++r;
+  return r;
+}
 
 template <typename T>
 void apply_op(ReduceOp op, T* acc, const T* in, std::size_t n) {
@@ -64,6 +73,8 @@ inline std::pair<std::size_t, std::size_t> block_range(std::size_t n, int p, int
 inline void barrier(Comm& comm) {
   OpScope scope("barrier");
   const int p = comm.size();
+  static const obs::CollCounters& cc = obs::coll_counters("barrier");
+  obs::CollectiveScope ocs(cc, 0, internal::log2_rounds(p));
   const int tag = comm.next_internal_tag();
   // Distinct send/recv bytes: sendrecv aliasing one buffer races the
   // remote's delivery read against the local receive completion write.
@@ -80,6 +91,8 @@ template <typename T>
 void broadcast(Comm& comm, T* buf, std::size_t n, int root) {
   OpScope scope("broadcast");
   const int p = comm.size();
+  static const obs::CollCounters& cc = obs::coll_counters("broadcast");
+  obs::CollectiveScope ocs(cc, n * sizeof(T), internal::log2_rounds(p));
   if (p == 1) return;
   const int tag = comm.next_internal_tag();
   // Binomial tree rooted at `root`: work in shifted rank space.
@@ -107,6 +120,8 @@ template <typename T>
 void reduce(Comm& comm, T* buf, std::size_t n, ReduceOp op, int root) {
   OpScope scope("reduce");
   const int p = comm.size();
+  static const obs::CollCounters& cc = obs::coll_counters("reduce");
+  obs::CollectiveScope ocs(cc, n * sizeof(T), internal::log2_rounds(p));
   if (p == 1) return;
   const int tag = comm.next_internal_tag();
   const int vrank = (comm.rank() - root + p) % p;
@@ -134,6 +149,9 @@ template <typename T>
 void allgather(Comm& comm, const T* sendbuf, std::size_t n, T* recvbuf) {
   OpScope scope("allgather");
   const int p = comm.size();
+  static const obs::CollCounters& cc = obs::coll_counters("allgather");
+  obs::CollectiveScope ocs(cc, static_cast<std::uint64_t>(p) * n * sizeof(T),
+                           p - 1);
   const int me = comm.rank();
   std::copy(sendbuf, sendbuf + n, recvbuf + static_cast<std::size_t>(me) * n);
   if (p == 1) return;
@@ -158,6 +176,10 @@ void allgatherv(Comm& comm, const T* sendbuf, std::size_t n, T* recvbuf,
                 const std::vector<std::size_t>& displs) {
   OpScope scope("allgatherv");
   const int p = comm.size();
+  std::uint64_t total = 0;
+  for (const std::size_t c : counts) total += c;
+  static const obs::CollCounters& cc = obs::coll_counters("allgatherv");
+  obs::CollectiveScope ocs(cc, total * sizeof(T), p - 1);
   const int me = comm.rank();
   DC_REQUIRE(counts[me] == n, "allgatherv: local count mismatch");
   std::copy(sendbuf, sendbuf + n, recvbuf + displs[me]);
@@ -181,6 +203,8 @@ template <typename T>
 void reduce_scatter_inplace(Comm& comm, T* buf, std::size_t n, ReduceOp op) {
   OpScope scope("reduce_scatter");
   const int p = comm.size();
+  static const obs::CollCounters& cc = obs::coll_counters("reduce_scatter");
+  obs::CollectiveScope ocs(cc, n * sizeof(T), p);
   if (p == 1) return;
   const int me = comm.rank();
   const int tag = comm.next_internal_tag();
@@ -235,6 +259,10 @@ void reduce_scatterv_inplace(Comm& comm, T* buf,
   const int p = comm.size();
   DC_REQUIRE(static_cast<int>(counts.size()) == p,
              "reduce_scatterv: counts must have one entry per rank");
+  std::uint64_t obs_total = 0;
+  for (const std::size_t c : counts) obs_total += c;
+  static const obs::CollCounters& cc = obs::coll_counters("reduce_scatterv");
+  obs::CollectiveScope ocs(cc, obs_total * sizeof(T), p);
   if (p == 1) return;
   std::vector<std::size_t> displs(p);
   std::size_t total = 0, max_block = 0;
@@ -271,6 +299,8 @@ template <typename T>
 void allreduce_recursive_doubling(Comm& comm, T* buf, std::size_t n, ReduceOp op) {
   OpScope scope("allreduce-rd");
   const int p = comm.size();
+  static const obs::CollCounters& cc = obs::coll_counters("allreduce-rd");
+  obs::CollectiveScope ocs(cc, n * sizeof(T), internal::log2_rounds(p));
   if (p == 1) return;
   const int me = comm.rank();
   const int tag = comm.next_internal_tag();
@@ -318,6 +348,8 @@ template <typename T>
 void allreduce_ring(Comm& comm, T* buf, std::size_t n, ReduceOp op) {
   OpScope scope("allreduce-ring");
   const int p = comm.size();
+  static const obs::CollCounters& cc = obs::coll_counters("allreduce-ring");
+  obs::CollectiveScope ocs(cc, n * sizeof(T), 2 * (p - 1));
   if (p == 1) return;
   if (n < static_cast<std::size_t>(p)) {
     // Blocks would be empty; fall back to the latency-oriented algorithm.
@@ -373,6 +405,10 @@ void alltoallv(Comm& comm, const T* sendbuf, const std::vector<std::size_t>& sen
                const std::vector<std::size_t>& recvdispls) {
   OpScope scope("alltoallv");
   const int p = comm.size();
+  std::uint64_t obs_total = 0;
+  for (const std::size_t c : sendcounts) obs_total += c;
+  static const obs::CollCounters& cc = obs::coll_counters("alltoallv");
+  obs::CollectiveScope ocs(cc, obs_total * sizeof(T), p - 1);
   const int me = comm.rank();
   DC_REQUIRE(static_cast<int>(sendcounts.size()) == p &&
                  static_cast<int>(recvcounts.size()) == p,
@@ -397,6 +433,8 @@ void gatherv(Comm& comm, const T* sendbuf, std::size_t n, T* recvbuf,
              const std::vector<std::size_t>& displs, int root) {
   OpScope scope("gatherv");
   const int p = comm.size();
+  static const obs::CollCounters& cc = obs::coll_counters("gatherv");
+  obs::CollectiveScope ocs(cc, n * sizeof(T), p - 1);
   const int me = comm.rank();
   const int tag = comm.next_internal_tag();
   if (me == root) {
@@ -419,6 +457,8 @@ void scatterv(Comm& comm, const T* sendbuf, const std::vector<std::size_t>& coun
               int root) {
   OpScope scope("scatterv");
   const int p = comm.size();
+  static const obs::CollCounters& cc = obs::coll_counters("scatterv");
+  obs::CollectiveScope ocs(cc, n * sizeof(T), p - 1);
   const int me = comm.rank();
   const int tag = comm.next_internal_tag();
   if (me == root) {

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/attribution.hpp"
 #include "support/error.hpp"
 
 namespace distconv::comm::faults {
@@ -209,11 +210,19 @@ void on_event(int world_rank, FaultSite site) {
   std::uint64_t n = 0;
   const FaultAction action = next_action(world_rank, site, &ms, &n);
   GlobalState& s = state();
+  const bool obs_on = obs::timing_enabled();
   switch (action) {
     case FaultAction::kNone:
       return;
     case FaultAction::kDelay:
       s.delays.fetch_add(1, std::memory_order_relaxed);
+      if (obs_on) {
+        static const obs::metrics::Counter delays =
+            obs::metrics::counter("fault.delays");
+        delays.inc();
+        const obs::trace::Arg args[] = {{"ms", static_cast<double>(ms)}};
+        obs::trace::emit_instant("fault-delay", "fault", args, 1);
+      }
       if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
       return;
     case FaultAction::kDrop:
@@ -221,10 +230,23 @@ void on_event(int world_rank, FaultSite site) {
       // arrives `ms` later. Observably a delayed delivery plus a counter
       // tick — and with a watchdog deadline shorter than `ms`, a timeout.
       s.retransmits.fetch_add(1, std::memory_order_relaxed);
+      if (obs_on) {
+        static const obs::metrics::Counter retransmits =
+            obs::metrics::counter("fault.retransmits");
+        retransmits.inc();
+        const obs::trace::Arg args[] = {{"ms", static_cast<double>(ms)}};
+        obs::trace::emit_instant("fault-retransmit", "fault", args, 1);
+      }
       if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
       return;
     case FaultAction::kKill:
       s.kills.fetch_add(1, std::memory_order_relaxed);
+      if (obs_on) {
+        static const obs::metrics::Counter kills =
+            obs::metrics::counter("fault.kills");
+        kills.inc();
+        obs::trace::emit_instant("fault-kill", "fault");
+      }
       throw RankFailedError(
           internal::compose("fault injection: rank ", world_rank,
                             " killed at ", to_string(site), "[", n, "]"),

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/attribution.hpp"
 #include "support/error.hpp"
 
 namespace distconv::comm {
@@ -110,6 +111,12 @@ void Mailbox::throw_aborted_locked() const {
 
 void Mailbox::wait(const std::shared_ptr<internal::OpState>& state) {
   if (!state) return;  // already-complete (eager send) requests carry no state
+  // The runtime's single blocking point: attribute the blocked interval to
+  // the collective that issued it (OpScope label) so step time decomposes
+  // into compute / exposed comm / completion tail. Zero-cost when obs is
+  // off (one relaxed load).
+  const bool timing = obs::timing_enabled();
+  const std::int64_t t0 = timing ? obs::trace::now_ns() : 0;
   std::unique_lock<std::mutex> lock(mutex_);
   const auto ready = [&] { return state->done || aborted_; };
   const std::int64_t timeout = comm_timeout_ms();
@@ -136,6 +143,15 @@ void Mailbox::wait(const std::shared_ptr<internal::OpState>& state) {
   if (!state->done && aborted_) {
     cancel_locked(state);
     throw_aborted_locked();
+  }
+  if (timing) {
+    if (timeout > 0) {
+      static const obs::metrics::Counter arms =
+          obs::metrics::counter("comm.watchdog.arms");
+      arms.inc();
+    }
+    obs::record_wait(OpScope::current(),
+                     static_cast<std::uint64_t>(obs::trace::now_ns() - t0));
   }
 }
 
@@ -171,6 +187,12 @@ void Mailbox::abort(int source_rank, const std::string& reason) {
     abort_rank_ = source_rank;
     // Bound the copied reason: it is re-composed into every waiter's error.
     abort_reason_ = reason.substr(0, 512);
+    if (obs::timing_enabled()) {
+      static const obs::metrics::Counter aborts =
+          obs::metrics::counter("comm.aborts");
+      aborts.inc();
+      obs::trace::emit_instant("mailbox-abort", "fault");
+    }
   }
   cv_.notify_all();
 }

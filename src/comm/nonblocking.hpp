@@ -30,6 +30,7 @@
 
 #include "comm/collectives.hpp"
 #include "comm/comm.hpp"
+#include "obs/attribution.hpp"
 #include "support/error.hpp"
 
 namespace distconv::comm {
@@ -50,12 +51,25 @@ class NbOp {
   /// reports if the wait times out.
   virtual const char* name() const { return "nonblocking-op"; }
 
+  /// Observability label override: the comm.op.<label>.* counters and the
+  /// trace span default to name(); Model relabels its gradient-completion
+  /// ops "gradreduce" so attribution can separate them from other
+  /// iallreduces. Must be a string literal.
+  void set_obs_label(const char* label) { obs_label_ = label; }
+  const char* obs_label() const { return obs_label_ ? obs_label_ : name(); }
+  /// Payload size reported in comm.op.<label>.bytes (0 when unset).
+  void set_obs_bytes(std::uint64_t bytes) { obs_bytes_ = bytes; }
+
   /// Begin communicating. Called once, by the engine, when the op reaches
   /// the head of the wire queue.
   void start() {
     DC_REQUIRE(!started_, "nonblocking op started twice");
     started_ = true;
-    if (begin()) done_ = true;
+    if (obs::timing_enabled()) obs_t0_ = obs::trace::now_ns();
+    if (begin()) {
+      done_ = true;
+      record_obs();
+    }
   }
 
   /// Advance as far as currently possible without blocking; true when the
@@ -63,7 +77,10 @@ class NbOp {
   bool progress() {
     if (done_) return true;
     DC_REQUIRE(started_, "progress() on an op that was never started");
-    if (advance()) done_ = true;
+    if (advance()) {
+      done_ = true;
+      record_obs();
+    }
     return done_;
   }
 
@@ -85,8 +102,21 @@ class NbOp {
   virtual void block() = 0;
 
  private:
+  // Timed start → completion on whichever thread observes the retirement
+  // (owner drain or background progress driver; record_nb_op attributes
+  // which). obs_t0_ == 0 means timing was off when the op started.
+  void record_obs() {
+    if (obs_t0_ != 0) {
+      obs::record_nb_op(obs_label(), obs_t0_, obs_bytes_);
+      obs_t0_ = 0;
+    }
+  }
+
   bool started_ = false;
   bool done_ = false;
+  const char* obs_label_ = nullptr;
+  std::uint64_t obs_bytes_ = 0;
+  std::int64_t obs_t0_ = 0;
 };
 
 /// Helper base for ops whose progress is driven by one posted receive at a

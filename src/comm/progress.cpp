@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/attribution.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
 
@@ -95,6 +96,11 @@ class Driver {
     {
       std::lock_guard<std::mutex> lock(list_mutex_);
       snapshot = engines_;
+    }
+    if (obs::timing_enabled()) {
+      static const obs::metrics::Counter sweeps =
+          obs::metrics::counter("comm.progress.sweeps");
+      sweeps.inc();
     }
     bool any_in_flight = false;
     t_in_sweep = true;
@@ -233,6 +239,9 @@ bool ProgressEngine::try_progress_background() noexcept {
   if (background_error_ || engine_.idle()) return false;
   const std::uint64_t before = engine_.completed_ops();
   try {
+    // Ops retired inside this sweep completed off the owner's critical path;
+    // the mark routes their comm.ops.* attribution to "background".
+    obs::BackgroundMark mark;
     engine_.progress();
   } catch (...) {
     background_error_ = std::current_exception();

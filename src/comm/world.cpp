@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "comm/comm.hpp"
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 #include "support/logging.hpp"
 #include "support/parallel.hpp"
@@ -18,6 +19,9 @@ World::World(int size) {
 
 void World::run(const std::function<void(Comm&)>& fn) {
   const int p = size();
+  // DC_LOG_LEVEL / DC_LOG_RANK0_ONLY and the DC_METRICS / DC_TRACE_DIR
+  // enabled flags are wired once, before any rank thread exists.
+  obs::init_from_env();
   // Budget the intra-rank kernel pool against the rank threads about to
   // run: each rank's parallel_for gets ~hw_concurrency / p workers instead
   // of oversubscribing the machine p-fold (DC_NUM_THREADS overrides).
@@ -58,6 +62,9 @@ void World::run(const std::function<void(Comm&)>& fn) {
   }
   for (auto& t : threads) t.join();
   parallel::set_rank_threads(1);  // single-threaded callers get the machine back
+  // Dump before the rethrow so a faulted run still leaves its postmortem
+  // metrics/trace files behind (no-op unless DC_METRICS/DC_TRACE_DIR set).
+  obs::dump_if_configured();
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -42,6 +42,15 @@ SegmentationMetrics evaluate_segmentation(Model& model, int layer,
   return m;
 }
 
+SegmentationMetrics evaluate_segmentation(Model& model,
+                                          const Tensor<float>& global_input,
+                                          const Tensor<float>& global_targets,
+                                          Mode mode) {
+  model.set_input(0, global_input);
+  model.forward(mode);
+  return evaluate_segmentation(model, model.output_layer(), global_targets);
+}
+
 double evaluate_top1(Model& model, int layer, const std::vector<int>& labels) {
   auto& rt = model.rt(layer);
   DC_REQUIRE(rt.out_shape.h == 1 && rt.out_shape.w == 1 && rt.grid.h == 1 &&
@@ -63,6 +72,13 @@ double evaluate_top1(Model& model, int layer, const std::vector<int>& labels) {
   }
   comm::allreduce(model.comm(), counts, 2, comm::ReduceOp::kSum);
   return counts[1] > 0 ? counts[0] / counts[1] : 0.0;
+}
+
+double evaluate_top1(Model& model, const Tensor<float>& global_input,
+                     const std::vector<int>& labels, Mode mode) {
+  model.set_input(0, global_input);
+  model.forward(mode);
+  return evaluate_top1(model, model.output_layer(), labels);
 }
 
 }  // namespace distconv::core

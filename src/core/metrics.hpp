@@ -21,8 +21,23 @@ struct SegmentationMetrics {
 SegmentationMetrics evaluate_segmentation(Model& model, int layer,
                                           const Tensor<float>& global_targets);
 
+/// End-to-end evaluation: feeds `global_input`, runs a forward pass in
+/// `mode` (default inference, so batchnorm normalizes with its tracked
+/// running statistics and no training state mutates), then scores the output
+/// layer. Collective.
+SegmentationMetrics evaluate_segmentation(Model& model,
+                                          const Tensor<float>& global_input,
+                                          const Tensor<float>& global_targets,
+                                          Mode mode = Mode::kInference);
+
 /// Top-1 accuracy of a (N, classes, 1, 1) sample-parallel output layer.
 /// Collective; requires a prior forward().
 double evaluate_top1(Model& model, int layer, const std::vector<int>& labels);
+
+/// End-to-end top-1: feeds `global_input`, runs a forward pass in `mode`
+/// (default inference), then scores the output layer. Collective.
+double evaluate_top1(Model& model, const Tensor<float>& global_input,
+                     const std::vector<int>& labels,
+                     Mode mode = Mode::kInference);
 
 }  // namespace distconv::core

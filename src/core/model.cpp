@@ -3,10 +3,12 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <utility>
 
 #include "core/layers.hpp"
 #include "kernels/activations.hpp"
+#include "obs/attribution.hpp"
 #include "support/error.hpp"
 #include "support/logging.hpp"
 
@@ -44,6 +46,8 @@ class SlicedWeightGradOp final : public comm::NbOp {
         cpart_(cpart), coord_c_(coord_c),
         ar_tag_(slice_comm.next_internal_tag()),
         ag_tag_(channel_comm.next_internal_tag()) {}
+
+  const char* name() const override { return "sliced-weight-grad"; }
 
  protected:
   bool begin() override {
@@ -114,6 +118,8 @@ class SmallGradBucketOp final : public comm::NbOp {
       : comm_(&comm), spans_(std::move(spans)),
         tag_(comm.next_internal_tag()) {}
 
+  const char* name() const override { return "small-grad-bucket"; }
+
  protected:
   bool begin() override {
     std::size_t total = 0;
@@ -167,6 +173,16 @@ Model::Model(const NetworkSpec& spec, comm::Comm& comm, const Strategy& strategy
 
   const auto shapes = spec.infer_shapes();
   build_tensors(shapes);
+
+  layer_obs_.reserve(spec.size());
+  for (int i = 0; i < spec.size(); ++i) {
+    const std::string base = "layer." + std::to_string(i);
+    layer_obs_.push_back(LayerObs{
+        obs::metrics::counter(base + ".fwd.ns"),
+        obs::metrics::counter(base + ".fwd.blocked.ns"),
+        obs::metrics::counter(base + ".bwd.ns"),
+        obs::metrics::counter(base + ".bwd.blocked.ns")});
+  }
 
   // Cross-grid edges indexed by producer, in (consumer, port) order — the
   // SPMD enqueue order of pre-posted forward shuffles.
@@ -335,7 +351,11 @@ void Model::set_input(int layer, const Tensor<float>& global) {
 void Model::forward(Mode mode) {
   mode_ = mode;
   const bool engine_moves = progress_active();
+  const bool timing = obs::timing_enabled();
   for (int i = 0; i < num_layers(); ++i) {
+    const std::int64_t t0 = timing ? obs::trace::now_ns() : 0;
+    const std::uint64_t w0 =
+        timing ? obs::thread_wait_totals().total_ns() : 0;
     auto& rt = rts_[i];
     for (auto& port : rt.inputs) {
       if (port.fwd_shuffle != nullptr) {
@@ -360,6 +380,14 @@ void Model::forward(Mode mode) {
         cport.pending_fwd_shuffle =
             engine_.enqueue(cport.fwd_shuffle->make_op(rt.y.t, cport.staging->t));
       }
+    }
+    if (timing) {
+      const std::int64_t dur = obs::trace::now_ns() - t0;
+      layer_obs_[i].fwd_ns.add(static_cast<std::uint64_t>(dur));
+      layer_obs_[i].fwd_blocked_ns.add(obs::thread_wait_totals().total_ns() -
+                                       w0);
+      const obs::trace::Arg args[] = {{"layer", static_cast<double>(i)}};
+      obs::trace::emit_complete("layer.fwd", "layer", t0, dur, args, 1);
     }
   }
   loss_seeded_ = false;
@@ -527,6 +555,8 @@ void Model::allreduce_gradients() {
   // allgather route; their bias gradients (disjoint filter slices, zeros
   // elsewhere) and every other layer's gradients sum over the full
   // communicator as before.
+  const bool timing = obs::timing_enabled();
+  const std::int64_t t0 = timing ? obs::trace::now_ns() : 0;
   for (int i = num_layers() - 1; i >= 0; --i) {
     auto& rt = rts_[i];
     for (std::size_t k = 0; k < rt.grads.size(); ++k) {
@@ -539,30 +569,54 @@ void Model::allreduce_gradients() {
       }
     }
   }
+  if (timing) {
+    // Blocking path only: the overlapped ops report under
+    // comm.op.gradreduce.* via the nonblocking engine.
+    static const obs::metrics::Counter gradreduce_ns =
+        obs::metrics::counter("comm.gradreduce.ns");
+    const std::int64_t dur = obs::trace::now_ns() - t0;
+    gradreduce_ns.add(static_cast<std::uint64_t>(dur));
+    obs::trace::emit_complete("gradreduce", "comm", t0, dur);
+  }
 }
 
 void Model::enqueue_gradient_completion(int layer) {
   auto& rt = rts_[layer];
   if (rt.grads.empty()) return;
+  // All gradient-completion ops share the "gradreduce" obs label so the
+  // model comparison can sum comm.op.gradreduce.* regardless of which route
+  // (full iallreduce, sliced, or bucketed) a gradient took.
+  const auto tag_and_enqueue = [&](std::unique_ptr<comm::NbOp> op,
+                                   std::uint64_t bytes) {
+    op->set_obs_label("gradreduce");
+    op->set_obs_bytes(bytes);
+    engine_.enqueue(std::move(op));
+  };
   std::vector<std::pair<float*, std::size_t>> small;
   for (std::size_t k = 0; k < rt.grads.size(); ++k) {
     auto& g = rt.grads[k];
     const auto n = static_cast<std::size_t>(g.size());
     if (k == 0 && is_channel_parallel(layer)) {
       const ProcessGrid& grid = rt.grid;
-      engine_.enqueue(std::make_unique<SlicedWeightGradOp>(
-          slice_comm(layer), channel_comm(layer), g,
-          DimPartition(g.shape().c, grid.c), grid.coord_of(comm_->rank()).c));
+      tag_and_enqueue(std::make_unique<SlicedWeightGradOp>(
+                          slice_comm(layer), channel_comm(layer), g,
+                          DimPartition(g.shape().c, grid.c),
+                          grid.coord_of(comm_->rank()).c),
+                      n * sizeof(float));
     } else if (n * sizeof(float) <= comm::kAllreduceRingThresholdBytes) {
       small.emplace_back(g.data(), n);
     } else {
-      engine_.enqueue(comm::make_iallreduce(*comm_, g.data(), n,
-                                            comm::ReduceOp::kSum));
+      tag_and_enqueue(comm::make_iallreduce(*comm_, g.data(), n,
+                                            comm::ReduceOp::kSum),
+                      n * sizeof(float));
     }
   }
   if (!small.empty()) {
-    engine_.enqueue(
-        std::make_unique<SmallGradBucketOp>(*comm_, std::move(small)));
+    std::uint64_t small_bytes = 0;
+    for (const auto& s : small) small_bytes += s.second * sizeof(float);
+    tag_and_enqueue(
+        std::make_unique<SmallGradBucketOp>(*comm_, std::move(small)),
+        small_bytes);
   }
 }
 
@@ -579,7 +633,11 @@ void Model::backward(bool accumulate, bool complete) {
   const bool overlap = complete && opts_.overlap_allreduce;
   const bool engine_moves = progress_active();
   grad_completion_seconds_ = 0;
+  const bool timing = obs::timing_enabled();
   for (int i = num_layers() - 1; i >= 0; --i) {
+    const std::int64_t lt0 = timing ? obs::trace::now_ns() : 0;
+    const std::uint64_t lw0 =
+        timing ? obs::thread_wait_totals().total_ns() : 0;
     auto& rt = rts_[i];
     const Layer& layer = spec_->layer(i);
     if (overlap) engine_.progress();  // advance in-flight rounds
@@ -604,8 +662,20 @@ void Model::backward(bool accumulate, bool complete) {
       engine_.progress();
     }
     if (opts_.backward_layer_hook) opts_.backward_layer_hook(i);
+    if (timing) {
+      const std::int64_t dur = obs::trace::now_ns() - lt0;
+      layer_obs_[i].bwd_ns.add(static_cast<std::uint64_t>(dur));
+      layer_obs_[i].bwd_blocked_ns.add(obs::thread_wait_totals().total_ns() -
+                                       lw0);
+      const obs::trace::Arg args[] = {{"layer", static_cast<double>(i)}};
+      obs::trace::emit_complete("layer.bwd", "layer", lt0, dur, args, 1);
+    }
   }
   if (complete) {
+    // Waits from here to the end of the drain are the step's completion
+    // tail: gradient sums that did not hide behind backprop compute.
+    obs::TailPhase tail_phase;
+    obs::trace::Span tail_span("grad-completion", "step");
     const auto t0 = std::chrono::steady_clock::now();
     if (overlap) {
       engine_.drain();

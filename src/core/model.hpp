@@ -22,6 +22,7 @@
 #include "core/strategy.hpp"
 #include "kernels/losses.hpp"
 #include "kernels/sgd.hpp"
+#include "obs/metrics.hpp"
 
 namespace distconv::core {
 
@@ -193,6 +194,12 @@ class Model {
   /// Deferred backward dy contributions per parent layer, in the blocking
   /// path's application order: (child layer, port index).
   std::vector<std::vector<std::pair<int, int>>> pending_dy_;
+  /// Per-layer observability instruments (layer.<i>.{fwd,bwd}[.blocked].ns),
+  /// interned once at construction so the train loop never composes names.
+  struct LayerObs {
+    obs::metrics::Counter fwd_ns, fwd_blocked_ns, bwd_ns, bwd_blocked_ns;
+  };
+  std::vector<LayerObs> layer_obs_;
   double grad_completion_seconds_ = 0;
   bool loss_seeded_ = false;
   Mode mode_ = Mode::kTraining;  ///< mode of the most recent forward()

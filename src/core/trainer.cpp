@@ -10,10 +10,52 @@ void Trainer::begin_step() {
   // the target rank only, before the step's first collective.
   comm::Comm& comm = model_->comm();
   comm::faults::on_step(comm.world_rank(comm.rank()));
+  step_timed_ = obs::timing_enabled();
+  if (step_timed_) {
+    step_t0_ns_ = obs::trace::now_ns();
+    step_w0_ = obs::thread_wait_totals();
+  }
 }
 
 void Trainer::end_step() {
   const std::int64_t step = steps_done_++;
+  if (step_timed_) {
+    // Exact decomposition of the step's wall clock on this rank thread:
+    //   compute = wall − blocked, exposed = blocked − tail, tail = blocked
+    //   time inside the gradient-completion drain. The three counters sum
+    //   to step.wall.ns by construction.
+    const obs::WaitTotals& w = obs::thread_wait_totals();
+    const std::int64_t wall = obs::trace::now_ns() - step_t0_ns_;
+    const std::uint64_t blocked = w.total_ns() - step_w0_.total_ns();
+    const std::uint64_t tail = w.tail_ns - step_w0_.tail_ns;
+    const std::uint64_t wall_u = static_cast<std::uint64_t>(wall);
+    const std::uint64_t compute = wall_u > blocked ? wall_u - blocked : 0;
+    const std::uint64_t exposed = blocked > tail ? blocked - tail : 0;
+    static const obs::metrics::Counter c_count =
+        obs::metrics::counter("step.count");
+    static const obs::metrics::Counter c_wall =
+        obs::metrics::counter("step.wall.ns");
+    static const obs::metrics::Counter c_compute =
+        obs::metrics::counter("step.compute.ns");
+    static const obs::metrics::Counter c_exposed =
+        obs::metrics::counter("step.exposed.ns");
+    static const obs::metrics::Counter c_tail =
+        obs::metrics::counter("step.tail.ns");
+    static const obs::metrics::Histogram h_wall =
+        obs::metrics::histogram("step.wall.us");
+    c_count.inc();
+    c_wall.add(wall_u);
+    c_compute.add(compute);
+    c_exposed.add(exposed);
+    c_tail.add(tail);
+    h_wall.record(wall_u / 1000);
+    const obs::trace::Arg args[] = {
+        {"compute_ms", static_cast<double>(compute) * 1e-6},
+        {"exposed_ms", static_cast<double>(exposed) * 1e-6},
+        {"tail_ms", static_cast<double>(tail) * 1e-6}};
+    obs::trace::emit_complete("step", "step", step_t0_ns_, wall, args, 3);
+    step_timed_ = false;
+  }
   if (snapshots_ != nullptr) snapshots_->on_step_complete(step);
 }
 

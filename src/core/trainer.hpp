@@ -21,6 +21,7 @@
 #include <functional>
 
 #include "core/model.hpp"
+#include "obs/attribution.hpp"
 
 namespace distconv::core {
 
@@ -78,6 +79,11 @@ class Trainer {
   TrainerOptions options_;
   SnapshotManager* snapshots_ = nullptr;
   std::int64_t steps_done_ = 0;
+  /// Step-attribution bookkeeping: the wall clock and the rank thread's
+  /// cumulative wait totals at begin_step(), differenced at end_step().
+  std::int64_t step_t0_ns_ = 0;
+  obs::WaitTotals step_w0_;
+  bool step_timed_ = false;
 };
 
 }  // namespace distconv::core

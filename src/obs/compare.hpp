@@ -1,0 +1,47 @@
+#pragma once
+
+// Measured-vs-modelled join (§ observability): read the per-layer / per-op
+// timings the instrumented runtime collected into the metrics registry and
+// line them up against the §V cost model's predictions, term by term. This
+// is the drift detector the perf harnesses (perfmodel_validation,
+// ablation_overlap_allreduce) consume: if a kernel or collective change
+// breaks the model's assumptions, the ratio for that term moves.
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "perf/network_cost.hpp"
+
+namespace distconv::obs {
+
+struct ModelComparison {
+  struct Term {
+    std::string name;
+    double measured_seconds = 0;  ///< per rank, per step
+    double modelled_seconds = 0;
+    double ratio = 0;  ///< measured / modelled (0 when the model says 0)
+  };
+  std::vector<Term> terms;
+  int steps = 0;  ///< training steps the measurement covers (per rank)
+
+  /// Printable table: one "name measured modelled ratio" row per term.
+  std::string str() const;
+};
+
+/// Join a metrics snapshot (collected by the instrumented runtime over
+/// `steps = step.count / ranks` training steps) against
+/// layer_cost/network_cost predictions for the same spec/strategy/machine.
+/// Reports at least: conv fwd compute, conv bwd compute, halo exchange,
+/// gradient allreduce, shuffle (when the strategy has one), and the step
+/// wall clock vs minibatch_time(). Measured values are averaged per rank
+/// and per step; call metrics::reset() before the measured phase so the
+/// snapshot covers only it.
+ModelComparison compare_to_model(const metrics::Snapshot& snap,
+                                 const core::NetworkSpec& spec,
+                                 const core::Strategy& strategy,
+                                 const perf::MachineModel& machine, int ranks,
+                                 const perf::NetworkCostOptions& options = {},
+                                 const perf::ComputeModel* compute = nullptr);
+
+}  // namespace distconv::obs

@@ -1,0 +1,26 @@
+#include "obs/obs.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/logging.hpp"
+
+namespace distconv::obs {
+
+void init_from_env() {
+  static const bool once = [] {
+    log::init_from_env();
+    (void)metrics::enabled();  // prime DC_METRICS
+    (void)trace::enabled();    // prime DC_TRACE_DIR
+    return true;
+  }();
+  (void)once;
+}
+
+void dump_if_configured() {
+  const std::string& mpath = metrics::configured_path();
+  if (!mpath.empty()) metrics::dump(mpath);
+  const std::string& tdir = trace::configured_dir();
+  if (!tdir.empty()) trace::dump(tdir);
+}
+
+}  // namespace distconv::obs

@@ -1,0 +1,20 @@
+#pragma once
+
+// Process-level observability wiring: one call World::run makes on entry
+// (environment knobs) and one on exit (dump whatever DC_METRICS /
+// DC_TRACE_DIR asked for). Kept separate from metrics/trace so the comm
+// layer only needs this one include at its boundary.
+
+namespace distconv::obs {
+
+/// Parse the observability environment once per process: primes the
+/// metrics/trace enabled flags and wires DC_LOG_LEVEL / DC_LOG_RANK0_ONLY
+/// into the logger. Idempotent and cheap after the first call.
+void init_from_env();
+
+/// Dump metrics to DC_METRICS and traces under DC_TRACE_DIR when those
+/// variables are set; no-op otherwise. Called at every World::run exit —
+/// also on the failure path, so a faulted run leaves a postmortem trace.
+void dump_if_configured();
+
+}  // namespace distconv::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/attribution.hpp"
 #include "support/error.hpp"
 
 namespace distconv::serve {
@@ -16,6 +17,15 @@ std::int64_t env_int(const char* name, std::int64_t fallback) {
   const long long v = std::strtoll(s, &end, 10);
   if (end == s || *end != '\0' || v < 0) return fallback;
   return static_cast<std::int64_t>(v);
+}
+
+/// serve.queue_depth tracks the instantaneous queue length; callers update
+/// it while holding mu_, so set() never races with itself.
+void record_queue_depth(std::size_t depth) {
+  if (!obs::timing_enabled()) return;
+  static const obs::metrics::Gauge queue_depth =
+      obs::metrics::gauge("serve.queue_depth");
+  queue_depth.set(static_cast<std::int64_t>(depth));
 }
 
 }  // namespace
@@ -44,6 +54,12 @@ std::future<InferenceResult> Batcher::push(Tensor<float> input) {
   if (opts_.max_queue > 0 &&
       static_cast<std::int64_t>(queue_.size()) >= opts_.max_queue) {
     ++shed_;
+    if (obs::timing_enabled()) {
+      static const obs::metrics::Counter shed =
+          obs::metrics::counter("serve.shed");
+      shed.inc();
+      obs::trace::emit_instant("serve-shed", "serve");
+    }
     throw OverloadedError(internal::compose(
         "serve queue full (", queue_.size(), " of DC_SERVE_MAX_QUEUE=",
         opts_.max_queue, " requests queued); request rejected"));
@@ -54,6 +70,7 @@ std::future<InferenceResult> Batcher::push(Tensor<float> input) {
   req.enqueued = std::chrono::steady_clock::now();
   std::future<InferenceResult> fut = req.done.get_future();
   queue_.push_back(std::move(req));
+  record_queue_depth(queue_.size());
   cv_.notify_all();
   return fut;
 }
@@ -65,6 +82,12 @@ void Batcher::expire_stale_locked(std::chrono::steady_clock::time_point now) {
     Request req = std::move(queue_.front());
     queue_.pop_front();
     ++expired_;
+    if (obs::timing_enabled()) {
+      static const obs::metrics::Counter expired =
+          obs::metrics::counter("serve.expired");
+      expired.inc();
+      obs::trace::emit_instant("serve-expired", "serve");
+    }
     req.done.set_exception(std::make_exception_ptr(DeadlineExceededError(
         internal::compose("request ", req.id, " queued longer than "
                           "DC_SERVE_DEADLINE_US=", opts_.deadline_us,
@@ -100,6 +123,7 @@ std::vector<Request> Batcher::next_batch(int limit) {
       out.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
+    record_queue_depth(queue_.size());
     if (!out.empty() || closed_) return out;
     // Every queued request expired while we were forming the batch; a live
     // server must keep waiting (an empty return means shutdown).

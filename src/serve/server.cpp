@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "comm/collectives.hpp"
+#include "obs/attribution.hpp"
 
 namespace distconv::serve {
 
@@ -120,6 +121,8 @@ void Server::serve_loop(core::Model& model) {
     comm::broadcast(comm, &count, 1, 0);
     if (count < 0) break;
     if (count == 0) continue;
+    obs::trace::Span batch_span("serve.batch", "serve");
+    batch_span.arg("size", static_cast<double>(count));
     // Zero-pad locally; only the filled prefix travels (samples are
     // n-major, so the first `count` samples are contiguous).
     input.zero();
@@ -150,6 +153,22 @@ void Server::serve_loop(core::Model& model) {
             std::chrono::duration<double>(now - batch[j].enqueued).count();
         lats.push_back(res.latency_seconds);
         batch[j].done.set_value(std::move(res));
+      }
+      if (obs::timing_enabled()) {
+        static const obs::metrics::Counter requests =
+            obs::metrics::counter("serve.requests");
+        static const obs::metrics::Counter batches =
+            obs::metrics::counter("serve.batches");
+        static const obs::metrics::Histogram batch_size =
+            obs::metrics::histogram("serve.batch_size");
+        static const obs::metrics::Histogram latency_us =
+            obs::metrics::histogram("serve.latency_us");
+        requests.add(batch.size());
+        batches.inc();
+        batch_size.record(batch.size());
+        for (const double l : lats) {
+          latency_us.record(static_cast<std::uint64_t>(l * 1e6));
+        }
       }
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++batches_;

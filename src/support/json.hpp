@@ -1,0 +1,45 @@
+#pragma once
+
+// Minimal JSON DOM parser — just enough to validate the observability
+// dumps (metrics JSON, chrome-trace JSON) in tests and the check_obs_dump
+// tool without any third-party dependency. Strict: trailing garbage,
+// unterminated strings, bad escapes and over-deep nesting all throw Error.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace distconv::support::json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<Value> array;
+  // Insertion-ordered; duplicate keys keep both entries (find returns the
+  // first).
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  /// First member with this key, or nullptr.
+  const Value* find(const std::string& key) const;
+  /// find() that throws when missing or when this is not an object.
+  const Value& at(const std::string& key) const;
+};
+
+/// Parse a complete JSON document (throws Error on malformed input).
+Value parse(const std::string& text);
+
+}  // namespace distconv::support::json

@@ -12,6 +12,20 @@ enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_level(Level level);
 Level level();
 
+/// Parse a level name ("debug", "info", "warn", "error", "off"); returns
+/// false (and leaves `out` untouched) for anything else.
+bool parse_level(const std::string& name, Level* out);
+
+/// Read DC_LOG_LEVEL into set_level and DC_LOG_RANK0_ONLY=1 into
+/// set_rank0_only. Idempotent; World::run calls it before spawning ranks.
+void init_from_env();
+
+/// When on, messages from rank threads other than rank 0 are dropped
+/// (rank-less threads still log). For multi-rank runs where every rank
+/// would otherwise print the same line P times.
+void set_rank0_only(bool on);
+bool rank0_only();
+
 /// Associates a rank with the calling thread for log prefixes (-1 = none).
 void set_thread_rank(int rank);
 int thread_rank();

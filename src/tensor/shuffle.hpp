@@ -20,6 +20,7 @@
 
 #include "comm/collectives.hpp"
 #include "comm/nonblocking.hpp"
+#include "obs/attribution.hpp"
 #include "tensor/dist_tensor.hpp"
 
 namespace distconv {
@@ -67,6 +68,10 @@ class Shuffler {
   void run(const DistTensor<T>& src, DistTensor<T>& dst) const {
     DC_REQUIRE(src.dist() == src_ && dst.dist() == dst_,
                "tensors do not match the planned distributions");
+    // Blocking path only; the overlapped ShuffleOp is timed by the
+    // nonblocking engine under comm.op.shuffle.*.
+    const bool timing = obs::timing_enabled();
+    const std::int64_t t0 = timing ? obs::trace::now_ns() : 0;
     std::vector<T> sendbuf(send_total_), recvbuf(recv_total_);
     const int p = comm_->size();
     for (int r = 0; r < p; ++r) {
@@ -80,6 +85,15 @@ class Shuffler {
       if (recv_counts_[r] == 0) continue;
       unpack_box(recvbuf.data() + recv_displs_[r],
                  dst.global_to_buffer(recv_boxes_[r]), dst.buffer());
+    }
+    if (timing) {
+      static const obs::metrics::Counter shuffle_ns =
+          obs::metrics::counter("comm.shuffle.ns");
+      const std::int64_t dur = obs::trace::now_ns() - t0;
+      shuffle_ns.add(static_cast<std::uint64_t>(dur));
+      const obs::trace::Arg args[] = {
+          {"bytes", static_cast<double>(remote_send_elements() * sizeof(T))}};
+      obs::trace::emit_complete("shuffle", "comm", t0, dur, args, 1);
     }
   }
 
@@ -131,7 +145,9 @@ class ShuffleOp final : public comm::RequestDrivenOp {
  public:
   ShuffleOp(const Shuffler<T>& plan, const DistTensor<T>& src,
             DistTensor<T>& dst, int tag)
-      : plan_(&plan), src_(&src), dst_(&dst), tag_(tag) {}
+      : plan_(&plan), src_(&src), dst_(&dst), tag_(tag) {
+    set_obs_bytes(plan.remote_send_elements() * sizeof(T));
+  }
 
   const char* name() const override { return "shuffle"; }
 

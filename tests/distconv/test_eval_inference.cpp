@@ -1,0 +1,120 @@
+// The end-to-end evaluation overloads: evaluate_segmentation / evaluate_top1
+// taking a global input run the forward pass themselves, default to
+// Mode::kInference (so batchnorm uses tracked running statistics and no
+// training state mutates), and agree exactly with the manual
+// set_input + forward + layer-scorer sequence.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/layers.hpp"
+#include "core/metrics.hpp"
+#include "core/model.hpp"
+
+namespace distconv::core {
+namespace {
+
+Tensor<float> make_input(const Shape4& shape, std::uint64_t seed) {
+  Tensor<float> t(shape);
+  Rng rng(seed);
+  t.fill_uniform(rng, -1.0f, 1.0f);
+  return t;
+}
+
+Tensor<float> make_targets(const Shape4& shape, std::uint64_t seed) {
+  Tensor<float> t(shape);
+  Rng rng(seed ^ 0xb0beull);
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = rng.uniform() < 0.5 ? 0.0f : 1.0f;
+  }
+  return t;
+}
+
+NetworkSpec small_conv_net() {
+  NetworkBuilder nb;
+  const int in = nb.input(Shape4{4, 3, 16, 16});
+  int x = nb.conv("c1", in, 6, 3, 1);
+  x = nb.batchnorm("bn1", x, BatchNormMode::kGlobal);
+  x = nb.relu("r1", x);
+  x = nb.conv("c2", x, 8, 5, 2);
+  x = nb.relu("r2", x);
+  x = nb.conv("head", x, 1, 1, 1, 0, /*bias=*/true);
+  return nb.take();
+}
+
+TEST(EvalInference, SegmentationOverloadMatchesManualInferenceForward) {
+  comm::World world(4);
+  world.run([](comm::Comm& comm) {
+    const NetworkSpec spec = small_conv_net();
+    Model model(spec, comm, Strategy::hybrid(spec.size(), 4, 2), /*seed=*/7);
+    const Shape4 in_shape = model.rt(0).out_shape;
+    const Shape4 out_shape = model.rt(model.output_layer()).out_shape;
+    // Two training steps give batchnorm real running statistics, so the
+    // inference and training normalizations genuinely differ.
+    for (int s = 0; s < 2; ++s) {
+      model.set_input(0, make_input(in_shape, 100 + s));
+      model.forward();
+      model.loss_bce(make_targets(out_shape, 200 + s));
+      model.backward();
+      model.sgd_step(kernels::SgdConfig{0.05f, 0.9f, 0.0f});
+    }
+
+    const Tensor<float> eval_input = make_input(in_shape, 999);
+    const Tensor<float> eval_targets = make_targets(out_shape, 888);
+
+    model.set_input(0, eval_input);
+    model.forward(Mode::kInference);
+    const SegmentationMetrics manual =
+        evaluate_segmentation(model, model.output_layer(), eval_targets);
+
+    // "bn1" is layer 2; buffers[2] counts tracked training forwards.
+    const float tracked_before = model.rt(2).buffers[2].data()[0];
+    const SegmentationMetrics viaOverload =
+        evaluate_segmentation(model, eval_input, eval_targets);
+    EXPECT_EQ(model.mode(), Mode::kInference);
+    // The default-inference overload must not track running statistics.
+    EXPECT_EQ(model.rt(2).buffers[2].data()[0], tracked_before);
+
+    EXPECT_EQ(viaOverload.pixels, manual.pixels);
+    EXPECT_DOUBLE_EQ(viaOverload.pixel_accuracy, manual.pixel_accuracy);
+    EXPECT_DOUBLE_EQ(viaOverload.iou, manual.iou);
+    EXPECT_DOUBLE_EQ(viaOverload.positive_rate, manual.positive_rate);
+
+    // An explicit training-mode evaluation runs (and tracks) a training
+    // forward — the mode parameter is honored.
+    evaluate_segmentation(model, eval_input, eval_targets, Mode::kTraining);
+    EXPECT_EQ(model.mode(), Mode::kTraining);
+    EXPECT_EQ(model.rt(2).buffers[2].data()[0], tracked_before + 1.0f);
+  });
+}
+
+TEST(EvalInference, Top1OverloadMatchesManualInferenceForward) {
+  comm::World world(2);
+  world.run([](comm::Comm& comm) {
+    NetworkBuilder nb;
+    const int in = nb.input(Shape4{4, 3, 1, 1});
+    nb.relu("logits", in);
+    const NetworkSpec spec = nb.take();
+    Model model(spec, comm, Strategy::sample_parallel(spec.size(), 2));
+    Tensor<float> input(Shape4{4, 3, 1, 1});
+    // argmax classes: 2, 0, 1, 1
+    const float vals[4][3] = {{0.1f, 0.2f, 0.9f},
+                              {0.8f, 0.1f, 0.2f},
+                              {0.1f, 0.7f, 0.2f},
+                              {0.2f, 0.9f, 0.1f}};
+    for (int n = 0; n < 4; ++n)
+      for (int c = 0; c < 3; ++c) input(n, c, 0, 0) = vals[n][c];
+
+    model.set_input(0, input);
+    model.forward(Mode::kInference);
+    const double manual = evaluate_top1(model, 1, {2, 0, 1, 1});
+
+    EXPECT_DOUBLE_EQ(evaluate_top1(model, input, {2, 0, 1, 1}), manual);
+    EXPECT_DOUBLE_EQ(evaluate_top1(model, input, {2, 0, 1, 1}), 1.0);
+    EXPECT_EQ(model.mode(), Mode::kInference);
+    EXPECT_DOUBLE_EQ(evaluate_top1(model, input, {2, 0, 0, 0}), 0.5);
+  });
+}
+
+}  // namespace
+}  // namespace distconv::core

@@ -1,0 +1,182 @@
+// Trace layer: ring-buffered per-thread events, wraparound that drops whole
+// spans (never breaks JSON or nesting), per-rank dump files in Chrome Trace
+// Event Format, and span nesting in the emitted timestamps.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "support/json.hpp"
+#include "support/logging.hpp"
+
+namespace distconv::obs::trace {
+namespace {
+
+struct TraceFixture : ::testing::Test {
+  void SetUp() override {
+    set_enabled(true);
+    reset();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset();
+    set_capacity(16384);  // restore the default for later tests
+  }
+};
+
+using ObsTrace = TraceFixture;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Parse a dump file and return its event array (handles both the bare-array
+/// and the {"traceEvents": [...]} framings).
+support::json::Value load_events(const std::string& path) {
+  const support::json::Value root = support::json::parse(slurp(path));
+  if (root.is_array()) return root;
+  const support::json::Value* events = root.find("traceEvents");
+  EXPECT_NE(events, nullptr) << path;
+  return *events;
+}
+
+TEST_F(ObsTrace, RingWraparoundKeepsValidJsonWithBoundedEvents) {
+  constexpr std::size_t kCapacity = 8;
+  set_capacity(kCapacity);
+  // Rings adopt the capacity at creation, so emit from a fresh thread.
+  std::thread emitter([] {
+    for (int i = 0; i < 100; ++i) {
+      Span span("wrap-span", "test");
+      span.arg("i", static_cast<double>(i));
+    }
+  });
+  emitter.join();
+
+  const std::string dir = ::testing::TempDir() + "/obs-trace-wrap";
+  dump(dir);
+  const support::json::Value events = load_events(dir + "/trace-process.json");
+  ASSERT_TRUE(events.is_array());
+  std::size_t complete = 0;
+  for (const auto& ev : events.array) {
+    ASSERT_TRUE(ev.is_object());
+    if (ev.at("ph").string == "X") ++complete;
+  }
+  EXPECT_GT(complete, 0u);
+  EXPECT_LE(complete, kCapacity);
+}
+
+TEST_F(ObsTrace, SpansNestProperlyInTheDumpedTimestamps) {
+  std::thread emitter([] {
+    log::set_thread_rank(0);
+    {
+      Span outer("outer", "test");
+      {
+        Span inner("inner", "test");
+        inner.arg("depth", 1.0);
+      }
+      emit_instant("marker", "test");
+    }
+    log::set_thread_rank(-1);
+  });
+  emitter.join();
+
+  const std::string dir = ::testing::TempDir() + "/obs-trace-nest";
+  dump(dir);
+  const support::json::Value events = load_events(dir + "/trace-rank0.json");
+  ASSERT_TRUE(events.is_array());
+
+  double outer_ts = -1, outer_end = -1, inner_ts = -1, inner_end = -1;
+  bool saw_marker = false;
+  for (const auto& ev : events.array) {
+    const std::string name = ev.at("name").string;
+    if (ev.at("ph").string == "X") {
+      const double ts = ev.at("ts").number;
+      const double end = ts + ev.at("dur").number;
+      if (name == "outer") {
+        outer_ts = ts;
+        outer_end = end;
+      } else if (name == "inner") {
+        inner_ts = ts;
+        inner_end = end;
+      }
+    } else if (ev.at("ph").string == "i" && name == "marker") {
+      saw_marker = true;
+    }
+  }
+  ASSERT_GE(outer_ts, 0.0);
+  ASSERT_GE(inner_ts, 0.0);
+  EXPECT_TRUE(saw_marker);
+  // Inner must sit inside outer (µs serialization granularity epsilon).
+  constexpr double kEpsUs = 0.002;
+  EXPECT_GE(inner_ts + kEpsUs, outer_ts);
+  EXPECT_LE(inner_end, outer_end + kEpsUs);
+}
+
+TEST_F(ObsTrace, EventsCarryArgsAndThreadIdentity) {
+  std::thread emitter([] {
+    log::set_thread_rank(1);
+    const Arg args[] = {{"bytes", 4096.0}, {"rounds", 3.0}};
+    emit_complete("tagged", "test", now_ns(), 1000, args, 2);
+    log::set_thread_rank(-1);
+  });
+  emitter.join();
+
+  const std::string dir = ::testing::TempDir() + "/obs-trace-args";
+  dump(dir);
+  const support::json::Value events = load_events(dir + "/trace-rank1.json");
+  bool found = false;
+  for (const auto& ev : events.array) {
+    if (ev.at("ph").string != "X" || ev.at("name").string != "tagged") continue;
+    found = true;
+    EXPECT_NE(ev.find("pid"), nullptr);
+    EXPECT_NE(ev.find("tid"), nullptr);
+    const support::json::Value* args = ev.find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->at("bytes").number, 4096.0);
+    EXPECT_EQ(args->at("rounds").number, 3.0);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ObsTrace, DisabledTracingEmitsNothing) {
+  set_enabled(false);
+  std::thread emitter([] {
+    Span span("ghost", "test");
+    emit_instant("ghost-instant", "test");
+  });
+  emitter.join();
+  set_enabled(true);
+
+  const std::string dir = ::testing::TempDir() + "/obs-trace-off";
+  dump(dir);
+  // Either no process file at all, or one without our events.
+  std::ifstream in(dir + "/trace-process.json", std::ios::binary);
+  if (!in.good()) return;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str().find("ghost"), std::string::npos);
+}
+
+TEST_F(ObsTrace, ResetDropsBufferedEvents) {
+  std::thread emitter([] { emit_instant("pre-reset", "test"); });
+  emitter.join();
+  reset();
+  const std::string dir = ::testing::TempDir() + "/obs-trace-reset";
+  dump(dir);
+  std::ifstream in(dir + "/trace-process.json", std::ios::binary);
+  if (!in.good()) return;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str().find("pre-reset"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace distconv::obs::trace

@@ -1,0 +1,89 @@
+// The minimal JSON DOM parser backing the observability dump validation:
+// strict parsing, insertion-ordered objects, escapes, and the error paths
+// (trailing garbage, bad escapes, over-deep nesting) all throw Error.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace distconv::support::json {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").boolean);
+  EXPECT_FALSE(parse("false").boolean);
+  EXPECT_EQ(parse("42").number, 42.0);
+  EXPECT_EQ(parse("-3.5").number, -3.5);
+  EXPECT_EQ(parse("1.25e2").number, 125.0);
+  EXPECT_EQ(parse("\"hi\"").string, "hi");
+}
+
+TEST(Json, ParsesNestedContainers) {
+  const Value v = parse(R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}})");
+  ASSERT_TRUE(v.is_object());
+  const Value& a = v.at("a");
+  ASSERT_TRUE(a.is_array());
+  ASSERT_EQ(a.array.size(), 3u);
+  EXPECT_EQ(a.array[1].number, 2.0);
+  EXPECT_EQ(a.array[2].at("b").string, "c");
+  EXPECT_TRUE(v.at("d").at("e").is_null());
+}
+
+TEST(Json, ObjectsKeepInsertionOrderAndFindReturnsFirstDuplicate) {
+  const Value v = parse(R"({"z": 1, "a": 2, "z": 3})");
+  ASSERT_EQ(v.object.size(), 3u);
+  EXPECT_EQ(v.object[0].first, "z");
+  EXPECT_EQ(v.object[1].first, "a");
+  const Value* z = v.find("z");
+  ASSERT_NE(z, nullptr);
+  EXPECT_EQ(z->number, 1.0);  // the first of the duplicates
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), Error);
+}
+
+TEST(Json, DecodesEscapesIncludingUnicode) {
+  const Value v = parse(R"("line\nquote\"slash\\tab\t u: A")");
+  EXPECT_EQ(v.string, "line\nquote\"slash\\tab\t u: A");
+  // \uXXXX code points come out as UTF-8 (1-, 2- and 3-byte forms).
+  EXPECT_EQ(parse(R"("\u0041")").string, "A");
+  EXPECT_EQ(parse(R"("\u00e9")").string, "\xc3\xa9");
+  EXPECT_EQ(parse(R"("\u20ac")").string, "\xe2\x82\xac");
+  EXPECT_THROW(parse(R"("\u12g4")"), Error);
+}
+
+TEST(Json, AcceptsWhitespaceAndEmptyContainers) {
+  const Value v = parse("  { \"a\" : [ ] , \"b\" : { } }  ");
+  EXPECT_TRUE(v.at("a").is_array());
+  EXPECT_TRUE(v.at("a").array.empty());
+  EXPECT_TRUE(v.at("b").is_object());
+  EXPECT_TRUE(v.at("b").object.empty());
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW(parse(""), Error);
+  EXPECT_THROW(parse("{"), Error);
+  EXPECT_THROW(parse("[1, 2,]"), Error);
+  EXPECT_THROW(parse("{\"a\": 1} trailing"), Error);
+  EXPECT_THROW(parse("\"unterminated"), Error);
+  EXPECT_THROW(parse("\"bad \\q escape\""), Error);
+  EXPECT_THROW(parse("nul"), Error);
+  EXPECT_THROW(parse("{\"a\" 1}"), Error);
+}
+
+TEST(Json, RejectsOverDeepNesting) {
+  std::string deep;
+  for (int i = 0; i < 4096; ++i) deep += "[";
+  for (int i = 0; i < 4096; ++i) deep += "]";
+  EXPECT_THROW(parse(deep), Error);
+}
+
+TEST(Json, AtThrowsOnNonObjects) {
+  EXPECT_THROW(parse("[1]").at("a"), Error);
+  EXPECT_EQ(parse("[1]").find("a"), nullptr);
+}
+
+}  // namespace
+}  // namespace distconv::support::json

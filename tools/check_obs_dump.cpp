@@ -1,0 +1,165 @@
+// check_obs_dump: validates the observability artifacts a run produced —
+// the DC_METRICS JSON dump and every trace-*.json in a DC_TRACE_DIR
+// directory. Used by CI's bench-smoke job so a malformed dump (invalid
+// JSON, missing fields, spans that overlap without nesting) fails the build
+// instead of shipping an artifact chrome://tracing cannot load.
+//
+// Usage: check_obs_dump <metrics.json> <trace-dir>
+//
+// Exit 0 when every file validates, 1 otherwise.
+
+#include <algorithm>
+#include <cstdio>
+#include <dirent.h>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace {
+
+using distconv::support::json::Value;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// The metrics dump must be an object with "ranks" (object of per-rank
+/// {counters, histograms}), "process" and "gauges" members.
+void check_metrics(const std::string& path) {
+  const Value root = distconv::support::json::parse(read_file(path));
+  if (!root.is_object()) throw std::runtime_error("metrics root is not an object");
+  const Value* ranks = root.find("ranks");
+  if (ranks == nullptr || !ranks->is_object()) {
+    throw std::runtime_error("metrics dump has no \"ranks\" object");
+  }
+  for (const auto& [rank, per_rank] : ranks->object) {
+    if (!per_rank.is_object()) {
+      throw std::runtime_error("rank \"" + rank + "\" entry is not an object");
+    }
+    const Value* counters = per_rank.find("counters");
+    if (counters == nullptr || !counters->is_object()) {
+      throw std::runtime_error("rank \"" + rank + "\" has no counters object");
+    }
+    for (const auto& [name, v] : counters->object) {
+      if (!v.is_number()) {
+        throw std::runtime_error("counter " + name + " is not a number");
+      }
+    }
+  }
+  if (root.find("gauges") == nullptr) {
+    throw std::runtime_error("metrics dump has no \"gauges\" member");
+  }
+}
+
+struct Span {
+  double ts = 0;
+  double end = 0;
+  std::string name;
+};
+
+/// Chrome Trace Event Format: an array of events, each with name/ph/ts/pid/
+/// tid; 'X' events also carry dur. Per (pid, tid), complete events must nest
+/// properly: sorted by start time, every event either starts after the
+/// enclosing one ends or ends before it does (a small epsilon absorbs clock
+/// rounding to the 1ns granularity serialized at µs resolution).
+void check_trace(const std::string& path) {
+  const Value root = distconv::support::json::parse(read_file(path));
+  const Value* events = root.is_object() ? root.find("traceEvents") : nullptr;
+  const Value& arr = events != nullptr ? *events : root;
+  if (!arr.is_array()) throw std::runtime_error("trace is not an event array");
+
+  std::map<std::pair<double, double>, std::vector<Span>> by_thread;
+  for (const Value& ev : arr.array) {
+    if (!ev.is_object()) throw std::runtime_error("event is not an object");
+    for (const char* key : {"name", "ph", "pid"}) {
+      if (ev.find(key) == nullptr) {
+        throw std::runtime_error(std::string("event missing \"") + key + "\"");
+      }
+    }
+    const std::string ph = ev.at("ph").string;
+    if (ph == "M") continue;  // metadata carries no timestamp or thread
+    for (const char* key : {"tid", "ts"}) {
+      if (ev.find(key) == nullptr) {
+        throw std::runtime_error(std::string("event missing \"") + key + "\"");
+      }
+    }
+    if (ph == "X") {
+      if (ev.find("dur") == nullptr) {
+        throw std::runtime_error("complete event missing dur");
+      }
+      Span s;
+      s.ts = ev.at("ts").number;
+      s.end = s.ts + ev.at("dur").number;
+      s.name = ev.at("name").string;
+      by_thread[{ev.at("pid").number, ev.at("tid").number}].push_back(
+          s);
+    }
+  }
+
+  constexpr double kEpsUs = 0.002;  // 2ns: µs serialization granularity
+  for (auto& [tid, spans] : by_thread) {
+    std::stable_sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+      if (a.ts != b.ts) return a.ts < b.ts;
+      return a.end > b.end;  // outermost first on shared starts
+    });
+    std::vector<const Span*> stack;
+    for (const Span& s : spans) {
+      while (!stack.empty() && s.ts >= stack.back()->end - kEpsUs) {
+        stack.pop_back();
+      }
+      if (!stack.empty() && s.end > stack.back()->end + kEpsUs) {
+        throw std::runtime_error("span \"" + s.name + "\" overlaps \"" +
+                                 stack.back()->name +
+                                 "\" without nesting inside it");
+      }
+      stack.push_back(&s);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <metrics.json> <trace-dir>\n", argv[0]);
+    return 2;
+  }
+  int traces = 0;
+  try {
+    check_metrics(argv[1]);
+    std::printf("ok: %s\n", argv[1]);
+
+    DIR* dir = opendir(argv[2]);
+    if (dir == nullptr) throw std::runtime_error(std::string("cannot open ") + argv[2]);
+    std::vector<std::string> files;
+    while (dirent* e = readdir(dir)) {
+      const std::string name = e->d_name;
+      if (name.rfind("trace-", 0) == 0 &&
+          name.size() > 5 && name.substr(name.size() - 5) == ".json") {
+        files.push_back(std::string(argv[2]) + "/" + name);
+      }
+    }
+    closedir(dir);
+    std::sort(files.begin(), files.end());
+    for (const std::string& f : files) {
+      check_trace(f);
+      std::printf("ok: %s\n", f.c_str());
+      ++traces;
+    }
+    if (traces == 0) throw std::runtime_error("no trace-*.json files found");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "check_obs_dump: %s\n", e.what());
+    return 1;
+  }
+  std::printf("validated metrics + %d trace file(s)\n", traces);
+  return 0;
+}
