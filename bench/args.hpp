@@ -17,6 +17,7 @@ namespace distconv::bench {
 
 struct HarnessArgs {
   bool smoke = false;
+  const char* json = nullptr;        ///< --json <path>: machine-readable dump
   const char* positional = nullptr;  ///< first non-flag argument, if any
 };
 
@@ -25,10 +26,17 @@ inline HarnessArgs parse_harness_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       args.smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --json needs a path argument\n", argv[0]);
+        std::exit(2);
+      }
+      args.json = argv[++i];
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       // Fail fast on typos: a mistyped flag must not silently become the
       // output path / run the full sweep.
-      std::fprintf(stderr, "%s: unknown flag '%s' (supported: --smoke)\n",
+      std::fprintf(stderr,
+                   "%s: unknown flag '%s' (supported: --smoke, --json <path>)\n",
                    argv[0], argv[i]);
       std::exit(2);
     } else if (args.positional == nullptr) {

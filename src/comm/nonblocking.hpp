@@ -379,6 +379,66 @@ class NbAllgatherv final : public RequestDrivenOp {
   int p_ = 1, me_ = 0, right_ = 0, left_ = 0, s_ = 0;
 };
 
+/// Nonblocking binomial-tree broadcast; the resumable twin of broadcast()
+/// with the identical shifted-rank partner schedule (no arithmetic, so
+/// exactness is trivial). A non-root rank blocks on exactly one receive —
+/// from its tree parent — then eagerly forwards to its children; the root
+/// completes inside begin(). The serving loop uses this to double-buffer the
+/// next batch's input broadcast behind the current forward pass.
+template <typename T>
+class NbBroadcast final : public RequestDrivenOp {
+ public:
+  const char* name() const override { return "ibroadcast"; }
+  NbBroadcast(Comm& comm, T* buf, std::size_t n, int root, int tag = -1)
+      : comm_(&comm), buf_(buf), n_(n), root_(root),
+        tag_(tag >= 0 ? tag : comm.next_internal_tag()) {}
+
+ protected:
+  bool begin() override {
+    const int p = comm_->size();
+    if (p == 1 || n_ == 0) return true;
+    const int vrank = (comm_->rank() - root_ + p) % p;
+    vrank_ = vrank;
+    p_ = p;
+    int mask = 1;
+    while (mask < p) {
+      if (vrank & mask) {
+        const int src = ((vrank ^ mask) + root_) % p;
+        recv_mask_ = mask;
+        pending_ = comm_->irecv(buf_, n_ * sizeof(T), src, tag_);
+        return false;
+      }
+      mask <<= 1;
+    }
+    // Root: no parent; send to children immediately (sends are eager).
+    send_children(mask >> 1);
+    return true;
+  }
+
+  bool step() override {
+    // Parent's payload arrived; forward down the subtree and finish.
+    send_children(recv_mask_ >> 1);
+    return true;
+  }
+
+ private:
+  void send_children(int mask) {
+    for (; mask > 0; mask >>= 1) {
+      if (vrank_ + mask < p_) {
+        const int dst = (vrank_ + mask + root_) % p_;
+        comm_->send(buf_, n_, dst, tag_);
+      }
+    }
+  }
+
+  Comm* comm_;
+  T* buf_;
+  std::size_t n_;
+  int root_;
+  int tag_;
+  int p_ = 1, vrank_ = 0, recv_mask_ = 0;
+};
+
 /// Nonblocking twin of reduce_scatterv_inplace(): the same ring over
 /// caller-chosen blocks with the same apply order per element, restructured
 /// into one posted receive per round. The optional `pack` callback defers

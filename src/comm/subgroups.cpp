@@ -1,0 +1,61 @@
+#include "comm/subgroups.hpp"
+
+#include "support/error.hpp"
+
+namespace distconv::comm {
+
+int GroupLayout::ranks() const {
+  int total = 0;
+  for (const int s : sizes) total += s;
+  return total;
+}
+
+int GroupLayout::group_of(int rank) const {
+  for (int g = 0; g < groups(); ++g) {
+    if (rank >= starts[g] && rank < starts[g] + sizes[g]) return g;
+  }
+  return -1;
+}
+
+GroupLayout GroupLayout::balanced(int ranks, int groups) {
+  DC_REQUIRE(groups >= 1, "GroupLayout: need at least one group, got ", groups);
+  DC_REQUIRE(ranks >= groups, "GroupLayout: ", ranks,
+             " ranks cannot fill ", groups, " non-empty groups");
+  GroupLayout layout;
+  layout.sizes.resize(static_cast<std::size_t>(groups));
+  layout.starts.resize(static_cast<std::size_t>(groups));
+  const int base = ranks / groups;
+  const int extra = ranks % groups;
+  int start = 0;
+  for (int g = 0; g < groups; ++g) {
+    layout.starts[static_cast<std::size_t>(g)] = start;
+    layout.sizes[static_cast<std::size_t>(g)] = base + (g < extra ? 1 : 0);
+    start += layout.sizes[static_cast<std::size_t>(g)];
+  }
+  return layout;
+}
+
+GroupLayout GroupLayout::sized(std::vector<int> sizes) {
+  DC_REQUIRE(!sizes.empty(), "GroupLayout: need at least one group");
+  GroupLayout layout;
+  layout.starts.reserve(sizes.size());
+  int start = 0;
+  for (const int s : sizes) {
+    DC_REQUIRE(s >= 1, "GroupLayout: group size must be >= 1, got ", s);
+    layout.starts.push_back(start);
+    start += s;
+  }
+  layout.sizes = std::move(sizes);
+  return layout;
+}
+
+Comm split_groups(Comm& parent, const GroupLayout& layout, int* group_index) {
+  DC_REQUIRE(layout.ranks() == parent.size(), "GroupLayout spans ",
+             layout.ranks(), " ranks but the communicator has ", parent.size());
+  const int group = layout.group_of(parent.rank());
+  DC_REQUIRE(group >= 0, "rank ", parent.rank(), " not covered by layout");
+  if (group_index != nullptr) *group_index = group;
+  return parent.split(group, parent.rank());
+}
+
+}  // namespace distconv::comm

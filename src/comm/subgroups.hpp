@@ -1,0 +1,39 @@
+// Replica-group carving: partition a communicator into contiguous
+// fixed-size groups, each of which becomes its own sub-world running an
+// independent model replica (serve/router.hpp). The layout is computed
+// identically on every rank from (size, group sizes) alone, so the split is
+// a plain SPMD collective over Comm::split with no extra wire traffic.
+#pragma once
+
+#include <vector>
+
+#include "comm/comm.hpp"
+
+namespace distconv::comm {
+
+/// A contiguous partition of `ranks()` parent ranks into groups. Group g
+/// owns parent ranks [starts[g], starts[g] + sizes[g]).
+struct GroupLayout {
+  std::vector<int> sizes;   ///< ranks per group
+  std::vector<int> starts;  ///< first parent rank of each group
+
+  int groups() const { return static_cast<int>(sizes.size()); }
+  int ranks() const;
+  /// Which group a parent rank belongs to (-1 when rank is out of range).
+  int group_of(int rank) const;
+
+  /// `groups` near-equal contiguous blocks over `ranks` (the same balanced
+  /// partition as collectives' block_range: the first ranks % groups groups
+  /// get one extra rank).
+  static GroupLayout balanced(int ranks, int groups);
+  /// Explicit per-group sizes (each >= 1); starts are the prefix sums.
+  static GroupLayout sized(std::vector<int> sizes);
+};
+
+/// Split `parent` into the layout's groups (collective over parent). The
+/// returned communicator spans only the caller's group, ranked by parent
+/// rank; *group_index (optional) receives the caller's group id.
+Comm split_groups(Comm& parent, const GroupLayout& layout,
+                  int* group_index = nullptr);
+
+}  // namespace distconv::comm

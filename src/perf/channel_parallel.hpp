@@ -33,8 +33,17 @@ namespace distconv::perf {
 /// conv_layer_cost with grid (grid_n, pc, grid_h, grid_w). The engine
 /// executes all of these; the optimizer only generates the spatially
 /// trivial ones.
+///
+/// `fwd` selects between the two executed forward-completion schedules:
+/// kReduceScatterY prices the training path (full-F partial sums + y
+/// reduce-scatter); kAllgatherX prices the serving path (x allgather over
+/// the channel group, then the owned F/pc slice against full C — same
+/// FLOPs, wire volume proportional to x instead of y). Backward terms are
+/// always the training schedule (serving never runs them).
 LayerCost channel_filter_cost(const ConvLayerDesc& desc, int grid_n, int pc,
                               const CommModel& comm, const ComputeModel& compute,
-                              int total_ranks, int grid_h = 1, int grid_w = 1);
+                              int total_ranks, int grid_h = 1, int grid_w = 1,
+                              ChannelFwdSchedule fwd =
+                                  ChannelFwdSchedule::kReduceScatterY);
 
 }  // namespace distconv::perf

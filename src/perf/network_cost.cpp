@@ -292,7 +292,11 @@ InferenceCost inference_cost(const core::NetworkSpec& spec,
   for (int i = 0; i < spec.size(); ++i) {
     const core::Layer& layer = spec.layer(i);
     if (const auto d = conv_desc(spec, i, shapes)) {
-      cost.layers[i] = conv_layer_cost(*d, strategy.grids[i], comm, cm, P);
+      // Price the schedule serving actually executes: channel-parallel
+      // convs complete via the allgather-x path in eval mode
+      // (forward_channel_inference), not the training reduce-scatter.
+      cost.layers[i] = conv_layer_cost(*d, strategy.grids[i], comm, cm, P,
+                                       ChannelFwdSchedule::kAllgatherX);
       cost.forward += cost.layers[i]->fp(options.overlap_halo);
     } else if (dynamic_cast<const core::BatchNormLayer*>(&layer) != nullptr) {
       // Eval-mode BN normalizes with running statistics: one elementwise
@@ -322,16 +326,32 @@ ServingEstimate estimate_serving(const core::NetworkSpec& spec,
                                  double max_delay_seconds,
                                  const NetworkCostOptions& options,
                                  const ComputeModel* compute) {
+  return estimate_serving(spec, strategy, machine, max_delay_seconds,
+                          /*replicas=*/1, options, compute);
+}
+
+ServingEstimate estimate_serving(const core::NetworkSpec& spec,
+                                 const core::Strategy& strategy,
+                                 const MachineModel& machine,
+                                 double max_delay_seconds, int replicas,
+                                 const NetworkCostOptions& options,
+                                 const ComputeModel* compute) {
+  DC_REQUIRE(replicas >= 1, "estimate_serving needs >= 1 replica, got ",
+             replicas);
   const InferenceCost cost =
       inference_cost(spec, strategy, machine, options, compute);
   const auto shapes = spec.infer_shapes();
   const double batch = static_cast<double>(shapes.empty() ? 1 : shapes[0].n);
   ServingEstimate est;
   est.batch_latency = cost.batch_latency();
+  // Replicas serve independent batches concurrently: latency percentiles
+  // are per-replica properties, throughput scales with the replica count.
   est.p50_latency = est.batch_latency + 0.5 * max_delay_seconds;
   est.p99_latency = est.batch_latency + max_delay_seconds;
   est.throughput =
       est.batch_latency > 0 ? batch / est.batch_latency : 0.0;
+  est.replicas = replicas;
+  est.fleet_throughput = est.throughput * replicas;
   return est;
 }
 

@@ -54,8 +54,9 @@ struct NetworkCost {
 /// gradient-allreduce terms, one-way redistribution shuffles, batchnorm
 /// normalizing with running statistics (a pure elementwise pass, no
 /// statistics traffic). Channel-parallel conv layers are priced with the
-/// training fp term (reduce-scatter completion); the executed inference
-/// schedule trades that for an input allgather of comparable volume.
+/// schedule serving actually executes — the allgather-x completion of
+/// forward_channel_inference (ChannelFwdSchedule::kAllgatherX), not the
+/// training reduce-scatter.
 struct InferenceCost {
   double forward = 0;  ///< conv FP + aux forward costs
   double shuffle = 0;  ///< §III-C redistribution, forward direction only
@@ -75,7 +76,9 @@ struct ServingEstimate {
   double batch_latency = 0;  ///< distributed forward for one batch
   double p50_latency = 0;
   double p99_latency = 0;
-  double throughput = 0;  ///< samples/second at full batches
+  double throughput = 0;        ///< samples/second at full batches, per replica
+  int replicas = 1;             ///< replica groups the fleet estimate assumed
+  double fleet_throughput = 0;  ///< throughput × replicas (latency unchanged)
 };
 
 /// Extract conv geometry of layer `i` (nullopt for non-conv layers).
@@ -117,6 +120,16 @@ ServingEstimate estimate_serving(const core::NetworkSpec& spec,
                                  const core::Strategy& strategy,
                                  const MachineModel& machine,
                                  double max_delay_seconds,
+                                 const NetworkCostOptions& options = {},
+                                 const ComputeModel* compute = nullptr);
+
+/// Fleet variant: `replicas` independent replica groups each run this
+/// strategy. Latency percentiles are unchanged (each request is served by
+/// exactly one replica); fleet_throughput scales with the replica count.
+ServingEstimate estimate_serving(const core::NetworkSpec& spec,
+                                 const core::Strategy& strategy,
+                                 const MachineModel& machine,
+                                 double max_delay_seconds, int replicas,
                                  const NetworkCostOptions& options = {},
                                  const ComputeModel* compute = nullptr);
 

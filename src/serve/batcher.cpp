@@ -19,13 +19,10 @@ std::int64_t env_int(const char* name, std::int64_t fallback) {
   return static_cast<std::int64_t>(v);
 }
 
-/// serve.queue_depth tracks the instantaneous queue length; callers update
-/// it while holding mu_, so set() never races with itself.
-void record_queue_depth(std::size_t depth) {
-  if (!obs::timing_enabled()) return;
-  static const obs::metrics::Gauge queue_depth =
-      obs::metrics::gauge("serve.queue_depth");
-  queue_depth.set(static_cast<std::int64_t>(depth));
+bool env_bool(const char* name, bool fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  return !(s[0] == '0' && s[1] == '\0');
 }
 
 }  // namespace
@@ -43,21 +40,25 @@ BatcherOptions batcher_options_from_env() {
 ServeOptions serve_options_from_env() {
   ServeOptions opts;
   opts.batcher = batcher_options_from_env();
+  opts.continuous = env_bool("DC_SERVE_CONTINUOUS", opts.continuous);
+  opts.double_buffer = env_bool("DC_SERVE_DOUBLE_BUFFER", opts.double_buffer);
+  opts.replicas = static_cast<int>(
+      std::max<std::int64_t>(1, env_int("DC_SERVE_REPLICAS", opts.replicas)));
+  opts.slo_p99_us = env_int("DC_SERVE_SLO_P99_US", opts.slo_p99_us);
   return opts;
 }
 
-std::future<InferenceResult> Batcher::push(Tensor<float> input) {
+std::future<InferenceResult> Batcher::push(Tensor<float> input, int passes) {
   DC_REQUIRE(input.shape().n == 1, "serve requests carry one sample, got ",
              input.shape().str());
+  DC_REQUIRE(passes >= 1, "request cost must be >= 1 pass, got ", passes);
   std::lock_guard<std::mutex> lock(mu_);
   DC_REQUIRE(!closed_, "Batcher::push after close()");
   if (opts_.max_queue > 0 &&
       static_cast<std::int64_t>(queue_.size()) >= opts_.max_queue) {
     ++shed_;
     if (obs::timing_enabled()) {
-      static const obs::metrics::Counter shed =
-          obs::metrics::counter("serve.shed");
-      shed.inc();
+      obs_.shed.inc();
       obs::trace::emit_instant("serve-shed", "serve");
     }
     throw OverloadedError(internal::compose(
@@ -67,10 +68,13 @@ std::future<InferenceResult> Batcher::push(Tensor<float> input) {
   Request req;
   req.id = next_id_++;
   req.input = std::move(input);
+  req.passes = passes;
   req.enqueued = std::chrono::steady_clock::now();
   std::future<InferenceResult> fut = req.done.get_future();
   queue_.push_back(std::move(req));
-  record_queue_depth(queue_.size());
+  if (obs::timing_enabled()) {
+    obs_.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
+  }
   cv_.notify_all();
   return fut;
 }
@@ -83,15 +87,22 @@ void Batcher::expire_stale_locked(std::chrono::steady_clock::time_point now) {
     queue_.pop_front();
     ++expired_;
     if (obs::timing_enabled()) {
-      static const obs::metrics::Counter expired =
-          obs::metrics::counter("serve.expired");
-      expired.inc();
+      obs_.expired.inc();
       obs::trace::emit_instant("serve-expired", "serve");
     }
     req.done.set_exception(std::make_exception_ptr(DeadlineExceededError(
         internal::compose("request ", req.id, " queued longer than "
                           "DC_SERVE_DEADLINE_US=", opts_.deadline_us,
                           " us; dropped before dispatch"))));
+  }
+}
+
+void Batcher::sweep_expired() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t before = queue_.size();
+  expire_stale_locked(std::chrono::steady_clock::now());
+  if (queue_.size() != before && obs::timing_enabled()) {
+    obs_.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
   }
 }
 
@@ -123,11 +134,28 @@ std::vector<Request> Batcher::next_batch(int limit) {
       out.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
-    record_queue_depth(queue_.size());
+    if (obs::timing_enabled()) {
+      obs_.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
+    }
     if (!out.empty() || closed_) return out;
     // Every queued request expired while we were forming the batch; a live
     // server must keep waiting (an empty return means shutdown).
   }
+}
+
+std::vector<Request> Batcher::take_ready(int limit) {
+  const int cap = std::max(1, std::min(limit, opts_.max_batch));
+  std::lock_guard<std::mutex> lock(mu_);
+  expire_stale_locked(std::chrono::steady_clock::now());
+  std::vector<Request> out;
+  while (!queue_.empty() && static_cast<int>(out.size()) < cap) {
+    out.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  if (obs::timing_enabled()) {
+    obs_.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
+  }
+  return out;
 }
 
 void Batcher::close() {

@@ -15,6 +15,7 @@
 #include <mutex>
 #include <vector>
 
+#include "serve/obs.hpp"
 #include "serve/types.hpp"
 
 namespace distconv::serve {
@@ -23,19 +24,26 @@ namespace distconv::serve {
 struct Request {
   std::uint64_t id = 0;
   Tensor<float> input;  ///< (1, C, H, W)
+  /// Forward passes this request costs (variable-cost requests; >= 1). A
+  /// strict batch runs until its costliest member finishes; continuous
+  /// batching frees each slot after its own pass count.
+  int passes = 1;
   std::promise<InferenceResult> done;
   std::chrono::steady_clock::time_point enqueued;
 };
 
 class Batcher {
  public:
-  explicit Batcher(const BatcherOptions& opts) : opts_(opts) {}
+  explicit Batcher(const BatcherOptions& opts,
+                   BatcherObs obs = BatcherObs::make())
+      : opts_(opts), obs_(obs) {}
 
   /// Enqueue one sample (shape (1, C, H, W)); returns the future its result
-  /// will arrive on. Throws OverloadedError when the queue already holds
-  /// max_queue requests (admission control — the caller should back off or
-  /// shed load). Thread-safe; must not be called after close().
-  std::future<InferenceResult> push(Tensor<float> input);
+  /// will arrive on. `passes` is the request's cost in forward passes.
+  /// Throws OverloadedError when the queue already holds max_queue requests
+  /// (admission control — the caller should back off or shed load).
+  /// Thread-safe; must not be called after close().
+  std::future<InferenceResult> push(Tensor<float> input, int passes = 1);
 
   /// Block until a batch is ready under the policy and pop it (FIFO order,
   /// at most min(limit, max_batch) requests — `limit` is the model's batch
@@ -45,6 +53,20 @@ class Batcher {
   /// close(), drains the remaining requests batch by batch and then returns
   /// an empty vector: the shutdown signal.
   std::vector<Request> next_batch(int limit);
+
+  /// Non-blocking pop: expire stale requests, then return up to
+  /// min(limit, max_batch) queued requests immediately — possibly none.
+  /// Ignores the max-delay fill wait (greedy): this is how continuous
+  /// batching refills freed slots and the double-buffered loop prefetches,
+  /// both of which must never stall the forward already in flight. An empty
+  /// return carries no shutdown meaning (check closed() + pending()).
+  std::vector<Request> take_ready(int limit);
+
+  /// Fail any queued requests whose deadline has already passed (the same
+  /// sweep next_batch runs at pop). The router calls this on every enqueue
+  /// so serve.expired counts promptly even on an idle replica whose loop is
+  /// parked between batches.
+  void sweep_expired();
 
   /// Stop accepting requests and wake all waiters. Queued requests are still
   /// served by subsequent next_batch calls.
@@ -65,6 +87,7 @@ class Batcher {
   void expire_stale_locked(std::chrono::steady_clock::time_point now);
 
   BatcherOptions opts_;
+  BatcherObs obs_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Request> queue_;

@@ -1,0 +1,59 @@
+// Per-instance metric handles for the serving subsystem.
+//
+// PR 4's server recorded fixed-name serve.* metrics through static handles;
+// a fleet needs one set per replica (serve.replica.<g>.*) so a hot replica
+// cannot hide a starved one. These bundles intern their names once at
+// construction (the registry copies the name; handles are trivially
+// copyable) and every write site still gates on obs::timing_enabled().
+#pragma once
+
+#include <string>
+
+#include "obs/attribution.hpp"
+
+namespace distconv::serve {
+
+/// Queue-side metrics: admission control and deadline expiry.
+struct BatcherObs {
+  obs::metrics::Counter shed;
+  obs::metrics::Counter expired;
+  obs::metrics::Gauge queue_depth;
+
+  /// Handles named <prefix>.{shed, expired, queue_depth}; the default
+  /// prefix "serve" reproduces PR 6's global names.
+  static BatcherObs make(const std::string& prefix = "serve") {
+    BatcherObs o;
+    o.shed = obs::metrics::counter(prefix + ".shed");
+    o.expired = obs::metrics::counter(prefix + ".expired");
+    o.queue_depth = obs::metrics::gauge(prefix + ".queue_depth");
+    return o;
+  }
+};
+
+/// Serving-loop metrics: dispatch and completion.
+struct LoopObs {
+  obs::metrics::Counter requests;
+  obs::metrics::Counter batches;
+  obs::metrics::Counter refills;  ///< continuous-batching slot refills
+  obs::metrics::Histogram batch_size;
+  obs::metrics::Histogram latency_us;
+
+  /// Handles named <prefix>.{requests, batches, refills, batch_size,
+  /// latency_us}; prefix "serve" reproduces PR 7's global names.
+  static LoopObs make(const std::string& prefix = "serve") {
+    LoopObs o;
+    o.requests = obs::metrics::counter(prefix + ".requests");
+    o.batches = obs::metrics::counter(prefix + ".batches");
+    o.refills = obs::metrics::counter(prefix + ".refills");
+    o.batch_size = obs::metrics::histogram(prefix + ".batch_size");
+    o.latency_us = obs::metrics::histogram(prefix + ".latency_us");
+    return o;
+  }
+};
+
+/// The metric prefix of replica group `g`: "serve.replica.<g>".
+inline std::string replica_metric_prefix(int group) {
+  return "serve.replica." + std::to_string(group);
+}
+
+}  // namespace distconv::serve

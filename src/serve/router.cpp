@@ -1,0 +1,217 @@
+#include "serve/router.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include "core/checkpoint.hpp"
+#include "obs/attribution.hpp"
+#include "support/error.hpp"
+
+namespace distconv::serve {
+
+void Router::add_model(FleetModel cfg) {
+  DC_REQUIRE(!serving_.load(), "Router::add_model after serve() started");
+  DC_REQUIRE(!cfg.tag.empty(), "fleet model needs a routing tag");
+  DC_REQUIRE(cfg.replicas >= 1, "model \"", cfg.tag, "\" needs >= 1 replica, got ",
+             cfg.replicas);
+  DC_REQUIRE(find(cfg.tag) == nullptr, "duplicate fleet model tag \"",
+             cfg.tag, "\"");
+  DC_REQUIRE(cfg.strategy.num_ranks() >= 1, "model \"", cfg.tag,
+             "\" has an empty strategy");
+  auto entry = std::make_unique<Entry>();
+  entry->cfg = std::move(cfg);
+  for (int r = 0; r < entry->cfg.replicas; ++r) {
+    auto rep = std::make_unique<Replica>();
+    rep->group = next_group_++;
+    const std::string prefix = replica_metric_prefix(rep->group);
+    rep->batcher = std::make_unique<Batcher>(entry->cfg.opts.batcher,
+                                             BatcherObs::make(prefix));
+    rep->obs = LoopObs::make(prefix);
+    entry->replicas.push_back(std::move(rep));
+  }
+  models_.push_back(std::move(entry));
+}
+
+int Router::total_ranks() const {
+  int total = 0;
+  for (const auto& entry : models_) {
+    total += entry->cfg.replicas * entry->cfg.strategy.num_ranks();
+  }
+  return total;
+}
+
+comm::GroupLayout Router::layout() const {
+  std::vector<int> sizes;
+  for (const auto& entry : models_) {
+    for (int r = 0; r < entry->cfg.replicas; ++r) {
+      sizes.push_back(entry->cfg.strategy.num_ranks());
+    }
+  }
+  return comm::GroupLayout::sized(std::move(sizes));
+}
+
+Router::Entry* Router::find(const std::string& tag) {
+  for (auto& entry : models_) {
+    if (entry->cfg.tag == tag) return entry.get();
+  }
+  return nullptr;
+}
+
+const Router::Entry* Router::find(const std::string& tag) const {
+  for (const auto& entry : models_) {
+    if (entry->cfg.tag == tag) return entry.get();
+  }
+  return nullptr;
+}
+
+void Router::serve(comm::Comm& world) {
+  DC_REQUIRE(!models_.empty(), "Router::serve with no registered models");
+  DC_REQUIRE(total_ranks() == world.size(), "registered fleet needs ",
+             total_ranks(), " ranks (sum of replicas x group size) but the "
+             "world has ", world.size());
+  serving_.store(true);
+  try {
+    int group = 0;
+    comm::Comm group_comm = comm::split_groups(world, layout(), &group);
+    // Which (model, replica) this rank's group serves: groups are numbered
+    // in registration order, exactly as add_model assigned them.
+    for (auto& entry : models_) {
+      for (auto& rep : entry->replicas) {
+        if (rep->group == group) {
+          run_replica(*entry, *rep, group_comm);
+          return;
+        }
+      }
+    }
+    DC_FAIL("group ", group, " not mapped to any replica");
+  } catch (...) {
+    // Fleet-level containment: a failure before any replica loop owns this
+    // rank (a fault injected into the group split, a watchdog timeout while
+    // peers form groups) would otherwise strand clients on queues nobody
+    // will ever pop. Mark everything dead and fail pending work; the
+    // Batcher's lock makes concurrent drains from every rank safe (each
+    // request fails exactly once).
+    for (auto& entry : models_) {
+      for (auto& rep : entry->replicas) {
+        rep->dead.store(true, std::memory_order_release);
+        fail_pending_requests(*rep->batcher, std::current_exception());
+      }
+    }
+  }
+}
+
+void Router::run_replica(Entry& entry, Replica& rep, comm::Comm& group_comm) {
+  obs::trace::Span span("serve.replica", "serve");
+  span.arg("group", static_cast<double>(rep.group));
+  try {
+    core::Model model(entry.cfg.spec, group_comm, entry.cfg.strategy,
+                      entry.cfg.seed);
+    if (!entry.cfg.checkpoint.empty()) {
+      // Every rank of the group loads the identical checkpoint bytes — the
+      // PR 4 different-grid load path (parameters are replicated; the grid
+      // only partitions activations).
+      std::istringstream in(entry.cfg.checkpoint);
+      core::load_checkpoint(model, in);
+    }
+    ReplicaRuntime rt;
+    rt.batcher = rep.batcher.get();
+    rt.window = &rep.window;
+    rt.obs = rep.obs;
+    rt.poison = &rep.poison;
+    serve_replica_loop(model, entry.cfg.opts, rt);
+  } catch (...) {
+    // Containment: this group is lost, the fleet is not. Mark the replica
+    // dead so routing skips it, fail its queued requests (rank 0 owns the
+    // queue), and return normally so World::run does not escalate to a
+    // world-wide abort of the healthy groups.
+    rep.dead.store(true, std::memory_order_release);
+    if (group_comm.rank() == 0) {
+      fail_pending_requests(*rep.batcher, std::current_exception());
+      if (obs::timing_enabled()) {
+        obs::trace::emit_instant("serve-replica-dead", "serve");
+      }
+    }
+  }
+}
+
+std::future<InferenceResult> Router::submit(const std::string& tag,
+                                            Tensor<float> sample, int passes) {
+  Entry* entry = find(tag);
+  DC_REQUIRE(entry != nullptr, "unknown fleet model tag \"", tag, "\"");
+  // Enqueue-time expiry sweep: an idle replica's loop is parked between
+  // batches and only expires at pop, so a never-popped queue would hold
+  // stale requests (and their clients) indefinitely.
+  for (auto& rep : entry->replicas) {
+    if (!rep->dead.load(std::memory_order_acquire)) rep->batcher->sweep_expired();
+  }
+  Replica* best = nullptr;
+  std::size_t best_depth = std::numeric_limits<std::size_t>::max();
+  for (auto& rep : entry->replicas) {
+    // Dead replicas and poisoned-but-still-draining ones (kill_replica
+    // closes the batcher before the loop observes the flag) take no new work.
+    if (rep->dead.load(std::memory_order_acquire) || rep->batcher->closed()) {
+      continue;
+    }
+    const std::size_t depth = rep->batcher->pending();
+    if (depth < best_depth) {
+      best = rep.get();
+      best_depth = depth;
+    }
+  }
+  if (best == nullptr) {
+    throw OverloadedError(internal::compose(
+        "all ", entry->replicas.size(), " replica(s) of model \"", tag,
+        "\" are dead; request rejected"));
+  }
+  obs::trace::Span span("router.submit", "serve");
+  span.arg("group", static_cast<double>(best->group));
+  span.arg("depth", static_cast<double>(best_depth));
+  std::future<InferenceResult> fut =
+      best->batcher->push(std::move(sample), passes);
+  routed_.fetch_add(1, std::memory_order_relaxed);
+  return fut;
+}
+
+void Router::shutdown() {
+  for (auto& entry : models_) {
+    for (auto& rep : entry->replicas) rep->batcher->close();
+  }
+}
+
+void Router::kill_replica(const std::string& tag, int replica) {
+  Entry* entry = find(tag);
+  DC_REQUIRE(entry != nullptr, "unknown fleet model tag \"", tag, "\"");
+  DC_REQUIRE(replica >= 0 &&
+                 replica < static_cast<int>(entry->replicas.size()),
+             "model \"", tag, "\" has no replica ", replica);
+  Replica& rep = *entry->replicas[static_cast<std::size_t>(replica)];
+  rep.poison.store(true, std::memory_order_release);
+  // Wake a loop parked in next_batch; it observes the poison before treating
+  // the close as a clean shutdown.
+  rep.batcher->close();
+}
+
+RouterStats Router::stats() const {
+  RouterStats out;
+  out.routed = routed_.load(std::memory_order_relaxed);
+  for (const auto& entry : models_) {
+    ModelStats ms;
+    ms.tag = entry->cfg.tag;
+    for (const auto& rep : entry->replicas) {
+      ReplicaStats rs;
+      rs.group = rep->group;
+      rs.dead = rep->dead.load(std::memory_order_acquire);
+      rs.requests = rep->window.served();
+      rs.batches = rep->window.batches();
+      rs.shed = rep->batcher->shed();
+      rs.expired = rep->batcher->expired();
+      rs.pending = rep->batcher->pending();
+      rep->window.percentiles(&rs.p50_latency_seconds, &rs.p99_latency_seconds);
+      ms.replicas.push_back(rs);
+    }
+    out.models.push_back(std::move(ms));
+  }
+  return out;
+}
+
+}  // namespace distconv::serve

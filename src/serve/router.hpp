@@ -1,0 +1,136 @@
+// Fleet-scale serving: a router in front of multiple replica groups carved
+// out of one World (comm/subgroups.hpp).
+//
+// Each registered model fans out over `replicas` replica groups; every group
+// runs its own grid (the model is rebuilt per group from its spec + strategy
+// and loads the shared checkpoint bytes — the PR 4 different-grid load
+// path), so a 16-rank world can serve e.g. two 4-rank replicas of model "a"
+// and one 8-rank replica of model "b" side by side. Clients submit by tag;
+// the router sweeps deadline-expired entries across the model's queues, then
+// routes to the live replica with the shallowest queue (ties to the lowest
+// group index, so placement is deterministic).
+//
+// Failure containment: a replica whose loop dies — Router::kill_replica or a
+// genuine fault — fails only its own queued requests (ReplicaKilledError /
+// the loop's error) and is marked dead so routing skips it; the other
+// replica groups keep serving. The world-wide abort of PR 6 is avoided by
+// catching the error inside the group's rank threads (arm DC_COMM_TIMEOUT_MS
+// so peers of a mid-collective death unstick via CommTimeoutError).
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/subgroups.hpp"
+#include "core/model.hpp"
+#include "serve/replica.hpp"
+
+namespace distconv::serve {
+
+/// One model of the fleet: what every replica group builds and loads.
+struct FleetModel {
+  std::string tag;         ///< routing key requests carry
+  core::NetworkSpec spec;  ///< network each replica group instantiates
+  /// Per-replica grids; its num_ranks() fixes the group size.
+  core::Strategy strategy;
+  /// Serialized checkpoint bytes (core::save_checkpoint) every replica
+  /// loads; empty = serve the freshly-built model (tests).
+  std::string checkpoint;
+  ServeOptions opts;       ///< per-replica batching / dispatch policy
+  std::uint64_t seed = 1;  ///< build seed (parameters come from checkpoint)
+  int replicas = 1;        ///< replica groups (DC_SERVE_REPLICAS)
+};
+
+struct ReplicaStats {
+  int group = 0;  ///< global group index (the serve.replica.<g>.* suffix)
+  bool dead = false;
+  std::uint64_t requests = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t expired = 0;
+  std::size_t pending = 0;
+  double p50_latency_seconds = 0;
+  double p99_latency_seconds = 0;
+};
+
+struct ModelStats {
+  std::string tag;
+  std::vector<ReplicaStats> replicas;
+};
+
+struct RouterStats {
+  std::vector<ModelStats> models;
+  std::uint64_t routed = 0;  ///< requests accepted by submit()
+};
+
+class Router {
+ public:
+  Router() = default;
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Register a model (before serve() starts and before any submit()).
+  /// Replica groups are laid out over world ranks in registration order,
+  /// each of cfg.strategy.num_ranks() ranks.
+  void add_model(FleetModel cfg);
+
+  /// World size the registered fleet requires (sum of replicas × group
+  /// size); serve()'s communicator must match exactly.
+  int total_ranks() const;
+
+  /// The contiguous rank layout of the registered replica groups.
+  comm::GroupLayout layout() const;
+
+  /// SPMD fleet entry: every rank of `world` calls this. Splits into the
+  /// replica groups, builds + checkpoint-loads each group's model, and runs
+  /// its serving loop until shutdown(). A dying replica is contained: its
+  /// ranks return after failing the replica's queue, the rest keep serving.
+  void serve(comm::Comm& world);
+
+  /// Route one sample to `tag`'s shallowest live replica queue. Sweeps
+  /// deadline-expired requests across the model's queues first (so
+  /// serve.expired counts promptly even on idle replicas). Throws
+  /// OverloadedError when every replica of the tag is dead or the chosen
+  /// queue is full; Error for an unknown tag. Thread-safe.
+  std::future<InferenceResult> submit(const std::string& tag,
+                                      Tensor<float> sample, int passes = 1);
+
+  /// Stop accepting requests; serve() drains every queue and returns.
+  void shutdown();
+
+  /// Take one replica group down (tests / ops drills): its loop observes the
+  /// poison flag, fails its queued requests with ReplicaKilledError, and
+  /// routing skips it from then on.
+  void kill_replica(const std::string& tag, int replica);
+
+  RouterStats stats() const;
+
+ private:
+  struct Replica {
+    int group = 0;  ///< global group index across the fleet
+    std::unique_ptr<Batcher> batcher;
+    CompletionWindow window;
+    LoopObs obs;
+    std::atomic<bool> poison{false};
+    std::atomic<bool> dead{false};
+  };
+  struct Entry {
+    FleetModel cfg;
+    std::vector<std::unique_ptr<Replica>> replicas;
+  };
+
+  Entry* find(const std::string& tag);
+  const Entry* find(const std::string& tag) const;
+  /// Run one replica group's serving loop, containing any failure.
+  void run_replica(Entry& entry, Replica& rep, comm::Comm& group_comm);
+
+  std::vector<std::unique_ptr<Entry>> models_;  // registration order
+  int next_group_ = 0;
+  std::atomic<bool> serving_{false};
+  std::atomic<std::uint64_t> routed_{0};
+};
+
+}  // namespace distconv::serve

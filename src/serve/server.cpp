@@ -1,214 +1,35 @@
 #include "serve/server.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-#include <numeric>
-
-#include "comm/collectives.hpp"
-#include "obs/attribution.hpp"
-
 namespace distconv::serve {
 
-std::vector<Prediction> topk_softmax(const float* logits, std::int64_t classes,
-                                     int k) {
-  const std::int64_t kk = std::min<std::int64_t>(std::max(1, k), classes);
-  // Max-shifted softmax in double for stability; deterministic given the
-  // logits (ascending accumulation).
-  float mx = logits[0];
-  for (std::int64_t c = 1; c < classes; ++c) mx = std::max(mx, logits[c]);
-  double denom = 0.0;
-  for (std::int64_t c = 0; c < classes; ++c) {
-    denom += std::exp(double(logits[c]) - mx);
-  }
-  std::vector<int> order(static_cast<std::size_t>(classes));
-  std::iota(order.begin(), order.end(), 0);
-  // NaN logits (requests are validated by shape, not value) map to -inf so
-  // the comparator stays a strict weak ordering; ties break on the lower
-  // class index for determinism.
-  const auto key = [&](int i) {
-    const float v = logits[i];
-    return std::isnan(v) ? -std::numeric_limits<float>::infinity() : v;
-  };
-  std::partial_sort(order.begin(), order.begin() + kk, order.end(),
-                    [&](int a, int b) {
-                      const float ka = key(a), kb = key(b);
-                      if (ka != kb) return ka > kb;
-                      return a < b;  // deterministic tie-break
-                    });
-  std::vector<Prediction> out(static_cast<std::size_t>(kk));
-  for (std::int64_t i = 0; i < kk; ++i) {
-    out[i].cls = order[i];
-    out[i].prob =
-        static_cast<float>(std::exp(double(logits[order[i]]) - mx) / denom);
-  }
-  return out;
-}
-
 void Server::serve(core::Model& model) {
+  ReplicaRuntime rt;
+  rt.batcher = &batcher_;
+  rt.window = &window_;
+  rt.obs = LoopObs::make();  // the single-model facade keeps serve.* names
   try {
-    serve_loop(model);
+    serve_replica_loop(model, opts_, rt);
   } catch (...) {
     // A failed collective loop can no longer keep any queued promise
     // (popped-but-unfulfilled requests deliver broken_promise from their
     // destructors as the stack unwinds; queued ones would outlive us inside
     // the Batcher and hang their clients forever).
-    if (model.comm().rank() == 0) fail_pending(std::current_exception());
+    if (model.comm().rank() == 0) {
+      fail_pending_requests(batcher_, std::current_exception());
+    }
     throw;
   }
 }
 
-void Server::fail_pending(std::exception_ptr err) {
-  batcher_.close();
-  for (;;) {
-    std::vector<Request> rest = batcher_.next_batch(opts_.batcher.max_batch);
-    if (rest.empty()) break;
-    for (auto& req : rest) {
-      try {
-        req.done.set_exception(err);
-      } catch (...) {
-        // Already satisfied — nothing to deliver.
-      }
-    }
-  }
-}
-
-void Server::serve_loop(core::Model& model) {
-  auto& comm = model.comm();
-  const int out_layer = model.output_layer();
-  const Shape4 out_shape = model.rt(out_layer).out_shape;
-  DC_REQUIRE(out_shape.h == 1 && out_shape.w == 1,
-             "serving expects a (N, classes, 1, 1) classification head, got ",
-             out_shape.str());
-  const Shape4 in_shape = model.rt(0).out_shape;
-  const int capacity = static_cast<int>(in_shape.n);
-  const std::int64_t classes = out_shape.c;
-  const std::int64_t sample_elems = in_shape.c * in_shape.h * in_shape.w;
-
-  Tensor<float> input(in_shape);
-  std::vector<Request> batch;
-  for (;;) {
-    // Rank 0 forms the batch; everyone learns its size (-1 = shutdown,
-    // queue drained; 0 = every request was rejected, loop again) and
-    // receives the packed input prefix.
-    std::int64_t count = 0;
-    if (comm.rank() == 0) {
-      batch = batcher_.next_batch(capacity);
-      if (batch.empty()) {
-        count = -1;
-      } else {
-        // Reject malformed samples here, on rank 0, *before* anything hits
-        // the wire: the bad request's future carries the error and the
-        // collective round proceeds with the valid remainder — a client
-        // mistake must not wedge every rank of the serving loop.
-        std::vector<Request> valid;
-        valid.reserve(batch.size());
-        for (auto& req : batch) {
-          const Shape4& s = req.input.shape();
-          if (s.c == in_shape.c && s.h == in_shape.h && s.w == in_shape.w) {
-            valid.push_back(std::move(req));
-          } else {
-            req.done.set_exception(std::make_exception_ptr(Error(
-                internal::compose("request sample shape ", s.str(),
-                                  " does not match model input ",
-                                  in_shape.str()))));
-          }
-        }
-        batch = std::move(valid);
-        count = static_cast<std::int64_t>(batch.size());
-      }
-    }
-    comm::broadcast(comm, &count, 1, 0);
-    if (count < 0) break;
-    if (count == 0) continue;
-    obs::trace::Span batch_span("serve.batch", "serve");
-    batch_span.arg("size", static_cast<double>(count));
-    // Zero-pad locally; only the filled prefix travels (samples are
-    // n-major, so the first `count` samples are contiguous).
-    input.zero();
-    if (comm.rank() == 0) {
-      for (std::size_t j = 0; j < batch.size(); ++j) {
-        const Tensor<float>& s = batch[j].input;
-        std::copy(s.data(), s.data() + s.size(),
-                  input.data() + static_cast<std::int64_t>(j) * sample_elems);
-      }
-    }
-    comm::broadcast(comm, input.data(),
-                    static_cast<std::size_t>(count * sample_elems), 0);
-
-    model.set_input(0, input);
-    model.forward(core::Mode::kInference);
-    Tensor<float> out = model.gather_output(out_layer);
-
-    if (comm.rank() == 0) {
-      const auto now = std::chrono::steady_clock::now();
-      std::vector<double> lats;
-      lats.reserve(batch.size());
-      for (std::size_t j = 0; j < batch.size(); ++j) {
-        InferenceResult res;
-        res.topk = topk_softmax(
-            out.data() + static_cast<std::int64_t>(j) * classes, classes,
-            opts_.top_k);
-        res.latency_seconds =
-            std::chrono::duration<double>(now - batch[j].enqueued).count();
-        lats.push_back(res.latency_seconds);
-        batch[j].done.set_value(std::move(res));
-      }
-      if (obs::timing_enabled()) {
-        static const obs::metrics::Counter requests =
-            obs::metrics::counter("serve.requests");
-        static const obs::metrics::Counter batches =
-            obs::metrics::counter("serve.batches");
-        static const obs::metrics::Histogram batch_size =
-            obs::metrics::histogram("serve.batch_size");
-        static const obs::metrics::Histogram latency_us =
-            obs::metrics::histogram("serve.latency_us");
-        requests.add(batch.size());
-        batches.inc();
-        batch_size.record(batch.size());
-        for (const double l : lats) {
-          latency_us.record(static_cast<std::uint64_t>(l * 1e6));
-        }
-      }
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++batches_;
-      served_ += batch.size();
-      // Percentiles are computed over a sliding window of the most recent
-      // completions, so a long-lived server's stats stay bounded.
-      for (const double l : lats) {
-        if (latencies_.size() < kLatencyWindow) {
-          latencies_.push_back(l);
-        } else {
-          latencies_[latency_cursor_ % kLatencyWindow] = l;
-        }
-        ++latency_cursor_;
-      }
-      batch.clear();
-    }
-  }
-}
-
 ServerStats Server::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
   ServerStats s;
-  s.requests = served_;
-  s.batches = batches_;
+  s.requests = window_.served();
+  s.batches = window_.batches();
   s.shed = batcher_.shed();
   s.expired = batcher_.expired();
   s.mean_batch_fill =
-      batches_ > 0 ? double(served_) / double(batches_) : 0.0;
-  if (!latencies_.empty()) {
-    std::vector<double> sorted = latencies_;
-    std::sort(sorted.begin(), sorted.end());
-    auto pct = [&](double q) {
-      const auto n = static_cast<std::int64_t>(sorted.size());
-      const auto idx = std::min<std::int64_t>(
-          n - 1, static_cast<std::int64_t>(std::ceil(q * n)) - 1);
-      return sorted[static_cast<std::size_t>(std::max<std::int64_t>(0, idx))];
-    };
-    s.p50_latency_seconds = pct(0.50);
-    s.p99_latency_seconds = pct(0.99);
-  }
+      s.batches > 0 ? double(s.requests) / double(s.batches) : 0.0;
+  window_.percentiles(&s.p50_latency_seconds, &s.p99_latency_seconds);
   return s;
 }
 

@@ -3,22 +3,25 @@
 //
 // Threading model: client threads call submit() / shutdown() from anywhere;
 // every rank thread of the World calls serve(model) — an SPMD collective
-// loop. Rank 0 pops batches from the Batcher, broadcasts the packed input,
-// and all ranks run Model::forward(Mode::kInference) over whatever process
-// grids the model's strategy assigned (sample, spatial, channel — all legal;
-// the §V-C optimizer with Objective::kInference picks serving grids). Rank 0
-// then scatters per-request top-k softmax results back to the clients'
-// futures.
+// loop (serve/replica.hpp). Rank 0 pops batches from the Batcher, broadcasts
+// the packed input, and all ranks run Model::forward(Mode::kInference) over
+// whatever process grids the model's strategy assigned (sample, spatial,
+// channel — all legal; the §V-C optimizer with Objective::kInference picks
+// serving grids). Rank 0 then scatters per-request top-k softmax results
+// back to the clients' futures.
 //
 // Batches smaller than the model's (fixed) batch capacity are zero-padded;
 // with batchnorm running statistics every eval-mode operator is per-sample,
 // so padded slots cannot perturb real requests (serving a model without
 // running statistics falls back to batch statistics and logs a warning —
-// see README "Inference serving").
+// see README "Inference serving"). ServeOptions::continuous swaps the strict
+// batch barrier for slot-refill continuous batching; either way responses
+// are bitwise identical. This facade serves ONE model on ONE grid — the
+// fleet-shaped entry point is serve/router.hpp.
 #pragma once
 
 #include "core/model.hpp"
-#include "serve/batcher.hpp"
+#include "serve/replica.hpp"
 
 namespace distconv::serve {
 
@@ -40,9 +43,11 @@ class Server {
       : opts_(opts), batcher_(opts.batcher) {}
 
   /// Enqueue one sample (shape (1, C, H, W), matching the model input with
-  /// n = 1). Thread-safe; callable from any client thread while serve() runs.
-  std::future<InferenceResult> submit(Tensor<float> sample) {
-    return batcher_.push(std::move(sample));
+  /// n = 1). `passes` is the request's cost in forward passes (variable-cost
+  /// requests; continuous batching frees the slot after exactly that many).
+  /// Thread-safe; callable from any client thread while serve() runs.
+  std::future<InferenceResult> submit(Tensor<float> sample, int passes = 1) {
+    return batcher_.push(std::move(sample), passes);
   }
 
   /// Stop accepting requests. serve() drains the queue and returns.
@@ -63,25 +68,12 @@ class Server {
   Batcher& batcher() { return batcher_; }
 
   /// Latency samples retained for the percentile window.
-  static constexpr std::size_t kLatencyWindow = 1 << 16;
+  static constexpr std::size_t kLatencyWindow = CompletionWindow::kWindow;
 
  private:
-  void serve_loop(core::Model& model);
-  /// Close the batcher and deliver `err` to every still-queued request.
-  void fail_pending(std::exception_ptr err);
-
   ServeOptions opts_;
   Batcher batcher_;
-  mutable std::mutex stats_mu_;
-  std::vector<double> latencies_;  ///< ring buffer of recent latencies
-  std::size_t latency_cursor_ = 0;
-  std::uint64_t batches_ = 0;
-  std::uint64_t served_ = 0;
+  CompletionWindow window_;
 };
-
-/// Top-k softmax of one row of logits: probabilities descending, ties broken
-/// by the lower class index. Exposed for tests and offline scoring.
-std::vector<Prediction> topk_softmax(const float* logits, std::int64_t classes,
-                                     int k);
 
 }  // namespace distconv::serve

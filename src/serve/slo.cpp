@@ -1,0 +1,57 @@
+#include "serve/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace distconv::serve {
+
+SloDecision choose_serving_policy(const core::NetworkSpec& spec,
+                                  const core::Strategy& strategy,
+                                  const perf::MachineModel& machine,
+                                  double p99_target_seconds, int replicas,
+                                  const perf::NetworkCostOptions& options,
+                                  const perf::ComputeModel* compute) {
+  DC_REQUIRE(p99_target_seconds > 0, "SLO target must be positive, got ",
+             p99_target_seconds);
+  DC_REQUIRE(replicas >= 1, "need >= 1 replica, got ", replicas);
+  const auto shapes = spec.infer_shapes();
+  const int capacity =
+      static_cast<int>(shapes.empty() ? 1 : shapes[0].n);
+
+  const perf::InferenceCost cost =
+      perf::inference_cost(spec, strategy, machine, options, compute);
+  const double latency = cost.batch_latency();
+
+  SloDecision d;
+  d.replicas = replicas;
+  d.predicted_batch_latency = latency;
+  d.attainable = latency <= p99_target_seconds;
+  d.batcher.max_batch = capacity;
+  // p99 = L + max_delay (a request arriving the instant after a dispatch
+  // waits the full delay window, then one forward). Attainable → spend the
+  // whole remaining budget on fill; unattainable → greedy dispatch, nothing
+  // to gain from waiting.
+  const double delay_budget =
+      d.attainable ? p99_target_seconds - latency : 0.0;
+  d.batcher.max_delay_us =
+      static_cast<std::int64_t>(std::floor(delay_budget * 1e6));
+  // Queued-past-deadline requests can never meet the target: fail them at
+  // the target instead of wasting a forward pass on them.
+  d.batcher.deadline_us =
+      static_cast<std::int64_t>(std::ceil(p99_target_seconds * 1e6));
+  // Bound the backlog near what one delay window can absorb (two dispatch
+  // batches); beyond that, queueing time alone blows the target, so shed at
+  // push instead.
+  d.batcher.max_queue = std::max<std::int64_t>(2 * capacity, 1);
+
+  const perf::ServingEstimate est = perf::estimate_serving(
+      spec, strategy, machine, d.batcher.max_delay_us * 1e-6, replicas,
+      options, compute);
+  d.predicted_p99 = est.p99_latency;
+  d.predicted_throughput = est.fleet_throughput;
+  return d;
+}
+
+}  // namespace distconv::serve

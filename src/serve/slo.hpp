@@ -1,0 +1,46 @@
+// SLO-aware admission control: pick the batching policy that meets a p99
+// latency target on a given (spec, strategy, machine), using the §V serving
+// cost model rather than online trial and error.
+//
+// The executed forward is fixed-shape — rank 0 zero-pads partial batches to
+// the model's capacity — so batch latency L is fill-independent and the
+// policy search collapses to the delay knob: p99 = L + max_delay. If L fits
+// under the target T, the chooser spends the whole remaining budget on
+// batching delay (max_delay = T − L, maximizing fill and throughput at
+// exactly p99 = T); if L alone already exceeds T the target is unattainable
+// with this strategy and the chooser degrades to greedy dispatch plus
+// aggressive shedding so the queue never amplifies the miss.
+#pragma once
+
+#include "core/spec.hpp"
+#include "core/strategy.hpp"
+#include "perf/network_cost.hpp"
+#include "serve/types.hpp"
+
+namespace distconv::serve {
+
+/// What the chooser decided and what the model predicts for it.
+struct SloDecision {
+  BatcherOptions batcher;  ///< policy to run (max_batch/max_delay/deadline)
+  bool attainable = false;  ///< model predicts p99 <= target
+  double predicted_batch_latency = 0;  ///< L, seconds
+  double predicted_p99 = 0;            ///< L + max_delay, seconds
+  /// Fleet samples/second at full batches (per-replica throughput × replicas).
+  double predicted_throughput = 0;
+  int replicas = 1;
+};
+
+/// Choose max-batch/max-delay/deadline to hit `p99_target_seconds` on
+/// `replicas` identical replica groups each running `strategy`. The spec's
+/// input batch is the model's capacity (and the chosen max_batch). When the
+/// target is unattainable, the returned policy is greedy (max_delay = 0)
+/// with deadline_us = target and a tight queue bound, shedding instead of
+/// queueing into a latency it can never meet.
+SloDecision choose_serving_policy(const core::NetworkSpec& spec,
+                                  const core::Strategy& strategy,
+                                  const perf::MachineModel& machine,
+                                  double p99_target_seconds, int replicas = 1,
+                                  const perf::NetworkCostOptions& options = {},
+                                  const perf::ComputeModel* compute = nullptr);
+
+}  // namespace distconv::serve

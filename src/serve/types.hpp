@@ -50,11 +50,27 @@ struct BatcherOptions {
 struct ServeOptions {
   BatcherOptions batcher;
   int top_k = 5;
+  /// Continuous batching: free forward slots refill from the queue as each
+  /// request completes its passes, instead of the strict batch barrier that
+  /// holds every slot until the whole batch finishes. DC_SERVE_CONTINUOUS.
+  bool continuous = false;
+  /// Double-buffer the next batch's rank-0 input broadcast behind the
+  /// current forward pass on the model's progress engine (strict batching
+  /// only — continuous refills depend on which slots the current forward
+  /// frees, so there is nothing to prefetch). DC_SERVE_DOUBLE_BUFFER.
+  bool double_buffer = true;
+  /// Replica groups the fleet entry points carve the world into (the Router
+  /// fans one model out over this many groups). DC_SERVE_REPLICAS.
+  int replicas = 1;
+  /// p99 latency target the SLO policy chooser (serve/slo.hpp) aims at; 0 =
+  /// no target (keep the configured batcher policy). DC_SERVE_SLO_P99_US.
+  std::int64_t slo_p99_us = 0;
 };
 
 /// Read the batching knobs from DC_SERVE_MAX_BATCH / DC_SERVE_MAX_DELAY_US /
 /// DC_SERVE_MAX_QUEUE / DC_SERVE_DEADLINE_US (defaults above when unset or
-/// unparsable).
+/// unparsable). serve_options_from_env additionally reads DC_SERVE_CONTINUOUS
+/// / DC_SERVE_DOUBLE_BUFFER (0/1), DC_SERVE_REPLICAS and DC_SERVE_SLO_P99_US.
 BatcherOptions batcher_options_from_env();
 ServeOptions serve_options_from_env();
 

@@ -94,6 +94,14 @@ class DeadlineExceededError : public Error {
   using Error::Error;
 };
 
+/// A serving replica group was taken down (Router::kill_replica or a fault
+/// in its loop); thrown on every rank of the group so the router can contain
+/// the failure to that group's queue while the rest of the fleet serves on.
+class ReplicaKilledError : public Error {
+ public:
+  using Error::Error;
+};
+
 namespace internal {
 
 [[noreturn]] void throw_error(const char* file, int line, const std::string& msg);

@@ -181,6 +181,45 @@ TEST(Nonblocking, SingleRankCompletesImmediately) {
 /// a rank-dependent interleaving so completion order differs across ranks.
 /// Tags are allocated in SPMD order at construction, so the concurrent
 /// messages cannot cross-match — each op still reduces its own payload.
+/// The nonblocking broadcast (the serving loop's double-buffered input
+/// prefetch) must deliver bitwise-identical bytes to the blocking binomial
+/// tree from every root, including non-power-of-two worlds and rank counts
+/// where some vranks have no children.
+TEST(Nonblocking, IbroadcastBitwiseMatchesBlocking) {
+  for (const int p : {1, 2, 3, 4, 5, 8}) {
+    for (int root = 0; root < p; root += std::max(1, p - 1)) {
+      World world(p);
+      world.run([p, root](Comm& comm) {
+        const std::size_t n = 517;
+        std::vector<float> blocking =
+            comm.rank() == root ? random_floats(n, 23) : std::vector<float>(n);
+        std::vector<float> nonblocking = blocking;
+
+        broadcast(comm, blocking.data(), n, root);
+
+        CollectiveEngine engine;
+        engine.enqueue(std::make_unique<NbBroadcast<float>>(
+            comm, nonblocking.data(), n, root));
+        engine.drain();
+        EXPECT_TRUE(engine.idle());
+        EXPECT_TRUE(bitwise_equal(blocking, nonblocking))
+            << "p=" << p << " root=" << root << " rank=" << comm.rank();
+      });
+    }
+  }
+}
+
+TEST(Nonblocking, IbroadcastZeroLengthCompletesImmediately) {
+  World world(3);
+  world.run([](Comm& comm) {
+    CollectiveEngine engine;
+    engine.enqueue(
+        std::make_unique<NbBroadcast<float>>(comm, nullptr, 0, /*root=*/1));
+    engine.drain();
+    EXPECT_TRUE(engine.idle());
+  });
+}
+
 TEST(Nonblocking, InFlightOpsCompleteOutOfOrder) {
   World world(4);
   world.run([](Comm& comm) {

@@ -238,6 +238,64 @@ TEST(ServingEstimate, PolicyDelayShapesLatencyPercentiles) {
   EXPECT_EQ(greedy.p50_latency, greedy.p99_latency);
 }
 
+TEST(ServingEstimate, ReplicaTermScalesThroughputNotLatency) {
+  const auto spec = models::make_mesh_model_1k(4);
+  const auto strategy = core::Strategy::hybrid(spec.size(), 16, 4);
+  const double delay = 1e-3;
+  const auto one = estimate_serving(spec, strategy, kMachine, delay);
+  const auto fleet = estimate_serving(spec, strategy, kMachine, delay,
+                                      /*replicas=*/3);
+  EXPECT_EQ(one.replicas, 1);
+  EXPECT_EQ(one.fleet_throughput, one.throughput);
+  EXPECT_EQ(fleet.replicas, 3);
+  // Replicas serve independent batches: percentiles are per-replica,
+  // throughput scales with the group count.
+  EXPECT_EQ(fleet.batch_latency, one.batch_latency);
+  EXPECT_EQ(fleet.p99_latency, one.p99_latency);
+  EXPECT_EQ(fleet.throughput, one.throughput);
+  EXPECT_NEAR(fleet.fleet_throughput, 3.0 * one.throughput, 1e-9);
+  EXPECT_THROW(estimate_serving(spec, strategy, kMachine, delay, 0), Error);
+}
+
+TEST(InferenceCost, ChannelParallelPricesAllgatherXSchedule) {
+  // A channel-parallel conv whose input is much larger than its output:
+  // serving's allgather-x completion moves x (big), training's
+  // reduce-scatter moves y (small). The inference pricing must reflect the
+  // executed allgather-x schedule, so pricing the same layer under both
+  // enums must differ in exactly the forward wire term.
+  ConvLayerDesc desc;
+  desc.n = 4;
+  desc.c = 64;
+  desc.h = desc.w = 32;
+  desc.f = 8;  // f << c → y much smaller than x
+  desc.k = 3;
+  desc.p = 1;
+  const ProcessGrid grid{1, 4, 1, 1};
+  const CommModel comm(kMachine);
+  RooflineComputeModel compute(kMachine);
+  const LayerCost train =
+      conv_layer_cost(desc, grid, comm, compute, 4,
+                      ChannelFwdSchedule::kReduceScatterY);
+  const LayerCost serve =
+      conv_layer_cost(desc, grid, comm, compute, 4,
+                      ChannelFwdSchedule::kAllgatherX);
+  // Same FLOPs either way (C×F work split differently), identical backward.
+  EXPECT_EQ(train.bpx_compute, serve.bpx_compute);
+  EXPECT_EQ(train.bpx_halo, serve.bpx_halo);
+  EXPECT_EQ(train.allreduce, serve.allreduce);
+  // x is 8× larger than y here, so the allgather-x forward pays more wire.
+  EXPECT_GT(serve.fp_halo, train.fp_halo);
+  // And inference_cost prices the allgather-x path end to end.
+  core::NetworkBuilder nb;
+  const int in = nb.input(Shape4{desc.n, desc.c, desc.h, desc.w});
+  nb.conv("c", in, static_cast<int>(desc.f), desc.k, 1, desc.p);
+  const auto net = nb.take();
+  const auto strategy = core::Strategy::uniform(net.size(), grid);
+  const auto infer = inference_cost(net, strategy, kMachine);
+  ASSERT_TRUE(infer.layers[1].has_value());
+  EXPECT_EQ(infer.layers[1]->fp_halo, serve.fp_halo);
+}
+
 TEST(Sim, WeakScalingFormatMentionsInfeasibleReason) {
   sim::ExperimentOptions opt;
   opt.max_gpus = 8;

@@ -221,6 +221,61 @@ TEST(Batcher, AllExpiredKeepsServerAliveUntilFreshArrival) {
   EXPECT_THROW(stale.get(), DeadlineExceededError);
 }
 
+TEST(Batcher, SweepExpiredFailsStaleEntriesWithoutPopping) {
+  BatcherOptions opts;
+  opts.max_batch = 8;
+  opts.max_delay_us = 0;
+  opts.deadline_us = 10000;  // 10 ms
+  Batcher b(opts);
+  auto stale = b.push(sample(1.0f));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // The router runs this sweep on every enqueue: expiry must not wait for a
+  // pop on an idle replica whose loop is parked between batches.
+  b.sweep_expired();
+  EXPECT_EQ(b.expired(), 1u);
+  EXPECT_EQ(b.pending(), 0u);
+  EXPECT_THROW(stale.get(), DeadlineExceededError);
+  // Live entries survive the sweep untouched.
+  auto fresh = b.push(sample(2.0f));
+  b.sweep_expired();
+  EXPECT_EQ(b.pending(), 1u);
+  EXPECT_TRUE(fresh.valid());
+}
+
+TEST(Batcher, TakeReadyIsGreedyAndNonBlocking) {
+  BatcherOptions opts;
+  opts.max_batch = 4;
+  opts.max_delay_us = 1000000;  // a full second: take_ready must not wait it
+  Batcher b(opts);
+  EXPECT_TRUE(b.take_ready(8).empty());  // empty ≠ shutdown
+  EXPECT_FALSE(b.closed());
+  for (int i = 0; i < 3; ++i) b.push(sample(float(i)));
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto got = b.take_ready(2);  // caller limit caps below max_batch
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_LT(waited, 0.2);
+  EXPECT_EQ(got[0].input.data()[0], 0.0f);  // FIFO
+  EXPECT_EQ(b.pending(), 1u);
+  EXPECT_EQ(b.take_ready(8).size(), 1u);
+}
+
+TEST(Batcher, PushRecordsPassesAndRejectsNonPositive) {
+  BatcherOptions opts;
+  opts.max_batch = 4;
+  opts.max_delay_us = 0;
+  Batcher b(opts);
+  b.push(sample(), /*passes=*/3);
+  b.push(sample());  // defaults to 1
+  const auto batch = b.next_batch(8);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].passes, 3);
+  EXPECT_EQ(batch[1].passes, 1);
+  EXPECT_THROW(b.push(sample(), 0), Error);
+}
+
 TEST(Batcher, CloseAfterExpiryStillSignalsShutdown) {
   BatcherOptions opts;
   opts.max_batch = 8;

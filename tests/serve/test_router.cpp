@@ -1,0 +1,287 @@
+// Fleet router correctness: tag routing across two models, replica-group
+// responses bitwise equal to the single-rank oracle, deterministic
+// queue-depth balancing, and failure isolation — killing one replica group
+// fails only its own queued requests while the surviving group keeps
+// serving.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "core/checkpoint.hpp"
+#include "core/layers.hpp"
+#include "core/model.hpp"
+#include "serve/router.hpp"
+
+namespace distconv::serve {
+namespace {
+
+using core::Model;
+using core::NetworkBuilder;
+using core::NetworkSpec;
+using core::Strategy;
+
+constexpr int kClasses = 6;
+constexpr std::int64_t kBatch = 4;
+
+NetworkSpec classifier_net() {
+  NetworkBuilder nb;
+  const int in = nb.input(Shape4{kBatch, 3, 16, 16});
+  int x = nb.conv_bn_relu("b1", in, 8, 3);
+  x = nb.pool_max("pool", x, 3, 2, 1);
+  x = nb.conv_bn_relu("b2", x, 8, 3);
+  x = nb.global_avg_pool("gap", x);
+  x = nb.fully_connected("fc", x, kClasses, /*bias=*/true);
+  return nb.take();
+}
+
+Tensor<float> make_sample(std::uint64_t seed) {
+  Tensor<float> t(Shape4{1, 3, 16, 16});
+  Rng rng(seed);
+  t.fill_uniform(rng, -1.0f, 1.0f);
+  return t;
+}
+
+Tensor<float> clone(const Tensor<float>& t) {
+  Tensor<float> copy(t.shape());
+  std::copy(t.data(), t.data() + t.size(), copy.data());
+  return copy;
+}
+
+/// Train for a few steps from `train_seed`, checkpoint, and score each
+/// sample alone: the bitwise reference. Different train seeds produce
+/// different weights, so two oracles distinguish tag routing.
+struct TrainedOracle {
+  std::string blob;
+  std::vector<std::vector<Prediction>> topk;
+};
+
+TrainedOracle train_oracle(std::uint64_t train_seed,
+                           const std::vector<Tensor<float>>& samples,
+                           int top_k) {
+  TrainedOracle oracle;
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    const NetworkSpec spec = classifier_net();
+    Model model(spec, comm, Strategy::sample_parallel(spec.size(), 1), 7);
+    const Shape4 in_shape = model.rt(0).out_shape;
+    Rng rng(train_seed);
+    for (int step = 0; step < 3; ++step) {
+      Tensor<float> x(in_shape);
+      x.fill_uniform(rng, -1.0f, 1.0f);
+      std::vector<int> labels;
+      for (std::int64_t n = 0; n < in_shape.n; ++n) {
+        labels.push_back(static_cast<int>(rng.uniform() * kClasses) % kClasses);
+      }
+      model.set_input(0, x);
+      model.forward();
+      model.loss_softmax(labels);
+      model.backward();
+      model.sgd_step(kernels::SgdConfig{0.05f, 0.9f, 0.0f});
+    }
+    std::ostringstream out;
+    core::save_checkpoint(model, out);
+    oracle.blob = out.str();
+
+    for (const auto& s : samples) {
+      Tensor<float> input(in_shape);
+      input.zero();
+      std::copy(s.data(), s.data() + s.size(), input.data());
+      model.set_input(0, input);
+      model.forward(core::Mode::kInference);
+      const Tensor<float> logits = model.gather_output(model.output_layer());
+      oracle.topk.push_back(topk_softmax(logits.data(), kClasses, top_k));
+    }
+  });
+  return oracle;
+}
+
+void expect_bitwise(const InferenceResult& res,
+                    const std::vector<Prediction>& want, std::size_t i) {
+  ASSERT_EQ(res.topk.size(), want.size()) << "request " << i;
+  for (std::size_t k = 0; k < want.size(); ++k) {
+    EXPECT_EQ(res.topk[k].cls, want[k].cls) << "request " << i << " rank " << k;
+    EXPECT_EQ(res.topk[k].prob, want[k].prob)
+        << "request " << i << " rank " << k;
+  }
+}
+
+FleetModel fleet_model(const std::string& tag, const std::string& blob,
+                       int group_ranks, int replicas) {
+  NetworkSpec spec = classifier_net();
+  FleetModel fm;
+  fm.tag = tag;
+  fm.strategy = Strategy::sample_parallel(spec.size(), group_ranks);
+  fm.spec = std::move(spec);
+  fm.checkpoint = blob;
+  fm.opts.batcher.max_batch = static_cast<int>(kBatch);
+  fm.opts.batcher.max_delay_us = 500;
+  fm.opts.top_k = 3;
+  fm.replicas = replicas;
+  return fm;
+}
+
+TEST(Router, RoutesByTagToTheRightModelBitwise) {
+  constexpr int kRequests = 8;
+  std::vector<Tensor<float>> samples;
+  for (int i = 0; i < kRequests; ++i) samples.push_back(make_sample(400 + i));
+  // Two differently-trained checkpoints of the same net: a misrouted
+  // request would come back with the other model's (different) logits.
+  const TrainedOracle oracle_a = train_oracle(17, samples, 3);
+  const TrainedOracle oracle_b = train_oracle(91, samples, 3);
+  ASSERT_NE(oracle_a.topk[0][0].prob, oracle_b.topk[0][0].prob);
+
+  Router router;
+  router.add_model(fleet_model("model-a", oracle_a.blob, 2, 1));
+  router.add_model(fleet_model("model-b", oracle_b.blob, 2, 1));
+  ASSERT_EQ(router.total_ranks(), 4);
+
+  std::vector<std::future<InferenceResult>> fut_a, fut_b;
+  for (const auto& s : samples) {
+    fut_a.push_back(router.submit("model-a", clone(s)));
+    fut_b.push_back(router.submit("model-b", clone(s)));
+  }
+  EXPECT_THROW(router.submit("no-such-tag", make_sample(1)), Error);
+
+  std::thread client([&] {
+    for (auto& f : fut_a) f.wait();
+    for (auto& f : fut_b) f.wait();
+    router.shutdown();
+  });
+  comm::World world(router.total_ranks());
+  world.run([&](comm::Comm& comm) { router.serve(comm); });
+  client.join();
+
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    expect_bitwise(fut_a[i].get(), oracle_a.topk[i], i);
+    expect_bitwise(fut_b[i].get(), oracle_b.topk[i], i);
+  }
+  const RouterStats stats = router.stats();
+  EXPECT_EQ(stats.routed, static_cast<std::uint64_t>(2 * kRequests));
+  ASSERT_EQ(stats.models.size(), 2u);
+  EXPECT_EQ(stats.models[0].replicas[0].requests,
+            static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(stats.models[1].replicas[0].requests,
+            static_cast<std::uint64_t>(kRequests));
+}
+
+TEST(Router, TwoReplicasBalanceByQueueDepthAndMatchOracleBitwise) {
+  constexpr int kRequests = 10;
+  std::vector<Tensor<float>> samples;
+  for (int i = 0; i < kRequests; ++i) samples.push_back(make_sample(700 + i));
+  const TrainedOracle oracle = train_oracle(29, samples, 3);
+
+  Router router;
+  router.add_model(fleet_model("m", oracle.blob, 2, /*replicas=*/2));
+  ASSERT_EQ(router.total_ranks(), 4);
+
+  // Submitting before serve() starts makes balancing deterministic: queues
+  // only grow, so depth routing alternates groups request by request.
+  std::vector<std::future<InferenceResult>> futures;
+  for (const auto& s : samples) futures.push_back(router.submit("m", clone(s)));
+  {
+    const RouterStats pre = router.stats();
+    EXPECT_EQ(pre.models[0].replicas[0].pending,
+              static_cast<std::size_t>(kRequests / 2));
+    EXPECT_EQ(pre.models[0].replicas[1].pending,
+              static_cast<std::size_t>(kRequests / 2));
+  }
+
+  std::thread client([&] {
+    for (auto& f : futures) f.wait();
+    router.shutdown();
+  });
+  comm::World world(router.total_ranks());
+  world.run([&](comm::Comm& comm) { router.serve(comm); });
+  client.join();
+
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    expect_bitwise(futures[i].get(), oracle.topk[i], i);
+  }
+  const RouterStats stats = router.stats();
+  EXPECT_EQ(stats.models[0].replicas[0].requests +
+                stats.models[0].replicas[1].requests,
+            static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(stats.models[0].replicas[0].requests,
+            static_cast<std::uint64_t>(kRequests / 2));
+}
+
+TEST(Router, KillingOneReplicaFailsOnlyItsQueueAndServingContinues) {
+  std::vector<Tensor<float>> samples;
+  for (int i = 0; i < 6; ++i) samples.push_back(make_sample(800 + i));
+  const TrainedOracle oracle = train_oracle(41, samples, 3);
+
+  Router router;
+  router.add_model(fleet_model("m", oracle.blob, 2, /*replicas=*/2));
+
+  // Pre-serve: balance 3 requests onto each replica's queue, then poison
+  // replica 1 before its loop ever runs — its queued requests must fail with
+  // ReplicaKilledError, the others must still serve bitwise-correct.
+  std::vector<std::future<InferenceResult>> futures;
+  for (const auto& s : samples) futures.push_back(router.submit("m", clone(s)));
+  router.kill_replica("m", 1);
+  EXPECT_THROW(router.kill_replica("m", 7), Error);
+  EXPECT_THROW(router.kill_replica("nope", 0), Error);
+
+  // Submissions after the kill route to the survivor (the poisoned queue is
+  // closed even before its loop observes the flag).
+  std::vector<Tensor<float>> late;
+  for (int i = 0; i < 4; ++i) late.push_back(make_sample(880 + i));
+  const TrainedOracle late_oracle = train_oracle(41, late, 3);
+  std::vector<std::future<InferenceResult>> late_futures;
+  for (const auto& s : late) {
+    late_futures.push_back(router.submit("m", clone(s)));
+  }
+
+  std::thread client([&] {
+    for (auto& f : futures) f.wait();
+    for (auto& f : late_futures) f.wait();
+    router.shutdown();
+  });
+  comm::World world(router.total_ranks());
+  world.run([&](comm::Comm& comm) { router.serve(comm); });
+  client.join();
+
+  // Replica 0's requests (even indices: depth balancing alternated, group 0
+  // first) and all late ones served bitwise; replica 1's failed.
+  int killed = 0, served = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    try {
+      const InferenceResult res = futures[i].get();
+      expect_bitwise(res, oracle.topk[i], i);
+      ++served;
+    } catch (const ReplicaKilledError&) {
+      ++killed;
+    }
+  }
+  EXPECT_EQ(served, 3);
+  EXPECT_EQ(killed, 3);
+  for (std::size_t i = 0; i < late_futures.size(); ++i) {
+    expect_bitwise(late_futures[i].get(), late_oracle.topk[i], i);
+  }
+
+  const RouterStats stats = router.stats();
+  ASSERT_EQ(stats.models[0].replicas.size(), 2u);
+  EXPECT_FALSE(stats.models[0].replicas[0].dead);
+  EXPECT_TRUE(stats.models[0].replicas[1].dead);
+  EXPECT_EQ(stats.models[0].replicas[0].requests, 7u);  // 3 early + 4 late
+  EXPECT_EQ(stats.models[0].replicas[1].requests, 0u);
+  // With no live replica left to take work, admission control rejects.
+  router.kill_replica("m", 0);
+  EXPECT_THROW(router.submit("m", make_sample(1)), OverloadedError);
+}
+
+TEST(Router, RejectsInvalidRegistrations) {
+  Router router;
+  FleetModel no_tag = fleet_model("", "", 1, 1);
+  EXPECT_THROW(router.add_model(std::move(no_tag)), Error);
+  router.add_model(fleet_model("dup", "", 1, 1));
+  FleetModel dup = fleet_model("dup", "", 1, 1);
+  EXPECT_THROW(router.add_model(std::move(dup)), Error);
+  FleetModel bad_replicas = fleet_model("r", "", 1, 1);
+  bad_replicas.replicas = 0;
+  EXPECT_THROW(router.add_model(std::move(bad_replicas)), Error);
+}
+
+}  // namespace
+}  // namespace distconv::serve

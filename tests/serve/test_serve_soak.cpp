@@ -1,0 +1,247 @@
+// Serving soak (ctest label "soak" — excluded from the PR lane, run by the
+// scheduled serve-soak CI job under TSan): Poisson open-loop clients against
+// a two-replica router with a deadline policy while a seeded fault plan
+// kills a random rank mid-serve. The invariants are liveness-shaped, the
+// kind that only show up under sustained concurrent load:
+//   - the process neither hangs nor crashes (watchdog unsticks the dead
+//     group's peers; containment keeps the world alive),
+//   - every submitted future resolves — with a bitwise-correct result or a
+//     typed error (ReplicaKilledError / RankFailedError / CommTimeoutError /
+//     DeadlineExceededError / OverloadedError),
+//   - across the soak, requests are actually served and kills actually fire.
+// DC_SOAK_SECONDS scales the wall-clock budget (default a few seconds so
+// the test stays runnable by hand; the nightly job raises it).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "comm/faults.hpp"
+#include "comm/mailbox.hpp"
+#include "core/checkpoint.hpp"
+#include "core/layers.hpp"
+#include "core/model.hpp"
+#include "serve/router.hpp"
+
+namespace distconv::serve {
+namespace {
+
+using core::Model;
+using core::NetworkBuilder;
+using core::NetworkSpec;
+using core::Strategy;
+
+constexpr int kClasses = 4;
+constexpr std::int64_t kBatch = 4;
+constexpr int kWorld = 4;        // 2 replicas × 2 ranks
+constexpr int kGroupRanks = 2;
+constexpr int kRequestsPerRun = 40;
+constexpr int kSamplePool = 8;
+
+NetworkSpec soak_net() {
+  NetworkBuilder nb;
+  const int in = nb.input(Shape4{kBatch, 3, 8, 8});
+  int x = nb.conv_bn_relu("b1", in, 8, 3);
+  x = nb.global_avg_pool("gap", x);
+  x = nb.fully_connected("fc", x, kClasses, /*bias=*/true);
+  return nb.take();
+}
+
+Tensor<float> make_sample(std::uint64_t seed) {
+  Tensor<float> t(Shape4{1, 3, 8, 8});
+  Rng rng(seed);
+  t.fill_uniform(rng, -1.0f, 1.0f);
+  return t;
+}
+
+Tensor<float> clone(const Tensor<float>& t) {
+  Tensor<float> copy(t.shape());
+  std::copy(t.data(), t.data() + t.size(), copy.data());
+  return copy;
+}
+
+double soak_seconds() {
+  if (const char* env = std::getenv("DC_SOAK_SECONDS")) {
+    const double s = std::atof(env);
+    if (s > 0) return s;
+  }
+  return 3.0;
+}
+
+struct Oracle {
+  std::string blob;
+  std::vector<std::vector<Prediction>> topk;  // one per pool sample
+};
+
+Oracle train_oracle(const std::vector<Tensor<float>>& pool) {
+  Oracle oracle;
+  comm::World world(1);
+  world.run([&](comm::Comm& comm) {
+    const NetworkSpec spec = soak_net();
+    Model model(spec, comm, Strategy::sample_parallel(spec.size(), 1), 7);
+    const Shape4 in_shape = model.rt(0).out_shape;
+    Rng rng(51);
+    for (int step = 0; step < 3; ++step) {
+      Tensor<float> x(in_shape);
+      x.fill_uniform(rng, -1.0f, 1.0f);
+      std::vector<int> labels;
+      for (std::int64_t n = 0; n < in_shape.n; ++n) {
+        labels.push_back(static_cast<int>(rng.uniform() * kClasses) % kClasses);
+      }
+      model.set_input(0, x);
+      model.forward();
+      model.loss_softmax(labels);
+      model.backward();
+      model.sgd_step(kernels::SgdConfig{0.05f, 0.9f, 0.0f});
+    }
+    std::ostringstream out;
+    core::save_checkpoint(model, out);
+    oracle.blob = out.str();
+    for (const auto& s : pool) {
+      Tensor<float> input(in_shape);
+      input.zero();
+      std::copy(s.data(), s.data() + s.size(), input.data());
+      model.set_input(0, input);
+      model.forward(core::Mode::kInference);
+      const Tensor<float> logits = model.gather_output(model.output_layer());
+      oracle.topk.push_back(topk_softmax(logits.data(), kClasses, 3));
+    }
+  });
+  return oracle;
+}
+
+/// Seeded random kill for the *serving* loops: site=coll (every collective
+/// on a rank ticks it), not FaultPlan::random_kill's site=step, which only
+/// the Trainer's step boundary reaches and a serving loop never does. The
+/// occurrence offset skips past group-split/model-construction collectives
+/// often enough that most kills land mid-serve, while low seeds still probe
+/// the setup path (which fleet-level containment must also survive).
+comm::faults::FaultPlan random_serve_kill(std::uint64_t seed) {
+  std::uint64_t s = seed * 6364136223846793005ull + 1442695040888963407ull;
+  comm::faults::FaultSpec spec;
+  spec.rank = static_cast<int>((s >> 33) % kWorld);
+  s = s * 6364136223846793005ull + 1442695040888963407ull;
+  spec.site = comm::faults::FaultSite::kCollective;
+  spec.at = 4 + (s >> 33) % 48;
+  spec.action = comm::faults::FaultAction::kKill;
+  comm::faults::FaultPlan plan;
+  plan.add(spec);
+  return plan;
+}
+
+struct RunTally {
+  int served = 0;
+  int failed = 0;    // typed distconv errors — acceptable under faults
+  int rejected = 0;  // submit() itself refused (all replicas dead, ...)
+};
+
+/// One soak iteration: fresh router, fresh world, one seeded kill.
+RunTally soak_run(const Oracle& oracle, const std::vector<Tensor<float>>& pool,
+                  std::uint64_t seed) {
+  comm::faults::install_fault_plan(random_serve_kill(seed));
+
+  Router router;
+  {
+    NetworkSpec spec = soak_net();
+    FleetModel fm;
+    fm.tag = "soak";
+    fm.strategy = Strategy::sample_parallel(spec.size(), kGroupRanks);
+    fm.spec = std::move(spec);
+    fm.checkpoint = oracle.blob;
+    fm.opts.batcher.max_batch = static_cast<int>(kBatch);
+    fm.opts.batcher.max_delay_us = 300;
+    // Deadline policy: once a replica dies, anything stuck behind the
+    // watchdog window must shed rather than wait forever.
+    fm.opts.batcher.deadline_us = 2'000'000;
+    fm.opts.top_k = 3;
+    fm.replicas = 2;
+    router.add_model(std::move(fm));
+  }
+
+  std::vector<std::future<InferenceResult>> futures;
+  std::vector<int> sample_of;  // pool index per future, for the bitwise check
+  std::thread client([&] {
+    Rng rng(9000 + seed);
+    for (int i = 0; i < kRequestsPerRun; ++i) {
+      const int pick = static_cast<int>(rng.uniform() * kSamplePool) %
+                       kSamplePool;
+      try {
+        futures.push_back(router.submit("soak", clone(pool[pick])));
+        sample_of.push_back(pick);
+      } catch (const Error&) {
+        // Admission control refused (e.g. every replica already dead).
+      }
+      // Poisson arrivals, ~3.3k rps offered.
+      const double gap_us = -300.0 * std::log(1.0 - rng.uniform() * 0.999);
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<std::int64_t>(gap_us)));
+    }
+    for (auto& f : futures) f.wait();
+    router.shutdown();
+  });
+
+  {
+    // The watchdog is what turns "peer of a killed rank parked in a
+    // collective" into a typed CommTimeoutError the containment path can
+    // absorb. Generous: TSan slows everything down.
+    comm::CommTimeoutGuard watchdog(3000);
+    comm::World world(kWorld);
+    world.run([&](comm::Comm& comm) { router.serve(comm); });
+  }
+  client.join();
+  comm::faults::clear_fault_plan();
+
+  RunTally tally;
+  tally.rejected = kRequestsPerRun - static_cast<int>(futures.size());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "seed " << seed << " request " << i << " never resolved";
+    try {
+      const InferenceResult res = futures[i].get();
+      const auto& want = oracle.topk[static_cast<std::size_t>(sample_of[i])];
+      EXPECT_EQ(res.topk.size(), want.size());
+      for (std::size_t k = 0; k < res.topk.size() && k < want.size(); ++k) {
+        EXPECT_EQ(res.topk[k].cls, want[k].cls)
+            << "seed " << seed << " request " << i;
+        EXPECT_EQ(res.topk[k].prob, want[k].prob)
+            << "seed " << seed << " request " << i;
+      }
+      ++tally.served;
+    } catch (const Error&) {
+      ++tally.failed;  // killed / timed out / shed — all legitimate here
+    }
+  }
+  return tally;
+}
+
+TEST(ServeSoak, RouterSurvivesRandomKillsUnderPoissonLoad) {
+  std::vector<Tensor<float>> pool;
+  for (int i = 0; i < kSamplePool; ++i) pool.push_back(make_sample(3000 + i));
+  const Oracle oracle = train_oracle(pool);
+
+  comm::faults::reset_fault_stats();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(soak_seconds());
+  int total_served = 0;
+  std::uint64_t seed = 0;
+  // At least two iterations regardless of budget, then run the clock out.
+  while (seed < 2 || std::chrono::steady_clock::now() < deadline) {
+    const RunTally tally = soak_run(oracle, pool, seed);
+    // Conservation: every request the client issued was accounted for.
+    EXPECT_EQ(tally.served + tally.failed + tally.rejected, kRequestsPerRun)
+        << "seed " << seed;
+    total_served += tally.served;
+    ++seed;
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+  // The soak is vacuous if nothing was ever served or no kill ever fired.
+  EXPECT_GT(total_served, 0);
+  EXPECT_GE(comm::faults::fault_stats().kills, 1u);
+}
+
+}  // namespace
+}  // namespace distconv::serve

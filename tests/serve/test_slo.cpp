@@ -1,0 +1,76 @@
+// SLO admission control: the policy chooser must spend exactly the latency
+// budget the cost model leaves over, degrade to greedy + shedding when the
+// target is unattainable, and scale its fleet throughput prediction with
+// the replica count.
+#include <gtest/gtest.h>
+
+#include "models/models.hpp"
+#include "serve/slo.hpp"
+
+namespace distconv::serve {
+namespace {
+
+const perf::MachineModel kMachine = perf::MachineModel::lassen();
+
+TEST(Slo, AttainableTargetSpendsTheRemainingBudgetOnFill) {
+  const auto spec = models::make_mesh_model_1k(4);
+  const auto strategy = core::Strategy::hybrid(spec.size(), 16, 4);
+  const double latency =
+      perf::inference_cost(spec, strategy, kMachine).batch_latency();
+  const double target = 3.0 * latency;
+  const SloDecision d = choose_serving_policy(spec, strategy, kMachine, target);
+  EXPECT_TRUE(d.attainable);
+  EXPECT_EQ(d.predicted_batch_latency, latency);
+  // max_delay = target − L (floored to whole µs), so predicted p99 lands on
+  // the target from below.
+  EXPECT_NEAR(d.batcher.max_delay_us * 1e-6, target - latency, 1e-6);
+  EXPECT_LE(d.predicted_p99, target);
+  EXPECT_GT(d.predicted_p99, latency);
+  // max_batch is the model's dispatch capacity; deadline sits at the target.
+  EXPECT_EQ(d.batcher.max_batch, 4);
+  EXPECT_GE(d.batcher.deadline_us * 1e-6, target);
+  EXPECT_EQ(d.batcher.max_queue, 8);  // 2 × capacity
+  EXPECT_EQ(d.replicas, 1);
+}
+
+TEST(Slo, UnattainableTargetDegradesToGreedyShedding) {
+  const auto spec = models::make_mesh_model_1k(4);
+  const auto strategy = core::Strategy::hybrid(spec.size(), 16, 4);
+  const double latency =
+      perf::inference_cost(spec, strategy, kMachine).batch_latency();
+  const double target = 0.25 * latency;  // below the forward alone
+  const SloDecision d = choose_serving_policy(spec, strategy, kMachine, target);
+  EXPECT_FALSE(d.attainable);
+  // Nothing to gain from waiting: greedy dispatch, deadline at the target so
+  // hopeless requests shed instead of wasting a forward.
+  EXPECT_EQ(d.batcher.max_delay_us, 0);
+  EXPECT_GE(d.batcher.deadline_us, 1);
+  EXPECT_GT(d.predicted_p99, target);
+}
+
+TEST(Slo, FleetPredictionScalesWithReplicas) {
+  const auto spec = models::make_mesh_model_1k(4);
+  const auto strategy = core::Strategy::hybrid(spec.size(), 16, 4);
+  const double target = 1.0;  // generously attainable
+  const SloDecision one = choose_serving_policy(spec, strategy, kMachine,
+                                                target, /*replicas=*/1);
+  const SloDecision four = choose_serving_policy(spec, strategy, kMachine,
+                                                 target, /*replicas=*/4);
+  // Same per-replica policy either way; only the fleet throughput scales.
+  EXPECT_EQ(one.batcher.max_delay_us, four.batcher.max_delay_us);
+  EXPECT_EQ(one.predicted_p99, four.predicted_p99);
+  EXPECT_EQ(four.replicas, 4);
+  EXPECT_NEAR(four.predicted_throughput, 4.0 * one.predicted_throughput,
+              1e-9 * four.predicted_throughput);
+}
+
+TEST(Slo, RejectsNonsenseInputs) {
+  const auto spec = models::make_mesh_model_1k(4);
+  const auto strategy = core::Strategy::hybrid(spec.size(), 16, 4);
+  EXPECT_THROW(choose_serving_policy(spec, strategy, kMachine, 0.0), Error);
+  EXPECT_THROW(choose_serving_policy(spec, strategy, kMachine, -1.0), Error);
+  EXPECT_THROW(choose_serving_policy(spec, strategy, kMachine, 1.0, 0), Error);
+}
+
+}  // namespace
+}  // namespace distconv::serve

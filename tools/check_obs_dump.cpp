@@ -32,6 +32,34 @@ std::string read_file(const std::string& path) {
   return ss.str();
 }
 
+/// Replica-scoped serving metrics follow a fixed grammar:
+/// serve.replica.<group>.<suffix> with a known suffix. A typo'd suffix would
+/// silently split a dashboard series, so the namespace is validated here.
+void check_replica_metric_name(const std::string& name) {
+  const std::string prefix = "serve.replica.";
+  if (name.rfind(prefix, 0) != 0) return;  // not replica-scoped
+  std::size_t i = prefix.size();
+  std::size_t digits = 0;
+  while (i < name.size() && name[i] >= '0' && name[i] <= '9') {
+    ++i;
+    ++digits;
+  }
+  if (digits == 0 || i >= name.size() || name[i] != '.') {
+    throw std::runtime_error("metric \"" + name +
+                             "\" lacks the serve.replica.<group>.<suffix> "
+                             "group index");
+  }
+  const std::string suffix = name.substr(i + 1);
+  for (const char* known :
+       {"requests", "batches", "refills", "batch_size", "latency_us", "shed",
+        "expired", "queue_depth"}) {
+    if (suffix == known) return;
+  }
+  throw std::runtime_error("metric \"" + name +
+                           "\" has unknown serve.replica suffix \"" + suffix +
+                           "\"");
+}
+
 /// The metrics dump must be an object with "ranks" (object of per-rank
 /// {counters, histograms}), "process" and "gauges" members.
 void check_metrics(const std::string& path) {
@@ -53,10 +81,25 @@ void check_metrics(const std::string& path) {
       if (!v.is_number()) {
         throw std::runtime_error("counter " + name + " is not a number");
       }
+      check_replica_metric_name(name);
+    }
+    if (const Value* hists = per_rank.find("histograms");
+        hists != nullptr && hists->is_object()) {
+      for (const auto& [name, v] : hists->object) {
+        (void)v;
+        check_replica_metric_name(name);
+      }
     }
   }
-  if (root.find("gauges") == nullptr) {
+  const Value* gauges = root.find("gauges");
+  if (gauges == nullptr) {
     throw std::runtime_error("metrics dump has no \"gauges\" member");
+  }
+  if (gauges->is_object()) {
+    for (const auto& [name, v] : gauges->object) {
+      (void)v;
+      check_replica_metric_name(name);
+    }
   }
 }
 
