@@ -21,6 +21,7 @@
 #include "core/trainer.hpp"
 #include "models/models.hpp"
 #include "obs/compare.hpp"
+#include "obs/drift.hpp"
 #include "obs/metrics.hpp"
 #include "perf/compute_model.hpp"
 #include "perf/layer_cost.hpp"
@@ -148,10 +149,19 @@ int main(int argc, char** argv) {
     const core::NetworkSpec spec = models::make_mesh_model_test(4, 32);
     const core::Strategy strategy =
         core::Strategy::uniform(spec.size(), ProcessGrid{1, 1, 2, 2});
+    // Online drift detection rides along: the monitor re-joins measured vs
+    // modelled at every step boundary (DC_OBS_DRIFT_EVERY overrides the
+    // cadence) and publishes model.drift.<term> gauges into the same
+    // metrics dump CI validates with check_obs_dump.
+    obs::DriftOptions dopts = obs::drift_options_from_env();
+    if (dopts.every <= 0) dopts.every = 1;
+    obs::DriftMonitor drift(spec, strategy, machine, ranks, dopts, {},
+                            &compute);
     comm::World world(ranks);
     world.run([&](comm::Comm& comm) {
       core::Model model(spec, comm, strategy, 7);
       core::Trainer trainer(model, core::TrainerOptions{});
+      trainer.attach_drift(&drift);
       const Shape4 mesh_in = model.rt(0).out_shape;
       const Shape4 mesh_out = model.rt(model.output_layer()).out_shape;
       Tensor<float> input(mesh_in), targets(mesh_out);
@@ -167,6 +177,11 @@ int main(int argc, char** argv) {
                               machine, ranks, {}, &compute);
     std::printf("\nmeasured vs modelled (per rank, per step, %d steps):\n%s",
                 cmp.steps, cmp.str().c_str());
+    std::printf("online drift: %llu checks, %llu term-warnings "
+                "(tol %.2gx; model.drift.* gauges in the metrics dump)\n",
+                static_cast<unsigned long long>(drift.checks()),
+                static_cast<unsigned long long>(drift.warnings()),
+                drift.options().warn_ratio);
     if (!metrics_were_on) obs::metrics::set_enabled(false);
   }
   return 0;

@@ -45,17 +45,25 @@ void World::run(const std::function<void(Comm&)>& fn) {
           if (!first_error) first_error = std::current_exception();
         }
         // Wake every rank blocked in communication so the world can unwind.
-        // The abort carries this rank's identity and message: each mailbox
-        // latches the first failure it hears about, so every other rank's
-        // RankFailedError names the rank that actually died and why.
+        // The abort carries the *root-cause* identity: a rank unwinding from
+        // a RankFailedError is a secondary casualty, and its fan-out races
+        // with the dying rank's own — re-broadcasting its own rank here
+        // could overwrite, on mailboxes the original loop had not reached
+        // yet, which rank actually died. Each mailbox latches the first
+        // failure it hears about, so with the identity forwarded every
+        // rank's RankFailedError names the same root failure and why.
+        int failed_rank = rank;
         std::string why = "non-exception failure";
         try {
           throw;
+        } catch (const RankFailedError& e) {
+          if (e.rank() >= 0) failed_rank = e.rank();
+          why = e.what();
         } catch (const std::exception& e) {
           why = e.what();
         } catch (...) {
         }
-        for (auto& mb : mailboxes_) mb->abort(rank, why);
+        for (auto& mb : mailboxes_) mb->abort(failed_rank, why);
       }
       log::set_thread_rank(-1);
     });

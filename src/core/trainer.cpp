@@ -2,6 +2,7 @@
 
 #include "comm/faults.hpp"
 #include "core/snapshots.hpp"
+#include "obs/drift.hpp"
 
 namespace distconv::core {
 
@@ -49,13 +50,18 @@ void Trainer::end_step() {
     c_exposed.add(exposed);
     c_tail.add(tail);
     h_wall.record(wall_u / 1000);
+    // The step index is the marker trace_critical_path aligns ranks on:
+    // ring wraparound can drop different steps on different ranks, so the
+    // ordinal position of a "step" event within one file is not reliable.
     const obs::trace::Arg args[] = {
         {"compute_ms", static_cast<double>(compute) * 1e-6},
         {"exposed_ms", static_cast<double>(exposed) * 1e-6},
-        {"tail_ms", static_cast<double>(tail) * 1e-6}};
-    obs::trace::emit_complete("step", "step", step_t0_ns_, wall, args, 3);
+        {"tail_ms", static_cast<double>(tail) * 1e-6},
+        {"step", static_cast<double>(step)}};
+    obs::trace::emit_complete("step", "step", step_t0_ns_, wall, args, 4);
     step_timed_ = false;
   }
+  if (drift_ != nullptr) drift_->on_step(step);
   if (snapshots_ != nullptr) snapshots_->on_step_complete(step);
 }
 

@@ -23,6 +23,10 @@
 #include "core/model.hpp"
 #include "obs/attribution.hpp"
 
+namespace distconv::obs {
+class DriftMonitor;
+}
+
 namespace distconv::core {
 
 class SnapshotManager;
@@ -59,6 +63,12 @@ class Trainer {
   /// detach. The manager must outlive the trainer.
   void attach_snapshots(SnapshotManager* snapshots) { snapshots_ = snapshots; }
 
+  /// Online perf-model drift checks: after each completed step the monitor's
+  /// cadence decides whether to re-join measured metrics against the cost
+  /// model (rank 0 only). Pass nullptr to detach; the monitor must outlive
+  /// the trainer.
+  void attach_drift(obs::DriftMonitor* drift) { drift_ = drift; }
+
   /// Optimizer steps completed by *this trainer object*. The recovery path
   /// seeds it from the restored snapshot's step so the replayed loop and the
   /// snapshot cadence line up with the pre-fault run.
@@ -78,6 +88,7 @@ class Trainer {
   Model* model_;
   TrainerOptions options_;
   SnapshotManager* snapshots_ = nullptr;
+  obs::DriftMonitor* drift_ = nullptr;
   std::int64_t steps_done_ = 0;
   /// Step-attribution bookkeeping: the wall clock and the rank thread's
   /// cumulative wait totals at begin_step(), differenced at end_step().

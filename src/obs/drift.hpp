@@ -1,0 +1,75 @@
+#pragma once
+
+// Online perf-model drift detection (§ observability): instead of joining
+// measured timings against the §V cost model once at exit
+// (obs::compare_to_model), a DriftMonitor re-runs the join every
+// DC_OBS_DRIFT_EVERY steps while training runs, publishes the per-term
+// measured/modelled ratio as "model.drift.<term>" gauges (parts-per-
+// million, so int64 gauges carry a fraction), and logs a rank-0 warning
+// when a term's ratio leaves [1/tol, tol] (DC_OBS_DRIFT_TOL, default 2).
+// The strategy optimizer and the serve SLO chooser trust the model
+// blindly; the drift gauges are how a live system notices it shouldn't.
+//
+// Attach with Trainer::attach_drift; on_step() is cheap when disabled and
+// only rank 0 performs the snapshot merge.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "obs/compare.hpp"
+
+namespace distconv::obs {
+
+struct DriftOptions {
+  int every = 0;          ///< check cadence in steps; 0 disables
+  double warn_ratio = 2;  ///< warn when ratio > tol or < 1/tol
+};
+
+/// DC_OBS_DRIFT_EVERY / DC_OBS_DRIFT_TOL.
+DriftOptions drift_options_from_env();
+
+/// Gauge name for a comparison term: "model.drift." + the term with every
+/// non-alphanumeric squashed to '_' ("conv fwd compute" ->
+/// "model.drift.conv_fwd_compute"). Gauge values are ratio * 1e6 (ppm).
+std::string drift_gauge_name(const std::string& term);
+
+class DriftMonitor {
+ public:
+  /// The spec is borrowed, not copied (NetworkSpec is move-only); it must
+  /// outlive the monitor, which holds throughout a training run where both
+  /// live on the harness stack.
+  DriftMonitor(const core::NetworkSpec& spec, core::Strategy strategy,
+               perf::MachineModel machine, int ranks,
+               DriftOptions opts = drift_options_from_env(),
+               perf::NetworkCostOptions cost_options = {},
+               const perf::ComputeModel* compute = nullptr);
+
+  /// Step-boundary hook: every rank thread may call it, but only rank 0 on
+  /// the configured cadence pays for the snapshot + model join. No-op when
+  /// metrics are disabled or `every` is 0.
+  void on_step(std::int64_t step);
+
+  /// Most recent comparison (empty before the first check).
+  ModelComparison last() const;
+
+  std::uint64_t checks() const;    ///< completed comparisons
+  std::uint64_t warnings() const;  ///< terms seen outside [1/tol, tol]
+  const DriftOptions& options() const { return opts_; }
+
+ private:
+  const core::NetworkSpec& spec_;
+  core::Strategy strategy_;
+  perf::MachineModel machine_;
+  int ranks_;
+  DriftOptions opts_;
+  perf::NetworkCostOptions cost_options_;
+  const perf::ComputeModel* compute_;
+
+  mutable std::mutex mu_;
+  ModelComparison last_;
+  std::uint64_t checks_ = 0;
+  std::uint64_t warnings_ = 0;
+};
+
+}  // namespace distconv::obs

@@ -20,7 +20,9 @@ namespace {
 // race on the relaxed atomics themselves. Interning past the cap lands on
 // the shared "obs.dropped" slot (id 0) instead of failing a hot path.
 constexpr int kMaxCounters = 2048;
-constexpr int kMaxHistograms = 64;
+// Four per-stage serve histograms per replica prefix on top of the loop
+// bundle: 64 slots would overflow on a handful of replica groups.
+constexpr int kMaxHistograms = 128;
 constexpr int kHistBuckets = 44;  // log2 buckets; covers ~4.6 hours in ns
 
 struct CounterShard {

@@ -1,6 +1,7 @@
 #include "obs/obs.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/stream.hpp"
 #include "obs/trace.hpp"
 #include "support/logging.hpp"
 
@@ -14,9 +15,21 @@ void init_from_env() {
     return true;
   }();
   (void)once;
+  // Outside the once-block: a run that begins after configure()/env changes
+  // still gets its flusher, and a stopped flusher restarts.
+  stream::ensure_started();
 }
 
 void dump_if_configured() {
+  // Quiesce the background flusher before the final synchronous flush: the
+  // direct metrics::dump below shares the atomic-rename .tmp name with the
+  // flusher's periodic dump, so the two must never run concurrently. The
+  // next World::run's init_from_env restarts the worker.
+  stream::stop();
+  // Final synchronous flush: with streaming on, events recorded since the
+  // last periodic flush land in a closing segment, and the metrics
+  // snapshot below then supersedes the streamed one.
+  stream::flush_now();
   const std::string& mpath = metrics::configured_path();
   if (!mpath.empty()) metrics::dump(mpath);
   const std::string& tdir = trace::configured_dir();

@@ -1,0 +1,54 @@
+#pragma once
+
+// Streaming telemetry export (§ observability): a background flusher that
+// periodically drains the trace rings into rotated segment files
+// (trace-seg<NNNNN>-rank<r>.json, atomic tmp+rename each) and overwrites a
+// cumulative metrics snapshot. A killed process therefore leaves every
+// segment flushed before the kill plus the last metrics snapshot on disk —
+// dump-at-exit is only the final flush — and long runs never lose the
+// ring's oldest events to wraparound.
+//
+// Off unless DC_OBS_FLUSH_MS > 0; sinks default to DC_TRACE_DIR /
+// DC_METRICS. Tests override both with configure(). World::run starts the
+// flusher on entry (obs::init_from_env) and obs::dump_if_configured runs a
+// final synchronous flush on exit, including the failure path.
+
+#include <cstdint>
+#include <string>
+
+namespace distconv::obs::stream {
+
+struct Options {
+  int period_ms = 0;         ///< flush cadence; 0 disables streaming
+  std::string trace_dir;     ///< segment directory ("" = no trace segments)
+  std::string metrics_path;  ///< periodic metrics snapshot ("" = none)
+  int keep_segments = 0;     ///< >0: unlink segments older than this many
+                             ///< flushes (DC_OBS_KEEP_SEGMENTS; 0 = keep all)
+};
+
+/// DC_OBS_FLUSH_MS / DC_TRACE_DIR / DC_METRICS / DC_OBS_KEEP_SEGMENTS.
+Options options_from_env();
+
+/// Replace the active options (tests). Stops a running flusher first; call
+/// ensure_started() afterwards to restart with the new options.
+void configure(const Options& opts);
+
+/// True when the active options ask for streaming (period > 0 and at least
+/// one sink configured).
+bool enabled();
+
+/// Start the background flusher if enabled and not already running.
+/// Idempotent and cheap; called from World::run entry.
+void ensure_started();
+
+/// One synchronous flush: drain trace segments + metrics snapshot.
+/// Safe without a running flusher thread. Returns events drained.
+std::size_t flush_now();
+
+/// Stop and join the flusher thread (no implicit final flush).
+void stop();
+
+/// Completed flushes since process start (tests / debugging).
+std::uint64_t flushes();
+
+}  // namespace distconv::obs::stream

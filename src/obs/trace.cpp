@@ -13,6 +13,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "support/atomic_file.hpp"
 #include "support/logging.hpp"
 
@@ -43,12 +44,15 @@ struct Ring {
   Ring(int r, int t, std::size_t capacity) : rank(r), tid(t) {
     buf.resize(capacity);
   }
-  void push(const Event& e) {
+  /// Returns true when the push overwrote (dropped) the oldest event.
+  bool push(const Event& e) {
     std::lock_guard<std::mutex> lock(mu);
-    if (buf.empty()) return;
+    if (buf.empty()) return false;
+    const bool overwrote = count >= buf.size();
     buf[next] = e;
     next = (next + 1) % buf.size();
     ++count;
+    return overwrote;
   }
 };
 
@@ -65,6 +69,17 @@ TraceRegistry& registry() {
 
 std::atomic<int> g_enabled{-1};
 std::atomic<std::size_t> g_capacity{0};
+std::atomic<std::uint64_t> g_dropped{0};
+std::atomic<unsigned> g_segment_seq{0};
+
+// Wraparound losses are mirrored into the metrics registry so dashboards
+// and check_obs_dump see them without parsing trace files. The bump happens
+// outside the ring mutex: intern takes the metrics registry lock once.
+void count_drop() {
+  g_dropped.fetch_add(1, std::memory_order_relaxed);
+  static const metrics::Counter dropped = metrics::counter("obs.trace.dropped");
+  dropped.inc();
+}
 
 std::size_t capacity() {
   std::size_t c = g_capacity.load(std::memory_order_relaxed);
@@ -173,7 +188,7 @@ void emit_complete(const char* name, const char* cat, std::int64_t ts_ns,
   e.dur_ns = dur_ns;
   e.ph = 'X';
   fill_args(e, args, nargs);
-  thread_ring().push(e);
+  if (thread_ring().push(e)) count_drop();
 }
 
 void emit_instant(const char* name, const char* cat, const Arg* args,
@@ -186,54 +201,98 @@ void emit_instant(const char* name, const char* cat, const Arg* args,
   e.dur_ns = 0;
   e.ph = 'i';
   fill_args(e, args, nargs);
-  thread_ring().push(e);
+  if (thread_ring().push(e)) count_drop();
 }
+
+namespace {
+
+struct Rec {
+  Event e;
+  int tid;
+};
+
+/// Retained events grouped by rank (rank -1 => "process" file), oldest
+/// first per ring. With `drain` the rings are emptied as they are read, so
+/// subsequent calls only see newer events.
+std::map<int, std::vector<Rec>> collect(bool drain) {
+  std::map<int, std::vector<Rec>> by_rank;
+  TraceRegistry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& ring : reg.rings) {
+    std::lock_guard<std::mutex> rl(ring->mu);
+    const std::size_t cap = ring->buf.size();
+    const std::size_t n = std::min(ring->count, cap);
+    // Oldest retained event first: when wrapped, the cursor points at it.
+    const std::size_t start = ring->count > cap ? ring->next : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      by_rank[ring->rank].push_back(
+          Rec{ring->buf[(start + i) % cap], ring->tid});
+    }
+    if (drain) {
+      ring->next = 0;
+      ring->count = 0;
+    }
+  }
+  return by_rank;
+}
+
+std::string render_rank_json(int rank, std::vector<Rec>& recs) {
+  std::stable_sort(recs.begin(), recs.end(), [](const Rec& a, const Rec& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return a.e.ts_ns < b.e.ts_ns;
+  });
+  std::string out = "{\"traceEvents\":[\n";
+  char meta[128];
+  std::snprintf(meta, sizeof(meta),
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":"
+                "{\"name\":\"rank %d\"}}",
+                rank);
+  out += meta;
+  for (const auto& rec : recs) {
+    out += ",\n";
+    append_event_json(out, rec.e, rec.tid);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace
 
 void dump(const std::string& dir) {
   ::mkdir(dir.c_str(), 0775);  // single level; EEXIST is fine
-  // Collect retained events grouped by rank (rank -1 => "process" file).
-  struct Rec {
-    Event e;
-    int tid;
-  };
-  std::map<int, std::vector<Rec>> by_rank;
-  {
-    TraceRegistry& reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mu);
-    for (auto& ring : reg.rings) {
-      std::lock_guard<std::mutex> rl(ring->mu);
-      const std::size_t cap = ring->buf.size();
-      const std::size_t n = std::min(ring->count, cap);
-      // Oldest retained event first: when wrapped, the cursor points at it.
-      const std::size_t start = ring->count > cap ? ring->next : 0;
-      for (std::size_t i = 0; i < n; ++i) {
-        by_rank[ring->rank].push_back(
-            Rec{ring->buf[(start + i) % cap], ring->tid});
-      }
-    }
-  }
+  auto by_rank = collect(/*drain=*/false);
   for (auto& [rank, recs] : by_rank) {
-    std::stable_sort(recs.begin(), recs.end(), [](const Rec& a, const Rec& b) {
-      if (a.tid != b.tid) return a.tid < b.tid;
-      return a.e.ts_ns < b.e.ts_ns;
-    });
-    std::string out = "{\"traceEvents\":[\n";
-    char meta[128];
-    std::snprintf(meta, sizeof(meta),
-                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":"
-                  "{\"name\":\"rank %d\"}}",
-                  rank);
-    out += meta;
-    for (const auto& rec : recs) {
-      out += ",\n";
-      append_event_json(out, rec.e, rec.tid);
-    }
-    out += "\n]}\n";
     const std::string file =
         rank < 0 ? dir + "/trace-process.json"
                  : dir + "/trace-rank" + std::to_string(rank) + ".json";
-    support::write_file_atomic(file, out);
+    support::write_file_atomic(file, render_rank_json(rank, recs));
   }
+}
+
+std::size_t drain_segments(const std::string& dir,
+                           std::vector<std::string>* files) {
+  ::mkdir(dir.c_str(), 0775);
+  auto by_rank = collect(/*drain=*/true);
+  std::size_t events = 0;
+  for (auto& [rank, recs] : by_rank) events += recs.size();
+  if (events == 0) return 0;
+  char seg[16];
+  std::snprintf(seg, sizeof(seg), "%05u",
+                g_segment_seq.fetch_add(1, std::memory_order_relaxed));
+  for (auto& [rank, recs] : by_rank) {
+    if (recs.empty()) continue;
+    const std::string file =
+        dir + "/trace-seg" + seg +
+        (rank < 0 ? std::string("-process") : "-rank" + std::to_string(rank)) +
+        ".json";
+    support::write_file_atomic(file, render_rank_json(rank, recs));
+    if (files) files->push_back(file);
+  }
+  return events;
+}
+
+std::uint64_t dropped_total() {
+  return g_dropped.load(std::memory_order_relaxed);
 }
 
 void reset() {
@@ -244,6 +303,8 @@ void reset() {
     ring->next = 0;
     ring->count = 0;
   }
+  g_dropped.store(0, std::memory_order_relaxed);
+  g_segment_seq.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace distconv::obs::trace

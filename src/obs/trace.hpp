@@ -13,9 +13,15 @@
 //
 // Off unless DC_TRACE_DIR=<dir> is set or a test calls set_enabled(true);
 // DC_TRACE_BUF overrides the per-thread ring capacity (default 16384).
+//
+// Ring overwrite is counted: dropped_total() reports how many events were
+// lost to wraparound since the last reset(), and every overwrite bumps the
+// "obs.trace.dropped" metrics counter. The streaming flusher (obs/stream)
+// calls drain_segments() periodically so long runs never wrap.
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace distconv::obs::trace {
 
@@ -33,7 +39,7 @@ void set_capacity(std::size_t events);
 std::int64_t now_ns();
 
 /// Up to this many numeric args per event.
-constexpr int kMaxArgs = 3;
+constexpr int kMaxArgs = 4;
 
 struct Arg {
   const char* key;
@@ -86,7 +92,21 @@ class Span {
 /// events sorted by thread then timestamp). Creates `dir` if missing.
 void dump(const std::string& dir);
 
-/// Drop every buffered event (tests).
+/// Move every retained event out of the rings into a new rotated segment
+/// (<dir>/trace-seg<NNNNN>-rank<r>.json, one file per rank plus -process
+/// for rank-less threads; atomic tmp+rename per file). Rings are left
+/// empty, so a periodic drain keeps wraparound losses at zero. Returns the
+/// number of events written; when `files` is non-null the paths of the
+/// segment files written by this call are appended to it. Segments use the
+/// same JSON shape as dump() so any trace-*.json consumer can read them.
+std::size_t drain_segments(const std::string& dir,
+                           std::vector<std::string>* files = nullptr);
+
+/// Events lost to ring wraparound since the last reset(). Mirrored in the
+/// "obs.trace.dropped" metrics counter when metrics are enabled.
+std::uint64_t dropped_total();
+
+/// Drop every buffered event and zero drop/segment accounting (tests).
 void reset();
 
 }  // namespace distconv::obs::trace

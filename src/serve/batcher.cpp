@@ -1,6 +1,7 @@
 #include "serve/batcher.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 
 #include "obs/attribution.hpp"
@@ -9,6 +10,15 @@
 namespace distconv::serve {
 
 namespace {
+
+// Fleet-global request id sequence: unique across every batcher in the
+// process so per-request trace instants are unambiguous fleet-wide.
+std::atomic<std::uint64_t> g_next_request_id{1};
+
+void emit_req_instant(const char* name, std::uint64_t id) {
+  const obs::trace::Arg args[] = {{"req", static_cast<double>(id)}};
+  obs::trace::emit_instant(name, "serve", args, 1);
+}
 
 std::int64_t env_int(const char* name, std::int64_t fallback) {
   const char* s = std::getenv(name);
@@ -48,10 +58,15 @@ ServeOptions serve_options_from_env() {
   return opts;
 }
 
-std::future<InferenceResult> Batcher::push(Tensor<float> input, int passes) {
+std::future<InferenceResult> Batcher::push(Tensor<float> input, int passes,
+                                           std::uint64_t* id_out) {
   DC_REQUIRE(input.shape().n == 1, "serve requests carry one sample, got ",
              input.shape().str());
   DC_REQUIRE(passes >= 1, "request cost must be >= 1 pass, got ", passes);
+  // Minted before the admission check so shed requests have an id too.
+  const std::uint64_t id =
+      g_next_request_id.fetch_add(1, std::memory_order_relaxed);
+  if (id_out != nullptr) *id_out = id;
   std::lock_guard<std::mutex> lock(mu_);
   DC_REQUIRE(!closed_, "Batcher::push after close()");
   if (opts_.max_queue > 0 &&
@@ -59,14 +74,14 @@ std::future<InferenceResult> Batcher::push(Tensor<float> input, int passes) {
     ++shed_;
     if (obs::timing_enabled()) {
       obs_.shed.inc();
-      obs::trace::emit_instant("serve-shed", "serve");
+      emit_req_instant("serve.req.shed", id);
     }
     throw OverloadedError(internal::compose(
         "serve queue full (", queue_.size(), " of DC_SERVE_MAX_QUEUE=",
-        opts_.max_queue, " requests queued); request rejected"));
+        opts_.max_queue, " requests queued); request ", id, " rejected"));
   }
   Request req;
-  req.id = next_id_++;
+  req.id = id;
   req.input = std::move(input);
   req.passes = passes;
   req.enqueued = std::chrono::steady_clock::now();
@@ -74,6 +89,7 @@ std::future<InferenceResult> Batcher::push(Tensor<float> input, int passes) {
   queue_.push_back(std::move(req));
   if (obs::timing_enabled()) {
     obs_.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
+    emit_req_instant("serve.req.queued", id);
   }
   cv_.notify_all();
   return fut;
@@ -88,7 +104,7 @@ void Batcher::expire_stale_locked(std::chrono::steady_clock::time_point now) {
     ++expired_;
     if (obs::timing_enabled()) {
       obs_.expired.inc();
-      obs::trace::emit_instant("serve-expired", "serve");
+      emit_req_instant("serve.req.expired", req.id);
     }
     req.done.set_exception(std::make_exception_ptr(DeadlineExceededError(
         internal::compose("request ", req.id, " queued longer than "
@@ -136,6 +152,8 @@ std::vector<Request> Batcher::next_batch(int limit) {
     }
     if (obs::timing_enabled()) {
       obs_.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
+      const auto now = std::chrono::steady_clock::now();
+      for (Request& r : out) r.popped = now;
     }
     if (!out.empty() || closed_) return out;
     // Every queued request expired while we were forming the batch; a live
@@ -154,6 +172,8 @@ std::vector<Request> Batcher::take_ready(int limit) {
   }
   if (obs::timing_enabled()) {
     obs_.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
+    const auto now = std::chrono::steady_clock::now();
+    for (Request& r : out) r.popped = now;
   }
   return out;
 }

@@ -20,7 +20,10 @@
 
 namespace distconv::serve {
 
-/// A queued single-sample request.
+/// A queued single-sample request. `id` comes from a fleet-global sequence
+/// minted at submit time (Router::submit / Batcher::push), so one request
+/// is traceable across router, batcher, replica forward, and response
+/// scatter: every serve.req.* trace instant carries it as the "req" arg.
 struct Request {
   std::uint64_t id = 0;
   Tensor<float> input;  ///< (1, C, H, W)
@@ -30,6 +33,10 @@ struct Request {
   int passes = 1;
   std::promise<InferenceResult> done;
   std::chrono::steady_clock::time_point enqueued;
+  /// Stage timestamps for the queue / batch-wait / forward / respond
+  /// latency breakdown; only stamped when obs::timing_enabled().
+  std::chrono::steady_clock::time_point popped;      ///< left the queue
+  std::chrono::steady_clock::time_point dispatched;  ///< forward started
 };
 
 class Batcher {
@@ -42,8 +49,11 @@ class Batcher {
   /// will arrive on. `passes` is the request's cost in forward passes.
   /// Throws OverloadedError when the queue already holds max_queue requests
   /// (admission control — the caller should back off or shed load).
-  /// Thread-safe; must not be called after close().
-  std::future<InferenceResult> push(Tensor<float> input, int passes = 1);
+  /// When `id_out` is non-null it receives the request's fleet-global id
+  /// (also assigned to shed requests, whose serve.req.shed instant carries
+  /// it). Thread-safe; must not be called after close().
+  std::future<InferenceResult> push(Tensor<float> input, int passes = 1,
+                                    std::uint64_t* id_out = nullptr);
 
   /// Block until a batch is ready under the policy and pop it (FIFO order,
   /// at most min(limit, max_batch) requests — `limit` is the model's batch
@@ -91,7 +101,6 @@ class Batcher {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Request> queue_;
-  std::uint64_t next_id_ = 1;
   std::uint64_t shed_ = 0;
   std::uint64_t expired_ = 0;
   bool closed_ = false;

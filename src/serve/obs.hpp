@@ -30,16 +30,28 @@ struct BatcherObs {
   }
 };
 
-/// Serving-loop metrics: dispatch and completion.
+/// Serving-loop metrics: dispatch, completion, and the per-request stage
+/// breakdown (queue = enqueue→pop, batch_wait = pop→forward start,
+/// forward = forward start→forward end, respond = forward end→future set).
 struct LoopObs {
   obs::metrics::Counter requests;
   obs::metrics::Counter batches;
   obs::metrics::Counter refills;  ///< continuous-batching slot refills
   obs::metrics::Histogram batch_size;
   obs::metrics::Histogram latency_us;
+  obs::metrics::Histogram stage_queue_us;
+  obs::metrics::Histogram stage_batch_wait_us;
+  obs::metrics::Histogram stage_forward_us;
+  obs::metrics::Histogram stage_respond_us;
+  /// Live completion-window percentiles, refreshed on the serving loop's
+  /// drift cadence so dashboards (and the SLO chooser) see measured
+  /// latency without a dump-at-exit.
+  obs::metrics::Gauge p50_us;
+  obs::metrics::Gauge p99_us;
 
   /// Handles named <prefix>.{requests, batches, refills, batch_size,
-  /// latency_us}; prefix "serve" reproduces PR 7's global names.
+  /// latency_us, stage.*_us, p50_us, p99_us}; prefix "serve" reproduces
+  /// PR 7's global names.
   static LoopObs make(const std::string& prefix = "serve") {
     LoopObs o;
     o.requests = obs::metrics::counter(prefix + ".requests");
@@ -47,6 +59,13 @@ struct LoopObs {
     o.refills = obs::metrics::counter(prefix + ".refills");
     o.batch_size = obs::metrics::histogram(prefix + ".batch_size");
     o.latency_us = obs::metrics::histogram(prefix + ".latency_us");
+    o.stage_queue_us = obs::metrics::histogram(prefix + ".stage.queue_us");
+    o.stage_batch_wait_us =
+        obs::metrics::histogram(prefix + ".stage.batch_wait_us");
+    o.stage_forward_us = obs::metrics::histogram(prefix + ".stage.forward_us");
+    o.stage_respond_us = obs::metrics::histogram(prefix + ".stage.respond_us");
+    o.p50_us = obs::metrics::gauge(prefix + ".p50_us");
+    o.p99_us = obs::metrics::gauge(prefix + ".p99_us");
     return o;
   }
 };

@@ -91,6 +91,17 @@ void CompletionWindow::percentiles(double* p50, double* p99) const {
   *p99 = pct(0.99);
 }
 
+namespace {
+
+/// Per-request trace marker: every serve.req.* instant carries the fleet-
+/// global request id so the router→replica→response chain can be joined.
+void emit_req_instant(const char* name, std::uint64_t id) {
+  const obs::trace::Arg args[] = {{"req", static_cast<double>(id)}};
+  obs::trace::emit_instant(name, "serve", args, 1);
+}
+
+}  // namespace
+
 void fail_pending_requests(Batcher& batcher, std::exception_ptr err) {
   batcher.close();
   for (;;) {
@@ -98,6 +109,7 @@ void fail_pending_requests(Batcher& batcher, std::exception_ptr err) {
         batcher.take_ready(batcher.options().max_batch);
     if (rest.empty()) break;
     for (auto& req : rest) {
+      if (obs::timing_enabled()) emit_req_instant("serve.req.failed", req.id);
       try {
         req.done.set_exception(err);
       } catch (...) {
@@ -119,6 +131,9 @@ struct LoopContext {
   std::int64_t classes = 0;
   std::int64_t sample_elems = 0;
   int out_layer = 0;
+  /// End of the most recent forward (rank 0, timing on): splits a
+  /// completing request's latency into forward vs respond stages.
+  std::chrono::steady_clock::time_point fwd_end;
 
   comm::Comm& comm() const { return model->comm(); }
   bool rank0() const { return model->comm().rank() == 0; }
@@ -164,6 +179,7 @@ struct LoopContext {
   static void fail_requests(std::vector<Request>& reqs,
                             const std::exception_ptr& err) {
     for (auto& req : reqs) {
+      if (obs::timing_enabled()) emit_req_instant("serve.req.failed", req.id);
       try {
         req.done.set_exception(err);
       } catch (...) {
@@ -171,6 +187,17 @@ struct LoopContext {
       }
     }
     reqs.clear();
+  }
+
+  /// Mark the moment a batch's forward starts: stamps each request's
+  /// dispatch time and emits its serve.req.dispatch instant (rank 0 only).
+  template <typename Reqs>
+  static void mark_dispatched(Reqs& reqs,
+                              std::chrono::steady_clock::time_point now) {
+    for (Request& req : reqs) {
+      req.dispatched = now;
+      emit_req_instant("serve.req.dispatch", req.id);
+    }
   }
 
   /// Complete one request from row `row` of the gathered output.
@@ -182,11 +209,37 @@ struct LoopContext {
     res.latency_seconds =
         std::chrono::duration<double>(now - req.enqueued).count();
     lats->push_back(res.latency_seconds);
+    if (obs::timing_enabled()) {
+      record_stages(req, now);
+      emit_req_instant("serve.req.done", req.id);
+    }
     req.done.set_value(std::move(res));
+  }
+
+  /// Queue / batch-wait / forward / respond breakdown of one completed
+  /// request. Timestamps are only stamped when timing was on at that hop,
+  /// so each stage guards against a missing (epoch) predecessor.
+  void record_stages(const Request& req,
+                     std::chrono::steady_clock::time_point now) const {
+    const LoopObs& m = rt->obs;
+    const auto us = [](std::chrono::steady_clock::duration d) {
+      const auto v =
+          std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+      return static_cast<std::uint64_t>(std::max<std::int64_t>(0, v));
+    };
+    const std::chrono::steady_clock::time_point epoch{};
+    if (req.popped == epoch) return;
+    m.stage_queue_us.record(us(req.popped - req.enqueued));
+    if (req.dispatched == epoch) return;
+    m.stage_batch_wait_us.record(us(req.dispatched - req.popped));
+    if (fwd_end == epoch) return;
+    m.stage_forward_us.record(us(fwd_end - req.dispatched));
+    m.stage_respond_us.record(us(now - fwd_end));
   }
 
   void record_completions(std::uint64_t dispatched,
                           const std::vector<double>& lats) const {
+    rt->window->record(lats.size(), lats);
     if (obs::timing_enabled()) {
       const LoopObs& m = rt->obs;
       m.requests.add(lats.size());
@@ -195,8 +248,16 @@ struct LoopContext {
       for (const double l : lats) {
         m.latency_us.record(static_cast<std::uint64_t>(l * 1e6));
       }
+      // Refresh the live percentile gauges on a coarse cadence: the window
+      // sort is too expensive for every batch, cheap every 16th.
+      const std::uint64_t batches = rt->window->batches();
+      if (batches % 16 == 1) {
+        double p50 = 0, p99 = 0;
+        rt->window->percentiles(&p50, &p99);
+        m.p50_us.set(static_cast<std::int64_t>(p50 * 1e6));
+        m.p99_us.set(static_cast<std::int64_t>(p99 * 1e6));
+      }
     }
-    rt->window->record(lats.size(), lats);
   }
 };
 
@@ -322,10 +383,16 @@ void strict_loop(LoopContext& ctx) {
       obs::trace::Span batch_span("serve.batch", "serve");
       batch_span.arg("size", static_cast<double>(batch.size()));
       batch_span.arg("passes", static_cast<double>(passes));
+      if (ctx.rank0() && obs::timing_enabled()) {
+        LoopContext::mark_dispatched(batch, std::chrono::steady_clock::now());
+      }
       for (std::int64_t p = 0; p < passes; ++p) {
         model.set_input(0, bufs[cur]);
         model.forward(core::Mode::kInference);
       }
+    }
+    if (ctx.rank0() && obs::timing_enabled()) {
+      ctx.fwd_end = std::chrono::steady_clock::now();
     }
     Tensor<float> out = model.gather_output(ctx.out_layer);
 
@@ -430,6 +497,10 @@ void continuous_loop(LoopContext& ctx) {
             slots[s].remaining = slots[s].req.passes;
             slots[s].occupied = true;
             header[2 + s] = 2;
+            if (obs::timing_enabled()) {
+              slots[s].req.dispatched = std::chrono::steady_clock::now();
+              emit_req_instant("serve.req.dispatch", slots[s].req.id);
+            }
           }
         }
       }
@@ -491,6 +562,9 @@ void continuous_loop(LoopContext& ctx) {
       batch_span.arg("refill", static_cast<double>(header[1]));
       model.set_input(0, input);
       model.forward(core::Mode::kInference);
+    }
+    if (ctx.rank0() && obs::timing_enabled()) {
+      ctx.fwd_end = std::chrono::steady_clock::now();
     }
     Tensor<float> out = model.gather_output(ctx.out_layer);
 

@@ -1,5 +1,6 @@
 #include "serve/router.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <sstream>
 
@@ -166,10 +167,26 @@ std::future<InferenceResult> Router::submit(const std::string& tag,
   obs::trace::Span span("router.submit", "serve");
   span.arg("group", static_cast<double>(best->group));
   span.arg("depth", static_cast<double>(best_depth));
+  std::uint64_t req_id = 0;
   std::future<InferenceResult> fut =
-      best->batcher->push(std::move(sample), passes);
+      best->batcher->push(std::move(sample), passes, &req_id);
+  span.arg("req", static_cast<double>(req_id));
   routed_.fetch_add(1, std::memory_order_relaxed);
   return fut;
+}
+
+double Router::measured_p99(const std::string& tag) const {
+  const Entry* entry = find(tag);
+  DC_REQUIRE(entry != nullptr, "unknown fleet model tag \"", tag, "\"");
+  double worst = 0;
+  for (const auto& rep : entry->replicas) {
+    if (rep->dead.load(std::memory_order_acquire)) continue;
+    if (rep->window.served() == 0) continue;
+    double p50 = 0, p99 = 0;
+    rep->window.percentiles(&p50, &p99);
+    worst = std::max(worst, p99);
+  }
+  return worst;
 }
 
 void Router::shutdown() {

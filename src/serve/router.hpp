@@ -106,6 +106,12 @@ class Router {
   /// routing skips it from then on.
   void kill_replica(const std::string& tag, int replica);
 
+  /// Worst live-replica p99 latency (seconds) measured over `tag`'s sliding
+  /// completion windows; 0 before any completion. This is the live number
+  /// choose_serving_policy accepts as measured_batch_latency_seconds so the
+  /// SLO chooser re-estimates from traffic instead of the static model.
+  double measured_p99(const std::string& tag) const;
+
   RouterStats stats() const;
 
  private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 
 namespace distconv::serve {
@@ -12,7 +13,8 @@ SloDecision choose_serving_policy(const core::NetworkSpec& spec,
                                   const perf::MachineModel& machine,
                                   double p99_target_seconds, int replicas,
                                   const perf::NetworkCostOptions& options,
-                                  const perf::ComputeModel* compute) {
+                                  const perf::ComputeModel* compute,
+                                  double measured_batch_latency_seconds) {
   DC_REQUIRE(p99_target_seconds > 0, "SLO target must be positive, got ",
              p99_target_seconds);
   DC_REQUIRE(replicas >= 1, "need >= 1 replica, got ", replicas);
@@ -22,10 +24,21 @@ SloDecision choose_serving_policy(const core::NetworkSpec& spec,
 
   const perf::InferenceCost cost =
       perf::inference_cost(spec, strategy, machine, options, compute);
-  const double latency = cost.batch_latency();
+  const double modelled = cost.batch_latency();
+  // A live measurement (Router::measured_p99) outranks the static model:
+  // the chooser's job is to hit the target on the machine as it behaves
+  // now, and the drift gauge records how far off the model was.
+  const bool use_measured = measured_batch_latency_seconds > 0;
+  const double latency =
+      use_measured ? measured_batch_latency_seconds : modelled;
+  if (use_measured && modelled > 0) {
+    obs::metrics::gauge("model.drift.serve.batch.latency")
+        .set(static_cast<std::int64_t>(latency / modelled * 1e6));
+  }
 
   SloDecision d;
   d.replicas = replicas;
+  d.measured_override = use_measured;
   d.predicted_batch_latency = latency;
   d.attainable = latency <= p99_target_seconds;
   d.batcher.max_batch = capacity;
@@ -49,7 +62,10 @@ SloDecision choose_serving_policy(const core::NetworkSpec& spec,
   const perf::ServingEstimate est = perf::estimate_serving(
       spec, strategy, machine, d.batcher.max_delay_us * 1e-6, replicas,
       options, compute);
-  d.predicted_p99 = est.p99_latency;
+  // With a measured override the p99 prediction rests on the live latency;
+  // throughput still comes from the model (the window has no fill data).
+  d.predicted_p99 = use_measured ? latency + d.batcher.max_delay_us * 1e-6
+                                 : est.p99_latency;
   d.predicted_throughput = est.fleet_throughput;
   return d;
 }

@@ -28,6 +28,10 @@ struct SloDecision {
   /// Fleet samples/second at full batches (per-replica throughput × replicas).
   double predicted_throughput = 0;
   int replicas = 1;
+  /// True when a live measurement replaced the model's batch latency (the
+  /// measured/model ratio is exported as the "model.drift.serve.batch.latency"
+  /// gauge, in ppm).
+  bool measured_override = false;
 };
 
 /// Choose max-batch/max-delay/deadline to hit `p99_target_seconds` on
@@ -36,11 +40,17 @@ struct SloDecision {
 /// target is unattainable, the returned policy is greedy (max_delay = 0)
 /// with deadline_us = target and a tight queue bound, shedding instead of
 /// queueing into a latency it can never meet.
+///
+/// `measured_batch_latency_seconds` > 0 (e.g. Router::measured_p99 from the
+/// live completion windows) replaces the §V model's predicted batch latency
+/// L in the policy search, so a drifted model re-tunes from traffic; the
+/// throughput estimate still comes from the model.
 SloDecision choose_serving_policy(const core::NetworkSpec& spec,
                                   const core::Strategy& strategy,
                                   const perf::MachineModel& machine,
                                   double p99_target_seconds, int replicas = 1,
                                   const perf::NetworkCostOptions& options = {},
-                                  const perf::ComputeModel* compute = nullptr);
+                                  const perf::ComputeModel* compute = nullptr,
+                                  double measured_batch_latency_seconds = 0);
 
 }  // namespace distconv::serve

@@ -81,8 +81,11 @@ TEST(Batcher, FifoOrderAndIds) {
   for (int i = 0; i < 4; ++i) b.push(sample(float(i)));
   const auto batch = b.next_batch(4);
   ASSERT_EQ(batch.size(), 4u);
+  // Ids are minted from a fleet-global counter (so request traces are
+  // unique across every batcher in the process); within one queue they
+  // are consecutive and FIFO.
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    EXPECT_EQ(batch[i].id, i + 1);
+    EXPECT_EQ(batch[i].id, batch[0].id + i);
     EXPECT_EQ(batch[i].input.data()[0], float(i));
   }
 }

@@ -1,0 +1,334 @@
+// Per-request distributed tracing: every request id minted at submit must
+// be conserved through the batcher, the replica forward and the response
+// scatter — each queued id resolves exactly once as done, expired or
+// failed; shed ids never enter the queue — and the per-stage latency
+// histograms must account for every served request.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/layers.hpp"
+#include "core/model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/router.hpp"
+#include "support/json.hpp"
+
+namespace distconv::serve {
+namespace {
+
+namespace fs = std::filesystem;
+using core::Model;
+using core::NetworkBuilder;
+using core::NetworkSpec;
+using core::Strategy;
+using support::json::Value;
+
+constexpr int kClasses = 6;
+constexpr std::int64_t kBatch = 4;
+
+NetworkSpec classifier_net() {
+  NetworkBuilder nb;
+  const int in = nb.input(Shape4{kBatch, 3, 16, 16});
+  int x = nb.conv_bn_relu("b1", in, 8, 3);
+  x = nb.pool_max("pool", x, 3, 2, 1);
+  x = nb.conv_bn_relu("b2", x, 8, 3);
+  x = nb.global_avg_pool("gap", x);
+  nb.fully_connected("fc", x, kClasses, /*bias=*/true);
+  return nb.take();
+}
+
+Tensor<float> make_sample(std::uint64_t seed) {
+  Tensor<float> t(Shape4{1, 3, 16, 16});
+  Rng rng(seed);
+  t.fill_uniform(rng, -1.0f, 1.0f);
+  return t;
+}
+
+/// One trained checkpoint blob shared by every test in this file (the
+/// predictions themselves are test_router's concern; here the model is just
+/// cargo for the request ids).
+const std::string& trained_blob() {
+  static const std::string blob = [] {
+    std::string out_blob;
+    comm::World world(1);
+    world.run([&](comm::Comm& comm) {
+      const NetworkSpec spec = classifier_net();
+      Model model(spec, comm, Strategy::sample_parallel(spec.size(), 1), 7);
+      const Shape4 in_shape = model.rt(0).out_shape;
+      Rng rng(23);
+      for (int step = 0; step < 2; ++step) {
+        Tensor<float> x(in_shape);
+        x.fill_uniform(rng, -1.0f, 1.0f);
+        std::vector<int> labels;
+        for (std::int64_t n = 0; n < in_shape.n; ++n) {
+          labels.push_back(static_cast<int>(rng.uniform() * kClasses) %
+                           kClasses);
+        }
+        model.set_input(0, x);
+        model.forward();
+        model.loss_softmax(labels);
+        model.backward();
+        model.sgd_step(kernels::SgdConfig{0.05f, 0.9f, 0.0f});
+      }
+      std::ostringstream out;
+      core::save_checkpoint(model, out);
+      out_blob = out.str();
+    });
+    return out_blob;
+  }();
+  return blob;
+}
+
+FleetModel fleet_model(int group_ranks, int replicas) {
+  NetworkSpec spec = classifier_net();
+  FleetModel fm;
+  fm.tag = "m";
+  fm.strategy = Strategy::sample_parallel(spec.size(), group_ranks);
+  fm.spec = std::move(spec);
+  fm.checkpoint = trained_blob();
+  fm.opts.batcher.max_batch = static_cast<int>(kBatch);
+  fm.opts.batcher.max_delay_us = 500;
+  fm.opts.top_k = 3;
+  fm.replicas = replicas;
+  return fm;
+}
+
+/// Tests flip the process-global collection switches; restore the default.
+struct ObsCleanup {
+  ObsCleanup() {
+    (void)trained_blob();  // train before instrumentation turns on
+    obs::metrics::set_enabled(true);
+    obs::trace::set_enabled(true);
+    obs::metrics::reset();
+    obs::trace::reset();
+  }
+  ~ObsCleanup() {
+    obs::trace::set_enabled(false);
+    obs::metrics::set_enabled(false);
+    obs::trace::reset();
+    obs::metrics::reset();
+  }
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Dump the trace and collect, per event name, every "req" argument value
+/// across all rank and process files.
+std::map<std::string, std::multiset<std::uint64_t>> collect_req_events(
+    const std::string& dir) {
+  fs::remove_all(dir);
+  obs::trace::dump(dir);
+  std::map<std::string, std::multiset<std::uint64_t>> out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const Value root = support::json::parse(read_file(entry.path().string()));
+    for (const Value& ev : root.at("traceEvents").array) {
+      const Value* args = ev.find("args");
+      if (args == nullptr) continue;
+      const Value* req = args->find("req");
+      if (req == nullptr || !req->is_number()) continue;
+      out[ev.at("name").string].insert(
+          static_cast<std::uint64_t>(req->number));
+    }
+  }
+  fs::remove_all(dir);
+  return out;
+}
+
+std::set<std::uint64_t> unique_ids(const std::multiset<std::uint64_t>& ids) {
+  return std::set<std::uint64_t>(ids.begin(), ids.end());
+}
+
+TEST(RequestTrace, ServedIdsFlowQueuedToDispatchToDoneExactlyOnce) {
+  ObsCleanup cleanup;
+  constexpr int kRequests = 8;
+
+  Router router;
+  router.add_model(fleet_model(/*group_ranks=*/2, /*replicas=*/2));
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(router.submit("m", make_sample(500 + i)));
+  }
+  std::thread client([&] {
+    for (auto& f : futures) f.wait();
+    router.shutdown();
+  });
+  comm::World world(router.total_ranks());
+  world.run([&](comm::Comm& comm) { router.serve(comm); });
+  client.join();
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+
+  const auto events = collect_req_events("/tmp/distconv_req_trace_served");
+  ASSERT_EQ(events.count("serve.req.queued"), 1u);
+  const auto& queued = events.at("serve.req.queued");
+  EXPECT_EQ(queued.size(), static_cast<std::size_t>(kRequests));
+  EXPECT_EQ(unique_ids(queued).size(), static_cast<std::size_t>(kRequests));
+  // Every queued id dispatches exactly once and completes exactly once.
+  EXPECT_EQ(events.at("serve.req.dispatch"), queued);
+  EXPECT_EQ(events.at("serve.req.done"), queued);
+  EXPECT_EQ(events.count("serve.req.shed"), 0u);
+  EXPECT_EQ(events.count("serve.req.expired"), 0u);
+  EXPECT_EQ(events.count("serve.req.failed"), 0u);
+
+  // The stage breakdown accounts for every served request, on both
+  // replicas' histogram sets combined.
+  const obs::metrics::Snapshot snap = obs::metrics::snapshot();
+  for (const char* stage :
+       {"stage.queue_us", "stage.batch_wait_us", "stage.forward_us",
+        "stage.respond_us"}) {
+    std::uint64_t count = 0;
+    for (const auto& [rank, hists] : snap.histograms) {
+      (void)rank;
+      for (int g = 0; g < 2; ++g) {
+        const auto it =
+            hists.find(replica_metric_prefix(g) + "." + stage);
+        if (it != hists.end()) count += it->second.count;
+      }
+    }
+    EXPECT_EQ(count, static_cast<std::uint64_t>(kRequests)) << stage;
+  }
+}
+
+TEST(RequestTrace, ShedIdsNeverEnterTheQueue) {
+  ObsCleanup cleanup;
+
+  FleetModel fm = fleet_model(/*group_ranks=*/2, /*replicas=*/1);
+  fm.opts.batcher.max_queue = 2;
+  Router router;
+  router.add_model(std::move(fm));
+
+  std::vector<std::future<InferenceResult>> futures;
+  int shed_count = 0;
+  for (int i = 0; i < 5; ++i) {
+    try {
+      futures.push_back(router.submit("m", make_sample(600 + i)));
+    } catch (const OverloadedError&) {
+      ++shed_count;
+    }
+  }
+  EXPECT_EQ(shed_count, 3);  // queue capped at 2, the other 3 rejected
+
+  std::thread client([&] {
+    for (auto& f : futures) f.wait();
+    router.shutdown();
+  });
+  comm::World world(router.total_ranks());
+  world.run([&](comm::Comm& comm) { router.serve(comm); });
+  client.join();
+
+  const auto events = collect_req_events("/tmp/distconv_req_trace_shed");
+  const auto& queued = events.at("serve.req.queued");
+  const auto& shed = events.at("serve.req.shed");
+  EXPECT_EQ(queued.size(), 2u);
+  EXPECT_EQ(shed.size(), 3u);
+  // Shed ids are real fleet ids, but disjoint from everything downstream.
+  for (const std::uint64_t id : shed) {
+    EXPECT_EQ(queued.count(id), 0u);
+  }
+  EXPECT_EQ(events.at("serve.req.done"), queued);
+  EXPECT_EQ(events.count("serve.req.failed"), 0u);
+}
+
+TEST(RequestTrace, ExpiredIdsResolveAsExpiredNotDone) {
+  ObsCleanup cleanup;
+
+  FleetModel fm = fleet_model(/*group_ranks=*/2, /*replicas=*/1);
+  fm.opts.batcher.deadline_us = 1000;  // 1 ms: expire before serving starts
+  Router router;
+  router.add_model(std::move(fm));
+
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(router.submit("m", make_sample(700 + i)));
+  }
+  // Let every queued request outlive its deadline before a loop ever runs.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  std::thread client([&] {
+    for (auto& f : futures) f.wait();
+    router.shutdown();
+  });
+  comm::World world(router.total_ranks());
+  world.run([&](comm::Comm& comm) { router.serve(comm); });
+  client.join();
+
+  int expired_count = 0;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (const DeadlineExceededError&) {
+      ++expired_count;
+    }
+  }
+  EXPECT_EQ(expired_count, 4);
+
+  const auto events = collect_req_events("/tmp/distconv_req_trace_expired");
+  const auto& queued = events.at("serve.req.queued");
+  EXPECT_EQ(queued.size(), 4u);
+  EXPECT_EQ(events.at("serve.req.expired"), queued);
+  EXPECT_EQ(events.count("serve.req.done"), 0u);
+  EXPECT_EQ(events.count("serve.req.dispatch"), 0u);
+}
+
+TEST(RequestTrace, KilledReplicaIdsResolveAsFailedSurvivorsAsDone) {
+  ObsCleanup cleanup;
+
+  Router router;
+  router.add_model(fleet_model(/*group_ranks=*/2, /*replicas=*/2));
+
+  // Depth balancing alternates groups: 3 requests land on each. Poisoning
+  // replica 1 pre-serve fails its queue; replica 0 serves its share.
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(router.submit("m", make_sample(800 + i)));
+  }
+  router.kill_replica("m", 1);
+
+  std::thread client([&] {
+    for (auto& f : futures) f.wait();
+    router.shutdown();
+  });
+  comm::World world(router.total_ranks());
+  world.run([&](comm::Comm& comm) { router.serve(comm); });
+  client.join();
+
+  int served = 0, killed = 0;
+  for (auto& f : futures) {
+    try {
+      f.get();
+      ++served;
+    } catch (const ReplicaKilledError&) {
+      ++killed;
+    }
+  }
+  EXPECT_EQ(served, 3);
+  EXPECT_EQ(killed, 3);
+
+  const auto events = collect_req_events("/tmp/distconv_req_trace_killed");
+  const auto& queued = events.at("serve.req.queued");
+  const auto& done = events.at("serve.req.done");
+  const auto& failed = events.at("serve.req.failed");
+  EXPECT_EQ(queued.size(), 6u);
+  EXPECT_EQ(done.size(), 3u);
+  EXPECT_EQ(failed.size(), 3u);
+  // Conservation: done and failed partition the queued ids.
+  std::multiset<std::uint64_t> resolved = done;
+  resolved.insert(failed.begin(), failed.end());
+  EXPECT_EQ(resolved, queued);
+}
+
+}  // namespace
+}  // namespace distconv::serve

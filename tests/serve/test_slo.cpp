@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "models/models.hpp"
+#include "obs/metrics.hpp"
 #include "serve/slo.hpp"
 
 namespace distconv::serve {
@@ -62,6 +63,53 @@ TEST(Slo, FleetPredictionScalesWithReplicas) {
   EXPECT_EQ(four.replicas, 4);
   EXPECT_NEAR(four.predicted_throughput, 4.0 * one.predicted_throughput,
               1e-9 * four.predicted_throughput);
+}
+
+TEST(Slo, MeasuredLatencyOverridesTheModelAndRecordsDrift) {
+  const auto spec = models::make_mesh_model_1k(4);
+  const auto strategy = core::Strategy::hybrid(spec.size(), 16, 4);
+  const double modelled =
+      perf::inference_cost(spec, strategy, kMachine).batch_latency();
+  const double target = 3.0 * modelled;  // attainable on paper
+
+  obs::metrics::set_enabled(true);
+  obs::metrics::reset();
+
+  // The machine runs 2x slower than modelled but the target still holds:
+  // the chooser budgets fill delay from the *measured* latency.
+  const double measured_ok = 2.0 * modelled;
+  const SloDecision ok = choose_serving_policy(
+      spec, strategy, kMachine, target, /*replicas=*/1, {}, nullptr,
+      measured_ok);
+  EXPECT_TRUE(ok.measured_override);
+  EXPECT_TRUE(ok.attainable);
+  EXPECT_EQ(ok.predicted_batch_latency, measured_ok);
+  EXPECT_NEAR(ok.batcher.max_delay_us * 1e-6, target - measured_ok, 1e-6);
+  EXPECT_LE(ok.predicted_p99, target);
+  // model.drift.serve.batch.latency records measured/modelled in ppm.
+  const auto snap = obs::metrics::snapshot();
+  const auto it = snap.gauges.find("model.drift.serve.batch.latency");
+  ASSERT_NE(it, snap.gauges.end());
+  EXPECT_NEAR(static_cast<double>(it->second), 2e6, 2e6 * 1e-3);
+
+  // Measured latency past the target: unattainable even though the model
+  // says otherwise — degrade to greedy dispatch.
+  const SloDecision slow = choose_serving_policy(
+      spec, strategy, kMachine, target, /*replicas=*/1, {}, nullptr,
+      /*measured=*/2.0 * target);
+  EXPECT_TRUE(slow.measured_override);
+  EXPECT_FALSE(slow.attainable);
+  EXPECT_EQ(slow.batcher.max_delay_us, 0);
+  EXPECT_GT(slow.predicted_p99, target);
+
+  // No measurement: pure model, no override, no drift gauge update.
+  const SloDecision modelled_only =
+      choose_serving_policy(spec, strategy, kMachine, target);
+  EXPECT_FALSE(modelled_only.measured_override);
+  EXPECT_EQ(modelled_only.predicted_batch_latency, modelled);
+
+  obs::metrics::set_enabled(false);
+  obs::metrics::reset();
 }
 
 TEST(Slo, RejectsNonsenseInputs) {

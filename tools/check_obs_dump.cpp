@@ -1,10 +1,18 @@
 // check_obs_dump: validates the observability artifacts a run produced —
 // the DC_METRICS JSON dump and every trace-*.json in a DC_TRACE_DIR
-// directory. Used by CI's bench-smoke job so a malformed dump (invalid
-// JSON, missing fields, spans that overlap without nesting) fails the build
-// instead of shipping an artifact chrome://tracing cannot load.
+// directory (dump-at-exit trace-rank<r>.json and streamed
+// trace-seg<NNNNN>-rank<r>.json segments share one format, so both are
+// validated by the same scan). Used by CI's bench-smoke job so a malformed
+// dump (invalid JSON, missing fields, spans that overlap without nesting)
+// fails the build instead of shipping an artifact chrome://tracing cannot
+// load. A nonzero obs.trace.dropped counter (trace-ring wraparound) prints
+// a warning: the trace is valid but has holes.
 //
 // Usage: check_obs_dump <metrics.json> <trace-dir>
+//                       [--critical-path <report.json>]
+//
+// --critical-path additionally validates a trace_critical_path report
+// against the "distconv-critical-path-v1" schema.
 //
 // Exit 0 when every file validates, 1 otherwise.
 
@@ -52,7 +60,8 @@ void check_replica_metric_name(const std::string& name) {
   const std::string suffix = name.substr(i + 1);
   for (const char* known :
        {"requests", "batches", "refills", "batch_size", "latency_us", "shed",
-        "expired", "queue_depth"}) {
+        "expired", "queue_depth", "stage.queue_us", "stage.batch_wait_us",
+        "stage.forward_us", "stage.respond_us", "p50_us", "p99_us"}) {
     if (suffix == known) return;
   }
   throw std::runtime_error("metric \"" + name +
@@ -61,8 +70,10 @@ void check_replica_metric_name(const std::string& name) {
 }
 
 /// The metrics dump must be an object with "ranks" (object of per-rank
-/// {counters, histograms}), "process" and "gauges" members.
-void check_metrics(const std::string& path) {
+/// {counters, histograms}), "process" and "gauges" members. Returns the
+/// total obs.trace.dropped count so main can warn about wraparound losses.
+double check_metrics(const std::string& path) {
+  double dropped = 0;
   const Value root = distconv::support::json::parse(read_file(path));
   if (!root.is_object()) throw std::runtime_error("metrics root is not an object");
   const Value* ranks = root.find("ranks");
@@ -82,12 +93,23 @@ void check_metrics(const std::string& path) {
         throw std::runtime_error("counter " + name + " is not a number");
       }
       check_replica_metric_name(name);
+      if (name == "obs.trace.dropped") dropped += v.number;
     }
     if (const Value* hists = per_rank.find("histograms");
         hists != nullptr && hists->is_object()) {
       for (const auto& [name, v] : hists->object) {
         (void)v;
         check_replica_metric_name(name);
+      }
+    }
+  }
+  if (const Value* process = root.find("process");
+      process != nullptr && process->is_object()) {
+    if (const Value* counters = process->find("counters");
+        counters != nullptr && counters->is_object()) {
+      for (const auto& [name, v] : counters->object) {
+        check_replica_metric_name(name);
+        if (name == "obs.trace.dropped" && v.is_number()) dropped += v.number;
       }
     }
   }
@@ -100,6 +122,72 @@ void check_metrics(const std::string& path) {
       (void)v;
       check_replica_metric_name(name);
     }
+  }
+  return dropped;
+}
+
+/// A trace_critical_path report: schema tag plus per-step entries (each
+/// with the straggler attribution fields), term aggregates, and summary.
+void check_critical_path(const std::string& path) {
+  const Value root = distconv::support::json::parse(read_file(path));
+  if (!root.is_object()) {
+    throw std::runtime_error("critical-path report is not an object");
+  }
+  const Value* schema = root.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string != "distconv-critical-path-v1") {
+    throw std::runtime_error(
+        "critical-path report lacks schema \"distconv-critical-path-v1\"");
+  }
+  if (const Value* ranks = root.find("ranks");
+      ranks == nullptr || !ranks->is_number() || ranks->number < 1) {
+    throw std::runtime_error("critical-path report lacks a rank count");
+  }
+  const Value* steps = root.find("steps");
+  if (steps == nullptr || !steps->is_array() || steps->array.empty()) {
+    throw std::runtime_error("critical-path report has no steps array");
+  }
+  for (const Value& st : steps->array) {
+    if (!st.is_object()) throw std::runtime_error("step entry not an object");
+    for (const char* key : {"step", "wall_us", "critical_rank"}) {
+      const Value* v = st.find(key);
+      if (v == nullptr || !v->is_number()) {
+        throw std::runtime_error(std::string("step entry missing \"") + key +
+                                 "\"");
+      }
+    }
+    const Value* per_rank = st.find("ranks");
+    if (per_rank == nullptr || !per_rank->is_array() ||
+        per_rank->array.empty()) {
+      throw std::runtime_error("step entry has no per-rank breakdown");
+    }
+    for (const Value& r : per_rank->array) {
+      for (const char* key :
+           {"rank", "wall_us", "compute_ms", "exposed_ms", "tail_ms"}) {
+        const Value* v = r.is_object() ? r.find(key) : nullptr;
+        if (v == nullptr || !v->is_number()) {
+          throw std::runtime_error(std::string("per-rank entry missing \"") +
+                                   key + "\"");
+        }
+      }
+    }
+  }
+  const Value* terms = root.find("terms");
+  if (terms == nullptr || !terms->is_array() || terms->array.empty()) {
+    throw std::runtime_error("critical-path report has no terms array");
+  }
+  for (const Value& t : terms->array) {
+    if (!t.is_object() || t.find("term") == nullptr ||
+        t.find("seconds_per_rank_step") == nullptr) {
+      throw std::runtime_error("term entry missing term/seconds_per_rank_step");
+    }
+  }
+  const Value* summary = root.find("summary");
+  if (summary == nullptr || !summary->is_object() ||
+      summary->find("steps") == nullptr ||
+      summary->find("stragglers") == nullptr) {
+    throw std::runtime_error(
+        "critical-path report has no summary{steps, stragglers}");
   }
 }
 
@@ -172,23 +260,51 @@ void check_trace(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) {
-    std::fprintf(stderr, "usage: %s <metrics.json> <trace-dir>\n", argv[0]);
+  std::vector<std::string> positional;
+  std::string critical_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--critical-path" && i + 1 < argc) {
+      critical_path = argv[++i];
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s <metrics.json> <trace-dir> "
+                   "[--critical-path <report.json>]\n",
+                   argv[0]);
+      return 2;
+    } else {
+      positional.push_back(a);
+    }
+  }
+  if (positional.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: %s <metrics.json> <trace-dir> "
+                 "[--critical-path <report.json>]\n",
+                 argv[0]);
     return 2;
   }
   int traces = 0;
   try {
-    check_metrics(argv[1]);
-    std::printf("ok: %s\n", argv[1]);
+    const double dropped = check_metrics(positional[0]);
+    std::printf("ok: %s\n", positional[0].c_str());
+    if (dropped > 0) {
+      std::fprintf(stderr,
+                   "check_obs_dump: warning: obs.trace.dropped = %.0f — the "
+                   "trace ring wrapped and events were lost (raise "
+                   "DC_TRACE_BUF or lower DC_OBS_FLUSH_MS)\n",
+                   dropped);
+    }
 
-    DIR* dir = opendir(argv[2]);
-    if (dir == nullptr) throw std::runtime_error(std::string("cannot open ") + argv[2]);
+    DIR* dir = opendir(positional[1].c_str());
+    if (dir == nullptr) {
+      throw std::runtime_error("cannot open " + positional[1]);
+    }
     std::vector<std::string> files;
     while (dirent* e = readdir(dir)) {
       const std::string name = e->d_name;
       if (name.rfind("trace-", 0) == 0 &&
           name.size() > 5 && name.substr(name.size() - 5) == ".json") {
-        files.push_back(std::string(argv[2]) + "/" + name);
+        files.push_back(positional[1] + "/" + name);
       }
     }
     closedir(dir);
@@ -199,10 +315,16 @@ int main(int argc, char** argv) {
       ++traces;
     }
     if (traces == 0) throw std::runtime_error("no trace-*.json files found");
+
+    if (!critical_path.empty()) {
+      check_critical_path(critical_path);
+      std::printf("ok: %s\n", critical_path.c_str());
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "check_obs_dump: %s\n", e.what());
     return 1;
   }
-  std::printf("validated metrics + %d trace file(s)\n", traces);
+  std::printf("validated metrics + %d trace file(s)%s\n", traces,
+              critical_path.empty() ? "" : " + critical-path report");
   return 0;
 }

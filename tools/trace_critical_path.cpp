@@ -1,0 +1,335 @@
+// trace_critical_path: cross-rank critical-path and straggler analysis over
+// the trace files a run left in DC_TRACE_DIR (dump-at-exit trace-rank<r>.json
+// and/or streamed trace-seg<NNNNN>-rank<r>.json segments).
+//
+// Ranks are aligned on the "step" markers the Trainer emits (each carries
+// its step index as an arg — ordinal position is not reliable once ring
+// wraparound or segment rotation drops different steps on different ranks).
+// For every step the tool reports which rank bounded the wall clock (the
+// straggler), that rank's compute/exposed/tail split, and the comm-op spans
+// on its critical path; across the run it aggregates per-term comm time in
+// the same units obs::compare_to_model reports (seconds per rank per step),
+// so the report joins against the §V cost model term by term.
+//
+// Usage: trace_critical_path <trace-dir> [-o report.json]
+//
+// Writes the JSON report (schema "distconv-critical-path-v1") to -o (or
+// stdout) and a human-readable summary to stderr. Exit 0 on success, 1 when
+// the directory holds no step markers, 2 on usage errors.
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace {
+
+using distconv::support::json::Value;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Rank from a trace file name: the digits after the last "-rank". Returns
+/// -1 for per-process files (trace-process.json, trace-seg*-process.json).
+int rank_of(const std::string& name) {
+  const std::size_t pos = name.rfind("-rank");
+  if (pos == std::string::npos) return -1;
+  std::size_t i = pos + 5;
+  int rank = 0;
+  std::size_t digits = 0;
+  while (i < name.size() && std::isdigit(static_cast<unsigned char>(name[i]))) {
+    rank = rank * 10 + (name[i] - '0');
+    ++i;
+    ++digits;
+  }
+  return digits > 0 ? rank : -1;
+}
+
+struct StepMark {
+  double ts_us = 0;
+  double dur_us = 0;
+  double compute_ms = 0;
+  double exposed_ms = 0;
+  double tail_ms = 0;
+};
+
+struct OpSpan {
+  std::string name;
+  std::string cat;
+  double ts_us = 0;
+  double dur_us = 0;
+};
+
+struct RankTrace {
+  std::map<std::int64_t, StepMark> steps;  // step index -> marker
+  std::vector<OpSpan> ops;                 // comm/coll/wait complete spans
+};
+
+double arg_number(const Value& ev, const char* key, double fallback) {
+  const Value* args = ev.find("args");
+  if (args == nullptr || !args->is_object()) return fallback;
+  const Value* v = args->find(key);
+  return (v != nullptr && v->is_number()) ? v->number : fallback;
+}
+
+void ingest(const std::string& path, RankTrace& rt) {
+  const Value root = distconv::support::json::parse(read_file(path));
+  const Value* events = root.is_object() ? root.find("traceEvents") : nullptr;
+  const Value& arr = events != nullptr ? *events : root;
+  if (!arr.is_array()) throw std::runtime_error(path + ": not an event array");
+  for (const Value& ev : arr.array) {
+    if (!ev.is_object()) continue;
+    const Value* ph = ev.find("ph");
+    if (ph == nullptr || ph->string != "X") continue;
+    const std::string& name = ev.at("name").string;
+    const std::string cat =
+        ev.find("cat") != nullptr ? ev.at("cat").string : "";
+    const double ts = ev.at("ts").number;
+    const double dur = ev.at("dur").number;
+    if (name == "step" && cat == "step") {
+      const double idx = arg_number(ev, "step", -1);
+      if (idx < 0) continue;  // pre-PR-9 trace without the step marker arg
+      StepMark m;
+      m.ts_us = ts;
+      m.dur_us = dur;
+      m.compute_ms = arg_number(ev, "compute_ms", 0);
+      m.exposed_ms = arg_number(ev, "exposed_ms", 0);
+      m.tail_ms = arg_number(ev, "tail_ms", 0);
+      rt.steps[static_cast<std::int64_t>(idx)] = m;
+    } else if (cat == "comm" || cat == "coll" || cat == "wait") {
+      rt.ops.push_back(OpSpan{name, cat, ts, dur});
+    }
+  }
+}
+
+/// Cost-model term an op-level comm span feeds, or "" when it maps to no
+/// compare_to_model term. Only cat "comm" spans count toward term totals:
+/// "coll" rounds and "wait" blocks nest inside them and would double-count.
+std::string term_of(const std::string& name) {
+  if (name.find("halo") != std::string::npos) return "halo exchange";
+  if (name.find("shuffle") != std::string::npos) return "shuffle";
+  if (name.find("gradreduce") != std::string::npos ||
+      name.find("allreduce") != std::string::npos) {
+    return "gradient allreduce";
+  }
+  return "";
+}
+
+void append_num(std::string& out, const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  out += buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "-o" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "usage: %s <trace-dir> [-o report.json]\n", argv[0]);
+      return 2;
+    } else if (dir.empty()) {
+      dir = a;
+    } else {
+      std::fprintf(stderr, "usage: %s <trace-dir> [-o report.json]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (dir.empty()) {
+    std::fprintf(stderr, "usage: %s <trace-dir> [-o report.json]\n", argv[0]);
+    return 2;
+  }
+
+  try {
+    DIR* d = opendir(dir.c_str());
+    if (d == nullptr) throw std::runtime_error("cannot open " + dir);
+    std::vector<std::string> files;
+    while (dirent* e = readdir(d)) {
+      const std::string name = e->d_name;
+      if (name.rfind("trace-", 0) == 0 && name.size() > 5 &&
+          name.substr(name.size() - 5) == ".json" && rank_of(name) >= 0) {
+        files.push_back(name);
+      }
+    }
+    closedir(d);
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+      throw std::runtime_error("no per-rank trace-*.json files in " + dir);
+    }
+
+    std::map<int, RankTrace> ranks;
+    for (const std::string& f : files) ingest(dir + "/" + f, ranks[rank_of(f)]);
+
+    std::set<std::int64_t> step_ids;
+    for (const auto& [rank, rt] : ranks) {
+      for (const auto& [idx, mark] : rt.steps) step_ids.insert(idx);
+    }
+    if (step_ids.empty()) {
+      std::fprintf(stderr,
+                   "trace_critical_path: no step markers found in %s (is the "
+                   "run instrumented and on a PR-9+ build?)\n",
+                   dir.c_str());
+      return 1;
+    }
+
+    // Per-step critical path: the rank whose step marker spans the most
+    // wall clock bounds the step (all ranks leave a step through the same
+    // collectives, so the slowest rank's span is the step's critical chain).
+    std::map<int, int> straggler_steps;
+    double wall_sum_us = 0, wall_max_us = 0;
+    std::string steps_json;
+    for (const std::int64_t idx : step_ids) {
+      int critical_rank = -1;
+      double wall = 0;
+      std::string ranks_json;
+      for (const auto& [rank, rt] : ranks) {
+        const auto it = rt.steps.find(idx);
+        if (it == rt.steps.end()) continue;
+        const StepMark& m = it->second;
+        if (critical_rank < 0 || m.dur_us > wall) {
+          critical_rank = rank;
+          wall = m.dur_us;
+        }
+        ranks_json += ranks_json.empty() ? "\n      {" : ",\n      {";
+        ranks_json += "\"rank\":" + std::to_string(rank);
+        append_num(ranks_json, ",\"wall_us\":%.3f", m.dur_us);
+        append_num(ranks_json, ",\"compute_ms\":%.6f", m.compute_ms);
+        append_num(ranks_json, ",\"exposed_ms\":%.6f", m.exposed_ms);
+        append_num(ranks_json, ",\"tail_ms\":%.6f", m.tail_ms);
+        ranks_json += "}";
+      }
+      ++straggler_steps[critical_rank];
+      wall_sum_us += wall;
+      wall_max_us = std::max(wall_max_us, wall);
+
+      // The ops that bound the step: comm/coll/wait spans on the critical
+      // rank intersecting its step interval, largest first.
+      const StepMark& cm = ranks[critical_rank].steps[idx];
+      std::vector<OpSpan> ops;
+      for (const OpSpan& op : ranks[critical_rank].ops) {
+        if (op.ts_us + op.dur_us <= cm.ts_us ||
+            op.ts_us >= cm.ts_us + cm.dur_us) {
+          continue;
+        }
+        ops.push_back(op);
+      }
+      std::sort(ops.begin(), ops.end(),
+                [](const OpSpan& a, const OpSpan& b) {
+                  if (a.dur_us != b.dur_us) return a.dur_us > b.dur_us;
+                  return a.ts_us < b.ts_us;
+                });
+      if (ops.size() > 8) ops.resize(8);
+      std::string ops_json;
+      for (const OpSpan& op : ops) {
+        ops_json += ops_json.empty() ? "\n      {" : ",\n      {";
+        ops_json += "\"name\":\"" + json_escape(op.name) + "\",\"cat\":\"" +
+                    json_escape(op.cat) + "\"";
+        append_num(ops_json, ",\"dur_us\":%.3f", op.dur_us);
+        ops_json += "}";
+      }
+
+      steps_json += steps_json.empty() ? "\n    {" : ",\n    {";
+      steps_json += "\"step\":" + std::to_string(idx);
+      append_num(steps_json, ",\"wall_us\":%.3f", wall);
+      steps_json += ",\"critical_rank\":" + std::to_string(critical_rank);
+      steps_json += ",\"ranks\":[" + ranks_json + "\n    ]";
+      steps_json += ",\"critical_ops\":[" + ops_json +
+                    (ops_json.empty() ? "]" : "\n    ]");
+      steps_json += "}";
+    }
+
+    // Per-term totals across every rank, normalized per rank per step —
+    // the same units compare_to_model's measured column uses.
+    const double norm =
+        static_cast<double>(ranks.size()) * static_cast<double>(step_ids.size());
+    std::map<std::string, double> term_us;
+    for (const auto& [rank, rt] : ranks) {
+      for (const OpSpan& op : rt.ops) {
+        if (op.cat != "comm") continue;
+        const std::string term = term_of(op.name);
+        if (!term.empty()) term_us[term] += op.dur_us;
+      }
+    }
+    term_us["step wall"] = wall_sum_us * static_cast<double>(ranks.size());
+    std::string terms_json;
+    for (const auto& [term, us] : term_us) {
+      terms_json += terms_json.empty() ? "\n    {" : ",\n    {";
+      terms_json += "\"term\":\"" + json_escape(term) + "\"";
+      append_num(terms_json, ",\"total_us\":%.3f", us);
+      append_num(terms_json, ",\"seconds_per_rank_step\":%.9f",
+                 us * 1e-6 / norm);
+      terms_json += "}";
+    }
+
+    std::string straggler_json;
+    for (const auto& [rank, n] : straggler_steps) {
+      straggler_json += straggler_json.empty() ? "\n      {" : ",\n      {";
+      straggler_json += "\"rank\":" + std::to_string(rank) +
+                        ",\"steps\":" + std::to_string(n) + "}";
+    }
+
+    std::string out = "{\n  \"schema\":\"distconv-critical-path-v1\",\n";
+    out += "  \"ranks\":" + std::to_string(ranks.size()) + ",\n";
+    out += "  \"steps\":[" + steps_json + "\n  ],\n";
+    out += "  \"terms\":[" + terms_json + "\n  ],\n";
+    out += "  \"summary\":{\"steps\":" + std::to_string(step_ids.size());
+    append_num(out, ",\"mean_wall_us\":%.3f",
+               wall_sum_us / static_cast<double>(step_ids.size()));
+    append_num(out, ",\"max_wall_us\":%.3f", wall_max_us);
+    out += ",\"stragglers\":[" + straggler_json + "\n    ]}\n}\n";
+
+    if (out_path.empty()) {
+      std::fputs(out.c_str(), stdout);
+    } else {
+      std::ofstream f(out_path, std::ios::binary | std::ios::trunc);
+      if (!f) throw std::runtime_error("cannot write " + out_path);
+      f << out;
+    }
+    std::fprintf(stderr,
+                 "critical path over %zu rank(s), %zu step(s): mean wall "
+                 "%.3f ms, max %.3f ms\n",
+                 ranks.size(), step_ids.size(),
+                 wall_sum_us / static_cast<double>(step_ids.size()) / 1e3,
+                 wall_max_us / 1e3);
+    for (const auto& [rank, n] : straggler_steps) {
+      std::fprintf(stderr, "  rank %d bounded %d step(s)\n", rank, n);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_critical_path: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
