@@ -52,9 +52,9 @@ void bench_conv_algo(benchmark::State& state) {
                                         : kernels::ConvAlgo::kIm2col;
   const auto spec = models::make_mesh_model_test(4, 64);
   const auto strategy = core::Strategy::hybrid(spec.size(), 4, 2);
-  core::ModelOptions options;
-  options.conv_algo = algo;
-  for (auto _ : state) run_steps(spec, strategy, options, 4);
+  kernels::set_conv_algo_override(algo);
+  for (auto _ : state) run_steps(spec, strategy, {}, 4);
+  kernels::set_conv_algo_override(kernels::ConvAlgo::kAuto);
   state.SetItemsProcessed(state.iterations() * kStepsPerRun);
   state.SetLabel(state.range(0) == 0 ? "direct" : "im2col+GEMM");
 }

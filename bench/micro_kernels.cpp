@@ -28,6 +28,7 @@ using bench::kConv1;
 using bench::kMesh11;
 using bench::kMesh61;
 using bench::kRes3b;
+using bench::kRes3x3;
 using bench::params_of;
 
 /// Pin the pool budget from a benchmark Arg (0 keeps automatic sizing).
@@ -159,6 +160,13 @@ BENCHMARK_CAPTURE(bench_forward, conv1_direct, kConv1, ConvAlgo::kDirect);
 BENCHMARK_CAPTURE(bench_forward, conv1_im2col, kConv1, ConvAlgo::kIm2col);
 BENCHMARK_CAPTURE(bench_forward, res3b_direct, kRes3b, ConvAlgo::kDirect);
 BENCHMARK_CAPTURE(bench_forward, res3b_im2col, kRes3b, ConvAlgo::kIm2col);
+// The planner's pack-free GEMM family (1×1/s1 layers): im2col minus the pack.
+BENCHMARK_CAPTURE(bench_forward, res3b_gemm_strips, kRes3b,
+                  ConvAlgo::kGemmStrips);
+// Winograd F(2×2,3×3) vs the GEMM lowering on the 3×3 residual layer.
+BENCHMARK_CAPTURE(bench_forward, res3b_3x3_im2col, kRes3x3, ConvAlgo::kIm2col);
+BENCHMARK_CAPTURE(bench_forward, res3b_3x3_winograd, kRes3x3,
+                  ConvAlgo::kWinograd);
 BENCHMARK_CAPTURE(bench_forward, mesh_conv1_1_direct, kMesh11, ConvAlgo::kDirect);
 BENCHMARK_CAPTURE(bench_forward, mesh_conv1_1_im2col, kMesh11, ConvAlgo::kIm2col);
 BENCHMARK_CAPTURE(bench_forward, mesh_conv6_1_direct, kMesh61, ConvAlgo::kDirect);
@@ -167,12 +175,16 @@ BENCHMARK_CAPTURE(bench_forward_threads, res3b_im2col, kRes3b, ConvAlgo::kIm2col
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 BENCHMARK_CAPTURE(bench_backward_data, res3b_direct, kRes3b, ConvAlgo::kDirect);
 BENCHMARK_CAPTURE(bench_backward_data, res3b_gemm, kRes3b, ConvAlgo::kIm2col);
+BENCHMARK_CAPTURE(bench_backward_data, res3b_gemm_strips, kRes3b,
+                  ConvAlgo::kGemmStrips);
 BENCHMARK_CAPTURE(bench_backward_data, mesh_conv6_1_direct, kMesh61,
                   ConvAlgo::kDirect);
 BENCHMARK_CAPTURE(bench_backward_data, mesh_conv6_1_gemm, kMesh61,
                   ConvAlgo::kIm2col);
 BENCHMARK_CAPTURE(bench_backward_filter, res3b_direct, kRes3b, ConvAlgo::kDirect);
 BENCHMARK_CAPTURE(bench_backward_filter, res3b_gemm, kRes3b, ConvAlgo::kIm2col);
+BENCHMARK_CAPTURE(bench_backward_filter, res3b_gemm_strips, kRes3b,
+                  ConvAlgo::kGemmStrips);
 BENCHMARK_CAPTURE(bench_backward_filter, mesh_conv6_1_direct, kMesh61,
                   ConvAlgo::kDirect);
 BENCHMARK_CAPTURE(bench_backward_filter, mesh_conv6_1_gemm, kMesh61,

@@ -65,10 +65,6 @@ struct ModelOptions {
   /// stress tests inject artificial kernel time here to prove in-flight
   /// rounds complete before the layer boundary.
   std::function<void(int)> backward_layer_hook;
-  /// Per-layer algorithm selection (kAuto mirrors the paper's reliance on
-  /// cuDNN autotuning; the heuristic depends only on layer constants, so
-  /// every rank resolves identically).
-  kernels::ConvAlgo conv_algo = kernels::ConvAlgo::kAuto;
   float bn_epsilon = 1e-5f;
   float bn_momentum = 0.9f;
   /// Track batchnorm running statistics during training forwards (the EMA

@@ -176,8 +176,7 @@ void Conv2dLayer::forward_channel(Model& model, int index, LayerRt& rt) const {
   auto compute_partial = [&](const Range2& r) {
     if (c_loc > 0 && !r.empty()) {
       kernels::conv2d_forward(xt.buffer(), origin_of(xt), scratch->w_slice,
-                              scratch->y_partial, ypo, p, r,
-                              model.options().conv_algo);
+                              scratch->y_partial, ypo, p, r);
     }
   };
   if (c_loc == 0) scratch->y_partial.zero();  // empty slice contributes zeros
@@ -294,8 +293,7 @@ void Conv2dLayer::forward_channel_inference(Model& model, int index,
     std::copy(w0, w0 + f_loc * per_filter, scratch->w_fslice.data());
     kernels::conv2d_forward(scratch->x_full, origin_of(xt), scratch->w_fslice,
                             yt.buffer(), origin_of(yt), p,
-                            owned_range(yt.owned_box()),
-                            model.options().conv_algo);
+                            owned_range(yt.owned_box()));
     if (bias_) {
       kernels::bias_forward(yt.buffer(), yt.interior_box(),
                             rt.params[1].data() + f0);
@@ -312,7 +310,6 @@ void Conv2dLayer::backward_channel(Model& model, int index, LayerRt& rt) const {
   DistTensor<float>& xt = port.read->t;
   DistTensor<float>& dyt = rt.dy.t;
   const auto p = conv_params();
-  const auto algo = model.options().conv_algo;
   auto* scratch = dynamic_cast<ConvChannelScratch*>(rt.scratch.get());
   DC_CHECK(scratch != nullptr);
   DC_REQUIRE(port.read->fresh || port.read->halo == nullptr,
@@ -345,7 +342,7 @@ void Conv2dLayer::backward_channel(Model& model, int index, LayerRt& rt) const {
   if (c_loc > 0) {
     kernels::conv2d_backward_filter(xt.buffer(), xo, scratch->dy_full, dyo,
                                     scratch->dw_slice, p, out_owned,
-                                    /*accumulate=*/false, algo);
+                                    /*accumulate=*/false);
     // Owned channel columns of the replicated gradient buffer; the engine's
     // slice allreduce + allgather completes them (micro-batches accumulate
     // here in between).
@@ -364,7 +361,7 @@ void Conv2dLayer::backward_channel(Model& model, int index, LayerRt& rt) const {
   if (c_loc > 0) {
     kernels::conv2d_backward_data(scratch->dy_full, dyo, scratch->w_slice,
                                   port.dx.buffer(), origin_of(port.dx), p,
-                                  in_owned, rt.out_shape.h, rt.out_shape.w, algo);
+                                  in_owned, rt.out_shape.h, rt.out_shape.w);
   }
 }
 
@@ -384,10 +381,9 @@ void Conv2dLayer::forward(Model& model, int index, LayerRt& rt) const {
   const Tensor<float>& w = rt.params[0];
   const Range2 out_owned = owned_range(yt.owned_box());
   const Origin2 xo = origin_of(xt), yo = origin_of(yt);
-  const auto algo = model.options().conv_algo;
 
   auto compute = [&](const Range2& r) {
-    kernels::conv2d_forward(xt.buffer(), xo, w, yt.buffer(), yo, p, r, algo);
+    kernels::conv2d_forward(xt.buffer(), xo, w, yt.buffer(), yo, p, r);
   };
 
   if (xa.halo == nullptr || xa.fresh) {
@@ -432,7 +428,6 @@ void Conv2dLayer::backward(Model& model, int index, LayerRt& rt) const {
   const Tensor<float>& w = rt.params[0];
   const Range2 out_owned = owned_range(dyt.owned_box());
   const Origin2 xo = origin_of(xt), dyo = origin_of(dyt);
-  const auto algo = model.options().conv_algo;
   DC_REQUIRE(port.read->fresh || port.read->halo == nullptr,
              "conv '", name(), "': input halos were invalidated before backward");
 
@@ -456,7 +451,7 @@ void Conv2dLayer::backward(Model& model, int index, LayerRt& rt) const {
   if (exchange && !overlap) rt.dy.ensure_fresh();
 
   kernels::conv2d_backward_filter(xt.buffer(), xo, dyt.buffer(), dyo, rt.grads[0],
-                                  p, out_owned, /*accumulate=*/true, algo);
+                                  p, out_owned, /*accumulate=*/true);
   if (bias_) {
     kernels::bias_backward(dyt.buffer(), dyt.interior_box(), rt.grads[1].data(),
                            /*accumulate=*/true);
@@ -473,7 +468,7 @@ void Conv2dLayer::backward(Model& model, int index, LayerRt& rt) const {
   const Range2 in_owned = owned_range(port.dx.owned_box());
   kernels::conv2d_backward_data(dyt.buffer(), dyo, w, port.dx.buffer(),
                                 origin_of(port.dx), p, in_owned,
-                                rt.out_shape.h, rt.out_shape.w, algo);
+                                rt.out_shape.h, rt.out_shape.w);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,9 +1,13 @@
 #include "kernels/conv.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "kernels/gemm.hpp"
+#include "perf/conv_planner.hpp"
 #include "support/error.hpp"
 #include "support/intmath.hpp"
 #include "support/parallel.hpp"
@@ -18,12 +22,77 @@ void check_weights(const Tensor<float>& w, const ConvParams& p) {
 }
 
 /// The GEMM-backed paths tile their lowering buffers into strips of at most
-/// this many floats (~2 MiB), so buffer size is bounded regardless of the
-/// range; strips only split the GEMM's n dimension, which leaves every
-/// output element's accumulation chain unchanged.
+/// this many floats (~2 MiB) by default, so buffer size is bounded
+/// regardless of the range; the forward/backward-data strips only split the
+/// GEMM's n dimension, which leaves every output element's accumulation
+/// chain unchanged (and makes the strip budget a free planner knob there).
 constexpr std::int64_t kLoweringStripElems = 1 << 19;
 
+/// kAuto sentinel = "no override". Seeded lazily from DC_CONV_ALGO.
+std::atomic<ConvAlgo> g_algo_override{ConvAlgo::kAuto};
+std::atomic<bool> g_algo_override_seeded{false};
+
+void seed_algo_override_from_env() {
+  if (g_algo_override_seeded.exchange(true, std::memory_order_acq_rel)) return;
+  const char* s = std::getenv("DC_CONV_ALGO");
+  ConvAlgo algo = ConvAlgo::kAuto;
+  if (s != nullptr && *s != '\0') {
+    DC_REQUIRE(parse_conv_algo(s, &algo), "DC_CONV_ALGO: unknown algorithm '",
+               s, "'");
+  }
+  g_algo_override.store(algo, std::memory_order_release);
+}
+
 }  // namespace
+
+const char* conv_algo_name(ConvAlgo algo) {
+  switch (algo) {
+    case ConvAlgo::kDirect: return "direct";
+    case ConvAlgo::kIm2col: return "im2col";
+    case ConvAlgo::kGemmStrips: return "gemm-strips";
+    case ConvAlgo::kWinograd: return "winograd";
+    case ConvAlgo::kAuto: return "auto";
+  }
+  return "?";
+}
+
+bool parse_conv_algo(const char* s, ConvAlgo* out) {
+  for (ConvAlgo algo :
+       {ConvAlgo::kDirect, ConvAlgo::kIm2col, ConvAlgo::kGemmStrips,
+        ConvAlgo::kWinograd, ConvAlgo::kAuto}) {
+    if (std::strcmp(s, conv_algo_name(algo)) == 0) {
+      *out = algo;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool conv_algo_applicable(ConvAlgo algo, ConvPass pass, const ConvParams& p) {
+  switch (algo) {
+    case ConvAlgo::kDirect:
+    case ConvAlgo::kIm2col:
+    case ConvAlgo::kAuto:
+      return true;
+    case ConvAlgo::kGemmStrips:
+      return p.kh == 1 && p.kw == 1 && p.sh == 1 && p.sw == 1 && p.ph == 0 &&
+             p.pw == 0;
+    case ConvAlgo::kWinograd:
+      return pass == ConvPass::kForward && p.kh == 3 && p.kw == 3 &&
+             p.sh == 1 && p.sw == 1;
+  }
+  return false;
+}
+
+void set_conv_algo_override(ConvAlgo algo) {
+  g_algo_override_seeded.store(true, std::memory_order_release);
+  g_algo_override.store(algo, std::memory_order_release);
+}
+
+ConvAlgo conv_algo_override() {
+  seed_algo_override_from_env();
+  return g_algo_override.load(std::memory_order_acquire);
+}
 
 ConvAlgo resolve_conv_algo(ConvAlgo algo, const ConvParams& p, std::int64_t c,
                            std::int64_t f) {
@@ -36,6 +105,32 @@ ConvAlgo resolve_conv_algo(ConvAlgo algo, const ConvParams& p, std::int64_t c,
   const std::int64_t depth = c * p.kh * p.kw;
   return (depth >= 32 && f >= 8) ? ConvAlgo::kIm2col : ConvAlgo::kDirect;
 }
+
+namespace {
+
+/// Resolve a caller-supplied algo into a full plan. Explicit algorithms (and
+/// the DC_CONV_ALGO escape hatch, when the shape supports it) get a default
+/// plan for that family; kAuto consults the planner, which falls back to
+/// resolve_conv_algo when DC_CONV_PLAN=off.
+ConvPlan resolve_plan(ConvAlgo algo, ConvPass pass, const ConvParams& p,
+                      std::int64_t c, std::int64_t f) {
+  if (algo == ConvAlgo::kAuto) {
+    const ConvAlgo forced = conv_algo_override();
+    if (forced != ConvAlgo::kAuto && conv_algo_applicable(forced, pass, p)) {
+      ConvPlan plan;
+      plan.algo = forced;
+      return plan;
+    }
+    return perf::conv_plan_for(pass, p, c, f);
+  }
+  DC_REQUIRE(conv_algo_applicable(algo, pass, p), "algorithm ",
+             conv_algo_name(algo), " cannot execute this pass/shape");
+  ConvPlan plan;
+  plan.algo = algo;
+  return plan;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Padded oracles (single-threaded references; the region kernels are the
@@ -187,22 +282,26 @@ void conv2d_forward_direct(const Tensor<float>& x, Origin2 xo,
 }
 
 /// Strip height for a lowering buffer of depth `depth` floats per output
-/// position over rows of width `rw`. Depends only on shapes, never on the
+/// position over rows of width `rw`, within a budget of `elems` floats
+/// (0 = the default). Depends only on shapes and the plan, never on the
 /// thread budget.
-std::int64_t lowering_strip_height(std::int64_t depth, std::int64_t rw) {
-  const std::int64_t target_rows = std::max<std::int64_t>(1, kLoweringStripElems / depth);
+std::int64_t lowering_strip_height(std::int64_t depth, std::int64_t rw,
+                                   std::int64_t elems = 0) {
+  if (elems <= 0) elems = kLoweringStripElems;
+  const std::int64_t target_rows = std::max<std::int64_t>(1, elems / depth);
   return std::max<std::int64_t>(1, target_rows / std::max<std::int64_t>(1, rw));
 }
 
 void conv2d_forward_im2col(const Tensor<float>& x, Origin2 xo,
                            const Tensor<float>& w, Tensor<float>& y, Origin2 yo,
-                           const ConvParams& p, const Range2& r) {
+                           const ConvParams& p, const Range2& r,
+                           std::int64_t strip_elems) {
   const std::int64_t N = y.shape().n;
   const std::int64_t F = w.shape().n;
   const std::int64_t C = w.shape().c;
   const std::int64_t ckk = C * p.kh * p.kw;
   const std::int64_t rw = r.w1 - r.w0;
-  const std::int64_t hb = lowering_strip_height(ckk, rw);
+  const std::int64_t hb = lowering_strip_height(ckk, rw, strip_elems);
   std::vector<float> col(static_cast<std::size_t>(ckk) * hb * rw);
   std::vector<float> out(static_cast<std::size_t>(F) * hb * rw);
   const auto& yst = y.strides();
@@ -224,6 +323,73 @@ void conv2d_forward_im2col(const Tensor<float>& x, Origin2 xo,
           }
         }
       });
+    }
+  }
+}
+
+/// For a 1×1 stride-1 unpadded layer, a buffer's channel planes *are* the
+/// lowering matrix whenever each plane's rows are dense over the range
+/// (row stride == range width, zero horizontal offset): element (c, h, w)
+/// sits exactly where im2col would pack it, at plane base + c·(channel
+/// stride). Densely laid out buffers then skip the pack entirely.
+bool dense_planes(const Tensor<float>& t, Origin2 to, const Range2& r) {
+  return t.strides().h == (r.w1 - r.w0) && r.w0 == to.w;
+}
+
+/// Zero-copy forward for 1×1 stride-1 unpadded layers: y = W·x per strip,
+/// reading x planes and writing y planes in place. Bitwise identical to
+/// kIm2col — the GEMM sees the same operand values in the same (m, n, k)
+/// shape, only through different leading dimensions; non-dense buffers fall
+/// back to packing, which is exactly the im2col path.
+void conv2d_forward_gemm_strips(const Tensor<float>& x, Origin2 xo,
+                                const Tensor<float>& w, Tensor<float>& y,
+                                Origin2 yo, const ConvParams& p, const Range2& r,
+                                std::int64_t strip_elems) {
+  const std::int64_t N = y.shape().n;
+  const std::int64_t F = w.shape().n;
+  const std::int64_t C = w.shape().c;
+  const std::int64_t rw = r.w1 - r.w0;
+  const auto& xst = x.strides();
+  const auto& yst = y.strides();
+  const bool x_dense = dense_planes(x, xo, r);
+  const bool y_dense = dense_planes(y, yo, r);
+  const std::int64_t hb = lowering_strip_height(C, rw, strip_elems);
+  std::vector<float> col, out;
+  if (!x_dense) col.resize(static_cast<std::size_t>(C) * hb * rw);
+  if (!y_dense) out.resize(static_cast<std::size_t>(F) * hb * rw);
+  for (std::int64_t k = 0; k < N; ++k) {
+    for (std::int64_t h0 = r.h0; h0 < r.h1; h0 += hb) {
+      const Range2 rs{h0, std::min(r.h1, h0 + hb), r.w0, r.w1};
+      const std::int64_t rows = rs.area();
+      const float* b;
+      std::int64_t ldb;
+      if (x_dense) {
+        b = x.data() + xst.offset(k, 0, rs.h0 - xo.h, 0);
+        ldb = xst.c;
+      } else {
+        im2col(x, xo, k, p, rs, col.data());
+        b = col.data();
+        ldb = rows;
+      }
+      // y (F × rows) = W (F × C) · x (C × rows)
+      if (y_dense) {
+        sgemm(false, false, F, rows, C, 1.0f, w.data(), C, b, ldb, 0.0f,
+              y.data() + yst.offset(k, 0, rs.h0 - yo.h, 0), yst.c);
+      } else {
+        sgemm(false, false, F, rows, C, 1.0f, w.data(), C, b, ldb, 0.0f,
+              out.data(), rows);
+        parallel::parallel_for(0, F, 1, [&](std::int64_t f0, std::int64_t f1) {
+          for (std::int64_t f = f0; f < f1; ++f) {
+            const float* src = out.data() + f * rows;
+            for (std::int64_t gh = rs.h0; gh < rs.h1; ++gh) {
+              float* yrow =
+                  y.data() + yst.offset(k, f, gh - yo.h, rs.w0 - yo.w);
+              std::copy(src, src + rw, yrow);
+              src += rw;
+            }
+          }
+        });
+      }
     }
   }
 }
@@ -265,18 +431,33 @@ void im2col(const Tensor<float>& x, Origin2 xo, std::int64_t sample,
 void conv2d_forward(const Tensor<float>& x, Origin2 xo, const Tensor<float>& w,
                     Tensor<float>& y, Origin2 yo, const ConvParams& p,
                     const Range2& r, ConvAlgo algo) {
+  conv2d_forward(
+      x, xo, w, y, yo, p, r,
+      resolve_plan(algo, ConvPass::kForward, p, w.shape().c, w.shape().n));
+}
+
+void conv2d_forward(const Tensor<float>& x, Origin2 xo, const Tensor<float>& w,
+                    Tensor<float>& y, Origin2 yo, const ConvParams& p,
+                    const Range2& r, const ConvPlan& plan) {
   check_weights(w, p);
   if (r.empty()) return;
   DC_REQUIRE(x.shape().n == y.shape().n, "sample count mismatch");
-  switch (resolve_conv_algo(algo, p, w.shape().c, w.shape().n)) {
+  parallel::ScopedPlacement place(plan.thread_cap, plan.numa_node);
+  switch (plan.algo) {
     case ConvAlgo::kDirect:
       conv2d_forward_direct(x, xo, w, y, yo, p, r);
       break;
     case ConvAlgo::kIm2col:
-      conv2d_forward_im2col(x, xo, w, y, yo, p, r);
+      conv2d_forward_im2col(x, xo, w, y, yo, p, r, plan.strip_elems);
+      break;
+    case ConvAlgo::kGemmStrips:
+      conv2d_forward_gemm_strips(x, xo, w, y, yo, p, r, plan.strip_elems);
+      break;
+    case ConvAlgo::kWinograd:
+      conv2d_forward_winograd(x, xo, w, y, yo, p, r);
       break;
     case ConvAlgo::kAuto:
-      DC_FAIL("resolve_conv_algo returned kAuto");
+      DC_FAIL("plan has an unresolved algorithm");
   }
 }
 
@@ -382,7 +563,8 @@ void conv2d_backward_data_direct(const Tensor<float>& dy, Origin2 dyo,
 void conv2d_backward_data_gemm(const Tensor<float>& dy, Origin2 dyo,
                                const Tensor<float>& w, Tensor<float>& dx,
                                Origin2 dxo, const ConvParams& p, const Range2& r,
-                               std::int64_t out_h, std::int64_t out_w) {
+                               std::int64_t out_h, std::int64_t out_w,
+                               std::int64_t strip_elems) {
   const std::int64_t N = dx.shape().n;
   const std::int64_t F = w.shape().n;
   const std::int64_t C = w.shape().c;
@@ -392,8 +574,8 @@ void conv2d_backward_data_gemm(const Tensor<float>& dy, Origin2 dyo,
   // transposed stencil's reach (kh / sh rows).
   const Range2 full_win = gather_window(p, r, out_h, out_w);
   const std::int64_t win_w = std::max<std::int64_t>(1, full_win.w1 - full_win.w0);
-  const std::int64_t hb =
-      std::max<std::int64_t>(1, lowering_strip_height(ckk, win_w) * p.sh);
+  const std::int64_t hb = std::max<std::int64_t>(
+      1, lowering_strip_height(ckk, win_w, strip_elems) * p.sh);
   std::vector<float> dyp, dcol_a, dcol_b;
   for (std::int64_t k = 0; k < N; ++k) {
     std::vector<float>* dcol = &dcol_a;
@@ -485,23 +667,107 @@ void conv2d_backward_data_gemm(const Tensor<float>& dy, Origin2 dyo,
   }
 }
 
+/// Zero-copy backward data for 1×1 stride-1 unpadded layers: dx = Wᵀ·dy per
+/// strip, straight between buffer planes — the gather window degenerates to
+/// the range itself, so the col2im scatter disappears. Bitwise identical to
+/// kIm2col (the legacy dx = 0 + dcol copy cannot change bits: micro-kernel
+/// accumulators never produce -0, so adding dcol onto zero is the identity).
+void conv2d_backward_data_gemm_strips(const Tensor<float>& dy, Origin2 dyo,
+                                      const Tensor<float>& w, Tensor<float>& dx,
+                                      Origin2 dxo, const ConvParams& p,
+                                      const Range2& r, std::int64_t out_h,
+                                      std::int64_t out_w,
+                                      std::int64_t strip_elems) {
+  if (r.h0 < 0 || r.h1 > out_h || r.w0 < 0 || r.w1 > out_w) {
+    // The window would clip; keep the general path (identical results).
+    conv2d_backward_data_gemm(dy, dyo, w, dx, dxo, p, r, out_h, out_w,
+                              strip_elems);
+    return;
+  }
+  const std::int64_t N = dx.shape().n;
+  const std::int64_t F = w.shape().n;
+  const std::int64_t C = w.shape().c;
+  const std::int64_t rw = r.w1 - r.w0;
+  const auto& dyst = dy.strides();
+  const auto& dxst = dx.strides();
+  const bool dy_dense = dense_planes(dy, dyo, r);
+  const bool dx_dense = dense_planes(dx, dxo, r);
+  const std::int64_t hb = lowering_strip_height(C, rw, strip_elems);
+  std::vector<float> dyp, dcol;
+  if (!dy_dense) dyp.resize(static_cast<std::size_t>(F) * hb * rw);
+  if (!dx_dense) dcol.resize(static_cast<std::size_t>(C) * hb * rw);
+  for (std::int64_t k = 0; k < N; ++k) {
+    for (std::int64_t g0 = r.h0; g0 < r.h1; g0 += hb) {
+      const Range2 rs{g0, std::min(r.h1, g0 + hb), r.w0, r.w1};
+      const std::int64_t rows = rs.area();
+      const float* b;
+      std::int64_t ldb;
+      if (dy_dense) {
+        b = dy.data() + dyst.offset(k, 0, rs.h0 - dyo.h, 0);
+        ldb = dyst.c;
+      } else {
+        pack_window(dy, dyo, k, F, rs, dyp.data());
+        b = dyp.data();
+        ldb = rows;
+      }
+      // dx (C × rows) = Wᵀ (C × F) · dy (F × rows)
+      if (dx_dense) {
+        sgemm(true, false, C, rows, F, 1.0f, w.data(), C, b, ldb, 0.0f,
+              dx.data() + dxst.offset(k, 0, rs.h0 - dxo.h, 0), dxst.c);
+      } else {
+        sgemm(true, false, C, rows, F, 1.0f, w.data(), C, b, ldb, 0.0f,
+              dcol.data(), rows);
+        parallel::parallel_for(0, C, 1, [&](std::int64_t c0, std::int64_t c1) {
+          for (std::int64_t c = c0; c < c1; ++c) {
+            const float* src = dcol.data() + c * rows;
+            for (std::int64_t gi = rs.h0; gi < rs.h1; ++gi) {
+              float* drow =
+                  dx.data() + dxst.offset(k, c, gi - dxo.h, rs.w0 - dxo.w);
+              std::fill(drow, drow + rw, 0.0f);
+              for (std::int64_t j = 0; j < rw; ++j) drow[j] += src[j];
+              src += rw;
+            }
+          }
+        });
+      }
+    }
+  }
+}
+
 }  // namespace
 
 void conv2d_backward_data(const Tensor<float>& dy, Origin2 dyo,
                           const Tensor<float>& w, Tensor<float>& dx, Origin2 dxo,
                           const ConvParams& p, const Range2& r, std::int64_t out_h,
                           std::int64_t out_w, ConvAlgo algo) {
+  conv2d_backward_data(dy, dyo, w, dx, dxo, p, r, out_h, out_w,
+                       resolve_plan(algo, ConvPass::kBackwardData, p,
+                                    w.shape().c, w.shape().n));
+}
+
+void conv2d_backward_data(const Tensor<float>& dy, Origin2 dyo,
+                          const Tensor<float>& w, Tensor<float>& dx, Origin2 dxo,
+                          const ConvParams& p, const Range2& r, std::int64_t out_h,
+                          std::int64_t out_w, const ConvPlan& plan) {
   check_weights(w, p);
   if (r.empty()) return;
-  switch (resolve_conv_algo(algo, p, w.shape().c, w.shape().n)) {
+  parallel::ScopedPlacement place(plan.thread_cap, plan.numa_node);
+  switch (plan.algo) {
     case ConvAlgo::kDirect:
       conv2d_backward_data_direct(dy, dyo, w, dx, dxo, p, r, out_h, out_w);
       break;
     case ConvAlgo::kIm2col:
-      conv2d_backward_data_gemm(dy, dyo, w, dx, dxo, p, r, out_h, out_w);
+      conv2d_backward_data_gemm(dy, dyo, w, dx, dxo, p, r, out_h, out_w,
+                                plan.strip_elems);
       break;
+    case ConvAlgo::kGemmStrips:
+      conv2d_backward_data_gemm_strips(dy, dyo, w, dx, dxo, p, r, out_h, out_w,
+                                       plan.strip_elems);
+      break;
+    case ConvAlgo::kWinograd:
+      DC_FAIL("winograd has no backward-data kernel");
     case ConvAlgo::kAuto:
-      DC_FAIL("resolve_conv_algo returned kAuto");
+      DC_FAIL("plan has an unresolved algorithm");
   }
 }
 
@@ -582,24 +848,90 @@ void conv2d_backward_filter_gemm(const Tensor<float>& x, Origin2 xo,
   }
 }
 
+/// Zero-copy backward filter for 1×1 stride-1 unpadded layers: the strips
+/// split the GEMM's *k* dimension, so the strip height stays at the fixed
+/// default (it is part of dw's accumulation chain) and only the packs are
+/// elided — dy and x planes feed the GEMM in place when dense. Bitwise
+/// identical to kIm2col: same strip sequence, same operand values.
+void conv2d_backward_filter_gemm_strips(const Tensor<float>& x, Origin2 xo,
+                                        const Tensor<float>& dy, Origin2 dyo,
+                                        Tensor<float>& dw, const ConvParams& p,
+                                        const Range2& r) {
+  const std::int64_t N = dy.shape().n;
+  const std::int64_t F = dw.shape().n;
+  const std::int64_t C = dw.shape().c;
+  const std::int64_t rw = r.w1 - r.w0;
+  const auto& xst = x.strides();
+  const auto& dyst = dy.strides();
+  const bool x_dense = dense_planes(x, xo, r);
+  const bool dy_dense = dense_planes(dy, dyo, r);
+  const std::int64_t hb = lowering_strip_height(C, rw);
+  std::vector<float> col, dyp;
+  if (!x_dense) col.resize(static_cast<std::size_t>(C) * hb * rw);
+  if (!dy_dense) dyp.resize(static_cast<std::size_t>(F) * hb * rw);
+  for (std::int64_t k = 0; k < N; ++k) {
+    for (std::int64_t h0 = r.h0; h0 < r.h1; h0 += hb) {
+      const Range2 rs{h0, std::min(r.h1, h0 + hb), r.w0, r.w1};
+      const std::int64_t rows = rs.area();
+      const float* a;
+      std::int64_t lda;
+      if (dy_dense) {
+        a = dy.data() + dyst.offset(k, 0, rs.h0 - dyo.h, 0);
+        lda = dyst.c;
+      } else {
+        pack_window(dy, dyo, k, F, rs, dyp.data());
+        a = dyp.data();
+        lda = rows;
+      }
+      const float* b;
+      std::int64_t ldb;
+      if (x_dense) {
+        b = x.data() + xst.offset(k, 0, rs.h0 - xo.h, 0);
+        ldb = xst.c;
+      } else {
+        im2col(x, xo, k, p, rs, col.data());
+        b = col.data();
+        ldb = rows;
+      }
+      // dw (F × C) += dy (F × rows) · x (C × rows)ᵀ
+      sgemm(false, true, F, C, rows, 1.0f, a, lda, b, ldb, 1.0f, dw.data(), C);
+    }
+  }
+}
+
 }  // namespace
 
 void conv2d_backward_filter(const Tensor<float>& x, Origin2 xo,
                             const Tensor<float>& dy, Origin2 dyo, Tensor<float>& dw,
                             const ConvParams& p, const Range2& r, bool accumulate,
                             ConvAlgo algo) {
+  conv2d_backward_filter(x, xo, dy, dyo, dw, p, r, accumulate,
+                         resolve_plan(algo, ConvPass::kBackwardFilter, p,
+                                      dw.shape().c, dw.shape().n));
+}
+
+void conv2d_backward_filter(const Tensor<float>& x, Origin2 xo,
+                            const Tensor<float>& dy, Origin2 dyo, Tensor<float>& dw,
+                            const ConvParams& p, const Range2& r, bool accumulate,
+                            const ConvPlan& plan) {
   check_weights(dw, p);
   if (!accumulate) dw.zero();
   if (r.empty()) return;
-  switch (resolve_conv_algo(algo, p, dw.shape().c, dw.shape().n)) {
+  parallel::ScopedPlacement place(plan.thread_cap, plan.numa_node);
+  switch (plan.algo) {
     case ConvAlgo::kDirect:
       conv2d_backward_filter_direct(x, xo, dy, dyo, dw, p, r);
       break;
     case ConvAlgo::kIm2col:
       conv2d_backward_filter_gemm(x, xo, dy, dyo, dw, p, r);
       break;
+    case ConvAlgo::kGemmStrips:
+      conv2d_backward_filter_gemm_strips(x, xo, dy, dyo, dw, p, r);
+      break;
+    case ConvAlgo::kWinograd:
+      DC_FAIL("winograd has no backward-filter kernel");
     case ConvAlgo::kAuto:
-      DC_FAIL("resolve_conv_algo returned kAuto");
+      DC_FAIL("plan has an unresolved algorithm");
   }
 }
 

@@ -10,7 +10,13 @@
 namespace distconv::support {
 
 void write_file_atomic(const std::string& path, const void* data, std::size_t n) {
-  const std::string tmp = path + ".tmp";
+  // The scratch name carries the writer's pid: concurrent processes
+  // publishing to the same path (e.g. a shared conv plan cache under a
+  // parallel test run) must not share a tmp file, or one writer's rename
+  // steals the other's data mid-flight and the loser's rename fails ENOENT.
+  // Last rename wins; every rename sees its own complete tmp file.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   DC_REQUIRE(f != nullptr, "cannot open '", tmp, "' for writing: ",
              std::strerror(errno));

@@ -10,9 +10,11 @@
 
 namespace distconv::support {
 
-/// Atomically replace `path` with `n` bytes at `data`: writes `path`.tmp,
-/// flushes it to stable storage, then rename()s over `path`. Throws Error on
-/// any I/O failure (the temporary is removed on the failure paths).
+/// Atomically replace `path` with `n` bytes at `data`: writes a
+/// pid-qualified `path`.tmp.<pid> scratch file (concurrent processes
+/// publishing to one path must not share it), flushes it to stable storage,
+/// then rename()s over `path`. Throws Error on any I/O failure (the
+/// temporary is removed on the failure paths).
 void write_file_atomic(const std::string& path, const void* data, std::size_t n);
 
 inline void write_file_atomic(const std::string& path, const std::string& bytes) {

@@ -223,7 +223,12 @@ TEST(AtomicFile, WriteReplacesWithoutLeavingTemp) {
   std::string content((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
   EXPECT_EQ(content, "second");
-  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  // The scratch name is pid-qualified (concurrent writers must not share
+  // one), so sweep the whole pattern rather than a fixed ".tmp".
+  for (const auto& entry : std::filesystem::directory_iterator("/tmp")) {
+    EXPECT_EQ(entry.path().string().find(path + ".tmp"), std::string::npos)
+        << "stray scratch file " << entry.path();
+  }
   std::remove(path.c_str());
 }
 

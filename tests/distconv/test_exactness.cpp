@@ -216,14 +216,16 @@ TEST(Exactness, OverlapOnAndOffAgreeBitwise) {
 }
 
 TEST(Exactness, Im2colAlgoMatchesDirectAtModelLevel) {
-  ModelOptions im2col;
-  im2col.conv_algo = kernels::ConvAlgo::kIm2col;
+  // The planner's family knob moved from ModelOptions to the kernel-level
+  // override; forcing im2col everywhere must still match planned runs.
   const auto a = run_once(small_conv_net, 4, [](int l, int p) {
     return Strategy::hybrid(l, p, 2);
   });
-  const auto b = run_once(
-      small_conv_net, 4,
-      [](int l, int p) { return Strategy::hybrid(l, p, 2); }, im2col);
+  kernels::set_conv_algo_override(kernels::ConvAlgo::kIm2col);
+  const auto b = run_once(small_conv_net, 4, [](int l, int p) {
+    return Strategy::hybrid(l, p, 2);
+  });
+  kernels::set_conv_algo_override(kernels::ConvAlgo::kAuto);
   expect_same_run(b, a, 1e-4f);
 }
 
